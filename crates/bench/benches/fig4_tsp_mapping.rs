@@ -1,0 +1,79 @@
+//! E6 — Fig. 4: the packet-processing pipeline and the TSP mapping for the
+//! base design and each use case, regenerated from rp4bc's actual layouts.
+//!
+//! The paper maps the ten logical functions (A–J) onto seven TSPs; our
+//! merge pass lands the equivalent base design on eight (the v4/v6 FIB
+//! pairs merge, as in the paper; see EXPERIMENTS.md for the delta). The
+//! use cases then patch in: C1 replaces the nexthop stage (K/L share one
+//! TSP, exactly as the paper notes "only one stage is needed"), C2 adds
+//! two stages, C3 adds one.
+
+use ipsa_bench::*;
+use ipsa_controller::programs;
+use std::fmt::Write as _;
+
+fn mapping(design: &ipsa_core::template::CompiledDesign, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "-- {title} --");
+    for (slot, t) in design.programmed() {
+        let role = format!("{:?}", design.selector.roles[slot]);
+        let blocks = design
+            .crossbar
+            .get(&slot)
+            .map(|b| format!("{b:?}"))
+            .unwrap_or_else(|| "[]".into());
+        let _ = writeln!(
+            out,
+            "  TSP {slot:>2} [{role:<7}] {:<28} tables {:?} blocks {blocks}",
+            t.stage_name,
+            t.tables()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  ({} TSPs active, {} bypassed)",
+        design.selector.active_count(),
+        design.selector.slots() - design.selector.active_count()
+    );
+    out
+}
+
+fn main() {
+    let mut out = String::from("== Fig. 4 — TSP mappings (rp4bc layouts) ==\n\n");
+
+    let base_flow = ipsa_fpga_flow();
+    out.push_str(&mapping(&base_flow.design, "base L2/L3 design (A-J)"));
+    let base_tsps = base_flow.design.programmed().count();
+
+    for (case, _, script, _) in programs::use_cases() {
+        let mut flow = ipsa_fpga_flow();
+        flow.run_script(script, &programs::bundled_sources)
+            .expect("script applies");
+        out.push('\n');
+        out.push_str(&mapping(&flow.design, case));
+
+        let tsps = flow.design.programmed().count();
+        match case {
+            // ECMP covers and replaces the nexthop stage: same TSP count,
+            // and both ECMP tables share one TSP (the paper's K/L).
+            "C1-ECMP" => {
+                assert_eq!(tsps, base_tsps, "C1 replaces, not grows");
+                let ecmp_slot = flow
+                    .design
+                    .programmed()
+                    .find(|(_, t)| t.stage_name.contains("ecmp"))
+                    .expect("ecmp mapped");
+                assert_eq!(ecmp_slot.1.tables().len(), 2, "K and L share one TSP");
+            }
+            "C2-SRv6" => assert_eq!(tsps, base_tsps + 2),
+            "C3-FlowProbe" => assert_eq!(tsps, base_tsps + 1),
+            _ => {}
+        }
+    }
+    out.push_str(&format!(
+        "\npaper: 10 logical stages (A-J) on 7 TSPs; ours: {base_tsps} TSPs \
+         (merges: v4/v6 LPM pair, v4/v6 host pair).\n\
+         C1 replaces H in place; C2 adds its two stages; C3 adds one.\n"
+    ));
+    emit("fig4_tsp_mapping", &out);
+}

@@ -1,0 +1,61 @@
+//! E5 — Fig. 6: power consumption vs the number of effective physical
+//! stages the running application uses.
+//!
+//! Shape to reproduce: PISA is essentially flat (non-functional stages
+//! remain in the fixed pipeline and burn power); IPSA scales nearly
+//! linearly with active TSPs (bypassed TSPs idle in low power), starts
+//! well below PISA at small stage counts, and crosses slightly above it at
+//! full utilization (the ~10% premium of Table 3).
+
+use ipsa_bench::*;
+use ipsa_controller::programs;
+use ipsa_hwmodel::fig6_series;
+use rp4c::{full_compile, CompilerTarget};
+
+fn main() {
+    let prog = rp4_lang::parse(programs::BASE_RP4).expect("base parses");
+    let design = full_compile(&prog, &CompilerTarget::fpga())
+        .expect("compiles")
+        .design;
+    let params = fpga_params(&design);
+    let series = fig6_series(&params);
+
+    let mut rows = Vec::new();
+    for (n, pisa_w, ipsa_w) in &series {
+        let bar = |w: f64| "#".repeat((w * 12.0) as usize);
+        rows.push(vec![
+            format!("{n}"),
+            format!("{pisa_w:.2}"),
+            format!("{ipsa_w:.2}"),
+            format!("{:<40}", bar(*pisa_w)),
+            format!("{:<40}", bar(*ipsa_w)),
+        ]);
+    }
+    let mut out = render_table(
+        "Fig. 6 — power (W) vs effective physical stages",
+        &["stages", "PISA W", "IPSA W", "PISA", "IPSA"],
+        &rows,
+    );
+
+    let first = series.first().expect("nonempty");
+    let last = series.last().expect("nonempty");
+    let pisa_spread = last.1 - first.1;
+    let ipsa_spread = last.2 - first.2;
+    let crossover = series.iter().find(|(_, p, i)| i > p).map(|(n, _, _)| *n);
+    out.push_str(&format!(
+        "\nPISA spread across 1..{} stages: {pisa_spread:.2} W (flat); \
+         IPSA spread: {ipsa_spread:.2} W (scales with active TSPs).\n\
+         IPSA crosses above PISA at {} effective stages; premium at full \
+         pipeline: {:+.1}%.\n",
+        series.len(),
+        crossover.map_or("never".to_string(), |n| n.to_string()),
+        100.0 * (last.2 / last.1 - 1.0),
+    ));
+
+    // Shape assertions.
+    assert!(pisa_spread.abs() < 0.2, "PISA must be ~flat: {pisa_spread}");
+    assert!(ipsa_spread > 1.0, "IPSA must scale: {ipsa_spread}");
+    assert!(first.2 < first.1, "IPSA wins at low stage counts");
+    assert!(last.2 > last.1, "IPSA premium at full pipeline");
+    emit("fig6_power_vs_stages", &out);
+}

@@ -1,0 +1,115 @@
+//! Criterion micro-benchmarks of the per-packet and per-compile hot paths.
+//! Not a paper artifact — these guard the substrate's performance so the
+//! experiment harness stays fast enough to iterate on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipsa_bench::*;
+use ipsa_core::control::Device;
+use ipsa_core::table::{ActionCall, KeyField, KeyMatch, MatchKind, Table, TableDef, TableEntry};
+use ipsa_core::value::{EvalCtx, ValueRef};
+use ipsa_netpkt::builder::{ipv4_udp_packet, Ipv4UdpSpec};
+use ipsa_netpkt::linkage::HeaderLinkage;
+use ipsa_netpkt::traffic::TrafficGen;
+use std::hint::black_box;
+
+fn bench_parsing(c: &mut Criterion) {
+    let linkage = HeaderLinkage::standard();
+    let pkt = ipv4_udp_packet(&Ipv4UdpSpec::default());
+    c.bench_function("parse/on_demand_full_chain", |b| {
+        b.iter(|| {
+            let mut p = pkt.clone();
+            black_box(p.ensure_parsed(&linkage, "udp").unwrap());
+        })
+    });
+    c.bench_function("parse/front_end_parse_all", |b| {
+        b.iter(|| {
+            let mut p = pkt.clone();
+            black_box(p.parse_all(&linkage).unwrap());
+        })
+    });
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let linkage = HeaderLinkage::standard();
+    let mut fib = Table::new(TableDef {
+        name: "fib".into(),
+        key: vec![KeyField {
+            source: ValueRef::field("ipv4", "dst_addr"),
+            bits: 32,
+            kind: MatchKind::Lpm,
+        }],
+        size: 4096,
+        actions: vec!["NoAction".into()],
+        default_action: ActionCall::no_action(),
+        with_counters: false,
+    })
+    .expect("table");
+    for i in 0..1000u128 {
+        fib.insert(TableEntry {
+            key: vec![KeyMatch::Lpm {
+                value: 0x0a00_0000 + (i << 8),
+                prefix_len: 24,
+            }],
+            priority: 0,
+            action: ActionCall::no_action(),
+            counter: 0,
+        })
+        .expect("insert");
+    }
+    let mut pkt = ipv4_udp_packet(&Ipv4UdpSpec {
+        dst_ip: 0x0a00_7b01,
+        ..Default::default()
+    });
+    pkt.ensure_parsed(&linkage, "ipv4").expect("parses");
+    c.bench_function("table/lpm_lookup_1k_routes", |b| {
+        let ctx = EvalCtx::bare(&linkage);
+        b.iter(|| black_box(fib.lookup(&pkt, &ctx).unwrap()))
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut flow = ipsa_sw_flow();
+    populate_rp4_flow(&mut flow, 50);
+    let mut gen = TrafficGen::new(5).with_flows(32);
+    let batch = gen.batch(64);
+    c.bench_function("pipeline/ipbm_64_packets", |b| {
+        b.iter(|| {
+            for p in &batch {
+                flow.device.inject(p.clone());
+            }
+            black_box(flow.device.run().len())
+        })
+    });
+}
+
+fn bench_compilers(c: &mut Criterion) {
+    let src = ipsa_controller::programs::BASE_RP4;
+    c.bench_function("compile/rp4_parse_base", |b| {
+        b.iter(|| black_box(rp4_lang::parse(src).unwrap()))
+    });
+    let prog = rp4_lang::parse(src).expect("parses");
+    let target = rp4c::CompilerTarget::fpga();
+    c.bench_function("compile/rp4bc_full_base", |b| {
+        b.iter(|| black_box(rp4c::full_compile(&prog, &target).unwrap()))
+    });
+    c.bench_function("compile/incremental_ecmp", |b| {
+        b.iter_batched(
+            ipsa_fpga_flow,
+            |mut flow| {
+                flow.run_script(
+                    ipsa_controller::programs::ECMP_SCRIPT,
+                    &ipsa_controller::programs::bundled_sources,
+                )
+                .unwrap()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_parsing, bench_tables, bench_pipeline, bench_compilers
+}
+criterion_main!(benches);

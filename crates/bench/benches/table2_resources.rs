@@ -1,0 +1,103 @@
+//! E3 — Table 2: FPGA resource (LUT/FF) utilization of the PISA and IPSA
+//! prototypes, per component, for the base design on the 8-stage chip.
+//!
+//! Paper:
+//!   PISA: front parser 0.88/0.10, processors 5.32/0.47, total 6.20/0.57
+//!   IPSA: processors 5.83/0.85, crossbar 1.29/0.07, total 7.12/0.92
+//!   → IPSA pays +14.84% LUT and +61.40% FF for in-situ programmability.
+
+use ipsa_bench::*;
+use ipsa_controller::programs;
+use ipsa_hwmodel::{resources, Arch};
+use rp4c::{full_compile, CompilerTarget};
+
+fn main() {
+    // Base design compiled for each architecture.
+    let prog = rp4_lang::parse(programs::BASE_RP4).expect("base parses");
+    let ipsa_design = full_compile(&prog, &CompilerTarget::fpga())
+        .expect("ipsa compiles")
+        .design;
+    let ast = p4_lang::parse_p4(programs::BASE_P4).expect("p4 parses");
+    let hlir = p4_lang::build_hlir(&ast).expect("hlir");
+    let pisa_design =
+        pisa_bm::pisa_compile(&hlir, &pisa_bm::PisaTarget::fpga()).expect("pisa compiles");
+
+    let rp = resources(Arch::Pisa, &fpga_params(&pisa_design));
+    let ri = resources(Arch::Ipsa, &fpga_params(&ipsa_design));
+
+    let pct = |v: f64| format!("{v:>5.2}%");
+    let dash = "-".to_string();
+    let rows = vec![
+        vec![
+            "Front parser".into(),
+            pct(rp.front_parser.lut_pct),
+            pct(rp.front_parser.ff_pct),
+            dash.clone(),
+            dash.clone(),
+            "0.88% / 0.10%".into(),
+            "-".into(),
+        ],
+        vec![
+            "Processors".into(),
+            pct(rp.processors.lut_pct),
+            pct(rp.processors.ff_pct),
+            pct(ri.processors.lut_pct),
+            pct(ri.processors.ff_pct),
+            "5.32% / 0.47%".into(),
+            "5.83% / 0.85%".into(),
+        ],
+        vec![
+            "Crossbar".into(),
+            dash.clone(),
+            dash.clone(),
+            pct(ri.crossbar.lut_pct),
+            pct(ri.crossbar.ff_pct),
+            "-".into(),
+            "1.29% / 0.07%".into(),
+        ],
+        vec![
+            "Total".into(),
+            pct(rp.total.lut_pct),
+            pct(rp.total.ff_pct),
+            pct(ri.total.lut_pct),
+            pct(ri.total.ff_pct),
+            "6.20% / 0.57%".into(),
+            "7.12% / 0.92%".into(),
+        ],
+    ];
+    let mut out = render_table(
+        "Table 2 — FPGA resource utilization (base design, 8-stage prototypes)",
+        &[
+            "component",
+            "PISA LUT",
+            "PISA FF",
+            "IPSA LUT",
+            "IPSA FF",
+            "paper PISA",
+            "paper IPSA",
+        ],
+        &rows,
+    );
+    let lut_premium = 100.0 * (ri.total.lut_pct / rp.total.lut_pct - 1.0);
+    let ff_premium = 100.0 * (ri.total.ff_pct / rp.total.ff_pct - 1.0);
+    out.push_str(&format!(
+        "\nIPSA premium: +{lut_premium:.2}% LUT, +{ff_premium:.2}% FF \
+         (paper: +14.84% LUT, +61.40% FF)\n"
+    ));
+
+    // Shape assertions.
+    assert!(rp.front_parser.lut_pct > 0.0 && ri.front_parser.lut_pct == 0.0);
+    assert!(ri.crossbar.lut_pct > 0.0 && rp.crossbar.lut_pct == 0.0);
+    assert!(ri.total.lut_pct > rp.total.lut_pct);
+    assert!(ri.total.ff_pct > rp.total.ff_pct);
+    assert!(
+        (5.0..=35.0).contains(&lut_premium),
+        "LUT premium {lut_premium}% out of band"
+    );
+    assert!(
+        (30.0..=100.0).contains(&ff_premium),
+        "FF premium {ff_premium}% out of band"
+    );
+    assert!(ff_premium > lut_premium, "FF premium dominates");
+    emit("table2_resources", &out);
+}

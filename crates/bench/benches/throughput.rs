@@ -1,0 +1,111 @@
+//! E2 — §5 "Throughput": Mpps at 200 MHz for the three use cases on the
+//! 8-stage FPGA prototypes (analytical model over the actual compiled
+//! designs), plus measured software packet rates of the two behavioral
+//! models as a bonus series.
+//!
+//! Paper (Mpps):  PISA 187.33 / 153.71 / 191.93 — IPSA 65.81 / 51.36 / 86.62
+//! Shape to hold: PISA ~2-3.5x faster; IPSA's gap comes from extra memory
+//! beats on wide entries plus the per-packet template fetch — and the
+//! paper's two fixes (wider bus, pipelined TSP) must recover most of it.
+
+use ipsa_bench::*;
+use ipsa_controller::programs;
+use ipsa_core::control::Device;
+use ipsa_core::timing::CostModel;
+use ipsa_hwmodel::{throughput, Arch, ThroughputOptions};
+use ipsa_netpkt::traffic::TrafficGen;
+use pisa_bm::{PisaSwitch, PisaTarget};
+use std::time::Instant;
+
+/// Measured software forwarding rate (packets per second) of a device.
+fn sw_rate<D: Device>(device: &mut D, packets: usize) -> f64 {
+    let mut gen = TrafficGen::new(17).with_v6_percent(20).with_flows(64);
+    let batch = gen.batch(packets);
+    for p in batch {
+        device.inject(p);
+    }
+    let t = Instant::now();
+    let out = device.run();
+    let dt = t.elapsed().as_secs_f64();
+    assert!(!out.is_empty());
+    out.len() as f64 / dt
+}
+
+fn main() {
+    let paper_pisa = [187.33, 153.71, 191.93];
+    let paper_ipsa = [65.81, 51.36, 86.62];
+
+    let mut rows = Vec::new();
+    for (i, (case, _, _, _)) in programs::use_cases().iter().enumerate() {
+        let (ipsa_design, pisa_design) = use_case_designs(i);
+        let pi = fpga_params(&ipsa_design);
+        let pp = fpga_params(&pisa_design);
+        let tp = throughput(Arch::Pisa, &pp, ThroughputOptions::default());
+        let ti = throughput(Arch::Ipsa, &pi, ThroughputOptions::default());
+        let fixed = throughput(
+            Arch::Ipsa,
+            &pi,
+            ThroughputOptions {
+                pipelined_tsp: true,
+                bus_bits: Some(512),
+            },
+        );
+        rows.push(vec![
+            case.to_string(),
+            format!("{:>7.2}", tp.mpps),
+            format!("{:>7.2}", paper_pisa[i]),
+            format!("{:>7.2}", ti.mpps),
+            format!("{:>7.2}", paper_ipsa[i]),
+            format!("{:>5.2}x", tp.mpps / ti.mpps),
+            format!("{:>5.2}x", paper_pisa[i] / paper_ipsa[i]),
+            format!("{:>7.2}", fixed.mpps),
+        ]);
+        // Shape assertions.
+        assert!(tp.mpps > ti.mpps, "{case}: PISA must be faster");
+        let ratio = tp.mpps / ti.mpps;
+        assert!(
+            (1.5..=4.5).contains(&ratio),
+            "{case}: ratio {ratio} outside the paper's band"
+        );
+        assert!(fixed.mpps / tp.mpps > 0.9, "{case}: fixes must close the gap");
+    }
+    let mut out = render_table(
+        "Sec. 5 throughput — Mpps @ 200 MHz (analytical model over compiled designs)",
+        &[
+            "use case",
+            "PISA",
+            "paper",
+            "IPSA",
+            "paper",
+            "ratio",
+            "paper",
+            "IPSA+fixes",
+        ],
+        &rows,
+    );
+
+    // Bonus: measured software behavioral-model rates (not in the paper;
+    // architecture costs show up as real work: distributed parse state,
+    // crossbar checks, pooled-memory access accounting).
+    let mut ipsa_flow = ipsa_sw_flow();
+    populate_rp4_flow(&mut ipsa_flow, 50);
+    let ipsa_rate = sw_rate(&mut ipsa_flow.device, 30_000);
+
+    let (mut pisa_flow, _, _) = ipsa_controller::P4Flow::new(
+        PisaSwitch::new(CostModel::software()),
+        programs::BASE_P4,
+        PisaTarget::bmv2(),
+    )
+    .expect("pisa loads");
+    populate_p4_flow(&mut pisa_flow, 50);
+    let pisa_rate = sw_rate(&mut pisa_flow.device, 30_000);
+
+    out.push_str(&format!(
+        "\nsoftware behavioral models, base design (measured): \
+         pisa-bm {:.0} kpps, ipbm {:.0} kpps (ratio {:.2}x)\n",
+        pisa_rate / 1e3,
+        ipsa_rate / 1e3,
+        pisa_rate / ipsa_rate
+    ));
+    emit("throughput", &out);
+}

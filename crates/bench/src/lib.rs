@@ -1,0 +1,322 @@
+//! # ipsa-bench — the evaluation harness
+//!
+//! One bench target per table/figure of the paper (see DESIGN.md §3).
+//! Each target prints the paper's reported values next to ours and writes
+//! the rendered table to `target/experiment-results/<name>.txt` so
+//! EXPERIMENTS.md can cite stable artifacts.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ipbm::{IpbmConfig, IpbmSwitch};
+use ipsa_controller::programs;
+use ipsa_controller::{P4Flow, Rp4Flow};
+use ipsa_core::template::CompiledDesign;
+use ipsa_core::timing::CostModel;
+use ipsa_hwmodel::DesignParams;
+use pisa_bm::{PisaSwitch, PisaTarget};
+use rp4c::{full_compile, CompilerTarget};
+
+/// Physical stage-processor count of the paper's FPGA prototypes (both
+/// architectures), used by the hardware model.
+pub const FPGA_STAGES: usize = 8;
+/// Memory data-bus width of the prototypes, bits.
+pub const FPGA_BUS_BITS: usize = 128;
+
+/// Writes a rendered experiment artifact to
+/// `target/experiment-results/<name>.txt` and echoes it to stdout.
+pub fn emit(name: &str, content: &str) {
+    println!("{content}");
+    // Anchor at the workspace root regardless of the bench's CWD.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/experiment-results");
+    let dir = dir.as_path();
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join(format!("{name}.txt"));
+    if let Err(e) = std::fs::write(&path, content) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("[written to {}]", path.display());
+    }
+}
+
+/// Renders a simple aligned table.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, c) in r.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let line = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let _ = writeln!(
+        out,
+        "{}",
+        line(
+            &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            &widths
+        )
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
+    for r in rows {
+        let _ = writeln!(out, "{}", line(r, &widths));
+    }
+    out
+}
+
+/// An installed IPSA flow on the FPGA-like target with the fpga cost
+/// model, ready for a use-case script.
+pub fn ipsa_fpga_flow() -> Rp4Flow<IpbmSwitch> {
+    let prog = rp4_lang::parse(programs::BASE_RP4).expect("base parses");
+    let target = CompilerTarget::fpga();
+    let compilation = full_compile(&prog, &target).expect("base compiles");
+    let device = IpbmSwitch::new(IpbmConfig {
+        slots: target.slots,
+        sram_blocks: target.sram_blocks,
+        tcam_blocks: target.tcam_blocks,
+        cost: CostModel::fpga(),
+        ..IpbmConfig::default()
+    });
+    let (flow, _) = Rp4Flow::install(device, compilation, target).expect("install");
+    flow
+}
+
+/// An installed IPSA flow on the ipbm (software) target.
+pub fn ipsa_sw_flow() -> Rp4Flow<IpbmSwitch> {
+    let prog = rp4_lang::parse(programs::BASE_RP4).expect("base parses");
+    let target = CompilerTarget::ipbm();
+    let compilation = full_compile(&prog, &target).expect("base compiles");
+    let device = IpbmSwitch::new(IpbmConfig::default());
+    let (flow, _) = Rp4Flow::install(device, compilation, target).expect("install");
+    flow
+}
+
+/// Installs a realistic pre-update entry population (the state a PISA
+/// reload has to *replay*) into a [`P4Flow`]: ports, bridges, `routes`
+/// FIB routes + dmac pairs, nexthops.
+pub fn populate_p4_flow(flow: &mut P4Flow<PisaSwitch>, routes: usize) {
+    use ipsa_controller::KeyToken as K;
+    let add = |flow: &mut P4Flow<PisaSwitch>,
+                   table: &str,
+                   action: &str,
+                   keys: &[K],
+                   args: &[u128]| {
+        flow.table_add(table, action, keys, args, 0)
+            .unwrap_or_else(|e| panic!("populate {table}: {e}"));
+    };
+    for p in 0..8u128 {
+        add(flow, "port_map", "set_ifindex", &[K::Exact(p)], &[10 + p]);
+        add(flow, "bd_vrf", "set_bd_vrf", &[K::Exact(10 + p)], &[1, 1]);
+    }
+    add(
+        flow,
+        "fwd_mode",
+        "set_l3",
+        &[K::Exact(1), K::Exact(0x02_00_00_00_00_02)],
+        &[],
+    );
+    for i in 0..routes as u128 {
+        add(
+            flow,
+            "ipv4_lpm",
+            "set_nexthop",
+            &[
+                K::Exact(1),
+                K::Lpm {
+                    value: 0x0a01_0000 + (i << 8),
+                    prefix_len: 24,
+                },
+            ],
+            &[7],
+        );
+        add(
+            flow,
+            "dmac",
+            "set_port",
+            &[K::Exact(2), K::Exact(0x0202_0000_0000 + i)],
+            &[i % 8],
+        );
+    }
+    add(
+        flow,
+        "ipv6_lpm",
+        "set_nexthop",
+        &[
+            K::Exact(1),
+            K::Lpm {
+                value: 0xfc01_u128 << 112,
+                prefix_len: 16,
+            },
+        ],
+        &[9],
+    );
+    add(
+        flow,
+        "nexthop",
+        "set_bd_dmac",
+        &[K::Exact(7)],
+        &[2, 0x0202_0203_0301],
+    );
+    add(
+        flow,
+        "nexthop",
+        "set_bd_dmac",
+        &[K::Exact(9)],
+        &[3, 0x0202_0203_0302],
+    );
+    add(
+        flow,
+        "dmac",
+        "set_port",
+        &[K::Exact(2), K::Exact(0x0202_0203_0301)],
+        &[2],
+    );
+    add(
+        flow,
+        "dmac",
+        "set_port",
+        &[K::Exact(3), K::Exact(0x0202_0203_0302)],
+        &[3],
+    );
+    add(
+        flow,
+        "l2_l3_rewrite",
+        "rewrite_l3",
+        &[K::Exact(2)],
+        &[0x020a_0a0a_0a0a],
+    );
+    add(
+        flow,
+        "l2_l3_rewrite",
+        "rewrite_l3",
+        &[K::Exact(3)],
+        &[0x020a_0a0a_0a0a],
+    );
+}
+
+/// The same realistic population through an [`Rp4Flow`] script.
+pub fn populate_rp4_flow(flow: &mut Rp4Flow<IpbmSwitch>, routes: usize) {
+    let mut s = String::new();
+    for p in 0..8 {
+        s.push_str(&format!("table_add port_map set_ifindex {p} => {}\n", 10 + p));
+        s.push_str(&format!("table_add bd_vrf set_bd_vrf {} => 1 1\n", 10 + p));
+    }
+    s.push_str("table_add fwd_mode set_l3 1 0x020000000002 =>\n");
+    for i in 0..routes as u128 {
+        s.push_str(&format!(
+            "table_add ipv4_lpm set_nexthop 1 {:#x}/24 => 7\n",
+            0x0a01_0000u128 + (i << 8)
+        ));
+        s.push_str(&format!(
+            "table_add dmac set_port 2 {:#x} => {}\n",
+            0x0202_0000_0000u128 + i,
+            i % 8
+        ));
+    }
+    s.push_str("table_add ipv6_lpm set_nexthop 1 0xfc010000000000000000000000000000/16 => 9\n");
+    s.push_str("table_add nexthop set_bd_dmac 7 => 2 0x020202030301\n");
+    s.push_str("table_add nexthop set_bd_dmac 9 => 3 0x020202030302\n");
+    s.push_str("table_add dmac set_port 2 0x020202030301 => 2\n");
+    s.push_str("table_add dmac set_port 3 0x020202030302 => 3\n");
+    s.push_str("table_add l2_l3_rewrite rewrite_l3 2 => 0x020a0a0a0a0a\n");
+    s.push_str("table_add l2_l3_rewrite rewrite_l3 3 => 0x020a0a0a0a0a\n");
+    flow.run_script(&s, &programs::bundled_sources)
+        .expect("population script");
+}
+
+/// Measures one in-situ use-case update on the rP4/IPSA flow.
+/// Returns `(t_C µs, t_L µs)`.
+pub fn measure_ipsa_update(flow: &mut Rp4Flow<IpbmSwitch>, script: &str) -> (f64, f64) {
+    let outcome = flow
+        .run_script(script, &programs::bundled_sources)
+        .expect("in-situ script runs");
+    (outcome.compile_us, outcome.report.load_us)
+}
+
+/// Measures one use-case update on the P4/PISA flow: full recompile of the
+/// integrated program + swap + repopulation. Returns `(t_C µs, t_L µs)`.
+pub fn measure_pisa_update(flow: &mut P4Flow<PisaSwitch>, integrated_p4: &str) -> (f64, f64) {
+    let (t_c, report) = flow
+        .update_source(integrated_p4.to_string())
+        .expect("integrated program compiles");
+    (t_c, report.load_us)
+}
+
+/// Compiles a use case's *final state* designs for the hardware model:
+/// `(ipsa_design, pisa_design)` after the update is applied/integrated.
+pub fn use_case_designs(case_idx: usize) -> (CompiledDesign, CompiledDesign) {
+    let (_, _, script, integrated_p4) = programs::use_cases()[case_idx];
+    // IPSA: base + in-situ script.
+    let mut flow = ipsa_fpga_flow();
+    flow.run_script(script, &programs::bundled_sources)
+        .expect("script applies");
+    let ipsa = flow.design.clone();
+    // PISA: integrated P4, compiled for the PISA FPGA target.
+    let ast = p4_lang::parse_p4(integrated_p4).expect("p4 parses");
+    let hlir = p4_lang::build_hlir(&ast).expect("hlir builds");
+    let pisa = pisa_bm::pisa_compile(&hlir, &PisaTarget::fpga()).expect("pisa compiles");
+    (ipsa, pisa)
+}
+
+/// Hardware-model parameters for a design on the 8-stage prototype.
+pub fn fpga_params(design: &CompiledDesign) -> DesignParams {
+    DesignParams::from_design(design, FPGA_STAGES, FPGA_BUS_BITS)
+}
+
+/// Median wall-clock of `f` over `n` runs, in µs.
+pub fn median_us<F: FnMut()>(n: usize, mut f: F) -> f64 {
+    let mut xs: Vec<f64> = (0..n.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs[xs.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_table_aligns() {
+        let t = render_table(
+            "t",
+            &["a", "long-header"],
+            &[
+                vec!["x".into(), "y".into()],
+                vec!["wide-cell".into(), "z".into()],
+            ],
+        );
+        assert!(t.contains("== t =="));
+        assert!(t.contains("long-header"));
+    }
+
+    #[test]
+    fn use_case_designs_build() {
+        for i in 0..3 {
+            let (ipsa, pisa) = use_case_designs(i);
+            ipsa.validate().unwrap();
+            pisa.validate().unwrap();
+        }
+    }
+}

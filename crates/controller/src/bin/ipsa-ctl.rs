@@ -1,0 +1,223 @@
+//! `ipsa-ctl` — run an in-process ipbm switch and program it at runtime.
+//!
+//! ```text
+//! ipsa-ctl run --base <base.rp4> [--script <file.script>]... [--snippets <dir>]
+//!              [--packets N] [--seed N] [--v6 PCT] [--flows N]
+//!              [--target ipbm|fpga] [--report switch.json] [--demo-tables]
+//! ```
+//!
+//! Loads the base design onto a fresh ipbm device, optionally populates the
+//! demo forwarding state (`--demo-tables`), applies each script *in order
+//! with traffic between them*, and prints a forwarding/update report. This
+//! is the zero-to-aha path: one command shows an in-service functional
+//! update with zero packet loss.
+
+use std::process::ExitCode;
+
+use ipbm::{IpbmConfig, IpbmSwitch};
+use ipsa_controller::{programs, Rp4Flow};
+use ipsa_core::control::Device;
+use ipsa_netpkt::traffic::TrafficGen;
+use rp4c::CompilerTarget;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ipsa-ctl run --base <base.rp4> [--script <file.script>]... \
+         [--snippets <dir>] [--packets N] [--seed N] [--v6 PCT] [--flows N] \
+         [--target ipbm|fpga] [--report out.json] [--demo-tables]"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    base: String,
+    scripts: Vec<String>,
+    snippets: Option<String>,
+    packets: usize,
+    seed: u64,
+    v6: u8,
+    flows: u32,
+    target: String,
+    report: Option<String>,
+    demo_tables: bool,
+}
+
+fn parse_args(args: &[String]) -> Option<Args> {
+    let mut out = Args {
+        base: String::new(),
+        scripts: vec![],
+        snippets: None,
+        packets: 500,
+        seed: 42,
+        v6: 20,
+        flows: 32,
+        target: "ipbm".into(),
+        report: None,
+        demo_tables: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned().inspect(|_| *i += 1)
+        };
+        match args[i].as_str() {
+            "--base" => out.base = take(&mut i)?,
+            "--script" => out.scripts.push(take(&mut i)?),
+            "--snippets" => out.snippets = Some(take(&mut i)?),
+            "--packets" => out.packets = take(&mut i)?.parse().ok()?,
+            "--seed" => out.seed = take(&mut i)?.parse().ok()?,
+            "--v6" => out.v6 = take(&mut i)?.parse().ok()?,
+            "--flows" => out.flows = take(&mut i)?.parse().ok()?,
+            "--target" => out.target = take(&mut i)?,
+            "--report" => out.report = Some(take(&mut i)?),
+            "--demo-tables" => {
+                out.demo_tables = true;
+                i += 1;
+            }
+            _ => return None,
+        }
+    }
+    if out.base.is_empty() {
+        return None;
+    }
+    Some(out)
+}
+
+/// Demo forwarding state matching the repository's base design and the
+/// traffic generator's flows (see `rp4::demo`).
+fn demo_population() -> String {
+    let mut s = String::new();
+    for p in 0..8 {
+        s.push_str(&format!("table_add port_map set_ifindex {p} => {}\n", 10 + p));
+        s.push_str(&format!("table_add bd_vrf set_bd_vrf {} => 1 1\n", 10 + p));
+    }
+    s.push_str("table_add fwd_mode set_l3 1 0x020000000002 =>\n");
+    s.push_str("table_add ipv4_lpm set_nexthop 1 0x0a010000/16 => 7\n");
+    s.push_str("table_add ipv6_lpm set_nexthop 1 0xfc010000000000000000000000000000/16 => 9\n");
+    s.push_str("table_add nexthop set_bd_dmac 7 => 2 0x020202030301\n");
+    s.push_str("table_add nexthop set_bd_dmac 9 => 3 0x020202030302\n");
+    s.push_str("table_add dmac set_port 2 0x020202030301 => 2\n");
+    s.push_str("table_add dmac set_port 3 0x020202030302 => 3\n");
+    s.push_str("table_add l2_l3_rewrite rewrite_l3 2 => 0x020a0a0a0a0a\n");
+    s.push_str("table_add l2_l3_rewrite rewrite_l3 3 => 0x020a0a0a0a0a\n");
+    s
+}
+
+fn run(a: Args) -> Result<(), String> {
+    let base_src =
+        std::fs::read_to_string(&a.base).map_err(|e| format!("cannot read {}: {e}", a.base))?;
+    let prog = rp4_lang::parse(&base_src).map_err(|e| e.to_string())?;
+    let target = match a.target.as_str() {
+        "ipbm" => CompilerTarget::ipbm(),
+        "fpga" => CompilerTarget::fpga(),
+        other => return Err(format!("unknown target `{other}`")),
+    };
+    let compilation = rp4c::full_compile(&prog, &target).map_err(|e| e.to_string())?;
+    let device = IpbmSwitch::new(IpbmConfig {
+        slots: target.slots,
+        sram_blocks: target.sram_blocks,
+        tcam_blocks: target.tcam_blocks,
+        ..IpbmConfig::default()
+    });
+    let (mut flow, install) =
+        Rp4Flow::install(device, compilation, target).map_err(|e| e.to_string())?;
+    println!(
+        "installed `{}`: {} msgs, simulated load {:.1} ms, {} TSPs",
+        a.base,
+        install.msgs,
+        install.load_us / 1000.0,
+        flow.design.programmed().count()
+    );
+
+    // Snippet resolver: --snippets dir, each script's own dir, bundled.
+    let snippet_dirs: Vec<std::path::PathBuf> = a
+        .snippets
+        .iter()
+        .map(std::path::PathBuf::from)
+        .chain(a.scripts.iter().filter_map(|s| {
+            std::path::Path::new(s).parent().map(|p| p.to_path_buf())
+        }))
+        .collect();
+    let resolve = move |name: &str| -> Option<String> {
+        for d in &snippet_dirs {
+            if let Ok(s) = std::fs::read_to_string(d.join(name)) {
+                return Some(s);
+            }
+        }
+        programs::bundled_sources(name)
+    };
+
+    if a.demo_tables {
+        flow.run_script(&demo_population(), &resolve)
+            .map_err(|e| format!("demo population: {e}"))?;
+        println!("demo tables populated");
+    }
+
+    let mut gen = TrafficGen::new(a.seed)
+        .with_v6_percent(a.v6)
+        .with_flows(a.flows);
+    let mut total_in = 0usize;
+    let mut total_out = 0usize;
+    let mut run_traffic = |flow: &mut Rp4Flow<IpbmSwitch>, label: &str| {
+        for p in gen.batch(a.packets) {
+            flow.device.inject(p);
+        }
+        total_in += a.packets;
+        let out = flow.device.run();
+        total_out += out.len();
+        println!("[{label}] {} in / {} out", a.packets, out.len());
+    };
+
+    run_traffic(&mut flow, "baseline");
+    for script in &a.scripts {
+        let src = std::fs::read_to_string(script)
+            .map_err(|e| format!("cannot read {script}: {e}"))?;
+        let outcome = flow
+            .run_script(&src, &resolve)
+            .map_err(|e| format!("{script}: {e}"))?;
+        match &outcome.update_stats {
+            Some(s) => println!(
+                "[{script}] t_C {:.2} ms, t_L {:.2} ms, {} template writes, new tables {:?}",
+                outcome.compile_us / 1000.0,
+                outcome.report.load_us / 1000.0,
+                s.template_writes,
+                s.new_tables
+            ),
+            None => println!(
+                "[{script}] {} msgs applied ({} entries)",
+                outcome.report.msgs, outcome.report.entries_written
+            ),
+        }
+        run_traffic(&mut flow, script);
+    }
+
+    println!("\ntotal: {total_in} injected, {total_out} forwarded");
+    let report = flow.device.report();
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    match &a.report {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("report written to {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("run") {
+        return usage();
+    }
+    match parse_args(&args[1..]) {
+        Some(a) => match run(a) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("ipsa-ctl: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        None => usage(),
+    }
+}

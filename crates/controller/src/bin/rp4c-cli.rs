@@ -1,0 +1,250 @@
+//! `rp4c` — the rP4 compiler command-line front end.
+//!
+//! ```text
+//! rp4c compile <file.rp4> [--target ipbm|fpga] [-o design.json] [--apis apis.json]
+//! rp4c translate <file.p4> [-o out.rp4]                # rp4fc: P4 -> rP4
+//! rp4c check <file.rp4> [--base <base.rp4>]            # parse + semantics
+//! rp4c plan --base <base.rp4> --script <file.script>   # incremental compile
+//!          [--snippets <dir>] [--algo dp|greedy] [-o design.json]
+//! ```
+//!
+//! `compile` runs the full rp4bc pipeline and emits the TSP template
+//! parameters in JSON (the paper's specified output format). `plan` runs
+//! the in-situ path: it prints the Drain…Resume message summary, the
+//! updated base design (rp4bc's "first output"), and placement statistics.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use ipsa_controller::{parse_script, ScriptCmd};
+use rp4c::{CompilerTarget, LayoutAlgo, UpdateCmd};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  rp4c compile <file.rp4> [--target ipbm|fpga] [-o design.json] [--apis apis.json]\n  \
+         rp4c translate <file.p4> [-o out.rp4]\n  \
+         rp4c check <file.rp4> [--base <base.rp4>]\n  \
+         rp4c plan --base <base.rp4> --script <file.script> [--snippets <dir>] [--algo dp|greedy] [-o design.json]"
+    );
+    ExitCode::from(2)
+}
+
+/// Minimal flag parser: positional args plus `--flag value` pairs.
+fn parse_args(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
+    let mut pos = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if let Some(v) = args.get(i + 1) {
+                flags.insert(name.to_string(), v.clone());
+                i += 2;
+            } else {
+                flags.insert(name.to_string(), String::new());
+                i += 1;
+            }
+        } else if a == "-o" {
+            if let Some(v) = args.get(i + 1) {
+                flags.insert("out".to_string(), v.clone());
+                i += 2;
+            } else {
+                i += 1;
+            }
+        } else {
+            pos.push(a.clone());
+            i += 1;
+        }
+    }
+    (pos, flags)
+}
+
+fn target_of(flags: &HashMap<String, String>) -> Result<CompilerTarget, String> {
+    match flags.get("target").map(String::as_str).unwrap_or("ipbm") {
+        "ipbm" => Ok(CompilerTarget::ipbm()),
+        "fpga" => Ok(CompilerTarget::fpga()),
+        other => Err(format!("unknown target `{other}` (ipbm|fpga)")),
+    }
+}
+
+fn write_or_print(flags: &HashMap<String, String>, key: &str, content: &str) -> Result<(), String> {
+    match flags.get(key) {
+        Some(path) => std::fs::write(path, content)
+            .map_err(|e| format!("cannot write {path}: {e}"))
+            .map(|()| println!("wrote {path}")),
+        None => {
+            println!("{content}");
+            Ok(())
+        }
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn cmd_compile(pos: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    let file = pos.first().ok_or("compile needs a file")?;
+    let src = read(file)?;
+    let prog = rp4_lang::parse(&src).map_err(|e| e.to_string())?;
+    let target = target_of(flags)?;
+    let c = rp4c::full_compile(&prog, &target).map_err(|e| e.to_string())?;
+    eprintln!(
+        "compiled `{file}` for target `{}`: {} logical stages -> {} TSPs, {} blocks \
+         (merged: {:?})",
+        target.name,
+        c.report.merge.before,
+        c.report.tsps_used,
+        c.report.blocks_used,
+        c.report.merge.merged_groups
+    );
+    write_or_print(flags, "out", &c.design.to_json())?;
+    if flags.contains_key("apis") {
+        write_or_print(flags, "apis", &rp4c::api_gen::apis_to_json(&c.apis))?;
+    }
+    Ok(())
+}
+
+fn cmd_translate(pos: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    let file = pos.first().ok_or("translate needs a file")?;
+    let src = read(file)?;
+    let ast = p4_lang::parse_p4(&src).map_err(|e| e.to_string())?;
+    let hlir = p4_lang::build_hlir(&ast).map_err(|e| e.to_string())?;
+    let prog = rp4c::rp4fc(&hlir, "main");
+    eprintln!(
+        "translated `{file}`: {} headers, {} tables, {} stages",
+        prog.headers.len(),
+        prog.tables.len(),
+        prog.stages().count()
+    );
+    write_or_print(flags, "out", &rp4_lang::print(&prog))
+}
+
+fn cmd_check(pos: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    let file = pos.first().ok_or("check needs a file")?;
+    let src = read(file)?;
+    let prog = rp4_lang::parse(&src).map_err(|e| e.to_string())?;
+    let base = match flags.get("base") {
+        Some(b) => Some(rp4_lang::parse(&read(b)?).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    match rp4_lang::check(&prog, base.as_ref()) {
+        Ok(_) => {
+            println!(
+                "{file}: OK ({} headers, {} tables, {} actions, {} stages)",
+                prog.headers.len(),
+                prog.tables.len(),
+                prog.actions.len(),
+                prog.stages().count()
+            );
+            Ok(())
+        }
+        Err(errs) => {
+            for e in &errs {
+                eprintln!("{file}: {e}");
+            }
+            Err(format!("{} semantic error(s)", errs.len()))
+        }
+    }
+}
+
+fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
+    let base_path = flags.get("base").ok_or("plan needs --base")?;
+    let script_path = flags.get("script").ok_or("plan needs --script")?;
+    let base_src = read(base_path)?;
+    let base = rp4_lang::parse(&base_src).map_err(|e| e.to_string())?;
+    let target = target_of(flags)?;
+    let algo = match flags.get("algo").map(String::as_str).unwrap_or("dp") {
+        "dp" => LayoutAlgo::Dp,
+        "greedy" => LayoutAlgo::Greedy,
+        other => return Err(format!("unknown algo `{other}` (dp|greedy)")),
+    };
+    let compilation = rp4c::full_compile(&base, &target).map_err(|e| e.to_string())?;
+
+    // Snippet resolution: --snippets dir, then the script's directory.
+    let script_src = read(script_path)?;
+    let script_dir = std::path::Path::new(script_path)
+        .parent()
+        .map(|p| p.to_path_buf())
+        .unwrap_or_default();
+    let snippet_dir = flags.get("snippets").map(std::path::PathBuf::from);
+    let resolve = |name: &str| -> Option<String> {
+        if let Some(d) = &snippet_dir {
+            if let Ok(s) = std::fs::read_to_string(d.join(name)) {
+                return Some(s);
+            }
+        }
+        std::fs::read_to_string(script_dir.join(name)).ok()
+    };
+
+    let cmds = parse_script(&script_src).map_err(|e| e.to_string())?;
+    let mut update_cmds = Vec::new();
+    for cmd in cmds {
+        update_cmds.push(match cmd {
+            ScriptCmd::Load { file, func } => {
+                let src = resolve(&file).ok_or(format!("snippet `{file}` not found"))?;
+                let snippet = rp4_lang::parse(&src).map_err(|e| e.to_string())?;
+                UpdateCmd::Load { snippet, func }
+            }
+            ScriptCmd::Unload { func } => UpdateCmd::Unload { func },
+            ScriptCmd::AddLink { from, to } => UpdateCmd::AddLink { from, to },
+            ScriptCmd::DelLink { from, to } => UpdateCmd::DelLink { from, to },
+            ScriptCmd::LinkHeader { pre, next, tag } => UpdateCmd::LinkHeader { pre, next, tag },
+            ScriptCmd::UnlinkHeader { pre, next } => UpdateCmd::UnlinkHeader { pre, next },
+            other => return Err(format!("table operation {other:?} is runtime-only")),
+        });
+    }
+    let plan = rp4c::incremental_compile(
+        &compilation.design,
+        &compilation.program,
+        &update_cmds,
+        &target,
+        algo,
+    )
+    .map_err(|e| e.to_string())?;
+
+    eprintln!(
+        "plan: {} control messages ({} template writes, {} clears, new tables {:?}, \
+         removed {:?}, placement {:.1} µs, {:?})",
+        plan.msgs.len(),
+        plan.stats.template_writes,
+        plan.stats.slot_clears,
+        plan.stats.new_tables,
+        plan.stats.removed_tables,
+        plan.stats.placement_us,
+        plan.stats.algo,
+    );
+    for m in &plan.msgs {
+        let kind = format!("{m:?}");
+        let kind = kind.split([' ', '(', '{']).next().unwrap_or("?");
+        eprintln!("  - {kind} ({} bytes)", m.payload_bytes());
+    }
+    println!("// --- updated base design (rp4bc output 1) ---");
+    println!("{}", rp4_lang::print(&plan.program));
+    if flags.contains_key("out") {
+        write_or_print(flags, "out", &plan.design.to_json())?;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        return usage();
+    };
+    let (pos, flags) = parse_args(&args[1..]);
+    let result = match cmd.as_str() {
+        "compile" => cmd_compile(&pos, &flags),
+        "translate" => cmd_translate(&pos, &flags),
+        "check" => cmd_check(&pos, &flags),
+        "plan" => cmd_plan(&flags),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rp4c: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

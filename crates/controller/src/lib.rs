@@ -1,0 +1,170 @@
+//! # ipsa-controller — the runtime controller
+//!
+//! "The controller is used for runtime configuration and in-situ
+//! programming … allowing users to load or offload on-demand protocols and
+//! functions at runtime." (Sec. 4.1)
+//!
+//! - [`script`]: the Fig. 5(b)/(c) command language plus table operations;
+//! - [`table_api`]: typed entry construction validated against rp4bc's
+//!   generated APIs;
+//! - [`driver`]: the two design flows of Fig. 3 — [`driver::Rp4Flow`]
+//!   (incremental, in-situ) and [`driver::P4Flow`] (full recompile + swap +
+//!   repopulate);
+//! - [`programs`]: the bundled base design, use-case snippets, and scripts.
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod programs;
+pub mod script;
+pub mod table_api;
+
+pub use driver::{Checkpoint, ControllerError, P4Flow, Rp4Flow, ScriptOutcome};
+pub use script::{parse_script, KeyToken, ScriptCmd};
+
+#[cfg(test)]
+mod flow_tests {
+    use super::*;
+    use ipbm::{IpbmConfig, IpbmSwitch};
+    use ipsa_core::timing::CostModel;
+    use pisa_bm::{PisaSwitch, PisaTarget};
+    use rp4c::{full_compile, CompilerTarget};
+
+    fn rp4_flow() -> Rp4Flow<IpbmSwitch> {
+        let prog = rp4_lang::parse(programs::BASE_RP4).unwrap();
+        let target = CompilerTarget::ipbm();
+        let compilation = full_compile(&prog, &target).unwrap();
+        let device = IpbmSwitch::new(IpbmConfig::default());
+        let (flow, report) = Rp4Flow::install(device, compilation, target).unwrap();
+        assert!(report.msgs > 10);
+        flow
+    }
+
+    #[test]
+    fn base_design_compiles_with_expected_merges() {
+        let flow = rp4_flow();
+        // The v4/v6 FIB pairs merged; Fig. 4's ~7-TSP mapping (we land on
+        // 8: 7 ingress + 1 egress).
+        let names: Vec<&str> = flow
+            .design
+            .programmed()
+            .map(|(_, t)| t.stage_name.as_str())
+            .collect();
+        assert!(names.contains(&"ipv4_lpm+ipv6_lpm"), "{names:?}");
+        assert!(names.contains(&"ipv4_host+ipv6_host"), "{names:?}");
+        assert_eq!(names.len(), 8, "{names:?}");
+    }
+
+    #[test]
+    fn ecmp_script_runs_in_situ() {
+        let mut flow = rp4_flow();
+        let before: Vec<String> = flow
+            .design
+            .programmed()
+            .map(|(_, t)| t.stage_name.clone())
+            .collect();
+        let outcome = flow
+            .run_script(programs::ECMP_SCRIPT, &programs::bundled_sources)
+            .unwrap();
+        assert!(outcome.compile_us > 0.0);
+        assert!(outcome.report.load_us > 0.0);
+        let stats = outcome.update_stats.unwrap();
+        // Incremental: only a couple of template writes, not a redeploy.
+        assert!(stats.template_writes <= 3, "{stats:?}");
+        assert!(stats.new_tables.contains(&"ecmp_ipv4".to_string()));
+        assert!(stats.removed_tables.contains(&"nexthop".to_string()));
+        let after: Vec<String> = flow
+            .design
+            .programmed()
+            .map(|(_, t)| t.stage_name.clone())
+            .collect();
+        assert!(after.iter().any(|n| n == "ecmp"), "{after:?}");
+        assert!(!after.iter().any(|n| n == "nexthop"), "{after:?}");
+        assert_ne!(before, after);
+        // Table ops now validate against the regenerated APIs.
+        flow.run_script(
+            "table_add ecmp_ipv4 set_bd_dmac 0 0 0 0 => 2 0x020202030301",
+            &programs::bundled_sources,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn srv6_script_links_headers() {
+        let mut flow = rp4_flow();
+        flow.run_script(programs::SRV6_SCRIPT, &programs::bundled_sources)
+            .unwrap();
+        let edges = flow.design.linkage.edges();
+        assert!(edges.contains(&("ipv6".to_string(), 43, "srh".to_string())));
+        assert!(edges.contains(&("srh".to_string(), 41, "ipv6".to_string())));
+        // Reserved plain-L3 linkage still present.
+        assert!(edges.contains(&("ipv6".to_string(), 17, "udp".to_string())));
+        // Device-side linkage matches the controller's view.
+        assert!(flow
+            .device
+            .linkage
+            .edges()
+            .contains(&("ipv6".to_string(), 43, "srh".to_string())));
+    }
+
+    #[test]
+    fn probe_script_then_unload_roundtrip() {
+        let mut flow = rp4_flow();
+        flow.run_script(programs::FLOWPROBE_SCRIPT, &programs::bundled_sources)
+            .unwrap();
+        assert!(flow.design.tables.contains_key("flow_probe"));
+        let n_with_probe = flow.design.programmed().count();
+        let out = flow
+            .run_script("unload --func_name probe", &programs::bundled_sources)
+            .unwrap();
+        let stats = out.update_stats.unwrap();
+        assert!(stats.removed_tables.contains(&"flow_probe".to_string()));
+        assert_eq!(flow.design.programmed().count(), n_with_probe - 1);
+        // The bridged graph keeps the base pipeline functional.
+        flow.design.validate().unwrap();
+    }
+
+    #[test]
+    fn bad_table_add_rejected_before_device() {
+        let mut flow = rp4_flow();
+        let e = flow
+            .run_script("table_add port_map set_ifindex 1 2 => 3", &|_| None)
+            .unwrap_err();
+        assert!(matches!(e, ControllerError::Api(_)), "{e}");
+    }
+
+    #[test]
+    fn p4_flow_update_repopulates_everything() {
+        let (mut flow, t_c0, r0) = P4Flow::new(
+            PisaSwitch::new(CostModel::software()),
+            programs::BASE_P4,
+            PisaTarget::bmv2(),
+        )
+        .unwrap();
+        assert!(t_c0 > 0.0);
+        assert!(r0.load_us > 0.0);
+        // Install some entries.
+        flow.table_add(
+            "port_map",
+            "set_ifindex",
+            &[KeyToken::Exact(0)],
+            &[10],
+            0,
+        )
+        .unwrap();
+        flow.table_add("bd_vrf", "set_bd_vrf", &[KeyToken::Exact(10)], &[1, 1], 0)
+            .unwrap();
+        assert_eq!(flow.tracked_entries(), 2);
+
+        // "Update" to the ECMP variant: full recompile + swap + repopulate.
+        let (t_c1, r1) = flow
+            .update_source(programs::BASE_ECMP_P4.to_string())
+            .unwrap();
+        assert!(t_c1 > 0.0);
+        assert_eq!(r1.entries_written, 2, "all entries replayed");
+        assert!(r1.stall_us > 0.0);
+        // Device really holds the replayed entries.
+        assert_eq!(flow.device.table("port_map").unwrap().len(), 1);
+        assert!(flow.device.table("ecmp_ipv4").is_some());
+    }
+}

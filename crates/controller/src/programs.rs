@@ -1,0 +1,115 @@
+//! Embedded copies of the repository's `programs/` assets: the base design
+//! in rP4 and P4, the three use-case snippets, their load scripts, and the
+//! use-case-integrated full P4 variants the conventional flow recompiles.
+//!
+//! Embedding keeps examples, tests, and benches independent of the working
+//! directory.
+
+/// The base L2/L3 design (Fig. 4 stages A–J), rP4.
+pub const BASE_RP4: &str = include_str!("../../../programs/base.rp4");
+/// The base design, P4-16.
+pub const BASE_P4: &str = include_str!("../../../programs/base.p4");
+
+/// C1 — ECMP snippet (Fig. 5(a)).
+pub const ECMP_RP4: &str = include_str!("../../../programs/ecmp.rp4");
+/// C1 — load script (Fig. 5(b) pattern).
+pub const ECMP_SCRIPT: &str = include_str!("../../../programs/ecmp.script");
+/// C1 — base + ECMP integrated, full P4 (conventional flow input).
+pub const BASE_ECMP_P4: &str = include_str!("../../../programs/base_ecmp.p4");
+
+/// C2 — SRv6 snippet.
+pub const SRV6_RP4: &str = include_str!("../../../programs/srv6.rp4");
+/// C2 — load script (Fig. 5(c) pattern).
+pub const SRV6_SCRIPT: &str = include_str!("../../../programs/srv6.script");
+/// C2 — base + SRv6 integrated, full P4.
+pub const BASE_SRV6_P4: &str = include_str!("../../../programs/base_srv6.p4");
+
+/// C3 — flow-probe snippet.
+pub const FLOWPROBE_RP4: &str = include_str!("../../../programs/flowprobe.rp4");
+/// C3 — load script.
+pub const FLOWPROBE_SCRIPT: &str = include_str!("../../../programs/flowprobe.script");
+/// C3 — base + probe integrated, full P4.
+pub const BASE_PROBE_P4: &str = include_str!("../../../programs/base_probe.p4");
+
+/// Resolves the snippet file names used by the bundled scripts.
+pub fn bundled_sources(name: &str) -> Option<String> {
+    match name {
+        "ecmp.rp4" => Some(ECMP_RP4.to_string()),
+        "srv6.rp4" => Some(SRV6_RP4.to_string()),
+        "flowprobe.rp4" => Some(FLOWPROBE_RP4.to_string()),
+        "base.rp4" => Some(BASE_RP4.to_string()),
+        _ => None,
+    }
+}
+
+/// `(use case id, rP4 snippet, load script, integrated full P4)` for the
+/// three evaluation use cases, in paper order.
+pub fn use_cases() -> [(&'static str, &'static str, &'static str, &'static str); 3] {
+    [
+        ("C1-ECMP", ECMP_RP4, ECMP_SCRIPT, BASE_ECMP_P4),
+        ("C2-SRv6", SRV6_RP4, SRV6_SCRIPT, BASE_SRV6_P4),
+        ("C3-FlowProbe", FLOWPROBE_RP4, FLOWPROBE_SCRIPT, BASE_PROBE_P4),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_rp4_assets_parse() {
+        for (name, src) in [
+            ("base", BASE_RP4),
+            ("ecmp", ECMP_RP4),
+            ("srv6", SRV6_RP4),
+            ("flowprobe", FLOWPROBE_RP4),
+        ] {
+            rp4_lang::parse(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn all_p4_assets_parse_and_build_hlir() {
+        for (name, src) in [
+            ("base", BASE_P4),
+            ("ecmp", BASE_ECMP_P4),
+            ("srv6", BASE_SRV6_P4),
+            ("probe", BASE_PROBE_P4),
+        ] {
+            let ast = p4_lang::parse_p4(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            p4_lang::build_hlir(&ast).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn all_scripts_parse() {
+        for (name, src) in [
+            ("ecmp", ECMP_SCRIPT),
+            ("srv6", SRV6_SCRIPT),
+            ("flowprobe", FLOWPROBE_SCRIPT),
+        ] {
+            crate::script::parse_script(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn base_rp4_passes_semantics() {
+        let prog = rp4_lang::parse(BASE_RP4).unwrap();
+        rp4_lang::check(&prog, None).unwrap();
+    }
+
+    #[test]
+    fn snippets_check_against_base() {
+        let base = rp4_lang::parse(BASE_RP4).unwrap();
+        for (name, src) in [
+            ("ecmp", ECMP_RP4),
+            ("srv6", SRV6_RP4),
+            ("flowprobe", FLOWPROBE_RP4),
+        ] {
+            let snippet = rp4_lang::parse(src).unwrap();
+            if let Err(errs) = rp4_lang::check(&snippet, Some(&base)) {
+                panic!("{name}: {errs:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Typed table-entry construction against generated APIs.
+//!
+//! The controller validates every `table_add`/`table_del` against the API
+//! descriptors rp4bc emitted — field counts, match kinds, widths, action
+//! arity — before any message reaches a device.
+
+use ipsa_core::table::{ActionCall, KeyMatch, TableEntry};
+use ipsa_netpkt::bitfield::width_mask;
+use rp4c::api_gen::TableApi;
+
+use crate::script::KeyToken;
+
+/// API-level validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// Explanation.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "table API error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ApiError> {
+    Err(ApiError { msg: msg.into() })
+}
+
+/// Finds a table's API descriptor.
+pub fn find_api<'a>(apis: &'a [TableApi], table: &str) -> Result<&'a TableApi, ApiError> {
+    apis.iter()
+        .find(|a| a.table == table)
+        .ok_or_else(|| ApiError {
+            msg: format!("unknown table `{table}`"),
+        })
+}
+
+/// Converts script key tokens into validated [`KeyMatch`]es for a table.
+pub fn build_key(api: &TableApi, keys: &[KeyToken]) -> Result<Vec<KeyMatch>, ApiError> {
+    if keys.len() != api.key.len() {
+        return err(format!(
+            "table `{}` takes {} key fields, got {}",
+            api.table,
+            api.key.len(),
+            keys.len()
+        ));
+    }
+    keys.iter()
+        .zip(&api.key)
+        .map(|(tok, field)| {
+            let mask = width_mask(field.bits);
+            let check = |v: u128, what: &str| -> Result<u128, ApiError> {
+                if v & !mask != 0 {
+                    err(format!(
+                        "table `{}` field `{}`: {what} {v:#x} exceeds {} bits",
+                        api.table, field.name, field.bits
+                    ))
+                } else {
+                    Ok(v)
+                }
+            };
+            match (tok, field.kind.as_str()) {
+                (KeyToken::Exact(v), "exact" | "hash") => Ok(KeyMatch::Exact(check(*v, "value")?)),
+                (KeyToken::Lpm { value, prefix_len }, "lpm") => {
+                    if *prefix_len > field.bits {
+                        return err(format!(
+                            "table `{}` field `{}`: /{prefix_len} exceeds width {}",
+                            api.table, field.name, field.bits
+                        ));
+                    }
+                    Ok(KeyMatch::Lpm {
+                        value: check(*value, "value")?,
+                        prefix_len: *prefix_len,
+                    })
+                }
+                (KeyToken::Ternary { value, mask: m }, "ternary") => Ok(KeyMatch::Ternary {
+                    value: check(*value, "value")?,
+                    mask: check(*m, "mask")?,
+                }),
+                (tok, kind) => err(format!(
+                    "table `{}` field `{}` is `{kind}`, got {tok:?}",
+                    api.table, field.name
+                )),
+            }
+        })
+        .collect()
+}
+
+/// Builds a fully validated entry from script tokens.
+pub fn build_entry(
+    api: &TableApi,
+    action: &str,
+    keys: &[KeyToken],
+    args: &[u128],
+    priority: i32,
+) -> Result<TableEntry, ApiError> {
+    let act = api
+        .actions
+        .iter()
+        .find(|a| a.name == action)
+        .ok_or_else(|| ApiError {
+            msg: format!("table `{}` does not offer action `{action}`", api.table),
+        })?;
+    if args.len() != act.params.len() {
+        return err(format!(
+            "action `{action}` takes {} args, got {}",
+            act.params.len(),
+            args.len()
+        ));
+    }
+    for (v, (pname, bits)) in args.iter().zip(&act.params) {
+        if *v & !width_mask(*bits) != 0 {
+            return err(format!(
+                "action `{action}` param `{pname}`: {v:#x} exceeds {bits} bits"
+            ));
+        }
+    }
+    Ok(TableEntry {
+        key: build_key(api, keys)?,
+        priority,
+        action: ActionCall::new(action, args.to_vec()),
+        counter: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp4c::api_gen::{ApiAction, ApiKeyField};
+
+    fn api() -> TableApi {
+        TableApi {
+            table: "fib".into(),
+            key: vec![ApiKeyField {
+                name: "ipv4.dst_addr".into(),
+                bits: 32,
+                kind: "lpm".into(),
+            }],
+            actions: vec![ApiAction {
+                name: "set_nh".into(),
+                tag: 1,
+                params: vec![("nh".into(), 16)],
+            }],
+            size: 128,
+            counters: false,
+        }
+    }
+
+    #[test]
+    fn builds_valid_entry() {
+        let e = build_entry(
+            &api(),
+            "set_nh",
+            &[KeyToken::Lpm {
+                value: 0x0a000000,
+                prefix_len: 8,
+            }],
+            &[42],
+            0,
+        )
+        .unwrap();
+        assert_eq!(e.action.args, vec![42]);
+        assert!(matches!(e.key[0], KeyMatch::Lpm { prefix_len: 8, .. }));
+    }
+
+    #[test]
+    fn rejects_wrong_kind_arity_width() {
+        let a = api();
+        assert!(build_entry(&a, "set_nh", &[KeyToken::Exact(1)], &[42], 0).is_err());
+        assert!(build_entry(
+            &a,
+            "set_nh",
+            &[KeyToken::Lpm {
+                value: 0,
+                prefix_len: 8
+            }],
+            &[],
+            0
+        )
+        .is_err());
+        assert!(build_entry(
+            &a,
+            "set_nh",
+            &[KeyToken::Lpm {
+                value: 0,
+                prefix_len: 8
+            }],
+            &[0x1_0000],
+            0
+        )
+        .is_err());
+        assert!(build_entry(
+            &a,
+            "set_nh",
+            &[KeyToken::Lpm {
+                value: 0,
+                prefix_len: 40
+            }],
+            &[1],
+            0
+        )
+        .is_err());
+        assert!(build_entry(
+            &a,
+            "ghost",
+            &[KeyToken::Lpm {
+                value: 0,
+                prefix_len: 8
+            }],
+            &[1],
+            0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn unknown_table_reported() {
+        assert!(find_api(&[api()], "nope").is_err());
+        assert!(find_api(&[api()], "fib").is_ok());
+    }
+}

@@ -1,0 +1,197 @@
+//! The TSP ↔ memory-block crossbar.
+//!
+//! A statically configured crossbar interconnects stage processors and the
+//! memory pool (Sec. 2.4). Two connectivity classes are modeled, mirroring
+//! the dRMT-style tradeoff the paper cites: a **full** crossbar (any TSP can
+//! reach any block) and a **clustered** crossbar (TSP cluster *i* can only
+//! reach memory cluster *i*; moving a logical stage across clusters forces a
+//! table migration).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+
+/// Connectivity class.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrossbarKind {
+    /// Any TSP may connect to any block.
+    Full,
+    /// TSP slots and block ids are partitioned into equally indexed
+    /// clusters; connections must stay within a cluster pair.
+    Clustered {
+        /// `tsp_clusters[i]` lists the TSP slots of cluster `i`.
+        tsp_clusters: Vec<Vec<usize>>,
+        /// `mem_clusters[i]` lists the block ids of cluster `i`.
+        mem_clusters: Vec<Vec<usize>>,
+    },
+}
+
+/// The crossbar configuration: which blocks each TSP slot can currently
+/// reach.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Crossbar {
+    /// Connectivity class (fixed at chip design time).
+    pub kind: CrossbarKind,
+    conns: BTreeMap<usize, BTreeSet<usize>>,
+}
+
+impl Crossbar {
+    /// New crossbar of the given class with no connections.
+    pub fn new(kind: CrossbarKind) -> Self {
+        Crossbar {
+            kind,
+            conns: BTreeMap::new(),
+        }
+    }
+
+    /// Full crossbar shorthand.
+    pub fn full() -> Self {
+        Self::new(CrossbarKind::Full)
+    }
+
+    /// Builds a clustered crossbar by evenly partitioning `slots` TSPs and
+    /// `blocks` memory blocks into `clusters` groups.
+    pub fn clustered(slots: usize, blocks: usize, clusters: usize) -> Self {
+        let clusters = clusters.max(1);
+        let part = |n: usize| -> Vec<Vec<usize>> {
+            let mut out = vec![Vec::new(); clusters];
+            for i in 0..n {
+                out[i * clusters / n.max(1)].push(i);
+            }
+            out
+        };
+        Self::new(CrossbarKind::Clustered {
+            tsp_clusters: part(slots),
+            mem_clusters: part(blocks),
+        })
+    }
+
+    /// Cluster index of a TSP slot (None for full crossbars).
+    pub fn tsp_cluster(&self, slot: usize) -> Option<usize> {
+        match &self.kind {
+            CrossbarKind::Full => None,
+            CrossbarKind::Clustered { tsp_clusters, .. } => tsp_clusters
+                .iter()
+                .position(|c| c.contains(&slot)),
+        }
+    }
+
+    /// Cluster index of a memory block (None for full crossbars).
+    pub fn mem_cluster(&self, block: usize) -> Option<usize> {
+        match &self.kind {
+            CrossbarKind::Full => None,
+            CrossbarKind::Clustered { mem_clusters, .. } => {
+                mem_clusters.iter().position(|c| c.contains(&block))
+            }
+        }
+    }
+
+    /// Connects a TSP slot to a set of blocks (replacing its previous
+    /// connections). Clustered crossbars reject out-of-cluster blocks.
+    pub fn connect(&mut self, slot: usize, blocks: &[usize]) -> Result<(), CoreError> {
+        if let CrossbarKind::Clustered { .. } = &self.kind {
+            let tc = self.tsp_cluster(slot).ok_or_else(|| {
+                CoreError::CrossbarViolation(format!("slot {slot} not in any cluster"))
+            })?;
+            for &b in blocks {
+                let mc = self.mem_cluster(b).ok_or_else(|| {
+                    CoreError::CrossbarViolation(format!("block {b} not in any cluster"))
+                })?;
+                if mc != tc {
+                    return Err(CoreError::CrossbarViolation(format!(
+                        "slot {slot} (cluster {tc}) cannot reach block {b} (cluster {mc})"
+                    )));
+                }
+            }
+        }
+        self.conns.insert(slot, blocks.iter().copied().collect());
+        Ok(())
+    }
+
+    /// Removes all connections of a slot.
+    pub fn disconnect(&mut self, slot: usize) {
+        self.conns.remove(&slot);
+    }
+
+    /// Blocks a slot can currently reach.
+    pub fn reachable(&self, slot: usize) -> BTreeSet<usize> {
+        self.conns.get(&slot).cloned().unwrap_or_default()
+    }
+
+    /// Whether a slot can reach a specific block.
+    pub fn can_reach(&self, slot: usize, block: usize) -> bool {
+        self.conns.get(&slot).is_some_and(|s| s.contains(&block))
+    }
+
+    /// Total configured connection count (a first-order port/area cost used
+    /// by the hardware model).
+    pub fn port_count(&self) -> usize {
+        self.conns.values().map(|s| s.len()).sum()
+    }
+
+    /// Current connections as `(slot, blocks)` pairs, sorted.
+    pub fn connections(&self) -> Vec<(usize, Vec<usize>)> {
+        self.conns
+            .iter()
+            .map(|(&s, b)| (s, b.iter().copied().collect()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_crossbar_accepts_anything() {
+        let mut x = Crossbar::full();
+        x.connect(0, &[5, 9, 100]).unwrap();
+        assert!(x.can_reach(0, 9));
+        assert!(!x.can_reach(1, 9));
+        assert_eq!(x.port_count(), 3);
+    }
+
+    #[test]
+    fn connect_replaces_previous() {
+        let mut x = Crossbar::full();
+        x.connect(0, &[1, 2]).unwrap();
+        x.connect(0, &[3]).unwrap();
+        assert!(!x.can_reach(0, 1));
+        assert!(x.can_reach(0, 3));
+        x.disconnect(0);
+        assert!(x.reachable(0).is_empty());
+    }
+
+    #[test]
+    fn clustered_partitions_evenly() {
+        let x = Crossbar::clustered(8, 16, 2);
+        assert_eq!(x.tsp_cluster(0), Some(0));
+        assert_eq!(x.tsp_cluster(7), Some(1));
+        assert_eq!(x.mem_cluster(0), Some(0));
+        assert_eq!(x.mem_cluster(15), Some(1));
+    }
+
+    #[test]
+    fn clustered_rejects_cross_cluster() {
+        let mut x = Crossbar::clustered(8, 16, 2);
+        // Slot 0 is cluster 0; block 15 is cluster 1.
+        assert!(matches!(
+            x.connect(0, &[15]),
+            Err(CoreError::CrossbarViolation(_))
+        ));
+        // Same cluster is fine.
+        x.connect(0, &[0, 1]).unwrap();
+        x.connect(7, &[15]).unwrap();
+    }
+
+    #[test]
+    fn clustered_rejects_unknown_slot() {
+        let mut x = Crossbar::clustered(4, 8, 2);
+        assert!(matches!(
+            x.connect(99, &[0]),
+            Err(CoreError::CrossbarViolation(_))
+        ));
+    }
+}

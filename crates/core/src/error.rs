@@ -1,0 +1,128 @@
+//! Unified error type for IPSA core operations.
+
+use ipsa_netpkt::packet::PacketError;
+
+/// Errors raised by core data-plane operations: template execution, table
+/// management, memory allocation, and device configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Packet-level failure (parse, field access, truncation).
+    Packet(PacketError),
+    /// Referenced table is not installed.
+    UnknownTable(String),
+    /// Referenced action is not defined.
+    UnknownAction(String),
+    /// Table cannot accept more entries.
+    TableFull {
+        /// Table name.
+        table: String,
+        /// Configured capacity.
+        capacity: usize,
+    },
+    /// Entry key shape does not match the table key definition.
+    KeyMismatch {
+        /// Table name.
+        table: String,
+        /// Explanation of the mismatch.
+        detail: String,
+    },
+    /// No such entry to delete.
+    NoSuchEntry(String),
+    /// Not enough free memory blocks of the required kind.
+    AllocFailed {
+        /// Block kind requested ("sram"/"tcam").
+        kind: &'static str,
+        /// Number of blocks requested.
+        requested: usize,
+        /// Number available.
+        available: usize,
+    },
+    /// Block id out of range or owned by another table.
+    BlockConflict {
+        /// Offending block id.
+        block: usize,
+        /// Explanation.
+        detail: String,
+    },
+    /// TSP slot index outside the physical pipeline.
+    SlotOutOfRange {
+        /// Offending slot.
+        slot: usize,
+        /// Number of physical slots.
+        slots: usize,
+    },
+    /// Selector configuration is structurally invalid.
+    InvalidSelector(String),
+    /// Crossbar reconfiguration violates the crossbar's connectivity class.
+    CrossbarViolation(String),
+    /// An action parameter index was out of range for the supplied data.
+    BadActionData {
+        /// Action name.
+        action: String,
+        /// Parameter index requested.
+        index: usize,
+        /// Number of parameters supplied.
+        supplied: usize,
+    },
+    /// The device rejected a control message it does not support.
+    Unsupported(String),
+    /// Generic configuration error with context.
+    Config(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Packet(e) => write!(f, "{e}"),
+            CoreError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            CoreError::UnknownAction(a) => write!(f, "unknown action `{a}`"),
+            CoreError::TableFull { table, capacity } => {
+                write!(f, "table `{table}` full (capacity {capacity})")
+            }
+            CoreError::KeyMismatch { table, detail } => {
+                write!(f, "key mismatch for table `{table}`: {detail}")
+            }
+            CoreError::NoSuchEntry(t) => write!(f, "no matching entry in table `{t}`"),
+            CoreError::AllocFailed {
+                kind,
+                requested,
+                available,
+            } => write!(
+                f,
+                "allocation failed: need {requested} {kind} blocks, {available} free"
+            ),
+            CoreError::BlockConflict { block, detail } => {
+                write!(f, "block {block} conflict: {detail}")
+            }
+            CoreError::SlotOutOfRange { slot, slots } => {
+                write!(f, "TSP slot {slot} out of range (pipeline has {slots})")
+            }
+            CoreError::InvalidSelector(d) => write!(f, "invalid selector config: {d}"),
+            CoreError::CrossbarViolation(d) => write!(f, "crossbar violation: {d}"),
+            CoreError::BadActionData {
+                action,
+                index,
+                supplied,
+            } => write!(
+                f,
+                "action `{action}` references param {index} but entry supplies {supplied}"
+            ),
+            CoreError::Unsupported(d) => write!(f, "unsupported operation: {d}"),
+            CoreError::Config(d) => write!(f, "configuration error: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<PacketError> for CoreError {
+    fn from(e: PacketError) -> Self {
+        CoreError::Packet(e)
+    }
+}
+
+impl From<ipsa_netpkt::header::HeaderError> for CoreError {
+    fn from(e: ipsa_netpkt::header::HeaderError) -> Self {
+        CoreError::Packet(PacketError::Header(e))
+    }
+}

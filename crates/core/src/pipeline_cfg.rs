@@ -1,0 +1,150 @@
+//! Elastic-pipeline selector configuration.
+//!
+//! All TSPs are physically chained; the selector decides which prefix of the
+//! chain feeds the Traffic Manager (ingress), which suffix receives from it
+//! (egress), and which TSPs are bypassed entirely and held in a low-power
+//! idle state (Sec. 2.3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+
+/// Role of one physical TSP slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SlotRole {
+    /// Processes packets before the Traffic Manager.
+    Ingress,
+    /// Processes packets after the Traffic Manager.
+    Egress,
+    /// Excluded from the pipeline; idle / low power.
+    Bypass,
+}
+
+/// The selector configuration: a role per physical slot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SelectorConfig {
+    /// Role of each slot, in physical chain order.
+    pub roles: Vec<SlotRole>,
+}
+
+impl SelectorConfig {
+    /// All slots bypassed (a freshly booted device).
+    pub fn all_bypass(slots: usize) -> Self {
+        SelectorConfig {
+            roles: vec![SlotRole::Bypass; slots],
+        }
+    }
+
+    /// First `ingress` slots ingress, last `egress` slots egress, the rest
+    /// bypassed. Errors if they overlap.
+    pub fn split(slots: usize, ingress: usize, egress: usize) -> Result<Self, CoreError> {
+        if ingress + egress > slots {
+            return Err(CoreError::InvalidSelector(format!(
+                "{ingress} ingress + {egress} egress > {slots} slots"
+            )));
+        }
+        let mut roles = vec![SlotRole::Bypass; slots];
+        roles[..ingress].fill(SlotRole::Ingress);
+        roles[slots - egress..].fill(SlotRole::Egress);
+        Ok(SelectorConfig { roles })
+    }
+
+    /// Number of physical slots.
+    pub fn slots(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// Slots with a given role, in chain order.
+    pub fn slots_with(&self, role: SlotRole) -> Vec<usize> {
+        self.roles
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r == role)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Ingress slots in order.
+    pub fn ingress_slots(&self) -> Vec<usize> {
+        self.slots_with(SlotRole::Ingress)
+    }
+
+    /// Egress slots in order.
+    pub fn egress_slots(&self) -> Vec<usize> {
+        self.slots_with(SlotRole::Egress)
+    }
+
+    /// Active (non-bypassed) slot count — drives the power model.
+    pub fn active_count(&self) -> usize {
+        self.roles.iter().filter(|&&r| r != SlotRole::Bypass).count()
+    }
+
+    /// Structural validation: every ingress slot must precede every egress
+    /// slot (the TM sits at one point of the chain; a selector cannot route
+    /// a right-side TSP into ingress).
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let last_ingress = self
+            .roles
+            .iter()
+            .rposition(|&r| r == SlotRole::Ingress);
+        let first_egress = self.roles.iter().position(|&r| r == SlotRole::Egress);
+        if let (Some(li), Some(fe)) = (last_ingress, first_egress) {
+            if li > fe {
+                return Err(CoreError::InvalidSelector(format!(
+                    "ingress slot {li} after egress slot {fe}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_layout() {
+        let s = SelectorConfig::split(8, 3, 2).unwrap();
+        assert_eq!(s.ingress_slots(), vec![0, 1, 2]);
+        assert_eq!(s.egress_slots(), vec![6, 7]);
+        assert_eq!(s.active_count(), 5);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn overlapping_split_rejected() {
+        assert!(SelectorConfig::split(4, 3, 2).is_err());
+    }
+
+    #[test]
+    fn interleaved_roles_rejected() {
+        let s = SelectorConfig {
+            roles: vec![SlotRole::Egress, SlotRole::Ingress],
+        };
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn bypass_gaps_are_fine() {
+        let s = SelectorConfig {
+            roles: vec![
+                SlotRole::Ingress,
+                SlotRole::Bypass,
+                SlotRole::Ingress,
+                SlotRole::Bypass,
+                SlotRole::Egress,
+            ],
+        };
+        s.validate().unwrap();
+        assert_eq!(s.ingress_slots(), vec![0, 2]);
+        assert_eq!(s.active_count(), 3);
+    }
+
+    #[test]
+    fn all_bypass_boots_empty() {
+        let s = SelectorConfig::all_bypass(8);
+        assert_eq!(s.active_count(), 0);
+        s.validate().unwrap();
+    }
+}

@@ -1,0 +1,308 @@
+//! Matcher predicates.
+//!
+//! A TSP's matcher module guards each table with a predicate over header
+//! validity and field values — the compiled form of the `if/else` chains in
+//! rP4 matcher blocks (Fig. 5(a): `if (ipv4.isValid()) ecmp_ipv4.apply();`).
+//! Predicates are template *data*, serialized into TSP templates.
+
+use ipsa_netpkt::packet::Packet;
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::value::{EvalCtx, ValueRef};
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the comparison.
+    pub fn apply(self, a: u128, b: u128) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+/// A boolean predicate over a packet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Always true (unconditional branch / `else`).
+    True,
+    /// `header.isValid()`.
+    IsValid(String),
+    /// Logical negation.
+    Not(Box<Predicate>),
+    /// Logical conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Logical disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Field/metadata comparison. A comparison touching a field of an
+    /// absent header evaluates to `false` (the stage simply does not
+    /// apply to this packet).
+    Cmp {
+        /// Left operand.
+        lhs: ValueRef,
+        /// Operator.
+        op: CmpOp,
+        /// Right operand.
+        rhs: ValueRef,
+    },
+}
+
+impl Predicate {
+    /// Convenience `a == b`.
+    pub fn eq(lhs: ValueRef, rhs: ValueRef) -> Self {
+        Predicate::Cmp {
+            lhs,
+            op: CmpOp::Eq,
+            rhs,
+        }
+    }
+
+    /// Convenience conjunction.
+    pub fn and(a: Predicate, b: Predicate) -> Self {
+        Predicate::And(Box::new(a), Box::new(b))
+    }
+
+    /// Evaluates the predicate against a packet.
+    pub fn eval(&self, pkt: &Packet, ctx: &EvalCtx<'_>) -> Result<bool, CoreError> {
+        Ok(match self {
+            Predicate::True => true,
+            Predicate::IsValid(h) => pkt.is_valid(h),
+            Predicate::Not(p) => !p.eval(pkt, ctx)?,
+            Predicate::And(a, b) => a.eval(pkt, ctx)? && b.eval(pkt, ctx)?,
+            Predicate::Or(a, b) => a.eval(pkt, ctx)? || b.eval(pkt, ctx)?,
+            Predicate::Cmp { lhs, op, rhs } => {
+                match (lhs.read(pkt, ctx)?, rhs.read(pkt, ctx)?) {
+                    (Some(a), Some(b)) => op.apply(a, b),
+                    _ => false,
+                }
+            }
+        })
+    }
+
+    /// Headers whose *validity* or fields this predicate inspects — the
+    /// parse requirements the predicate imposes on its stage.
+    pub fn read_headers(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_headers(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_headers(&self, out: &mut Vec<String>) {
+        match self {
+            Predicate::True => {}
+            Predicate::IsValid(h) => out.push(h.clone()),
+            Predicate::Not(p) => p.collect_headers(out),
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.collect_headers(out);
+                b.collect_headers(out);
+            }
+            Predicate::Cmp { lhs, rhs, .. } => {
+                out.extend(lhs.read_headers().into_iter().map(str::to_string));
+                out.extend(rhs.read_headers().into_iter().map(str::to_string));
+            }
+        }
+    }
+
+    /// Metadata fields this predicate reads (for stage dependency analysis).
+    pub fn read_meta(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_meta(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_meta(&self, out: &mut Vec<String>) {
+        match self {
+            Predicate::Not(p) => p.collect_meta(out),
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.collect_meta(out);
+                b.collect_meta(out);
+            }
+            Predicate::Cmp { lhs, rhs, .. } => {
+                for v in [lhs, rhs] {
+                    if let ValueRef::Meta(m) = v {
+                        out.push(m.clone());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Syntactic mutual-exclusion check used by the stage-merging optimizer:
+    /// returns true when `self` and `other` can provably never both hold.
+    ///
+    /// The implemented rules cover the patterns rp4fc emits:
+    /// - `IsValid(h)` vs `Not(IsValid(h))`
+    /// - `x == c1` vs `x == c2` with `c1 != c2` (same `x`)
+    /// - conjunctions containing an exclusive pair
+    /// - `Not(p)` as a factor of one side when *all* of `p`'s conjunctive
+    ///   factors appear on the other side (the shape `else if` flattening
+    ///   produces: `!(a && b) && c` vs `a && b && …`)
+    /// - `IsValid(ipv4)` vs `IsValid(ipv6)` is **not** assumed exclusive
+    ///   (tunnels exist); exclusivity must be structural.
+    pub fn mutually_exclusive(&self, other: &Predicate) -> bool {
+        // Decompose conjunctions into factor lists.
+        let a = self.conj_factors();
+        let b = other.conj_factors();
+        for fa in &a {
+            for fb in &b {
+                if factors_exclusive(fa, fb) {
+                    return true;
+                }
+            }
+        }
+        // Negated-conjunction rule, both directions.
+        let negation_covers = |fs: &[&Predicate], others: &[&Predicate]| {
+            fs.iter().any(|f| match f {
+                Predicate::Not(p) => {
+                    let inner = p.conj_factors();
+                    !inner.is_empty() && inner.iter().all(|i| others.contains(i))
+                }
+                _ => false,
+            })
+        };
+        negation_covers(&a, &b) || negation_covers(&b, &a)
+    }
+
+    fn conj_factors(&self) -> Vec<&Predicate> {
+        match self {
+            Predicate::And(a, b) => {
+                let mut v = a.conj_factors();
+                v.extend(b.conj_factors());
+                v
+            }
+            p => vec![p],
+        }
+    }
+}
+
+fn factors_exclusive(a: &Predicate, b: &Predicate) -> bool {
+    match (a, b) {
+        (Predicate::IsValid(h), Predicate::Not(p)) | (Predicate::Not(p), Predicate::IsValid(h)) => {
+            matches!(&**p, Predicate::IsValid(h2) if h2 == h)
+        }
+        (
+            Predicate::Cmp {
+                lhs: l1,
+                op: CmpOp::Eq,
+                rhs: r1,
+            },
+            Predicate::Cmp {
+                lhs: l2,
+                op: CmpOp::Eq,
+                rhs: r2,
+            },
+        ) => {
+            // x == c1 vs x == c2, c1 != c2
+            l1 == l2
+                && matches!((r1, r2), (ValueRef::Const(c1), ValueRef::Const(c2)) if c1 != c2)
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsa_netpkt::builder::{self, Ipv4UdpSpec};
+    use ipsa_netpkt::linkage::HeaderLinkage;
+
+    fn parsed_v4() -> (HeaderLinkage, Packet) {
+        let linkage = HeaderLinkage::standard();
+        let mut p = builder::ipv4_udp_packet(&Ipv4UdpSpec::default());
+        p.ensure_parsed(&linkage, "udp").unwrap();
+        (linkage, p)
+    }
+
+    #[test]
+    fn validity_and_comparisons() {
+        let (linkage, p) = parsed_v4();
+        let ctx = EvalCtx::bare(&linkage);
+        assert!(Predicate::IsValid("ipv4".into()).eval(&p, &ctx).unwrap());
+        assert!(!Predicate::IsValid("ipv6".into()).eval(&p, &ctx).unwrap());
+        let ttl_64 = Predicate::eq(ValueRef::field("ipv4", "ttl"), ValueRef::Const(64));
+        assert!(ttl_64.eval(&p, &ctx).unwrap());
+        let gt = Predicate::Cmp {
+            lhs: ValueRef::field("udp", "dst_port"),
+            op: CmpOp::Gt,
+            rhs: ValueRef::Const(4000),
+        };
+        assert!(gt.eval(&p, &ctx).unwrap());
+    }
+
+    #[test]
+    fn absent_header_comparison_is_false_not_error() {
+        let (linkage, p) = parsed_v4();
+        let ctx = EvalCtx::bare(&linkage);
+        let cmp = Predicate::eq(ValueRef::field("ipv6", "hop_limit"), ValueRef::Const(64));
+        assert!(!cmp.eval(&p, &ctx).unwrap());
+        // But its negation is true: Not(false).
+        assert!(Predicate::Not(Box::new(cmp)).eval(&p, &ctx).unwrap());
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let (linkage, p) = parsed_v4();
+        let ctx = EvalCtx::bare(&linkage);
+        let t = Predicate::True;
+        let f = Predicate::IsValid("ipv6".into());
+        assert!(Predicate::and(t.clone(), Predicate::Not(Box::new(f.clone())))
+            .eval(&p, &ctx)
+            .unwrap());
+        assert!(Predicate::Or(Box::new(f.clone()), Box::new(t.clone()))
+            .eval(&p, &ctx)
+            .unwrap());
+    }
+
+    #[test]
+    fn read_sets() {
+        let pred = Predicate::and(
+            Predicate::IsValid("ipv4".into()),
+            Predicate::eq(ValueRef::Meta("l3".into()), ValueRef::Const(1)),
+        );
+        assert_eq!(pred.read_headers(), vec!["ipv4".to_string()]);
+        assert_eq!(pred.read_meta(), vec!["l3".to_string()]);
+    }
+
+    #[test]
+    fn exclusivity_rules() {
+        let v4 = Predicate::IsValid("ipv4".into());
+        let not_v4 = Predicate::Not(Box::new(v4.clone()));
+        assert!(v4.mutually_exclusive(&not_v4));
+        assert!(!v4.mutually_exclusive(&Predicate::IsValid("ipv6".into())));
+
+        let m1 = Predicate::eq(ValueRef::Meta("mode".into()), ValueRef::Const(1));
+        let m2 = Predicate::eq(ValueRef::Meta("mode".into()), ValueRef::Const(2));
+        assert!(m1.mutually_exclusive(&m2));
+        assert!(!m1.mutually_exclusive(&m1));
+
+        // Conjunction containing an exclusive factor.
+        let c = Predicate::and(v4.clone(), m1.clone());
+        assert!(c.mutually_exclusive(&m2));
+    }
+}

@@ -1,0 +1,963 @@
+//! Match-action tables: definitions, entries, and lookup semantics.
+//!
+//! Supports the four match kinds the use cases need: `exact` (hash lookup),
+//! `lpm` (FIB longest-prefix match), `ternary` (TCAM with priorities), and
+//! `hash` (ECMP-style selector — the key is hashed to pick one of the
+//! installed members, "similar with P4's selector" per Fig. 5(a)).
+//!
+//! The [`Table`] struct is the *software index*; the authoritative entry
+//! storage lives in the disaggregated memory pool (see [`crate::memory`]),
+//! which the storage module keeps in sync.
+
+use std::collections::HashMap;
+
+use ipsa_netpkt::bitfield::width_mask;
+use ipsa_netpkt::packet::Packet;
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::hash::hash_values;
+use crate::value::{EvalCtx, ValueRef};
+
+/// How a key field matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MatchKind {
+    /// Exact value match.
+    Exact,
+    /// Longest-prefix match.
+    Lpm,
+    /// Value/mask with priority (TCAM).
+    Ternary,
+    /// Selector: field participates in the ECMP hash.
+    Hash,
+}
+
+/// One field of a table key.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KeyField {
+    /// Where the field value comes from at lookup time.
+    pub source: ValueRef,
+    /// Field width in bits.
+    pub bits: usize,
+    /// Match kind.
+    pub kind: MatchKind,
+}
+
+/// An action invocation: name plus immediate arguments.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActionCall {
+    /// Action name.
+    pub action: String,
+    /// Argument values (bound to the action's parameters).
+    pub args: Vec<u128>,
+}
+
+impl ActionCall {
+    /// `NoAction` with no arguments.
+    pub fn no_action() -> Self {
+        ActionCall {
+            action: "NoAction".into(),
+            args: vec![],
+        }
+    }
+
+    /// Convenience constructor.
+    pub fn new(action: impl Into<String>, args: Vec<u128>) -> Self {
+        ActionCall {
+            action: action.into(),
+            args,
+        }
+    }
+}
+
+/// Table definition (the schema; entries are runtime state).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableDef {
+    /// Table name, unique within a design.
+    pub name: String,
+    /// Key fields in order.
+    pub key: Vec<KeyField>,
+    /// Capacity in entries.
+    pub size: usize,
+    /// Actions this table may invoke; an entry's executor switch-tag is
+    /// `1 + index` of its action in this list.
+    pub actions: Vec<String>,
+    /// Action applied on miss (tag 0).
+    pub default_action: ActionCall,
+    /// Whether entries keep per-entry packet counters (C3 probe).
+    pub with_counters: bool,
+}
+
+impl TableDef {
+    /// True if any key field is ternary (table must live in TCAM).
+    pub fn is_ternary(&self) -> bool {
+        self.key.iter().any(|k| k.kind == MatchKind::Ternary)
+    }
+
+    /// True if the table is a hash selector (all key fields `hash`).
+    pub fn is_selector(&self) -> bool {
+        !self.key.is_empty() && self.key.iter().all(|k| k.kind == MatchKind::Hash)
+    }
+
+    /// Total key width in bits.
+    pub fn key_bits(&self) -> usize {
+        self.key.iter().map(|k| k.bits).sum()
+    }
+
+    /// Width of one stored entry in bits: key (doubled for ternary
+    /// value+mask; +8 prefix-length bits for LPM), an 8-bit action tag, and
+    /// `data_bits` of action data.
+    pub fn entry_width_bits(&self, data_bits: usize) -> usize {
+        let key = if self.is_ternary() {
+            self.key_bits() * 2
+        } else if self.key.iter().any(|k| k.kind == MatchKind::Lpm) {
+            self.key_bits() + 8
+        } else {
+            self.key_bits()
+        };
+        key + 8 + data_bits
+    }
+
+    /// Position-derived executor switch tag for an action name (`1 + index`),
+    /// or `None` if the action is not offered by this table.
+    pub fn action_tag(&self, action: &str) -> Option<u32> {
+        self.actions
+            .iter()
+            .position(|a| a == action)
+            .map(|i| (i + 1) as u32)
+    }
+}
+
+/// One key field of an installed entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KeyMatch {
+    /// Exact value.
+    Exact(u128),
+    /// Prefix of length `prefix_len` over the field's most-significant bits.
+    Lpm {
+        /// Prefix value (already aligned to the field width).
+        value: u128,
+        /// Prefix length in bits.
+        prefix_len: usize,
+    },
+    /// Value under mask.
+    Ternary {
+        /// Match value.
+        value: u128,
+        /// Care mask (1 bits are compared).
+        mask: u128,
+    },
+}
+
+/// An installed table entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableEntry {
+    /// Key, one [`KeyMatch`] per [`TableDef::key`] field. Selector tables
+    /// use `Exact` member indices here (the key is only hashed).
+    pub key: Vec<KeyMatch>,
+    /// Priority for ternary tables (higher wins).
+    pub priority: i32,
+    /// Action to run on hit.
+    pub action: ActionCall,
+    /// Packet counter (meaningful when the table keeps counters).
+    pub counter: u64,
+}
+
+impl TableEntry {
+    /// Entry with an all-exact key and zero priority.
+    pub fn exact(key: Vec<u128>, action: ActionCall) -> Self {
+        TableEntry {
+            key: key.into_iter().map(KeyMatch::Exact).collect(),
+            priority: 0,
+            action,
+            counter: 0,
+        }
+    }
+}
+
+/// Result of a successful lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// Row (stable entry slot) that matched.
+    pub row: usize,
+    /// Executor switch tag (`1 + action index`).
+    pub tag: u32,
+    /// The matched entry's action call.
+    pub action: ActionCall,
+    /// Counter value *after* increment, when the table keeps counters.
+    pub counter: Option<u64>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum IndexMode {
+    Exact,
+    Lpm { lpm_pos: usize },
+    Ternary,
+    Selector,
+}
+
+/// A runtime table: definition, entries in stable rows, and a software
+/// acceleration index.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// The schema.
+    pub def: TableDef,
+    rows: Vec<Option<TableEntry>>,
+    mode: IndexMode,
+    /// Exact tables: full key -> row.
+    exact_idx: HashMap<Vec<u128>, usize>,
+    /// LPM tables: prefix_len -> (masked key vector -> row); probed from the
+    /// longest installed prefix down, like per-length hash tables in real
+    /// forwarding planes.
+    lpm_idx: HashMap<usize, HashMap<Vec<u128>, usize>>,
+    /// Installed prefix lengths, kept sorted descending.
+    lpm_lens: Vec<usize>,
+    /// Ternary tables: rows sorted by (priority desc, row asc).
+    tern_order: Vec<usize>,
+    /// Selector tables: live rows in insertion order.
+    members: Vec<usize>,
+    /// Lookup counters (observability; also feeds the throughput model).
+    pub lookups: u64,
+    /// Hits among `lookups`.
+    pub hits: u64,
+}
+
+impl Table {
+    /// Creates an empty table for a definition.
+    pub fn new(def: TableDef) -> Result<Self, CoreError> {
+        let mode = if def.is_selector() {
+            IndexMode::Selector
+        } else if def.is_ternary() {
+            IndexMode::Ternary
+        } else {
+            let lpm_fields: Vec<usize> = def
+                .key
+                .iter()
+                .enumerate()
+                .filter(|(_, k)| k.kind == MatchKind::Lpm)
+                .map(|(i, _)| i)
+                .collect();
+            match lpm_fields.len() {
+                0 => IndexMode::Exact,
+                1 => IndexMode::Lpm {
+                    lpm_pos: lpm_fields[0],
+                },
+                n => {
+                    return Err(CoreError::Config(format!(
+                        "table `{}` has {n} LPM fields; at most 1 supported",
+                        def.name
+                    )))
+                }
+            }
+        };
+        if def.key.is_empty() {
+            return Err(CoreError::Config(format!(
+                "table `{}` has an empty key",
+                def.name
+            )));
+        }
+        Ok(Table {
+            def,
+            rows: Vec::new(),
+            mode,
+            exact_idx: HashMap::new(),
+            lpm_idx: HashMap::new(),
+            lpm_lens: Vec::new(),
+            tern_order: Vec::new(),
+            members: Vec::new(),
+            lookups: 0,
+            hits: 0,
+        })
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.rows.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// True when the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read access to a row.
+    pub fn row(&self, row: usize) -> Option<&TableEntry> {
+        self.rows.get(row).and_then(|r| r.as_ref())
+    }
+
+    /// Iterates live `(row, entry)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &TableEntry)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|e| (i, e)))
+    }
+
+    fn validate_key(&self, entry: &TableEntry) -> Result<(), CoreError> {
+        if entry.key.len() != self.def.key.len() {
+            return Err(CoreError::KeyMismatch {
+                table: self.def.name.clone(),
+                detail: format!(
+                    "entry has {} key fields, table wants {}",
+                    entry.key.len(),
+                    self.def.key.len()
+                ),
+            });
+        }
+        for (i, (km, kf)) in entry.key.iter().zip(&self.def.key).enumerate() {
+            let err = |detail: String| CoreError::KeyMismatch {
+                table: self.def.name.clone(),
+                detail,
+            };
+            let mask = width_mask(kf.bits);
+            match (km, kf.kind) {
+                (KeyMatch::Exact(v), MatchKind::Exact | MatchKind::Hash) => {
+                    if *v & !mask != 0 {
+                        return Err(err(format!("field {i}: value exceeds {} bits", kf.bits)));
+                    }
+                }
+                (KeyMatch::Lpm { value, prefix_len }, MatchKind::Lpm) => {
+                    if *prefix_len > kf.bits {
+                        return Err(err(format!(
+                            "field {i}: prefix_len {prefix_len} > width {}",
+                            kf.bits
+                        )));
+                    }
+                    if *value & !mask != 0 {
+                        return Err(err(format!("field {i}: value exceeds {} bits", kf.bits)));
+                    }
+                }
+                (KeyMatch::Ternary { value, mask: m }, MatchKind::Ternary) => {
+                    if *value & !mask != 0 || *m & !mask != 0 {
+                        return Err(err(format!(
+                            "field {i}: value/mask exceeds {} bits",
+                            kf.bits
+                        )));
+                    }
+                    if *value & !*m != 0 {
+                        return Err(err(format!("field {i}: value has bits outside mask")));
+                    }
+                }
+                (got, want) => {
+                    return Err(err(format!("field {i}: {got:?} incompatible with {want:?}")));
+                }
+            }
+        }
+        if !self.def.actions.contains(&entry.action.action)
+            && entry.action.action != self.def.default_action.action
+        {
+            return Err(CoreError::UnknownAction(format!(
+                "{} (not offered by table `{}`)",
+                entry.action.action, self.def.name
+            )));
+        }
+        Ok(())
+    }
+
+    fn exact_key_of(&self, entry: &TableEntry) -> Vec<u128> {
+        entry
+            .key
+            .iter()
+            .map(|k| match k {
+                KeyMatch::Exact(v) => *v,
+                KeyMatch::Lpm { value, .. } => *value,
+                KeyMatch::Ternary { value, .. } => *value,
+            })
+            .collect()
+    }
+
+    fn lpm_index_key(&self, entry: &TableEntry, lpm_pos: usize) -> (usize, Vec<u128>) {
+        let mut key = self.exact_key_of(entry);
+        let (plen, masked) = match &entry.key[lpm_pos] {
+            KeyMatch::Lpm { value, prefix_len } => {
+                let bits = self.def.key[lpm_pos].bits;
+                let mask = if *prefix_len == 0 {
+                    0
+                } else {
+                    width_mask(bits) & !(width_mask(bits - *prefix_len))
+                };
+                (*prefix_len, *value & mask)
+            }
+            _ => unreachable!("validated"),
+        };
+        key[lpm_pos] = masked;
+        (plen, key)
+    }
+
+    /// Row an identical key currently occupies (for replace semantics).
+    fn existing_row(&self, entry: &TableEntry) -> Option<usize> {
+        self.iter()
+            .find(|(_, e)| e.key == entry.key)
+            .map(|(r, _)| r)
+    }
+
+    /// Inserts (or replaces) an entry. Returns its row.
+    pub fn insert(&mut self, mut entry: TableEntry) -> Result<usize, CoreError> {
+        self.validate_key(&entry)?;
+        entry.counter = 0;
+        if let Some(row) = self.existing_row(&entry) {
+            self.remove_row_from_index(row);
+            self.rows[row] = Some(entry);
+            self.add_row_to_index(row);
+            return Ok(row);
+        }
+        if self.len() >= self.def.size {
+            return Err(CoreError::TableFull {
+                table: self.def.name.clone(),
+                capacity: self.def.size,
+            });
+        }
+        let row = match self.rows.iter().position(|r| r.is_none()) {
+            Some(r) => {
+                self.rows[r] = Some(entry);
+                r
+            }
+            None => {
+                self.rows.push(Some(entry));
+                self.rows.len() - 1
+            }
+        };
+        self.add_row_to_index(row);
+        Ok(row)
+    }
+
+    /// Deletes the entry with exactly this key. Returns its former row.
+    pub fn delete(&mut self, key: &[KeyMatch]) -> Result<usize, CoreError> {
+        let row = self
+            .iter()
+            .find(|(_, e)| e.key == key)
+            .map(|(r, _)| r)
+            .ok_or_else(|| CoreError::NoSuchEntry(self.def.name.clone()))?;
+        self.remove_row_from_index(row);
+        self.rows[row] = None;
+        Ok(row)
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+        self.exact_idx.clear();
+        self.lpm_idx.clear();
+        self.lpm_lens.clear();
+        self.tern_order.clear();
+        self.members.clear();
+    }
+
+    fn add_row_to_index(&mut self, row: usize) {
+        let entry = self.rows[row].clone().expect("row just set");
+        match self.mode.clone() {
+            IndexMode::Exact => {
+                self.exact_idx.insert(self.exact_key_of(&entry), row);
+            }
+            IndexMode::Lpm { lpm_pos } => {
+                let (plen, key) = self.lpm_index_key(&entry, lpm_pos);
+                self.lpm_idx.entry(plen).or_default().insert(key, row);
+                if !self.lpm_lens.contains(&plen) {
+                    self.lpm_lens.push(plen);
+                    self.lpm_lens.sort_unstable_by(|a, b| b.cmp(a));
+                }
+            }
+            IndexMode::Ternary => {
+                self.tern_order.push(row);
+                let rows = &self.rows;
+                self.tern_order.sort_by_key(|&r| {
+                    let p = rows[r].as_ref().map(|e| e.priority).unwrap_or(i32::MIN);
+                    (std::cmp::Reverse(p), r)
+                });
+            }
+            IndexMode::Selector => {
+                self.members.push(row);
+            }
+        }
+    }
+
+    fn remove_row_from_index(&mut self, row: usize) {
+        let Some(entry) = self.rows[row].clone() else {
+            return;
+        };
+        match self.mode.clone() {
+            IndexMode::Exact => {
+                self.exact_idx.remove(&self.exact_key_of(&entry));
+            }
+            IndexMode::Lpm { lpm_pos } => {
+                let (plen, key) = self.lpm_index_key(&entry, lpm_pos);
+                if let Some(m) = self.lpm_idx.get_mut(&plen) {
+                    m.remove(&key);
+                    if m.is_empty() {
+                        self.lpm_idx.remove(&plen);
+                        self.lpm_lens.retain(|&l| l != plen);
+                    }
+                }
+            }
+            IndexMode::Ternary => self.tern_order.retain(|&r| r != row),
+            IndexMode::Selector => self.members.retain(|&r| r != row),
+        }
+    }
+
+    /// Reads the lookup key field values from a packet. `None` when any
+    /// field's source header is absent (the table does not apply).
+    pub fn read_key(&self, pkt: &Packet, ctx: &EvalCtx<'_>) -> Result<Option<Vec<u128>>, CoreError> {
+        let mut vals = Vec::with_capacity(self.def.key.len());
+        for k in &self.def.key {
+            match k.source.read(pkt, ctx)? {
+                Some(v) => vals.push(v & width_mask(k.bits)),
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(vals))
+    }
+
+    /// Performs a lookup, incrementing the matched entry's counter when the
+    /// table keeps counters. `Ok(None)` is a miss (run the default action).
+    pub fn lookup(&mut self, pkt: &Packet, ctx: &EvalCtx<'_>) -> Result<Option<Hit>, CoreError> {
+        self.lookups += 1;
+        let Some(vals) = self.read_key(pkt, ctx)? else {
+            return Ok(None);
+        };
+        let row = match self.mode.clone() {
+            IndexMode::Exact => self.exact_idx.get(&vals).copied(),
+            IndexMode::Lpm { lpm_pos } => {
+                let bits = self.def.key[lpm_pos].bits;
+                let mut found = None;
+                for &plen in &self.lpm_lens {
+                    let mask = if plen == 0 {
+                        0
+                    } else {
+                        width_mask(bits) & !(width_mask(bits - plen))
+                    };
+                    let mut probe = vals.clone();
+                    probe[lpm_pos] &= mask;
+                    if let Some(&r) = self.lpm_idx.get(&plen).and_then(|m| m.get(&probe)) {
+                        found = Some(r);
+                        break;
+                    }
+                }
+                found
+            }
+            IndexMode::Ternary => self
+                .tern_order
+                .iter()
+                .copied()
+                .find(|&r| {
+                    let e = self.rows[r].as_ref().expect("indexed row live");
+                    e.key.iter().zip(&vals).all(|(km, &v)| match km {
+                        KeyMatch::Exact(x) => *x == v,
+                        KeyMatch::Ternary { value, mask } => v & *mask == *value,
+                        KeyMatch::Lpm { .. } => false,
+                    })
+                }),
+            IndexMode::Selector => {
+                if self.members.is_empty() {
+                    None
+                } else {
+                    let h = hash_values(&vals);
+                    Some(self.members[(h % self.members.len() as u64) as usize])
+                }
+            }
+        };
+        let Some(row) = row else {
+            return Ok(None);
+        };
+        self.hits += 1;
+        let with_counters = self.def.with_counters;
+        let entry = self.rows[row].as_mut().expect("row live");
+        let counter = if with_counters {
+            entry.counter += 1;
+            Some(entry.counter)
+        } else {
+            None
+        };
+        let tag = self.def.action_tag(&entry.action.action).unwrap_or(0);
+        Ok(Some(Hit {
+            row,
+            tag,
+            action: entry.action.clone(),
+            counter,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsa_netpkt::builder::{self, Ipv4UdpSpec};
+    use ipsa_netpkt::linkage::HeaderLinkage;
+
+    fn pkt(dst: u32, sport: u16) -> (HeaderLinkage, Packet) {
+        let linkage = HeaderLinkage::standard();
+        let mut p = builder::ipv4_udp_packet(&Ipv4UdpSpec {
+            dst_ip: dst,
+            src_port: sport,
+            ..Ipv4UdpSpec::default()
+        });
+        p.ensure_parsed(&linkage, "udp").unwrap();
+        (linkage, p)
+    }
+
+    fn exact_def() -> TableDef {
+        TableDef {
+            name: "nexthop".into(),
+            key: vec![KeyField {
+                source: ValueRef::Meta("nexthop".into()),
+                bits: 16,
+                kind: MatchKind::Exact,
+            }],
+            size: 4,
+            actions: vec!["set_bd_dmac".into()],
+            default_action: ActionCall::no_action(),
+            with_counters: false,
+        }
+    }
+
+    #[test]
+    fn exact_hit_and_miss() {
+        let (linkage, mut p) = pkt(1, 1);
+        let mut t = Table::new(exact_def()).unwrap();
+        t.insert(TableEntry::exact(
+            vec![7],
+            ActionCall::new("set_bd_dmac", vec![1, 2]),
+        ))
+        .unwrap();
+        let ctx = EvalCtx::bare(&linkage);
+        p.meta.set("nexthop", 7);
+        let hit = t.lookup(&p, &ctx).unwrap().unwrap();
+        assert_eq!(hit.tag, 1);
+        assert_eq!(hit.action.args, vec![1, 2]);
+        p.meta.set("nexthop", 8);
+        assert!(t.lookup(&p, &ctx).unwrap().is_none());
+        assert_eq!(t.lookups, 2);
+        assert_eq!(t.hits, 1);
+    }
+
+    #[test]
+    fn capacity_enforced_and_replace_allowed() {
+        let mut t = Table::new(TableDef {
+            size: 2,
+            ..exact_def()
+        })
+        .unwrap();
+        t.insert(TableEntry::exact(vec![1], ActionCall::no_action()))
+            .unwrap();
+        t.insert(TableEntry::exact(vec![2], ActionCall::no_action()))
+            .unwrap();
+        assert!(matches!(
+            t.insert(TableEntry::exact(vec![3], ActionCall::no_action())),
+            Err(CoreError::TableFull { .. })
+        ));
+        // Same-key insert replaces rather than filling a new slot.
+        let row = t
+            .insert(TableEntry::exact(
+                vec![2],
+                ActionCall::new("set_bd_dmac", vec![9]),
+            ))
+            .unwrap();
+        assert_eq!(t.row(row).unwrap().action.args, vec![9]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn delete_then_row_reused() {
+        let mut t = Table::new(TableDef {
+            size: 2,
+            ..exact_def()
+        })
+        .unwrap();
+        let r1 = t
+            .insert(TableEntry::exact(vec![1], ActionCall::no_action()))
+            .unwrap();
+        t.insert(TableEntry::exact(vec![2], ActionCall::no_action()))
+            .unwrap();
+        t.delete(&[KeyMatch::Exact(1)]).unwrap();
+        assert!(matches!(
+            t.delete(&[KeyMatch::Exact(1)]),
+            Err(CoreError::NoSuchEntry(_))
+        ));
+        let r3 = t
+            .insert(TableEntry::exact(vec![3], ActionCall::no_action()))
+            .unwrap();
+        assert_eq!(r1, r3, "freed row must be reused");
+    }
+
+    fn lpm_def() -> TableDef {
+        TableDef {
+            name: "ipv4_lpm".into(),
+            key: vec![KeyField {
+                source: ValueRef::field("ipv4", "dst_addr"),
+                bits: 32,
+                kind: MatchKind::Lpm,
+            }],
+            size: 16,
+            actions: vec!["set_nexthop".into()],
+            default_action: ActionCall::no_action(),
+            with_counters: false,
+        }
+    }
+
+    fn lpm_entry(value: u128, plen: usize, nh: u128) -> TableEntry {
+        TableEntry {
+            key: vec![KeyMatch::Lpm {
+                value,
+                prefix_len: plen,
+            }],
+            priority: 0,
+            action: ActionCall::new("set_nexthop", vec![nh]),
+            counter: 0,
+        }
+    }
+
+    #[test]
+    fn lpm_longest_prefix_wins() {
+        let mut t = Table::new(lpm_def()).unwrap();
+        t.insert(lpm_entry(0x0a00_0000, 8, 1)).unwrap(); // 10/8
+        t.insert(lpm_entry(0x0a01_0000, 16, 2)).unwrap(); // 10.1/16
+        t.insert(lpm_entry(0x0a01_0200, 24, 3)).unwrap(); // 10.1.2/24
+        t.insert(lpm_entry(0, 0, 9)).unwrap(); // default route
+
+        let cases = [
+            (0x0a01_0203u32, 3u128), // matches /24
+            (0x0a01_0503, 2),        // matches /16
+            (0x0a05_0503, 1),        // matches /8
+            (0x0b00_0001, 9),        // default
+        ];
+        for (dst, want) in cases {
+            let (linkage, p) = pkt(dst, 1);
+            let ctx = EvalCtx::bare(&linkage);
+            let hit = t.lookup(&p, &ctx).unwrap().unwrap();
+            assert_eq!(hit.action.args, vec![want], "dst {dst:#x}");
+        }
+    }
+
+    #[test]
+    fn lpm_delete_restores_shorter_prefix() {
+        let mut t = Table::new(lpm_def()).unwrap();
+        t.insert(lpm_entry(0x0a00_0000, 8, 1)).unwrap();
+        t.insert(lpm_entry(0x0a01_0000, 16, 2)).unwrap();
+        let (linkage, p) = pkt(0x0a01_0001, 1);
+        let ctx = EvalCtx::bare(&linkage);
+        assert_eq!(t.lookup(&p, &ctx).unwrap().unwrap().action.args, vec![2]);
+        t.delete(&[KeyMatch::Lpm {
+            value: 0x0a01_0000,
+            prefix_len: 16,
+        }])
+        .unwrap();
+        assert_eq!(t.lookup(&p, &ctx).unwrap().unwrap().action.args, vec![1]);
+    }
+
+    fn ternary_def() -> TableDef {
+        TableDef {
+            name: "acl".into(),
+            key: vec![
+                KeyField {
+                    source: ValueRef::field("ipv4", "dst_addr"),
+                    bits: 32,
+                    kind: MatchKind::Ternary,
+                },
+                KeyField {
+                    source: ValueRef::field("udp", "dst_port"),
+                    bits: 16,
+                    kind: MatchKind::Ternary,
+                },
+            ],
+            size: 8,
+            actions: vec!["permit".into(), "deny".into()],
+            default_action: ActionCall::no_action(),
+            with_counters: false,
+        }
+    }
+
+    #[test]
+    fn ternary_priority_order() {
+        let mut t = Table::new(ternary_def()).unwrap();
+        // Low priority: match any dst, port 53 -> permit.
+        t.insert(TableEntry {
+            key: vec![
+                KeyMatch::Ternary { value: 0, mask: 0 },
+                KeyMatch::Ternary {
+                    value: 53,
+                    mask: 0xFFFF,
+                },
+            ],
+            priority: 1,
+            action: ActionCall::new("permit", vec![]),
+            counter: 0,
+        })
+        .unwrap();
+        // High priority: 10.0.0.2 any port -> deny.
+        t.insert(TableEntry {
+            key: vec![
+                KeyMatch::Ternary {
+                    value: 0x0a00_0002,
+                    mask: 0xFFFF_FFFF,
+                },
+                KeyMatch::Ternary { value: 0, mask: 0 },
+            ],
+            priority: 10,
+            action: ActionCall::new("deny", vec![]),
+            counter: 0,
+        })
+        .unwrap();
+        let (linkage, p) = pkt(0x0a00_0002, 1);
+        let ctx = EvalCtx::bare(&linkage);
+        let hit = t.lookup(&p, &ctx).unwrap().unwrap();
+        assert_eq!(hit.action.action, "deny");
+        assert_eq!(hit.tag, 2);
+    }
+
+    fn selector_def() -> TableDef {
+        TableDef {
+            name: "ecmp_ipv4".into(),
+            key: vec![
+                KeyField {
+                    source: ValueRef::Meta("nexthop".into()),
+                    bits: 16,
+                    kind: MatchKind::Hash,
+                },
+                KeyField {
+                    source: ValueRef::field("udp", "src_port"),
+                    bits: 16,
+                    kind: MatchKind::Hash,
+                },
+            ],
+            size: 8,
+            actions: vec!["set_bd_dmac".into()],
+            default_action: ActionCall::no_action(),
+            with_counters: false,
+        }
+    }
+
+    #[test]
+    fn selector_spreads_and_is_stable() {
+        let mut t = Table::new(selector_def()).unwrap();
+        for m in 0..4u128 {
+            t.insert(TableEntry::exact(
+                vec![m, 0],
+                ActionCall::new("set_bd_dmac", vec![m, 100 + m]),
+            ))
+            .unwrap();
+        }
+        let mut seen = std::collections::HashSet::new();
+        for sport in 0..64u16 {
+            let (linkage, mut p) = pkt(0x0a01_0001, 1000 + sport);
+            p.meta.set("nexthop", 7);
+            let ctx = EvalCtx::bare(&linkage);
+            let h1 = t.lookup(&p, &ctx).unwrap().unwrap();
+            let h2 = t.lookup(&p, &ctx).unwrap().unwrap();
+            assert_eq!(h1.row, h2.row, "per-flow stability");
+            seen.insert(h1.row);
+        }
+        assert!(seen.len() >= 3, "hashing should spread over members: {seen:?}");
+    }
+
+    #[test]
+    fn selector_empty_is_miss() {
+        let mut t = Table::new(selector_def()).unwrap();
+        let (linkage, mut p) = pkt(1, 1);
+        p.meta.set("nexthop", 7);
+        let ctx = EvalCtx::bare(&linkage);
+        assert!(t.lookup(&p, &ctx).unwrap().is_none());
+    }
+
+    #[test]
+    fn counters_increment_on_hit() {
+        let mut t = Table::new(TableDef {
+            with_counters: true,
+            ..exact_def()
+        })
+        .unwrap();
+        t.insert(TableEntry::exact(vec![7], ActionCall::no_action()))
+            .unwrap();
+        let (linkage, mut p) = pkt(1, 1);
+        p.meta.set("nexthop", 7);
+        let ctx = EvalCtx::bare(&linkage);
+        assert_eq!(t.lookup(&p, &ctx).unwrap().unwrap().counter, Some(1));
+        assert_eq!(t.lookup(&p, &ctx).unwrap().unwrap().counter, Some(2));
+    }
+
+    #[test]
+    fn absent_header_key_is_miss() {
+        // Key reads ipv6 on a v4 packet -> lookup does not apply.
+        let mut t = Table::new(TableDef {
+            name: "v6".into(),
+            key: vec![KeyField {
+                source: ValueRef::field("ipv6", "dst_addr"),
+                bits: 128,
+                kind: MatchKind::Exact,
+            }],
+            size: 2,
+            actions: vec![],
+            default_action: ActionCall::no_action(),
+            with_counters: false,
+        })
+        .unwrap();
+        let (linkage, p) = pkt(1, 1);
+        let ctx = EvalCtx::bare(&linkage);
+        assert!(t.lookup(&p, &ctx).unwrap().is_none());
+    }
+
+    #[test]
+    fn key_validation_errors() {
+        let mut t = Table::new(exact_def()).unwrap();
+        // Wrong arity.
+        assert!(matches!(
+            t.insert(TableEntry::exact(vec![1, 2], ActionCall::no_action())),
+            Err(CoreError::KeyMismatch { .. })
+        ));
+        // Oversized value for 16-bit field.
+        assert!(matches!(
+            t.insert(TableEntry::exact(vec![0x1_0000], ActionCall::no_action())),
+            Err(CoreError::KeyMismatch { .. })
+        ));
+        // Action not offered.
+        assert!(matches!(
+            t.insert(TableEntry::exact(
+                vec![1],
+                ActionCall::new("mystery", vec![])
+            )),
+            Err(CoreError::UnknownAction(_))
+        ));
+        // Wrong kind.
+        assert!(matches!(
+            t.insert(TableEntry {
+                key: vec![KeyMatch::Ternary { value: 0, mask: 0 }],
+                priority: 0,
+                action: ActionCall::no_action(),
+                counter: 0
+            }),
+            Err(CoreError::KeyMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn entry_width_accounting() {
+        let d = exact_def();
+        assert_eq!(d.entry_width_bits(64), 16 + 8 + 64);
+        let l = lpm_def();
+        assert_eq!(l.entry_width_bits(16), 32 + 8 + 8 + 16);
+        let t3 = ternary_def();
+        assert_eq!(t3.entry_width_bits(0), (32 + 16) * 2 + 8);
+    }
+
+    #[test]
+    fn multi_lpm_rejected() {
+        let bad = TableDef {
+            name: "bad".into(),
+            key: vec![
+                KeyField {
+                    source: ValueRef::field("ipv4", "src_addr"),
+                    bits: 32,
+                    kind: MatchKind::Lpm,
+                },
+                KeyField {
+                    source: ValueRef::field("ipv4", "dst_addr"),
+                    bits: 32,
+                    kind: MatchKind::Lpm,
+                },
+            ],
+            size: 2,
+            actions: vec![],
+            default_action: ActionCall::no_action(),
+            with_counters: false,
+        };
+        assert!(Table::new(bad).is_err());
+    }
+}

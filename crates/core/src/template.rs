@@ -1,0 +1,368 @@
+//! TSP templates and compiled designs.
+//!
+//! "Programming a Templated Stage Processor simply means downloading the
+//! template parameters" (Sec. 2.2): a [`TspTemplate`] is exactly that
+//! download — parse requirements, predicate-guarded table references, and an
+//! executor switch from action tags to action calls. A [`CompiledDesign`] is
+//! the full device configuration rp4bc emits (templates + selector +
+//! crossbar + memory allocation + header/metadata/action/table registries),
+//! serializable to JSON as the paper specifies.
+
+use std::collections::BTreeMap;
+
+use ipsa_netpkt::linkage::HeaderLinkage;
+use serde::{Deserialize, Serialize};
+
+use crate::action::ActionDef;
+use crate::error::CoreError;
+use crate::pipeline_cfg::SelectorConfig;
+use crate::predicate::Predicate;
+use crate::table::{ActionCall, TableDef};
+
+/// One predicate-guarded table application in a TSP's matcher.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatcherBranch {
+    /// Guard; the first branch whose predicate holds is taken.
+    pub pred: Predicate,
+    /// Table applied when the guard holds (`None` = predicated fallthrough,
+    /// the bare `else;` of Fig. 5(a)).
+    pub table: Option<String>,
+}
+
+/// Template parameters of one Templated Stage Processor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TspTemplate {
+    /// Logical stage name(s) hosted by this TSP, joined by `+` when the
+    /// back-end compiler merged independent stages.
+    pub stage_name: String,
+    /// Owning rP4 function (used for function offload).
+    pub func: String,
+    /// Header instances this stage parses on demand.
+    pub parse: Vec<String>,
+    /// Matcher: ordered predicate-guarded table references.
+    pub branches: Vec<MatcherBranch>,
+    /// Executor: switch from the hit tag to the action to run. Hit actions
+    /// take their data from the matched entry; immediate args here are used
+    /// only when the entry carries none.
+    pub executor: Vec<(u32, ActionCall)>,
+    /// Action run on a miss (tag 0).
+    pub default_action: ActionCall,
+}
+
+impl TspTemplate {
+    /// An empty pass-through template.
+    pub fn passthrough(name: impl Into<String>) -> Self {
+        TspTemplate {
+            stage_name: name.into(),
+            func: String::new(),
+            parse: vec![],
+            branches: vec![],
+            executor: vec![],
+            default_action: ActionCall::no_action(),
+        }
+    }
+
+    /// Complete set of headers this stage needs parsed: the explicit parser
+    /// module plus headers its predicates inspect.
+    pub fn parse_requirements(&self) -> Vec<String> {
+        let mut out = self.parse.clone();
+        for b in &self.branches {
+            out.extend(b.pred.read_headers());
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Tables this stage references.
+    pub fn tables(&self) -> Vec<&str> {
+        self.branches
+            .iter()
+            .filter_map(|b| b.table.as_deref())
+            .collect()
+    }
+
+    /// Executor action for a hit tag (falls back to the default action).
+    pub fn action_for_tag(&self, tag: u32) -> &ActionCall {
+        self.executor
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, a)| a)
+            .unwrap_or(&self.default_action)
+    }
+}
+
+/// An rP4 function: a named group of stages, the unit of load/offload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuncDef {
+    /// Function name.
+    pub name: String,
+    /// Stage names belonging to the function, in pipeline order.
+    pub stages: Vec<String>,
+}
+
+/// A complete compiled design: everything a device needs to run, and the
+/// base artifact incremental updates are computed against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledDesign {
+    /// Design name.
+    pub name: String,
+    /// Header registry and parse graph.
+    pub linkage: HeaderLinkage,
+    /// Declared metadata fields `(name, bits)`.
+    pub metadata: Vec<(String, usize)>,
+    /// Actions by name.
+    pub actions: BTreeMap<String, ActionDef>,
+    /// Tables by name.
+    pub tables: BTreeMap<String, TableDef>,
+    /// Template per physical TSP slot (`None` = slot unprogrammed).
+    pub templates: Vec<Option<TspTemplate>>,
+    /// Selector (ingress/egress/bypass per slot).
+    pub selector: SelectorConfig,
+    /// Memory blocks allocated to each table.
+    pub table_alloc: BTreeMap<String, Vec<usize>>,
+    /// Crossbar connections per slot.
+    pub crossbar: BTreeMap<usize, Vec<usize>>,
+    /// Functions composing the design.
+    pub funcs: Vec<FuncDef>,
+}
+
+impl CompiledDesign {
+    /// An empty design for a device with `slots` TSPs.
+    pub fn empty(name: impl Into<String>, slots: usize) -> Self {
+        let mut actions = BTreeMap::new();
+        actions.insert("NoAction".to_string(), ActionDef::no_action());
+        CompiledDesign {
+            name: name.into(),
+            linkage: HeaderLinkage::new(),
+            metadata: vec![],
+            actions,
+            tables: BTreeMap::new(),
+            templates: vec![None; slots],
+            selector: SelectorConfig::all_bypass(slots),
+            table_alloc: BTreeMap::new(),
+            crossbar: BTreeMap::new(),
+            funcs: vec![],
+        }
+    }
+
+    /// Declared width of a metadata field (128 when undeclared — raw
+    /// intrinsics).
+    pub fn meta_width(&self, name: &str) -> usize {
+        self.metadata
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| *b)
+            .unwrap_or(128)
+    }
+
+    /// Physical slot hosting a logical stage, if programmed.
+    pub fn slot_of_stage(&self, stage: &str) -> Option<usize> {
+        self.templates.iter().position(|t| {
+            t.as_ref()
+                .is_some_and(|t| t.stage_name.split('+').any(|s| s == stage))
+        })
+    }
+
+    /// All programmed `(slot, template)` pairs in chain order.
+    pub fn programmed(&self) -> impl Iterator<Item = (usize, &TspTemplate)> {
+        self.templates
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.as_ref().map(|t| (i, t)))
+    }
+
+    /// Integrity validation: templates reference known tables/actions,
+    /// tables reference known actions, the selector is structurally sound
+    /// and programmed slots are not bypassed (and vice versa).
+    pub fn validate(&self) -> Result<(), CoreError> {
+        self.selector.validate()?;
+        if self.selector.slots() != self.templates.len() {
+            return Err(CoreError::Config(format!(
+                "selector covers {} slots, design has {}",
+                self.selector.slots(),
+                self.templates.len()
+            )));
+        }
+        for (slot, t) in self.programmed() {
+            for tbl in t.tables() {
+                if !self.tables.contains_key(tbl) {
+                    return Err(CoreError::UnknownTable(format!(
+                        "{tbl} (referenced by slot {slot})"
+                    )));
+                }
+            }
+            let mut arms = t.executor.iter().map(|(_, a)| a).collect::<Vec<_>>();
+            arms.push(&t.default_action);
+            for a in arms {
+                if !self.actions.contains_key(&a.action) {
+                    return Err(CoreError::UnknownAction(format!(
+                        "{} (referenced by slot {slot})",
+                        a.action
+                    )));
+                }
+            }
+            if self.selector.roles[slot] == crate::pipeline_cfg::SlotRole::Bypass {
+                return Err(CoreError::Config(format!(
+                    "slot {slot} is programmed but bypassed"
+                )));
+            }
+        }
+        for def in self.tables.values() {
+            for a in def.actions.iter().chain([&def.default_action.action]) {
+                if !self.actions.contains_key(a) {
+                    return Err(CoreError::UnknownAction(format!(
+                        "{a} (referenced by table `{}`)",
+                        def.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Action-data width (bits) of a table: the max over its actions.
+    pub fn table_data_bits(&self, table: &str) -> usize {
+        self.tables
+            .get(table)
+            .map(|d| {
+                d.actions
+                    .iter()
+                    .filter_map(|a| self.actions.get(a))
+                    .map(|a| a.data_bits())
+                    .max()
+                    .unwrap_or(0)
+            })
+            .unwrap_or(0)
+    }
+
+    /// Serializes the design to pretty JSON (rp4bc's specified output
+    /// format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("design serializes")
+    }
+
+    /// Parses a design back from JSON.
+    pub fn from_json(s: &str) -> Result<Self, CoreError> {
+        serde_json::from_str(s).map_err(|e| CoreError::Config(format!("bad design JSON: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline_cfg::SlotRole;
+    use crate::table::{KeyField, MatchKind};
+    use crate::value::ValueRef;
+
+    fn small_design() -> CompiledDesign {
+        let mut d = CompiledDesign::empty("test", 4);
+        d.linkage = HeaderLinkage::standard();
+        d.metadata = vec![("nexthop".into(), 16)];
+        d.actions.insert(
+            "fwd".into(),
+            ActionDef {
+                name: "fwd".into(),
+                params: vec![("port".into(), 16)],
+                body: vec![crate::action::Primitive::Forward {
+                    port: ValueRef::Param(0),
+                }],
+            },
+        );
+        d.tables.insert(
+            "t".into(),
+            TableDef {
+                name: "t".into(),
+                key: vec![KeyField {
+                    source: ValueRef::field("ipv4", "dst_addr"),
+                    bits: 32,
+                    kind: MatchKind::Exact,
+                }],
+                size: 16,
+                actions: vec!["fwd".into()],
+                default_action: ActionCall::no_action(),
+                with_counters: false,
+            },
+        );
+        d.templates[0] = Some(TspTemplate {
+            stage_name: "s0".into(),
+            func: "base".into(),
+            parse: vec!["ipv4".into()],
+            branches: vec![MatcherBranch {
+                pred: Predicate::IsValid("ipv4".into()),
+                table: Some("t".into()),
+            }],
+            executor: vec![(1, ActionCall::new("fwd", vec![]))],
+            default_action: ActionCall::no_action(),
+        });
+        d.selector = SelectorConfig::split(4, 1, 1).unwrap();
+        d
+    }
+
+    #[test]
+    fn validate_accepts_consistent_design() {
+        small_design().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_unknown_table() {
+        let mut d = small_design();
+        d.templates[0].as_mut().unwrap().branches[0].table = Some("ghost".into());
+        assert!(matches!(d.validate(), Err(CoreError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_action() {
+        let mut d = small_design();
+        d.templates[0].as_mut().unwrap().executor[0].1 = ActionCall::new("ghost", vec![]);
+        assert!(matches!(d.validate(), Err(CoreError::UnknownAction(_))));
+    }
+
+    #[test]
+    fn validate_rejects_programmed_bypass() {
+        let mut d = small_design();
+        d.selector.roles[0] = SlotRole::Bypass;
+        assert!(matches!(d.validate(), Err(CoreError::Config(_))));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let d = small_design();
+        let j = d.to_json();
+        let d2 = CompiledDesign::from_json(&j).unwrap();
+        assert_eq!(d2.name, d.name);
+        assert_eq!(d2.tables.len(), d.tables.len());
+        assert_eq!(d2.templates[0], d.templates[0]);
+        d2.validate().unwrap();
+    }
+
+    #[test]
+    fn stage_lookup_handles_merged_names() {
+        let mut d = small_design();
+        d.templates[0].as_mut().unwrap().stage_name = "ecmp_v4+ecmp_v6".into();
+        assert_eq!(d.slot_of_stage("ecmp_v6"), Some(0));
+        assert_eq!(d.slot_of_stage("ecmp"), None);
+    }
+
+    #[test]
+    fn parse_requirements_include_predicate_headers() {
+        let d = small_design();
+        let t = d.templates[0].as_ref().unwrap();
+        assert_eq!(t.parse_requirements(), vec!["ipv4".to_string()]);
+    }
+
+    #[test]
+    fn action_for_tag_falls_back_to_default() {
+        let d = small_design();
+        let t = d.templates[0].as_ref().unwrap();
+        assert_eq!(t.action_for_tag(1).action, "fwd");
+        assert_eq!(t.action_for_tag(9).action, "NoAction");
+    }
+
+    #[test]
+    fn table_data_bits_max_over_actions() {
+        let d = small_design();
+        assert_eq!(d.table_data_bits("t"), 16);
+        assert_eq!(d.table_data_bits("ghost"), 0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Value references: how template data names packet fields, metadata,
+//! action parameters, and constants.
+//!
+//! A TSP executes pure *template data* — predicates, key sources, and action
+//! bodies all refer to values through [`ValueRef`]/[`LValueRef`] rather than
+//! code, which is what makes a stage reprogrammable by rewriting its
+//! template.
+
+use ipsa_netpkt::linkage::HeaderLinkage;
+use ipsa_netpkt::packet::Packet;
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+
+/// A readable value source.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ValueRef {
+    /// Immediate constant.
+    Const(u128),
+    /// A packet header field, `header.field`.
+    Field {
+        /// Header instance name.
+        header: String,
+        /// Field name.
+        field: String,
+    },
+    /// A metadata field, `meta.name` (or an intrinsic).
+    Meta(String),
+    /// The i-th parameter of the executing action, bound from the matched
+    /// table entry's action data.
+    Param(usize),
+    /// The matched table entry's packet counter (after increment). Used by
+    /// the C3 flow probe's threshold check.
+    EntryCounter,
+}
+
+impl ValueRef {
+    /// Shorthand for a field reference.
+    pub fn field(header: impl Into<String>, field: impl Into<String>) -> Self {
+        ValueRef::Field {
+            header: header.into(),
+            field: field.into(),
+        }
+    }
+
+    /// Headers this value reads (for dependency analysis).
+    pub fn read_headers(&self) -> Vec<&str> {
+        match self {
+            ValueRef::Field { header, .. } => vec![header.as_str()],
+            _ => vec![],
+        }
+    }
+}
+
+/// A writable value destination.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LValueRef {
+    /// A packet header field.
+    Field {
+        /// Header instance name.
+        header: String,
+        /// Field name.
+        field: String,
+    },
+    /// A metadata field.
+    Meta(String),
+}
+
+impl LValueRef {
+    /// Shorthand for a field destination.
+    pub fn field(header: impl Into<String>, field: impl Into<String>) -> Self {
+        LValueRef::Field {
+            header: header.into(),
+            field: field.into(),
+        }
+    }
+}
+
+/// Evaluation context carried through predicate and action evaluation.
+pub struct EvalCtx<'a> {
+    /// Header registry / linkage of the running design.
+    pub linkage: &'a HeaderLinkage,
+    /// Action data of the matched entry (empty outside action execution).
+    pub params: &'a [u128],
+    /// Matched entry's counter value, if the table keeps counters.
+    pub entry_counter: Option<u64>,
+}
+
+impl<'a> EvalCtx<'a> {
+    /// Context with no action data (predicate/key evaluation).
+    pub fn bare(linkage: &'a HeaderLinkage) -> Self {
+        EvalCtx {
+            linkage,
+            params: &[],
+            entry_counter: None,
+        }
+    }
+}
+
+impl ValueRef {
+    /// Reads the value against a packet.
+    ///
+    /// Reading a field of a header that is not present yields `None`
+    /// (predicates treat that as a failed comparison; key construction
+    /// treats it as "stage does not apply").
+    pub fn read(&self, pkt: &Packet, ctx: &EvalCtx<'_>) -> Result<Option<u128>, CoreError> {
+        match self {
+            ValueRef::Const(c) => Ok(Some(*c)),
+            ValueRef::Meta(name) => Ok(Some(pkt.meta.get(name))),
+            ValueRef::Field { header, field } => {
+                if !pkt.is_valid(header) {
+                    return Ok(None);
+                }
+                Ok(Some(pkt.get_field(ctx.linkage, header, field)?))
+            }
+            ValueRef::Param(i) => {
+                ctx.params.get(*i).copied().map(Some).ok_or_else(|| {
+                    CoreError::BadActionData {
+                        action: String::new(),
+                        index: *i,
+                        supplied: ctx.params.len(),
+                    }
+                })
+            }
+            ValueRef::EntryCounter => Ok(Some(ctx.entry_counter.unwrap_or(0) as u128)),
+        }
+    }
+}
+
+impl LValueRef {
+    /// Writes `value` to the destination. The destination header must be
+    /// present for field writes.
+    pub fn write(
+        &self,
+        pkt: &mut Packet,
+        ctx: &EvalCtx<'_>,
+        value: u128,
+    ) -> Result<(), CoreError> {
+        match self {
+            LValueRef::Meta(name) => {
+                pkt.meta.set(name, value);
+                Ok(())
+            }
+            LValueRef::Field { header, field } => {
+                pkt.set_field(ctx.linkage, header, field, value)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Bit width of the destination, used to wrap ALU results. Metadata
+    /// widths come from the design's declared metadata struct; undeclared
+    /// metadata defaults to 128 bits.
+    pub fn width(&self, ctx: &EvalCtx<'_>, meta_width: impl Fn(&str) -> usize) -> usize {
+        match self {
+            LValueRef::Meta(name) => meta_width(name),
+            LValueRef::Field { header, field } => ctx
+                .linkage
+                .get(header)
+                .and_then(|t| t.field_span(field).ok())
+                .map(|(_, bits)| bits)
+                .unwrap_or(128),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsa_netpkt::builder::{self, Ipv4UdpSpec};
+
+    #[test]
+    fn const_meta_field_reads() {
+        let linkage = HeaderLinkage::standard();
+        let mut p = builder::ipv4_udp_packet(&Ipv4UdpSpec::default());
+        p.ensure_parsed(&linkage, "ipv4").unwrap();
+        p.meta.set("nexthop", 99);
+        let ctx = EvalCtx::bare(&linkage);
+        assert_eq!(ValueRef::Const(5).read(&p, &ctx).unwrap(), Some(5));
+        assert_eq!(
+            ValueRef::Meta("nexthop".into()).read(&p, &ctx).unwrap(),
+            Some(99)
+        );
+        assert_eq!(
+            ValueRef::field("ipv4", "ttl").read(&p, &ctx).unwrap(),
+            Some(64)
+        );
+        // ipv6 header absent: reads as None, not an error.
+        assert_eq!(
+            ValueRef::field("ipv6", "hop_limit").read(&p, &ctx).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn param_reads_from_entry_data() {
+        let linkage = HeaderLinkage::standard();
+        let p = builder::ipv4_udp_packet(&Ipv4UdpSpec::default());
+        let params = [11u128, 22];
+        let ctx = EvalCtx {
+            linkage: &linkage,
+            params: &params,
+            entry_counter: Some(7),
+        };
+        assert_eq!(ValueRef::Param(1).read(&p, &ctx).unwrap(), Some(22));
+        assert_eq!(ValueRef::EntryCounter.read(&p, &ctx).unwrap(), Some(7));
+        assert!(ValueRef::Param(2).read(&p, &ctx).is_err());
+    }
+
+    #[test]
+    fn lvalue_writes() {
+        let linkage = HeaderLinkage::standard();
+        let mut p = builder::ipv4_udp_packet(&Ipv4UdpSpec::default());
+        p.ensure_parsed(&linkage, "ipv4").unwrap();
+        let ctx = EvalCtx::bare(&linkage);
+        LValueRef::field("ipv4", "ttl").write(&mut p, &ctx, 9).unwrap();
+        LValueRef::Meta("bd".into()).write(&mut p, &ctx, 3).unwrap();
+        assert_eq!(p.get_field(&linkage, "ipv4", "ttl").unwrap(), 9);
+        assert_eq!(p.meta.get("bd"), 3);
+    }
+
+    #[test]
+    fn width_resolution() {
+        let linkage = HeaderLinkage::standard();
+        let ctx = EvalCtx::bare(&linkage);
+        assert_eq!(LValueRef::field("ipv4", "ttl").width(&ctx, |_| 16), 8);
+        assert_eq!(LValueRef::Meta("x".into()).width(&ctx, |_| 16), 16);
+    }
+}

@@ -1,0 +1,93 @@
+//! # ipsa-hwmodel — the FPGA/ASIC analytical model
+//!
+//! Substitutes the paper's Xilinx Alveo U280 prototypes (see DESIGN.md §4):
+//! first-order hardware cost equations over parameters extracted from the
+//! *actual compiled designs* ([`params::DesignParams::from_design`]),
+//! calibrated to the paper's reported magnitudes:
+//!
+//! - [`resource`] — LUT/FF utilization (Table 2);
+//! - [`mod@power`] — watts per component and the power-vs-stages series
+//!   (Table 3 and Fig. 6);
+//! - [`mod@throughput`] — Mpps at 200 MHz with the paper's two improvement
+//!   knobs, bus widening and TSP pipelining (Sec. 5).
+//!
+//! Per-use-case differences (C1/C2/C3) come from the designs themselves —
+//! table widths, parse-graph size, active stages — not per-case constants.
+
+#![warn(missing_docs)]
+
+pub mod params;
+pub mod power;
+pub mod resource;
+pub mod throughput;
+
+pub use params::{Arch, DesignParams, TableParams};
+pub use power::{fig6_series, power, PowerReport};
+pub use resource::{resources, LutFf, ResourceReport};
+pub use throughput::{pipeline_latency_cycles, throughput, ThroughputOptions, ThroughputReport};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::params::TableParams;
+    use proptest::prelude::*;
+
+    prop_compose! {
+        fn params_strategy()(
+            stages in 2usize..16,
+            active in 1usize..16,
+            states in 1usize..12,
+            header_bits in 100usize..4000,
+            n_tables in 1usize..12,
+            entry_bits in 16usize..512,
+            ports in 0usize..200,
+        ) -> DesignParams {
+            DesignParams {
+                stages,
+                active_stages: active.min(stages),
+                parser_states: states,
+                total_header_bits: header_bits,
+                parse_edges: states,
+                tables: (0..n_tables).map(|i| TableParams {
+                    entry_bits: entry_bits + i,
+                    entries: 1024,
+                    tcam: false,
+                    blocks: 1 + i / 3,
+                }).collect(),
+                crossbar_ports: ports,
+                bus_bits: 128,
+            }
+        }
+    }
+
+    proptest! {
+        /// Structural invariants of the hardware model over arbitrary
+        /// designs: components are non-negative, totals are sums, PISA is
+        /// never slower than IPSA, and the architecture-specific components
+        /// are zero on the other architecture.
+        #[test]
+        fn model_invariants(p in params_strategy()) {
+            let rp = resources(Arch::Pisa, &p);
+            let ri = resources(Arch::Ipsa, &p);
+            prop_assert!(rp.front_parser.lut_pct > 0.0);
+            prop_assert!(ri.front_parser.lut_pct == 0.0);
+            prop_assert!(rp.crossbar.lut_pct == 0.0);
+            prop_assert!(ri.crossbar.lut_pct >= 0.0);
+            for r in [&rp, &ri] {
+                let sum = r.front_parser.lut_pct + r.processors.lut_pct + r.crossbar.lut_pct;
+                prop_assert!((r.total.lut_pct - sum).abs() < 1e-9);
+            }
+
+            let tp = throughput(Arch::Pisa, &p, Default::default());
+            let ti = throughput(Arch::Ipsa, &p, Default::default());
+            prop_assert!(tp.mpps >= ti.mpps, "PISA {} vs IPSA {}", tp.mpps, ti.mpps);
+            prop_assert!(ti.mpps > 0.0);
+
+            // Fig. 6 monotonicity: IPSA power non-decreasing in stages.
+            let series = fig6_series(&p);
+            for w in series.windows(2) {
+                prop_assert!(w[1].2 >= w[0].2 - 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Design parameters extracted from a compiled design.
+//!
+//! The hardware model is driven by the *actual* compiled artifacts — stage
+//! counts, parse-graph size, table geometries, crossbar fan-out — so that
+//! per-use-case differences (C1 vs C2 vs C3) come from the designs
+//! themselves, not hand-tuned per-case constants.
+
+use ipsa_core::memory::{blocks_needed, BlockKind};
+use ipsa_core::template::CompiledDesign;
+use serde::Serialize;
+
+/// Which architecture a prototype implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Arch {
+    /// Fixed pipeline, front parser, integrated memory.
+    Pisa,
+    /// Elastic TSP pipeline, distributed parsing, pooled memory + crossbar.
+    Ipsa,
+}
+
+/// One table's hardware-relevant geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct TableParams {
+    /// Stored entry width in bits.
+    pub entry_bits: usize,
+    /// Capacity in entries.
+    pub entries: usize,
+    /// True for TCAM tables.
+    pub tcam: bool,
+    /// Memory blocks the table occupies.
+    pub blocks: usize,
+}
+
+/// Hardware-relevant parameters of one compiled design on one prototype.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DesignParams {
+    /// Physical stage processors implemented on the chip.
+    pub stages: usize,
+    /// Stages actually active (programmed + selected) for this design.
+    pub active_stages: usize,
+    /// Header types in the parse graph.
+    pub parser_states: usize,
+    /// Total bits across all header types (parser datapath width driver).
+    pub total_header_bits: usize,
+    /// Parse-graph edges (transition count).
+    pub parse_edges: usize,
+    /// Table geometries.
+    pub tables: Vec<TableParams>,
+    /// Crossbar fabric size: potential TSP→block ports the interconnect
+    /// must implement so every stage can reach the design's blocks
+    /// (`stages × blocks` for a full crossbar; divided by the cluster
+    /// count for clustered fabrics). 0 for PISA.
+    pub crossbar_ports: usize,
+    /// TSP↔memory data bus width, bits.
+    pub bus_bits: usize,
+}
+
+impl DesignParams {
+    /// Extracts parameters from a compiled design.
+    ///
+    /// `physical_stages` is the chip's stage count (both paper prototypes
+    /// implement 8); `bus_bits` the memory data bus.
+    pub fn from_design(design: &CompiledDesign, physical_stages: usize, bus_bits: usize) -> Self {
+        let tables: Vec<TableParams> = design
+            .tables
+            .values()
+            .map(|def| {
+                let entry_bits = def.entry_width_bits(design.table_data_bits(&def.name));
+                let kind = BlockKind::for_table(def);
+                TableParams {
+                    entry_bits,
+                    entries: def.size,
+                    tcam: def.is_ternary(),
+                    blocks: blocks_needed(kind.geometry(), entry_bits, def.size),
+                }
+            })
+            .collect();
+        let total_blocks: usize = tables.iter().map(|t| t.blocks).sum();
+        DesignParams {
+            stages: physical_stages,
+            active_stages: design.selector.active_count().min(physical_stages),
+            parser_states: design.linkage.len(),
+            total_header_bits: design.linkage.iter().map(|h| h.fixed_bits()).sum(),
+            parse_edges: design.linkage.edges().len(),
+            tables,
+            crossbar_ports: physical_stages * total_blocks,
+            bus_bits,
+        }
+    }
+
+    /// Total memory blocks across tables.
+    pub fn total_blocks(&self) -> usize {
+        self.tables.iter().map(|t| t.blocks).sum()
+    }
+
+    /// The widest stored entry (drives the worst-stage memory access count).
+    pub fn max_entry_bits(&self) -> usize {
+        self.tables.iter().map(|t| t.entry_bits).max().unwrap_or(0)
+    }
+
+    /// Memory accesses the worst table costs per lookup on this bus.
+    pub fn worst_accesses(&self) -> usize {
+        self.max_entry_bits().div_ceil(self.bus_bits.max(1)).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsa_core::table::{ActionCall, KeyField, MatchKind, TableDef};
+    use ipsa_core::value::ValueRef;
+
+    fn design() -> CompiledDesign {
+        let mut d = CompiledDesign::empty("x", 8);
+        d.linkage = ipsa_netpkt::HeaderLinkage::standard();
+        d.tables.insert(
+            "wide".into(),
+            TableDef {
+                name: "wide".into(),
+                key: vec![KeyField {
+                    source: ValueRef::field("ipv6", "dst_addr"),
+                    bits: 128,
+                    kind: MatchKind::Exact,
+                }],
+                size: 2048,
+                actions: vec![],
+                default_action: ActionCall::no_action(),
+                with_counters: false,
+            },
+        );
+        d.selector = ipsa_core::pipeline_cfg::SelectorConfig::split(8, 3, 2).unwrap();
+        d.crossbar.insert(0, vec![0, 1, 2]);
+        d.crossbar.insert(1, vec![3]);
+        d
+    }
+
+    #[test]
+    fn extraction_reflects_design() {
+        let p = DesignParams::from_design(&design(), 8, 128);
+        assert_eq!(p.stages, 8);
+        assert_eq!(p.active_stages, 5);
+        assert_eq!(p.parser_states, 7);
+        // Fabric: 8 stages x 4 blocks.
+        assert_eq!(p.crossbar_ports, 32);
+        // 128-bit key + 8 tag = 136 bits -> 2 accesses on a 128-bit bus.
+        assert_eq!(p.worst_accesses(), 2);
+        // 136 bits over 112-wide SRAM = 2 cols; 2048 deep = 2 groups -> 4.
+        assert_eq!(p.total_blocks(), 4);
+    }
+}

@@ -1,0 +1,218 @@
+//! FPGA resource model (Table 2).
+//!
+//! First-order LUT/FF cost equations over design parameters, calibrated so
+//! the paper's base design on the 8-stage Alveo U280 prototypes lands on
+//! Table 2's magnitudes:
+//!
+//! | component     | PISA (LUT/FF)  | IPSA (LUT/FF)  |
+//! |---------------|----------------|----------------|
+//! | Front parser  | 0.88% / 0.10%  | —              |
+//! | Processors    | 5.32% / 0.47%  | 5.83% / 0.85%  |
+//! | Crossbar      | —              | 1.29% / 0.07%  |
+//! | Total         | 6.20% / 0.57%  | 7.12% / 0.92%  |
+//!
+//! The qualitative claims the model must preserve: IPSA pays a LUT/FF
+//! premium per processor for the distributed parser + template machinery
+//! (≈ +15% LUT / +61% FF total), PISA pays a front parser IPSA doesn't
+//! have, and only IPSA pays for a crossbar that grows with its port count.
+
+use serde::Serialize;
+
+use crate::params::{Arch, DesignParams};
+
+/// Alveo U280 LUT capacity.
+pub const LUT_TOTAL: f64 = 1_304_000.0;
+/// Alveo U280 FF capacity.
+pub const FF_TOTAL: f64 = 2_607_000.0;
+
+// --- Front parser (PISA only) -------------------------------------------
+/// LUTs per parser state (header type) in the front-end parser.
+const FP_LUT_PER_STATE: f64 = 900.0;
+/// LUTs per header bit of parser datapath.
+const FP_LUT_PER_BIT: f64 = 4.0;
+/// FFs per header bit held in the parsed-header vector.
+const FP_FF_PER_BIT: f64 = 2.2;
+
+// --- Stage processors ----------------------------------------------------
+/// Base LUTs of one PISA match-action stage.
+const PISA_STAGE_LUT: f64 = 8_300.0;
+/// Base FFs of one PISA stage.
+const PISA_STAGE_FF: f64 = 1_450.0;
+/// Extra LUTs per table hosted by a stage (key mux + action units).
+const STAGE_LUT_PER_TABLE: f64 = 180.0;
+/// Extra LUTs of one IPSA TSP over a PISA stage: the per-stage parser
+/// sub-module and the template interpretation logic.
+const TSP_EXTRA_LUT: f64 = 800.0;
+/// Extra FFs of one IPSA TSP: template parameter registers dominate.
+const TSP_EXTRA_FF: f64 = 1_250.0;
+
+// --- Crossbar (IPSA only) ------------------------------------------------
+/// LUTs per fabric port (mux tree share per TSP↔block pair).
+const XBAR_LUT_PER_PORT: f64 = 62.0;
+/// Flat LUT cost of the crossbar control plane.
+const XBAR_LUT_BASE: f64 = 2_600.0;
+/// FFs per fabric port (config registers).
+const XBAR_FF_PER_PORT: f64 = 7.0;
+
+/// A LUT/FF pair, as percentages of chip capacity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct LutFf {
+    /// Percent of LUTs.
+    pub lut_pct: f64,
+    /// Percent of flip-flops.
+    pub ff_pct: f64,
+}
+
+impl LutFf {
+    fn from_abs(lut: f64, ff: f64) -> Self {
+        LutFf {
+            lut_pct: 100.0 * lut / LUT_TOTAL,
+            ff_pct: 100.0 * ff / FF_TOTAL,
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn plus(self, other: LutFf) -> LutFf {
+        LutFf {
+            lut_pct: self.lut_pct + other.lut_pct,
+            ff_pct: self.ff_pct + other.ff_pct,
+        }
+    }
+}
+
+/// Table 2-shaped resource report.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct ResourceReport {
+    /// Front parser (zero for IPSA).
+    pub front_parser: LutFf,
+    /// Stage processors.
+    pub processors: LutFf,
+    /// Crossbar (zero for PISA).
+    pub crossbar: LutFf,
+    /// Total.
+    pub total: LutFf,
+}
+
+/// Computes the resource report for a design on an architecture.
+pub fn resources(arch: Arch, p: &DesignParams) -> ResourceReport {
+    let tables_per_stage = p.tables.len() as f64 / p.stages.max(1) as f64;
+    let mut report = ResourceReport::default();
+    match arch {
+        Arch::Pisa => {
+            report.front_parser = LutFf::from_abs(
+                FP_LUT_PER_STATE * p.parser_states as f64
+                    + FP_LUT_PER_BIT * p.total_header_bits as f64,
+                FP_FF_PER_BIT * p.total_header_bits as f64,
+            );
+            report.processors = LutFf::from_abs(
+                p.stages as f64 * (PISA_STAGE_LUT + STAGE_LUT_PER_TABLE * tables_per_stage),
+                p.stages as f64 * PISA_STAGE_FF,
+            );
+        }
+        Arch::Ipsa => {
+            // No front parser: its function is distributed into the TSPs
+            // (accounted in the TSP premium).
+            report.processors = LutFf::from_abs(
+                p.stages as f64
+                    * (PISA_STAGE_LUT + TSP_EXTRA_LUT + STAGE_LUT_PER_TABLE * tables_per_stage),
+                p.stages as f64 * (PISA_STAGE_FF + TSP_EXTRA_FF),
+            );
+            report.crossbar = LutFf::from_abs(
+                XBAR_LUT_BASE + XBAR_LUT_PER_PORT * p.crossbar_ports as f64,
+                XBAR_FF_PER_PORT * p.crossbar_ports as f64,
+            );
+        }
+    }
+    report.total = report
+        .front_parser
+        .plus(report.processors)
+        .plus(report.crossbar);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::TableParams;
+
+    /// Parameters approximating the paper's base L2/L3 design on the
+    /// 8-stage prototypes.
+    pub fn base_like() -> DesignParams {
+        DesignParams {
+            stages: 8,
+            active_stages: 7,
+            parser_states: 7,
+            total_header_bits: 960,
+            parse_edges: 8,
+            tables: (0..10)
+                .map(|i| TableParams {
+                    entry_bits: 80 + 16 * i,
+                    entries: 1024,
+                    tcam: false,
+                    blocks: 2,
+                })
+                .collect(),
+            crossbar_ports: 8 * 27,
+            bus_bits: 128,
+        }
+    }
+
+    #[test]
+    fn pisa_magnitudes_match_table2() {
+        let r = resources(Arch::Pisa, &base_like());
+        assert!((0.6..=1.2).contains(&r.front_parser.lut_pct), "{r:?}");
+        assert!((4.5..=6.5).contains(&r.processors.lut_pct), "{r:?}");
+        assert!((5.0..=7.5).contains(&r.total.lut_pct), "{r:?}");
+        assert!((0.3..=0.8).contains(&r.total.ff_pct), "{r:?}");
+        assert_eq!(r.crossbar, LutFf::default());
+    }
+
+    #[test]
+    fn ipsa_magnitudes_match_table2() {
+        let r = resources(Arch::Ipsa, &base_like());
+        assert_eq!(r.front_parser, LutFf::default());
+        assert!((5.0..=7.0).contains(&r.processors.lut_pct), "{r:?}");
+        assert!((0.8..=2.0).contains(&r.crossbar.lut_pct), "{r:?}");
+        assert!((6.0..=8.5).contains(&r.total.lut_pct), "{r:?}");
+        assert!((0.6..=1.2).contains(&r.total.ff_pct), "{r:?}");
+    }
+
+    #[test]
+    fn ipsa_premium_shape_holds() {
+        let p = base_like();
+        let pisa = resources(Arch::Pisa, &p);
+        let ipsa = resources(Arch::Ipsa, &p);
+        let lut_premium = ipsa.total.lut_pct / pisa.total.lut_pct;
+        let ff_premium = ipsa.total.ff_pct / pisa.total.ff_pct;
+        // Paper: +14.84% LUT, +61.40% FF.
+        assert!((1.05..=1.35).contains(&lut_premium), "LUT premium {lut_premium}");
+        assert!((1.3..=2.1).contains(&ff_premium), "FF premium {ff_premium}");
+        assert!(ff_premium > lut_premium, "FF premium dominates (template regs)");
+    }
+
+    #[test]
+    fn crossbar_grows_with_ports() {
+        let mut p = base_like();
+        let small = resources(Arch::Ipsa, &p);
+        p.crossbar_ports *= 4;
+        let big = resources(Arch::Ipsa, &p);
+        assert!(big.crossbar.lut_pct > small.crossbar.lut_pct);
+        assert!(big.total.lut_pct > small.total.lut_pct);
+    }
+
+    #[test]
+    fn parser_grows_with_headers() {
+        let mut p = base_like();
+        let small = resources(Arch::Pisa, &p);
+        p.parser_states = 14;
+        p.total_header_bits = 2200;
+        let big = resources(Arch::Pisa, &p);
+        assert!(big.front_parser.lut_pct > small.front_parser.lut_pct);
+        // IPSA resources are unchanged by a bigger parse graph (distributed
+        // parsing is part of the TSP budget).
+        assert_eq!(
+            resources(Arch::Ipsa, &p).processors,
+            resources(Arch::Ipsa, &base_like()).processors
+        );
+    }
+}

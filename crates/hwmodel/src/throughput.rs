@@ -1,0 +1,216 @@
+//! Throughput model (Sec. 5, "Throughput").
+//!
+//! Both prototypes run at 200 MHz and neither realizes ideal
+//! one-cycle-per-packet. Throughput = clock / cycles-per-packet, where
+//! cycles-per-packet is set by the slowest pipeline stage:
+//!
+//! - **PISA**: a stage does one integrated-memory lookup; the front parser
+//!   adds a small serialization overhead growing with the parse datapath.
+//!   Paper: 187.33 / 153.71 / 191.93 Mpps for C1/C2/C3.
+//! - **IPSA**: the slowest TSP additionally pays (a) extra memory beats
+//!   when the widest table entry exceeds the data bus ("the table entry
+//!   size exceeds the data bus width") and (b) one per-packet template
+//!   parameter fetch ("the extra time for loading the per-packet
+//!   configuration parameters"). Paper: 65.81 / 51.36 / 86.62 Mpps.
+//!
+//! The paper also names the fixes — widening the bus and pipelining the
+//! TSP internals — so the model exposes both knobs for the ablation bench.
+
+use serde::Serialize;
+
+use crate::params::{Arch, DesignParams};
+
+/// Prototype clock, MHz.
+pub const CLOCK_MHZ: f64 = 200.0;
+/// Parser serialization cycles per kilobit of parsed headers (PISA front
+/// parser and IPSA distributed parsers alike — both touch the same bits).
+const PARSE_CYCLES_PER_KBIT: f64 = 0.09;
+/// Cycles one template-parameter fetch costs an unpipelined TSP.
+const TEMPLATE_FETCH_CYCLES: f64 = 1.0;
+/// Extra scheduling cycles per active TSP beyond the first (unpipelined
+/// TSP internals; eliminated by `pipelined_tsp`).
+const TSP_SCHED_CYCLES: f64 = 0.028;
+
+/// Throughput-model knobs (the paper's proposed improvements).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ThroughputOptions {
+    /// Pipeline the TSP internal design, hiding the template fetch.
+    pub pipelined_tsp: bool,
+    /// Override the memory bus width (bits); `None` = design's bus.
+    pub bus_bits: Option<usize>,
+}
+
+/// Throughput report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ThroughputReport {
+    /// Cycles per packet of the limiting stage.
+    pub cycles_per_packet: f64,
+    /// Throughput in Mpps at 200 MHz.
+    pub mpps: f64,
+}
+
+/// Computes throughput for a design on an architecture.
+pub fn throughput(arch: Arch, p: &DesignParams, opts: ThroughputOptions) -> ThroughputReport {
+    let parse_cycles = PARSE_CYCLES_PER_KBIT * p.total_header_bits as f64 / 1000.0;
+    let bus = opts.bus_bits.unwrap_or(p.bus_bits).max(1);
+    let cpp = match arch {
+        Arch::Pisa => {
+            // Integrated per-stage memory: one access per lookup regardless
+            // of entry width (the stage's RAM is as wide as its entry).
+            1.0 + parse_cycles
+        }
+        Arch::Ipsa => {
+            let extra_beats = (p.max_entry_bits().div_ceil(bus).max(1) - 1) as f64;
+            let fetch = if opts.pipelined_tsp {
+                0.0
+            } else {
+                TEMPLATE_FETCH_CYCLES
+            };
+            let sched = if opts.pipelined_tsp {
+                0.0
+            } else {
+                TSP_SCHED_CYCLES * p.active_stages.saturating_sub(1) as f64
+            };
+            1.0 + parse_cycles + extra_beats + fetch + sched
+        }
+    };
+    ThroughputReport {
+        cycles_per_packet: cpp,
+        mpps: CLOCK_MHZ / cpp,
+    }
+}
+
+/// Per-packet pipeline *latency* in cycles (distinct from throughput: how
+/// long one packet spends in the pipe).
+///
+/// PISA: every physical stage sits in the fixed pipeline, functional or
+/// not, plus the front parser's serialization. IPSA: bypassed TSPs are
+/// excluded from the chain, "which offsets the extra … latency introduced
+/// by the crossbar and distributed parser" (Sec. 5 discussion) — each
+/// active TSP pays its template fetch and crossbar traversal instead.
+pub fn pipeline_latency_cycles(arch: Arch, p: &DesignParams) -> f64 {
+    /// Cycles one match-action stage adds to the transit time.
+    const STAGE_CYCLES: f64 = 3.0;
+    /// Crossbar traversal cycles per table access.
+    const XBAR_CYCLES: f64 = 1.0;
+    let parse_cycles = PARSE_CYCLES_PER_KBIT * p.total_header_bits as f64 / 1000.0;
+    match arch {
+        Arch::Pisa => {
+            // Front parser + every physical stage, active or not.
+            parse_cycles * 10.0 + STAGE_CYCLES * p.stages as f64
+        }
+        Arch::Ipsa => {
+            // Only active TSPs; each pays fetch + crossbar + its share of
+            // the distributed parsing.
+            let per_tsp = STAGE_CYCLES + TEMPLATE_FETCH_CYCLES + XBAR_CYCLES;
+            parse_cycles * 10.0 + per_tsp * p.active_stages as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::TableParams;
+
+    fn params(max_entry_bits: usize, header_bits: usize) -> DesignParams {
+        DesignParams {
+            stages: 8,
+            active_stages: 7,
+            parser_states: 7,
+            total_header_bits: header_bits,
+            parse_edges: 8,
+            tables: vec![TableParams {
+                entry_bits: max_entry_bits,
+                entries: 1024,
+                tcam: false,
+                blocks: 2,
+            }],
+            crossbar_ports: 8 * 27,
+            bus_bits: 128,
+        }
+    }
+
+    #[test]
+    fn magnitudes_match_section5() {
+        // C1-like design: ~1 extra beat (entry slightly over the bus).
+        let p = params(160, 960);
+        let pisa = throughput(Arch::Pisa, &p, Default::default());
+        let ipsa = throughput(Arch::Ipsa, &p, Default::default());
+        assert!((150.0..=200.0).contains(&pisa.mpps), "pisa {}", pisa.mpps);
+        assert!((50.0..=100.0).contains(&ipsa.mpps), "ipsa {}", ipsa.mpps);
+        let ratio = pisa.mpps / ipsa.mpps;
+        assert!((1.8..=3.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn wider_entries_hurt_ipsa_not_pisa() {
+        let narrow = params(100, 960);
+        let wide = params(300, 960);
+        let p_n = throughput(Arch::Pisa, &narrow, Default::default());
+        let p_w = throughput(Arch::Pisa, &wide, Default::default());
+        assert!((p_n.mpps - p_w.mpps).abs() < 1e-9);
+        let i_n = throughput(Arch::Ipsa, &narrow, Default::default());
+        let i_w = throughput(Arch::Ipsa, &wide, Default::default());
+        assert!(i_w.mpps < i_n.mpps);
+    }
+
+    #[test]
+    fn paper_fixes_recover_throughput() {
+        let p = params(300, 960);
+        let base = throughput(Arch::Ipsa, &p, Default::default());
+        // Fix 1: widen the bus.
+        let wide_bus = throughput(
+            Arch::Ipsa,
+            &p,
+            ThroughputOptions {
+                bus_bits: Some(512),
+                ..Default::default()
+            },
+        );
+        assert!(wide_bus.mpps > base.mpps);
+        // Fix 2: pipeline the TSP (hides the template fetch).
+        let pipelined = throughput(
+            Arch::Ipsa,
+            &p,
+            ThroughputOptions {
+                pipelined_tsp: true,
+                bus_bits: Some(512),
+            },
+        );
+        assert!(pipelined.mpps > wide_bus.mpps);
+        // Both fixes together approach PISA.
+        let pisa = throughput(Arch::Pisa, &p, Default::default());
+        assert!(pipelined.mpps / pisa.mpps > 0.95);
+    }
+
+    #[test]
+    fn latency_shape_matches_discussion() {
+        // Full pipelines: IPSA pays extra per-stage latency (fetch+xbar).
+        let mut p = params(100, 960);
+        p.active_stages = 8;
+        let full_pisa = pipeline_latency_cycles(Arch::Pisa, &p);
+        let full_ipsa = pipeline_latency_cycles(Arch::Ipsa, &p);
+        assert!(full_ipsa > full_pisa);
+        // Small designs: bypassed TSPs leave the chain, so IPSA's latency
+        // drops below PISA's fixed pipeline — the discussion's offset.
+        p.active_stages = 3;
+        let small_ipsa = pipeline_latency_cycles(Arch::Ipsa, &p);
+        assert!(small_ipsa < full_pisa);
+        assert!(
+            (pipeline_latency_cycles(Arch::Pisa, &p) - full_pisa).abs() < 1e-9,
+            "PISA latency is independent of how many stages the app uses"
+        );
+    }
+
+    #[test]
+    fn heavier_parsing_slows_both() {
+        let light = params(100, 500);
+        let heavy = params(100, 2000);
+        for arch in [Arch::Pisa, Arch::Ipsa] {
+            let l = throughput(arch, &light, Default::default());
+            let h = throughput(arch, &heavy, Default::default());
+            assert!(h.mpps < l.mpps);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! CCM — the Control Channel Module.
+//!
+//! "The Control Channel Module bridges the data plane with the controller
+//! for runtime configuration" (Sec. 4.1). It interprets control messages
+//! against the PM/SM state and accounts their cost under the device's
+//! [`CostModel`] — the simulated load time (t_L) and the pipeline-stall
+//! window between `Drain` and `Resume`.
+
+use ipsa_core::control::{full_install_msgs, ApplyReport, ControlMsg};
+use ipsa_core::error::CoreError;
+use ipsa_core::timing::CostModel;
+use ipsa_netpkt::linkage::HeaderLinkage;
+
+use crate::pm::PipelineModule;
+use crate::sm::StorageModule;
+
+/// Applies one message functionally (no cost accounting).
+fn apply_one(
+    pm: &mut PipelineModule,
+    sm: &mut StorageModule,
+    linkage: &mut HeaderLinkage,
+    msg: &ControlMsg,
+) -> Result<(), CoreError> {
+    match msg {
+        ControlMsg::Drain => {
+            pm.draining = true;
+        }
+        ControlMsg::Resume => {
+            pm.draining = false;
+        }
+        ControlMsg::WriteTemplate { slot, template } => {
+            pm.write_template(*slot, template.clone())?;
+        }
+        ControlMsg::ClearSlot { slot } => {
+            pm.clear_slot(*slot)?;
+        }
+        ControlMsg::SetSelector(cfg) => {
+            pm.set_selector(cfg.clone())?;
+        }
+        ControlMsg::ConnectCrossbar { slot, blocks } => {
+            if blocks.is_empty() {
+                pm.crossbar.disconnect(*slot);
+            } else {
+                pm.crossbar.connect(*slot, blocks)?;
+            }
+        }
+        ControlMsg::RegisterHeader(ty) => {
+            linkage.register(ty.clone());
+        }
+        ControlMsg::SetFirstHeader(name) => {
+            linkage
+                .set_first(name)
+                .map_err(|e| CoreError::Config(e.to_string()))?;
+        }
+        ControlMsg::UnregisterHeader(name) => {
+            linkage.unregister(name);
+        }
+        ControlMsg::LinkHeader { pre, next, tag } => {
+            linkage
+                .link(pre, next, *tag)
+                .map_err(|e| CoreError::Config(e.to_string()))?;
+        }
+        ControlMsg::UnlinkHeader { pre, next } => {
+            linkage
+                .unlink(pre, next)
+                .map_err(|e| CoreError::Config(e.to_string()))?;
+        }
+        ControlMsg::DefineAction(def) => {
+            sm.define_action(def.clone());
+        }
+        ControlMsg::RemoveAction(name) => {
+            sm.remove_action(name);
+        }
+        ControlMsg::DefineMetadata(fields) => {
+            sm.define_metadata(fields);
+        }
+        ControlMsg::CreateTable { def, blocks } => {
+            sm.create_table(def.clone(), blocks.clone())?;
+        }
+        ControlMsg::DestroyTable(name) => {
+            sm.destroy_table(name)?;
+        }
+        ControlMsg::MigrateTable { table, blocks } => {
+            sm.migrate_table(table, blocks.clone())?;
+        }
+        ControlMsg::AddEntry { table, entry } => {
+            sm.insert_entry(table, entry.clone())?;
+        }
+        ControlMsg::DelEntry { table, key } => {
+            sm.delete_entry(table, key)?;
+        }
+        ControlMsg::SetDefaultAction { table, action } => {
+            sm.set_default_action(table, action.clone())?;
+        }
+        ControlMsg::LoadFullDesign(design) => {
+            // Whole-design swap: wipe pipeline and storage, then install.
+            let slots = pm.slot_count();
+            for s in 0..slots {
+                pm.clear_slot(s)?;
+                pm.crossbar.disconnect(s);
+            }
+            for t in sm.table_names() {
+                sm.destroy_table(&t)?;
+            }
+            *linkage = HeaderLinkage::new();
+            for sub in full_install_msgs(design) {
+                apply_one(pm, sm, linkage, &sub)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Applies a message batch, returning the cost report. Application is
+/// sequential; the first failing message aborts the batch with the device
+/// partially configured (the controller validates plans before shipping
+/// them, so this indicates a controller bug and is surfaced loudly).
+pub fn apply_msgs(
+    pm: &mut PipelineModule,
+    sm: &mut StorageModule,
+    linkage: &mut HeaderLinkage,
+    cost: &CostModel,
+    msgs: &[ControlMsg],
+) -> Result<ApplyReport, CoreError> {
+    let mut report = ApplyReport::default();
+    let mut in_drain = false;
+    for msg in msgs {
+        let us = cost.msg_cost_us(msg);
+        report.msgs += 1;
+        report.bytes += msg.payload_bytes();
+        report.load_us += us;
+        if matches!(msg, ControlMsg::Drain) {
+            in_drain = true;
+        }
+        if in_drain {
+            report.stall_us += us;
+        }
+        if matches!(msg, ControlMsg::Resume) {
+            in_drain = false;
+        }
+        if matches!(msg, ControlMsg::AddEntry { .. }) {
+            report.entries_written += 1;
+        }
+        apply_one(pm, sm, linkage, msg)?;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsa_core::crossbar::Crossbar;
+    use ipsa_core::pipeline_cfg::SelectorConfig;
+    use ipsa_core::table::{ActionCall, KeyField, MatchKind, TableDef, TableEntry};
+    use ipsa_core::template::TspTemplate;
+    use ipsa_core::value::ValueRef;
+
+    fn parts() -> (PipelineModule, StorageModule, HeaderLinkage) {
+        (
+            PipelineModule::new(8, Crossbar::full()),
+            StorageModule::new(8, 2, 128),
+            HeaderLinkage::standard(),
+        )
+    }
+
+    fn table_def() -> TableDef {
+        TableDef {
+            name: "t".into(),
+            key: vec![KeyField {
+                source: ValueRef::Meta("x".into()),
+                bits: 16,
+                kind: MatchKind::Exact,
+            }],
+            size: 16,
+            actions: vec![],
+            default_action: ActionCall::no_action(),
+            with_counters: false,
+        }
+    }
+
+    #[test]
+    fn batch_applies_and_costs() {
+        let (mut pm, mut sm, mut linkage) = parts();
+        let msgs = vec![
+            ControlMsg::Drain,
+            ControlMsg::WriteTemplate {
+                slot: 0,
+                template: TspTemplate::passthrough("s"),
+            },
+            ControlMsg::SetSelector(SelectorConfig::split(8, 1, 0).unwrap()),
+            ControlMsg::Resume,
+            ControlMsg::CreateTable {
+                def: table_def(),
+                blocks: vec![0],
+            },
+            ControlMsg::AddEntry {
+                table: "t".into(),
+                entry: TableEntry::exact(vec![1], ActionCall::no_action()),
+            },
+        ];
+        let cost = CostModel::software();
+        let r = apply_msgs(&mut pm, &mut sm, &mut linkage, &cost, &msgs).unwrap();
+        assert_eq!(r.msgs, 6);
+        assert_eq!(r.entries_written, 1);
+        assert!(r.load_us > 0.0);
+        // Stall covers exactly the Drain..Resume window.
+        assert!(r.stall_us > 0.0 && r.stall_us < r.load_us);
+        assert!(pm.slots[0].template.is_some());
+        assert!(!pm.draining);
+        assert_eq!(sm.table_names(), vec!["t".to_string()]);
+    }
+
+    #[test]
+    fn bad_message_aborts() {
+        let (mut pm, mut sm, mut linkage) = parts();
+        let msgs = vec![ControlMsg::ClearSlot { slot: 99 }];
+        let cost = CostModel::software();
+        assert!(apply_msgs(&mut pm, &mut sm, &mut linkage, &cost, &msgs).is_err());
+    }
+
+    #[test]
+    fn header_msgs_mutate_linkage() {
+        let (mut pm, mut sm, mut linkage) = parts();
+        let cost = CostModel::software();
+        let msgs = vec![
+            ControlMsg::RegisterHeader(ipsa_netpkt::protocols::srh()),
+            ControlMsg::LinkHeader {
+                pre: "ipv6".into(),
+                next: "srh".into(),
+                tag: 43,
+            },
+        ];
+        apply_msgs(&mut pm, &mut sm, &mut linkage, &cost, &msgs).unwrap();
+        assert!(linkage
+            .edges()
+            .contains(&("ipv6".to_string(), 43, "srh".to_string())));
+    }
+
+    #[test]
+    fn full_design_swap_resets_state() {
+        let (mut pm, mut sm, mut linkage) = parts();
+        let cost = CostModel::software();
+        // Pre-state: a table and a template.
+        apply_msgs(
+            &mut pm,
+            &mut sm,
+            &mut linkage,
+            &cost,
+            &[
+                ControlMsg::CreateTable {
+                    def: table_def(),
+                    blocks: vec![0],
+                },
+                ControlMsg::WriteTemplate {
+                    slot: 3,
+                    template: TspTemplate::passthrough("old"),
+                },
+            ],
+        )
+        .unwrap();
+        // Swap in an empty design.
+        let design = ipsa_core::template::CompiledDesign::empty("fresh", 8);
+        apply_msgs(
+            &mut pm,
+            &mut sm,
+            &mut linkage,
+            &cost,
+            &[ControlMsg::LoadFullDesign(Box::new(design))],
+        )
+        .unwrap();
+        assert!(pm.slots[3].template.is_none());
+        assert!(sm.table_names().is_empty());
+    }
+}

@@ -1,0 +1,450 @@
+//! SM — the Storage Module.
+//!
+//! "The Storage Module realizes the disaggregated memory pool" (Sec. 4.1).
+//! The SM owns the block pool, the header registry/linkage, metadata and
+//! action definitions, and the installed tables. Every table is doubly
+//! represented: a software index ([`ipsa_core::table::Table`]) for lookup
+//! speed, and the authoritative serialized rows inside the pool blocks —
+//! the SM keeps the two in sync on every entry operation.
+
+use std::collections::HashMap;
+
+use ipsa_core::action::ActionDef;
+use ipsa_core::error::CoreError;
+use ipsa_core::memory::{
+    blocks_needed, serialize_entry, BlockKind, MemoryPool, TableBlockMap,
+};
+use ipsa_core::table::{Hit, KeyMatch, Table, TableDef, TableEntry};
+use ipsa_core::value::EvalCtx;
+use ipsa_netpkt::packet::Packet;
+
+/// One installed table: software index + its block mapping.
+#[derive(Debug, Clone)]
+pub struct TableStore {
+    /// Software lookup index.
+    pub table: Table,
+    /// Row → block mapping in the pool.
+    pub map: TableBlockMap,
+}
+
+/// The storage module.
+#[derive(Debug)]
+pub struct StorageModule {
+    /// The disaggregated block pool.
+    pub pool: MemoryPool,
+    /// Declared metadata fields.
+    pub metadata: Vec<(String, usize)>,
+    /// Action registry.
+    pub actions: HashMap<String, ActionDef>,
+    tables: HashMap<String, TableStore>,
+    /// Data-bus width between TSPs and blocks (throughput accounting).
+    pub bus_bits: usize,
+    /// Cumulative memory accesses performed by lookups.
+    pub mem_accesses: u64,
+}
+
+impl StorageModule {
+    /// New SM with a pool of `sram`+`tcam` blocks.
+    pub fn new(sram: usize, tcam: usize, bus_bits: usize) -> Self {
+        let mut actions = HashMap::new();
+        actions.insert("NoAction".to_string(), ActionDef::no_action());
+        StorageModule {
+            pool: MemoryPool::new(sram, tcam),
+            metadata: Vec::new(),
+            actions,
+            tables: HashMap::new(),
+            bus_bits,
+            mem_accesses: 0,
+        }
+    }
+
+    /// Declared width of a metadata field (128 for undeclared scratch).
+    pub fn meta_width(&self, name: &str) -> usize {
+        self.metadata
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| *b)
+            .unwrap_or(128)
+    }
+
+    /// Adds metadata declarations (idempotent per field).
+    pub fn define_metadata(&mut self, fields: &[(String, usize)]) {
+        for (n, b) in fields {
+            if !self.metadata.iter().any(|(m, _)| m == n) {
+                self.metadata.push((n.clone(), *b));
+            }
+        }
+    }
+
+    /// Defines (or replaces) an action.
+    pub fn define_action(&mut self, def: ActionDef) {
+        self.actions.insert(def.name.clone(), def);
+    }
+
+    /// Removes an action.
+    pub fn remove_action(&mut self, name: &str) {
+        self.actions.remove(name);
+    }
+
+    /// Maximum action-data width of a table (bits), from its action defs.
+    fn table_data_bits(&self, def: &TableDef) -> usize {
+        def.actions
+            .iter()
+            .filter_map(|a| self.actions.get(a))
+            .map(|a| a.data_bits())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Installed table names (sorted).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Read access to a table store.
+    pub fn table(&self, name: &str) -> Option<&TableStore> {
+        self.tables.get(name)
+    }
+
+    /// Creates a table bound to specific pool blocks (chosen by rp4bc's
+    /// packing solver). Verifies the allocation suffices for the table's
+    /// geometry.
+    pub fn create_table(&mut self, def: TableDef, blocks: Vec<usize>) -> Result<(), CoreError> {
+        if self.tables.contains_key(&def.name) {
+            // Replace semantics: recreate (e.g. a re-loaded function).
+            self.destroy_table(&def.name)?;
+        }
+        let data_bits = self.table_data_bits(&def);
+        let entry_bits = def.entry_width_bits(data_bits);
+        let kind = BlockKind::for_table(&def);
+        let need = blocks_needed(kind.geometry(), entry_bits, def.size);
+        if blocks.len() < need {
+            return Err(CoreError::Config(format!(
+                "table `{}` needs {need} blocks, allocation has {}",
+                def.name,
+                blocks.len()
+            )));
+        }
+        self.pool.allocate_specific(&def.name, &blocks)?;
+        let map = TableBlockMap::new(&def.name, entry_bits, def.size, kind, blocks)?;
+        let name = def.name.clone();
+        let table = Table::new(def)?;
+        self.tables.insert(name, TableStore { table, map });
+        Ok(())
+    }
+
+    /// Destroys a table, recycling its blocks ("if a logical stage is
+    /// deleted, the associated memory blocks are also recycled").
+    pub fn destroy_table(&mut self, name: &str) -> Result<Vec<usize>, CoreError> {
+        self.tables
+            .remove(name)
+            .ok_or_else(|| CoreError::UnknownTable(name.to_string()))?;
+        Ok(self.pool.free_owner(name))
+    }
+
+    /// Inserts an entry: updates the index and serializes the row into the
+    /// backing blocks.
+    pub fn insert_entry(&mut self, table: &str, entry: TableEntry) -> Result<usize, CoreError> {
+        let store = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| CoreError::UnknownTable(table.to_string()))?;
+        // Param widths of the entry's action, for serialization.
+        let param_bits: Vec<usize> = self
+            .actions
+            .get(&entry.action.action)
+            .map(|a| a.params.iter().map(|(_, b)| *b).collect())
+            .unwrap_or_default();
+        let tag = store.table.def.action_tag(&entry.action.action).unwrap_or(0);
+        let row = store.table.insert(entry)?;
+        let e = store.table.row(row).expect("just inserted").clone();
+        let bytes = serialize_entry(&store.table.def, &param_bits, tag, &e)?;
+        store.map.write_row(&mut self.pool, row, &bytes)?;
+        Ok(row)
+    }
+
+    /// Deletes an entry by key, zeroing its backing row.
+    pub fn delete_entry(&mut self, table: &str, key: &[KeyMatch]) -> Result<usize, CoreError> {
+        let store = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| CoreError::UnknownTable(table.to_string()))?;
+        let row = store.table.delete(key)?;
+        let zero = vec![0u8; store.map.entry_bits.div_ceil(8)];
+        store.map.write_row(&mut self.pool, row, &zero)?;
+        Ok(row)
+    }
+
+    /// Changes a table's default (miss) action.
+    pub fn set_default_action(
+        &mut self,
+        table: &str,
+        action: ipsa_core::table::ActionCall,
+    ) -> Result<(), CoreError> {
+        let store = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| CoreError::UnknownTable(table.to_string()))?;
+        store.table.def.default_action = action;
+        Ok(())
+    }
+
+    /// Migrates a table's backing storage to `new_blocks`: allocates the
+    /// destination, copies every live row (entries *and* their block-level
+    /// bytes survive), recycles the old blocks. This is what a clustered
+    /// crossbar forces when a logical stage moves clusters (Sec. 2.4).
+    pub fn migrate_table(&mut self, table: &str, new_blocks: Vec<usize>) -> Result<(), CoreError> {
+        let store = self
+            .tables
+            .get(table)
+            .ok_or_else(|| CoreError::UnknownTable(table.to_string()))?;
+        let live_rows = store
+            .table
+            .iter()
+            .map(|(r, _)| r + 1)
+            .max()
+            .unwrap_or(0);
+        if new_blocks.len() < store.map.block_ids.len() {
+            return Err(CoreError::Config(format!(
+                "migration of `{table}` needs {} blocks, got {}",
+                store.map.block_ids.len(),
+                new_blocks.len()
+            )));
+        }
+        // Stage the destination under a temporary owner so the copy sees
+        // both allocations, then hand ownership over.
+        let tmp_owner = format!("{table}:migrating");
+        self.pool.allocate_specific(&tmp_owner, &new_blocks)?;
+        let old_map = self.tables.get(table).expect("checked").map.clone();
+        let new_map = match old_map.migrate(&mut self.pool, new_blocks, live_rows) {
+            Ok(m) => m,
+            Err(e) => {
+                self.pool.free_owner(&tmp_owner);
+                return Err(e);
+            }
+        };
+        self.pool.free_owner(table); // recycle the old blocks
+        // Hand the copied blocks over without touching their contents.
+        self.pool.reassign(&tmp_owner, table);
+        self.tables.get_mut(table).expect("checked").map = new_map;
+        Ok(())
+    }
+
+    /// Performs a lookup, accounting the memory accesses it costs on the
+    /// data bus.
+    pub fn lookup(
+        &mut self,
+        table: &str,
+        pkt: &Packet,
+        ctx: &EvalCtx<'_>,
+    ) -> Result<Option<Hit>, CoreError> {
+        let bus = self.bus_bits;
+        let store = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| CoreError::UnknownTable(table.to_string()))?;
+        self.mem_accesses += store.map.accesses_per_lookup(bus) as u64;
+        store.table.lookup(pkt, ctx)
+    }
+
+    /// Blocks currently backing a table.
+    pub fn blocks_of(&self, table: &str) -> Vec<usize> {
+        self.tables
+            .get(table)
+            .map(|s| s.map.block_ids.clone())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsa_core::table::{ActionCall, KeyField, MatchKind};
+    use ipsa_core::value::ValueRef;
+    use ipsa_netpkt::builder::{ipv4_udp_packet, Ipv4UdpSpec};
+
+    fn sm() -> StorageModule {
+        let mut sm = StorageModule::new(16, 4, 128);
+        sm.define_metadata(&[("nexthop".into(), 16)]);
+        sm.define_action(ActionDef {
+            name: "set_nh".into(),
+            params: vec![("nh".into(), 16)],
+            body: vec![ipsa_core::action::Primitive::Set {
+                dst: ipsa_core::value::LValueRef::Meta("nexthop".into()),
+                src: ValueRef::Param(0),
+            }],
+        });
+        sm
+    }
+
+    fn fib_def() -> TableDef {
+        TableDef {
+            name: "fib".into(),
+            key: vec![KeyField {
+                source: ValueRef::field("ipv4", "dst_addr"),
+                bits: 32,
+                kind: MatchKind::Lpm,
+            }],
+            size: 256,
+            actions: vec!["set_nh".into()],
+            default_action: ActionCall::no_action(),
+            with_counters: false,
+        }
+    }
+
+    #[test]
+    fn create_insert_lookup_destroy_cycle() {
+        let mut sm = sm();
+        sm.create_table(fib_def(), vec![0]).unwrap();
+        assert_eq!(sm.pool.owned_by("fib"), vec![0]);
+
+        let row = sm
+            .insert_entry(
+                "fib",
+                TableEntry {
+                    key: vec![KeyMatch::Lpm {
+                        value: 0x0a000000,
+                        prefix_len: 8,
+                    }],
+                    priority: 0,
+                    action: ActionCall::new("set_nh", vec![42]),
+                    counter: 0,
+                },
+            )
+            .unwrap();
+
+        // The blocks really hold the entry.
+        let bytes = sm.table("fib").unwrap().map.read_row(&sm.pool, row).unwrap();
+        assert!(bytes.iter().any(|&b| b != 0));
+
+        let linkage = ipsa_netpkt::HeaderLinkage::standard();
+        let mut p = ipv4_udp_packet(&Ipv4UdpSpec {
+            dst_ip: 0x0a010203,
+            ..Default::default()
+        });
+        p.ensure_parsed(&linkage, "ipv4").unwrap();
+        let ctx = EvalCtx::bare(&linkage);
+        let hit = sm.lookup("fib", &p, &ctx).unwrap().unwrap();
+        assert_eq!(hit.action.args, vec![42]);
+        assert!(sm.mem_accesses >= 1);
+
+        let freed = sm.destroy_table("fib").unwrap();
+        assert_eq!(freed, vec![0]);
+        assert!(sm.lookup("fib", &p, &ctx).is_err());
+    }
+
+    #[test]
+    fn delete_zeroes_backing_row() {
+        let mut sm = sm();
+        sm.create_table(fib_def(), vec![0]).unwrap();
+        let key = vec![KeyMatch::Lpm {
+            value: 0x0a000000,
+            prefix_len: 8,
+        }];
+        let row = sm
+            .insert_entry(
+                "fib",
+                TableEntry {
+                    key: key.clone(),
+                    priority: 0,
+                    action: ActionCall::new("set_nh", vec![7]),
+                    counter: 0,
+                },
+            )
+            .unwrap();
+        sm.delete_entry("fib", &key).unwrap();
+        let bytes = sm.table("fib").unwrap().map.read_row(&sm.pool, row).unwrap();
+        assert!(bytes.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn undersized_allocation_rejected() {
+        let mut sm = sm();
+        let mut def = fib_def();
+        def.size = 4096; // needs 4 row groups
+        let e = sm.create_table(def, vec![0]).unwrap_err();
+        assert!(matches!(e, CoreError::Config(_)));
+    }
+
+    #[test]
+    fn double_allocation_conflict() {
+        let mut sm = sm();
+        sm.create_table(fib_def(), vec![0]).unwrap();
+        let mut def2 = fib_def();
+        def2.name = "fib2".into();
+        let e = sm.create_table(def2, vec![0]).unwrap_err();
+        assert!(matches!(e, CoreError::BlockConflict { .. }));
+    }
+
+    #[test]
+    fn recreate_replaces() {
+        let mut sm = sm();
+        sm.create_table(fib_def(), vec![0]).unwrap();
+        sm.create_table(fib_def(), vec![1]).unwrap();
+        assert_eq!(sm.pool.owned_by("fib"), vec![1]);
+        assert_eq!(sm.pool.free_count(BlockKind::Sram), 15);
+    }
+
+    #[test]
+    fn migration_preserves_entries_and_recycles_blocks() {
+        let mut sm = sm();
+        sm.create_table(fib_def(), vec![0]).unwrap();
+        let linkage = ipsa_netpkt::HeaderLinkage::standard();
+        for i in 0..5u128 {
+            sm.insert_entry(
+                "fib",
+                TableEntry {
+                    key: vec![KeyMatch::Lpm {
+                        value: 0x0a00_0000 + (i << 8),
+                        prefix_len: 24,
+                    }],
+                    priority: 0,
+                    action: ActionCall::new("set_nh", vec![10 + i]),
+                    counter: 0,
+                },
+            )
+            .unwrap();
+        }
+        sm.migrate_table("fib", vec![5]).unwrap();
+        assert_eq!(sm.pool.owned_by("fib"), vec![5], "moved to the new block");
+        assert!(sm.pool.block(0).unwrap().owner.is_none(), "old block recycled");
+        // Lookups still hit; block-level bytes survived the copy.
+        let mut p = ipv4_udp_packet(&Ipv4UdpSpec {
+            dst_ip: 0x0a00_0342,
+            ..Default::default()
+        });
+        p.ensure_parsed(&linkage, "ipv4").unwrap();
+        let ctx = EvalCtx::bare(&linkage);
+        let hit = sm.lookup("fib", &p, &ctx).unwrap().unwrap();
+        assert_eq!(hit.action.args, vec![13]);
+        let bytes = sm
+            .table("fib")
+            .unwrap()
+            .map
+            .read_row(&sm.pool, hit.row)
+            .unwrap();
+        assert!(bytes.iter().any(|&b| b != 0), "serialized row travelled");
+    }
+
+    #[test]
+    fn migration_to_occupied_blocks_fails_cleanly() {
+        let mut sm = sm();
+        sm.create_table(fib_def(), vec![0]).unwrap();
+        let mut def2 = fib_def();
+        def2.name = "other".into();
+        sm.create_table(def2, vec![1]).unwrap();
+        let e = sm.migrate_table("fib", vec![1]).unwrap_err();
+        assert!(matches!(e, CoreError::BlockConflict { .. }));
+        // Original table untouched.
+        assert_eq!(sm.pool.owned_by("fib"), vec![0]);
+    }
+
+    #[test]
+    fn meta_width_defaults() {
+        let sm = sm();
+        assert_eq!(sm.meta_width("nexthop"), 16);
+        assert_eq!(sm.meta_width("__t0"), 128);
+    }
+}

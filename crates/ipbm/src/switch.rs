@@ -1,0 +1,310 @@
+//! ipbm — the assembled IPSA behavioral-model switch.
+//!
+//! Wires the four modules together (CM, PM, CCM, SM; Sec. 4.1) behind the
+//! [`Device`] trait the controller programs against.
+
+use ipsa_core::control::{full_install_msgs, ApplyReport, ControlMsg, Device};
+use ipsa_core::crossbar::Crossbar;
+use ipsa_core::error::CoreError;
+use ipsa_core::template::CompiledDesign;
+use ipsa_core::timing::CostModel;
+use ipsa_netpkt::linkage::HeaderLinkage;
+use ipsa_netpkt::packet::Packet;
+use serde::Serialize;
+
+use crate::ccm;
+use crate::cm::{CommModule, PortStats};
+use crate::pm::{PipelineModule, PipelineStats, TmStats};
+use crate::sm::StorageModule;
+use crate::tsp::SlotStats;
+
+/// Construction parameters for an ipbm instance.
+#[derive(Debug, Clone)]
+pub struct IpbmConfig {
+    /// Switch ports.
+    pub ports: usize,
+    /// Physical TSP slots.
+    pub slots: usize,
+    /// SRAM blocks in the pool.
+    pub sram_blocks: usize,
+    /// TCAM blocks in the pool.
+    pub tcam_blocks: usize,
+    /// Crossbar clusters (0/1 = full crossbar).
+    pub clusters: usize,
+    /// TSP↔memory bus width, bits.
+    pub bus_bits: usize,
+    /// Control-channel cost model.
+    pub cost: CostModel,
+}
+
+impl Default for IpbmConfig {
+    fn default() -> Self {
+        IpbmConfig {
+            ports: 8,
+            slots: 32,
+            sram_blocks: 64,
+            tcam_blocks: 16,
+            clusters: 0,
+            bus_bits: 128,
+            cost: CostModel::software(),
+        }
+    }
+}
+
+/// Aggregated observability snapshot.
+#[derive(Debug, Clone, Serialize)]
+pub struct SwitchReport {
+    /// Pipeline counters.
+    pub pipeline: PipelineStats,
+    /// Traffic-Manager counters.
+    pub tm: TmStats,
+    /// Per-port counters.
+    pub ports: Vec<PortStats>,
+    /// Per-slot counters (programmed slots only, with their stage names).
+    pub slots: Vec<(usize, String, SlotStats)>,
+    /// Memory accesses performed by table lookups.
+    pub mem_accesses: u64,
+    /// Active TSPs (power model input).
+    pub active_tsps: usize,
+}
+
+/// The IPSA behavioral-model software switch.
+#[derive(Debug)]
+pub struct IpbmSwitch {
+    /// Communication module (ports).
+    pub cm: CommModule,
+    /// Pipeline module (TSPs + TM + selector + crossbar).
+    pub pm: PipelineModule,
+    /// Storage module (pool + tables + actions).
+    pub sm: StorageModule,
+    /// Header registry and parse graph (runtime-mutable).
+    pub linkage: HeaderLinkage,
+    /// Control-channel cost model.
+    pub cost: CostModel,
+    name: String,
+}
+
+impl IpbmSwitch {
+    /// Builds a switch from a configuration.
+    pub fn new(cfg: IpbmConfig) -> Self {
+        let crossbar = if cfg.clusters > 1 {
+            Crossbar::clustered(cfg.slots, cfg.sram_blocks + cfg.tcam_blocks, cfg.clusters)
+        } else {
+            Crossbar::full()
+        };
+        IpbmSwitch {
+            cm: CommModule::new(cfg.ports),
+            pm: PipelineModule::new(cfg.slots, crossbar),
+            sm: StorageModule::new(cfg.sram_blocks, cfg.tcam_blocks, cfg.bus_bits),
+            linkage: HeaderLinkage::new(),
+            cost: cfg.cost,
+            name: "ipbm".to_string(),
+        }
+    }
+
+    /// Installs a complete compiled design (initial load).
+    pub fn install(&mut self, design: &CompiledDesign) -> Result<ApplyReport, CoreError> {
+        self.apply(&full_install_msgs(design))
+    }
+
+    /// Observability snapshot.
+    pub fn report(&self) -> SwitchReport {
+        SwitchReport {
+            pipeline: self.pm.stats,
+            tm: self.pm.tm.stats,
+            ports: self.cm.port_stats(),
+            slots: self
+                .pm
+                .slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| {
+                    s.template
+                        .as_ref()
+                        .map(|t| (i, t.stage_name.clone(), s.stats))
+                })
+                .collect(),
+            mem_accesses: self.sm.mem_accesses,
+            active_tsps: self.pm.active_tsps(),
+        }
+    }
+
+    /// Processes exactly one pending packet (None when idle or draining).
+    pub fn step(&mut self) -> Result<Option<Packet>, CoreError> {
+        if self.pm.draining {
+            return Ok(None);
+        }
+        let Some(pkt) = self.cm.next_rx() else {
+            return Ok(None);
+        };
+        match self.pm.run_packet(&self.linkage, &mut self.sm, pkt) {
+            Ok(Some(out)) => {
+                self.cm.transmit(out.clone());
+                Ok(Some(out))
+            }
+            Ok(None) => Ok(None),
+            // Malformed traffic (e.g. truncated mid-header) is a drop, not
+            // a device fault — real hardware discards runts.
+            Err(CoreError::Packet(ipsa_netpkt::packet::PacketError::Truncated { .. })) => {
+                self.pm.stats.parse_drops += 1;
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Device for IpbmSwitch {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn apply(&mut self, msgs: &[ControlMsg]) -> Result<ApplyReport, CoreError> {
+        ccm::apply_msgs(&mut self.pm, &mut self.sm, &mut self.linkage, &self.cost, msgs)
+    }
+
+    fn inject(&mut self, packet: Packet) {
+        self.cm.inject(packet);
+    }
+
+    fn run(&mut self) -> Vec<Packet> {
+        while !self.pm.draining && self.cm.rx_pending() > 0 {
+            // Per-packet errors surface as drops with the error traced to
+            // stderr in debug builds; the data plane must not wedge on one
+            // bad packet.
+            if let Err(e) = self.step() {
+                debug_assert!(false, "pipeline error: {e}");
+                let _ = e;
+            }
+        }
+        self.cm.collect_tx()
+    }
+
+    fn pending(&self) -> usize {
+        self.cm.rx_pending()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsa_core::pipeline_cfg::SelectorConfig;
+    use ipsa_core::table::{ActionCall, KeyField, MatchKind, TableDef, TableEntry};
+    use ipsa_core::template::{MatcherBranch, TspTemplate};
+    use ipsa_core::value::ValueRef;
+    use ipsa_netpkt::builder::{ipv4_udp_packet, Ipv4UdpSpec};
+
+    /// Builds a one-stage L3 switch via control messages only.
+    fn minimal_switch() -> IpbmSwitch {
+        let mut sw = IpbmSwitch::new(IpbmConfig::default());
+        let msgs = vec![
+            ControlMsg::Drain,
+            ControlMsg::RegisterHeader(ipsa_netpkt::protocols::ethernet()),
+            ControlMsg::RegisterHeader(ipsa_netpkt::protocols::ipv4()),
+            ControlMsg::RegisterHeader(ipsa_netpkt::protocols::udp()),
+            ControlMsg::SetFirstHeader("ethernet".into()),
+            ControlMsg::DefineAction(ipsa_core::action::ActionDef {
+                name: "fwd".into(),
+                params: vec![("port".into(), 16)],
+                body: vec![ipsa_core::action::Primitive::Forward {
+                    port: ValueRef::Param(0),
+                }],
+            }),
+            ControlMsg::CreateTable {
+                def: TableDef {
+                    name: "route".into(),
+                    key: vec![KeyField {
+                        source: ValueRef::field("ipv4", "dst_addr"),
+                        bits: 32,
+                        kind: MatchKind::Lpm,
+                    }],
+                    size: 64,
+                    actions: vec!["fwd".into()],
+                    default_action: ActionCall::no_action(),
+                    with_counters: false,
+                },
+                blocks: vec![0],
+            },
+            ControlMsg::WriteTemplate {
+                slot: 0,
+                template: TspTemplate {
+                    stage_name: "route_s".into(),
+                    func: "base".into(),
+                    parse: vec!["ipv4".into()],
+                    branches: vec![MatcherBranch {
+                        pred: ipsa_core::predicate::Predicate::IsValid("ipv4".into()),
+                        table: Some("route".into()),
+                    }],
+                    executor: vec![(1, ActionCall::new("fwd", vec![]))],
+                    default_action: ActionCall::no_action(),
+                },
+            },
+            ControlMsg::ConnectCrossbar {
+                slot: 0,
+                blocks: vec![0],
+            },
+            ControlMsg::SetSelector(SelectorConfig::split(32, 1, 0).unwrap()),
+            ControlMsg::Resume,
+            ControlMsg::AddEntry {
+                table: "route".into(),
+                entry: TableEntry {
+                    key: vec![ipsa_core::table::KeyMatch::Lpm {
+                        value: 0x0a000000,
+                        prefix_len: 8,
+                    }],
+                    priority: 0,
+                    action: ActionCall::new("fwd", vec![4]),
+                    counter: 0,
+                },
+            },
+        ];
+        sw.apply(&msgs).unwrap();
+        sw
+    }
+
+    #[test]
+    fn forwards_matching_traffic() {
+        let mut sw = minimal_switch();
+        sw.inject(ipv4_udp_packet(&Ipv4UdpSpec {
+            dst_ip: 0x0a010101,
+            ..Default::default()
+        }));
+        sw.inject(ipv4_udp_packet(&Ipv4UdpSpec {
+            dst_ip: 0x0b010101, // unrouted
+            ..Default::default()
+        }));
+        let out = sw.run();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].meta.egress_port, Some(4));
+        let rep = sw.report();
+        assert_eq!(rep.pipeline.received, 2);
+        assert_eq!(rep.pipeline.emitted, 1);
+        assert_eq!(rep.tm.no_route_drops, 1);
+        assert_eq!(rep.ports[4].tx, 1);
+        assert!(rep.mem_accesses >= 2);
+        assert_eq!(rep.active_tsps, 1);
+    }
+
+    #[test]
+    fn draining_holds_traffic() {
+        let mut sw = minimal_switch();
+        sw.apply(&[ControlMsg::Drain]).unwrap();
+        sw.inject(ipv4_udp_packet(&Ipv4UdpSpec {
+            dst_ip: 0x0a010101,
+            ..Default::default()
+        }));
+        assert!(sw.run().is_empty());
+        assert_eq!(sw.pending(), 1);
+        sw.apply(&[ControlMsg::Resume]).unwrap();
+        assert_eq!(sw.run().len(), 1);
+    }
+
+    #[test]
+    fn install_from_empty_design_is_clean() {
+        let mut sw = IpbmSwitch::new(IpbmConfig::default());
+        let design = CompiledDesign::empty("blank", 32);
+        let r = sw.install(&design).unwrap();
+        assert!(r.msgs > 0);
+        assert_eq!(sw.report().active_tsps, 0);
+    }
+}

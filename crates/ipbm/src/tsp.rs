@@ -1,0 +1,305 @@
+//! TSP — one Templated Stage Processor slot.
+//!
+//! Executes the parse–match–action triad of its downloaded template
+//! (Sec. 2.2): the parser sub-module pulls in just the headers the stage
+//! needs (on-demand, memoized in the packet), the matcher picks the first
+//! branch whose predicate holds and looks its table up through the
+//! crossbar, and the executor dispatches on the hit tag to run the bound
+//! action's primitives.
+
+use ipsa_core::action::{execute, ActionOutcome};
+use ipsa_core::crossbar::Crossbar;
+use ipsa_core::error::CoreError;
+use ipsa_core::template::TspTemplate;
+use ipsa_core::value::EvalCtx;
+use ipsa_netpkt::linkage::HeaderLinkage;
+use ipsa_netpkt::packet::Packet;
+use serde::Serialize;
+
+use crate::sm::StorageModule;
+
+/// Per-slot execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct SlotStats {
+    /// Packets processed by this slot.
+    pub packets: u64,
+    /// Table hits.
+    pub hits: u64,
+    /// Table misses (default action ran).
+    pub misses: u64,
+    /// Packets for which no branch matched (pure pass-through).
+    pub pass_through: u64,
+    /// Header extractions this slot performed.
+    pub parse_extractions: u64,
+    /// Per-packet template-parameter fetches (the IPSA overhead the paper
+    /// attributes part of its throughput gap to).
+    pub template_fetches: u64,
+    /// Action primitives executed.
+    pub primitives: u64,
+}
+
+/// One physical TSP slot.
+#[derive(Debug, Clone, Default)]
+pub struct TspSlot {
+    /// Downloaded template (None = unprogrammed).
+    pub template: Option<TspTemplate>,
+    /// Execution statistics.
+    pub stats: SlotStats,
+}
+
+impl TspSlot {
+    /// Processes one packet through this slot.
+    ///
+    /// `slot_idx` is the physical position (for crossbar checks); the
+    /// caller has already decided the slot is active (selector).
+    pub fn process(
+        &mut self,
+        slot_idx: usize,
+        linkage: &HeaderLinkage,
+        sm: &mut StorageModule,
+        crossbar: &Crossbar,
+        pkt: &mut Packet,
+    ) -> Result<ActionOutcome, CoreError> {
+        // Take the template out for the duration of processing (no
+        // per-packet clone; the template is immutable while a packet is in
+        // flight).
+        let Some(template) = self.template.take() else {
+            return Ok(ActionOutcome::default());
+        };
+        let result = self.process_with(&template, slot_idx, linkage, sm, crossbar, pkt);
+        self.template = Some(template);
+        result
+    }
+
+    fn process_with(
+        &mut self,
+        template: &TspTemplate,
+        slot_idx: usize,
+        linkage: &HeaderLinkage,
+        sm: &mut StorageModule,
+        crossbar: &Crossbar,
+        pkt: &mut Packet,
+    ) -> Result<ActionOutcome, CoreError> {
+        self.stats.packets += 1;
+        // Loading the per-packet configuration parameters (Sec. 5's
+        // throughput discussion) — modeled as one fetch per packet.
+        self.stats.template_fetches += 1;
+
+        // Parser sub-module: on-demand, memoized extraction.
+        let before = pkt.parse_extractions;
+        for h in template.parse_requirements() {
+            let _ = pkt.ensure_parsed(linkage, &h)?;
+        }
+        self.stats.parse_extractions += pkt.parse_extractions - before;
+
+        // Matcher sub-module: first branch whose predicate holds.
+        let ctx = EvalCtx::bare(linkage);
+        let mut chosen: Option<&str> = None;
+        for b in &template.branches {
+            if b.pred.eval(pkt, &ctx)? {
+                chosen = b.table.as_deref();
+                break;
+            }
+        }
+        let Some(table) = chosen else {
+            self.stats.pass_through += 1;
+            return Ok(ActionOutcome::default());
+        };
+
+        // Crossbar reachability: a TSP can only address blocks it is wired
+        // to; anything else is a configuration bug surfaced loudly.
+        for block in sm.blocks_of(table) {
+            if !crossbar.can_reach(slot_idx, block) {
+                return Err(CoreError::CrossbarViolation(format!(
+                    "slot {slot_idx} cannot reach block {block} of table `{table}`"
+                )));
+            }
+        }
+
+        let hit = sm.lookup(table, pkt, &ctx)?;
+        let (call, counter) = match &hit {
+            Some(h) => {
+                self.stats.hits += 1;
+                (template.action_for_tag(h.tag).clone(), h.counter)
+            }
+            None => {
+                self.stats.misses += 1;
+                (template.default_action.clone(), None)
+            }
+        };
+        // Action data: the matched entry's args win; immediate args from
+        // the executor arm are the fallback.
+        let args: Vec<u128> = match &hit {
+            Some(h) if !h.action.args.is_empty() => h.action.args.clone(),
+            _ => call.args.clone(),
+        };
+        let action = sm
+            .actions
+            .get(&call.action)
+            .ok_or_else(|| CoreError::UnknownAction(call.action.clone()))?
+            .clone();
+        let ctx = EvalCtx {
+            linkage,
+            params: &args,
+            entry_counter: counter,
+        };
+        let metadata = &sm.metadata;
+        let outcome = execute(&action, pkt, &ctx, &|name| {
+            metadata
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, b)| *b)
+                .unwrap_or(128)
+        })?;
+        self.stats.primitives += outcome.primitives as u64;
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsa_core::action::{ActionDef, Primitive};
+    use ipsa_core::predicate::Predicate;
+    use ipsa_core::table::{ActionCall, KeyField, MatchKind, TableDef, TableEntry};
+    use ipsa_core::template::MatcherBranch;
+    use ipsa_core::value::{LValueRef, ValueRef};
+    use ipsa_netpkt::builder::{ipv4_udp_packet, Ipv4UdpSpec};
+
+    fn setup() -> (HeaderLinkage, StorageModule, Crossbar, TspSlot) {
+        let linkage = HeaderLinkage::standard();
+        let mut sm = StorageModule::new(8, 2, 128);
+        sm.define_metadata(&[("nexthop".into(), 16)]);
+        sm.define_action(ActionDef {
+            name: "set_nh".into(),
+            params: vec![("nh".into(), 16)],
+            body: vec![Primitive::Set {
+                dst: LValueRef::Meta("nexthop".into()),
+                src: ValueRef::Param(0),
+            }],
+        });
+        sm.create_table(
+            TableDef {
+                name: "fib".into(),
+                key: vec![KeyField {
+                    source: ValueRef::field("ipv4", "dst_addr"),
+                    bits: 32,
+                    kind: MatchKind::Lpm,
+                }],
+                size: 64,
+                actions: vec!["set_nh".into()],
+                default_action: ActionCall::no_action(),
+                with_counters: false,
+            },
+            vec![0],
+        )
+        .unwrap();
+        sm.insert_entry(
+            "fib",
+            TableEntry {
+                key: vec![ipsa_core::table::KeyMatch::Lpm {
+                    value: 0x0a000000,
+                    prefix_len: 8,
+                }],
+                priority: 0,
+                action: ActionCall::new("set_nh", vec![99]),
+                counter: 0,
+            },
+        )
+        .unwrap();
+        let mut xbar = Crossbar::full();
+        xbar.connect(0, &[0]).unwrap();
+        let slot = TspSlot {
+            template: Some(TspTemplate {
+                stage_name: "fib_s".into(),
+                func: "base".into(),
+                parse: vec!["ipv4".into()],
+                branches: vec![MatcherBranch {
+                    pred: Predicate::IsValid("ipv4".into()),
+                    table: Some("fib".into()),
+                }],
+                executor: vec![(1, ActionCall::new("set_nh", vec![]))],
+                default_action: ActionCall::no_action(),
+            }),
+            stats: SlotStats::default(),
+        };
+        (linkage, sm, xbar, slot)
+    }
+
+    #[test]
+    fn hit_runs_entry_action_with_entry_args() {
+        let (linkage, mut sm, xbar, mut slot) = setup();
+        let mut p = ipv4_udp_packet(&Ipv4UdpSpec {
+            dst_ip: 0x0a010101,
+            ..Default::default()
+        });
+        slot.process(0, &linkage, &mut sm, &xbar, &mut p).unwrap();
+        assert_eq!(p.meta.get("nexthop"), 99);
+        assert_eq!(slot.stats.hits, 1);
+        assert_eq!(slot.stats.template_fetches, 1);
+        assert!(slot.stats.parse_extractions >= 2, "eth + ipv4 parsed here");
+    }
+
+    #[test]
+    fn miss_runs_default() {
+        let (linkage, mut sm, xbar, mut slot) = setup();
+        let mut p = ipv4_udp_packet(&Ipv4UdpSpec {
+            dst_ip: 0x0b000001,
+            ..Default::default()
+        });
+        slot.process(0, &linkage, &mut sm, &xbar, &mut p).unwrap();
+        assert_eq!(p.meta.get("nexthop"), 0);
+        assert_eq!(slot.stats.misses, 1);
+    }
+
+    #[test]
+    fn non_matching_packet_passes_through() {
+        let (linkage, mut sm, xbar, mut slot) = setup();
+        let mut p = ipsa_netpkt::builder::ipv6_udp_packet(&Default::default());
+        slot.process(0, &linkage, &mut sm, &xbar, &mut p).unwrap();
+        assert_eq!(slot.stats.pass_through, 1);
+        assert_eq!(slot.stats.hits + slot.stats.misses, 0);
+    }
+
+    #[test]
+    fn unprogrammed_slot_is_noop() {
+        let (linkage, mut sm, xbar, _) = setup();
+        let mut slot = TspSlot::default();
+        let mut p = ipv4_udp_packet(&Ipv4UdpSpec::default());
+        slot.process(0, &linkage, &mut sm, &xbar, &mut p).unwrap();
+        assert_eq!(slot.stats.packets, 0);
+    }
+
+    #[test]
+    fn crossbar_violation_detected() {
+        let (linkage, mut sm, _xbar, mut slot) = setup();
+        let empty = Crossbar::full(); // no connections configured
+        let mut p = ipv4_udp_packet(&Ipv4UdpSpec {
+            dst_ip: 0x0a010101,
+            ..Default::default()
+        });
+        let e = slot.process(0, &linkage, &mut sm, &empty, &mut p).unwrap_err();
+        assert!(matches!(e, CoreError::CrossbarViolation(_)));
+    }
+
+    #[test]
+    fn second_slot_reuses_parse_results() {
+        let (linkage, mut sm, xbar, mut slot) = setup();
+        let mut p = ipv4_udp_packet(&Ipv4UdpSpec {
+            dst_ip: 0x0a010101,
+            ..Default::default()
+        });
+        slot.process(0, &linkage, &mut sm, &xbar, &mut p).unwrap();
+        let first = slot.stats.parse_extractions;
+        // Same template in a "later" slot: nothing left to parse.
+        let mut slot2 = TspSlot {
+            template: slot.template.clone(),
+            stats: SlotStats::default(),
+        };
+        let mut xbar2 = Crossbar::full();
+        xbar2.connect(1, &[0]).unwrap();
+        slot2.process(1, &linkage, &mut sm, &xbar2, &mut p).unwrap();
+        assert_eq!(slot2.stats.parse_extractions, 0);
+        assert!(first > 0);
+    }
+}

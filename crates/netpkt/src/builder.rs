@@ -1,0 +1,253 @@
+//! Convenience constructors for well-formed test/bench packets.
+//!
+//! The behavioral models accept any byte soup; these builders produce the
+//! realistic L2/L3/L4 packets the evaluation traffic generators emit.
+
+use crate::checksum;
+use crate::packet::Packet;
+use crate::protocols::{self, ETHERTYPE_IPV4, ETHERTYPE_IPV6};
+
+/// Parameters for an Ethernet/IPv4/UDP packet.
+#[derive(Debug, Clone)]
+pub struct Ipv4UdpSpec {
+    /// Source MAC (low 48 bits used).
+    pub src_mac: u64,
+    /// Destination MAC (low 48 bits used).
+    pub dst_mac: u64,
+    /// Source IPv4 address.
+    pub src_ip: u32,
+    /// Destination IPv4 address.
+    pub dst_ip: u32,
+    /// UDP source port.
+    pub src_port: u16,
+    /// UDP destination port.
+    pub dst_port: u16,
+    /// Initial TTL.
+    pub ttl: u8,
+    /// UDP payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Default for Ipv4UdpSpec {
+    fn default() -> Self {
+        Self {
+            src_mac: 0x02_00_00_00_00_01,
+            dst_mac: 0x02_00_00_00_00_02,
+            src_ip: 0x0a00_0001,
+            dst_ip: 0x0a00_0002,
+            src_port: 1234,
+            dst_port: 4321,
+            ttl: 64,
+            payload: vec![0xAB; 16],
+        }
+    }
+}
+
+/// Parameters for an Ethernet/IPv6/UDP packet.
+#[derive(Debug, Clone)]
+pub struct Ipv6UdpSpec {
+    /// Source MAC (low 48 bits used).
+    pub src_mac: u64,
+    /// Destination MAC (low 48 bits used).
+    pub dst_mac: u64,
+    /// Source IPv6 address.
+    pub src_ip: u128,
+    /// Destination IPv6 address.
+    pub dst_ip: u128,
+    /// UDP source port.
+    pub src_port: u16,
+    /// UDP destination port.
+    pub dst_port: u16,
+    /// Initial hop limit.
+    pub hop_limit: u8,
+    /// UDP payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Default for Ipv6UdpSpec {
+    fn default() -> Self {
+        Self {
+            src_mac: 0x02_00_00_00_00_01,
+            dst_mac: 0x02_00_00_00_00_02,
+            src_ip: 0xfc00_0000_0000_0000_0000_0000_0000_0001,
+            dst_ip: 0xfc00_0000_0000_0000_0000_0000_0000_0002,
+            src_port: 1234,
+            dst_port: 4321,
+            hop_limit: 64,
+            payload: vec![0xCD; 16],
+        }
+    }
+}
+
+fn eth_bytes(dst_mac: u64, src_mac: u64, ethertype: u16) -> Vec<u8> {
+    let eth = protocols::ethernet();
+    let mut b = vec![0u8; 14];
+    eth.set(&mut b, "dst_addr", dst_mac as u128 & 0xFFFF_FFFF_FFFF)
+        .unwrap();
+    eth.set(&mut b, "src_addr", src_mac as u128 & 0xFFFF_FFFF_FFFF)
+        .unwrap();
+    eth.set(&mut b, "ethertype", ethertype as u128).unwrap();
+    b
+}
+
+/// Builds an Ethernet/IPv4/UDP packet with a correct IPv4 header checksum.
+pub fn ipv4_udp_packet(spec: &Ipv4UdpSpec) -> Packet {
+    let ipv4 = protocols::ipv4();
+    let udp = protocols::udp();
+
+    let udp_len = 8 + spec.payload.len();
+    let ip_len = 20 + udp_len;
+
+    let mut ip = vec![0u8; 20];
+    ipv4.set(&mut ip, "version", 4).unwrap();
+    ipv4.set(&mut ip, "ihl", 5).unwrap();
+    ipv4.set(&mut ip, "total_len", ip_len as u128).unwrap();
+    ipv4.set(&mut ip, "ttl", spec.ttl as u128).unwrap();
+    ipv4.set(&mut ip, "protocol", protocols::PROTO_UDP).unwrap();
+    ipv4.set(&mut ip, "src_addr", spec.src_ip as u128).unwrap();
+    ipv4.set(&mut ip, "dst_addr", spec.dst_ip as u128).unwrap();
+    let ck = checksum::ipv4_header_checksum(&ip);
+    ipv4.set(&mut ip, "hdr_checksum", ck as u128).unwrap();
+
+    let mut u = vec![0u8; 8];
+    udp.set(&mut u, "src_port", spec.src_port as u128).unwrap();
+    udp.set(&mut u, "dst_port", spec.dst_port as u128).unwrap();
+    udp.set(&mut u, "length", udp_len as u128).unwrap();
+
+    let mut data = eth_bytes(spec.dst_mac, spec.src_mac, ETHERTYPE_IPV4 as u16);
+    data.extend_from_slice(&ip);
+    data.extend_from_slice(&u);
+    data.extend_from_slice(&spec.payload);
+    Packet::new(data, 0)
+}
+
+/// Builds an Ethernet/IPv6/UDP packet.
+pub fn ipv6_udp_packet(spec: &Ipv6UdpSpec) -> Packet {
+    let ipv6 = protocols::ipv6();
+    let udp = protocols::udp();
+
+    let udp_len = 8 + spec.payload.len();
+
+    let mut ip = vec![0u8; 40];
+    ipv6.set(&mut ip, "version", 6).unwrap();
+    ipv6.set(&mut ip, "payload_len", udp_len as u128).unwrap();
+    ipv6.set(&mut ip, "next_hdr", protocols::PROTO_UDP).unwrap();
+    ipv6.set(&mut ip, "hop_limit", spec.hop_limit as u128)
+        .unwrap();
+    ipv6.set(&mut ip, "src_addr", spec.src_ip).unwrap();
+    ipv6.set(&mut ip, "dst_addr", spec.dst_ip).unwrap();
+
+    let mut u = vec![0u8; 8];
+    udp.set(&mut u, "src_port", spec.src_port as u128).unwrap();
+    udp.set(&mut u, "dst_port", spec.dst_port as u128).unwrap();
+    udp.set(&mut u, "length", udp_len as u128).unwrap();
+
+    let mut data = eth_bytes(spec.dst_mac, spec.src_mac, ETHERTYPE_IPV6 as u16);
+    data.extend_from_slice(&ip);
+    data.extend_from_slice(&u);
+    data.extend_from_slice(&spec.payload);
+    Packet::new(data, 0)
+}
+
+/// Builds the SRH bytes for a segment list (most SRv6 test traffic carries
+/// 1–3 segments). `segments[0]` is the *last* segment entered in the list,
+/// per RFC 8754 ordering; `segments_left` starts at `segments.len() - 1`.
+pub fn srh_bytes(next_header: u8, segments: &[u128]) -> Vec<u8> {
+    let srh = protocols::srh();
+    let mut b = vec![0u8; 8 + 16 * segments.len()];
+    srh.set(&mut b, "next_header", next_header as u128).unwrap();
+    srh.set(&mut b, "hdr_ext_len", (2 * segments.len()) as u128)
+        .unwrap();
+    srh.set(&mut b, "routing_type", 4).unwrap();
+    srh.set(
+        &mut b,
+        "segments_left",
+        segments.len().saturating_sub(1) as u128,
+    )
+    .unwrap();
+    srh.set(
+        &mut b,
+        "last_entry",
+        segments.len().saturating_sub(1) as u128,
+    )
+    .unwrap();
+    for (i, seg) in segments.iter().enumerate() {
+        let off = 8 + 16 * i;
+        b[off..off + 16].copy_from_slice(&seg.to_be_bytes());
+    }
+    b
+}
+
+/// Builds an Ethernet/IPv6+SRH/UDP packet (SRv6 traffic for use case C2).
+pub fn srv6_packet(spec: &Ipv6UdpSpec, segments: &[u128]) -> Packet {
+    let mut p = ipv6_udp_packet(spec);
+    let ipv6 = protocols::ipv6();
+    let srh = srh_bytes(protocols::PROTO_UDP as u8, segments);
+    // Splice the SRH between the IPv6 header and UDP.
+    let insert_at = 14 + 40;
+    let srh_len = srh.len();
+    p.data.splice(insert_at..insert_at, srh);
+    // Fix IPv6 next_hdr and payload_len.
+    ipv6.set(&mut p.data[14..54], "next_hdr", protocols::PROTO_SRH)
+        .unwrap();
+    let old_len = ipv6.get(&p.data[14..54], "payload_len").unwrap();
+    ipv6.set(&mut p.data[14..54], "payload_len", old_len + srh_len as u128)
+        .unwrap();
+    p
+}
+
+/// Reads a segment (by index, RFC order) from a parsed SRH located at
+/// `srh_off` in `data`.
+pub fn srh_segment(data: &[u8], srh_off: usize, index: usize) -> u128 {
+    let off = srh_off + 8 + 16 * index;
+    u128::from_be_bytes(data[off..off + 16].try_into().expect("segment in range"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linkage::HeaderLinkage;
+
+    #[test]
+    fn ipv4_packet_is_well_formed() {
+        let p = ipv4_udp_packet(&Ipv4UdpSpec::default());
+        assert_eq!(p.len(), 14 + 20 + 8 + 16);
+        assert!(checksum::ipv4_checksum_ok(&p.data[14..34]));
+    }
+
+    #[test]
+    fn ipv6_packet_parses_to_udp() {
+        let linkage = HeaderLinkage::standard();
+        let mut p = ipv6_udp_packet(&Ipv6UdpSpec::default());
+        assert!(p.ensure_parsed(&linkage, "udp").unwrap());
+    }
+
+    #[test]
+    fn srv6_packet_parses_with_runtime_links() {
+        let mut linkage = HeaderLinkage::standard();
+        linkage.link("ipv6", "srh", 43).unwrap();
+        linkage.link("srh", "udp", 17).unwrap();
+        let segs = [0xfc00_0000_0000_0000_0000_0000_0000_00aa_u128, 0xbb];
+        let mut p = srv6_packet(&Ipv6UdpSpec::default(), &segs);
+        assert!(p.ensure_parsed(&linkage, "udp").unwrap());
+        assert!(p.is_valid("srh"));
+        let srh_off = p
+            .parsed()
+            .iter()
+            .find(|h| h.ty == "srh")
+            .map(|h| h.offset)
+            .unwrap();
+        assert_eq!(srh_segment(&p.data, srh_off, 0), segs[0]);
+        assert_eq!(srh_segment(&p.data, srh_off, 1), segs[1]);
+    }
+
+    #[test]
+    fn srv6_packet_unparseable_without_links() {
+        // Before C2 loads, the device cannot walk past the SRH: the probe
+        // for `udp` ends at the unlinked SRH.
+        let linkage = HeaderLinkage::standard();
+        let mut p = srv6_packet(&Ipv6UdpSpec::default(), &[0xaa]);
+        assert!(!p.ensure_parsed(&linkage, "udp").unwrap());
+        assert!(!p.is_valid("srh"));
+    }
+}

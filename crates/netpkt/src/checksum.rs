@@ -1,0 +1,108 @@
+//! Internet (ones'-complement) checksum helpers.
+//!
+//! The base design's L3 rewrite stage decrements TTL and must keep the IPv4
+//! header checksum consistent; we provide both full recomputation and the
+//! RFC 1624 incremental update used by real forwarding hardware.
+
+/// Computes the ones'-complement internet checksum over `data`.
+///
+/// Odd-length inputs are zero-padded, per RFC 1071.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u16::from_be_bytes([c[0], c[1]]) as u32;
+    }
+    if let [last] = chunks.remainder() {
+        sum += (*last as u32) << 8;
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Computes the IPv4 header checksum for a 20-byte (option-free) header,
+/// treating the checksum field itself as zero.
+pub fn ipv4_header_checksum(header: &[u8]) -> u16 {
+    debug_assert!(header.len() >= 20);
+    let mut copy = [0u8; 20];
+    copy.copy_from_slice(&header[..20]);
+    copy[10] = 0;
+    copy[11] = 0;
+    internet_checksum(&copy)
+}
+
+/// Verifies an IPv4 header checksum in place.
+pub fn ipv4_checksum_ok(header: &[u8]) -> bool {
+    internet_checksum(&header[..20]) == 0
+}
+
+/// RFC 1624 incremental checksum update: returns the new checksum after a
+/// 16-bit word changed from `old_word` to `new_word`.
+///
+/// `HC' = ~(~HC + ~m + m')` computed in ones'-complement arithmetic.
+pub fn incremental_update(old_checksum: u16, old_word: u16, new_word: u16) -> u16 {
+    let mut sum = (!old_checksum as u32) + (!old_word as u32) + new_word as u32;
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic example header from RFC 1071 discussions.
+    fn sample_header() -> [u8; 20] {
+        [
+            0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+            0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+        ]
+    }
+
+    #[test]
+    fn known_checksum_value() {
+        let mut h = sample_header();
+        let c = ipv4_header_checksum(&h);
+        assert_eq!(c, 0xb861);
+        h[10..12].copy_from_slice(&c.to_be_bytes());
+        assert!(ipv4_checksum_ok(&h));
+    }
+
+    #[test]
+    fn corrupt_header_fails_verification() {
+        let mut h = sample_header();
+        let c = ipv4_header_checksum(&h);
+        h[10..12].copy_from_slice(&c.to_be_bytes());
+        h[8] ^= 0x01; // flip a TTL bit
+        assert!(!ipv4_checksum_ok(&h));
+    }
+
+    #[test]
+    fn incremental_matches_full_recompute_on_ttl_decrement() {
+        let mut h = sample_header();
+        let c0 = ipv4_header_checksum(&h);
+        h[10..12].copy_from_slice(&c0.to_be_bytes());
+
+        // Decrement TTL: word 4 (bytes 8-9) changes.
+        let old_word = u16::from_be_bytes([h[8], h[9]]);
+        h[8] -= 1;
+        let new_word = u16::from_be_bytes([h[8], h[9]]);
+        let inc = incremental_update(c0, old_word, new_word);
+        let full = ipv4_header_checksum(&h);
+        assert_eq!(inc, full);
+    }
+
+    #[test]
+    fn odd_length_padded() {
+        // 3 bytes: 0x0100 + 0x0200 (pad) -> sum 0x0300 -> cksum 0xFCFF
+        assert_eq!(internet_checksum(&[0x01, 0x00, 0x02]), !0x0300u16);
+    }
+
+    #[test]
+    fn zero_data_checksums_to_ffff() {
+        assert_eq!(internet_checksum(&[0, 0, 0, 0]), 0xFFFF);
+    }
+}

@@ -1,0 +1,120 @@
+//! # ipsa-netpkt — packet & header substrate
+//!
+//! The lowest layer of the rP4/IPSA reproduction: bit-granular field access,
+//! *dynamic* header types (programs define their protocols at runtime), the
+//! mutable header-linkage graph driving distributed on-demand parsing,
+//! packet buffers with memoized parse state, checksums, well-formed packet
+//! builders, and seeded traffic generators for the evaluation workloads.
+//!
+//! Nothing here knows about TSPs, tables, or compilers — those live in
+//! `ipsa-core` and above.
+
+#![warn(missing_docs)]
+
+pub mod bitfield;
+pub mod builder;
+pub mod checksum;
+pub mod header;
+pub mod linkage;
+pub mod packet;
+pub mod protocols;
+pub mod traffic;
+
+pub use header::{FieldDef, HeaderType, ImplicitParser, ParserTransition};
+pub use linkage::HeaderLinkage;
+pub use packet::{Metadata, Packet, PacketError, ParsedHeader};
+
+#[cfg(test)]
+mod proptests {
+    use crate::bitfield::{get_bits, set_bits};
+    use crate::builder::{self, Ipv4UdpSpec};
+    use crate::checksum;
+    use crate::linkage::HeaderLinkage;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// set_bits/get_bits roundtrip for arbitrary in-range spans.
+        #[test]
+        fn bitfield_roundtrip(
+            bit_off in 0usize..64,
+            bit_len in 1usize..=128,
+            value in any::<u128>(),
+            fill in any::<u8>(),
+        ) {
+            let mut buf = vec![fill; 32];
+            let value = crate::bitfield::truncate_to_width(value, bit_len);
+            set_bits(&mut buf, bit_off, bit_len, value).unwrap();
+            prop_assert_eq!(get_bits(&buf, bit_off, bit_len).unwrap(), value);
+        }
+
+        /// Writes never disturb bits outside the target span.
+        #[test]
+        fn bitfield_write_is_local(
+            bit_off in 0usize..100,
+            bit_len in 1usize..=128,
+            value in any::<u128>(),
+        ) {
+            let mut buf = vec![0xA5u8; 32];
+            let orig = buf.clone();
+            let value = crate::bitfield::truncate_to_width(value, bit_len);
+            set_bits(&mut buf, bit_off, bit_len, value).unwrap();
+            for bit in 0..(buf.len() * 8) {
+                if bit < bit_off || bit >= bit_off + bit_len {
+                    prop_assert_eq!(
+                        get_bits(&buf, bit, 1).unwrap(),
+                        get_bits(&orig, bit, 1).unwrap(),
+                        "bit {} disturbed", bit
+                    );
+                }
+            }
+        }
+
+        /// Incremental checksum update equals full recomputation for any
+        /// single-word change anywhere in the IPv4 header.
+        #[test]
+        fn checksum_incremental_equals_full(
+            word_idx in 0usize..10,
+            new_word in any::<u16>(),
+            src in any::<u32>(),
+            dst in any::<u32>(),
+            ttl in 1u8..,
+        ) {
+            // Skip the checksum word itself (index 5).
+            prop_assume!(word_idx != 5);
+            let p = builder::ipv4_udp_packet(&Ipv4UdpSpec {
+                src_ip: src, dst_ip: dst, ttl, ..Ipv4UdpSpec::default()
+            });
+            let mut hdr: Vec<u8> = p.data[14..34].to_vec();
+            let c0 = u16::from_be_bytes([hdr[10], hdr[11]]);
+            let old = u16::from_be_bytes([hdr[2 * word_idx], hdr[2 * word_idx + 1]]);
+            hdr[2 * word_idx..2 * word_idx + 2].copy_from_slice(&new_word.to_be_bytes());
+            let inc = checksum::incremental_update(c0, old, new_word);
+            let full = checksum::ipv4_header_checksum(&hdr);
+            prop_assert_eq!(inc, full);
+        }
+
+        /// Parse memoization: probing for any sequence of headers never
+        /// extracts a header twice (extraction count is bounded by the
+        /// number of headers in the packet).
+        #[test]
+        fn parse_once_invariant(probes in proptest::collection::vec(0usize..5, 1..20)) {
+            let names = ["ethernet", "ipv4", "udp", "ipv6", "tcp"];
+            let linkage = HeaderLinkage::standard();
+            let mut p = builder::ipv4_udp_packet(&Ipv4UdpSpec::default());
+            for i in probes {
+                let _ = p.ensure_parsed(&linkage, names[i]).unwrap();
+            }
+            // The v4 packet contains exactly 3 parsable headers.
+            prop_assert!(p.parse_extractions <= 3);
+        }
+
+        /// Any generated IPv4 packet carries a valid checksum.
+        #[test]
+        fn built_packets_have_valid_checksums(src in any::<u32>(), dst in any::<u32>()) {
+            let p = builder::ipv4_udp_packet(&Ipv4UdpSpec {
+                src_ip: src, dst_ip: dst, ..Ipv4UdpSpec::default()
+            });
+            prop_assert!(checksum::ipv4_checksum_ok(&p.data[14..34]));
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! The runtime header-linkage graph.
+//!
+//! IPSA keeps the set of known header types and the edges between them
+//! (`pre --tag--> next`) as mutable device state. Loading a function that
+//! introduces a protocol (C2's SRv6) registers the new header type and adds
+//! edges at runtime:
+//!
+//! ```text
+//! link_header --pre IPv6 --next SRH  --tag 43
+//! link_header --pre SRH  --next IPv6 --tag 41
+//! link_header --pre SRH  --next IPv4 --tag 4
+//! ```
+//!
+//! The graph drives on-demand parsing: starting from the first header of a
+//! packet, selector values are evaluated and edges followed until the
+//! requested header is reached (or the chain ends).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::header::{HeaderError, HeaderType, ParserTransition};
+
+/// Errors from linkage operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkageError {
+    /// Referenced header type is not registered.
+    UnknownHeader(String),
+    /// The `pre` header has no implicit parser, so it cannot link onward.
+    NoParser(String),
+    /// An identical link (same pre and tag) already exists to a different
+    /// header.
+    TagInUse {
+        /// Predecessor header.
+        pre: String,
+        /// Selector tag already linked.
+        tag: u128,
+        /// Header currently linked under that tag.
+        existing: String,
+    },
+    /// Tried to remove a link that does not exist.
+    NoSuchLink {
+        /// Predecessor header.
+        pre: String,
+        /// Successor header.
+        next: String,
+    },
+    /// A header operation failed.
+    Header(HeaderError),
+}
+
+impl std::fmt::Display for LinkageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkageError::UnknownHeader(h) => write!(f, "unknown header type `{h}`"),
+            LinkageError::NoParser(h) => {
+                write!(f, "header `{h}` has no implicit parser to link from")
+            }
+            LinkageError::TagInUse { pre, tag, existing } => write!(
+                f,
+                "header `{pre}` tag {tag:#x} already links to `{existing}`"
+            ),
+            LinkageError::NoSuchLink { pre, next } => {
+                write!(f, "no link from `{pre}` to `{next}`")
+            }
+            LinkageError::Header(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LinkageError {}
+
+impl From<HeaderError> for LinkageError {
+    fn from(e: HeaderError) -> Self {
+        LinkageError::Header(e)
+    }
+}
+
+/// Registry of header types plus the mutable parse graph between them.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HeaderLinkage {
+    types: HashMap<String, HeaderType>,
+    /// The header type found at byte 0 of every packet.
+    first: Option<String>,
+}
+
+impl HeaderLinkage {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A graph pre-loaded with the standard L2–L4 headers, rooted at
+    /// Ethernet — the state of a freshly booted base design.
+    pub fn standard() -> Self {
+        let mut g = Self::new();
+        for h in crate::protocols::standard_headers() {
+            g.register(h);
+        }
+        g.set_first("ethernet").expect("ethernet registered");
+        g
+    }
+
+    /// Registers (or replaces) a header type.
+    pub fn register(&mut self, ty: HeaderType) {
+        self.types.insert(ty.name.clone(), ty);
+    }
+
+    /// Removes a header type and all links pointing at it. Returns true if
+    /// the type existed.
+    pub fn unregister(&mut self, name: &str) -> bool {
+        let existed = self.types.remove(name).is_some();
+        if existed {
+            for ty in self.types.values_mut() {
+                if let Some(p) = &mut ty.parser {
+                    p.transitions.retain(|t| t.next != name);
+                }
+            }
+            if self.first.as_deref() == Some(name) {
+                self.first = None;
+            }
+        }
+        existed
+    }
+
+    /// Declares which header type starts every packet.
+    pub fn set_first(&mut self, name: &str) -> Result<(), LinkageError> {
+        if !self.types.contains_key(name) {
+            return Err(LinkageError::UnknownHeader(name.to_string()));
+        }
+        self.first = Some(name.to_string());
+        Ok(())
+    }
+
+    /// The first-header type name, if configured.
+    pub fn first(&self) -> Option<&str> {
+        self.first.as_deref()
+    }
+
+    /// Looks up a header type.
+    pub fn get(&self, name: &str) -> Option<&HeaderType> {
+        self.types.get(name)
+    }
+
+    /// Looks up a header type, as an error-returning variant.
+    pub fn require(&self, name: &str) -> Result<&HeaderType, LinkageError> {
+        self.get(name)
+            .ok_or_else(|| LinkageError::UnknownHeader(name.to_string()))
+    }
+
+    /// Number of registered header types.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// True when no header types are registered.
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// Iterates over registered types in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &HeaderType> {
+        self.types.values()
+    }
+
+    /// Adds a parse edge `pre --tag--> next` (the `link_header` command).
+    ///
+    /// Both header types must be registered and `pre` must carry an implicit
+    /// parser. Linking the same `(pre, tag, next)` twice is idempotent;
+    /// linking an in-use tag to a *different* next header is an error (the
+    /// old link must be removed first).
+    pub fn link(&mut self, pre: &str, next: &str, tag: u128) -> Result<(), LinkageError> {
+        if !self.types.contains_key(next) {
+            return Err(LinkageError::UnknownHeader(next.to_string()));
+        }
+        let pre_ty = self
+            .types
+            .get_mut(pre)
+            .ok_or_else(|| LinkageError::UnknownHeader(pre.to_string()))?;
+        let parser = pre_ty
+            .parser
+            .as_mut()
+            .ok_or_else(|| LinkageError::NoParser(pre.to_string()))?;
+        if let Some(t) = parser.transitions.iter().find(|t| t.tag == tag) {
+            if t.next == next {
+                return Ok(());
+            }
+            return Err(LinkageError::TagInUse {
+                pre: pre.to_string(),
+                tag,
+                existing: t.next.clone(),
+            });
+        }
+        parser.transitions.push(ParserTransition {
+            tag,
+            next: next.to_string(),
+        });
+        Ok(())
+    }
+
+    /// Removes every parse edge from `pre` to `next` (the `unlink_header`
+    /// command).
+    pub fn unlink(&mut self, pre: &str, next: &str) -> Result<(), LinkageError> {
+        let pre_ty = self
+            .types
+            .get_mut(pre)
+            .ok_or_else(|| LinkageError::UnknownHeader(pre.to_string()))?;
+        let parser = pre_ty
+            .parser
+            .as_mut()
+            .ok_or_else(|| LinkageError::NoParser(pre.to_string()))?;
+        let before = parser.transitions.len();
+        parser.transitions.retain(|t| t.next != next);
+        if parser.transitions.len() == before {
+            return Err(LinkageError::NoSuchLink {
+                pre: pre.to_string(),
+                next: next.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// All edges in the graph as `(pre, tag, next)` triples, sorted for
+    /// deterministic output.
+    pub fn edges(&self) -> Vec<(String, u128, String)> {
+        let mut out: Vec<_> = self
+            .types
+            .values()
+            .flat_map(|ty| {
+                ty.parser.iter().flat_map(|p| {
+                    p.transitions
+                        .iter()
+                        .map(|t| (ty.name.clone(), t.tag, t.next.clone()))
+                })
+            })
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_graph_roots_at_ethernet() {
+        let g = HeaderLinkage::standard();
+        assert_eq!(g.first(), Some("ethernet"));
+        assert!(g.get("ipv6").is_some());
+        assert_eq!(g.len(), 7);
+    }
+
+    #[test]
+    fn srv6_runtime_linkage_script() {
+        // Replays Fig. 5(c): IPv6 -> SRH (43), SRH -> IPv6 (41), SRH -> IPv4 (4).
+        let mut g = HeaderLinkage::standard();
+        g.link("ipv6", "srh", 43).unwrap();
+        g.link("srh", "ipv6", 41).unwrap();
+        g.link("srh", "ipv4", 4).unwrap();
+        let edges = g.edges();
+        assert!(edges.contains(&("ipv6".into(), 43, "srh".into())));
+        assert!(edges.contains(&("srh".into(), 41, "ipv6".into())));
+        assert!(edges.contains(&("srh".into(), 4, "ipv4".into())));
+        // The IPv6 -> TCP/UDP links remain: "linkage between routable and
+        // ipvx is reserved".
+        assert!(edges.contains(&("ipv6".into(), 6, "tcp".into())));
+    }
+
+    #[test]
+    fn link_is_idempotent_but_conflicts_rejected() {
+        let mut g = HeaderLinkage::standard();
+        g.link("ipv6", "srh", 43).unwrap();
+        g.link("ipv6", "srh", 43).unwrap();
+        assert!(matches!(
+            g.link("ipv6", "tcp", 43),
+            Err(LinkageError::TagInUse { .. })
+        ));
+    }
+
+    #[test]
+    fn unlink_removes_edge() {
+        let mut g = HeaderLinkage::standard();
+        g.link("ipv6", "srh", 43).unwrap();
+        g.unlink("ipv6", "srh").unwrap();
+        assert!(matches!(
+            g.unlink("ipv6", "srh"),
+            Err(LinkageError::NoSuchLink { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_headers_rejected() {
+        let mut g = HeaderLinkage::standard();
+        assert!(matches!(
+            g.link("ipv6", "mystery", 99),
+            Err(LinkageError::UnknownHeader(_))
+        ));
+        assert!(matches!(
+            g.link("mystery", "ipv4", 99),
+            Err(LinkageError::UnknownHeader(_))
+        ));
+    }
+
+    #[test]
+    fn unregister_cleans_edges() {
+        let mut g = HeaderLinkage::standard();
+        g.link("ipv6", "srh", 43).unwrap();
+        assert!(g.unregister("srh"));
+        let edges = g.edges();
+        assert!(!edges.iter().any(|(_, _, n)| n == "srh"));
+    }
+
+    #[test]
+    fn linking_from_parserless_header_fails() {
+        let mut g = HeaderLinkage::standard();
+        assert!(matches!(
+            g.link("tcp", "ipv4", 1),
+            Err(LinkageError::NoParser(_))
+        ));
+    }
+}

@@ -1,0 +1,540 @@
+//! Packets, packet metadata, and distributed on-demand parsing.
+//!
+//! IPSA has no front-end parser: each Templated Stage Processor parses just
+//! the headers it needs, and parse results travel with the packet so later
+//! stages never re-parse ([`Packet::ensure_parsed`] is memoized through
+//! [`Packet::parsed`]). This module is the substrate for that behaviour.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bitfield::BitfieldError;
+use crate::header::HeaderError;
+use crate::linkage::{HeaderLinkage, LinkageError};
+
+/// Record of one parsed header instance inside a packet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParsedHeader {
+    /// Header type name.
+    pub ty: String,
+    /// Byte offset of the header within the packet data.
+    pub offset: usize,
+    /// Byte length of this instance (variable-length headers resolved).
+    pub len: usize,
+}
+
+/// Errors from packet operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketError {
+    /// The named header has not been parsed / is not present.
+    HeaderNotPresent(String),
+    /// The packet data ended before the header could be fully parsed.
+    Truncated {
+        /// Header being parsed when data ran out.
+        header: String,
+        /// Offset at which it started.
+        offset: usize,
+        /// Bytes it needed.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// No linkage path from the parse frontier leads to the target header.
+    Unreachable(String),
+    /// Linkage-level failure.
+    Linkage(LinkageError),
+    /// Header-level failure.
+    Header(HeaderError),
+    /// Bit-level failure.
+    Bits(BitfieldError),
+    /// Tried to parse a packet but the linkage has no first header set.
+    NoFirstHeader,
+}
+
+impl std::fmt::Display for PacketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PacketError::HeaderNotPresent(h) => write!(f, "header `{h}` not present in packet"),
+            PacketError::Truncated {
+                header,
+                offset,
+                needed,
+                available,
+            } => write!(
+                f,
+                "packet truncated parsing `{header}` at offset {offset}: need {needed} bytes, have {available}"
+            ),
+            PacketError::Unreachable(h) => {
+                write!(f, "header `{h}` unreachable from parse frontier")
+            }
+            PacketError::Linkage(e) => write!(f, "{e}"),
+            PacketError::Header(e) => write!(f, "{e}"),
+            PacketError::Bits(e) => write!(f, "{e}"),
+            PacketError::NoFirstHeader => write!(f, "linkage graph has no first header configured"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+impl From<LinkageError> for PacketError {
+    fn from(e: LinkageError) -> Self {
+        PacketError::Linkage(e)
+    }
+}
+impl From<HeaderError> for PacketError {
+    fn from(e: HeaderError) -> Self {
+        PacketError::Header(e)
+    }
+}
+impl From<BitfieldError> for PacketError {
+    fn from(e: BitfieldError) -> Self {
+        PacketError::Bits(e)
+    }
+}
+
+/// Per-packet metadata: intrinsic forwarding state plus the user-defined
+/// metadata struct of the loaded rP4 program (dynamic, since programs load
+/// at runtime).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metadata {
+    /// Port the packet arrived on.
+    pub ingress_port: u16,
+    /// Port chosen for emission; `None` until a forwarding decision is made.
+    pub egress_port: Option<u16>,
+    /// Set when the packet should be discarded.
+    pub drop: bool,
+    /// Mark value (used by the C3 flow probe to flag packets for the
+    /// controller).
+    pub mark: u128,
+    user: HashMap<String, u128>,
+}
+
+impl Metadata {
+    /// Reads a metadata field by name. Intrinsics (`ingress_port`,
+    /// `egress_port`, `drop`, `mark`) are addressable alongside user fields;
+    /// unset user fields read as 0, matching uninitialized P4 metadata.
+    pub fn get(&self, name: &str) -> u128 {
+        match name {
+            "ingress_port" => self.ingress_port as u128,
+            "egress_port" => self.egress_port.map(|p| p as u128).unwrap_or(0),
+            "drop" => self.drop as u128,
+            "mark" => self.mark,
+            _ => self.user.get(name).copied().unwrap_or(0),
+        }
+    }
+
+    /// Writes a metadata field by name.
+    pub fn set(&mut self, name: &str, value: u128) {
+        match name {
+            "ingress_port" => self.ingress_port = value as u16,
+            "egress_port" => self.egress_port = Some(value as u16),
+            "drop" => self.drop = value != 0,
+            "mark" => self.mark = value,
+            _ => {
+                self.user.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    /// Iterates user-defined fields (sorted, for deterministic debugging).
+    pub fn user_fields(&self) -> Vec<(&str, u128)> {
+        let mut v: Vec<_> = self.user.iter().map(|(k, &x)| (k.as_str(), x)).collect();
+        v.sort();
+        v
+    }
+}
+
+/// A packet: raw bytes, metadata, and the memoized parse state.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Raw packet bytes.
+    pub data: Vec<u8>,
+    /// Forwarding metadata.
+    pub meta: Metadata,
+    parsed: Vec<ParsedHeader>,
+    /// Next unparsed header (type name, byte offset); `None` either before
+    /// parsing starts (when `parsed` is empty) or after the chain ended.
+    frontier: Option<(String, usize)>,
+    /// Total header extractions performed on this packet — the measure of
+    /// parsing work for the distributed-parsing evaluation.
+    pub parse_extractions: u64,
+}
+
+impl Packet {
+    /// Wraps raw bytes arriving on `port`.
+    pub fn new(data: Vec<u8>, port: u16) -> Self {
+        let mut p = Packet {
+            data,
+            ..Default::default()
+        };
+        p.meta.ingress_port = port;
+        p
+    }
+
+    /// Packet length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the packet holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Headers parsed so far, in wire order.
+    pub fn parsed(&self) -> &[ParsedHeader] {
+        &self.parsed
+    }
+
+    /// Whether `header` has been parsed and is present.
+    pub fn is_valid(&self, header: &str) -> bool {
+        self.parsed.iter().any(|h| h.ty == header)
+    }
+
+    fn find(&self, header: &str) -> Option<&ParsedHeader> {
+        self.parsed.iter().find(|h| h.ty == header)
+    }
+
+    /// Parses forward through the linkage graph until `target` has been
+    /// extracted. Returns `Ok(true)` if the header is (now) present,
+    /// `Ok(false)` if the packet simply does not contain it (the chain ended
+    /// first — not an error: a v4-only stage probing for `ipv6` must be a
+    /// no-op on v4 traffic).
+    ///
+    /// Already-parsed headers are never re-extracted; this is the
+    /// "parsed headers are passed to later pipeline stages" invariant.
+    pub fn ensure_parsed(
+        &mut self,
+        linkage: &HeaderLinkage,
+        target: &str,
+    ) -> Result<bool, PacketError> {
+        if self.is_valid(target) {
+            return Ok(true);
+        }
+        // Establish the frontier lazily.
+        if self.parsed.is_empty() && self.frontier.is_none() {
+            let first = linkage.first().ok_or(PacketError::NoFirstHeader)?;
+            self.frontier = Some((first.to_string(), 0));
+        }
+        while let Some((name, offset)) = self.frontier.clone() {
+            let ty = linkage.require(&name)?;
+            let fixed = ty.fixed_len()?;
+            if offset + fixed > self.data.len() {
+                return Err(PacketError::Truncated {
+                    header: name,
+                    offset,
+                    needed: fixed,
+                    available: self.data.len().saturating_sub(offset),
+                });
+            }
+            let len = ty.instance_len(&self.data[offset..])?;
+            if offset + len > self.data.len() {
+                return Err(PacketError::Truncated {
+                    header: name.clone(),
+                    offset,
+                    needed: len,
+                    available: self.data.len() - offset,
+                });
+            }
+            self.parsed.push(ParsedHeader {
+                ty: name.clone(),
+                offset,
+                len,
+            });
+            self.parse_extractions += 1;
+            // Advance the frontier.
+            let next = match ty.selector_value(&self.data[offset..offset + len])? {
+                Some(sel) => ty.next_header(sel).map(|n| (n.to_string(), offset + len)),
+                None => None,
+            };
+            self.frontier = next;
+            if name == target {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Parses the packet to the end of its header chain — what a PISA
+    /// front-end parser does before the pipeline runs. Returns the number
+    /// of headers extracted.
+    pub fn parse_all(&mut self, linkage: &HeaderLinkage) -> Result<usize, PacketError> {
+        let before = self.parsed.len();
+        // Probe for a name that cannot exist; the walk still extracts the
+        // whole chain. Using a dedicated loop keeps intent clear instead:
+        if self.parsed.is_empty() && self.frontier.is_none() {
+            let first = linkage.first().ok_or(PacketError::NoFirstHeader)?;
+            self.frontier = Some((first.to_string(), 0));
+        }
+        while let Some((name, _)) = self.frontier.clone() {
+            // ensure_parsed advances exactly to `name` (parsing it).
+            if !self.ensure_parsed(linkage, &name)? {
+                break;
+            }
+        }
+        Ok(self.parsed.len() - before)
+    }
+
+    /// Reads `header.field`. The header must already be parsed (stages
+    /// declare their parse needs up front, so reads of unparsed headers are
+    /// a pipeline bug, not a traffic condition).
+    pub fn get_field(
+        &self,
+        linkage: &HeaderLinkage,
+        header: &str,
+        field: &str,
+    ) -> Result<u128, PacketError> {
+        let ph = self
+            .find(header)
+            .ok_or_else(|| PacketError::HeaderNotPresent(header.to_string()))?;
+        let ty = linkage.require(header)?;
+        Ok(ty.get(&self.data[ph.offset..ph.offset + ph.len], field)?)
+    }
+
+    /// Writes `header.field = value`.
+    pub fn set_field(
+        &mut self,
+        linkage: &HeaderLinkage,
+        header: &str,
+        field: &str,
+        value: u128,
+    ) -> Result<(), PacketError> {
+        let ph = self
+            .find(header)
+            .cloned()
+            .ok_or_else(|| PacketError::HeaderNotPresent(header.to_string()))?;
+        let ty = linkage.require(header)?;
+        ty.set(
+            &mut self.data[ph.offset..ph.offset + ph.len],
+            field,
+            value,
+        )?;
+        Ok(())
+    }
+
+    /// Inserts a new header's bytes immediately after an existing parsed
+    /// header, recording it as parsed. Offsets of all later parsed headers
+    /// shift right. Used e.g. for SRv6 encapsulation (SRH after IPv6).
+    pub fn insert_header_after(
+        &mut self,
+        linkage: &HeaderLinkage,
+        after: &str,
+        new_header: &str,
+        contents: &[u8],
+    ) -> Result<(), PacketError> {
+        let ty = linkage.require(new_header)?;
+        let fixed = ty.fixed_len()?;
+        if contents.len() < fixed {
+            return Err(PacketError::Truncated {
+                header: new_header.to_string(),
+                offset: 0,
+                needed: fixed,
+                available: contents.len(),
+            });
+        }
+        let idx = self
+            .parsed
+            .iter()
+            .position(|h| h.ty == after)
+            .ok_or_else(|| PacketError::HeaderNotPresent(after.to_string()))?;
+        let insert_at = self.parsed[idx].offset + self.parsed[idx].len;
+        self.data
+            .splice(insert_at..insert_at, contents.iter().copied());
+        for h in &mut self.parsed {
+            if h.offset >= insert_at {
+                h.offset += contents.len();
+            }
+        }
+        if let Some((_, off)) = &mut self.frontier {
+            if *off >= insert_at {
+                *off += contents.len();
+            }
+        }
+        self.parsed.insert(
+            idx + 1,
+            ParsedHeader {
+                ty: new_header.to_string(),
+                offset: insert_at,
+                len: contents.len(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Removes a parsed header's bytes from the packet (decapsulation).
+    pub fn remove_header(&mut self, header: &str) -> Result<(), PacketError> {
+        let idx = self
+            .parsed
+            .iter()
+            .position(|h| h.ty == header)
+            .ok_or_else(|| PacketError::HeaderNotPresent(header.to_string()))?;
+        let ph = self.parsed.remove(idx);
+        self.data.drain(ph.offset..ph.offset + ph.len);
+        for h in &mut self.parsed {
+            if h.offset > ph.offset {
+                h.offset -= ph.len;
+            }
+        }
+        if let Some((_, off)) = &mut self.frontier {
+            if *off > ph.offset {
+                *off -= ph.len;
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the packet bytes as a hex dump (pcap-lite, used by the CM's
+    /// trace facility and tests).
+    pub fn hex_dump(&self) -> String {
+        let mut out = String::with_capacity(self.data.len() * 3);
+        for (i, b) in self.data.iter().enumerate() {
+            if i > 0 {
+                out.push(if i % 16 == 0 { '\n' } else { ' ' });
+            }
+            out.push_str(&format!("{b:02x}"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder;
+    use crate::protocols;
+
+    fn sample_v4() -> Packet {
+        builder::ipv4_udp_packet(&builder::Ipv4UdpSpec {
+            src_mac: 0x02_00_00_00_00_01,
+            dst_mac: 0x02_00_00_00_00_02,
+            src_ip: 0x0a000001,
+            dst_ip: 0x0a000002,
+            src_port: 1000,
+            dst_port: 2000,
+            ttl: 64,
+            payload: vec![1, 2, 3, 4],
+        })
+    }
+
+    #[test]
+    fn on_demand_parse_stops_at_target() {
+        let linkage = HeaderLinkage::standard();
+        let mut p = sample_v4();
+        assert!(p.ensure_parsed(&linkage, "ethernet").unwrap());
+        assert_eq!(p.parse_extractions, 1);
+        assert!(!p.is_valid("ipv4"));
+        assert!(p.ensure_parsed(&linkage, "ipv4").unwrap());
+        assert_eq!(p.parse_extractions, 2);
+    }
+
+    #[test]
+    fn parse_is_memoized() {
+        let linkage = HeaderLinkage::standard();
+        let mut p = sample_v4();
+        assert!(p.ensure_parsed(&linkage, "udp").unwrap());
+        let n = p.parse_extractions;
+        assert!(p.ensure_parsed(&linkage, "ethernet").unwrap());
+        assert!(p.ensure_parsed(&linkage, "udp").unwrap());
+        assert_eq!(p.parse_extractions, n, "no re-extraction allowed");
+    }
+
+    #[test]
+    fn absent_header_is_ok_false() {
+        let linkage = HeaderLinkage::standard();
+        let mut p = sample_v4();
+        assert!(!p.ensure_parsed(&linkage, "ipv6").unwrap());
+        // The v4 chain is fully parsed as a side effect of the probe.
+        assert!(p.is_valid("udp"));
+    }
+
+    #[test]
+    fn field_roundtrip_through_packet() {
+        let linkage = HeaderLinkage::standard();
+        let mut p = sample_v4();
+        p.ensure_parsed(&linkage, "ipv4").unwrap();
+        assert_eq!(p.get_field(&linkage, "ipv4", "ttl").unwrap(), 64);
+        p.set_field(&linkage, "ipv4", "ttl", 63).unwrap();
+        assert_eq!(p.get_field(&linkage, "ipv4", "ttl").unwrap(), 63);
+    }
+
+    #[test]
+    fn unparsed_read_is_error() {
+        let linkage = HeaderLinkage::standard();
+        let p = sample_v4();
+        assert!(matches!(
+            p.get_field(&linkage, "ipv4", "ttl"),
+            Err(PacketError::HeaderNotPresent(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_packet_detected() {
+        let linkage = HeaderLinkage::standard();
+        let mut p = sample_v4();
+        p.data.truncate(20); // cuts into the IPv4 header
+        assert!(p.ensure_parsed(&linkage, "ethernet").unwrap());
+        assert!(matches!(
+            p.ensure_parsed(&linkage, "ipv4"),
+            Err(PacketError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn srh_insert_and_remove_preserve_payload() {
+        let mut linkage = HeaderLinkage::standard();
+        linkage.link("ipv6", "srh", 43).unwrap();
+        linkage.link("srh", "udp", 17).unwrap();
+        let mut p = builder::ipv6_udp_packet(&builder::Ipv6UdpSpec {
+            src_mac: 1,
+            dst_mac: 2,
+            src_ip: 0xfc00_0000_0000_0000_0000_0000_0000_0001,
+            dst_ip: 0xfc00_0000_0000_0000_0000_0000_0000_0002,
+            src_port: 7,
+            dst_port: 8,
+            hop_limit: 64,
+            payload: vec![9, 9, 9],
+        });
+        p.ensure_parsed(&linkage, "ipv6").unwrap();
+        let before = p.data.clone();
+
+        // Build an SRH with one 16-byte segment: ext len = 2 (8-byte units).
+        let srh_ty = protocols::srh();
+        let mut srh = vec![0u8; 8 + 16];
+        srh_ty.set(&mut srh, "next_header", 17).unwrap();
+        srh_ty.set(&mut srh, "hdr_ext_len", 2).unwrap();
+        srh_ty.set(&mut srh, "routing_type", 4).unwrap();
+        p.insert_header_after(&linkage, "ipv6", "srh", &srh).unwrap();
+        p.set_field(&linkage, "ipv6", "next_hdr", 43).unwrap();
+
+        assert!(p.is_valid("srh"));
+        assert_eq!(p.len(), before.len() + 24);
+        // Continue parsing past the inserted header.
+        assert!(p.ensure_parsed(&linkage, "udp").unwrap());
+        assert_eq!(p.get_field(&linkage, "udp", "dst_port").unwrap(), 8);
+
+        p.remove_header("srh").unwrap();
+        p.set_field(&linkage, "ipv6", "next_hdr", 17).unwrap();
+        assert_eq!(p.data, before);
+    }
+
+    #[test]
+    fn metadata_intrinsics_and_user_fields() {
+        let mut m = Metadata::default();
+        m.set("nexthop", 42);
+        m.set("egress_port", 3);
+        m.set("drop", 1);
+        assert_eq!(m.get("nexthop"), 42);
+        assert_eq!(m.egress_port, Some(3));
+        assert!(m.drop);
+        assert_eq!(m.get("unset_field"), 0);
+        assert_eq!(m.user_fields(), vec![("nexthop", 42)]);
+    }
+
+    #[test]
+    fn hex_dump_formats() {
+        let p = Packet::new(vec![0xde, 0xad, 0xbe, 0xef], 0);
+        assert_eq!(p.hex_dump(), "de ad be ef");
+    }
+}

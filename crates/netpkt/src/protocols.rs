@@ -1,0 +1,235 @@
+//! Standard protocol header types used by the base design and use cases.
+//!
+//! These mirror what the paper's base L2/L3 design and the C1–C3 use cases
+//! need: Ethernet, VLAN, IPv4, IPv6, the SRv6 SRH, TCP and UDP. They are
+//! ordinary [`HeaderType`] values — a user program could define them itself;
+//! we provide them as constructors for convenience and to keep tag values
+//! (ethertypes, IP protocol numbers) in one place.
+
+use crate::header::{FieldDef, HeaderType, ImplicitParser, ParserTransition};
+
+/// Ethertype for IPv4.
+pub const ETHERTYPE_IPV4: u128 = 0x0800;
+/// Ethertype for IPv6.
+pub const ETHERTYPE_IPV6: u128 = 0x86DD;
+/// Ethertype for a VLAN tag.
+pub const ETHERTYPE_VLAN: u128 = 0x8100;
+/// IP protocol number for TCP.
+pub const PROTO_TCP: u128 = 6;
+/// IP protocol number for UDP.
+pub const PROTO_UDP: u128 = 17;
+/// IPv6 next-header value for the segment routing header.
+pub const PROTO_SRH: u128 = 43;
+/// IP protocol number for IPv6 encapsulation (used after an SRH).
+pub const PROTO_IPV6: u128 = 41;
+/// IP protocol number for IPv4 encapsulation (used after an SRH).
+pub const PROTO_IPV4: u128 = 4;
+
+fn f(name: &str, bits: usize) -> FieldDef {
+    FieldDef::new(name, bits)
+}
+
+/// Ethernet II header, parsing to IPv4/IPv6/VLAN by ethertype.
+pub fn ethernet() -> HeaderType {
+    HeaderType::new(
+        "ethernet",
+        vec![f("dst_addr", 48), f("src_addr", 48), f("ethertype", 16)],
+    )
+    .with_parser(ImplicitParser {
+        selector_fields: vec!["ethertype".into()],
+        transitions: vec![
+            ParserTransition {
+                tag: ETHERTYPE_IPV4,
+                next: "ipv4".into(),
+            },
+            ParserTransition {
+                tag: ETHERTYPE_IPV6,
+                next: "ipv6".into(),
+            },
+            ParserTransition {
+                tag: ETHERTYPE_VLAN,
+                next: "vlan".into(),
+            },
+        ],
+    })
+}
+
+/// 802.1Q VLAN tag.
+pub fn vlan() -> HeaderType {
+    HeaderType::new(
+        "vlan",
+        vec![f("pcp", 3), f("dei", 1), f("vid", 12), f("ethertype", 16)],
+    )
+    .with_parser(ImplicitParser {
+        selector_fields: vec!["ethertype".into()],
+        transitions: vec![
+            ParserTransition {
+                tag: ETHERTYPE_IPV4,
+                next: "ipv4".into(),
+            },
+            ParserTransition {
+                tag: ETHERTYPE_IPV6,
+                next: "ipv6".into(),
+            },
+        ],
+    })
+}
+
+/// IPv4 header (options unsupported, as in the base design).
+pub fn ipv4() -> HeaderType {
+    HeaderType::new(
+        "ipv4",
+        vec![
+            f("version", 4),
+            f("ihl", 4),
+            f("dscp", 6),
+            f("ecn", 2),
+            f("total_len", 16),
+            f("identification", 16),
+            f("flags", 3),
+            f("frag_offset", 13),
+            f("ttl", 8),
+            f("protocol", 8),
+            f("hdr_checksum", 16),
+            f("src_addr", 32),
+            f("dst_addr", 32),
+        ],
+    )
+    .with_parser(ImplicitParser {
+        selector_fields: vec!["protocol".into()],
+        transitions: vec![
+            ParserTransition {
+                tag: PROTO_TCP,
+                next: "tcp".into(),
+            },
+            ParserTransition {
+                tag: PROTO_UDP,
+                next: "udp".into(),
+            },
+        ],
+    })
+}
+
+/// IPv6 header.
+pub fn ipv6() -> HeaderType {
+    HeaderType::new(
+        "ipv6",
+        vec![
+            f("version", 4),
+            f("traffic_class", 8),
+            f("flow_label", 20),
+            f("payload_len", 16),
+            f("next_hdr", 8),
+            f("hop_limit", 8),
+            f("src_addr", 128),
+            f("dst_addr", 128),
+        ],
+    )
+    .with_parser(ImplicitParser {
+        selector_fields: vec!["next_hdr".into()],
+        transitions: vec![
+            ParserTransition {
+                tag: PROTO_TCP,
+                next: "tcp".into(),
+            },
+            ParserTransition {
+                tag: PROTO_UDP,
+                next: "udp".into(),
+            },
+        ],
+    })
+}
+
+/// IPv6 segment routing header (RFC 8754). Variable length: the segment
+/// list adds `8 * hdr_ext_len` bytes past the fixed 8-byte part.
+///
+/// Note the SRH type carries *no* transitions by default: the C2 use case
+/// installs them at runtime with `link_header` commands, exactly as in
+/// Fig. 5(c) of the paper.
+pub fn srh() -> HeaderType {
+    HeaderType::new(
+        "srh",
+        vec![
+            f("next_header", 8),
+            f("hdr_ext_len", 8),
+            f("routing_type", 8),
+            f("segments_left", 8),
+            f("last_entry", 8),
+            f("flags", 8),
+            f("tag", 16),
+        ],
+    )
+    .with_parser(ImplicitParser {
+        selector_fields: vec!["next_header".into()],
+        transitions: vec![],
+    })
+    .with_var_len("hdr_ext_len", 8)
+}
+
+/// TCP header without options.
+pub fn tcp() -> HeaderType {
+    HeaderType::new(
+        "tcp",
+        vec![
+            f("src_port", 16),
+            f("dst_port", 16),
+            f("seq_no", 32),
+            f("ack_no", 32),
+            f("data_offset", 4),
+            f("reserved", 4),
+            f("flags", 8),
+            f("window", 16),
+            f("checksum", 16),
+            f("urgent_ptr", 16),
+        ],
+    )
+}
+
+/// UDP header.
+pub fn udp() -> HeaderType {
+    HeaderType::new(
+        "udp",
+        vec![
+            f("src_port", 16),
+            f("dst_port", 16),
+            f("length", 16),
+            f("checksum", 16),
+        ],
+    )
+}
+
+/// All standard header types, keyed for registration into a linkage graph.
+pub fn standard_headers() -> Vec<HeaderType> {
+    vec![ethernet(), vlan(), ipv4(), ipv6(), srh(), tcp(), udp()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_sizes() {
+        assert_eq!(ethernet().fixed_len().unwrap(), 14);
+        assert_eq!(vlan().fixed_len().unwrap(), 4);
+        assert_eq!(ipv4().fixed_len().unwrap(), 20);
+        assert_eq!(ipv6().fixed_len().unwrap(), 40);
+        assert_eq!(srh().fixed_len().unwrap(), 8);
+        assert_eq!(tcp().fixed_len().unwrap(), 20);
+        assert_eq!(udp().fixed_len().unwrap(), 8);
+    }
+
+    #[test]
+    fn srh_ships_without_links() {
+        // The paper installs SRH linkage at runtime; the type must start bare.
+        assert!(srh().parser.as_ref().unwrap().transitions.is_empty());
+    }
+
+    #[test]
+    fn all_standard_headers_unique() {
+        let hs = standard_headers();
+        let mut names: Vec<_> = hs.iter().map(|h| h.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), hs.len());
+    }
+}

@@ -1,0 +1,230 @@
+//! Deterministic traffic generators for the evaluation workloads.
+//!
+//! Every generator takes an explicit seed so tests and benchmarks are
+//! reproducible run-to-run (the repo's determinism rule). Workloads mirror
+//! the paper's use cases: plain v4/v6 forwarding mixes (base design), many
+//! flows towards one ECMP'd destination (C1), SRv6 traffic (C2), and a
+//! heavy-hitter flow mix for the probe (C3).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::builder::{self, Ipv4UdpSpec, Ipv6UdpSpec};
+use crate::packet::Packet;
+
+/// A reproducible packet stream.
+#[derive(Debug)]
+pub struct TrafficGen {
+    rng: StdRng,
+    /// Fraction of IPv6 packets in mixed streams, in percent (0..=100).
+    pub v6_percent: u8,
+    /// Number of distinct flows to synthesize.
+    pub flows: u32,
+    /// Payload size per packet.
+    pub payload_len: usize,
+}
+
+/// A flow's invariant 5-tuple-ish identity, used to pin expected results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowId {
+    /// Flow index in `0..flows`.
+    pub index: u32,
+    /// True when the flow is IPv6.
+    pub v6: bool,
+}
+
+impl TrafficGen {
+    /// New generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            v6_percent: 30,
+            flows: 64,
+            payload_len: 16,
+        }
+    }
+
+    /// Sets the v4/v6 mix (builder style).
+    pub fn with_v6_percent(mut self, pct: u8) -> Self {
+        self.v6_percent = pct.min(100);
+        self
+    }
+
+    /// Sets the flow count (builder style).
+    pub fn with_flows(mut self, flows: u32) -> Self {
+        self.flows = flows.max(1);
+        self
+    }
+
+    /// Source/destination IPv4 addresses for flow `i`; destinations fall in
+    /// 10.1.0.0/16 so a single LPM route covers them all.
+    fn v4_addrs(i: u32) -> (u32, u32) {
+        (0x0a00_0000 | (i & 0xFFFF), 0x0a01_0000 | (i & 0xFFFF))
+    }
+
+    fn v6_addrs(i: u32) -> (u128, u128) {
+        (
+            0xfc00_0000_0000_0000_0000_0000_0000_0000 | i as u128,
+            0xfc01_0000_0000_0000_0000_0000_0000_0000 | i as u128,
+        )
+    }
+
+    /// Next packet of a mixed v4/v6 stream, with its flow identity.
+    pub fn next_mixed(&mut self) -> (Packet, FlowId) {
+        let i = self.rng.random_range(0..self.flows);
+        let v6 = self.rng.random_range(0..100u8) < self.v6_percent;
+        (self.flow_packet(FlowId { index: i, v6 }), FlowId { index: i, v6 })
+    }
+
+    /// Deterministic packet for a specific flow identity.
+    pub fn flow_packet(&self, id: FlowId) -> Packet {
+        if id.v6 {
+            let (s, d) = Self::v6_addrs(id.index);
+            builder::ipv6_udp_packet(&Ipv6UdpSpec {
+                src_ip: s,
+                dst_ip: d,
+                src_port: 1000 + (id.index % 5000) as u16,
+                dst_port: 53,
+                payload: vec![0x66; self.payload_len],
+                ..Ipv6UdpSpec::default()
+            })
+        } else {
+            let (s, d) = Self::v4_addrs(id.index);
+            builder::ipv4_udp_packet(&Ipv4UdpSpec {
+                src_ip: s,
+                dst_ip: d,
+                src_port: 1000 + (id.index % 5000) as u16,
+                dst_port: 53,
+                payload: vec![0x44; self.payload_len],
+                ..Ipv4UdpSpec::default()
+            })
+        }
+    }
+
+    /// A batch of `n` mixed packets.
+    pub fn batch(&mut self, n: usize) -> Vec<Packet> {
+        (0..n).map(|_| self.next_mixed().0).collect()
+    }
+
+    /// ECMP workload (C1): `n` packets from distinct flows all headed to one
+    /// destination prefix, differing in src address/port so next-hop hashing
+    /// spreads them.
+    pub fn ecmp_batch(&mut self, n: usize, dst: u32) -> Vec<Packet> {
+        (0..n)
+            .map(|_| {
+                let i = self.rng.random_range(0..self.flows);
+                builder::ipv4_udp_packet(&Ipv4UdpSpec {
+                    src_ip: 0x0a00_0000 | i,
+                    dst_ip: dst,
+                    src_port: 1024 + (i % 40000) as u16,
+                    dst_port: 443,
+                    payload: vec![0; self.payload_len],
+                    ..Ipv4UdpSpec::default()
+                })
+            })
+            .collect()
+    }
+
+    /// SRv6 workload (C2): packets carrying an SRH with `segments` entries.
+    pub fn srv6_batch(&mut self, n: usize, segments: &[u128]) -> Vec<Packet> {
+        (0..n)
+            .map(|_| {
+                let i = self.rng.random_range(0..self.flows);
+                let (s, _) = Self::v6_addrs(i);
+                builder::srv6_packet(
+                    &Ipv6UdpSpec {
+                        src_ip: s,
+                        // Destination = active segment, as SRv6 requires.
+                        dst_ip: segments[segments.len() - 1],
+                        src_port: 1024 + (i % 40000) as u16,
+                        dst_port: 443,
+                        payload: vec![0; self.payload_len],
+                        ..Ipv6UdpSpec::default()
+                    },
+                    segments,
+                )
+            })
+            .collect()
+    }
+
+    /// Flow-probe workload (C3): a skewed mix in which flow 0 is a heavy
+    /// hitter receiving `heavy_share` percent of the packets.
+    pub fn probe_batch(&mut self, n: usize, heavy_share: u8) -> Vec<(Packet, FlowId)> {
+        (0..n)
+            .map(|_| {
+                let heavy = self.rng.random_range(0..100u8) < heavy_share;
+                let i = if heavy {
+                    0
+                } else {
+                    self.rng.random_range(1..self.flows.max(2))
+                };
+                let id = FlowId { index: i, v6: false };
+                (self.flow_packet(id), id)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linkage::HeaderLinkage;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = TrafficGen::new(7);
+        let mut b = TrafficGen::new(7);
+        for _ in 0..50 {
+            assert_eq!(a.next_mixed().0.data, b.next_mixed().0.data);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = TrafficGen::new(1);
+        let mut b = TrafficGen::new(2);
+        let same = (0..32)
+            .filter(|_| a.next_mixed().0.data == b.next_mixed().0.data)
+            .count();
+        assert!(same < 32);
+    }
+
+    #[test]
+    fn mix_ratio_roughly_honoured() {
+        let linkage = HeaderLinkage::standard();
+        let mut g = TrafficGen::new(3).with_v6_percent(50);
+        let mut v6 = 0;
+        for _ in 0..400 {
+            let (mut p, id) = g.next_mixed();
+            assert!(p.ensure_parsed(&linkage, "udp").unwrap());
+            if id.v6 {
+                v6 += 1;
+                assert!(p.is_valid("ipv6"));
+            } else {
+                assert!(p.is_valid("ipv4"));
+            }
+        }
+        assert!((120..=280).contains(&v6), "v6 count {v6} wildly off 50%");
+    }
+
+    #[test]
+    fn heavy_hitter_dominates_probe_batch() {
+        let mut g = TrafficGen::new(9).with_flows(16);
+        let batch = g.probe_batch(300, 70);
+        let heavy = batch.iter().filter(|(_, id)| id.index == 0).count();
+        assert!(heavy > 150, "heavy flow got only {heavy}/300");
+    }
+
+    #[test]
+    fn ecmp_batch_single_destination() {
+        let mut g = TrafficGen::new(5);
+        let linkage = HeaderLinkage::standard();
+        for mut p in g.ecmp_batch(40, 0x0a02_0304) {
+            p.ensure_parsed(&linkage, "ipv4").unwrap();
+            assert_eq!(
+                p.get_field(&linkage, "ipv4", "dst_addr").unwrap(),
+                0x0a02_0304
+            );
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Surface AST for the supported P4-16 subset.
+//!
+//! The subset covers what the paper's base design and use cases exercise:
+//! header type declarations, a `headers` instance struct, a `metadata`
+//! struct, a parser state machine with `extract`/`transition select`, and
+//! ingress/egress controls containing actions, tables, and an `apply` block
+//! of conditional table applications.
+//!
+//! Action bodies, table declarations, expressions, and predicates reuse the
+//! rP4 AST node types (`rp4_lang::ast`) — the languages share those
+//! non-terminals, which is also what makes the rp4fc translation direct.
+//! Instance-qualified references are normalized at parse time:
+//! `hdr.ethernet.dstAddr` becomes `Qualified("ethernet", "dstAddr")` and
+//! `meta.x` becomes `Qualified("meta", "x")`.
+
+use rp4_lang::ast::{ActionDecl, PredExpr, TableDecl};
+use serde::{Deserialize, Serialize};
+
+/// A P4 header type declaration: `header ethernet_t { ... }`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct P4Header {
+    /// Type name (`ethernet_t`).
+    pub name: String,
+    /// Fields `(name, bits)` in wire order.
+    pub fields: Vec<(String, usize)>,
+}
+
+/// One state of the parser state machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct P4ParserState {
+    /// State name.
+    pub name: String,
+    /// Header *instances* extracted in this state, in order.
+    pub extracts: Vec<String>,
+    /// Outgoing transition.
+    pub transition: P4Transition,
+}
+
+/// A parser transition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum P4Transition {
+    /// `transition accept;`
+    Accept,
+    /// `transition some_state;`
+    State(String),
+    /// `transition select(hdr.inst.field) { tag: state; ... default: ...; }`
+    Select {
+        /// Selector: `(instance, field)`.
+        selector: (String, String),
+        /// `(tag, state)` cases.
+        cases: Vec<(u128, String)>,
+        /// Default target state (`accept` when `None`).
+        default: Option<String>,
+    },
+}
+
+/// A flattened apply-block node: one table application under the
+/// conjunction of its enclosing `if` conditions. (The tree form is
+/// flattened during parsing; order is preserved.)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApplyNode {
+    /// Table to apply.
+    pub table: String,
+    /// Accumulated guard (`None` = unconditional).
+    pub guard: Option<PredExpr>,
+}
+
+/// An ingress or egress control.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct P4Control {
+    /// Control name.
+    pub name: String,
+    /// Actions declared in the control.
+    pub actions: Vec<ActionDecl>,
+    /// Tables declared in the control.
+    pub tables: Vec<TableDecl>,
+    /// Flattened apply sequence.
+    pub apply: Vec<ApplyNode>,
+}
+
+/// A complete P4 compilation unit.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct P4Program {
+    /// Header type declarations.
+    pub headers: Vec<P4Header>,
+    /// Header instances `(type, instance)` from `struct headers { ... }`.
+    pub instances: Vec<(String, String)>,
+    /// Metadata fields `(name, bits)` from `struct metadata { ... }`.
+    pub metadata: Vec<(String, usize)>,
+    /// Parser states; the machine starts at `start`.
+    pub parser_states: Vec<P4ParserState>,
+    /// Ingress control.
+    pub ingress: P4Control,
+    /// Egress control.
+    pub egress: P4Control,
+}
+
+impl P4Program {
+    /// Header type declaration of a given *instance* name.
+    pub fn header_of_instance(&self, inst: &str) -> Option<&P4Header> {
+        let (ty, _) = self.instances.iter().find(|(_, i)| i == inst)?;
+        self.headers.iter().find(|h| &h.name == ty)
+    }
+
+    /// Finds a parser state by name.
+    pub fn state(&self, name: &str) -> Option<&P4ParserState> {
+        self.parser_states.iter().find(|s| s.name == name)
+    }
+
+    /// All tables across both controls.
+    pub fn tables(&self) -> impl Iterator<Item = &TableDecl> {
+        self.ingress.tables.iter().chain(self.egress.tables.iter())
+    }
+
+    /// All actions across both controls.
+    pub fn actions(&self) -> impl Iterator<Item = &ActionDecl> {
+        self.ingress
+            .actions
+            .iter()
+            .chain(self.egress.actions.iter())
+    }
+}

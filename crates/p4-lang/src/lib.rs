@@ -1,0 +1,19 @@
+//! # p4-lang — P4-16 subset front end and HLIR
+//!
+//! Stands in for `p4c`'s front end in the rP4 design flow (Fig. 3 of the
+//! paper): parses the P4-16 subset that the base L2/L3 design and the
+//! evaluation use cases need, and reduces it to a target-independent
+//! [`hlir::Hlir`]. Two back ends consume the HLIR:
+//!
+//! - `rp4fc` (in the `rp4c` crate) transforms it into rP4 for IPSA devices;
+//! - the PISA compiler (in `pisa-bm`) maps it onto a fixed-stage pipeline.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod hlir;
+pub mod parser;
+
+pub use ast::{P4Control, P4Header, P4Program};
+pub use hlir::{build_hlir, Hlir, HlirError, ParseEdge};
+pub use parser::{parse_p4, P4ParseError};

@@ -1,0 +1,911 @@
+//! Recursive-descent parser for the P4-16 subset.
+//!
+//! Reuses the shared lexer from `rp4-lang`. References are normalized while
+//! parsing: `hdr.ethernet.dstAddr` → `Qualified("ethernet", "dstAddr")`,
+//! `meta.x` → `Qualified("meta", "x")`, and `standard_metadata.egress_spec`
+//! / `.ingress_port` map to the intrinsic metadata names used downstream.
+
+use rp4_lang::ast::{ActionDecl, CmpOpAst, Expr, KeyKind, LVal, PredExpr, Stmt, TableDecl};
+use rp4_lang::lexer::lex;
+use rp4_lang::token::{Token, TokenKind as K};
+
+use crate::ast::*;
+
+/// Parse error with position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct P4ParseError {
+    /// Explanation.
+    pub msg: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl std::fmt::Display for P4ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P4 parse error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for P4ParseError {}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos.min(self.toks.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &K {
+        &self.peek().kind
+    }
+
+    fn kind_at(&self, n: usize) -> &K {
+        &self.toks[(self.pos + n).min(self.toks.len() - 1)].kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> P4ParseError {
+        let t = self.peek();
+        P4ParseError {
+            msg: msg.into(),
+            line: t.line,
+            col: t.col,
+        }
+    }
+
+    fn expect(&mut self, k: &K) -> Result<(), P4ParseError> {
+        if self.peek_kind() == k {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {k}, found {}", self.peek_kind())))
+        }
+    }
+
+    fn eat(&mut self, k: &K) -> bool {
+        if self.peek_kind() == k {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, P4ParseError> {
+        match self.peek_kind().clone() {
+            K::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), P4ParseError> {
+        match self.peek_kind() {
+            K::Ident(s) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.err(format!("expected `{kw}`, found {other}"))),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek_kind(), K::Ident(s) if s == kw)
+    }
+
+    fn int(&mut self) -> Result<u128, P4ParseError> {
+        match *self.peek_kind() {
+            K::Int(v) => {
+                self.bump();
+                Ok(v)
+            }
+            ref other => Err(self.err(format!("expected integer, found {other}"))),
+        }
+    }
+
+    fn bit_type(&mut self) -> Result<usize, P4ParseError> {
+        self.keyword("bit")?;
+        self.expect(&K::Lt)?;
+        let n = self.int()? as usize;
+        self.expect(&K::Gt)?;
+        if n == 0 || n > 128 {
+            return Err(self.err(format!("bit<{n}> out of supported range")));
+        }
+        Ok(n)
+    }
+
+    /// Skips a parenthesized parameter list without interpreting it.
+    fn skip_parens(&mut self) -> Result<(), P4ParseError> {
+        self.expect(&K::LParen)?;
+        let mut depth = 1usize;
+        loop {
+            match self.peek_kind() {
+                K::LParen => {
+                    depth += 1;
+                    self.bump();
+                }
+                K::RParen => {
+                    depth -= 1;
+                    self.bump();
+                    if depth == 0 {
+                        return Ok(());
+                    }
+                }
+                K::Eof => return Err(self.err("unterminated parameter list")),
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// `hdr.inst.field`, `meta.f`, `standard_metadata.f`, `inst.f`.
+    fn qualified(&mut self) -> Result<(String, String), P4ParseError> {
+        let a = self.ident()?;
+        self.expect(&K::Dot)?;
+        let b = self.ident()?;
+        if a == "hdr" {
+            self.expect(&K::Dot)?;
+            let c = self.ident()?;
+            return Ok((b, c));
+        }
+        if a == "standard_metadata" {
+            let mapped = match b.as_str() {
+                "egress_spec" | "egress_port" => "egress_port",
+                "ingress_port" => "ingress_port",
+                other => other,
+            };
+            return Ok(("meta".into(), mapped.into()));
+        }
+        Ok((a, b))
+    }
+
+    fn expr(&mut self) -> Result<Expr, P4ParseError> {
+        let lhs = self.primary_expr()?;
+        let op = match self.peek_kind() {
+            K::Plus => rp4_lang::ast::BinOp::Add,
+            K::Minus => rp4_lang::ast::BinOp::Sub,
+            K::Amp => rp4_lang::ast::BinOp::And,
+            K::Pipe => rp4_lang::ast::BinOp::Or,
+            K::Caret => rp4_lang::ast::BinOp::Xor,
+            K::Shl => rp4_lang::ast::BinOp::Shl,
+            K::Shr => rp4_lang::ast::BinOp::Shr,
+            K::Percent => rp4_lang::ast::BinOp::Mod,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.expr()?;
+        Ok(Expr::Bin {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, P4ParseError> {
+        match self.peek_kind().clone() {
+            K::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&K::RParen)?;
+                Ok(e)
+            }
+            K::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            K::Ident(s) if s == "hash" && self.kind_at(1) == &K::LParen => {
+                self.bump();
+                self.bump();
+                let mut inputs = Vec::new();
+                if !self.eat(&K::RParen) {
+                    loop {
+                        inputs.push(self.expr()?);
+                        if !self.eat(&K::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&K::RParen)?;
+                }
+                Ok(Expr::Hash(inputs))
+            }
+            K::Ident(_) => {
+                if self.kind_at(1) == &K::Dot {
+                    let (a, b) = self.qualified()?;
+                    Ok(Expr::Qualified(a, b))
+                } else {
+                    Ok(Expr::Ident(self.ident()?))
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {other}"))),
+        }
+    }
+
+    fn pred(&mut self) -> Result<PredExpr, P4ParseError> {
+        let mut lhs = self.pred_and()?;
+        while self.eat(&K::OrOr) {
+            let rhs = self.pred_and()?;
+            lhs = PredExpr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn pred_and(&mut self) -> Result<PredExpr, P4ParseError> {
+        let mut lhs = self.pred_unary()?;
+        while self.eat(&K::AndAnd) {
+            let rhs = self.pred_unary()?;
+            lhs = PredExpr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn pred_unary(&mut self) -> Result<PredExpr, P4ParseError> {
+        if self.eat(&K::Bang) {
+            return Ok(PredExpr::Not(Box::new(self.pred_unary()?)));
+        }
+        if self.peek_kind() == &K::LParen {
+            // Ambiguous: `(p && q)` (predicate) vs `(a ^ b) == c`
+            // (expression lhs). Try the predicate reading, backtrack on
+            // failure.
+            let save = self.pos;
+            self.bump();
+            if let Ok(p) = self.pred() {
+                if self.eat(&K::RParen) {
+                    return Ok(p);
+                }
+            }
+            self.pos = save;
+        }
+        // `hdr.x.isValid()` / `x.isValid()`
+        let save = self.pos;
+        if let K::Ident(_) = self.peek_kind() {
+            if let Ok((inst, m)) = self.qualified() {
+                if m == "isValid" {
+                    self.expect(&K::LParen)?;
+                    self.expect(&K::RParen)?;
+                    return Ok(PredExpr::IsValid(inst));
+                }
+                // Check a 3-segment isValid: `hdr.x.isValid` already handled
+                // by qualified(); a 2-segment `x.isValid` also lands here.
+            }
+        }
+        self.pos = save;
+        let lhs = self.expr()?;
+        let op = match self.peek_kind() {
+            K::EqEq => CmpOpAst::Eq,
+            K::Ne => CmpOpAst::Ne,
+            K::Lt => CmpOpAst::Lt,
+            K::Le => CmpOpAst::Le,
+            K::Gt => CmpOpAst::Gt,
+            K::Ge => CmpOpAst::Ge,
+            other => return Err(self.err(format!("expected comparison, found {other}"))),
+        };
+        self.bump();
+        let rhs = self.expr()?;
+        Ok(PredExpr::Cmp { lhs, op, rhs })
+    }
+
+    // ---------------- declarations ----------------
+
+    fn header_decl(&mut self) -> Result<P4Header, P4ParseError> {
+        self.keyword("header")?;
+        let name = self.ident()?;
+        self.expect(&K::LBrace)?;
+        let mut fields = Vec::new();
+        while !self.eat(&K::RBrace) {
+            let bits = self.bit_type()?;
+            let f = self.ident()?;
+            self.expect(&K::Semi)?;
+            fields.push((f, bits));
+        }
+        Ok(P4Header { name, fields })
+    }
+
+    fn struct_decl(&mut self, prog: &mut P4Program) -> Result<(), P4ParseError> {
+        self.keyword("struct")?;
+        let name = self.ident()?;
+        self.expect(&K::LBrace)?;
+        while !self.eat(&K::RBrace) {
+            if self.at_keyword("bit") {
+                let bits = self.bit_type()?;
+                let f = self.ident()?;
+                self.expect(&K::Semi)?;
+                if name == "metadata" || name.ends_with("_metadata_t") {
+                    prog.metadata.push((f, bits));
+                }
+            } else {
+                let ty = self.ident()?;
+                let inst = self.ident()?;
+                self.expect(&K::Semi)?;
+                if name == "headers" {
+                    prog.instances.push((ty, inst));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn parser_decl(&mut self, prog: &mut P4Program) -> Result<(), P4ParseError> {
+        self.keyword("parser")?;
+        let _name = self.ident()?;
+        self.skip_parens()?;
+        self.expect(&K::LBrace)?;
+        while !self.eat(&K::RBrace) {
+            self.keyword("state")?;
+            let name = self.ident()?;
+            self.expect(&K::LBrace)?;
+            let mut extracts = Vec::new();
+            let mut transition = P4Transition::Accept;
+            while !self.eat(&K::RBrace) {
+                if self.at_keyword("packet") {
+                    // packet.extract(hdr.inst);
+                    self.bump();
+                    self.expect(&K::Dot)?;
+                    self.keyword("extract")?;
+                    self.expect(&K::LParen)?;
+                    let (inst, _) = {
+                        // hdr.inst (two segments after normalization the
+                        // field part is absent; parse manually)
+                        let a = self.ident()?;
+                        if a == "hdr" {
+                            self.expect(&K::Dot)?;
+                            (self.ident()?, String::new())
+                        } else {
+                            (a, String::new())
+                        }
+                    };
+                    self.expect(&K::RParen)?;
+                    self.expect(&K::Semi)?;
+                    extracts.push(inst);
+                } else if self.at_keyword("transition") {
+                    self.bump();
+                    if self.at_keyword("select") {
+                        self.bump();
+                        self.expect(&K::LParen)?;
+                        let selector = self.qualified()?;
+                        self.expect(&K::RParen)?;
+                        self.expect(&K::LBrace)?;
+                        let mut cases = Vec::new();
+                        let mut default = None;
+                        while !self.eat(&K::RBrace) {
+                            if self.at_keyword("default") {
+                                self.bump();
+                                self.expect(&K::Colon)?;
+                                let tgt = self.ident()?;
+                                self.expect(&K::Semi)?;
+                                if tgt != "accept" {
+                                    default = Some(tgt);
+                                }
+                            } else {
+                                let tag = self.int()?;
+                                self.expect(&K::Colon)?;
+                                let tgt = self.ident()?;
+                                self.expect(&K::Semi)?;
+                                cases.push((tag, tgt));
+                            }
+                        }
+                        transition = P4Transition::Select {
+                            selector,
+                            cases,
+                            default,
+                        };
+                    } else {
+                        let tgt = self.ident()?;
+                        self.expect(&K::Semi)?;
+                        transition = if tgt == "accept" {
+                            P4Transition::Accept
+                        } else {
+                            P4Transition::State(tgt)
+                        };
+                    }
+                } else {
+                    return Err(self.err("expected `packet.extract` or `transition`"));
+                }
+            }
+            prog.parser_states.push(P4ParserState {
+                name,
+                extracts,
+                transition,
+            });
+        }
+        Ok(())
+    }
+
+    fn action_decl(&mut self) -> Result<ActionDecl, P4ParseError> {
+        self.keyword("action")?;
+        let name = self.ident()?;
+        self.expect(&K::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&K::RParen) {
+            loop {
+                let bits = self.bit_type()?;
+                let p = self.ident()?;
+                params.push((p, bits));
+                if !self.eat(&K::Comma) {
+                    break;
+                }
+            }
+            self.expect(&K::RParen)?;
+        }
+        self.expect(&K::LBrace)?;
+        let mut body = Vec::new();
+        while !self.eat(&K::RBrace) {
+            // Assignment `X.y[.z] = e;` or builtin call `f(args);`.
+            if self.kind_at(1) == &K::Dot {
+                let (scope, field) = self.qualified()?;
+                self.expect(&K::Eq)?;
+                let expr = self.expr()?;
+                self.expect(&K::Semi)?;
+                body.push(Stmt::Assign {
+                    lval: LVal { scope, field },
+                    expr,
+                });
+            } else {
+                let name = self.ident()?;
+                self.expect(&K::LParen)?;
+                let mut args = Vec::new();
+                if !self.eat(&K::RParen) {
+                    loop {
+                        // `mark_to_drop(standard_metadata)` takes an ignored
+                        // metadata argument.
+                        if matches!(self.peek_kind(), K::Ident(s) if s == "standard_metadata") {
+                            self.bump();
+                        } else {
+                            args.push(self.expr()?);
+                        }
+                        if !self.eat(&K::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&K::RParen)?;
+                }
+                self.expect(&K::Semi)?;
+                // Normalize P4 extern names to the shared builtin set.
+                let name = match name.as_str() {
+                    "mark_to_drop" => "drop".to_string(),
+                    other => other.to_string(),
+                };
+                body.push(Stmt::Call { name, args });
+            }
+        }
+        Ok(ActionDecl { name, params, body })
+    }
+
+    fn table_decl(&mut self) -> Result<TableDecl, P4ParseError> {
+        self.keyword("table")?;
+        let name = self.ident()?;
+        self.expect(&K::LBrace)?;
+        let mut t = TableDecl {
+            name,
+            key: vec![],
+            actions: vec![],
+            size: None,
+            default_action: None,
+            counters: false,
+        };
+        while !self.eat(&K::RBrace) {
+            let prop = self.ident()?;
+            match prop.as_str() {
+                "key" => {
+                    self.expect(&K::Eq)?;
+                    self.expect(&K::LBrace)?;
+                    while !self.eat(&K::RBrace) {
+                        let (a, b) = self.qualified()?;
+                        self.expect(&K::Colon)?;
+                        let kind = match self.ident()?.as_str() {
+                            "exact" => KeyKind::Exact,
+                            "lpm" => KeyKind::Lpm,
+                            "ternary" => KeyKind::Ternary,
+                            "selector" | "hash" => KeyKind::Hash,
+                            other => return Err(self.err(format!("unknown match kind `{other}`"))),
+                        };
+                        self.expect(&K::Semi)?;
+                        t.key.push((Expr::Qualified(a, b), kind));
+                    }
+                }
+                "actions" => {
+                    self.expect(&K::Eq)?;
+                    self.expect(&K::LBrace)?;
+                    while !self.eat(&K::RBrace) {
+                        let a = self.ident()?;
+                        self.expect(&K::Semi)?;
+                        if a != "NoAction" {
+                            t.actions.push(a);
+                        }
+                    }
+                }
+                "size" => {
+                    self.expect(&K::Eq)?;
+                    t.size = Some(self.int()? as usize);
+                    self.expect(&K::Semi)?;
+                }
+                "default_action" => {
+                    self.expect(&K::Eq)?;
+                    let a = self.ident()?;
+                    let mut args = Vec::new();
+                    if self.eat(&K::LParen) && !self.eat(&K::RParen) {
+                        loop {
+                            args.push(self.int()?);
+                            if !self.eat(&K::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&K::RParen)?;
+                    }
+                    self.expect(&K::Semi)?;
+                    t.default_action = Some((a, args));
+                }
+                "counters" => {
+                    self.expect(&K::Eq)?;
+                    let v = self.ident()?;
+                    t.counters = v == "true";
+                    self.expect(&K::Semi)?;
+                }
+                other => return Err(self.err(format!("unknown table property `{other}`"))),
+            }
+        }
+        Ok(t)
+    }
+
+    /// Parses an apply block body into flattened, guard-annotated nodes.
+    fn apply_block(
+        &mut self,
+        guard: Option<PredExpr>,
+        out: &mut Vec<ApplyNode>,
+    ) -> Result<(), P4ParseError> {
+        self.expect(&K::LBrace)?;
+        while !self.eat(&K::RBrace) {
+            if self.at_keyword("if") {
+                self.bump();
+                self.expect(&K::LParen)?;
+                let cond = self.pred()?;
+                self.expect(&K::RParen)?;
+                let then_guard = conj(guard.clone(), cond.clone());
+                self.apply_block(then_guard, out)?;
+                if self.at_keyword("else") {
+                    self.bump();
+                    let else_guard = conj(guard.clone(), PredExpr::Not(Box::new(cond)));
+                    if self.at_keyword("if") {
+                        // `else if`: wrap as a nested single-statement block.
+                        let mut nested = Vec::new();
+                        // Reparse as an if inside a synthetic block by
+                        // recursing on the statement level:
+                        self.apply_if(else_guard, &mut nested)?;
+                        out.extend(nested);
+                    } else {
+                        self.apply_block(else_guard, out)?;
+                    }
+                }
+            } else {
+                // `table.apply();`
+                let t = self.ident()?;
+                self.expect(&K::Dot)?;
+                self.keyword("apply")?;
+                self.expect(&K::LParen)?;
+                self.expect(&K::RParen)?;
+                self.expect(&K::Semi)?;
+                out.push(ApplyNode {
+                    table: t,
+                    guard: guard.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses a single `if ...` statement (used for `else if` chains).
+    fn apply_if(
+        &mut self,
+        guard: Option<PredExpr>,
+        out: &mut Vec<ApplyNode>,
+    ) -> Result<(), P4ParseError> {
+        self.keyword("if")?;
+        self.expect(&K::LParen)?;
+        let cond = self.pred()?;
+        self.expect(&K::RParen)?;
+        self.apply_block(conj(guard.clone(), cond.clone()), out)?;
+        if self.at_keyword("else") {
+            self.bump();
+            let else_guard = conj(guard, PredExpr::Not(Box::new(cond)));
+            if self.at_keyword("if") {
+                self.apply_if(else_guard, out)?;
+            } else {
+                self.apply_block(else_guard, out)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn control_decl(&mut self) -> Result<P4Control, P4ParseError> {
+        self.keyword("control")?;
+        let name = self.ident()?;
+        self.skip_parens()?;
+        self.expect(&K::LBrace)?;
+        let mut c = P4Control {
+            name,
+            ..P4Control::default()
+        };
+        while !self.eat(&K::RBrace) {
+            if self.at_keyword("action") {
+                c.actions.push(self.action_decl()?);
+            } else if self.at_keyword("table") {
+                c.tables.push(self.table_decl()?);
+            } else if self.at_keyword("apply") {
+                self.bump();
+                let mut nodes = Vec::new();
+                self.apply_block(None, &mut nodes)?;
+                c.apply = nodes;
+            } else {
+                return Err(self.err("expected `action`, `table`, or `apply` in control"));
+            }
+        }
+        Ok(c)
+    }
+
+    fn program(&mut self) -> Result<P4Program, P4ParseError> {
+        let mut prog = P4Program::default();
+        let mut controls: Vec<P4Control> = Vec::new();
+        let mut main_order: Vec<String> = Vec::new();
+        loop {
+            match self.peek_kind().clone() {
+                K::Eof => break,
+                K::Ident(kw) => match kw.as_str() {
+                    "header" => prog.headers.push(self.header_decl()?),
+                    "struct" => self.struct_decl(&mut prog)?,
+                    "parser" => self.parser_decl(&mut prog)?,
+                    "control" => controls.push(self.control_decl()?),
+                    "V1Switch" => {
+                        // V1Switch(P(), I(), E()) main;
+                        self.bump();
+                        self.expect(&K::LParen)?;
+                        loop {
+                            let n = self.ident()?;
+                            self.expect(&K::LParen)?;
+                            self.expect(&K::RParen)?;
+                            main_order.push(n);
+                            if !self.eat(&K::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&K::RParen)?;
+                        self.keyword("main")?;
+                        self.expect(&K::Semi)?;
+                    }
+                    other => return Err(self.err(format!("unexpected top-level `{other}`"))),
+                },
+                other => return Err(self.err(format!("unexpected token {other}"))),
+            }
+        }
+        // Classify controls: by V1Switch order when present (parser,
+        // ingress, egress), otherwise by declaration order.
+        let pick = |name: &str, controls: &mut Vec<P4Control>| -> Option<P4Control> {
+            controls
+                .iter()
+                .position(|c| c.name == name)
+                .map(|i| controls.remove(i))
+        };
+        if main_order.len() >= 3 {
+            if let Some(c) = pick(&main_order[1].clone(), &mut controls) {
+                prog.ingress = c;
+            }
+            if let Some(c) = pick(&main_order[2].clone(), &mut controls) {
+                prog.egress = c;
+            }
+        }
+        let mut rest = controls.into_iter();
+        if prog.ingress.name.is_empty() {
+            if let Some(c) = rest.next() {
+                prog.ingress = c;
+            }
+        }
+        if prog.egress.name.is_empty() {
+            if let Some(c) = rest.next() {
+                prog.egress = c;
+            }
+        }
+        Ok(prog)
+    }
+}
+
+fn conj(a: Option<PredExpr>, b: PredExpr) -> Option<PredExpr> {
+    Some(match a {
+        None => b,
+        Some(a) => PredExpr::And(Box::new(a), Box::new(b)),
+    })
+}
+
+/// Parses a P4-16 subset compilation unit.
+pub fn parse_p4(src: &str) -> Result<P4Program, P4ParseError> {
+    let toks = lex(src).map_err(|e| P4ParseError {
+        msg: e.msg,
+        line: e.line,
+        col: e.col,
+    })?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub const SMALL: &str = r#"
+        header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+        header ipv4_t {
+            bit<4> version; bit<4> ihl; bit<8> tos; bit<16> totalLen;
+            bit<16> identification; bit<3> flags; bit<13> fragOffset;
+            bit<8> ttl; bit<8> protocol; bit<16> hdrChecksum;
+            bit<32> srcAddr; bit<32> dstAddr;
+        }
+        struct metadata { bit<16> nexthop; }
+        struct headers { ethernet_t ethernet; ipv4_t ipv4; }
+        parser MyParser(packet_in packet, out headers hdr, inout metadata meta) {
+            state start { transition parse_ethernet; }
+            state parse_ethernet {
+                packet.extract(hdr.ethernet);
+                transition select(hdr.ethernet.etherType) {
+                    0x800: parse_ipv4;
+                    default: accept;
+                }
+            }
+            state parse_ipv4 { packet.extract(hdr.ipv4); transition accept; }
+        }
+        control MyIngress(inout headers hdr, inout metadata meta) {
+            action set_nh(bit<16> nh) { meta.nexthop = nh; }
+            action drop_it() { mark_to_drop(standard_metadata); }
+            table fib {
+                key = { hdr.ipv4.dstAddr: lpm; }
+                actions = { set_nh; drop_it; NoAction; }
+                size = 1024;
+                default_action = NoAction();
+            }
+            apply {
+                if (hdr.ipv4.isValid()) { fib.apply(); }
+            }
+        }
+        control MyEgress(inout headers hdr, inout metadata meta) {
+            action rewrite(bit<48> smac) { hdr.ethernet.srcAddr = smac; }
+            table smac_tbl {
+                key = { meta.nexthop: exact; }
+                actions = { rewrite; NoAction; }
+                size = 256;
+            }
+            apply { smac_tbl.apply(); }
+        }
+        V1Switch(MyParser(), MyIngress(), MyEgress()) main;
+    "#;
+
+    #[test]
+    fn parses_small_program() {
+        let p = parse_p4(SMALL).unwrap();
+        assert_eq!(p.headers.len(), 2);
+        assert_eq!(
+            p.instances,
+            vec![
+                ("ethernet_t".to_string(), "ethernet".to_string()),
+                ("ipv4_t".to_string(), "ipv4".to_string())
+            ]
+        );
+        assert_eq!(p.metadata, vec![("nexthop".to_string(), 16)]);
+        assert_eq!(p.parser_states.len(), 3);
+        assert_eq!(p.ingress.name, "MyIngress");
+        assert_eq!(p.egress.name, "MyEgress");
+    }
+
+    #[test]
+    fn parser_state_machine_extracted() {
+        let p = parse_p4(SMALL).unwrap();
+        let eth = p.state("parse_ethernet").unwrap();
+        assert_eq!(eth.extracts, vec!["ethernet"]);
+        match &eth.transition {
+            P4Transition::Select {
+                selector, cases, ..
+            } => {
+                assert_eq!(selector, &("ethernet".to_string(), "etherType".to_string()));
+                assert_eq!(cases, &vec![(0x800, "parse_ipv4".to_string())]);
+            }
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn apply_flattening_with_guards() {
+        let p = parse_p4(SMALL).unwrap();
+        assert_eq!(p.ingress.apply.len(), 1);
+        let n = &p.ingress.apply[0];
+        assert_eq!(n.table, "fib");
+        assert!(matches!(&n.guard, Some(PredExpr::IsValid(h)) if h == "ipv4"));
+        // Egress apply is unconditional.
+        assert_eq!(p.egress.apply[0].guard, None);
+    }
+
+    #[test]
+    fn nested_if_else_guards_compose() {
+        let src = r#"
+            control C(inout headers hdr) {
+                table a { key = { hdr.x.f: exact; } actions = { NoAction; } }
+                table b { key = { hdr.x.f: exact; } actions = { NoAction; } }
+                table c { key = { hdr.x.f: exact; } actions = { NoAction; } }
+                apply {
+                    if (hdr.x.isValid()) {
+                        a.apply();
+                        if (meta.m == 1) { b.apply(); }
+                    } else {
+                        c.apply();
+                    }
+                }
+            }
+        "#;
+        let p = parse_p4(src).unwrap();
+        let ap = &p.ingress.apply;
+        assert_eq!(ap.len(), 3);
+        assert_eq!(ap[0].table, "a");
+        assert!(matches!(&ap[0].guard, Some(PredExpr::IsValid(_))));
+        assert!(matches!(&ap[1].guard, Some(PredExpr::And(_, _))));
+        assert!(matches!(&ap[2].guard, Some(PredExpr::Not(_))));
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let src = r#"
+            control C(inout headers hdr) {
+                table a { key = { hdr.x.f: exact; } actions = { NoAction; } }
+                table b { key = { hdr.x.f: exact; } actions = { NoAction; } }
+                apply {
+                    if (hdr.v4.isValid()) { a.apply(); }
+                    else if (hdr.v6.isValid()) { b.apply(); }
+                }
+            }
+        "#;
+        let p = parse_p4(src).unwrap();
+        let ap = &p.ingress.apply;
+        assert_eq!(ap.len(), 2);
+        assert_eq!(ap[1].table, "b");
+        // Guard of b: !v4 && v6.
+        assert!(matches!(&ap[1].guard, Some(PredExpr::And(l, r))
+            if matches!(&**l, PredExpr::Not(_)) && matches!(&**r, PredExpr::IsValid(_))));
+    }
+
+    #[test]
+    fn mark_to_drop_normalized() {
+        let p = parse_p4(SMALL).unwrap();
+        let drop = p.ingress.actions.iter().find(|a| a.name == "drop_it").unwrap();
+        assert!(matches!(&drop.body[0], Stmt::Call { name, args }
+            if name == "drop" && args.is_empty()));
+    }
+
+    #[test]
+    fn standard_metadata_mapped() {
+        let src = r#"
+            control C(inout headers hdr) {
+                action fwd(bit<16> p) { standard_metadata.egress_spec = p; }
+                table t { key = { hdr.x.f: exact; } actions = { fwd; } }
+                apply { t.apply(); }
+            }
+        "#;
+        let p = parse_p4(src).unwrap();
+        let a = &p.ingress.actions[0];
+        assert!(matches!(&a.body[0], Stmt::Assign { lval, .. }
+            if lval.scope == "meta" && lval.field == "egress_port"));
+    }
+
+    #[test]
+    fn errors_positioned() {
+        let e = parse_p4("header X { bit<48> f }").unwrap_err();
+        assert!(e.line >= 1);
+    }
+}

@@ -1,0 +1,17 @@
+//! # pisa-bm — the PISA baseline behavioral model
+//!
+//! The comparison architecture of the paper: a front-end parser extracting
+//! all headers, a fixed-stage match-action pipeline with prorated per-stage
+//! memory, and a deparser. Its control channel accepts only whole-design
+//! swaps plus table-entry operations — any functional change requires
+//! recompiling the full P4 program ([`compile::pisa_compile`]) and
+//! reloading, after which every table must be repopulated. This is the
+//! architectural inflexibility Table 1 quantifies against IPSA/ipbm.
+
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod switch;
+
+pub use compile::{pisa_compile, PisaTarget};
+pub use switch::{PisaStats, PisaSwitch};

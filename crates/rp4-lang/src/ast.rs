@@ -1,0 +1,388 @@
+//! rP4 abstract syntax tree, mirroring the Fig. 2 EBNF.
+//!
+//! A program may be a complete base design or an *incremental snippet* (like
+//! `ecmp.rp4` in Fig. 5(a)) that references headers, metadata, and stages of
+//! an already-loaded design — so every top-level section is optional.
+
+use serde::{Deserialize, Serialize};
+
+/// A complete rP4 compilation unit.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// `headers { ... }`
+    pub headers: Vec<HeaderDecl>,
+    /// `structs { ... }`
+    pub structs: Vec<StructDecl>,
+    /// Top-level `action` definitions.
+    pub actions: Vec<ActionDecl>,
+    /// Top-level `table` definitions.
+    pub tables: Vec<TableDecl>,
+    /// `control rP4_Ingress { ... }` stages, in pipeline order.
+    pub ingress: Vec<StageDecl>,
+    /// `control rP4_Egress { ... }` stages, in pipeline order.
+    pub egress: Vec<StageDecl>,
+    /// `user_funcs { ... }`
+    pub user_funcs: Option<UserFuncs>,
+}
+
+/// `header name { fields... implicit parser(...) {...} }`
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeaderDecl {
+    /// Header (type and instance) name.
+    pub name: String,
+    /// Fields `(name, bits)`, in wire order.
+    pub fields: Vec<(String, usize)>,
+    /// Optional embedded parser.
+    pub parser: Option<ParserDecl>,
+    /// Optional variable-length spec `(length_field, bytes_per_unit)`
+    /// (extension needed for the SRH; written `varlen(field, n);`).
+    pub var_len: Option<(String, usize)>,
+}
+
+/// `implicit parser(selector...) { tag: next; ... }`
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParserDecl {
+    /// Selector field names of this header.
+    pub selector: Vec<String>,
+    /// `(tag, next_header)` transitions.
+    pub transitions: Vec<(u128, String)>,
+}
+
+/// `struct name { type field; ... } [alias];`
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StructDecl {
+    /// Struct type name.
+    pub name: String,
+    /// Members `(name, bits)`.
+    pub fields: Vec<(String, usize)>,
+    /// Instance alias (e.g. `meta`).
+    pub alias: Option<String>,
+}
+
+/// A value-producing expression in action bodies and table keys.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Integer literal.
+    Int(u128),
+    /// `a.b` — metadata (`meta.x`) or a header field; resolved semantically.
+    Qualified(String, String),
+    /// Bare identifier — an action parameter.
+    Ident(String),
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `hash(e1, e2, ...)`, optionally reduced by a following `% N` via
+    /// [`Expr::Bin`].
+    Hash(Vec<Expr>),
+}
+
+/// Binary operators in expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `%`
+    Mod,
+}
+
+/// Assignment destination.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LVal {
+    /// Container: `meta` or a header name.
+    pub scope: String,
+    /// Field name.
+    pub field: String,
+}
+
+/// One statement in an action body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `lval = expr;`
+    Assign {
+        /// Destination.
+        lval: LVal,
+        /// Value.
+        expr: Expr,
+    },
+    /// A builtin call, e.g. `drop();`, `forward(p);`, `dec_ttl_v4();`,
+    /// `mark_if_count_over(n);`, `srv6_advance();`,
+    /// `remove_header(srh);`.
+    Call {
+        /// Builtin name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+/// `action name(bit<N> p, ...) { stmts }`
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActionDecl {
+    /// Action name.
+    pub name: String,
+    /// Parameters `(name, bits)`.
+    pub params: Vec<(String, usize)>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// Match kind keyword in a table key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KeyKind {
+    /// `exact`
+    Exact,
+    /// `lpm`
+    Lpm,
+    /// `ternary`
+    Ternary,
+    /// `hash` ("similar with P4's selector", Fig. 5(a))
+    Hash,
+}
+
+/// `table name { key = {...} actions = {...} size = N; ... }`
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableDecl {
+    /// Table name.
+    pub name: String,
+    /// Key fields: `(reference, kind)`.
+    pub key: Vec<(Expr, KeyKind)>,
+    /// Offered actions.
+    pub actions: Vec<String>,
+    /// Capacity (default 1024 when omitted).
+    pub size: Option<usize>,
+    /// Default (miss) action with immediate args.
+    pub default_action: Option<(String, Vec<u128>)>,
+    /// `counters = true;` — per-entry packet counters (C3 probe).
+    pub counters: bool,
+}
+
+/// A predicate expression in a matcher `if`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PredExpr {
+    /// `h.isValid()`
+    IsValid(String),
+    /// `!p`
+    Not(Box<PredExpr>),
+    /// `a && b`
+    And(Box<PredExpr>, Box<PredExpr>),
+    /// `a || b`
+    Or(Box<PredExpr>, Box<PredExpr>),
+    /// Comparison between two expressions.
+    Cmp {
+        /// Left operand.
+        lhs: Expr,
+        /// Operator token: one of `==`, `!=`, `<`, `<=`, `>`, `>=`.
+        op: CmpOpAst,
+        /// Right operand.
+        rhs: Expr,
+    },
+}
+
+/// Comparison operators in predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOpAst {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// One arm of a stage's matcher. Arms are tried in order; the first whose
+/// guard holds applies its table (None = guarded fallthrough, the bare
+/// `else;` of Fig. 5(a)).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatcherArm {
+    /// Guard (`None` = unconditional).
+    pub guard: Option<PredExpr>,
+    /// Table applied when the guard holds.
+    pub table: Option<String>,
+}
+
+/// Executor switch tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecTag {
+    /// Numbered hit tag (`1 + action index` of the matched entry).
+    Tag(u32),
+    /// `default` — table miss.
+    Default,
+}
+
+/// `stage name { parser {...}; matcher {...}; executor {...} }`
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageDecl {
+    /// Stage name.
+    pub name: String,
+    /// Header instances to parse.
+    pub parser: Vec<String>,
+    /// Matcher arms, in priority order.
+    pub matcher: Vec<MatcherArm>,
+    /// Executor arms `(tag, action, immediate args)`.
+    pub executor: Vec<(ExecTag, String, Vec<u128>)>,
+}
+
+/// `user_funcs { func f { s1 s2 } ... ingress_entry: s; egress_entry: s; }`
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct UserFuncs {
+    /// Functions: `(name, stages)`.
+    pub funcs: Vec<(String, Vec<String>)>,
+    /// First ingress stage.
+    pub ingress_entry: Option<String>,
+    /// First egress stage.
+    pub egress_entry: Option<String>,
+}
+
+impl Program {
+    /// All stages, ingress first.
+    pub fn stages(&self) -> impl Iterator<Item = &StageDecl> {
+        self.ingress.iter().chain(self.egress.iter())
+    }
+
+    /// Finds a stage by name.
+    pub fn stage(&self, name: &str) -> Option<&StageDecl> {
+        self.stages().find(|s| s.name == name)
+    }
+
+    /// Finds a table by name.
+    pub fn table(&self, name: &str) -> Option<&TableDecl> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Finds an action by name.
+    pub fn action(&self, name: &str) -> Option<&ActionDecl> {
+        self.actions.iter().find(|a| a.name == name)
+    }
+
+    /// Function owning a stage, per `user_funcs` (empty string if none).
+    pub fn func_of_stage(&self, stage: &str) -> &str {
+        self.user_funcs
+            .as_ref()
+            .and_then(|uf| {
+                uf.funcs
+                    .iter()
+                    .find(|(_, stages)| stages.iter().any(|s| s == stage))
+                    .map(|(n, _)| n.as_str())
+            })
+            .unwrap_or("")
+    }
+
+    /// Merges an incremental snippet into this base program: new headers,
+    /// structs (fields merged into same-alias struct), actions, tables, and
+    /// stages are appended. Duplicate names are replaced.
+    pub fn absorb(&mut self, snippet: &Program) {
+        for h in &snippet.headers {
+            self.headers.retain(|x| x.name != h.name);
+            self.headers.push(h.clone());
+        }
+        for s in &snippet.structs {
+            if let Some(mine) = self
+                .structs
+                .iter_mut()
+                .find(|x| x.alias == s.alias && s.alias.is_some())
+            {
+                for f in &s.fields {
+                    if !mine.fields.iter().any(|(n, _)| n == &f.0) {
+                        mine.fields.push(f.clone());
+                    }
+                }
+            } else {
+                self.structs.push(s.clone());
+            }
+        }
+        for a in &snippet.actions {
+            self.actions.retain(|x| x.name != a.name);
+            self.actions.push(a.clone());
+        }
+        for t in &snippet.tables {
+            self.tables.retain(|x| x.name != t.name);
+            self.tables.push(t.clone());
+        }
+        for st in &snippet.ingress {
+            self.ingress.retain(|x| x.name != st.name);
+            self.ingress.push(st.clone());
+        }
+        for st in &snippet.egress {
+            self.egress.retain(|x| x.name != st.name);
+            self.egress.push(st.clone());
+        }
+        if let Some(uf) = &snippet.user_funcs {
+            let mine = self.user_funcs.get_or_insert_with(UserFuncs::default);
+            for f in &uf.funcs {
+                mine.funcs.retain(|(n, _)| n != &f.0);
+                mine.funcs.push(f.clone());
+            }
+        }
+    }
+
+    /// Removes a function and everything only it references: its stages,
+    /// their tables, and actions no longer used anywhere. Returns the names
+    /// of removed stages.
+    pub fn remove_func(&mut self, func: &str) -> Vec<String> {
+        let Some(uf) = &mut self.user_funcs else {
+            return vec![];
+        };
+        let Some(pos) = uf.funcs.iter().position(|(n, _)| n == func) else {
+            return vec![];
+        };
+        let (_, stages) = uf.funcs.remove(pos);
+        let mut removed_tables = Vec::new();
+        for s in &stages {
+            if let Some(st) = self.stage(s) {
+                removed_tables.extend(st.matcher.iter().filter_map(|a| a.table.clone()));
+            }
+            self.ingress.retain(|x| &x.name != s);
+            self.egress.retain(|x| &x.name != s);
+        }
+        // Drop tables no surviving stage references.
+        for t in removed_tables {
+            let still_used = self
+                .stages()
+                .any(|s| s.matcher.iter().any(|a| a.table.as_deref() == Some(&t)));
+            if !still_used {
+                self.tables.retain(|x| x.name != t);
+            }
+        }
+        // Drop actions no surviving table/executor references.
+        let used: std::collections::HashSet<String> = self
+            .tables
+            .iter()
+            .flat_map(|t| t.actions.iter().cloned())
+            .chain(
+                self.stages()
+                    .flat_map(|s| s.executor.iter().map(|(_, a, _)| a.clone())),
+            )
+            .chain(
+                self.tables
+                    .iter()
+                    .filter_map(|t| t.default_action.as_ref().map(|(a, _)| a.clone())),
+            )
+            .collect();
+        self.actions.retain(|a| used.contains(&a.name));
+        stages
+    }
+}

@@ -1,0 +1,376 @@
+//! rP4 lexer: source text → token stream.
+//!
+//! Shared between rP4 and the P4-16 subset front end (`p4-lang` re-uses it),
+//! since the two languages share their lexical grammar.
+
+use crate::token::{Token, TokenKind};
+
+/// Lexical error with position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Explanation.
+    pub msg: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LexError {
+        LexError {
+            msg: msg.into(),
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let (l, c) = (self.line, self.col);
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(LexError {
+                                    msg: "unterminated block comment".into(),
+                                    line: l,
+                                    col: c,
+                                })
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<TokenKind, LexError> {
+        let mut s = String::new();
+        let radix = if self.peek() == Some(b'0')
+            && matches!(self.peek2(), Some(b'x') | Some(b'X'))
+        {
+            self.bump();
+            self.bump();
+            16
+        } else if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'b') | Some(b'B')) {
+            self.bump();
+            self.bump();
+            2
+        } else {
+            10
+        };
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                if c != b'_' {
+                    s.push(c as char);
+                }
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        u128::from_str_radix(&s, radix)
+            .map(TokenKind::Int)
+            .map_err(|_| self.err(format!("bad integer literal `{s}`")))
+    }
+
+    fn next_token(&mut self) -> Result<Token, LexError> {
+        self.skip_trivia()?;
+        let (line, col) = (self.line, self.col);
+        let mk = |kind| Token { kind, line, col };
+        let Some(c) = self.peek() else {
+            return Ok(mk(TokenKind::Eof));
+        };
+        let kind = match c {
+            b'{' => {
+                self.bump();
+                TokenKind::LBrace
+            }
+            b'}' => {
+                self.bump();
+                TokenKind::RBrace
+            }
+            b'(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            b';' => {
+                self.bump();
+                TokenKind::Semi
+            }
+            b':' => {
+                self.bump();
+                TokenKind::Colon
+            }
+            b',' => {
+                self.bump();
+                TokenKind::Comma
+            }
+            b'.' => {
+                self.bump();
+                TokenKind::Dot
+            }
+            b'+' => {
+                self.bump();
+                TokenKind::Plus
+            }
+            b'-' => {
+                self.bump();
+                TokenKind::Minus
+            }
+            b'^' => {
+                self.bump();
+                TokenKind::Caret
+            }
+            b'%' => {
+                self.bump();
+                TokenKind::Percent
+            }
+            b'&' => {
+                self.bump();
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    TokenKind::AndAnd
+                } else {
+                    TokenKind::Amp
+                }
+            }
+            b'|' => {
+                self.bump();
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    TokenKind::OrOr
+                } else {
+                    TokenKind::Pipe
+                }
+            }
+            b'!' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::Ne
+                } else {
+                    TokenKind::Bang
+                }
+            }
+            b'=' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::EqEq
+                } else {
+                    TokenKind::Eq
+                }
+            }
+            b'<' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'=') => {
+                        self.bump();
+                        TokenKind::Le
+                    }
+                    Some(b'<') => {
+                        self.bump();
+                        TokenKind::Shl
+                    }
+                    _ => TokenKind::Lt,
+                }
+            }
+            b'>' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'=') => {
+                        self.bump();
+                        TokenKind::Ge
+                    }
+                    Some(b'>') => {
+                        self.bump();
+                        TokenKind::Shr
+                    }
+                    _ => TokenKind::Gt,
+                }
+            }
+            c if c.is_ascii_digit() => self.lex_number()?,
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut s = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        s.push(c as char);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                TokenKind::Ident(s)
+            }
+            other => return Err(self.err(format!("unexpected character `{}`", other as char))),
+        };
+        Ok(Token { kind, line, col })
+    }
+}
+
+/// Lexes a full source string. The returned stream always ends with
+/// [`TokenKind::Eof`].
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    loop {
+        let t = lx.next_token()?;
+        let eof = t.kind == TokenKind::Eof;
+        out.push(t);
+        if eof {
+            return Ok(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind as K;
+
+    fn kinds(src: &str) -> Vec<K> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn fig5a_fragment() {
+        let ks = kinds("meta.nexthop: hash;");
+        assert_eq!(
+            ks,
+            vec![
+                K::Ident("meta".into()),
+                K::Dot,
+                K::Ident("nexthop".into()),
+                K::Colon,
+                K::Ident("hash".into()),
+                K::Semi,
+                K::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_in_three_radixes() {
+        assert_eq!(
+            kinds("10 0x0800 0b1010"),
+            vec![K::Int(10), K::Int(0x0800), K::Int(10), K::Eof]
+        );
+    }
+
+    #[test]
+    fn bit_type_lexes_as_lt_gt() {
+        assert_eq!(
+            kinds("bit<48>"),
+            vec![K::Ident("bit".into()), K::Lt, K::Int(48), K::Gt, K::Eof]
+        );
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        assert_eq!(
+            kinds("== != <= >= && || << >>"),
+            vec![K::EqEq, K::Ne, K::Le, K::Ge, K::AndAnd, K::OrOr, K::Shl, K::Shr, K::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("a // line\n/* block\n*/ b"),
+            vec![K::Ident("a".into()), K::Ident("b".into()), K::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* nope").is_err());
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+
+    #[test]
+    fn bad_char_reported() {
+        let e = lex("a @").unwrap_err();
+        assert!(e.msg.contains('@'));
+        assert_eq!(e.col, 3);
+    }
+
+    #[test]
+    fn underscores_in_numbers() {
+        assert_eq!(kinds("1_000"), vec![K::Int(1000), K::Eof]);
+    }
+}

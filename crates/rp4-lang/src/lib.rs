@@ -1,0 +1,277 @@
+//! # rp4-lang — the rP4 language
+//!
+//! rP4 is the paper's stage-oriented P4 extension: programs are built from
+//! `stage { parser; matcher; executor }` triads grouped into `user_funcs`,
+//! with headers that embed `implicit parser` transitions so the parse graph
+//! is per-header data rather than a monolithic front-end automaton.
+//!
+//! This crate provides the full language front half:
+//! - [`lexer`] / [`parser`]: source → [`ast::Program`] (Fig. 2 EBNF);
+//! - [`semantic`]: name resolution and validation, optionally against a
+//!   base design (incremental snippets reference pre-existing symbols);
+//! - [`printer`]: AST → canonical source, because incremental compilation
+//!   rewrites and re-emits the base design on every update.
+//!
+//! Lowering to TSP templates lives in the `rp4c` crate.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod semantic;
+pub mod token;
+
+pub use ast::Program;
+pub use parser::{parse, ParseError};
+pub use printer::print;
+pub use semantic::{check, Env, SemanticError};
+
+#[cfg(test)]
+mod proptests {
+    use crate::ast::*;
+    use proptest::prelude::*;
+
+    fn ident() -> impl Strategy<Value = String> {
+        "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
+            !matches!(
+                s.as_str(),
+                "headers"
+                    | "header"
+                    | "structs"
+                    | "struct"
+                    | "action"
+                    | "table"
+                    | "control"
+                    | "stage"
+                    | "parser"
+                    | "matcher"
+                    | "executor"
+                    | "user_funcs"
+                    | "func"
+                    | "if"
+                    | "else"
+                    | "default"
+                    | "implicit"
+                    | "varlen"
+                    | "bit"
+                    | "hash"
+                    | "key"
+                    | "actions"
+                    | "size"
+                    | "counters"
+                    | "apply"
+                    | "isValid"
+                    | "true"
+                    | "false"
+            )
+        })
+    }
+
+    fn header_strategy() -> impl Strategy<Value = HeaderDecl> {
+        (
+            ident(),
+            proptest::collection::vec((ident(), 1usize..=128), 1..6),
+        )
+            .prop_map(|(name, mut fields)| {
+                // Dedup field names to keep the program semantically clean.
+                fields.sort();
+                fields.dedup_by(|a, b| a.0 == b.0);
+                HeaderDecl {
+                    name,
+                    fields,
+                    parser: None,
+                    var_len: None,
+                }
+            })
+    }
+
+    fn expr_strategy() -> impl Strategy<Value = Expr> {
+        let leaf = prop_oneof![
+            (0u128..1_000_000).prop_map(Expr::Int),
+            (ident(), ident()).prop_map(|(a, b)| Expr::Qualified(a, b)),
+        ];
+        leaf.prop_recursive(2, 8, 2, |inner| {
+            prop_oneof![
+                (
+                    prop_oneof![
+                        Just(BinOp::Add),
+                        Just(BinOp::Sub),
+                        Just(BinOp::And),
+                        Just(BinOp::Xor),
+                        Just(BinOp::Shl),
+                    ],
+                    inner.clone(),
+                    inner.clone()
+                )
+                    .prop_map(|(op, lhs, rhs)| Expr::Bin {
+                        op,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    }),
+                proptest::collection::vec(inner, 1..3).prop_map(Expr::Hash),
+            ]
+        })
+    }
+
+    fn pred_strategy() -> impl Strategy<Value = PredExpr> {
+        let leaf = prop_oneof![
+            ident().prop_map(PredExpr::IsValid),
+            (expr_strategy(), expr_strategy()).prop_map(|(lhs, rhs)| PredExpr::Cmp {
+                lhs,
+                op: CmpOpAst::Eq,
+                rhs,
+            }),
+        ];
+        leaf.prop_recursive(2, 6, 2, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(|p| PredExpr::Not(Box::new(p))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| PredExpr::And(Box::new(a), Box::new(b))),
+                (inner.clone(), inner)
+                    .prop_map(|(a, b)| PredExpr::Or(Box::new(a), Box::new(b))),
+            ]
+        })
+    }
+
+    fn stage_strategy() -> impl Strategy<Value = StageDecl> {
+        let guarded_matcher = (
+            proptest::collection::vec((pred_strategy(), ident()), 1..3),
+            proptest::option::of(ident()),
+        )
+            .prop_map(|(chain, terminal)| {
+                let mut arms: Vec<MatcherArm> = chain
+                    .into_iter()
+                    .map(|(g, t)| MatcherArm {
+                        guard: Some(g),
+                        table: Some(t),
+                    })
+                    .collect();
+                arms.push(MatcherArm {
+                    guard: None,
+                    table: terminal,
+                });
+                arms
+            });
+        let bare_matcher = proptest::collection::vec(ident(), 1..3).prop_map(|ts| {
+            ts.into_iter()
+                .map(|t| MatcherArm {
+                    guard: None,
+                    table: Some(t),
+                })
+                .collect::<Vec<_>>()
+        });
+        (
+            ident(),
+            proptest::collection::vec(ident(), 0..3),
+            prop_oneof![guarded_matcher, bare_matcher],
+            proptest::collection::vec(
+                (1u32..4, ident(), proptest::collection::vec(0u128..99, 0..2)),
+                0..3,
+            ),
+        )
+            .prop_map(|(name, parser, matcher, exec)| StageDecl {
+                name,
+                parser,
+                matcher,
+                executor: exec
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (_, a, args))| (ExecTag::Tag(i as u32 + 1), a, args))
+                    .chain(std::iter::once((
+                        ExecTag::Default,
+                        "NoAction".to_string(),
+                        vec![],
+                    )))
+                    .collect(),
+            })
+    }
+
+    proptest! {
+        /// print → parse is the identity on full generated programs
+        /// (headers, actions, tables, stages, user_funcs).
+        #[test]
+        fn print_parse_roundtrip_full_programs(
+            hs in proptest::collection::vec(header_strategy(), 0..3),
+            actions in proptest::collection::vec(
+                (ident(), proptest::collection::vec((ident(), 1usize..64), 0..2)),
+                0..3,
+            ),
+            tables in proptest::collection::vec(
+                (ident(), ident(), ident(), proptest::option::of(1usize..9999)),
+                0..3,
+            ),
+            stages in proptest::collection::vec(stage_strategy(), 0..3),
+        ) {
+            let mut p = Program::default();
+            let mut hs = hs;
+            hs.sort_by(|a, b| a.name.cmp(&b.name));
+            hs.dedup_by(|a, b| a.name == b.name);
+            p.headers = hs;
+            for (name, params) in actions {
+                if p.actions.iter().any(|a| a.name == name) { continue; }
+                let mut params = params;
+                params.dedup_by(|a, b| a.0 == b.0);
+                // Body: one assignment per param to keep it syntactic.
+                let body = params
+                    .iter()
+                    .map(|(n, _)| Stmt::Assign {
+                        lval: LVal { scope: "meta".into(), field: n.clone() },
+                        expr: Expr::Ident(n.clone()),
+                    })
+                    .collect();
+                p.actions.push(ActionDecl { name, params, body });
+            }
+            for (name, kscope, kfield, size) in tables {
+                if p.tables.iter().any(|t| t.name == name) { continue; }
+                p.tables.push(TableDecl {
+                    name,
+                    key: vec![(Expr::Qualified(kscope, kfield), KeyKind::Exact)],
+                    actions: vec!["NoAction".into()],
+                    size,
+                    default_action: None,
+                    counters: false,
+                });
+            }
+            let mut stages = stages;
+            stages.dedup_by(|a, b| a.name == b.name);
+            p.ingress = stages;
+            if !p.ingress.is_empty() {
+                p.user_funcs = Some(UserFuncs {
+                    funcs: vec![("f".into(), p.ingress.iter().map(|s| s.name.clone()).collect())],
+                    ingress_entry: p.ingress.first().map(|s| s.name.clone()),
+                    egress_entry: None,
+                });
+            }
+            let printed = crate::printer::print(&p);
+            let back = crate::parser::parse(&printed)
+                .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+            prop_assert_eq!(back, p, "printed:\n{}", printed);
+        }
+
+        /// print → parse is the identity on generated header sections.
+        #[test]
+        fn print_parse_roundtrip_headers(hs in proptest::collection::vec(header_strategy(), 1..5)) {
+            let mut hs = hs;
+            hs.sort_by(|a, b| a.name.cmp(&b.name));
+            hs.dedup_by(|a, b| a.name == b.name);
+            let p = Program { headers: hs, ..Program::default() };
+            let printed = crate::printer::print(&p);
+            let back = crate::parser::parse(&printed).expect("reparse");
+            prop_assert_eq!(back, p);
+        }
+
+        /// Lexer never panics on arbitrary input.
+        #[test]
+        fn lexer_total(src in "\\PC*") {
+            let _ = crate::lexer::lex(&src);
+        }
+
+        /// Parser never panics on arbitrary near-grammar soup.
+        #[test]
+        fn parser_total(src in "[a-z0-9{}();:.,=<>!&|%\\s]{0,200}") {
+            let _ = crate::parser::parse(&src);
+        }
+    }
+}

@@ -1,0 +1,936 @@
+//! Recursive-descent parser for rP4 (Fig. 2 EBNF plus the P4-shared
+//! non-terminals the figure omits).
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError};
+use crate::token::{Token, TokenKind as K};
+
+/// Parse error with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Explanation.
+    pub msg: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            msg: e.msg,
+            line: e.line,
+            col: e.col,
+        }
+    }
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos.min(self.toks.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &K {
+        &self.peek().kind
+    }
+
+    fn peek2_kind(&self) -> &K {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        let t = self.peek();
+        ParseError {
+            msg: msg.into(),
+            line: t.line,
+            col: t.col,
+        }
+    }
+
+    fn expect(&mut self, k: &K) -> Result<Token, ParseError> {
+        if self.peek_kind() == k {
+            Ok(self.bump())
+        } else {
+            Err(self.err(format!("expected {k}, found {}", self.peek_kind())))
+        }
+    }
+
+    fn eat(&mut self, k: &K) -> bool {
+        if self.peek_kind() == k {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek_kind().clone() {
+            K::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek_kind() {
+            K::Ident(s) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.err(format!("expected `{kw}`, found {other}"))),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek_kind(), K::Ident(s) if s == kw)
+    }
+
+    fn int(&mut self) -> Result<u128, ParseError> {
+        match *self.peek_kind() {
+            K::Int(v) => {
+                self.bump();
+                Ok(v)
+            }
+            ref other => Err(self.err(format!("expected integer, found {other}"))),
+        }
+    }
+
+    /// `bit<N>` → N.
+    fn bit_type(&mut self) -> Result<usize, ParseError> {
+        self.keyword("bit")?;
+        self.expect(&K::Lt)?;
+        let n = self.int()? as usize;
+        self.expect(&K::Gt)?;
+        if n == 0 || n > 128 {
+            return Err(self.err(format!("bit<{n}> out of supported range 1..=128")));
+        }
+        Ok(n)
+    }
+
+    // ---------------- top level ----------------
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut p = Program::default();
+        loop {
+            match self.peek_kind().clone() {
+                K::Eof => break,
+                K::Ident(kw) => match kw.as_str() {
+                    "headers" => {
+                        self.bump();
+                        self.expect(&K::LBrace)?;
+                        while !self.eat(&K::RBrace) {
+                            p.headers.push(self.header_decl()?);
+                        }
+                    }
+                    "structs" => {
+                        self.bump();
+                        self.expect(&K::LBrace)?;
+                        while !self.eat(&K::RBrace) {
+                            p.structs.push(self.struct_decl()?);
+                        }
+                    }
+                    "action" => p.actions.push(self.action_decl()?),
+                    "table" => p.tables.push(self.table_decl()?),
+                    // Incremental snippets (Fig. 5(a)) declare stages at top
+                    // level; they join the ingress list and the load script
+                    // decides their actual pipeline position.
+                    "stage" => p.ingress.push(self.stage_decl()?),
+                    "control" => {
+                        self.bump();
+                        let name = self.ident()?;
+                        self.expect(&K::LBrace)?;
+                        let mut stages = Vec::new();
+                        while !self.eat(&K::RBrace) {
+                            stages.push(self.stage_decl()?);
+                        }
+                        match name.as_str() {
+                            "rP4_Ingress" => p.ingress.extend(stages),
+                            "rP4_Egress" => p.egress.extend(stages),
+                            other => {
+                                return Err(self.err(format!(
+                                    "unknown control `{other}` (expected rP4_Ingress or rP4_Egress)"
+                                )))
+                            }
+                        }
+                    }
+                    "user_funcs" => {
+                        p.user_funcs = Some(self.user_funcs()?);
+                    }
+                    other => {
+                        return Err(self.err(format!("unexpected top-level item `{other}`")))
+                    }
+                },
+                other => return Err(self.err(format!("unexpected token {other}"))),
+            }
+        }
+        Ok(p)
+    }
+
+    fn header_decl(&mut self) -> Result<HeaderDecl, ParseError> {
+        self.keyword("header")?;
+        let name = self.ident()?;
+        self.expect(&K::LBrace)?;
+        let mut fields = Vec::new();
+        let mut parser = None;
+        let mut var_len = None;
+        while !self.eat(&K::RBrace) {
+            if self.at_keyword("implicit") {
+                self.bump();
+                self.keyword("parser")?;
+                self.expect(&K::LParen)?;
+                let mut selector = vec![self.ident()?];
+                while self.eat(&K::Comma) {
+                    selector.push(self.ident()?);
+                }
+                self.expect(&K::RParen)?;
+                self.expect(&K::LBrace)?;
+                let mut transitions = Vec::new();
+                while !self.eat(&K::RBrace) {
+                    let tag = self.int()?;
+                    self.expect(&K::Colon)?;
+                    let next = self.ident()?;
+                    self.expect(&K::Semi)?;
+                    transitions.push((tag, next));
+                }
+                parser = Some(ParserDecl {
+                    selector,
+                    transitions,
+                });
+            } else if self.at_keyword("varlen") {
+                self.bump();
+                self.expect(&K::LParen)?;
+                let f = self.ident()?;
+                self.expect(&K::Comma)?;
+                let n = self.int()? as usize;
+                self.expect(&K::RParen)?;
+                self.expect(&K::Semi)?;
+                var_len = Some((f, n));
+            } else {
+                let bits = self.bit_type()?;
+                let fname = self.ident()?;
+                self.expect(&K::Semi)?;
+                fields.push((fname, bits));
+            }
+        }
+        Ok(HeaderDecl {
+            name,
+            fields,
+            parser,
+            var_len,
+        })
+    }
+
+    fn struct_decl(&mut self) -> Result<StructDecl, ParseError> {
+        self.keyword("struct")?;
+        let name = self.ident()?;
+        self.expect(&K::LBrace)?;
+        let mut fields = Vec::new();
+        while !self.eat(&K::RBrace) {
+            let bits = self.bit_type()?;
+            let fname = self.ident()?;
+            self.expect(&K::Semi)?;
+            fields.push((fname, bits));
+        }
+        let alias = if let K::Ident(_) = self.peek_kind() {
+            let a = self.ident()?;
+            self.expect(&K::Semi)?;
+            Some(a)
+        } else {
+            self.eat(&K::Semi);
+            None
+        };
+        Ok(StructDecl {
+            name,
+            fields,
+            alias,
+        })
+    }
+
+    fn action_decl(&mut self) -> Result<ActionDecl, ParseError> {
+        self.keyword("action")?;
+        let name = self.ident()?;
+        self.expect(&K::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&K::RParen) {
+            loop {
+                let bits = self.bit_type()?;
+                let pname = self.ident()?;
+                params.push((pname, bits));
+                if !self.eat(&K::Comma) {
+                    break;
+                }
+            }
+            self.expect(&K::RParen)?;
+        }
+        self.expect(&K::LBrace)?;
+        let mut body = Vec::new();
+        while !self.eat(&K::RBrace) {
+            body.push(self.stmt()?);
+        }
+        Ok(ActionDecl { name, params, body })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let name = self.ident()?;
+        if self.eat(&K::Dot) {
+            let field = self.ident()?;
+            self.expect(&K::Eq)?;
+            let expr = self.expr()?;
+            self.expect(&K::Semi)?;
+            Ok(Stmt::Assign {
+                lval: LVal { scope: name, field },
+                expr,
+            })
+        } else if self.peek_kind() == &K::LParen {
+            self.bump();
+            let mut args = Vec::new();
+            if !self.eat(&K::RParen) {
+                loop {
+                    // Builtin args may be header names (e.g.
+                    // `remove_header(srh)`) — parsed as Ident exprs.
+                    args.push(self.expr()?);
+                    if !self.eat(&K::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&K::RParen)?;
+            }
+            self.expect(&K::Semi)?;
+            Ok(Stmt::Call { name, args })
+        } else {
+            Err(self.err("expected `.field = ...` or `(...)` after identifier"))
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.primary_expr()?;
+        let op = match self.peek_kind() {
+            K::Plus => BinOp::Add,
+            K::Minus => BinOp::Sub,
+            K::Amp => BinOp::And,
+            K::Pipe => BinOp::Or,
+            K::Caret => BinOp::Xor,
+            K::Shl => BinOp::Shl,
+            K::Shr => BinOp::Shr,
+            K::Percent => BinOp::Mod,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.expr()?;
+        Ok(Expr::Bin {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek_kind().clone() {
+            K::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&K::RParen)?;
+                Ok(e)
+            }
+            K::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            K::Ident(s) if s == "hash" && self.peek2_kind() == &K::LParen => {
+                self.bump();
+                self.bump();
+                let mut inputs = Vec::new();
+                if !self.eat(&K::RParen) {
+                    loop {
+                        inputs.push(self.expr()?);
+                        if !self.eat(&K::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&K::RParen)?;
+                }
+                Ok(Expr::Hash(inputs))
+            }
+            K::Ident(_) => {
+                let a = self.ident()?;
+                if self.eat(&K::Dot) {
+                    let b = self.ident()?;
+                    Ok(Expr::Qualified(a, b))
+                } else {
+                    Ok(Expr::Ident(a))
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {other}"))),
+        }
+    }
+
+    fn table_decl(&mut self) -> Result<TableDecl, ParseError> {
+        self.keyword("table")?;
+        let name = self.ident()?;
+        self.expect(&K::LBrace)?;
+        let mut t = TableDecl {
+            name,
+            key: vec![],
+            actions: vec![],
+            size: None,
+            default_action: None,
+            counters: false,
+        };
+        while !self.eat(&K::RBrace) {
+            let prop = self.ident()?;
+            match prop.as_str() {
+                "key" => {
+                    self.expect(&K::Eq)?;
+                    self.expect(&K::LBrace)?;
+                    while !self.eat(&K::RBrace) {
+                        let e = self.expr()?;
+                        self.expect(&K::Colon)?;
+                        let kind = match self.ident()?.as_str() {
+                            "exact" => KeyKind::Exact,
+                            "lpm" => KeyKind::Lpm,
+                            "ternary" => KeyKind::Ternary,
+                            "hash" => KeyKind::Hash,
+                            other => {
+                                return Err(self.err(format!("unknown match kind `{other}`")))
+                            }
+                        };
+                        self.expect(&K::Semi)?;
+                        t.key.push((e, kind));
+                    }
+                }
+                "actions" => {
+                    self.expect(&K::Eq)?;
+                    self.expect(&K::LBrace)?;
+                    while !self.eat(&K::RBrace) {
+                        t.actions.push(self.ident()?);
+                        self.expect(&K::Semi)?;
+                    }
+                }
+                "size" => {
+                    self.expect(&K::Eq)?;
+                    t.size = Some(self.int()? as usize);
+                    self.expect(&K::Semi)?;
+                }
+                "default_action" => {
+                    self.expect(&K::Eq)?;
+                    let a = self.ident()?;
+                    let mut args = Vec::new();
+                    if self.eat(&K::LParen) && !self.eat(&K::RParen) {
+                        loop {
+                            args.push(self.int()?);
+                            if !self.eat(&K::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&K::RParen)?;
+                    }
+                    self.expect(&K::Semi)?;
+                    t.default_action = Some((a, args));
+                }
+                "counters" => {
+                    self.expect(&K::Eq)?;
+                    let v = self.ident()?;
+                    t.counters = v == "true";
+                    self.expect(&K::Semi)?;
+                }
+                other => return Err(self.err(format!("unknown table property `{other}`"))),
+            }
+        }
+        Ok(t)
+    }
+
+    fn stage_decl(&mut self) -> Result<StageDecl, ParseError> {
+        self.keyword("stage")?;
+        let name = self.ident()?;
+        self.expect(&K::LBrace)?;
+        let mut st = StageDecl {
+            name,
+            parser: vec![],
+            matcher: vec![],
+            executor: vec![],
+        };
+        while !self.eat(&K::RBrace) {
+            let module = self.ident()?;
+            match module.as_str() {
+                "parser" => {
+                    self.expect(&K::LBrace)?;
+                    while !self.eat(&K::RBrace) {
+                        st.parser.push(self.ident()?);
+                        // Fig. 5(a) separates with commas, the EBNF with
+                        // semicolons; accept both.
+                        if !self.eat(&K::Comma) {
+                            self.eat(&K::Semi);
+                        }
+                    }
+                    self.eat(&K::Semi);
+                }
+                "matcher" => {
+                    self.expect(&K::LBrace)?;
+                    st.matcher = self.matcher_arms()?;
+                    self.eat(&K::Semi);
+                }
+                "executor" => {
+                    self.expect(&K::LBrace)?;
+                    while !self.eat(&K::RBrace) {
+                        let tag = match self.peek_kind().clone() {
+                            K::Int(v) => {
+                                self.bump();
+                                ExecTag::Tag(v as u32)
+                            }
+                            K::Ident(s) if s == "default" => {
+                                self.bump();
+                                ExecTag::Default
+                            }
+                            other => {
+                                return Err(
+                                    self.err(format!("expected tag or `default`, found {other}"))
+                                )
+                            }
+                        };
+                        self.expect(&K::Colon)?;
+                        let action = self.ident()?;
+                        let mut args = Vec::new();
+                        if self.eat(&K::LParen) && !self.eat(&K::RParen) {
+                            loop {
+                                args.push(self.int()?);
+                                if !self.eat(&K::Comma) {
+                                    break;
+                                }
+                            }
+                            self.expect(&K::RParen)?;
+                        }
+                        self.expect(&K::Semi)?;
+                        st.executor.push((tag, action, args));
+                    }
+                    self.eat(&K::Semi);
+                }
+                other => return Err(self.err(format!("unknown stage module `{other}`"))),
+            }
+        }
+        Ok(st)
+    }
+
+    /// Parses the body of `matcher { ... }` (the `{` already consumed)
+    /// through the closing `}`.
+    fn matcher_arms(&mut self) -> Result<Vec<MatcherArm>, ParseError> {
+        let mut arms = Vec::new();
+        while !self.eat(&K::RBrace) {
+            if self.at_keyword("if") {
+                // if (p) t.apply(); [else if (p) ...;]* [else [t.apply()];]
+                loop {
+                    self.keyword("if")?;
+                    self.expect(&K::LParen)?;
+                    let guard = self.pred()?;
+                    self.expect(&K::RParen)?;
+                    let table = self.apply_target()?;
+                    arms.push(MatcherArm {
+                        guard: Some(guard),
+                        table,
+                    });
+                    if self.at_keyword("else") {
+                        self.bump();
+                        if self.at_keyword("if") {
+                            continue;
+                        }
+                        // Terminal else: `else;`, `else:`, or `else t.apply();`
+                        if self.eat(&K::Semi) || self.eat(&K::Colon) {
+                            arms.push(MatcherArm {
+                                guard: None,
+                                table: None,
+                            });
+                        } else {
+                            let table = self.apply_target()?;
+                            arms.push(MatcherArm { guard: None, table });
+                        }
+                    }
+                    break;
+                }
+            } else {
+                // Bare `table;` or `table.apply();`
+                let table = self.apply_target()?;
+                arms.push(MatcherArm { guard: None, table });
+            }
+        }
+        Ok(arms)
+    }
+
+    /// `t.apply();` or `t;` → Some(t); a bare `;` → None.
+    fn apply_target(&mut self) -> Result<Option<String>, ParseError> {
+        if self.eat(&K::Semi) {
+            return Ok(None);
+        }
+        let t = self.ident()?;
+        if self.eat(&K::Dot) {
+            self.keyword("apply")?;
+            self.expect(&K::LParen)?;
+            self.expect(&K::RParen)?;
+        }
+        self.expect(&K::Semi)?;
+        Ok(Some(t))
+    }
+
+    fn pred(&mut self) -> Result<PredExpr, ParseError> {
+        let mut lhs = self.pred_and()?;
+        while self.eat(&K::OrOr) {
+            let rhs = self.pred_and()?;
+            lhs = PredExpr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn pred_and(&mut self) -> Result<PredExpr, ParseError> {
+        let mut lhs = self.pred_unary()?;
+        while self.eat(&K::AndAnd) {
+            let rhs = self.pred_unary()?;
+            lhs = PredExpr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn pred_unary(&mut self) -> Result<PredExpr, ParseError> {
+        if self.eat(&K::Bang) {
+            return Ok(PredExpr::Not(Box::new(self.pred_unary()?)));
+        }
+        if self.peek_kind() == &K::LParen {
+            // Ambiguous: `(p && q)` is a parenthesized predicate, while
+            // `(a ^ b) == c` starts with a parenthesized *expression*. Try
+            // the predicate reading first and backtrack on failure.
+            let save = self.pos;
+            self.bump();
+            if let Ok(p) = self.pred() {
+                if self.eat(&K::RParen) {
+                    return Ok(p);
+                }
+            }
+            self.pos = save; // fall through to the comparison path
+        }
+        // `h.isValid()` or comparison.
+        if let (K::Ident(h), K::Dot) = (self.peek_kind().clone(), self.peek2_kind().clone()) {
+            if let K::Ident(m) = &self.toks[(self.pos + 2).min(self.toks.len() - 1)].kind {
+                if m == "isValid" {
+                    self.bump();
+                    self.bump();
+                    self.bump();
+                    self.expect(&K::LParen)?;
+                    self.expect(&K::RParen)?;
+                    return Ok(PredExpr::IsValid(h));
+                }
+            }
+        }
+        let lhs = self.expr()?;
+        let op = match self.peek_kind() {
+            K::EqEq => CmpOpAst::Eq,
+            K::Ne => CmpOpAst::Ne,
+            K::Lt => CmpOpAst::Lt,
+            K::Le => CmpOpAst::Le,
+            K::Gt => CmpOpAst::Gt,
+            K::Ge => CmpOpAst::Ge,
+            other => return Err(self.err(format!("expected comparison operator, found {other}"))),
+        };
+        self.bump();
+        let rhs = self.expr()?;
+        Ok(PredExpr::Cmp { lhs, op, rhs })
+    }
+
+    fn user_funcs(&mut self) -> Result<UserFuncs, ParseError> {
+        self.keyword("user_funcs")?;
+        self.expect(&K::LBrace)?;
+        let mut uf = UserFuncs::default();
+        while !self.eat(&K::RBrace) {
+            if self.at_keyword("func") {
+                self.bump();
+                let name = self.ident()?;
+                self.expect(&K::LBrace)?;
+                let mut stages = Vec::new();
+                while !self.eat(&K::RBrace) {
+                    stages.push(self.ident()?);
+                    self.eat(&K::Comma);
+                }
+                uf.funcs.push((name, stages));
+            } else if self.at_keyword("ingress_entry") {
+                self.bump();
+                self.expect(&K::Colon)?;
+                uf.ingress_entry = Some(self.ident()?);
+                self.expect(&K::Semi)?;
+            } else if self.at_keyword("egress_entry") {
+                self.bump();
+                self.expect(&K::Colon)?;
+                uf.egress_entry = Some(self.ident()?);
+                self.expect(&K::Semi)?;
+            } else {
+                return Err(self.err("expected `func`, `ingress_entry`, or `egress_entry`"));
+            }
+        }
+        Ok(uf)
+    }
+}
+
+/// Parses a complete rP4 compilation unit.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The ECMP function of Fig. 5(a), verbatim modulo the paper's `***`
+    /// elisions.
+    pub const FIG5A: &str = r#"
+        table ecmp_ipv4 {
+            key = {
+                meta.nexthop: hash;
+                ipv4.dst_addr: hash; // similar with P4's selector
+            }
+            actions = { set_bd_dmac; }
+            size = 4096;
+        }
+        table ecmp_ipv6 {
+            key = {
+                meta.nexthop: hash;
+                ipv6.dst_addr: hash;
+            }
+            actions = { set_bd_dmac; }
+            size = 4096;
+        }
+        // parse ipv4 or ipv6, match table
+        stage ecmp { /* parser-matcher-executor */
+            parser { ipv4, ipv6 };
+            matcher {
+                if (ipv4.isValid()) ecmp_ipv4.apply();
+                else if (ipv6.isValid()) ecmp_ipv6.apply();
+                else;
+            };
+            executor {
+                1: set_bd_dmac;
+                default: NoAction;
+            }
+        }
+        // set egress bridge and dmac
+        action set_bd_dmac(bit<16> bd, bit<48> dmac) {
+            meta.bd = bd;
+            ethernet.dst_addr = dmac;
+        }
+    "#;
+
+    #[test]
+    fn parses_fig5a() {
+        let p = parse(FIG5A).unwrap();
+        assert_eq!(p.tables.len(), 2);
+        assert_eq!(p.tables[0].name, "ecmp_ipv4");
+        assert_eq!(p.tables[0].size, Some(4096));
+        assert_eq!(p.tables[0].key.len(), 2);
+        assert_eq!(p.tables[0].key[0].1, KeyKind::Hash);
+        assert!(
+            matches!(&p.tables[0].key[0].0, Expr::Qualified(a, b) if a == "meta" && b == "nexthop")
+        );
+
+        // The snippet's top-level stage lands in the ingress list.
+        assert_eq!(p.ingress.len(), 1);
+        assert_eq!(p.ingress[0].name, "ecmp");
+    }
+
+    // The same stage wrapped in an explicit control block parses
+    // identically.
+    #[test]
+    fn parses_wrapped_stage() {
+        let src = FIG5A.replace(
+            "stage ecmp {",
+            "control rP4_Ingress { stage ecmp {",
+        );
+        // Close the control after the stage's final brace: splice one in.
+        let src = src.replace(
+            "// set egress bridge and dmac",
+            "} // end control\n// set egress bridge and dmac",
+        );
+        let p = parse(&src).unwrap();
+        assert_eq!(p.ingress.len(), 1);
+        let st = &p.ingress[0];
+        assert_eq!(st.name, "ecmp");
+        assert_eq!(st.parser, vec!["ipv4", "ipv6"]);
+        assert_eq!(st.matcher.len(), 3);
+        assert!(matches!(
+            &st.matcher[0].guard,
+            Some(PredExpr::IsValid(h)) if h == "ipv4"
+        ));
+        assert_eq!(st.matcher[0].table.as_deref(), Some("ecmp_ipv4"));
+        assert_eq!(st.matcher[2].table, None);
+        assert_eq!(st.executor.len(), 2);
+        assert!(matches!(st.executor[0].0, ExecTag::Tag(1)));
+        assert!(matches!(st.executor[1].0, ExecTag::Default));
+
+        assert_eq!(p.actions.len(), 1);
+        let a = &p.actions[0];
+        assert_eq!(a.params, vec![("bd".into(), 16), ("dmac".into(), 48)]);
+        assert_eq!(a.body.len(), 2);
+    }
+
+    #[test]
+    fn parses_headers_with_implicit_parser() {
+        let src = r#"
+            headers {
+                header ethernet {
+                    bit<48> dst_addr;
+                    bit<48> src_addr;
+                    bit<16> ethertype;
+                    implicit parser(ethertype) {
+                        0x0800: ipv4;
+                        0x86DD: ipv6;
+                    }
+                }
+                header srh {
+                    bit<8> next_header;
+                    bit<8> hdr_ext_len;
+                    bit<8> routing_type;
+                    bit<8> segments_left;
+                    bit<8> last_entry;
+                    bit<8> flags;
+                    bit<16> tag;
+                    implicit parser(next_header) { }
+                    varlen(hdr_ext_len, 8);
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.headers.len(), 2);
+        let eth = &p.headers[0];
+        assert_eq!(eth.fields.len(), 3);
+        let pr = eth.parser.as_ref().unwrap();
+        assert_eq!(pr.selector, vec!["ethertype"]);
+        assert_eq!(pr.transitions, vec![(0x0800, "ipv4".into()), (0x86DD, "ipv6".into())]);
+        assert_eq!(p.headers[1].var_len, Some(("hdr_ext_len".into(), 8)));
+    }
+
+    #[test]
+    fn parses_structs_with_alias() {
+        let src = r#"
+            structs {
+                struct metadata_t {
+                    bit<16> nexthop;
+                    bit<16> bd;
+                } meta;
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.structs[0].alias.as_deref(), Some("meta"));
+        assert_eq!(p.structs[0].fields.len(), 2);
+    }
+
+    #[test]
+    fn parses_user_funcs() {
+        let src = r#"
+            user_funcs {
+                func l2l3 { port_map bd_vrf fwd_mode }
+                func ecmp { ecmp }
+                ingress_entry: port_map;
+                egress_entry: rewrite;
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let uf = p.user_funcs.unwrap();
+        assert_eq!(uf.funcs.len(), 2);
+        assert_eq!(uf.funcs[0].1, vec!["port_map", "bd_vrf", "fwd_mode"]);
+        assert_eq!(uf.ingress_entry.as_deref(), Some("port_map"));
+    }
+
+    #[test]
+    fn parses_action_builtins_and_arith() {
+        let src = r#"
+            action probe() {
+                mark_if_count_over(1000);
+            }
+            action rewrite(bit<48> smac) {
+                ethernet.src_addr = smac;
+                dec_ttl_v4();
+            }
+            action idx() {
+                meta.idx = hash(ipv4.src_addr, udp.src_port) % 16;
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.actions.len(), 3);
+        assert!(matches!(&p.actions[0].body[0], Stmt::Call { name, args }
+            if name == "mark_if_count_over" && args == &[Expr::Int(1000)]));
+        let idx = &p.actions[2].body[0];
+        match idx {
+            Stmt::Assign { expr, .. } => match expr {
+                Expr::Bin { op: BinOp::Mod, lhs, rhs } => {
+                    assert!(matches!(&**lhs, Expr::Hash(v) if v.len() == 2));
+                    assert!(matches!(&**rhs, Expr::Int(16)));
+                }
+                other => panic!("expected % expr, got {other:?}"),
+            },
+            other => panic!("expected assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_complex_predicates() {
+        let src = r#"
+            control rP4_Ingress {
+                stage s {
+                    parser { ipv4; }
+                    matcher {
+                        if (!ipv4.isValid() && (meta.mode == 1 || udp.dst_port >= 1000)) t.apply();
+                        else;
+                    }
+                    executor { default: NoAction; }
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let g = p.ingress[0].matcher[0].guard.as_ref().unwrap();
+        assert!(matches!(g, PredExpr::And(_, _)));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let e = parse("table t { key = { meta.x: zebra; } }").unwrap_err();
+        assert!(e.msg.contains("zebra"));
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn rejects_bad_bit_width() {
+        assert!(parse("action a(bit<0> x) { }").is_err());
+        assert!(parse("action a(bit<129> x) { }").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_control() {
+        assert!(parse("control Weird { }").is_err());
+    }
+
+    #[test]
+    fn default_action_with_args() {
+        let p = parse("table t { key = { meta.x: exact; } default_action = fwd(3); }").unwrap();
+        assert_eq!(p.tables[0].default_action, Some(("fwd".into(), vec![3])));
+    }
+}

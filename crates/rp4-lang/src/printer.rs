@@ -1,0 +1,375 @@
+//! rP4 pretty-printer: AST → canonical source text.
+//!
+//! The rP4 design flow *rewrites the base design* on every incremental
+//! update ("the first output is the updated base design", Sec. 3.2), so the
+//! compiler must be able to emit source, not just consume it. The printer
+//! output re-parses to a structurally identical AST (tested).
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+fn lit(v: u128) -> String {
+    if v > 9 {
+        format!("{v:#x}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(v) => lit(*v),
+        Expr::Qualified(a, b) => format!("{a}.{b}"),
+        Expr::Ident(i) => i.clone(),
+        Expr::Bin { op, lhs, rhs } => {
+            let o = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::And => "&",
+                BinOp::Or => "|",
+                BinOp::Xor => "^",
+                BinOp::Shl => "<<",
+                BinOp::Shr => ">>",
+                BinOp::Mod => "%",
+            };
+            // Parenthesize compound operands so the (precedence-free)
+            // grammar reparses to the same tree.
+            let wrap = |e: &Expr| match e {
+                Expr::Bin { .. } => format!("({})", expr(e)),
+                _ => expr(e),
+            };
+            format!("{} {o} {}", wrap(lhs), wrap(rhs))
+        }
+        Expr::Hash(inputs) => format!(
+            "hash({})",
+            inputs.iter().map(expr).collect::<Vec<_>>().join(", ")
+        ),
+    }
+}
+
+fn pred(p: &PredExpr) -> String {
+    match p {
+        PredExpr::IsValid(h) => format!("{h}.isValid()"),
+        PredExpr::Not(x) => format!("!({})", pred(x)),
+        PredExpr::And(a, b) => format!("({} && {})", pred(a), pred(b)),
+        PredExpr::Or(a, b) => format!("({} || {})", pred(a), pred(b)),
+        PredExpr::Cmp { lhs, op, rhs } => {
+            let o = match op {
+                CmpOpAst::Eq => "==",
+                CmpOpAst::Ne => "!=",
+                CmpOpAst::Lt => "<",
+                CmpOpAst::Le => "<=",
+                CmpOpAst::Gt => ">",
+                CmpOpAst::Ge => ">=",
+            };
+            format!("{} {o} {}", expr(lhs), expr(rhs))
+        }
+    }
+}
+
+fn stage(out: &mut String, st: &StageDecl, indent: &str) {
+    let _ = writeln!(out, "{indent}stage {} {{", st.name);
+    let _ = writeln!(
+        out,
+        "{indent}    parser {{ {} }};",
+        st.parser
+            .iter()
+            .map(|h| format!("{h};"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    let _ = writeln!(out, "{indent}    matcher {{");
+    let mut first = true;
+    let mut chain_open = false;
+    for arm in &st.matcher {
+        match (&arm.guard, &arm.table) {
+            (Some(g), t) => {
+                let kw = if first || !chain_open { "if" } else { "else if" };
+                let target = match t {
+                    Some(t) => format!("{t}.apply();"),
+                    None => ";".to_string(),
+                };
+                let _ = writeln!(out, "{indent}        {kw} ({}) {target}", pred(g));
+                chain_open = true;
+            }
+            (None, Some(t)) => {
+                if chain_open {
+                    let _ = writeln!(out, "{indent}        else {t}.apply();");
+                    chain_open = false;
+                } else {
+                    let _ = writeln!(out, "{indent}        {t}.apply();");
+                }
+            }
+            (None, None) => {
+                if chain_open {
+                    let _ = writeln!(out, "{indent}        else;");
+                    chain_open = false;
+                }
+                // An unconditional no-table arm outside a chain prints
+                // nothing: it is semantically inert.
+            }
+        }
+        first = false;
+    }
+    let _ = writeln!(out, "{indent}    }};");
+    let _ = writeln!(out, "{indent}    executor {{");
+    for (tag, action, args) in &st.executor {
+        let t = match tag {
+            ExecTag::Tag(n) => n.to_string(),
+            ExecTag::Default => "default".to_string(),
+        };
+        if args.is_empty() {
+            let _ = writeln!(out, "{indent}        {t}: {action};");
+        } else {
+            let _ = writeln!(
+                out,
+                "{indent}        {t}: {action}({});",
+                args.iter().map(|a| lit(*a)).collect::<Vec<_>>().join(", ")
+            );
+        }
+    }
+    let _ = writeln!(out, "{indent}    }}");
+    let _ = writeln!(out, "{indent}}}");
+}
+
+/// Renders a program as canonical rP4 source.
+pub fn print(p: &Program) -> String {
+    let mut out = String::new();
+    if !p.headers.is_empty() {
+        out.push_str("headers {\n");
+        for h in &p.headers {
+            let _ = writeln!(out, "    header {} {{", h.name);
+            for (f, bits) in &h.fields {
+                let _ = writeln!(out, "        bit<{bits}> {f};");
+            }
+            if let Some(pr) = &h.parser {
+                let _ = writeln!(
+                    out,
+                    "        implicit parser({}) {{",
+                    pr.selector.join(", ")
+                );
+                for (tag, next) in &pr.transitions {
+                    let _ = writeln!(out, "            {}: {next};", lit(*tag));
+                }
+                out.push_str("        }\n");
+            }
+            if let Some((f, units)) = &h.var_len {
+                let _ = writeln!(out, "        varlen({f}, {units});");
+            }
+            out.push_str("    }\n");
+        }
+        out.push_str("}\n\n");
+    }
+    if !p.structs.is_empty() {
+        out.push_str("structs {\n");
+        for s in &p.structs {
+            let _ = writeln!(out, "    struct {} {{", s.name);
+            for (f, bits) in &s.fields {
+                let _ = writeln!(out, "        bit<{bits}> {f};");
+            }
+            match &s.alias {
+                Some(a) => {
+                    let _ = writeln!(out, "    }} {a};");
+                }
+                None => out.push_str("    };\n"),
+            }
+        }
+        out.push_str("}\n\n");
+    }
+    for a in &p.actions {
+        let params = a
+            .params
+            .iter()
+            .map(|(n, b)| format!("bit<{b}> {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "action {}({params}) {{", a.name);
+        for s in &a.body {
+            match s {
+                Stmt::Assign { lval, expr: e } => {
+                    let _ = writeln!(out, "    {}.{} = {};", lval.scope, lval.field, expr(e));
+                }
+                Stmt::Call { name, args } => {
+                    let _ = writeln!(
+                        out,
+                        "    {name}({});",
+                        args.iter().map(expr).collect::<Vec<_>>().join(", ")
+                    );
+                }
+            }
+        }
+        out.push_str("}\n\n");
+    }
+    for t in &p.tables {
+        let _ = writeln!(out, "table {} {{", t.name);
+        out.push_str("    key = {\n");
+        for (e, kind) in &t.key {
+            let k = match kind {
+                KeyKind::Exact => "exact",
+                KeyKind::Lpm => "lpm",
+                KeyKind::Ternary => "ternary",
+                KeyKind::Hash => "hash",
+            };
+            let _ = writeln!(out, "        {}: {k};", expr(e));
+        }
+        out.push_str("    }\n");
+        if !t.actions.is_empty() {
+            let _ = writeln!(
+                out,
+                "    actions = {{ {} }}",
+                t.actions
+                    .iter()
+                    .map(|a| format!("{a};"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+        }
+        if let Some(s) = t.size {
+            let _ = writeln!(out, "    size = {s};");
+        }
+        if let Some((a, args)) = &t.default_action {
+            if args.is_empty() {
+                let _ = writeln!(out, "    default_action = {a};");
+            } else {
+                let _ = writeln!(
+                    out,
+                    "    default_action = {a}({});",
+                    args.iter().map(|x| lit(*x)).collect::<Vec<_>>().join(", ")
+                );
+            }
+        }
+        if t.counters {
+            out.push_str("    counters = true;\n");
+        }
+        out.push_str("}\n\n");
+    }
+    if !p.ingress.is_empty() {
+        out.push_str("control rP4_Ingress {\n");
+        for st in &p.ingress {
+            stage(&mut out, st, "    ");
+        }
+        out.push_str("}\n\n");
+    }
+    if !p.egress.is_empty() {
+        out.push_str("control rP4_Egress {\n");
+        for st in &p.egress {
+            stage(&mut out, st, "    ");
+        }
+        out.push_str("}\n\n");
+    }
+    if let Some(uf) = &p.user_funcs {
+        out.push_str("user_funcs {\n");
+        for (f, stages) in &uf.funcs {
+            let _ = writeln!(out, "    func {f} {{ {} }}", stages.join(" "));
+        }
+        if let Some(e) = &uf.ingress_entry {
+            let _ = writeln!(out, "    ingress_entry: {e};");
+        }
+        if let Some(e) = &uf.egress_entry {
+            let _ = writeln!(out, "    egress_entry: {e};");
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(src: &str) {
+        let p1 = parse(src).unwrap();
+        let printed = print(&p1);
+        let p2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(p1, p2, "printed:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrip_full_program() {
+        roundtrip(
+            r#"
+            headers {
+                header ethernet {
+                    bit<48> dst_addr; bit<48> src_addr; bit<16> ethertype;
+                    implicit parser(ethertype) { 0x0800: ipv4; }
+                }
+                header srh {
+                    bit<8> next_header; bit<8> hdr_ext_len;
+                    implicit parser(next_header) { }
+                    varlen(hdr_ext_len, 8);
+                }
+            }
+            structs { struct m_t { bit<16> nexthop; } meta; }
+            action set_nh(bit<16> nh) { meta.nexthop = nh; }
+            action probe() { mark_if_count_over(100); }
+            table fib {
+                key = { ipv4.dst_addr: lpm; }
+                actions = { set_nh; }
+                size = 1024;
+                default_action = NoAction;
+                counters = true;
+            }
+            control rP4_Ingress {
+                stage fib_stage {
+                    parser { ipv4; }
+                    matcher {
+                        if (ipv4.isValid()) fib.apply();
+                        else;
+                    }
+                    executor { 1: set_nh; default: NoAction; }
+                }
+            }
+            control rP4_Egress {
+                stage out {
+                    parser { ethernet; }
+                    matcher { dmac.apply(); }
+                    executor { default: NoAction; }
+                }
+            }
+            user_funcs {
+                func base { fib_stage out }
+                ingress_entry: fib_stage;
+                egress_entry: out;
+            }
+        "#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_complex_matcher_and_exprs() {
+        roundtrip(
+            r#"
+            action a(bit<8> x) {
+                meta.v = x + 3;
+                meta.w = hash(ipv4.src_addr, ipv4.dst_addr) % 8;
+                forward(x);
+            }
+            structs { struct m_t { bit<8> v; bit<8> w; bit<8> mode; } meta; }
+            control rP4_Ingress {
+                stage s {
+                    parser { ipv4; udp; }
+                    matcher {
+                        if (!(ipv4.isValid()) && meta.mode == 1) t1.apply();
+                        else if (udp.dst_port >= 1000 || meta.mode != 2) t2.apply();
+                        else t3.apply();
+                    }
+                    executor { 1: a(5); 2: a; default: NoAction; }
+                }
+            }
+        "#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_hex_and_default_args() {
+        roundtrip(
+            r#"
+            table t { key = { meta.x: ternary; } default_action = f(255, 16); }
+            structs { struct m { bit<16> x; } meta; }
+            action f(bit<8> a, bit<8> b) { meta.x = a; }
+        "#,
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Runtime table-API generation.
+//!
+//! "rp4fc also outputs the APIs for controller to access the tables at
+//! runtime" (Sec. 3.2): a machine-readable descriptor per table — key
+//! fields with widths and match kinds, offered actions with their
+//! parameter layouts — which the controller uses to type-check
+//! `table_add`/`table_del` commands before shipping entries to the device.
+
+use ipsa_core::table::MatchKind;
+use ipsa_core::template::CompiledDesign;
+use ipsa_core::value::ValueRef;
+use serde::{Deserialize, Serialize};
+
+/// One key field of a table API.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApiKeyField {
+    /// Human-readable source (`ipv4.dst_addr`, `meta.nexthop`).
+    pub name: String,
+    /// Width in bits.
+    pub bits: usize,
+    /// Match kind keyword (`exact`/`lpm`/`ternary`/`hash`).
+    pub kind: String,
+}
+
+/// One action entry of a table API.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApiAction {
+    /// Action name.
+    pub name: String,
+    /// Executor hit tag assigned to this action.
+    pub tag: u32,
+    /// Parameters `(name, bits)`.
+    pub params: Vec<(String, usize)>,
+}
+
+/// Runtime API descriptor for one table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableApi {
+    /// Table name.
+    pub table: String,
+    /// Key schema.
+    pub key: Vec<ApiKeyField>,
+    /// Offered actions.
+    pub actions: Vec<ApiAction>,
+    /// Capacity.
+    pub size: usize,
+    /// Whether entries carry packet counters.
+    pub counters: bool,
+}
+
+fn source_name(v: &ValueRef) -> String {
+    match v {
+        ValueRef::Field { header, field } => format!("{header}.{field}"),
+        ValueRef::Meta(m) => format!("meta.{m}"),
+        ValueRef::Const(c) => format!("{c}"),
+        ValueRef::Param(i) => format!("param{i}"),
+        ValueRef::EntryCounter => "counter".into(),
+    }
+}
+
+/// Generates the API descriptors for every table of a design.
+pub fn generate_apis(design: &CompiledDesign) -> Vec<TableApi> {
+    design
+        .tables
+        .values()
+        .map(|t| TableApi {
+            table: t.name.clone(),
+            key: t
+                .key
+                .iter()
+                .map(|k| ApiKeyField {
+                    name: source_name(&k.source),
+                    bits: k.bits,
+                    kind: match k.kind {
+                        MatchKind::Exact => "exact",
+                        MatchKind::Lpm => "lpm",
+                        MatchKind::Ternary => "ternary",
+                        MatchKind::Hash => "hash",
+                    }
+                    .to_string(),
+                })
+                .collect(),
+            actions: t
+                .actions
+                .iter()
+                .enumerate()
+                .map(|(i, a)| ApiAction {
+                    name: a.clone(),
+                    tag: (i + 1) as u32,
+                    params: design
+                        .actions
+                        .get(a)
+                        .map(|d| d.params.clone())
+                        .unwrap_or_default(),
+                })
+                .collect(),
+            size: t.size,
+            counters: t.with_counters,
+        })
+        .collect()
+}
+
+/// Serializes APIs as pretty JSON.
+pub fn apis_to_json(apis: &[TableApi]) -> String {
+    serde_json::to_string_pretty(apis).expect("APIs serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsa_core::action::ActionDef;
+    use ipsa_core::table::{ActionCall, KeyField, TableDef};
+
+    #[test]
+    fn api_reflects_schema() {
+        let mut d = CompiledDesign::empty("x", 4);
+        d.actions.insert(
+            "set_nh".into(),
+            ActionDef {
+                name: "set_nh".into(),
+                params: vec![("nh".into(), 16)],
+                body: vec![],
+            },
+        );
+        d.tables.insert(
+            "fib".into(),
+            TableDef {
+                name: "fib".into(),
+                key: vec![KeyField {
+                    source: ValueRef::field("ipv4", "dst_addr"),
+                    bits: 32,
+                    kind: MatchKind::Lpm,
+                }],
+                size: 1024,
+                actions: vec!["set_nh".into()],
+                default_action: ActionCall::no_action(),
+                with_counters: true,
+            },
+        );
+        let apis = generate_apis(&d);
+        assert_eq!(apis.len(), 1);
+        let api = &apis[0];
+        assert_eq!(api.key[0].name, "ipv4.dst_addr");
+        assert_eq!(api.key[0].kind, "lpm");
+        assert_eq!(api.actions[0].tag, 1);
+        assert_eq!(api.actions[0].params, vec![("nh".to_string(), 16)]);
+        assert!(api.counters);
+        // JSON stable and parseable.
+        let j = apis_to_json(&apis);
+        let back: Vec<TableApi> = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, apis);
+    }
+}

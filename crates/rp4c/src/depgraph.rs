@@ -1,0 +1,413 @@
+//! Logical-stage dependency analysis.
+//!
+//! rp4bc "analyzes the dependency of different logical stages" (Sec. 3.2)
+//! to know which stages may be reordered or merged into one TSP. We compute
+//! per-stage read/write sets over header fields, header validity, and
+//! metadata, and derive RAW/WAR/WAW dependencies between stage pairs.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ipsa_core::action::{ActionDef, Primitive};
+use ipsa_core::table::TableDef;
+use ipsa_core::value::{LValueRef, ValueRef};
+
+use crate::lower::LogicalStage;
+
+/// A dependency-tracked resource.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Res {
+    /// A specific header field.
+    Field(String, String),
+    /// A header's presence/shape (insert/remove operations).
+    Validity(String),
+    /// A metadata field.
+    Meta(String),
+}
+
+/// Read and write sets of one stage.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RwSet {
+    /// Resources read.
+    pub reads: BTreeSet<Res>,
+    /// Resources written.
+    pub writes: BTreeSet<Res>,
+}
+
+fn read_value(v: &ValueRef, out: &mut BTreeSet<Res>) {
+    match v {
+        ValueRef::Field { header, field } => {
+            out.insert(Res::Field(header.clone(), field.clone()));
+        }
+        ValueRef::Meta(m) => {
+            out.insert(Res::Meta(m.clone()));
+        }
+        _ => {}
+    }
+}
+
+fn write_lvalue(l: &LValueRef, out: &mut BTreeSet<Res>) {
+    match l {
+        LValueRef::Field { header, field } => {
+            out.insert(Res::Field(header.clone(), field.clone()));
+        }
+        LValueRef::Meta(m) => {
+            out.insert(Res::Meta(m.clone()));
+        }
+    }
+}
+
+fn action_rw(a: &ActionDef, rw: &mut RwSet) {
+    for p in &a.body {
+        match p {
+            Primitive::Set { dst, src } => {
+                write_lvalue(dst, &mut rw.writes);
+                read_value(src, &mut rw.reads);
+            }
+            Primitive::Alu { dst, a, b, .. } => {
+                write_lvalue(dst, &mut rw.writes);
+                read_value(a, &mut rw.reads);
+                read_value(b, &mut rw.reads);
+            }
+            Primitive::Hash { dst, inputs, .. } => {
+                write_lvalue(dst, &mut rw.writes);
+                for i in inputs {
+                    read_value(i, &mut rw.reads);
+                }
+            }
+            Primitive::Forward { port } => {
+                rw.writes.insert(Res::Meta("egress_port".into()));
+                read_value(port, &mut rw.reads);
+            }
+            Primitive::Drop => {
+                rw.writes.insert(Res::Meta("drop".into()));
+            }
+            Primitive::Mark { value } => {
+                rw.writes.insert(Res::Meta("mark".into()));
+                read_value(value, &mut rw.reads);
+            }
+            Primitive::MarkIfCounterOver { threshold } => {
+                rw.writes.insert(Res::Meta("mark".into()));
+                read_value(threshold, &mut rw.reads);
+            }
+            Primitive::InsertHeaderAfter { after, header, fields, extra_words } => {
+                rw.writes.insert(Res::Validity(header.clone()));
+                rw.reads.insert(Res::Validity(after.clone()));
+                for (_, v) in fields {
+                    read_value(v, &mut rw.reads);
+                }
+                for v in extra_words {
+                    read_value(v, &mut rw.reads);
+                }
+            }
+            Primitive::RemoveHeader { header } => {
+                rw.writes.insert(Res::Validity(header.clone()));
+            }
+            Primitive::Srv6Advance => {
+                rw.reads.insert(Res::Validity("srh".into()));
+                rw.writes.insert(Res::Field("srh".into(), "segments_left".into()));
+                rw.writes.insert(Res::Field("ipv6".into(), "dst_addr".into()));
+            }
+            Primitive::DecTtlV4 => {
+                rw.writes.insert(Res::Field("ipv4".into(), "ttl".into()));
+                rw.writes
+                    .insert(Res::Field("ipv4".into(), "hdr_checksum".into()));
+                rw.writes.insert(Res::Meta("drop".into()));
+            }
+            Primitive::DecHopLimitV6 => {
+                rw.writes
+                    .insert(Res::Field("ipv6".into(), "hop_limit".into()));
+                rw.writes.insert(Res::Meta("drop".into()));
+            }
+            Primitive::RefreshIpv4Checksum => {
+                rw.writes
+                    .insert(Res::Field("ipv4".into(), "hdr_checksum".into()));
+            }
+            Primitive::NoAction => {}
+        }
+    }
+}
+
+/// Computes the read/write sets of a logical stage, given the design's
+/// table and action registries.
+pub fn stage_rw(
+    stage: &LogicalStage,
+    tables: &BTreeMap<String, TableDef>,
+    actions: &BTreeMap<String, ActionDef>,
+) -> RwSet {
+    let mut rw = RwSet::default();
+    // Matcher: predicate reads + key reads.
+    for b in &stage.template.branches {
+        for h in b.pred.read_headers() {
+            rw.reads.insert(Res::Validity(h.clone()));
+        }
+        for m in b.pred.read_meta() {
+            rw.reads.insert(Res::Meta(m));
+        }
+        if let Some(tname) = &b.table {
+            if let Some(t) = tables.get(tname) {
+                for k in &t.key {
+                    read_value(&k.source, &mut rw.reads);
+                }
+            }
+        }
+    }
+    // Executor: every action the stage can run.
+    let mut action_names: BTreeSet<&str> = stage
+        .template
+        .executor
+        .iter()
+        .map(|(_, a)| a.action.as_str())
+        .collect();
+    action_names.insert(stage.template.default_action.action.as_str());
+    for tname in &stage.tables {
+        if let Some(t) = tables.get(tname) {
+            for a in &t.actions {
+                action_names.insert(a.as_str());
+            }
+            action_names.insert(t.default_action.action.as_str());
+        }
+    }
+    for name in action_names {
+        if let Some(a) = actions.get(name) {
+            action_rw(a, &mut rw);
+        }
+    }
+    rw
+}
+
+/// True when two resources conflict: equal, or a field/validity pair on the
+/// same header (header surgery invalidates offsets of its fields).
+fn conflicts(a: &Res, b: &Res) -> bool {
+    if a == b {
+        return true;
+    }
+    match (a, b) {
+        (Res::Validity(h), Res::Field(h2, _)) | (Res::Field(h2, _), Res::Validity(h)) => h == h2,
+        _ => false,
+    }
+}
+
+fn sets_conflict(a: &BTreeSet<Res>, b: &BTreeSet<Res>) -> bool {
+    a.iter().any(|x| b.iter().any(|y| conflicts(x, y)))
+}
+
+/// True when stage `a` and stage `b` have any ordering dependency
+/// (RAW, WAR, or WAW).
+pub fn depends(a: &RwSet, b: &RwSet) -> bool {
+    sets_conflict(&a.writes, &b.reads)
+        || sets_conflict(&a.reads, &b.writes)
+        || sets_conflict(&a.writes, &b.writes)
+}
+
+/// Writes performed by a stage's *actions* only (not matcher evaluation).
+/// Used by the merge pass: when two stages have mutually exclusive guards,
+/// at most one action runs per packet, so action-vs-action conflicts are
+/// unobservable — but a later stage's guard must still not read anything an
+/// earlier stage's action writes (guard timing moves under merging).
+pub fn stage_action_writes(
+    stage: &LogicalStage,
+    tables: &BTreeMap<String, TableDef>,
+    actions: &BTreeMap<String, ActionDef>,
+) -> BTreeSet<Res> {
+    let mut action_names: BTreeSet<&str> = stage
+        .template
+        .executor
+        .iter()
+        .map(|(_, a)| a.action.as_str())
+        .collect();
+    action_names.insert(stage.template.default_action.action.as_str());
+    for tname in &stage.tables {
+        if let Some(t) = tables.get(tname) {
+            for a in &t.actions {
+                action_names.insert(a.as_str());
+            }
+        }
+    }
+    let mut rw = RwSet::default();
+    for name in action_names {
+        if let Some(a) = actions.get(name) {
+            action_rw(a, &mut rw);
+        }
+    }
+    rw.writes
+}
+
+/// Resources a stage's matcher *predicates* read (not table keys).
+pub fn stage_pred_reads(stage: &LogicalStage) -> BTreeSet<Res> {
+    let mut out = BTreeSet::new();
+    for b in &stage.template.branches {
+        for h in b.pred.read_headers() {
+            out.insert(Res::Validity(h));
+        }
+        for m in b.pred.read_meta() {
+            out.insert(Res::Meta(m));
+        }
+    }
+    out
+}
+
+/// Public conflict test between two resource sets.
+pub fn resource_conflict(a: &BTreeSet<Res>, b: &BTreeSet<Res>) -> bool {
+    sets_conflict(a, b)
+}
+
+/// The full dependency matrix over a stage sequence: `dep[i][j]` (i < j)
+/// means stage j must stay after stage i.
+pub fn dependency_matrix(
+    stages: &[LogicalStage],
+    tables: &BTreeMap<String, TableDef>,
+    actions: &BTreeMap<String, ActionDef>,
+) -> Vec<Vec<bool>> {
+    let rw: Vec<RwSet> = stages.iter().map(|s| stage_rw(s, tables, actions)).collect();
+    let n = stages.len();
+    let mut m = vec![vec![false; n]; n];
+    for i in 0..n {
+        for j in i + 1..n {
+            m[i][j] = depends(&rw[i], &rw[j]);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsa_core::predicate::Predicate;
+    use ipsa_core::table::{ActionCall, KeyField, MatchKind};
+    use ipsa_core::template::{MatcherBranch, TspTemplate};
+
+    fn mk_action(name: &str, body: Vec<Primitive>) -> ActionDef {
+        ActionDef {
+            name: name.into(),
+            params: vec![],
+            body,
+        }
+    }
+
+    fn mk_stage(name: &str, table: &str, default: &str) -> LogicalStage {
+        LogicalStage {
+            template: TspTemplate {
+                stage_name: name.into(),
+                func: "f".into(),
+                parse: vec![],
+                branches: vec![MatcherBranch {
+                    pred: Predicate::True,
+                    table: Some(table.into()),
+                }],
+                executor: vec![],
+                default_action: ActionCall::new(default, vec![]),
+            },
+            tables: vec![table.into()],
+            egress: false,
+        }
+    }
+
+    fn registries() -> (BTreeMap<String, TableDef>, BTreeMap<String, ActionDef>) {
+        let mut actions = BTreeMap::new();
+        actions.insert("NoAction".to_string(), ActionDef::no_action());
+        actions.insert(
+            "set_nh".to_string(),
+            mk_action(
+                "set_nh",
+                vec![Primitive::Set {
+                    dst: LValueRef::Meta("nexthop".into()),
+                    src: ValueRef::Const(1),
+                }],
+            ),
+        );
+        actions.insert(
+            "use_nh".to_string(),
+            mk_action(
+                "use_nh",
+                vec![Primitive::Set {
+                    dst: LValueRef::Meta("bd".into()),
+                    src: ValueRef::Meta("nexthop".into()),
+                }],
+            ),
+        );
+        actions.insert(
+            "rw_mac".to_string(),
+            mk_action(
+                "rw_mac",
+                vec![Primitive::Set {
+                    dst: LValueRef::field("ethernet", "src_addr"),
+                    src: ValueRef::Const(2),
+                }],
+            ),
+        );
+        let mut tables = BTreeMap::new();
+        for (t, key, act) in [
+            ("fib", ValueRef::field("ipv4", "dst_addr"), "set_nh"),
+            ("nexthop", ValueRef::Meta("nexthop".into()), "use_nh"),
+            ("smac", ValueRef::Meta("bd".into()), "rw_mac"),
+        ] {
+            tables.insert(
+                t.to_string(),
+                TableDef {
+                    name: t.into(),
+                    key: vec![KeyField {
+                        source: key,
+                        bits: 16,
+                        kind: MatchKind::Exact,
+                    }],
+                    size: 16,
+                    actions: vec![act.into()],
+                    default_action: ActionCall::no_action(),
+                    with_counters: false,
+                },
+            );
+        }
+        (tables, actions)
+    }
+
+    #[test]
+    fn raw_dependency_detected() {
+        let (tables, actions) = registries();
+        // fib writes meta.nexthop; nexthop-table keys on it.
+        let a = stage_rw(&mk_stage("A", "fib", "NoAction"), &tables, &actions);
+        let b = stage_rw(&mk_stage("B", "nexthop", "NoAction"), &tables, &actions);
+        assert!(depends(&a, &b));
+    }
+
+    #[test]
+    fn independent_stages_detected() {
+        let (tables, actions) = registries();
+        // fib (reads ipv4.dst, writes meta.nexthop) vs smac (reads meta.bd,
+        // writes ethernet.src) — no overlap.
+        let a = stage_rw(&mk_stage("A", "fib", "NoAction"), &tables, &actions);
+        let b = stage_rw(&mk_stage("B", "smac", "NoAction"), &tables, &actions);
+        assert!(!depends(&a, &b));
+    }
+
+    #[test]
+    fn waw_counts_as_dependency() {
+        let (tables, actions) = registries();
+        let a = stage_rw(&mk_stage("A", "fib", "NoAction"), &tables, &actions);
+        assert!(depends(&a, &a), "same stage conflicts with itself (WAW)");
+    }
+
+    #[test]
+    fn header_surgery_conflicts_with_field_access() {
+        let ins = Res::Validity("srh".into());
+        let fld = Res::Field("srh".into(), "segments_left".into());
+        assert!(conflicts(&ins, &fld));
+        assert!(!conflicts(
+            &Res::Validity("srh".into()),
+            &Res::Field("ipv4".into(), "ttl".into())
+        ));
+    }
+
+    #[test]
+    fn matrix_is_upper_triangular() {
+        let (tables, actions) = registries();
+        let stages = vec![
+            mk_stage("A", "fib", "NoAction"),
+            mk_stage("B", "nexthop", "NoAction"),
+            mk_stage("C", "smac", "NoAction"),
+        ];
+        let m = dependency_matrix(&stages, &tables, &actions);
+        assert!(m[0][1], "fib -> nexthop RAW");
+        assert!(m[1][2], "nexthop writes bd, smac reads bd");
+        assert!(!m[0][2], "fib and smac independent");
+    }
+}

@@ -1,0 +1,242 @@
+//! Design diffing — the failback mechanism.
+//!
+//! The paper motivates in-situ programming with "live trials in production
+//! networks … with reliable failback procedure" (Sec. 1). Failback is a
+//! *structural diff*: given the device's current design and a checkpointed
+//! target design, compute the minimal `Drain … Resume` batch that converts
+//! one into the other. Tables that exist in both designs (same definition
+//! and allocation) are untouched, so their entries survive — rolling back
+//! a trialed function restores the original pipeline without repopulating
+//! anything.
+
+use std::collections::BTreeSet;
+
+use ipsa_core::control::ControlMsg;
+use ipsa_core::template::CompiledDesign;
+
+/// Computes control messages that transform a device from `from` to `to`.
+///
+/// Covers templates, selector, crossbar, header registry/linkage, actions,
+/// metadata, and table lifecycle. Entries of tables present (identically)
+/// in both designs are preserved; tables created by the diff start empty.
+pub fn design_diff(from: &CompiledDesign, to: &CompiledDesign) -> Vec<ControlMsg> {
+    let mut msgs = vec![ControlMsg::Drain];
+
+    // --- headers: register new/changed, unregister removed ---
+    let from_headers: BTreeSet<&str> = from.linkage.iter().map(|h| h.name.as_str()).collect();
+    let to_headers: BTreeSet<&str> = to.linkage.iter().map(|h| h.name.as_str()).collect();
+    for h in to.linkage.iter() {
+        if from.linkage.get(&h.name) != Some(h) {
+            // Register replaces wholesale, including its parser transitions.
+            msgs.push(ControlMsg::RegisterHeader(h.clone()));
+        }
+    }
+    for h in from_headers.difference(&to_headers) {
+        msgs.push(ControlMsg::UnregisterHeader(h.to_string()));
+    }
+    if to.linkage.first() != from.linkage.first() {
+        if let Some(first) = to.linkage.first() {
+            msgs.push(ControlMsg::SetFirstHeader(first.to_string()));
+        }
+    }
+
+    // --- metadata: additive (devices ignore re-declarations) ---
+    let new_meta: Vec<(String, usize)> = to
+        .metadata
+        .iter()
+        .filter(|(n, _)| !from.metadata.iter().any(|(m, _)| m == n))
+        .cloned()
+        .collect();
+    if !new_meta.is_empty() {
+        msgs.push(ControlMsg::DefineMetadata(new_meta));
+    }
+
+    // --- actions ---
+    for (name, def) in &to.actions {
+        if from.actions.get(name) != Some(def) {
+            msgs.push(ControlMsg::DefineAction(def.clone()));
+        }
+    }
+    for name in from.actions.keys() {
+        if !to.actions.contains_key(name) {
+            msgs.push(ControlMsg::RemoveAction(name.clone()));
+        }
+    }
+
+    // --- tables: destroy removed/changed, create new/changed ---
+    let table_changed = |name: &str| -> bool {
+        from.tables.get(name) != to.tables.get(name)
+            || from.table_alloc.get(name) != to.table_alloc.get(name)
+    };
+    for name in from.tables.keys() {
+        if !to.tables.contains_key(name) || table_changed(name) {
+            msgs.push(ControlMsg::DestroyTable(name.clone()));
+        }
+    }
+    for (name, def) in &to.tables {
+        if !from.tables.contains_key(name) || table_changed(name) {
+            msgs.push(ControlMsg::CreateTable {
+                def: def.clone(),
+                blocks: to.table_alloc.get(name).cloned().unwrap_or_default(),
+            });
+        }
+    }
+
+    // --- templates & crossbar per slot ---
+    let slots = to.templates.len().max(from.templates.len());
+    for slot in 0..slots {
+        let f = from.templates.get(slot).and_then(|t| t.as_ref());
+        let t = to.templates.get(slot).and_then(|t| t.as_ref());
+        if f != t {
+            match t {
+                Some(t) => msgs.push(ControlMsg::WriteTemplate {
+                    slot,
+                    template: t.clone(),
+                }),
+                None => msgs.push(ControlMsg::ClearSlot { slot }),
+            }
+        }
+        let fx = from.crossbar.get(&slot);
+        let tx = to.crossbar.get(&slot);
+        if fx != tx {
+            msgs.push(ControlMsg::ConnectCrossbar {
+                slot,
+                blocks: tx.cloned().unwrap_or_default(),
+            });
+        }
+    }
+    if from.selector != to.selector {
+        msgs.push(ControlMsg::SetSelector(to.selector.clone()));
+    }
+    msgs.push(ControlMsg::Resume);
+    msgs
+}
+
+/// Number of *structural* operations in a diff (excludes Drain/Resume) —
+/// a cheap "how invasive is this rollback" metric.
+pub fn diff_size(msgs: &[ControlMsg]) -> usize {
+    msgs.iter()
+        .filter(|m| !matches!(m, ControlMsg::Drain | ControlMsg::Resume))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{full_compile, CompilerTarget};
+    use crate::incremental::{incremental_compile, UpdateCmd};
+    use crate::layout::LayoutAlgo;
+
+    fn base() -> (CompiledDesign, rp4_lang::Program, CompilerTarget) {
+        let prog = rp4_lang::parse(
+            r#"
+            headers {
+                header ethernet {
+                    bit<48> dst_addr; bit<48> src_addr; bit<16> ethertype;
+                    implicit parser(ethertype) { 0x0800: ipv4; }
+                }
+                header ipv4 {
+                    bit<8> ttl; bit<8> protocol; bit<16> hdr_checksum;
+                    bit<32> src_addr; bit<32> dst_addr;
+                    implicit parser(protocol) { }
+                }
+            }
+            structs { struct m_t { bit<16> nexthop; } meta; }
+            action set_nh(bit<16> nh) { meta.nexthop = nh; }
+            table fib { key = { ipv4.dst_addr: lpm; } actions = { set_nh; } size = 256; }
+            control rP4_Ingress {
+                stage fib_s {
+                    parser { ipv4; }
+                    matcher { if (ipv4.isValid()) fib.apply(); else; }
+                    executor { 1: set_nh; default: NoAction; }
+                }
+            }
+            user_funcs { func base { fib_s } ingress_entry: fib_s; }
+        "#,
+        )
+        .unwrap();
+        let t = CompilerTarget::ipbm();
+        let c = full_compile(&prog, &t).unwrap();
+        (c.design, c.program, t)
+    }
+
+    fn probe_snippet() -> rp4_lang::Program {
+        rp4_lang::parse(
+            r#"
+            action probe() { mark_if_count_over(5); }
+            table fp { key = { ipv4.src_addr: exact; } actions = { probe; } size = 32; counters = true; }
+            stage fp_s {
+                parser { ipv4; }
+                matcher { if (ipv4.isValid()) fp.apply(); else; }
+                executor { 1: probe; default: NoAction; }
+            }
+        "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identity_diff_is_empty() {
+        let (design, _, _) = base();
+        let msgs = design_diff(&design, &design);
+        assert_eq!(diff_size(&msgs), 0);
+        assert_eq!(msgs.len(), 2); // just Drain + Resume
+    }
+
+    #[test]
+    fn rollback_of_an_update_is_minimal_and_exact() {
+        let (design, program, target) = base();
+        let plan = incremental_compile(
+            &design,
+            &program,
+            &[
+                UpdateCmd::Load {
+                    snippet: probe_snippet(),
+                    func: "probe".into(),
+                },
+                UpdateCmd::AddLink {
+                    from: "fib_s".into(),
+                    to: "fp_s".into(),
+                },
+            ],
+            &target,
+            LayoutAlgo::Dp,
+        )
+        .unwrap();
+
+        // Roll the update back by diffing to the checkpoint.
+        let back = design_diff(&plan.design, &design);
+        // Minimal: destroy fp, clear its slot, selector, action removal —
+        // but never touches the fib table (entries survive).
+        assert!(!back
+            .iter()
+            .any(|m| matches!(m, ControlMsg::DestroyTable(t) if t == "fib")));
+        assert!(back
+            .iter()
+            .any(|m| matches!(m, ControlMsg::DestroyTable(t) if t == "fp")));
+        assert!(back.iter().any(|m| matches!(m, ControlMsg::ClearSlot { .. })));
+        assert!(diff_size(&back) <= 8, "rollback too invasive: {back:?}");
+    }
+
+    #[test]
+    fn header_changes_diffed() {
+        let (design, program, target) = base();
+        let plan = incremental_compile(
+            &design,
+            &program,
+            &[UpdateCmd::LinkHeader {
+                pre: "ipv4".into(),
+                next: "ipv4".into(), // self-link is silly but structural
+                tag: 4,
+            }],
+            &target,
+            LayoutAlgo::Dp,
+        )
+        .unwrap();
+        let back = design_diff(&plan.design, &design);
+        // The diff re-registers ipv4 with its original (link-free) parser.
+        assert!(back
+            .iter()
+            .any(|m| matches!(m, ControlMsg::RegisterHeader(h) if h.name == "ipv4")));
+    }
+}

@@ -1,0 +1,288 @@
+//! rp4fc — the rP4 front-end compiler.
+//!
+//! "rp4fc takes the HLIR, the target-independent output of p4c, as input,
+//! and outputs the semantically equivalent rP4 code" (Sec. 3.2). The
+//! transformation is stage-extraction: every guarded table application in
+//! the HLIR becomes one rP4 `stage` whose parser module lists exactly the
+//! headers the stage touches (distributed on-demand parsing), whose matcher
+//! is the guard + apply, and whose executor maps hit tags to the table's
+//! actions. Parse-graph select edges turn into per-header `implicit parser`
+//! transitions.
+
+use std::collections::BTreeSet;
+
+use p4_lang::ast::ApplyNode;
+use p4_lang::hlir::Hlir;
+use rp4_lang::ast::{
+    ExecTag, Expr, HeaderDecl, MatcherArm, ParserDecl, PredExpr, Program, StageDecl, StructDecl,
+    UserFuncs,
+};
+
+/// Headers referenced by an expression.
+fn expr_headers(e: &Expr, out: &mut BTreeSet<String>, meta_alias: &str) {
+    match e {
+        Expr::Qualified(scope, _) if scope != meta_alias => {
+            out.insert(scope.clone());
+        }
+        Expr::Bin { lhs, rhs, .. } => {
+            expr_headers(lhs, out, meta_alias);
+            expr_headers(rhs, out, meta_alias);
+        }
+        Expr::Hash(inputs) => {
+            for i in inputs {
+                expr_headers(i, out, meta_alias);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Headers referenced by a predicate.
+fn pred_headers(p: &PredExpr, out: &mut BTreeSet<String>, meta_alias: &str) {
+    match p {
+        PredExpr::IsValid(h) => {
+            out.insert(h.clone());
+        }
+        PredExpr::Not(x) => pred_headers(x, out, meta_alias),
+        PredExpr::And(a, b) | PredExpr::Or(a, b) => {
+            pred_headers(a, out, meta_alias);
+            pred_headers(b, out, meta_alias);
+        }
+        PredExpr::Cmp { lhs, rhs, .. } => {
+            expr_headers(lhs, out, meta_alias);
+            expr_headers(rhs, out, meta_alias);
+        }
+    }
+}
+
+/// Headers a stage built from `node` must parse: guard headers, key
+/// headers, and headers its table's actions touch.
+fn stage_parse_set(hlir: &Hlir, node: &ApplyNode) -> Vec<String> {
+    let mut set = BTreeSet::new();
+    if let Some(g) = &node.guard {
+        pred_headers(g, &mut set, "meta");
+    }
+    if let Some(t) = hlir.table(&node.table) {
+        for (e, _) in &t.key {
+            expr_headers(e, &mut set, "meta");
+        }
+        for a in &t.actions {
+            if let Some(ad) = hlir.action(a) {
+                for stmt in &ad.body {
+                    match stmt {
+                        rp4_lang::ast::Stmt::Assign { lval, expr } => {
+                            if lval.scope != "meta" {
+                                set.insert(lval.scope.clone());
+                            }
+                            expr_headers(expr, &mut set, "meta");
+                        }
+                        rp4_lang::ast::Stmt::Call { args, .. } => {
+                            for e in args {
+                                expr_headers(e, &mut set, "meta");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    set.into_iter().collect()
+}
+
+/// Builds the rP4 stage for one HLIR apply node.
+fn node_to_stage(hlir: &Hlir, node: &ApplyNode) -> StageDecl {
+    let table = hlir.table(&node.table);
+    let mut matcher = vec![MatcherArm {
+        guard: node.guard.clone(),
+        table: Some(node.table.clone()),
+    }];
+    if node.guard.is_some() {
+        matcher.push(MatcherArm {
+            guard: None,
+            table: None,
+        });
+    }
+    let mut executor = Vec::new();
+    if let Some(t) = table {
+        for (i, a) in t.actions.iter().enumerate() {
+            executor.push((ExecTag::Tag((i + 1) as u32), a.clone(), vec![]));
+        }
+        let default = t
+            .default_action
+            .clone()
+            .unwrap_or(("NoAction".to_string(), vec![]));
+        executor.push((ExecTag::Default, default.0, default.1));
+    } else {
+        executor.push((ExecTag::Default, "NoAction".to_string(), vec![]));
+    }
+    StageDecl {
+        name: node.table.clone(),
+        parser: stage_parse_set(hlir, node),
+        matcher,
+        executor,
+    }
+}
+
+/// Transforms HLIR into a semantically equivalent rP4 program.
+///
+/// `func_name` names the single user function grouping all generated stages
+/// (the base design loads as one function; later in-situ updates add more).
+pub fn rp4fc(hlir: &Hlir, func_name: &str) -> Program {
+    let mut prog = Program::default();
+
+    // Headers with their implicit parsers reconstructed from parse edges.
+    for h in &hlir.headers {
+        let edges: Vec<_> = hlir.parse_edges.iter().filter(|e| e.pre == h.name).collect();
+        let parser = if edges.is_empty() {
+            None
+        } else {
+            Some(ParserDecl {
+                selector: vec![edges[0].selector.clone()],
+                transitions: edges.iter().map(|e| (e.tag, e.next.clone())).collect(),
+            })
+        };
+        prog.headers.push(HeaderDecl {
+            name: h.name.clone(),
+            fields: h.fields.clone(),
+            parser,
+            var_len: None,
+        });
+    }
+
+    if !hlir.metadata.is_empty() {
+        prog.structs.push(StructDecl {
+            name: "metadata_t".into(),
+            fields: hlir.metadata.clone(),
+            alias: Some("meta".into()),
+        });
+    }
+
+    prog.actions = hlir.actions.clone();
+    prog.tables = hlir.tables.clone();
+
+    for node in &hlir.ingress {
+        prog.ingress.push(node_to_stage(hlir, node));
+    }
+    for node in &hlir.egress {
+        prog.egress.push(node_to_stage(hlir, node));
+    }
+
+    let stages: Vec<String> = prog.stages().map(|s| s.name.clone()).collect();
+    prog.user_funcs = Some(UserFuncs {
+        funcs: vec![(func_name.to_string(), stages)],
+        ingress_entry: prog.ingress.first().map(|s| s.name.clone()),
+        egress_entry: prog.egress.first().map(|s| s.name.clone()),
+    });
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4_lang::{build_hlir, parse_p4};
+
+    const SRC: &str = r#"
+        header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+        header ipv4_t { bit<8> ttl; bit<8> protocol; bit<16> hdr_checksum;
+                        bit<32> srcAddr; bit<32> dstAddr; }
+        struct metadata { bit<16> nexthop; bit<16> bd; }
+        struct headers { ethernet_t ethernet; ipv4_t ipv4; }
+        parser P(packet_in packet) {
+            state start { transition parse_ethernet; }
+            state parse_ethernet {
+                packet.extract(hdr.ethernet);
+                transition select(hdr.ethernet.etherType) {
+                    0x800: parse_ipv4;
+                    default: accept;
+                }
+            }
+            state parse_ipv4 { packet.extract(hdr.ipv4); transition accept; }
+        }
+        control I(inout headers hdr) {
+            action set_nh(bit<16> nh) { meta.nexthop = nh; }
+            table fib {
+                key = { hdr.ipv4.dstAddr: lpm; }
+                actions = { set_nh; NoAction; }
+                size = 1024;
+            }
+            apply { if (hdr.ipv4.isValid()) { fib.apply(); } }
+        }
+        control E(inout headers hdr) {
+            action rw(bit<48> smac) { hdr.ethernet.srcAddr = smac; }
+            table smac_tbl { key = { meta.bd: exact; } actions = { rw; NoAction; } }
+            apply { smac_tbl.apply(); }
+        }
+        V1Switch(P(), I(), E()) main;
+    "#;
+
+    fn compile() -> Program {
+        rp4fc(&build_hlir(&parse_p4(SRC).unwrap()).unwrap(), "base")
+    }
+
+    #[test]
+    fn stages_one_per_apply() {
+        let p = compile();
+        assert_eq!(p.ingress.len(), 1);
+        assert_eq!(p.egress.len(), 1);
+        assert_eq!(p.ingress[0].name, "fib");
+        assert_eq!(p.egress[0].name, "smac_tbl");
+    }
+
+    #[test]
+    fn parse_sets_are_minimal_per_stage() {
+        let p = compile();
+        // fib stage touches ipv4 (guard + key), not ethernet.
+        assert_eq!(p.ingress[0].parser, vec!["ipv4"]);
+        // smac stage touches ethernet (action writes) only.
+        assert_eq!(p.egress[0].parser, vec!["ethernet"]);
+    }
+
+    #[test]
+    fn implicit_parsers_from_parse_graph() {
+        let p = compile();
+        let eth = p.headers.iter().find(|h| h.name == "ethernet").unwrap();
+        let pr = eth.parser.as_ref().unwrap();
+        assert_eq!(pr.selector, vec!["etherType"]);
+        assert_eq!(pr.transitions, vec![(0x800, "ipv4".to_string())]);
+        assert!(p.headers.iter().find(|h| h.name == "ipv4").unwrap().parser.is_none());
+    }
+
+    #[test]
+    fn executor_tags_follow_action_order() {
+        let p = compile();
+        let st = &p.ingress[0];
+        assert_eq!(st.executor.len(), 2);
+        assert!(matches!(st.executor[0], (ExecTag::Tag(1), ref a, _) if a == "set_nh"));
+        assert!(matches!(st.executor[1], (ExecTag::Default, ref a, _) if a == "NoAction"));
+    }
+
+    #[test]
+    fn guarded_stage_gets_fallthrough() {
+        let p = compile();
+        assert_eq!(p.ingress[0].matcher.len(), 2);
+        assert!(p.ingress[0].matcher[0].guard.is_some());
+        assert_eq!(p.ingress[0].matcher[1].table, None);
+        // Unguarded egress apply has a single arm.
+        assert_eq!(p.egress[0].matcher.len(), 1);
+    }
+
+    #[test]
+    fn user_funcs_group_everything() {
+        let p = compile();
+        let uf = p.user_funcs.as_ref().unwrap();
+        assert_eq!(uf.funcs[0].0, "base");
+        assert_eq!(uf.funcs[0].1, vec!["fib", "smac_tbl"]);
+        assert_eq!(uf.ingress_entry.as_deref(), Some("fib"));
+        assert_eq!(uf.egress_entry.as_deref(), Some("smac_tbl"));
+    }
+
+    #[test]
+    fn output_is_semantically_valid_rp4() {
+        let p = compile();
+        rp4_lang::semantic::check(&p, None).unwrap();
+        // And survives a print/parse roundtrip.
+        let printed = rp4_lang::printer::print(&p);
+        let back = rp4_lang::parser::parse(&printed).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,439 @@
+//! Physical TSP slot layout: initial placement and minimal-rewrite
+//! incremental placement.
+//!
+//! Initial layout follows the paper's convention: ingress stages map to the
+//! leftmost TSPs, egress stages to the rightmost, the rest bypassed.
+//!
+//! Incremental updates re-place the new logical order while *minimizing
+//! template rewrites* (each rewrite is a config-path operation during the
+//! pipeline drain). Two algorithms implement the paper's stated tradeoff
+//! ("a trade-off between dynamic programming and greedy algorithm in terms
+//! of the function placement time and the degree of optimization"):
+//!
+//! - [`LayoutAlgo::Dp`] — optimal: for every Traffic-Manager split point, an
+//!   alignment DP keeps the maximum number of already-placed templates;
+//! - [`LayoutAlgo::Greedy`] — first-fit left-to-right, faster but may
+//!   rewrite more slots.
+
+use ipsa_core::pipeline_cfg::{SelectorConfig, SlotRole};
+use ipsa_core::template::TspTemplate;
+
+use crate::lower::LogicalStage;
+
+/// Placement algorithm selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutAlgo {
+    /// Optimal alignment DP.
+    Dp,
+    /// First-fit greedy.
+    Greedy,
+}
+
+/// Layout failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayoutError {
+    /// Explanation.
+    pub msg: String,
+}
+
+impl std::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "layout failed: {}", self.msg)
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// A computed placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Template per physical slot.
+    pub templates: Vec<Option<TspTemplate>>,
+    /// Selector roles per slot.
+    pub selector: SelectorConfig,
+    /// Slots whose template must be (re)written.
+    pub writes: Vec<usize>,
+    /// Slots whose template must be cleared.
+    pub clears: Vec<usize>,
+}
+
+/// Initial layout of merged stages: ingress left-packed, egress
+/// right-packed.
+pub fn initial_layout(
+    groups: &[LogicalStage],
+    slots: usize,
+) -> Result<Placement, LayoutError> {
+    let ingress: Vec<&LogicalStage> = groups.iter().filter(|g| !g.egress).collect();
+    let egress: Vec<&LogicalStage> = groups.iter().filter(|g| g.egress).collect();
+    if ingress.len() + egress.len() > slots {
+        return Err(LayoutError {
+            msg: format!(
+                "design needs {} ingress + {} egress TSPs, pipeline has {slots}",
+                ingress.len(),
+                egress.len()
+            ),
+        });
+    }
+    let mut templates: Vec<Option<TspTemplate>> = vec![None; slots];
+    let mut roles = vec![SlotRole::Bypass; slots];
+    let mut writes = Vec::new();
+    for (i, g) in ingress.iter().enumerate() {
+        templates[i] = Some(g.template.clone());
+        roles[i] = SlotRole::Ingress;
+        writes.push(i);
+    }
+    for (i, g) in egress.iter().enumerate() {
+        let s = slots - egress.len() + i;
+        templates[s] = Some(g.template.clone());
+        roles[s] = SlotRole::Egress;
+        writes.push(s);
+    }
+    Ok(Placement {
+        templates,
+        selector: SelectorConfig { roles },
+        writes,
+        clears: vec![],
+    })
+}
+
+/// Alignment DP: places `seq` into slots `[lo, hi)` in order, minimizing
+/// rewrites against `old`. Returns `(cost, positions)` or `None` if the
+/// region is too small.
+// Index-based loops mirror the recurrence; iterator forms obscure it.
+#[allow(clippy::needless_range_loop)]
+fn align_dp(
+    old: &[Option<TspTemplate>],
+    seq: &[&TspTemplate],
+    lo: usize,
+    hi: usize,
+) -> Option<(usize, Vec<usize>)> {
+    let width = hi.saturating_sub(lo);
+    let n = seq.len();
+    if n > width {
+        return None;
+    }
+    if n == 0 {
+        return Some((0, vec![]));
+    }
+    const INF: usize = usize::MAX / 2;
+    // dp[i][s]: min cost placing seq[..=i] with seq[i] at slot lo+s.
+    let mut dp = vec![vec![INF; width]; n];
+    let mut prev = vec![vec![usize::MAX; width]; n];
+    let cost = |i: usize, s: usize| -> usize {
+        match &old[lo + s] {
+            Some(t) if t == seq[i] => 0,
+            _ => 1,
+        }
+    };
+    for s in 0..width {
+        dp[0][s] = cost(0, s);
+    }
+    for i in 1..n {
+        // best over s' < s of dp[i-1][s'].
+        let mut best = INF;
+        let mut best_s = usize::MAX;
+        for s in 0..width {
+            if s >= 1 && dp[i - 1][s - 1] < best {
+                best = dp[i - 1][s - 1];
+                best_s = s - 1;
+            }
+            if best < INF {
+                let c = best + cost(i, s);
+                if c < dp[i][s] {
+                    dp[i][s] = c;
+                    prev[i][s] = best_s;
+                }
+            }
+        }
+    }
+    let (mut s, &c) = dp[n - 1]
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, &c)| c)
+        .expect("nonempty");
+    if c >= INF {
+        return None;
+    }
+    let mut pos = vec![0usize; n];
+    for i in (0..n).rev() {
+        pos[i] = lo + s;
+        if i > 0 {
+            s = prev[i][s];
+        }
+    }
+    Some((c, pos))
+}
+
+/// Greedy first-fit: walk slots left→right, keeping a slot when it already
+/// holds the wanted template, else writing the first available slot.
+fn align_greedy(
+    old: &[Option<TspTemplate>],
+    seq: &[&TspTemplate],
+    lo: usize,
+    hi: usize,
+) -> Option<(usize, Vec<usize>)> {
+    if seq.len() > hi.saturating_sub(lo) {
+        return None;
+    }
+    let mut cost = 0;
+    let mut pos = Vec::with_capacity(seq.len());
+    let mut s = lo;
+    for (i, t) in seq.iter().enumerate() {
+        // Ensure enough room for the remaining stages.
+        let last_feasible = hi - (seq.len() - i);
+        // Look ahead for an exact match within feasibility.
+        let found = (s..=last_feasible).find(|&x| old[x].as_ref() == Some(*t));
+        match found {
+            Some(x) => {
+                pos.push(x);
+                s = x + 1;
+            }
+            None => {
+                cost += 1;
+                pos.push(s);
+                s += 1;
+            }
+        }
+    }
+    Some((cost, pos))
+}
+
+/// Re-places a full design (new ingress order + new egress order) over an
+/// existing physical layout, minimizing template writes.
+pub fn replace_layout(
+    old: &[Option<TspTemplate>],
+    new_ingress: &[TspTemplate],
+    new_egress: &[TspTemplate],
+    algo: LayoutAlgo,
+) -> Result<Placement, LayoutError> {
+    let slots = old.len();
+    let ing: Vec<&TspTemplate> = new_ingress.iter().collect();
+    let eg: Vec<&TspTemplate> = new_egress.iter().collect();
+    let align = |seq: &[&TspTemplate], lo: usize, hi: usize| match algo {
+        LayoutAlgo::Dp => align_dp(old, seq, lo, hi),
+        LayoutAlgo::Greedy => align_greedy(old, seq, lo, hi),
+    };
+    // Try every TM split point; keep the cheapest feasible plan.
+    let mut best: Option<(usize, Vec<usize>, Vec<usize>, usize)> = None;
+    for split in ing.len()..=slots.saturating_sub(eg.len()) {
+        let Some((ci, pi)) = align(&ing, 0, split) else {
+            continue;
+        };
+        let Some((ce, pe)) = align(&eg, split, slots) else {
+            continue;
+        };
+        let total = ci + ce;
+        if best.as_ref().is_none_or(|(c, _, _, _)| total < *c) {
+            best = Some((total, pi, pe, split));
+        }
+        if matches!(algo, LayoutAlgo::Greedy) {
+            break; // greedy takes the first feasible split
+        }
+    }
+    let Some((_, pi, pe, _)) = best else {
+        return Err(LayoutError {
+            msg: format!(
+                "design needs {} + {} TSPs, pipeline has {slots}",
+                ing.len(),
+                eg.len()
+            ),
+        });
+    };
+    let mut templates: Vec<Option<TspTemplate>> = vec![None; slots];
+    let mut roles = vec![SlotRole::Bypass; slots];
+    let mut writes = Vec::new();
+    for (i, &s) in pi.iter().enumerate() {
+        if old[s].as_ref() != Some(ing[i]) {
+            writes.push(s);
+        }
+        templates[s] = Some(ing[i].clone());
+        roles[s] = SlotRole::Ingress;
+    }
+    for (i, &s) in pe.iter().enumerate() {
+        if old[s].as_ref() != Some(eg[i]) {
+            writes.push(s);
+        }
+        templates[s] = Some(eg[i].clone());
+        roles[s] = SlotRole::Egress;
+    }
+    let clears: Vec<usize> = (0..slots)
+        .filter(|&s| old[s].is_some() && templates[s].is_none())
+        .collect();
+    writes.sort_unstable();
+    Ok(Placement {
+        templates,
+        selector: SelectorConfig { roles },
+        writes,
+        clears,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsa_core::table::ActionCall;
+
+    fn tpl(name: &str) -> TspTemplate {
+        TspTemplate {
+            stage_name: name.into(),
+            func: "f".into(),
+            parse: vec![],
+            branches: vec![],
+            executor: vec![],
+            default_action: ActionCall::no_action(),
+        }
+    }
+
+    fn stage(name: &str, egress: bool) -> LogicalStage {
+        LogicalStage {
+            template: tpl(name),
+            tables: vec![],
+            egress,
+        }
+    }
+
+    #[test]
+    fn initial_layout_packs_edges() {
+        let groups = vec![
+            stage("a", false),
+            stage("b", false),
+            stage("x", true),
+            stage("y", true),
+        ];
+        let p = initial_layout(&groups, 8).unwrap();
+        assert_eq!(p.templates[0].as_ref().unwrap().stage_name, "a");
+        assert_eq!(p.templates[1].as_ref().unwrap().stage_name, "b");
+        assert_eq!(p.templates[6].as_ref().unwrap().stage_name, "x");
+        assert_eq!(p.templates[7].as_ref().unwrap().stage_name, "y");
+        assert_eq!(p.selector.ingress_slots(), vec![0, 1]);
+        assert_eq!(p.selector.egress_slots(), vec![6, 7]);
+        p.selector.validate().unwrap();
+    }
+
+    #[test]
+    fn initial_layout_capacity_error() {
+        let groups: Vec<LogicalStage> = (0..9).map(|i| stage(&format!("s{i}"), false)).collect();
+        assert!(initial_layout(&groups, 8).is_err());
+    }
+
+    /// Inserting one stage into a free slot between neighbours should
+    /// rewrite exactly that slot under DP.
+    #[test]
+    fn dp_insert_writes_one_slot() {
+        let old = vec![
+            Some(tpl("a")),
+            Some(tpl("b")),
+            None,
+            Some(tpl("c")),
+            None,
+            None,
+            None,
+            Some(tpl("z")),
+        ];
+        let new_ing = vec![tpl("a"), tpl("b"), tpl("new"), tpl("c")];
+        let p = replace_layout(&old, &new_ing, &[tpl("z")], LayoutAlgo::Dp).unwrap();
+        assert_eq!(p.writes.len(), 1, "writes: {:?}", p.writes);
+        assert!(p.clears.is_empty());
+        p.selector.validate().unwrap();
+        // Order preserved.
+        let order: Vec<String> = p
+            .templates
+            .iter()
+            .flatten()
+            .map(|t| t.stage_name.clone())
+            .collect();
+        assert_eq!(order, vec!["a", "b", "new", "c", "z"]);
+    }
+
+    /// Greedy rewrites more: inserting before `a` shifts everything.
+    #[test]
+    fn greedy_vs_dp_on_head_insert() {
+        let old = vec![
+            Some(tpl("a")),
+            Some(tpl("b")),
+            Some(tpl("c")),
+            None,
+            None,
+            None,
+        ];
+        let new_ing = vec![tpl("new"), tpl("a"), tpl("b"), tpl("c")];
+        let dp = replace_layout(&old, &new_ing, &[], LayoutAlgo::Dp).unwrap();
+        let gr = replace_layout(&old, &new_ing, &[], LayoutAlgo::Greedy).unwrap();
+        // DP: write "new" into a slot before a? impossible (a at 0), so it
+        // must shift — but shifting right keeps b,c matches: cost 2 (new@0,
+        // a@? ...). Best DP cost here: place new@0(w), a@1(w), keep b? b is
+        // at slot1 in old... DP finds min; greedy should be >= dp.
+        assert!(gr.writes.len() >= dp.writes.len());
+        // Both preserve order.
+        for p in [&dp, &gr] {
+            let order: Vec<String> = p
+                .templates
+                .iter()
+                .flatten()
+                .map(|t| t.stage_name.clone())
+                .collect();
+            assert_eq!(order, vec!["new", "a", "b", "c"]);
+        }
+    }
+
+    /// Deleting a middle stage: DP keeps everything else in place and
+    /// clears one slot.
+    #[test]
+    fn dp_delete_clears_one_slot() {
+        let old = vec![
+            Some(tpl("a")),
+            Some(tpl("b")),
+            Some(tpl("c")),
+            None,
+            Some(tpl("z")),
+        ];
+        let p = replace_layout(&old, &[tpl("a"), tpl("c")], &[tpl("z")], LayoutAlgo::Dp).unwrap();
+        assert_eq!(p.writes.len(), 0);
+        assert_eq!(p.clears, vec![1]);
+        let order: Vec<String> = p
+            .templates
+            .iter()
+            .flatten()
+            .map(|t| t.stage_name.clone())
+            .collect();
+        assert_eq!(order, vec!["a", "c", "z"]);
+    }
+
+    #[test]
+    fn replace_layout_infeasible() {
+        let old = vec![None, None];
+        let r = replace_layout(
+            &old,
+            &[tpl("a"), tpl("b")],
+            &[tpl("c")],
+            LayoutAlgo::Dp,
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn template_content_change_forces_write() {
+        // Same stage name, different template content: must rewrite.
+        let mut changed = tpl("a");
+        changed.parse.push("ipv4".into());
+        let old = vec![Some(tpl("a")), None];
+        let p = replace_layout(&old, &[changed.clone()], &[], LayoutAlgo::Dp).unwrap();
+        assert_eq!(p.writes.len(), 1);
+    }
+
+    #[test]
+    fn ingress_always_precedes_egress() {
+        let old = vec![None; 6];
+        let p = replace_layout(
+            &old,
+            &[tpl("i1"), tpl("i2")],
+            &[tpl("e1"), tpl("e2")],
+            LayoutAlgo::Dp,
+        )
+        .unwrap();
+        p.selector.validate().unwrap();
+        let li = *p.selector.ingress_slots().last().unwrap();
+        let fe = p.selector.egress_slots()[0];
+        assert!(li < fe);
+    }
+}

@@ -1,0 +1,466 @@
+//! Lowering: rP4 AST nodes → core template data.
+//!
+//! Converts expressions, predicates, actions, tables, and stages from the
+//! language-level AST (`rp4_lang::ast`) into the interpretable template
+//! structures of `ipsa_core`. This is the semantic heart of rp4bc: after
+//! lowering, a stage is pure data a TSP can execute.
+
+use ipsa_core::action::{ActionDef, AluOp, Primitive};
+use ipsa_core::predicate::{CmpOp, Predicate};
+use ipsa_core::table::{ActionCall, KeyField, MatchKind, TableDef};
+use ipsa_core::template::{MatcherBranch, TspTemplate};
+use ipsa_core::value::{LValueRef, ValueRef};
+use rp4_lang::ast::{
+    ActionDecl, BinOp, CmpOpAst, ExecTag, Expr, KeyKind, PredExpr, StageDecl, Stmt, TableDecl,
+};
+use rp4_lang::semantic::Env;
+
+/// Lowering error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError {
+    /// Explanation.
+    pub msg: String,
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lowering error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, LowerError> {
+    Err(LowerError { msg: msg.into() })
+}
+
+/// Lowers a simple (operand-shaped) expression to a [`ValueRef`].
+fn lower_operand(env: &Env, params: &[(String, usize)], e: &Expr) -> Result<ValueRef, LowerError> {
+    match e {
+        Expr::Int(v) => Ok(ValueRef::Const(*v)),
+        Expr::Qualified(scope, field) => {
+            if scope == &env.meta_alias {
+                Ok(ValueRef::Meta(field.clone()))
+            } else if env.headers.contains_key(scope) {
+                Ok(ValueRef::field(scope.clone(), field.clone()))
+            } else {
+                err(format!("unresolved reference `{scope}.{field}`"))
+            }
+        }
+        Expr::Ident(name) => match params.iter().position(|(p, _)| p == name) {
+            Some(i) => Ok(ValueRef::Param(i)),
+            None => err(format!("`{name}` is not a parameter")),
+        },
+        other => err(format!("expression too complex for operand position: {other:?}")),
+    }
+}
+
+/// Lowers an assignment `dst = expr`, emitting one or more primitives
+/// (nested expressions spill through scratch metadata fields `__t<n>`).
+fn lower_assign(
+    env: &Env,
+    params: &[(String, usize)],
+    dst: LValueRef,
+    e: &Expr,
+    out: &mut Vec<Primitive>,
+    tmp: &mut usize,
+) -> Result<(), LowerError> {
+    match e {
+        Expr::Int(_) | Expr::Qualified(_, _) | Expr::Ident(_) => {
+            out.push(Primitive::Set {
+                dst,
+                src: lower_operand(env, params, e)?,
+            });
+            Ok(())
+        }
+        Expr::Hash(inputs) => {
+            let mut ins = Vec::with_capacity(inputs.len());
+            for i in inputs {
+                ins.push(lower_value(env, params, i, out, tmp)?);
+            }
+            out.push(Primitive::Hash {
+                dst,
+                inputs: ins,
+                modulo: 0,
+            });
+            Ok(())
+        }
+        Expr::Bin { op, lhs, rhs } => {
+            // `hash(...) % N` fuses into the hash primitive.
+            if *op == BinOp::Mod {
+                if let (Expr::Hash(inputs), Expr::Int(m)) = (&**lhs, &**rhs) {
+                    let mut ins = Vec::with_capacity(inputs.len());
+                    for i in inputs {
+                        ins.push(lower_value(env, params, i, out, tmp)?);
+                    }
+                    out.push(Primitive::Hash {
+                        dst,
+                        inputs: ins,
+                        modulo: *m as u64,
+                    });
+                    return Ok(());
+                }
+            }
+            let aop = match op {
+                BinOp::Add => AluOp::Add,
+                BinOp::Sub => AluOp::Sub,
+                BinOp::And => AluOp::And,
+                BinOp::Or => AluOp::Or,
+                BinOp::Xor => AluOp::Xor,
+                BinOp::Shl => AluOp::Shl,
+                BinOp::Shr => AluOp::Shr,
+                BinOp::Mod => return err("general `%` unsupported outside hash reduction"),
+            };
+            let a = lower_value(env, params, lhs, out, tmp)?;
+            let b = lower_value(env, params, rhs, out, tmp)?;
+            out.push(Primitive::Alu { op: aop, dst, a, b });
+            Ok(())
+        }
+    }
+}
+
+/// Lowers an arbitrary expression to an operand, spilling compound
+/// subexpressions through scratch metadata.
+fn lower_value(
+    env: &Env,
+    params: &[(String, usize)],
+    e: &Expr,
+    out: &mut Vec<Primitive>,
+    tmp: &mut usize,
+) -> Result<ValueRef, LowerError> {
+    match e {
+        Expr::Int(_) | Expr::Qualified(_, _) | Expr::Ident(_) => lower_operand(env, params, e),
+        _ => {
+            let name = format!("__t{tmp}");
+            *tmp += 1;
+            lower_assign(env, params, LValueRef::Meta(name.clone()), e, out, tmp)?;
+            Ok(ValueRef::Meta(name))
+        }
+    }
+}
+
+/// Lowers an action declaration to an [`ActionDef`].
+pub fn lower_action(env: &Env, a: &ActionDecl) -> Result<ActionDef, LowerError> {
+    let mut body = Vec::new();
+    let mut tmp = 0usize;
+    for stmt in &a.body {
+        match stmt {
+            Stmt::Assign { lval, expr } => {
+                let dst = if lval.scope == env.meta_alias {
+                    LValueRef::Meta(lval.field.clone())
+                } else {
+                    LValueRef::field(lval.scope.clone(), lval.field.clone())
+                };
+                lower_assign(env, &a.params, dst, expr, &mut body, &mut tmp)?;
+            }
+            Stmt::Call { name, args } => {
+                let operand = |i: usize| -> Result<ValueRef, LowerError> {
+                    lower_operand(env, &a.params, &args[i])
+                };
+                let prim = match name.as_str() {
+                    "drop" => Primitive::Drop,
+                    "forward" => Primitive::Forward { port: operand(0)? },
+                    "mark" => Primitive::Mark { value: operand(0)? },
+                    "mark_if_count_over" => Primitive::MarkIfCounterOver {
+                        threshold: operand(0)?,
+                    },
+                    "dec_ttl_v4" => Primitive::DecTtlV4,
+                    "dec_hop_limit_v6" => Primitive::DecHopLimitV6,
+                    "refresh_ipv4_checksum" => Primitive::RefreshIpv4Checksum,
+                    "srv6_advance" => Primitive::Srv6Advance,
+                    "count" => Primitive::NoAction,
+                    "remove_header" => match &args[0] {
+                        Expr::Ident(h) => Primitive::RemoveHeader { header: h.clone() },
+                        other => return err(format!("remove_header needs a header name, got {other:?}")),
+                    },
+                    other => return err(format!("unknown builtin `{other}`")),
+                };
+                body.push(prim);
+            }
+        }
+    }
+    Ok(ActionDef {
+        name: a.name.clone(),
+        params: a.params.clone(),
+        body,
+    })
+}
+
+/// Lowers a predicate expression to a core [`Predicate`].
+pub fn lower_pred(env: &Env, p: &PredExpr) -> Result<Predicate, LowerError> {
+    Ok(match p {
+        PredExpr::IsValid(h) => Predicate::IsValid(h.clone()),
+        PredExpr::Not(x) => Predicate::Not(Box::new(lower_pred(env, x)?)),
+        PredExpr::And(a, b) => Predicate::And(
+            Box::new(lower_pred(env, a)?),
+            Box::new(lower_pred(env, b)?),
+        ),
+        PredExpr::Or(a, b) => Predicate::Or(
+            Box::new(lower_pred(env, a)?),
+            Box::new(lower_pred(env, b)?),
+        ),
+        PredExpr::Cmp { lhs, op, rhs } => Predicate::Cmp {
+            lhs: lower_operand(env, &[], lhs)?,
+            op: match op {
+                CmpOpAst::Eq => CmpOp::Eq,
+                CmpOpAst::Ne => CmpOp::Ne,
+                CmpOpAst::Lt => CmpOp::Lt,
+                CmpOpAst::Le => CmpOp::Le,
+                CmpOpAst::Gt => CmpOp::Gt,
+                CmpOpAst::Ge => CmpOp::Ge,
+            },
+            rhs: lower_operand(env, &[], rhs)?,
+        },
+    })
+}
+
+/// Lowers a table declaration to a [`TableDef`].
+pub fn lower_table(env: &Env, t: &TableDecl) -> Result<TableDef, LowerError> {
+    let mut key = Vec::with_capacity(t.key.len());
+    for (e, kind) in &t.key {
+        let source = lower_operand(env, &[], e)?;
+        let bits = match e {
+            Expr::Qualified(scope, field) => env
+                .width_of(scope, field)
+                .ok_or_else(|| LowerError {
+                    msg: format!("unknown width of `{scope}.{field}`"),
+                })?,
+            other => return err(format!("table key must be a field reference, got {other:?}")),
+        };
+        key.push(KeyField {
+            source,
+            bits,
+            kind: match kind {
+                KeyKind::Exact => MatchKind::Exact,
+                KeyKind::Lpm => MatchKind::Lpm,
+                KeyKind::Ternary => MatchKind::Ternary,
+                KeyKind::Hash => MatchKind::Hash,
+            },
+        });
+    }
+    let default_action = match &t.default_action {
+        Some((a, args)) => ActionCall::new(a.clone(), args.clone()),
+        None => ActionCall::no_action(),
+    };
+    Ok(TableDef {
+        name: t.name.clone(),
+        key,
+        size: t.size.unwrap_or(1024),
+        actions: t.actions.clone(),
+        default_action,
+        with_counters: t.counters,
+    })
+}
+
+/// A lowered logical stage: a TSP template plus bookkeeping the layout
+/// passes need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicalStage {
+    /// The executable template.
+    pub template: TspTemplate,
+    /// Tables this stage applies.
+    pub tables: Vec<String>,
+    /// True when the stage came from the egress control.
+    pub egress: bool,
+}
+
+/// Lowers a stage declaration.
+pub fn lower_stage(
+    env: &Env,
+    st: &StageDecl,
+    func: &str,
+    egress: bool,
+) -> Result<LogicalStage, LowerError> {
+    let mut branches = Vec::new();
+    for arm in &st.matcher {
+        let pred = match &arm.guard {
+            Some(g) => lower_pred(env, g)?,
+            None => Predicate::True,
+        };
+        branches.push(MatcherBranch {
+            pred,
+            table: arm.table.clone(),
+        });
+    }
+    let mut executor = Vec::new();
+    let mut default_action = ActionCall::no_action();
+    for (tag, action, args) in &st.executor {
+        match tag {
+            ExecTag::Tag(n) => executor.push((*n, ActionCall::new(action.clone(), args.clone()))),
+            ExecTag::Default => default_action = ActionCall::new(action.clone(), args.clone()),
+        }
+    }
+    let tables = branches
+        .iter()
+        .filter_map(|b| b.table.clone())
+        .collect::<Vec<_>>();
+    Ok(LogicalStage {
+        template: TspTemplate {
+            stage_name: st.name.clone(),
+            func: func.to_string(),
+            parse: st.parser.clone(),
+            branches,
+            executor,
+            default_action,
+        },
+        tables,
+        egress,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp4_lang::parser::parse;
+    use rp4_lang::semantic::check;
+
+    fn env_and(src: &str) -> (Env, rp4_lang::ast::Program) {
+        let base = parse(
+            r#"
+            headers {
+                header ethernet { bit<48> dst_addr; bit<48> src_addr; bit<16> ethertype; }
+                header ipv4 { bit<8> ttl; bit<8> protocol; bit<16> hdr_checksum;
+                              bit<32> src_addr; bit<32> dst_addr; }
+                header udp { bit<16> src_port; bit<16> dst_port; }
+            }
+            structs { struct m_t { bit<16> nexthop; bit<16> bd; bit<16> idx; } meta; }
+        "#,
+        )
+        .unwrap();
+        let prog = parse(src).unwrap();
+        let env = check(&prog, Some(&base)).unwrap();
+        (env, prog)
+    }
+
+    #[test]
+    fn lowers_fig5a_action() {
+        let (env, prog) = env_and(
+            r#"
+            action set_bd_dmac(bit<16> bd, bit<48> dmac) {
+                meta.bd = bd;
+                ethernet.dst_addr = dmac;
+            }
+        "#,
+        );
+        let a = lower_action(&env, &prog.actions[0]).unwrap();
+        assert_eq!(a.params.len(), 2);
+        assert_eq!(
+            a.body,
+            vec![
+                Primitive::Set {
+                    dst: LValueRef::Meta("bd".into()),
+                    src: ValueRef::Param(0),
+                },
+                Primitive::Set {
+                    dst: LValueRef::field("ethernet", "dst_addr"),
+                    src: ValueRef::Param(1),
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn lowers_hash_mod_fusion() {
+        let (env, prog) = env_and(
+            r#"
+            action pick() { meta.idx = hash(ipv4.src_addr, udp.src_port) % 8; }
+        "#,
+        );
+        let a = lower_action(&env, &prog.actions[0]).unwrap();
+        assert_eq!(a.body.len(), 1);
+        assert!(matches!(&a.body[0], Primitive::Hash { modulo: 8, inputs, .. }
+            if inputs.len() == 2));
+    }
+
+    #[test]
+    fn lowers_nested_arith_with_spill() {
+        let (env, prog) = env_and(
+            r#"
+            action f(bit<8> x) { meta.idx = (hash(ipv4.src_addr) % 4) + x; }
+        "#,
+        );
+        let a = lower_action(&env, &prog.actions[0]).unwrap();
+        // Hash spills to a scratch meta, then the ALU add consumes it.
+        assert_eq!(a.body.len(), 2);
+        assert!(matches!(&a.body[0], Primitive::Hash { .. }));
+        assert!(matches!(&a.body[1], Primitive::Alu { op: AluOp::Add, .. }));
+    }
+
+    #[test]
+    fn lowers_builtins() {
+        let (env, prog) = env_and(
+            r#"
+            action all(bit<16> p) {
+                forward(p);
+                dec_ttl_v4();
+                mark_if_count_over(100);
+                srv6_advance();
+                drop();
+            }
+        "#,
+        );
+        let a = lower_action(&env, &prog.actions[0]).unwrap();
+        assert_eq!(a.body.len(), 5);
+        assert!(matches!(a.body[0], Primitive::Forward { .. }));
+        assert!(matches!(a.body[3], Primitive::Srv6Advance));
+    }
+
+    #[test]
+    fn lowers_table_with_widths() {
+        let (env, prog) = env_and(
+            r#"
+            action a() { drop(); }
+            table fib {
+                key = { meta.nexthop: exact; ipv4.dst_addr: lpm; }
+                actions = { a; }
+                size = 2048;
+                counters = true;
+            }
+        "#,
+        );
+        let t = lower_table(&env, &prog.tables[0]).unwrap();
+        assert_eq!(t.key[0].bits, 16);
+        assert_eq!(t.key[1].bits, 32);
+        assert_eq!(t.key[1].kind, MatchKind::Lpm);
+        assert_eq!(t.size, 2048);
+        assert!(t.with_counters);
+    }
+
+    #[test]
+    fn lowers_stage_to_template() {
+        let (env, prog) = env_and(
+            r#"
+            table t4 { key = { ipv4.dst_addr: exact; } actions = { NoAction; } }
+            stage s {
+                parser { ipv4; }
+                matcher {
+                    if (ipv4.isValid()) t4.apply();
+                    else;
+                }
+                executor { 1: NoAction; default: NoAction; }
+            }
+        "#,
+        );
+        let st = prog.stage("s").unwrap();
+        let ls = lower_stage(&env, st, "base", false).unwrap();
+        assert_eq!(ls.template.stage_name, "s");
+        assert_eq!(ls.tables, vec!["t4"]);
+        assert_eq!(ls.template.branches.len(), 2);
+        assert!(matches!(
+            ls.template.branches[0].pred,
+            Predicate::IsValid(_)
+        ));
+        assert_eq!(ls.template.branches[1].pred, Predicate::True);
+        assert!(!ls.egress);
+    }
+
+    #[test]
+    fn unresolved_reference_fails() {
+        let base = parse("structs { struct m { bit<8> x; } meta; }").unwrap();
+        let prog = parse("action a() { meta.x = ghost.field; }").unwrap();
+        // Semantic check would catch this too; lowering must also be safe.
+        let env = Env::build(Some(&base), &prog);
+        let e = lower_action(&env, &prog.actions[0]).unwrap_err();
+        assert!(e.msg.contains("ghost"));
+    }
+}

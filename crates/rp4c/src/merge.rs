@@ -1,0 +1,317 @@
+//! Predicate-aware stage merging.
+//!
+//! rp4bc "optimizes the predicates to merge some independent stages into a
+//! single TSP" (Sec. 3.2) — e.g. the IPv4 and IPv6 FIB stages are guarded
+//! by mutually exclusive validity predicates, so one TSP can host both
+//! tables and still perform at most one lookup per packet.
+//!
+//! Merge conditions for adjacent stages `a`, `b`:
+//! 1. same pipeline side (both ingress or both egress);
+//! 2. every pair of table-applying branches across the two stages has
+//!    provably mutually exclusive predicates — then at most one lookup and
+//!    one action fire per packet, so action-vs-action conflicts cannot
+//!    manifest;
+//! 3. `b`'s *guards* read nothing `a`'s actions write (merging moves `b`'s
+//!    guard evaluation before `a`'s action, which would otherwise change
+//!    its outcome);
+//! 4. executors are compatible (no tag maps to two different actions);
+//! 5. the merged TSP stays within the per-TSP table budget.
+
+use std::collections::BTreeMap;
+
+use ipsa_core::action::ActionDef;
+use ipsa_core::table::TableDef;
+
+use crate::depgraph::{resource_conflict, stage_action_writes, stage_pred_reads};
+use crate::lower::LogicalStage;
+
+/// Per-TSP capacity limits (hardware template size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeLimits {
+    /// Max tables one TSP may host.
+    pub max_tables: usize,
+    /// Max matcher branches (with tables) per TSP.
+    pub max_branches: usize,
+}
+
+impl Default for MergeLimits {
+    fn default() -> Self {
+        MergeLimits {
+            max_tables: 4,
+            max_branches: 8,
+        }
+    }
+}
+
+fn executors_compatible(a: &LogicalStage, b: &LogicalStage) -> bool {
+    for (ta, ca) in &a.template.executor {
+        for (tb, cb) in &b.template.executor {
+            if ta == tb && ca != cb {
+                return false;
+            }
+        }
+    }
+    // Default actions must agree (there is one miss path per TSP).
+    a.template.default_action == b.template.default_action
+}
+
+fn branches_exclusive(a: &LogicalStage, b: &LogicalStage) -> bool {
+    for ba in a.template.branches.iter().filter(|x| x.table.is_some()) {
+        for bb in b.template.branches.iter().filter(|x| x.table.is_some()) {
+            if !ba.pred.mutually_exclusive(&bb.pred) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Merges `b` into `a` (in place), producing the combined TSP program.
+fn merge_into(a: &mut LogicalStage, b: &LogicalStage) {
+    a.template.stage_name = format!("{}+{}", a.template.stage_name, b.template.stage_name);
+    // No-table fallthrough arms are no-ops; strip them so first-match
+    // semantics across the concatenated branch lists stays correct.
+    a.template.branches.retain(|x| x.table.is_some());
+    a.template
+        .branches
+        .extend(b.template.branches.iter().filter(|x| x.table.is_some()).cloned());
+    for h in &b.template.parse {
+        if !a.template.parse.contains(h) {
+            a.template.parse.push(h.clone());
+        }
+    }
+    for (tag, call) in &b.template.executor {
+        if !a.template.executor.iter().any(|(t, _)| t == tag) {
+            a.template.executor.push((*tag, call.clone()));
+        }
+    }
+    a.tables.extend(b.tables.iter().cloned());
+}
+
+/// Outcome of the merge pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeReport {
+    /// Stage count before merging.
+    pub before: usize,
+    /// TSP count after merging.
+    pub after: usize,
+    /// Names of the merged TSPs (`a+b` style) that absorbed >1 stage.
+    pub merged_groups: Vec<String>,
+}
+
+/// Greedy adjacent-stage merge pass. Returns merged TSP programs in
+/// pipeline order plus a report.
+pub fn merge_stages(
+    stages: Vec<LogicalStage>,
+    tables: &BTreeMap<String, TableDef>,
+    actions: &BTreeMap<String, ActionDef>,
+    limits: MergeLimits,
+) -> (Vec<LogicalStage>, MergeReport) {
+    let before = stages.len();
+    let mut out: Vec<LogicalStage> = Vec::new();
+    for s in stages {
+        let can_merge = out.last().is_some_and(|last: &LogicalStage| {
+            last.egress == s.egress
+                && last.tables.len() + s.tables.len() <= limits.max_tables
+                && last
+                    .template
+                    .branches
+                    .iter()
+                    .filter(|b| b.table.is_some())
+                    .count()
+                    + s.template.branches.iter().filter(|b| b.table.is_some()).count()
+                    <= limits.max_branches
+                && executors_compatible(last, &s)
+                && branches_exclusive(last, &s)
+                && !resource_conflict(
+                    &stage_action_writes(last, tables, actions),
+                    &stage_pred_reads(&s),
+                )
+        });
+        if can_merge {
+            merge_into(out.last_mut().expect("checked"), &s);
+        } else {
+            out.push(s);
+        }
+    }
+    let merged_groups = out
+        .iter()
+        .filter(|s| s.template.stage_name.contains('+'))
+        .map(|s| s.template.stage_name.clone())
+        .collect();
+    let after = out.len();
+    (
+        out,
+        MergeReport {
+            before,
+            after,
+            merged_groups,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsa_core::predicate::Predicate;
+    use ipsa_core::table::{ActionCall, KeyField, MatchKind};
+    use ipsa_core::template::{MatcherBranch, TspTemplate};
+    use ipsa_core::value::ValueRef;
+
+    fn table(name: &str, key: ValueRef, action: &str) -> TableDef {
+        TableDef {
+            name: name.into(),
+            key: vec![KeyField {
+                source: key,
+                bits: 32,
+                kind: MatchKind::Exact,
+            }],
+            size: 16,
+            actions: vec![action.into()],
+            default_action: ActionCall::no_action(),
+            with_counters: false,
+        }
+    }
+
+    fn guarded_stage(name: &str, header: &str, tbl: &str) -> LogicalStage {
+        LogicalStage {
+            template: TspTemplate {
+                stage_name: name.into(),
+                func: "f".into(),
+                parse: vec![header.into()],
+                branches: vec![
+                    MatcherBranch {
+                        pred: Predicate::IsValid(header.into()),
+                        table: Some(tbl.into()),
+                    },
+                    MatcherBranch {
+                        pred: Predicate::True,
+                        table: None,
+                    },
+                ],
+                executor: vec![(1, ActionCall::new("set_nh", vec![]))],
+                default_action: ActionCall::no_action(),
+            },
+            tables: vec![tbl.into()],
+            egress: false,
+        }
+    }
+
+    fn registries() -> (BTreeMap<String, TableDef>, BTreeMap<String, ActionDef>) {
+        let mut tables = BTreeMap::new();
+        tables.insert(
+            "fib4".to_string(),
+            table("fib4", ValueRef::field("ipv4", "dst_addr"), "set_nh"),
+        );
+        tables.insert(
+            "fib6".to_string(),
+            table("fib6", ValueRef::field("ipv6", "dst_addr"), "set_nh"),
+        );
+        let mut actions = BTreeMap::new();
+        actions.insert("NoAction".to_string(), ActionDef::no_action());
+        actions.insert(
+            "set_nh".to_string(),
+            ActionDef {
+                name: "set_nh".into(),
+                params: vec![("nh".into(), 16)],
+                body: vec![ipsa_core::action::Primitive::Set {
+                    dst: ipsa_core::value::LValueRef::Meta("nexthop".into()),
+                    src: ValueRef::Param(0),
+                }],
+            },
+        );
+        (tables, actions)
+    }
+
+    /// The paper's K/L case: independent v4/v6 ECMP-style stages with
+    /// exclusive guards merge into one TSP.
+    #[test]
+    fn v4_v6_guarded_pair_merges() {
+        let (tables, actions) = registries();
+        let a = guarded_stage("fib4_s", "ipv4", "fib4");
+        let mut b = guarded_stage("fib6_s", "ipv6", "fib6");
+        // Make guards provably exclusive, as rp4fc's else-if chains do:
+        // b's guard is !v4 && v6.
+        b.template.branches[0].pred = Predicate::and(
+            Predicate::Not(Box::new(Predicate::IsValid("ipv4".into()))),
+            Predicate::IsValid("ipv6".into()),
+        );
+        // Both write meta.nexthop (WAW), but exclusive guards mean at most
+        // one action runs per packet, so the merge is sound and taken.
+        let (merged, report) = merge_stages(vec![a, b], &tables, &actions, MergeLimits::default());
+        assert_eq!(report.before, 2);
+        assert_eq!(report.after, 1, "merged: {:?}", report.merged_groups);
+        assert_eq!(merged[0].template.stage_name, "fib4_s+fib6_s");
+        assert_eq!(merged[0].tables, vec!["fib4", "fib6"]);
+        // Fallthrough no-op arms were stripped; both table branches remain.
+        assert_eq!(merged[0].template.branches.len(), 2);
+    }
+
+    #[test]
+    fn guard_reading_earlier_write_blocks_merge() {
+        let (tables, actions) = registries();
+        // s1's action writes meta.nexthop; s2's *guard* tests it. Merging
+        // would evaluate s2's guard before s1's action — changed semantics,
+        // so the merge must be vetoed even though guards are exclusive.
+        let a = guarded_stage("s1", "ipv4", "fib4");
+        let mut b = guarded_stage("s2", "ipv6", "fib6");
+        b.template.branches[0].pred = Predicate::and(
+            Predicate::Not(Box::new(Predicate::IsValid("ipv4".into()))),
+            Predicate::eq(ValueRef::Meta("nexthop".into()), ValueRef::Const(0)),
+        );
+        let (_, report) = merge_stages(vec![a, b], &tables, &actions, MergeLimits::default());
+        assert_eq!(report.after, 2);
+    }
+
+    #[test]
+    fn non_exclusive_guards_do_not_merge() {
+        let (mut tables, actions) = registries();
+        tables.insert(
+            "other".to_string(),
+            table("other", ValueRef::field("udp", "dst_port"), "set_nh"),
+        );
+        let a = guarded_stage("s1", "ipv4", "fib4");
+        let b = guarded_stage("s2", "udp", "other"); // IsValid(udp) not exclusive with IsValid(ipv4)
+        let (_, report) = merge_stages(vec![a, b], &tables, &actions, MergeLimits::default());
+        assert_eq!(report.after, 2);
+    }
+
+    #[test]
+    fn egress_never_merges_with_ingress() {
+        let (tables, actions) = registries();
+        let a = guarded_stage("s1", "ipv4", "fib4");
+        let mut b = guarded_stage("s2", "ipv6", "fib6");
+        b.template.branches[0].pred =
+            Predicate::Not(Box::new(Predicate::IsValid("ipv4".into())));
+        b.egress = true;
+        let (_, report) = merge_stages(vec![a, b], &tables, &actions, MergeLimits::default());
+        assert_eq!(report.after, 2);
+    }
+
+    #[test]
+    fn table_budget_respected() {
+        let (tables, actions) = registries();
+        let a = guarded_stage("s1", "ipv4", "fib4");
+        let mut b = guarded_stage("s2", "ipv6", "fib6");
+        b.template.branches[0].pred =
+            Predicate::Not(Box::new(Predicate::IsValid("ipv4".into())));
+        let limits = MergeLimits {
+            max_tables: 1,
+            max_branches: 8,
+        };
+        let (_, report) = merge_stages(vec![a, b], &tables, &actions, limits);
+        assert_eq!(report.after, 2);
+    }
+
+    #[test]
+    fn incompatible_executors_do_not_merge() {
+        let (tables, actions) = registries();
+        let a = guarded_stage("s1", "ipv4", "fib4");
+        let mut b = guarded_stage("s2", "ipv6", "fib6");
+        b.template.branches[0].pred =
+            Predicate::Not(Box::new(Predicate::IsValid("ipv4".into())));
+        b.template.executor = vec![(1, ActionCall::new("NoAction", vec![]))];
+        let (_, report) = merge_stages(vec![a, b], &tables, &actions, MergeLimits::default());
+        assert_eq!(report.after, 2);
+    }
+}

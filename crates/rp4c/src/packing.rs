@@ -1,0 +1,420 @@
+//! Table → memory-block placement (the set-packing solver).
+//!
+//! The paper formulates mapping tables into the disaggregated pool as a
+//! set-packing problem, NP-complete, and embeds the YALMIP integer solver
+//! to obtain a heuristic solution. We substitute a native pair of solvers
+//! over the same objective:
+//!
+//! - [`pack_greedy`]: first-fit-decreasing over contiguous free runs — fast,
+//!   a heuristic like the paper's;
+//! - [`pack_branch_bound`]: exact branch-and-bound (with a node budget)
+//!   minimizing total *fragmentation* (number of non-contiguous runs across
+//!   all tables), seeded by the greedy solution.
+//!
+//! Fragmentation is the natural cost here: a table split across scattered
+//! blocks needs more crossbar ports and wiring (the hwmodel charges for
+//! it). Cluster constraints (clustered crossbars) restrict each table to
+//! the block cluster of the TSP that references it.
+
+use std::collections::BTreeMap;
+
+use ipsa_core::memory::BlockKind;
+
+/// One table's placement request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackRequest {
+    /// Table name.
+    pub table: String,
+    /// Required block technology.
+    pub kind: BlockKind,
+    /// Blocks needed (`⌈W/w⌉ × ⌈D/d⌉`).
+    pub blocks: usize,
+    /// Memory cluster the table must live in (clustered crossbars), if any.
+    pub cluster: Option<usize>,
+}
+
+/// A placement solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackSolution {
+    /// Table → block ids.
+    pub assignment: BTreeMap<String, Vec<usize>>,
+    /// Total fragmentation (count of contiguous runs over all tables; the
+    /// minimum possible equals the number of tables).
+    pub fragmentation: usize,
+    /// Search nodes explored (1 for greedy).
+    pub nodes: usize,
+}
+
+/// Packing failure: not enough blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackError {
+    /// Explanation.
+    pub msg: String,
+}
+
+impl std::fmt::Display for PackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "packing failed: {}", self.msg)
+    }
+}
+
+impl std::error::Error for PackError {}
+
+/// Free blocks available to the packer, by kind, with an optional cluster
+/// label per block.
+#[derive(Debug, Clone, Default)]
+pub struct FreeBlocks {
+    /// Free SRAM block ids (ascending).
+    pub sram: Vec<usize>,
+    /// Free TCAM block ids (ascending).
+    pub tcam: Vec<usize>,
+    /// Cluster of each block id (empty = unclustered).
+    pub cluster_of: BTreeMap<usize, usize>,
+}
+
+impl FreeBlocks {
+    fn pool(&self, kind: BlockKind) -> &[usize] {
+        match kind {
+            BlockKind::Sram => &self.sram,
+            BlockKind::Tcam => &self.tcam,
+        }
+    }
+}
+
+/// Splits an ascending id list into maximal contiguous runs.
+fn runs(ids: &[usize]) -> Vec<Vec<usize>> {
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    for &id in ids {
+        match out.last_mut() {
+            Some(run) if *run.last().expect("nonempty") + 1 == id => run.push(id),
+            _ => out.push(vec![id]),
+        }
+    }
+    out
+}
+
+/// Number of contiguous runs in an assignment (the fragmentation of one
+/// table's blocks).
+pub fn fragmentation_of(ids: &[usize]) -> usize {
+    runs(ids).len()
+}
+
+fn eligible(free: &FreeBlocks, req: &PackRequest) -> Vec<usize> {
+    free.pool(req.kind)
+        .iter()
+        .copied()
+        .filter(|b| match req.cluster {
+            None => true,
+            Some(c) => free.cluster_of.get(b).copied() == Some(c),
+        })
+        .collect()
+}
+
+/// Greedy first-fit-decreasing placement.
+///
+/// Requests are served largest-first; each takes the smallest contiguous
+/// run that fits whole, else accumulates runs largest-first.
+pub fn pack_greedy(
+    requests: &[PackRequest],
+    free: &FreeBlocks,
+) -> Result<PackSolution, PackError> {
+    let mut order: Vec<&PackRequest> = requests.iter().collect();
+    order.sort_by_key(|r| std::cmp::Reverse(r.blocks));
+    let mut taken: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    let mut assignment = BTreeMap::new();
+    let mut fragmentation = 0;
+    for req in order {
+        let avail: Vec<usize> = eligible(free, req)
+            .into_iter()
+            .filter(|b| !taken.contains(b))
+            .collect();
+        if avail.len() < req.blocks {
+            return Err(PackError {
+                msg: format!(
+                    "table `{}` needs {} blocks, {} eligible",
+                    req.table,
+                    req.blocks,
+                    avail.len()
+                ),
+            });
+        }
+        let mut rs = runs(&avail);
+        // Smallest run that fits whole.
+        let choice: Vec<usize> = match rs
+            .iter()
+            .filter(|r| r.len() >= req.blocks)
+            .min_by_key(|r| r.len())
+        {
+            Some(r) => r[..req.blocks].to_vec(),
+            None => {
+                // Combine runs, largest first, to minimize run count.
+                rs.sort_by_key(|r| std::cmp::Reverse(r.len()));
+                let mut got = Vec::new();
+                for r in rs {
+                    for b in r {
+                        if got.len() == req.blocks {
+                            break;
+                        }
+                        got.push(b);
+                    }
+                    if got.len() == req.blocks {
+                        break;
+                    }
+                }
+                got
+            }
+        };
+        fragmentation += fragmentation_of(&{
+            let mut c = choice.clone();
+            c.sort_unstable();
+            c
+        });
+        for &b in &choice {
+            taken.insert(b);
+        }
+        assignment.insert(req.table.clone(), choice);
+    }
+    Ok(PackSolution {
+        assignment,
+        fragmentation,
+        nodes: 1,
+    })
+}
+
+/// Exact branch-and-bound minimizing total fragmentation, seeded by the
+/// greedy solution and bounded by `node_budget` search nodes (falls back to
+/// the best found, which is at worst the greedy answer).
+pub fn pack_branch_bound(
+    requests: &[PackRequest],
+    free: &FreeBlocks,
+    node_budget: usize,
+) -> Result<PackSolution, PackError> {
+    let seed = pack_greedy(requests, free)?;
+    let lower_bound = requests.len();
+    if seed.fragmentation == lower_bound {
+        return Ok(seed); // already optimal
+    }
+
+    struct Search<'a> {
+        requests: &'a [PackRequest],
+        free: &'a FreeBlocks,
+        best: PackSolution,
+        nodes: usize,
+        budget: usize,
+    }
+
+    impl Search<'_> {
+        fn candidates(&self, req: &PackRequest, taken: &std::collections::BTreeSet<usize>) -> Vec<Vec<usize>> {
+            let avail: Vec<usize> = eligible(self.free, req)
+                .into_iter()
+                .filter(|b| !taken.contains(b))
+                .collect();
+            if avail.len() < req.blocks {
+                return vec![];
+            }
+            let rs = runs(&avail);
+            let mut out: Vec<Vec<usize>> = Vec::new();
+            // Whole-run placements at every offset of every fitting run
+            // (capped to avoid explosion).
+            for r in &rs {
+                if r.len() >= req.blocks {
+                    for off in 0..=(r.len() - req.blocks).min(3) {
+                        out.push(r[off..off + req.blocks].to_vec());
+                    }
+                }
+            }
+            // One multi-run fallback (largest-first combination).
+            if out.is_empty() {
+                let mut sorted = rs;
+                sorted.sort_by_key(|r| std::cmp::Reverse(r.len()));
+                let mut got = Vec::new();
+                for r in sorted {
+                    for b in r {
+                        if got.len() == req.blocks {
+                            break;
+                        }
+                        got.push(b);
+                    }
+                }
+                if got.len() == req.blocks {
+                    out.push(got);
+                }
+            }
+            out
+        }
+
+        fn dfs(
+            &mut self,
+            i: usize,
+            taken: &mut std::collections::BTreeSet<usize>,
+            partial: &mut BTreeMap<String, Vec<usize>>,
+            frag: usize,
+        ) {
+            if self.nodes >= self.budget {
+                return;
+            }
+            self.nodes += 1;
+            // Bound: every remaining table adds at least 1 run.
+            if frag + (self.requests.len() - i) >= self.best.fragmentation {
+                return;
+            }
+            if i == self.requests.len() {
+                self.best = PackSolution {
+                    assignment: partial.clone(),
+                    fragmentation: frag,
+                    nodes: self.nodes,
+                };
+                return;
+            }
+            let req = &self.requests[i];
+            for cand in self.candidates(req, taken) {
+                let mut sorted = cand.clone();
+                sorted.sort_unstable();
+                let f = fragmentation_of(&sorted);
+                for &b in &cand {
+                    taken.insert(b);
+                }
+                partial.insert(req.table.clone(), cand.clone());
+                self.dfs(i + 1, taken, partial, frag + f);
+                partial.remove(&req.table);
+                for b in &cand {
+                    taken.remove(b);
+                }
+            }
+        }
+    }
+
+    // Order largest-first for tighter early bounds.
+    let mut ordered: Vec<PackRequest> = requests.to_vec();
+    ordered.sort_by_key(|r| std::cmp::Reverse(r.blocks));
+    let mut search = Search {
+        requests: &ordered,
+        free,
+        best: seed,
+        nodes: 0,
+        budget: node_budget,
+    };
+    let mut taken = std::collections::BTreeSet::new();
+    let mut partial = BTreeMap::new();
+    search.dfs(0, &mut taken, &mut partial, 0);
+    let mut best = search.best;
+    best.nodes = search.nodes.max(1);
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(name: &str, blocks: usize) -> PackRequest {
+        PackRequest {
+            table: name.into(),
+            kind: BlockKind::Sram,
+            blocks,
+            cluster: None,
+        }
+    }
+
+    fn free(n: usize) -> FreeBlocks {
+        FreeBlocks {
+            sram: (0..n).collect(),
+            tcam: vec![],
+            cluster_of: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn greedy_packs_contiguously_when_possible() {
+        let sol = pack_greedy(&[req("a", 3), req("b", 2)], &free(8)).unwrap();
+        assert_eq!(sol.fragmentation, 2, "{:?}", sol.assignment);
+        let a = &sol.assignment["a"];
+        assert_eq!(fragmentation_of(a), 1);
+    }
+
+    #[test]
+    fn greedy_reports_shortage() {
+        let e = pack_greedy(&[req("a", 5)], &free(3)).unwrap_err();
+        assert!(e.msg.contains("`a`"));
+    }
+
+    #[test]
+    fn fragmented_pool_forces_splits() {
+        // Free: {0,1} {4,5} — placing a 3-block table must split.
+        let f = FreeBlocks {
+            sram: vec![0, 1, 4, 5],
+            tcam: vec![],
+            cluster_of: BTreeMap::new(),
+        };
+        let sol = pack_greedy(&[req("a", 3)], &f).unwrap();
+        assert_eq!(sol.fragmentation, 2);
+    }
+
+    #[test]
+    fn branch_bound_beats_or_matches_greedy() {
+        // Pool with holes: greedy FFD can fragment suboptimally; B&B must
+        // be no worse.
+        let f = FreeBlocks {
+            sram: vec![0, 1, 2, 5, 6, 7, 8, 10, 11],
+            tcam: vec![],
+            cluster_of: BTreeMap::new(),
+        };
+        let reqs = vec![req("a", 4), req("b", 3), req("c", 2)];
+        let g = pack_greedy(&reqs, &f).unwrap();
+        let b = pack_branch_bound(&reqs, &f, 50_000).unwrap();
+        assert!(b.fragmentation <= g.fragmentation);
+        // All assignments disjoint and complete.
+        let mut all: Vec<usize> = b.assignment.values().flatten().copied().collect();
+        let before = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), before, "no block double-assigned");
+        assert_eq!(before, 9);
+    }
+
+    #[test]
+    fn cluster_constraints_respected() {
+        let mut cluster_of = BTreeMap::new();
+        for b in 0..4 {
+            cluster_of.insert(b, 0);
+        }
+        for b in 4..8 {
+            cluster_of.insert(b, 1);
+        }
+        let f = FreeBlocks {
+            sram: (0..8).collect(),
+            tcam: vec![],
+            cluster_of,
+        };
+        let mut r = req("a", 2);
+        r.cluster = Some(1);
+        let sol = pack_greedy(&[r], &f).unwrap();
+        assert!(sol.assignment["a"].iter().all(|&b| b >= 4));
+
+        let mut r2 = req("big", 5);
+        r2.cluster = Some(0); // only 4 blocks in cluster 0
+        assert!(pack_greedy(&[r2], &f).is_err());
+    }
+
+    #[test]
+    fn kinds_use_separate_pools() {
+        let f = FreeBlocks {
+            sram: vec![0, 1],
+            tcam: vec![10, 11],
+            cluster_of: BTreeMap::new(),
+        };
+        let mut r = req("acl", 2);
+        r.kind = BlockKind::Tcam;
+        let sol = pack_greedy(&[req("fib", 2), r], &f).unwrap();
+        assert_eq!(sol.assignment["fib"], vec![0, 1]);
+        assert_eq!(sol.assignment["acl"], vec![10, 11]);
+    }
+
+    #[test]
+    fn optimal_early_exit() {
+        // Contiguous pool: greedy is optimal; B&B should return it with
+        // zero extra search.
+        let sol = pack_branch_bound(&[req("a", 2), req("b", 2)], &free(8), 10).unwrap();
+        assert_eq!(sol.fragmentation, 2);
+        assert_eq!(sol.nodes, 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Side-by-side: the same functional update (add ECMP) on the conventional
+//! P4/PISA flow versus the in-situ rP4/IPSA flow — the Table 1 story in
+//! one runnable program.
+//!
+//! ```sh
+//! cargo run --example pisa_vs_ipsa
+//! ```
+
+use rp4::demo;
+use rp4::prelude::*;
+
+fn main() {
+    // ---------------- conventional flow (PISA / bmv2-analog) -------------
+    let (mut p4, t_c0, _) = P4Flow::new(
+        PisaSwitch::new(CostModel::software()),
+        controller::programs::BASE_P4,
+        PisaTarget::bmv2(),
+    )
+    .expect("base P4 compiles");
+    println!("PISA flow: initial compile+load t_C = {:.1} ms", t_c0 / 1000.0);
+
+    // The operator has populated a realistic number of entries…
+    for i in 0..200u32 {
+        p4.table_add(
+            "dmac",
+            "set_port",
+            &[KeyToken::Exact(1), KeyToken::Exact(0x0200_0000_0000 + i as u128)],
+            &[(i % 8) as u128],
+            0,
+        )
+        .expect("entry installs");
+    }
+    println!("PISA flow: {} entries installed", p4.tracked_entries());
+
+    // …and now wants ECMP. The whole program recompiles, the design swaps,
+    // and every entry is repopulated.
+    let (pisa_tc, pisa_report) = p4
+        .update_source(controller::programs::BASE_ECMP_P4.to_string())
+        .expect("ECMP variant compiles");
+    println!(
+        "PISA flow: ECMP update  t_C = {:.1} ms (full recompile), \
+         t_L = {:.1} ms ({} msgs, {} entries repopulated, stall {:.1} ms)",
+        pisa_tc / 1000.0,
+        pisa_report.load_us / 1000.0,
+        pisa_report.msgs,
+        pisa_report.entries_written,
+        pisa_report.stall_us / 1000.0,
+    );
+
+    // ---------------- in-situ flow (IPSA / ipbm) -------------------------
+    let mut flow = demo::populated_base_flow().expect("base design up");
+    for i in 0..200u32 {
+        flow.run_script(
+            &format!(
+                "table_add dmac set_port 1 {:#x} => {}",
+                0x0200_0000_0000u128 + i as u128,
+                i % 8
+            ),
+            &controller::programs::bundled_sources,
+        )
+        .expect("entry installs");
+    }
+    let outcome = flow
+        .run_script(
+            controller::programs::ECMP_SCRIPT,
+            &controller::programs::bundled_sources,
+        )
+        .expect("ECMP loads in-situ");
+    let stats = outcome.update_stats.as_ref().unwrap();
+    println!(
+        "IPSA flow: ECMP update  t_C = {:.1} ms (snippet only), \
+         t_L = {:.1} ms ({} msgs, {} template writes, stall {:.1} ms)",
+        outcome.compile_us / 1000.0,
+        outcome.report.load_us / 1000.0,
+        outcome.report.msgs,
+        stats.template_writes,
+        outcome.report.stall_us / 1000.0,
+    );
+
+    // ---------------- the punchline --------------------------------------
+    let tl_ratio = outcome.report.load_us / pisa_report.load_us;
+    println!(
+        "\nIPSA t_L is {:.1}% of PISA's; IPSA repopulated only the new \
+         tables, PISA replayed all {} entries.",
+        tl_ratio * 100.0,
+        pisa_report.entries_written
+    );
+    assert!(
+        tl_ratio < 0.25,
+        "in-situ load must be a small fraction of a full redeploy"
+    );
+    assert_eq!(outcome.report.entries_written, 0);
+    assert_eq!(pisa_report.entries_written, 200);
+
+    // And the PISA device architecturally cannot take the shortcut:
+    let err = p4
+        .device
+        .apply(&[ControlMsg::WriteTemplate {
+            slot: 0,
+            template: rp4::core::TspTemplate::passthrough("ecmp"),
+        }])
+        .unwrap_err();
+    println!("\nPISA device on a runtime template write: {err}");
+}

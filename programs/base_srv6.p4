@@ -1,0 +1,245 @@
+// Base design + C2 (SRv6) integrated, for the conventional flow.
+// The SRH is modeled with its fixed 8-byte part here (the P4 subset has
+// no varbit); the PISA baseline is only compiled/loaded for the Table 1
+// comparison and never carries SRv6 traffic.
+// The base L2/L3 design in P4-16 (the conventional flow's source).
+// Compiled by the p4-lang front end + PISA back end for the bmv2/FPGA-PISA
+// baselines, and by rp4fc + rp4bc for IPSA targets (Fig. 3's dual path).
+
+header ethernet_t {
+    bit<48> dst_addr;
+    bit<48> src_addr;
+    bit<16> ethertype;
+}
+header vlan_t {
+    bit<3> pcp;
+    bit<1> dei;
+    bit<12> vid;
+    bit<16> ethertype;
+}
+header ipv4_t {
+    bit<4> version;
+    bit<4> ihl;
+    bit<6> dscp;
+    bit<2> ecn;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<3> flags;
+    bit<13> frag_offset;
+    bit<8> ttl;
+    bit<8> protocol;
+    bit<16> hdr_checksum;
+    bit<32> src_addr;
+    bit<32> dst_addr;
+}
+header ipv6_t {
+    bit<4> version;
+    bit<8> traffic_class;
+    bit<20> flow_label;
+    bit<16> payload_len;
+    bit<8> next_hdr;
+    bit<8> hop_limit;
+    bit<128> src_addr;
+    bit<128> dst_addr;
+}
+header srh_t {
+    bit<8> next_header;
+    bit<8> hdr_ext_len;
+    bit<8> routing_type;
+    bit<8> segments_left;
+    bit<8> last_entry;
+    bit<8> flags;
+    bit<16> tag;
+}
+header tcp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<32> seq_no;
+    bit<32> ack_no;
+    bit<4> data_offset;
+    bit<4> reserved;
+    bit<8> flags;
+    bit<16> window;
+    bit<16> checksum;
+    bit<16> urgent_ptr;
+}
+header udp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<16> length;
+    bit<16> checksum;
+}
+
+struct metadata {
+    bit<16> ifindex;
+    bit<16> bd;
+    bit<16> vrf;
+    bit<8> l3;
+    bit<16> nexthop;
+}
+
+struct headers {
+    ethernet_t ethernet;
+    vlan_t vlan;
+    ipv4_t ipv4;
+    ipv6_t ipv6;
+    srh_t srh;
+    tcp_t tcp;
+    udp_t udp;
+}
+
+parser BaseParser(packet_in packet, out headers hdr, inout metadata meta) {
+    state start { transition parse_ethernet; }
+    state parse_ethernet {
+        packet.extract(hdr.ethernet);
+        transition select(hdr.ethernet.ethertype) {
+            0x8100: parse_vlan;
+            0x0800: parse_ipv4;
+            0x86DD: parse_ipv6;
+            default: accept;
+        }
+    }
+    state parse_vlan {
+        packet.extract(hdr.vlan);
+        transition select(hdr.vlan.ethertype) {
+            0x0800: parse_ipv4;
+            0x86DD: parse_ipv6;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        packet.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            6: parse_tcp;
+            17: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_ipv6 {
+        packet.extract(hdr.ipv6);
+        transition select(hdr.ipv6.next_hdr) {
+            43: parse_srh;
+            6: parse_tcp;
+            17: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_srh { packet.extract(hdr.srh); transition accept; }
+    state parse_tcp { packet.extract(hdr.tcp); transition accept; }
+    state parse_udp { packet.extract(hdr.udp); transition accept; }
+}
+
+control BaseIngress(inout headers hdr, inout metadata meta) {
+    action set_ifindex(bit<16> ifindex) { meta.ifindex = ifindex; }
+    action set_bd_vrf(bit<16> bd, bit<16> vrf) { meta.bd = bd; meta.vrf = vrf; }
+    action set_l3() { meta.l3 = 1; }
+    action set_nexthop(bit<16> nh) { meta.nexthop = nh; }
+    action set_bd_dmac(bit<16> bd, bit<48> dmac) {
+        meta.bd = bd;
+        hdr.ethernet.dst_addr = dmac;
+    }
+    action set_port(bit<16> port) { standard_metadata.egress_spec = port; }
+
+    table port_map {
+        key = { standard_metadata.ingress_port: exact; }
+        actions = { set_ifindex; NoAction; }
+        size = 64;
+    }
+    table bd_vrf {
+        key = { meta.ifindex: exact; }
+        actions = { set_bd_vrf; NoAction; }
+        size = 256;
+    }
+    table fwd_mode {
+        key = { meta.bd: exact; hdr.ethernet.dst_addr: exact; }
+        actions = { set_l3; NoAction; }
+        size = 256;
+    }
+    action srv6_end() { srv6_advance(); }
+    table local_sid {
+        key = { hdr.ipv6.dst_addr: exact; }
+        actions = { srv6_end; NoAction; }
+        size = 256;
+    }
+    table end_transit {
+        key = { hdr.ipv6.dst_addr: lpm; }
+        actions = { set_nexthop; NoAction; }
+        size = 512;
+    }
+    table ipv4_lpm {
+        key = { meta.vrf: exact; hdr.ipv4.dst_addr: lpm; }
+        actions = { set_nexthop; NoAction; }
+        size = 2048;
+    }
+    table ipv6_lpm {
+        key = { meta.vrf: exact; hdr.ipv6.dst_addr: lpm; }
+        actions = { set_nexthop; NoAction; }
+        size = 1024;
+    }
+    table ipv4_host {
+        key = { meta.vrf: exact; hdr.ipv4.dst_addr: exact; }
+        actions = { set_nexthop; NoAction; }
+        size = 1024;
+    }
+    table ipv6_host {
+        key = { meta.vrf: exact; hdr.ipv6.dst_addr: exact; }
+        actions = { set_nexthop; NoAction; }
+        size = 512;
+    }
+    table nexthop {
+        key = { meta.nexthop: exact; }
+        actions = { set_bd_dmac; NoAction; }
+        size = 1024;
+    }
+    table dmac {
+        key = { meta.bd: exact; hdr.ethernet.dst_addr: exact; }
+        actions = { set_port; NoAction; }
+        size = 4096;
+    }
+
+    apply {
+        port_map.apply();
+        bd_vrf.apply();
+        fwd_mode.apply();
+        if (hdr.srh.isValid() && meta.l3 == 1) {
+            local_sid.apply();
+        }
+        if (hdr.srh.isValid() && meta.l3 == 1) {
+            end_transit.apply();
+        }
+        if (hdr.ipv4.isValid() && meta.l3 == 1) {
+            ipv4_lpm.apply();
+        } else if (hdr.ipv6.isValid() && meta.l3 == 1) {
+            ipv6_lpm.apply();
+        }
+        if (hdr.ipv4.isValid() && meta.l3 == 1) {
+            ipv4_host.apply();
+        } else if (hdr.ipv6.isValid() && meta.l3 == 1) {
+            ipv6_host.apply();
+        }
+        if (meta.l3 == 1) {
+            nexthop.apply();
+        }
+        dmac.apply();
+    }
+}
+
+control BaseEgress(inout headers hdr, inout metadata meta) {
+    action rewrite_l3(bit<48> smac) {
+        hdr.ethernet.src_addr = smac;
+        dec_ttl_v4();
+        dec_hop_limit_v6();
+    }
+    table l2_l3_rewrite {
+        key = { meta.bd: exact; }
+        actions = { rewrite_l3; NoAction; }
+        size = 256;
+    }
+    apply {
+        if (meta.l3 == 1) {
+            l2_l3_rewrite.apply();
+        }
+    }
+}
+
+V1Switch(BaseParser(), BaseIngress(), BaseEgress()) main;

@@ -1,0 +1,120 @@
+//! Shared scaffolding for the examples and integration tests: a compiled,
+//! installed, and *populated* base L2/L3 switch, plus the canonical entry
+//! sets for the three use cases.
+//!
+//! Topology conventions:
+//! - the router owns MAC [`ROUTER_MAC`]; frames addressed to it are routed
+//!   (stage C sets `meta.l3`), everything else is bridged;
+//! - IPv4 flows target `10.1.0.0/16` (nexthop 7 → bridge 2 → port 2);
+//! - IPv6 flows target `fc01::/16` (nexthop 9 → bridge 3 → port 3);
+//! - after ECMP loads, nexthop 7 spreads over four members on ports 2–5.
+
+use crate::controller::{programs, ControllerError, Rp4Flow};
+use crate::ipbm::{IpbmConfig, IpbmSwitch};
+use crate::rp4c::{full_compile, CompilerTarget};
+
+/// The router's own MAC address (the traffic generator's default
+/// destination MAC, so generated L3 flows hit the routed path).
+pub const ROUTER_MAC: u128 = 0x02_00_00_00_00_02;
+
+/// Next-hop MACs per bridge.
+pub const NH_MAC_V4: u128 = 0x02_02_02_03_03_01;
+/// IPv6 path next-hop MAC.
+pub const NH_MAC_V6: u128 = 0x02_02_02_03_03_02;
+/// Rewritten source MAC at egress.
+pub const SRC_MAC: u128 = 0x02_0a_0a_0a_0a_0a;
+
+/// Entry population script for the base design (runs through the
+/// controller's table APIs).
+pub fn base_population_script() -> String {
+    let mut s = String::new();
+    // (A) ports 0..8 -> ifindex 10+port
+    for p in 0..8 {
+        s.push_str(&format!("table_add port_map set_ifindex {p} => {}\n", 10 + p));
+    }
+    // (B) every interface lands in bridge 1 / VRF 1
+    for p in 0..8 {
+        s.push_str(&format!("table_add bd_vrf set_bd_vrf {} => 1 1\n", 10 + p));
+    }
+    // (C) frames to the router MAC are routed
+    s.push_str(&format!(
+        "table_add fwd_mode set_l3 1 {ROUTER_MAC:#x} =>\n"
+    ));
+    // (D/E) FIB routes
+    s.push_str("table_add ipv4_lpm set_nexthop 1 0x0a010000/16 => 7\n");
+    s.push_str(
+        "table_add ipv6_lpm set_nexthop 1 0xfc010000000000000000000000000000/16 => 9\n",
+    );
+    // (H) nexthops -> egress bridge + dmac
+    s.push_str(&format!("table_add nexthop set_bd_dmac 7 => 2 {NH_MAC_V4:#x}\n"));
+    s.push_str(&format!("table_add nexthop set_bd_dmac 9 => 3 {NH_MAC_V6:#x}\n"));
+    // (J) egress interface per (bridge, dmac)
+    s.push_str(&format!("table_add dmac set_port 2 {NH_MAC_V4:#x} => 2\n"));
+    s.push_str(&format!("table_add dmac set_port 3 {NH_MAC_V6:#x} => 3\n"));
+    // (I) egress rewrite per bridge
+    s.push_str(&format!("table_add l2_l3_rewrite rewrite_l3 2 => {SRC_MAC:#x}\n"));
+    s.push_str(&format!("table_add l2_l3_rewrite rewrite_l3 3 => {SRC_MAC:#x}\n"));
+    s
+}
+
+/// ECMP member population (after the C1 script): four members for the v4
+/// group, each with its own next-hop MAC, plus matching dmac entries on
+/// ports 2–5.
+pub fn ecmp_population_script() -> String {
+    let mut s = String::new();
+    for m in 0..4u32 {
+        let mac = NH_MAC_V4 + 0x10 * (m as u128 + 1);
+        s.push_str(&format!(
+            "table_add ecmp_ipv4 set_bd_dmac {m} 0 0 0 => 2 {mac:#x}\n"
+        ));
+        s.push_str(&format!("table_add dmac set_port 2 {mac:#x} => {}\n", 2 + m));
+    }
+    // One v6 member keeps the v6 path alive.
+    s.push_str(&format!(
+        "table_add ecmp_ipv6 set_bd_dmac 0 0 0 0 => 3 {NH_MAC_V6:#x}\n"
+    ));
+    s
+}
+
+/// Builds, installs, and populates the base design on a fresh ipbm switch.
+pub fn populated_base_flow() -> Result<Rp4Flow<IpbmSwitch>, ControllerError> {
+    let prog = rp4_lang::parse(programs::BASE_RP4).expect("bundled base parses");
+    let target = CompilerTarget::ipbm();
+    let compilation = full_compile(&prog, &target)?;
+    let device = IpbmSwitch::new(IpbmConfig::default());
+    let (mut flow, _) = Rp4Flow::install(device, compilation, target)?;
+    flow.run_script(&base_population_script(), &programs::bundled_sources)?;
+    Ok(flow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::control::Device;
+    use crate::netpkt::traffic::TrafficGen;
+
+    #[test]
+    fn populated_base_forwards_v4_and_v6() {
+        let mut flow = populated_base_flow().unwrap();
+        let mut gen = TrafficGen::new(1).with_v6_percent(50).with_flows(16);
+        let mut v4 = 0;
+        let mut v6 = 0;
+        for (pkt, id) in (0..200).map(|_| gen.next_mixed()) {
+            flow.device.inject(pkt);
+            if id.v6 {
+                v6 += 1;
+            } else {
+                v4 += 1;
+            }
+        }
+        let out = flow.device.run();
+        assert_eq!(out.len(), 200, "all generated flows are routable");
+        for p in &out {
+            let port = p.meta.egress_port.unwrap();
+            assert!(port == 2 || port == 3);
+        }
+        assert!(v4 > 0 && v6 > 0);
+        let rep = flow.device.report();
+        assert_eq!(rep.pipeline.emitted, 200);
+    }
+}

@@ -1,0 +1,16 @@
+//! Convenience re-exports for downstream users: the crates plus the types
+//! that appear in almost every program.
+
+pub use crate::{controller, hwmodel, ipbm, netpkt, p4_lang, pisa_bm, rp4_lang, rp4c};
+
+pub use crate::controller::{KeyToken, P4Flow, Rp4Flow};
+pub use crate::core::control::{ControlMsg, Device};
+pub use crate::core::table::{ActionCall, KeyMatch, TableEntry};
+pub use crate::core::template::CompiledDesign;
+pub use crate::core::timing::CostModel;
+pub use crate::hwmodel::{Arch, DesignParams};
+pub use crate::ipbm::{IpbmConfig, IpbmSwitch};
+pub use crate::netpkt::traffic::TrafficGen;
+pub use crate::netpkt::{HeaderLinkage, Packet};
+pub use crate::pisa_bm::{PisaSwitch, PisaTarget};
+pub use crate::rp4c::{full_compile, incremental_compile, CompilerTarget, LayoutAlgo};

@@ -1,0 +1,172 @@
+//! Integration: failure injection. A production data plane must degrade
+//! loudly at the control plane and gracefully at the data plane.
+
+use rp4::demo;
+use rp4::prelude::*;
+
+/// Malformed traffic (truncated, corrupted, empty) never wedges the
+/// pipeline; well-formed packets around it still forward.
+#[test]
+fn malformed_packets_do_not_wedge_the_pipeline() {
+    use rand::{RngExt, SeedableRng};
+    let mut flow = demo::populated_base_flow().unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+    let mut gen = TrafficGen::new(9).with_flows(16);
+
+    let mut good_in = 0;
+    for i in 0..400 {
+        if i % 4 == 0 {
+            // Inject garbage: truncated/corrupted/empty frames.
+            let mut p = gen.next_mixed().0;
+            match i % 3 {
+                0 => p.data.truncate(rng.random_range(0..20)),
+                1 => {
+                    let n = p.data.len();
+                    p.data[rng.random_range(0..n)] ^= 0xFF;
+                }
+                _ => p.data.clear(),
+            }
+            flow.device.inject(p);
+        } else {
+            flow.device.inject(gen.next_mixed().0);
+            good_in += 1;
+        }
+    }
+    let out = flow.device.run();
+    // Every well-formed packet made it; garbage either forwarded (if the
+    // corruption missed load-bearing fields) or dropped — never panicked.
+    assert!(out.len() >= good_in - 120, "out {} good {}", out.len(), good_in);
+    assert_eq!(flow.device.pending(), 0);
+}
+
+/// Table overflow surfaces as a typed error, leaves the table consistent.
+#[test]
+fn table_full_is_loud_and_recoverable() {
+    let mut flow = demo::populated_base_flow().unwrap();
+    // port_map has size 64; 8 entries already installed.
+    let mut errs = 0;
+    for i in 0..70u128 {
+        let r = flow.run_script(
+            &format!("table_add port_map set_ifindex {} => 1", 100 + i),
+            &controller::programs::bundled_sources,
+        );
+        if r.is_err() {
+            errs += 1;
+        }
+    }
+    assert!(errs >= 14, "beyond-capacity inserts must fail ({errs})");
+    assert_eq!(flow.device.sm.table("port_map").unwrap().table.len(), 64);
+    // The device still forwards.
+    let mut gen = TrafficGen::new(4).with_flows(8);
+    for p in gen.batch(20) {
+        flow.device.inject(p);
+    }
+    assert_eq!(flow.device.run().len(), 20);
+}
+
+/// Compiler-level failures reject the script before the device changes.
+#[test]
+fn invalid_scripts_leave_device_untouched() {
+    let mut flow = demo::populated_base_flow().unwrap();
+    let snapshot = flow.design.clone();
+    let cases = [
+        // Unknown stage in a link.
+        "add_link ghost_stage dmac",
+        // Cycle.
+        "add_link dmac port_map",
+        // Unknown snippet file.
+        "load missing.rp4 --func_name f",
+        // Semantically broken snippet (resolved via sources below).
+        "load broken.rp4 --func_name f\nadd_link bd_vrf broken_s",
+    ];
+    let sources = |name: &str| match name {
+        "broken.rp4" => Some(
+            "stage broken_s { parser { mystery_header; } matcher { } executor { default: NoAction; } }"
+                .to_string(),
+        ),
+        other => controller::programs::bundled_sources(other),
+    };
+    for script in cases {
+        let e = flow.run_script(script, &sources);
+        assert!(e.is_err(), "script must fail: {script}");
+        assert_eq!(flow.design, snapshot, "device/design untouched: {script}");
+    }
+}
+
+/// Pool exhaustion during an in-situ load is a compile-time error, not a
+/// half-configured device.
+#[test]
+fn pool_exhaustion_rejected_at_compile_time() {
+    let prog = rp4_lang::parse(controller::programs::BASE_RP4).unwrap();
+    let mut target = rp4c::CompilerTarget::ipbm();
+    target.sram_blocks = 16; // base fits (~15 blocks), ECMP (+12) cannot
+    let compilation = rp4c::full_compile(&prog, &target).unwrap();
+    let device = IpbmSwitch::new(IpbmConfig {
+        sram_blocks: 16,
+        ..IpbmConfig::default()
+    });
+    let (mut flow, _) = Rp4Flow::install(device, compilation, target).unwrap();
+    let before = flow.design.clone();
+    let e = flow
+        .run_script(
+            controller::programs::ECMP_SCRIPT,
+            &controller::programs::bundled_sources,
+        )
+        .unwrap_err();
+    assert!(
+        matches!(e, controller::ControllerError::Compile(rp4c::CompileError::Pack(_))),
+        "{e}"
+    );
+    assert_eq!(flow.design, before);
+}
+
+/// Slot exhaustion: a pipeline too small for an insertion fails cleanly.
+#[test]
+fn slot_exhaustion_rejected() {
+    let prog = rp4_lang::parse(controller::programs::BASE_RP4).unwrap();
+    let mut target = rp4c::CompilerTarget::ipbm();
+    target.slots = 8; // exactly the base design's footprint
+    let compilation = rp4c::full_compile(&prog, &target).unwrap();
+    let device = IpbmSwitch::new(IpbmConfig {
+        slots: 8,
+        ..IpbmConfig::default()
+    });
+    let (mut flow, _) = Rp4Flow::install(device, compilation, target).unwrap();
+    // The probe *adds* a stage: no free slot -> layout error.
+    let e = flow
+        .run_script(
+            controller::programs::FLOWPROBE_SCRIPT,
+            &controller::programs::bundled_sources,
+        )
+        .unwrap_err();
+    assert!(
+        matches!(e, controller::ControllerError::Compile(rp4c::CompileError::Layout(_))),
+        "{e}"
+    );
+    // ECMP *replaces* a stage: still fits.
+    flow.run_script(
+        controller::programs::ECMP_SCRIPT,
+        &controller::programs::bundled_sources,
+    )
+    .unwrap();
+}
+
+/// Ternary/LPM/width violations in table commands are caught by the API
+/// layer with precise messages.
+#[test]
+fn table_command_validation_messages() {
+    let mut flow = demo::populated_base_flow().unwrap();
+    for (script, needle) in [
+        ("table_add port_map set_ifindex 0x1ffff => 1", "exceeds 16 bits"),
+        ("table_add ipv4_lpm set_nexthop 1 0x0a000000/40 => 1", "/40"),
+        ("table_add port_map ghost 1 => 1", "does not offer"),
+        ("table_add port_map set_ifindex 1 => 1 2", "takes 1 args"),
+        ("table_add ghost_table a 1 =>", "unknown table"),
+    ] {
+        let e = flow
+            .run_script(script, &controller::programs::bundled_sources)
+            .unwrap_err();
+        let msg = format!("{e}");
+        assert!(msg.contains(needle), "`{script}` -> `{msg}`");
+    }
+}

@@ -1,0 +1,209 @@
+//! Integration: the complete dual design flow of Fig. 3.
+//!
+//! The same base P4 program compiles down both paths — p4c→PISA and
+//! p4c→rp4fc→rp4bc→IPSA — and both devices must forward identical traffic
+//! identically.
+
+use rp4::prelude::*;
+
+/// Compiles `programs/base.p4` through rp4fc into rP4 and checks semantic
+/// validity + roundtrip.
+#[test]
+fn p4_to_rp4_translation_is_valid() {
+    let ast = p4_lang::parse_p4(controller::programs::BASE_P4).unwrap();
+    let hlir = p4_lang::build_hlir(&ast).unwrap();
+    let prog = rp4c::rp4fc(&hlir, "base");
+    rp4_lang::check(&prog, None).expect("rp4fc output is semantically valid");
+    // Printer/parser fixpoint on the generated base design.
+    let printed = rp4_lang::print(&prog);
+    assert_eq!(rp4_lang::parse(&printed).unwrap(), prog);
+    // One stage per guarded table application.
+    assert_eq!(prog.stages().count(), hlir.apply_count());
+}
+
+/// One packet set, two architectures, identical forwarding decisions.
+#[test]
+fn pisa_and_ipsa_forward_identically() {
+    // --- IPSA path: rP4 source -> ipbm ---
+    let prog = rp4_lang::parse(controller::programs::BASE_RP4).unwrap();
+    let target = rp4c::CompilerTarget::ipbm();
+    let compilation = rp4c::full_compile(&prog, &target).unwrap();
+    let device = IpbmSwitch::new(IpbmConfig::default());
+    let (mut ipsa, _) = Rp4Flow::install(device, compilation, target).unwrap();
+    ipsa.run_script(&rp4::demo::base_population_script(), &controller::programs::bundled_sources)
+        .unwrap();
+
+    // --- PISA path: P4 source -> pisa-bm, with the same entries ---
+    // The P4 base applies dmac in ingress? No — it matches our rP4 layout:
+    // forwarding decided in ingress. Populate the PISA tables identically.
+    let (mut pisa, _, _) = P4Flow::new(
+        PisaSwitch::new(CostModel::software()),
+        controller::programs::BASE_P4,
+        PisaTarget::bmv2(),
+    )
+    .unwrap();
+    for p in 0..8u128 {
+        pisa.table_add("port_map", "set_ifindex", &[KeyToken::Exact(p)], &[10 + p], 0)
+            .unwrap();
+        pisa.table_add("bd_vrf", "set_bd_vrf", &[KeyToken::Exact(10 + p)], &[1, 1], 0)
+            .unwrap();
+    }
+    pisa.table_add(
+        "fwd_mode",
+        "set_l3",
+        &[KeyToken::Exact(1), KeyToken::Exact(rp4::demo::ROUTER_MAC)],
+        &[],
+        0,
+    )
+    .unwrap();
+    pisa.table_add(
+        "ipv4_lpm",
+        "set_nexthop",
+        &[
+            KeyToken::Exact(1),
+            KeyToken::Lpm {
+                value: 0x0a01_0000,
+                prefix_len: 16,
+            },
+        ],
+        &[7],
+        0,
+    )
+    .unwrap();
+    pisa.table_add(
+        "ipv6_lpm",
+        "set_nexthop",
+        &[
+            KeyToken::Exact(1),
+            KeyToken::Lpm {
+                value: 0xfc01_u128 << 112,
+                prefix_len: 16,
+            },
+        ],
+        &[9],
+        0,
+    )
+    .unwrap();
+    pisa.table_add(
+        "nexthop",
+        "set_bd_dmac",
+        &[KeyToken::Exact(7)],
+        &[2, rp4::demo::NH_MAC_V4],
+        0,
+    )
+    .unwrap();
+    pisa.table_add(
+        "nexthop",
+        "set_bd_dmac",
+        &[KeyToken::Exact(9)],
+        &[3, rp4::demo::NH_MAC_V6],
+        0,
+    )
+    .unwrap();
+    pisa.table_add(
+        "dmac",
+        "set_port",
+        &[KeyToken::Exact(2), KeyToken::Exact(rp4::demo::NH_MAC_V4)],
+        &[2],
+        0,
+    )
+    .unwrap();
+    pisa.table_add(
+        "dmac",
+        "set_port",
+        &[KeyToken::Exact(3), KeyToken::Exact(rp4::demo::NH_MAC_V6)],
+        &[3],
+        0,
+    )
+    .unwrap();
+    pisa.table_add(
+        "l2_l3_rewrite",
+        "rewrite_l3",
+        &[KeyToken::Exact(2)],
+        &[rp4::demo::SRC_MAC],
+        0,
+    )
+    .unwrap();
+    pisa.table_add(
+        "l2_l3_rewrite",
+        "rewrite_l3",
+        &[KeyToken::Exact(3)],
+        &[rp4::demo::SRC_MAC],
+        0,
+    )
+    .unwrap();
+
+    // --- identical traffic through both ---
+    let mut gen = TrafficGen::new(99).with_v6_percent(40).with_flows(32);
+    let batch = gen.batch(300);
+    for p in &batch {
+        ipsa.device.inject(p.clone());
+        pisa.device.inject(p.clone());
+    }
+    let out_ipsa = ipsa.device.run();
+    let out_pisa = pisa.device.run();
+    assert_eq!(out_ipsa.len(), out_pisa.len());
+    assert_eq!(out_ipsa.len(), 300);
+    // ipbm collects TX per-port while pisa-bm emits in processing order;
+    // compare as multisets of (egress port, rewritten bytes).
+    let canon = |v: &[Packet]| {
+        let mut c: Vec<(Option<u16>, Vec<u8>)> = v
+            .iter()
+            .map(|p| (p.meta.egress_port, p.data.clone()))
+            .collect();
+        c.sort();
+        c
+    };
+    assert_eq!(
+        canon(&out_ipsa),
+        canon(&out_pisa),
+        "identical rewrites (dmac, smac, ttl, checksum) and ports"
+    );
+    // Architectural difference is observable in the parse work: PISA's
+    // front parser extracted everything; ipbm's distributed parsers only
+    // touched what stages needed.
+    assert!(pisa.device.stats.front_parse_extractions >= 3 * 300);
+}
+
+/// The full rp4bc JSON artifact round-trips and validates.
+#[test]
+fn design_json_artifact_roundtrip() {
+    let prog = rp4_lang::parse(controller::programs::BASE_RP4).unwrap();
+    let c = rp4c::full_compile(&prog, &rp4c::CompilerTarget::ipbm()).unwrap();
+    let json = c.design.to_json();
+    let back = CompiledDesign::from_json(&json).unwrap();
+    assert_eq!(back, c.design);
+    back.validate().unwrap();
+    // And it installs cleanly on a fresh device.
+    let mut sw = IpbmSwitch::new(IpbmConfig::default());
+    sw.install(&back).unwrap();
+}
+
+/// The FPGA targets fit the base design and all three use cases.
+#[test]
+fn fpga_targets_fit_all_use_cases() {
+    // IPSA side.
+    let prog = rp4_lang::parse(controller::programs::BASE_RP4).unwrap();
+    let target = rp4c::CompilerTarget::fpga();
+    let compilation = rp4c::full_compile(&prog, &target).unwrap();
+    let device = IpbmSwitch::new(IpbmConfig {
+        slots: target.slots,
+        sram_blocks: target.sram_blocks,
+        tcam_blocks: target.tcam_blocks,
+        ..IpbmConfig::default()
+    });
+    let (mut flow, _) = Rp4Flow::install(device, compilation, target).unwrap();
+    for (case, _, script, _) in controller::programs::use_cases() {
+        let out = flow
+            .run_script(script, &controller::programs::bundled_sources)
+            .unwrap_or_else(|e| panic!("{case}: {e}"));
+        assert!(out.update_stats.is_some(), "{case}");
+    }
+    // PISA side: each integrated variant compiles for the FPGA-PISA chip.
+    for (case, _, _, p4) in controller::programs::use_cases() {
+        let ast = p4_lang::parse_p4(p4).unwrap_or_else(|e| panic!("{case}: {e}"));
+        let hlir = p4_lang::build_hlir(&ast).unwrap();
+        pisa_bm::pisa_compile(&hlir, &PisaTarget::fpga())
+            .unwrap_or_else(|e| panic!("{case}: {e}"));
+    }
+}
