@@ -49,7 +49,10 @@ fn main() {
     assert!(lat(&on) < lat(&off), "fewer active TSPs -> lower latency");
 
     // ---- 2. DP vs greedy placement ------------------------------------
-    let _ = writeln!(out, "\n[2] incremental placement, per use case (medians of 5):");
+    let _ = writeln!(
+        out,
+        "\n[2] incremental placement, per use case (medians of 5):"
+    );
     let _ = writeln!(
         out,
         "    {:<14} {:>12} {:>14} {:>12} {:>14}",

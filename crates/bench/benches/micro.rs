@@ -19,13 +19,13 @@ fn bench_parsing(c: &mut Criterion) {
         b.iter(|| {
             let mut p = pkt.clone();
             black_box(p.ensure_parsed(&linkage, "udp").unwrap());
-        })
+        });
     });
     c.bench_function("parse/front_end_parse_all", |b| {
         b.iter(|| {
             let mut p = pkt.clone();
             black_box(p.parse_all(&linkage).unwrap());
-        })
+        });
     });
 }
 
@@ -63,7 +63,7 @@ fn bench_tables(c: &mut Criterion) {
     pkt.ensure_parsed(&linkage, "ipv4").expect("parses");
     c.bench_function("table/lpm_lookup_1k_routes", |b| {
         let ctx = EvalCtx::bare(&linkage);
-        b.iter(|| black_box(fib.lookup(&pkt, &ctx).unwrap()))
+        b.iter(|| black_box(fib.lookup(&pkt, &ctx).unwrap()));
     });
 }
 
@@ -78,19 +78,19 @@ fn bench_pipeline(c: &mut Criterion) {
                 flow.device.inject(p.clone());
             }
             black_box(flow.device.run().len())
-        })
+        });
     });
 }
 
 fn bench_compilers(c: &mut Criterion) {
     let src = ipsa_controller::programs::BASE_RP4;
     c.bench_function("compile/rp4_parse_base", |b| {
-        b.iter(|| black_box(rp4_lang::parse(src).unwrap()))
+        b.iter(|| black_box(rp4_lang::parse(src).unwrap()));
     });
     let prog = rp4_lang::parse(src).expect("parses");
     let target = rp4c::CompilerTarget::fpga();
     c.bench_function("compile/rp4bc_full_base", |b| {
-        b.iter(|| black_box(rp4c::full_compile(&prog, &target).unwrap()))
+        b.iter(|| black_box(rp4c::full_compile(&prog, &target).unwrap()));
     });
     c.bench_function("compile/incremental_ecmp", |b| {
         b.iter_batched(
@@ -103,7 +103,7 @@ fn bench_compilers(c: &mut Criterion) {
                 .unwrap()
             },
             criterion::BatchSize::SmallInput,
-        )
+        );
     });
 }
 

@@ -20,8 +20,8 @@
 //! t_C includes p4c + a vendor back end); the *ratios* are the result.
 
 use ipsa_bench::*;
-use ipsa_core::timing::CostModel;
 use ipsa_controller::{programs, P4Flow};
+use ipsa_core::timing::CostModel;
 use pisa_bm::{PisaSwitch, PisaTarget};
 
 /// Pre-update entry count the conventional flow must replay.
@@ -76,7 +76,11 @@ fn in_situ(fpga: bool, label: &'static str) -> Row {
     for (i, (_case, _, script, _)) in programs::use_cases().iter().enumerate() {
         let (mut cs, mut ls) = (Vec::new(), Vec::new());
         for _ in 0..REPS {
-            let mut flow = if fpga { ipsa_fpga_flow() } else { ipsa_sw_flow() };
+            let mut flow = if fpga {
+                ipsa_fpga_flow()
+            } else {
+                ipsa_sw_flow()
+            };
             populate_rp4_flow(&mut flow, ROUTES);
             let (c, l) = measure_ipsa_update(&mut flow, script);
             cs.push(c / 1000.0);

@@ -67,7 +67,10 @@ fn main() {
             (1.5..=4.5).contains(&ratio),
             "{case}: ratio {ratio} outside the paper's band"
         );
-        assert!(fixed.mpps / tp.mpps > 0.9, "{case}: fixes must close the gap");
+        assert!(
+            fixed.mpps / tp.mpps > 0.9,
+            "{case}: fixes must close the gap"
+        );
     }
     let mut out = render_table(
         "Sec. 5 throughput — Mpps @ 200 MHz (analytical model over compiled designs)",

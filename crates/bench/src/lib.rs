@@ -30,8 +30,8 @@ pub const FPGA_BUS_BITS: usize = 128;
 pub fn emit(name: &str, content: &str) {
     println!("{content}");
     // Anchor at the workspace root regardless of the bench's CWD.
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiment-results");
+    let dir =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/experiment-results");
     let dir = dir.as_path();
     let _ = std::fs::create_dir_all(dir);
     let path = dir.join(format!("{name}.txt"));
@@ -113,14 +113,11 @@ pub fn ipsa_sw_flow() -> Rp4Flow<IpbmSwitch> {
 /// FIB routes + dmac pairs, nexthops.
 pub fn populate_p4_flow(flow: &mut P4Flow<PisaSwitch>, routes: usize) {
     use ipsa_controller::KeyToken as K;
-    let add = |flow: &mut P4Flow<PisaSwitch>,
-                   table: &str,
-                   action: &str,
-                   keys: &[K],
-                   args: &[u128]| {
-        flow.table_add(table, action, keys, args, 0)
-            .unwrap_or_else(|e| panic!("populate {table}: {e}"));
-    };
+    let add =
+        |flow: &mut P4Flow<PisaSwitch>, table: &str, action: &str, keys: &[K], args: &[u128]| {
+            flow.table_add(table, action, keys, args, 0)
+                .unwrap_or_else(|e| panic!("populate {table}: {e}"));
+        };
     for p in 0..8u128 {
         add(flow, "port_map", "set_ifindex", &[K::Exact(p)], &[10 + p]);
         add(flow, "bd_vrf", "set_bd_vrf", &[K::Exact(10 + p)], &[1, 1]);
@@ -215,7 +212,10 @@ pub fn populate_p4_flow(flow: &mut P4Flow<PisaSwitch>, routes: usize) {
 pub fn populate_rp4_flow(flow: &mut Rp4Flow<IpbmSwitch>, routes: usize) {
     let mut s = String::new();
     for p in 0..8 {
-        s.push_str(&format!("table_add port_map set_ifindex {p} => {}\n", 10 + p));
+        s.push_str(&format!(
+            "table_add port_map set_ifindex {p} => {}\n",
+            10 + p
+        ));
         s.push_str(&format!("table_add bd_vrf set_bd_vrf {} => 1 1\n", 10 + p));
     }
     s.push_str("table_add fwd_mode set_l3 1 0x020000000002 =>\n");

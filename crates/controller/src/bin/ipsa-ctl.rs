@@ -4,6 +4,7 @@
 //! ipsa-ctl run --base <base.rp4> [--script <file.script>]... [--snippets <dir>]
 //!              [--packets N] [--seed N] [--v6 PCT] [--flows N]
 //!              [--target ipbm|fpga] [--report switch.json] [--demo-tables]
+//!              [--force]
 //! ```
 //!
 //! Loads the base design onto a fresh ipbm device, optionally populates the
@@ -24,7 +25,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: ipsa-ctl run --base <base.rp4> [--script <file.script>]... \
          [--snippets <dir>] [--packets N] [--seed N] [--v6 PCT] [--flows N] \
-         [--target ipbm|fpga] [--report out.json] [--demo-tables]"
+         [--target ipbm|fpga] [--report out.json] [--demo-tables] [--force]"
     );
     ExitCode::from(2)
 }
@@ -40,6 +41,7 @@ struct Args {
     target: String,
     report: Option<String>,
     demo_tables: bool,
+    force: bool,
 }
 
 fn parse_args(args: &[String]) -> Option<Args> {
@@ -54,6 +56,7 @@ fn parse_args(args: &[String]) -> Option<Args> {
         target: "ipbm".into(),
         report: None,
         demo_tables: false,
+        force: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -75,6 +78,10 @@ fn parse_args(args: &[String]) -> Option<Args> {
                 out.demo_tables = true;
                 i += 1;
             }
+            "--force" => {
+                out.force = true;
+                i += 1;
+            }
             _ => return None,
         }
     }
@@ -89,7 +96,10 @@ fn parse_args(args: &[String]) -> Option<Args> {
 fn demo_population() -> String {
     let mut s = String::new();
     for p in 0..8 {
-        s.push_str(&format!("table_add port_map set_ifindex {p} => {}\n", 10 + p));
+        s.push_str(&format!(
+            "table_add port_map set_ifindex {p} => {}\n",
+            10 + p
+        ));
         s.push_str(&format!("table_add bd_vrf set_bd_vrf {} => 1 1\n", 10 + p));
     }
     s.push_str("table_add fwd_mode set_l3 1 0x020000000002 =>\n");
@@ -122,6 +132,10 @@ fn run(a: Args) -> Result<(), String> {
     });
     let (mut flow, install) =
         Rp4Flow::install(device, compilation, target).map_err(|e| e.to_string())?;
+    flow.force = a.force;
+    if a.force {
+        eprintln!("warning: --force disables the update-plan safety check (RP4105)");
+    }
     println!(
         "installed `{}`: {} msgs, simulated load {:.1} ms, {} TSPs",
         a.base,
@@ -135,9 +149,11 @@ fn run(a: Args) -> Result<(), String> {
         .snippets
         .iter()
         .map(std::path::PathBuf::from)
-        .chain(a.scripts.iter().filter_map(|s| {
-            std::path::Path::new(s).parent().map(|p| p.to_path_buf())
-        }))
+        .chain(
+            a.scripts
+                .iter()
+                .filter_map(|s| std::path::Path::new(s).parent().map(|p| p.to_path_buf())),
+        )
         .collect();
     let resolve = move |name: &str| -> Option<String> {
         for d in &snippet_dirs {
@@ -171,8 +187,8 @@ fn run(a: Args) -> Result<(), String> {
 
     run_traffic(&mut flow, "baseline");
     for script in &a.scripts {
-        let src = std::fs::read_to_string(script)
-            .map_err(|e| format!("cannot read {script}: {e}"))?;
+        let src =
+            std::fs::read_to_string(script).map_err(|e| format!("cannot read {script}: {e}"))?;
         let outcome = flow
             .run_script(&src, &resolve)
             .map_err(|e| format!("{script}: {e}"))?;

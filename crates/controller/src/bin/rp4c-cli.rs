@@ -23,13 +23,17 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  rp4c compile <file.rp4> [--target ipbm|fpga] [-o design.json] [--apis apis.json]\n  \
          rp4c translate <file.p4> [-o out.rp4]\n  \
-         rp4c check <file.rp4> [--base <base.rp4>]\n  \
+         rp4c check <file.rp4> [--base <base.rp4>] [--target ipbm|fpga] [--deny-warnings]\n  \
          rp4c plan --base <base.rp4> --script <file.script> [--snippets <dir>] [--algo dp|greedy] [-o design.json]"
     );
     ExitCode::from(2)
 }
 
-/// Minimal flag parser: positional args plus `--flag value` pairs.
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["deny-warnings"];
+
+/// Minimal flag parser: positional args plus `--flag value` pairs
+/// (boolean flags in [`BOOL_FLAGS`] consume no value).
 fn parse_args(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
     let mut pos = Vec::new();
     let mut flags = HashMap::new();
@@ -37,7 +41,10 @@ fn parse_args(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
     while i < args.len() {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
-            if let Some(v) = args.get(i + 1) {
+            if BOOL_FLAGS.contains(&name) {
+                flags.insert(name.to_string(), String::new());
+                i += 1;
+            } else if let Some(v) = args.get(i + 1) {
                 flags.insert(name.to_string(), v.clone());
                 i += 2;
             } else {
@@ -128,24 +135,65 @@ fn cmd_check(pos: &[String], flags: &HashMap<String, String>) -> Result<(), Stri
         Some(b) => Some(rp4_lang::parse(&read(b)?).map_err(|e| e.to_string())?),
         None => None,
     };
-    match rp4_lang::check(&prog, base.as_ref()) {
-        Ok(_) => {
-            println!(
-                "{file}: OK ({} headers, {} tables, {} actions, {} stages)",
-                prog.headers.len(),
-                prog.tables.len(),
-                prog.actions.len(),
-                prog.stages().count()
-            );
-            Ok(())
-        }
-        Err(errs) => {
-            for e in &errs {
-                eprintln!("{file}: {e}");
-            }
-            Err(format!("{} semantic error(s)", errs.len()))
-        }
+
+    // Phase 1: semantic check, rendered rustc-style against the source.
+    if let Err(errs) = rp4_lang::check(&prog, base.as_ref()) {
+        let diags: Vec<_> = errs.iter().map(|e| e.to_diagnostic()).collect();
+        eprint!("{}", rp4_lang::render_all(&diags, Some(&src), file));
+        return Err(format!("{} semantic error(s)", errs.len()));
     }
+
+    // Phase 2: static analysis. Snippets are linted in the context of the
+    // absorbed base design (a snippet alone has nothing to verify against);
+    // mixing two source files breaks span offsets, so the absorbed case
+    // renders without source excerpts.
+    let (checked, verify_src) = match base {
+        Some(mut b) => {
+            b.absorb(&prog);
+            (b, None)
+        }
+        None => (prog.clone(), Some(src.as_str())),
+    };
+    let env = rp4_lang::check(&checked, None)
+        .map_err(|errs| format!("{} error(s) in the absorbed design", errs.len()))?;
+    let target = target_of(flags)?;
+    let limits = rp4c::verify_limits(&target);
+    let mut diags = rp4_verify::verify_program(&checked, &env, &limits);
+    let (tables, actions) = rp4c::lower_registries(&env, &checked).map_err(|e| e.to_string())?;
+    diags.extend(rp4_verify::verify_pool(
+        &tables,
+        &actions,
+        &limits,
+        Some(&checked.spans),
+    ));
+
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == rp4_lang::Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    if !diags.is_empty() {
+        eprint!("{}", rp4_lang::render_all(&diags, verify_src, file));
+    }
+    if errors > 0 {
+        return Err(format!("{errors} verifier error(s)"));
+    }
+    if warnings > 0 && flags.contains_key("deny-warnings") {
+        return Err(format!("{warnings} warning(s) denied by --deny-warnings"));
+    }
+    println!(
+        "{file}: OK ({} headers, {} tables, {} actions, {} stages{})",
+        prog.headers.len(),
+        prog.tables.len(),
+        prog.actions.len(),
+        prog.stages().count(),
+        if warnings > 0 {
+            format!(", {warnings} warning(s)")
+        } else {
+            String::new()
+        }
+    );
+    Ok(())
 }
 
 fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {

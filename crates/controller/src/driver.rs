@@ -46,6 +46,8 @@ pub enum ControllerError {
     Device(ipsa_core::error::CoreError),
     /// Referenced snippet file not available.
     MissingSource(String),
+    /// Static analysis rejected an update plan (RP4105 etc.).
+    Verify(Vec<rp4_lang::Diagnostic>),
 }
 
 impl std::fmt::Display for ControllerError {
@@ -59,6 +61,13 @@ impl std::fmt::Display for ControllerError {
             ControllerError::Api(e) => write!(f, "{e}"),
             ControllerError::Device(e) => write!(f, "device error: {e}"),
             ControllerError::MissingSource(s) => write!(f, "snippet file `{s}` not provided"),
+            ControllerError::Verify(diags) => {
+                writeln!(f, "{} unsafe plan message(s):", diags.len())?;
+                for d in diags {
+                    writeln!(f, "  {}", d.header())?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -118,6 +127,9 @@ pub struct Rp4Flow<D: Device> {
     pub apis: Vec<TableApi>,
     /// Placement algorithm for incremental updates.
     pub algo: LayoutAlgo,
+    /// Skip the plan safety check in [`Rp4Flow::apply_plan`] (operator
+    /// override for hand-written plans; unsafe plans corrupt live traffic).
+    pub force: bool,
     target: CompilerTarget,
 }
 
@@ -137,6 +149,7 @@ impl<D: Device> Rp4Flow<D> {
                 program: compilation.program,
                 apis: compilation.apis,
                 algo: LayoutAlgo::Dp,
+                force: false,
                 target,
             },
             report,
@@ -239,7 +252,21 @@ impl<D: Device> Rp4Flow<D> {
     /// Applies a pre-compiled plan. Only t_L is paid here; the plan must
     /// have been computed against the current design (enforced by checking
     /// the template baseline).
+    ///
+    /// Plans from [`Rp4Flow::plan_script`] are safe by construction, but
+    /// this method also accepts deserialized or hand-assembled plans — so
+    /// it re-verifies that every structural message sits inside a
+    /// `Drain … Resume` window (RP4105) unless [`Rp4Flow::force`] is set.
     pub fn apply_plan(&mut self, plan: rp4c::UpdatePlan) -> Result<ApplyReport, ControllerError> {
+        if !self.force {
+            let unsafe_msgs: Vec<_> = rp4_verify::verify_msgs(&plan.msgs)
+                .into_iter()
+                .filter(|d| d.severity == rp4_lang::Severity::Error)
+                .collect();
+            if !unsafe_msgs.is_empty() {
+                return Err(ControllerError::Verify(unsafe_msgs));
+            }
+        }
         let report = self.device.apply(&plan.msgs)?;
         self.design = plan.design;
         self.program = plan.program;
@@ -279,10 +306,10 @@ impl<D: Device> Rp4Flow<D> {
                 ScriptCmd::AddLink { from, to } => pending.push(UpdateCmd::AddLink { from, to }),
                 ScriptCmd::DelLink { from, to } => pending.push(UpdateCmd::DelLink { from, to }),
                 ScriptCmd::LinkHeader { pre, next, tag } => {
-                    pending.push(UpdateCmd::LinkHeader { pre, next, tag })
+                    pending.push(UpdateCmd::LinkHeader { pre, next, tag });
                 }
                 ScriptCmd::UnlinkHeader { pre, next } => {
-                    pending.push(UpdateCmd::UnlinkHeader { pre, next })
+                    pending.push(UpdateCmd::UnlinkHeader { pre, next });
                 }
                 ScriptCmd::TableAdd {
                     table,
@@ -294,7 +321,9 @@ impl<D: Device> Rp4Flow<D> {
                     self.flush_updates(&mut pending, &mut outcome)?;
                     let api = find_api(&self.apis, &table)?;
                     let entry = build_entry(api, &action, &keys, &args, priority)?;
-                    let r = self.device.apply(&[ControlMsg::AddEntry { table, entry }])?;
+                    let r = self
+                        .device
+                        .apply(&[ControlMsg::AddEntry { table, entry }])?;
                     outcome.report.merge(&r);
                 }
                 ScriptCmd::TableDel { table, keys } => {
@@ -363,10 +392,7 @@ impl<D: Device> P4Flow<D> {
 
     /// Replaces the program: full recompile, whole-design swap, and
     /// repopulation of every table entry. Returns `(t_C µs, report)`.
-    pub fn update_source(
-        &mut self,
-        source: String,
-    ) -> Result<(f64, ApplyReport), ControllerError> {
+    pub fn update_source(&mut self, source: String) -> Result<(f64, ApplyReport), ControllerError> {
         // t_C: the whole front end + back end, every time.
         let t0 = Instant::now();
         let ast = parse_p4(&source).map_err(ControllerError::P4)?;
@@ -384,6 +410,16 @@ impl<D: Device> P4Flow<D> {
                     entry: entry.clone(),
                 });
             }
+        }
+        // The swap path must stay plan-safe too: LoadFullDesign quiesces by
+        // itself and entry adds are non-structural, so this never fires
+        // unless the message assembly above regresses.
+        let unsafe_msgs: Vec<_> = rp4_verify::verify_msgs(&msgs)
+            .into_iter()
+            .filter(|d| d.severity == rp4_lang::Severity::Error)
+            .collect();
+        if !unsafe_msgs.is_empty() {
+            return Err(ControllerError::Verify(unsafe_msgs));
         }
         let report = self.device.apply(&msgs)?;
         self.entries

@@ -125,6 +125,45 @@ mod flow_tests {
     }
 
     #[test]
+    fn tampered_plan_rejected_unless_forced() {
+        use ipsa_core::control::ControlMsg;
+        // Strip the Drain…Resume window so every structural write lands on
+        // a live pipeline — exactly what RP4105 exists to catch.
+        let tamper = |plan: &mut rp4c::UpdatePlan| {
+            plan.msgs
+                .retain(|m| !matches!(m, ControlMsg::Drain | ControlMsg::Resume));
+        };
+        let mut flow = rp4_flow();
+        let mut plan = flow
+            .plan_script(programs::ECMP_SCRIPT, &programs::bundled_sources)
+            .unwrap();
+        tamper(&mut plan);
+        let e = flow.apply_plan(plan).unwrap_err();
+        match e {
+            ControllerError::Verify(diags) => {
+                assert!(!diags.is_empty());
+                assert!(
+                    diags
+                        .iter()
+                        .all(|d| d.code == rp4_verify::codes::PLAN_UNSAFE),
+                    "{diags:?}"
+                );
+            }
+            other => panic!("expected Verify error, got: {other}"),
+        }
+        // The rejected apply must not have touched the flow's state.
+        assert!(flow.design.tables.contains_key("nexthop"));
+        // An operator override skips the check and the plan goes through.
+        let mut plan = flow
+            .plan_script(programs::ECMP_SCRIPT, &programs::bundled_sources)
+            .unwrap();
+        tamper(&mut plan);
+        flow.force = true;
+        flow.apply_plan(plan).unwrap();
+        assert!(flow.design.tables.contains_key("ecmp_ipv4"));
+    }
+
+    #[test]
     fn bad_table_add_rejected_before_device() {
         let mut flow = rp4_flow();
         let e = flow
@@ -144,14 +183,8 @@ mod flow_tests {
         assert!(t_c0 > 0.0);
         assert!(r0.load_us > 0.0);
         // Install some entries.
-        flow.table_add(
-            "port_map",
-            "set_ifindex",
-            &[KeyToken::Exact(0)],
-            &[10],
-            0,
-        )
-        .unwrap();
+        flow.table_add("port_map", "set_ifindex", &[KeyToken::Exact(0)], &[10], 0)
+            .unwrap();
         flow.table_add("bd_vrf", "set_bd_vrf", &[KeyToken::Exact(10)], &[1, 1], 0)
             .unwrap();
         assert_eq!(flow.tracked_entries(), 2);

@@ -48,7 +48,12 @@ pub fn use_cases() -> [(&'static str, &'static str, &'static str, &'static str);
     [
         ("C1-ECMP", ECMP_RP4, ECMP_SCRIPT, BASE_ECMP_P4),
         ("C2-SRv6", SRV6_RP4, SRV6_SCRIPT, BASE_SRV6_P4),
-        ("C3-FlowProbe", FLOWPROBE_RP4, FLOWPROBE_SCRIPT, BASE_PROBE_P4),
+        (
+            "C3-FlowProbe",
+            FLOWPROBE_RP4,
+            FLOWPROBE_SCRIPT,
+            BASE_PROBE_P4,
+        ),
     ]
 }
 

@@ -265,13 +265,9 @@ pub fn parse_script(src: &str) -> Result<Vec<ScriptCmd>, ScriptError> {
                     if *t == "=>" {
                         in_args = true;
                     } else if let Some(p) = t.strip_prefix("prio=") {
-                        priority = p
-                            .parse()
-                            .map_err(|_| err(format!("bad priority `{p}`")))?;
+                        priority = p.parse().map_err(|_| err(format!("bad priority `{p}`")))?;
                     } else if in_args {
-                        args.push(
-                            parse_int(t).ok_or_else(|| err(format!("bad arg `{t}`")))?,
-                        );
+                        args.push(parse_int(t).ok_or_else(|| err(format!("bad arg `{t}`")))?);
                     } else {
                         keys.push(parse_key(t).ok_or_else(|| err(format!("bad key `{t}`")))?);
                     }
@@ -396,7 +392,10 @@ mod tests {
         );
         match &cmds[1] {
             ScriptCmd::TableAdd {
-                keys, priority, args, ..
+                keys,
+                priority,
+                args,
+                ..
             } => {
                 assert_eq!(keys.len(), 2);
                 assert!(matches!(keys[0], KeyToken::Ternary { .. }));

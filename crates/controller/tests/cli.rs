@@ -105,7 +105,11 @@ fn rp4c_rejects_bad_input() {
     assert!(stderr.contains("cannot read"), "{stderr}");
 
     let bad = std::env::temp_dir().join("rp4c_cli_bad.rp4");
-    std::fs::write(&bad, "stage s { parser { ghost; } matcher { } executor { default: NoAction; } }").unwrap();
+    std::fs::write(
+        &bad,
+        "stage s { parser { ghost; } matcher { } executor { default: NoAction; } }",
+    )
+    .unwrap();
     let (ok, _, stderr) = rp4c(&["check", bad.to_str().unwrap()]);
     assert!(!ok);
     assert!(stderr.contains("ghost"), "{stderr}");

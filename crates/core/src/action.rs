@@ -174,7 +174,9 @@ fn read(v: &ValueRef, pkt: &Packet, ctx: &EvalCtx<'_>, action: &str) -> Result<u
                 "operand of action `{action}`"
             )),
         )),
-        Err(CoreError::BadActionData { index, supplied, .. }) => Err(CoreError::BadActionData {
+        Err(CoreError::BadActionData {
+            index, supplied, ..
+        }) => Err(CoreError::BadActionData {
             action: action.to_string(),
             index,
             supplied,
@@ -272,8 +274,12 @@ pub fn execute(
             Primitive::Srv6Advance => {
                 let srh = pkt.parsed().iter().find(|h| h.ty == "srh").cloned();
                 if let Some(srh) = srh {
-                    let sl =
-                        read(&ValueRef::field("srh", "segments_left"), pkt, ctx, &action.name)?;
+                    let sl = read(
+                        &ValueRef::field("srh", "segments_left"),
+                        pkt,
+                        ctx,
+                        &action.name,
+                    )?;
                     if sl > 0 && pkt.is_valid("ipv6") {
                         let sl = sl - 1;
                         pkt.set_field(ctx.linkage, "srh", "segments_left", sl)?;
@@ -300,8 +306,7 @@ pub fn execute(
                 } else {
                     // Incremental checksum per RFC 1624: the TTL shares a
                     // 16-bit word with the protocol field.
-                    let proto =
-                        read(&ValueRef::field("ipv4", "protocol"), pkt, ctx, &action.name)?;
+                    let proto = read(&ValueRef::field("ipv4", "protocol"), pkt, ctx, &action.name)?;
                     let old_ck = read(
                         &ValueRef::field("ipv4", "hdr_checksum"),
                         pkt,
@@ -428,7 +433,7 @@ pub fn written_meta(action: &ActionDef) -> Vec<String> {
             }
             Primitive::Forward { .. } => out.push("egress_port".into()),
             Primitive::Mark { .. } | Primitive::MarkIfCounterOver { .. } => {
-                out.push("mark".into())
+                out.push("mark".into());
             }
             _ => {}
         }

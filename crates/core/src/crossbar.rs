@@ -72,9 +72,9 @@ impl Crossbar {
     pub fn tsp_cluster(&self, slot: usize) -> Option<usize> {
         match &self.kind {
             CrossbarKind::Full => None,
-            CrossbarKind::Clustered { tsp_clusters, .. } => tsp_clusters
-                .iter()
-                .position(|c| c.contains(&slot)),
+            CrossbarKind::Clustered { tsp_clusters, .. } => {
+                tsp_clusters.iter().position(|c| c.contains(&slot))
+            }
         }
     }
 

@@ -596,15 +596,19 @@ mod tests {
             def.size,
         );
         let ids = pool.allocate(&def.name, BlockKind::Sram, need).unwrap();
-        let map =
-            TableBlockMap::new(&def.name, def.entry_width_bits(16), def.size, BlockKind::Sram, ids)
-                .unwrap();
+        let map = TableBlockMap::new(
+            &def.name,
+            def.entry_width_bits(16),
+            def.size,
+            BlockKind::Sram,
+            ids,
+        )
+        .unwrap();
         map.write_row(&mut pool, 1500, &bytes).unwrap();
         let back = map.read_row(&pool, 1500).unwrap();
         assert_eq!(back, bytes);
 
-        let (tag, key, args) =
-            deserialize_entry(&def, &|_| vec![16], &back).unwrap();
+        let (tag, key, args) = deserialize_entry(&def, &|_| vec![16], &back).unwrap();
         assert_eq!(tag, 1);
         assert_eq!(key, entry.key);
         assert_eq!(args, vec![42]);
@@ -633,7 +637,9 @@ mod tests {
             map.write_row(&mut pool, row, &bytes).unwrap();
         }
 
-        let new_ids = pool.allocate(&format!("{}:new", def.name), BlockKind::Sram, need).unwrap();
+        let new_ids = pool
+            .allocate(&format!("{}:new", def.name), BlockKind::Sram, need)
+            .unwrap();
         let new_map = map.migrate(&mut pool, new_ids, 10).unwrap();
         for row in 0..10 {
             assert_eq!(new_map.read_row(&pool, row).unwrap(), bytes);

@@ -76,17 +76,17 @@ impl SelectorConfig {
 
     /// Active (non-bypassed) slot count — drives the power model.
     pub fn active_count(&self) -> usize {
-        self.roles.iter().filter(|&&r| r != SlotRole::Bypass).count()
+        self.roles
+            .iter()
+            .filter(|&&r| r != SlotRole::Bypass)
+            .count()
     }
 
     /// Structural validation: every ingress slot must precede every egress
     /// slot (the TM sits at one point of the chain; a selector cannot route
     /// a right-side TSP into ingress).
     pub fn validate(&self) -> Result<(), CoreError> {
-        let last_ingress = self
-            .roles
-            .iter()
-            .rposition(|&r| r == SlotRole::Ingress);
+        let last_ingress = self.roles.iter().rposition(|&r| r == SlotRole::Ingress);
         let first_egress = self.roles.iter().position(|&r| r == SlotRole::Egress);
         if let (Some(li), Some(fe)) = (last_ingress, first_egress) {
             if li > fe {

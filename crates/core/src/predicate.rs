@@ -91,12 +91,10 @@ impl Predicate {
             Predicate::Not(p) => !p.eval(pkt, ctx)?,
             Predicate::And(a, b) => a.eval(pkt, ctx)? && b.eval(pkt, ctx)?,
             Predicate::Or(a, b) => a.eval(pkt, ctx)? || b.eval(pkt, ctx)?,
-            Predicate::Cmp { lhs, op, rhs } => {
-                match (lhs.read(pkt, ctx)?, rhs.read(pkt, ctx)?) {
-                    (Some(a), Some(b)) => op.apply(a, b),
-                    _ => false,
-                }
-            }
+            Predicate::Cmp { lhs, op, rhs } => match (lhs.read(pkt, ctx)?, rhs.read(pkt, ctx)?) {
+                (Some(a), Some(b)) => op.apply(a, b),
+                _ => false,
+            },
         })
     }
 
@@ -219,8 +217,7 @@ fn factors_exclusive(a: &Predicate, b: &Predicate) -> bool {
             },
         ) => {
             // x == c1 vs x == c2, c1 != c2
-            l1 == l2
-                && matches!((r1, r2), (ValueRef::Const(c1), ValueRef::Const(c2)) if c1 != c2)
+            l1 == l2 && matches!((r1, r2), (ValueRef::Const(c1), ValueRef::Const(c2)) if c1 != c2)
         }
         _ => false,
     }
@@ -271,9 +268,11 @@ mod tests {
         let ctx = EvalCtx::bare(&linkage);
         let t = Predicate::True;
         let f = Predicate::IsValid("ipv6".into());
-        assert!(Predicate::and(t.clone(), Predicate::Not(Box::new(f.clone())))
-            .eval(&p, &ctx)
-            .unwrap());
+        assert!(
+            Predicate::and(t.clone(), Predicate::Not(Box::new(f.clone())))
+                .eval(&p, &ctx)
+                .unwrap()
+        );
         assert!(Predicate::Or(Box::new(f.clone()), Box::new(t.clone()))
             .eval(&p, &ctx)
             .unwrap());

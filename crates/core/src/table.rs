@@ -339,7 +339,9 @@ impl Table {
                     }
                 }
                 (got, want) => {
-                    return Err(err(format!("field {i}: {got:?} incompatible with {want:?}")));
+                    return Err(err(format!(
+                        "field {i}: {got:?} incompatible with {want:?}"
+                    )));
                 }
             }
         }
@@ -496,7 +498,11 @@ impl Table {
 
     /// Reads the lookup key field values from a packet. `None` when any
     /// field's source header is absent (the table does not apply).
-    pub fn read_key(&self, pkt: &Packet, ctx: &EvalCtx<'_>) -> Result<Option<Vec<u128>>, CoreError> {
+    pub fn read_key(
+        &self,
+        pkt: &Packet,
+        ctx: &EvalCtx<'_>,
+    ) -> Result<Option<Vec<u128>>, CoreError> {
         let mut vals = Vec::with_capacity(self.def.key.len());
         for k in &self.def.key {
             match k.source.read(pkt, ctx)? {
@@ -534,18 +540,14 @@ impl Table {
                 }
                 found
             }
-            IndexMode::Ternary => self
-                .tern_order
-                .iter()
-                .copied()
-                .find(|&r| {
-                    let e = self.rows[r].as_ref().expect("indexed row live");
-                    e.key.iter().zip(&vals).all(|(km, &v)| match km {
-                        KeyMatch::Exact(x) => *x == v,
-                        KeyMatch::Ternary { value, mask } => v & *mask == *value,
-                        KeyMatch::Lpm { .. } => false,
-                    })
-                }),
+            IndexMode::Ternary => self.tern_order.iter().copied().find(|&r| {
+                let e = self.rows[r].as_ref().expect("indexed row live");
+                e.key.iter().zip(&vals).all(|(km, &v)| match km {
+                    KeyMatch::Exact(x) => *x == v,
+                    KeyMatch::Ternary { value, mask } => v & *mask == *value,
+                    KeyMatch::Lpm { .. } => false,
+                })
+            }),
             IndexMode::Selector => {
                 if self.members.is_empty() {
                     None
@@ -845,7 +847,10 @@ mod tests {
             assert_eq!(h1.row, h2.row, "per-flow stability");
             seen.insert(h1.row);
         }
-        assert!(seen.len() >= 3, "hashing should spread over members: {seen:?}");
+        assert!(
+            seen.len() >= 3,
+            "hashing should spread over members: {seen:?}"
+        );
     }
 
     #[test]

@@ -114,13 +114,15 @@ impl ValueRef {
                 Ok(Some(pkt.get_field(ctx.linkage, header, field)?))
             }
             ValueRef::Param(i) => {
-                ctx.params.get(*i).copied().map(Some).ok_or_else(|| {
-                    CoreError::BadActionData {
+                ctx.params
+                    .get(*i)
+                    .copied()
+                    .map(Some)
+                    .ok_or_else(|| CoreError::BadActionData {
                         action: String::new(),
                         index: *i,
                         supplied: ctx.params.len(),
-                    }
-                })
+                    })
             }
             ValueRef::EntryCounter => Ok(Some(ctx.entry_counter.unwrap_or(0) as u128)),
         }
@@ -130,12 +132,7 @@ impl ValueRef {
 impl LValueRef {
     /// Writes `value` to the destination. The destination header must be
     /// present for field writes.
-    pub fn write(
-        &self,
-        pkt: &mut Packet,
-        ctx: &EvalCtx<'_>,
-        value: u128,
-    ) -> Result<(), CoreError> {
+    pub fn write(&self, pkt: &mut Packet, ctx: &EvalCtx<'_>, value: u128) -> Result<(), CoreError> {
         match self {
             LValueRef::Meta(name) => {
                 pkt.meta.set(name, value);
@@ -213,7 +210,9 @@ mod tests {
         let mut p = builder::ipv4_udp_packet(&Ipv4UdpSpec::default());
         p.ensure_parsed(&linkage, "ipv4").unwrap();
         let ctx = EvalCtx::bare(&linkage);
-        LValueRef::field("ipv4", "ttl").write(&mut p, &ctx, 9).unwrap();
+        LValueRef::field("ipv4", "ttl")
+            .write(&mut p, &ctx, 9)
+            .unwrap();
         LValueRef::Meta("bd".into()).write(&mut p, &ctx, 3).unwrap();
         assert_eq!(p.get_field(&linkage, "ipv4", "ttl").unwrap(), 9);
         assert_eq!(p.meta.get("bd"), 3);

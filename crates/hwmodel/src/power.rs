@@ -65,8 +65,8 @@ pub fn power(arch: Arch, p: &DesignParams, effective_stages: usize) -> PowerRepo
             r.parser_w = FP_W_PER_KBIT * p.total_header_bits as f64 / 1000.0;
             // The fixed pipeline burns all stages; activity adds a small
             // per-effective-stage increment.
-            r.processors_w = PISA_STAGE_W * p.stages as f64
-                + 0.004 * effective_stages.min(p.stages) as f64;
+            r.processors_w =
+                PISA_STAGE_W * p.stages as f64 + 0.004 * effective_stages.min(p.stages) as f64;
         }
         Arch::Ipsa => {
             let active = effective_stages.min(p.stages);
@@ -135,7 +135,10 @@ mod tests {
         let s = fig6_series(&p);
         let pisa_spread = s.last().unwrap().1 - s[0].1;
         let ipsa_spread = s.last().unwrap().2 - s[0].2;
-        assert!(pisa_spread < 0.1, "PISA must be ~flat, spread {pisa_spread}");
+        assert!(
+            pisa_spread < 0.1,
+            "PISA must be ~flat, spread {pisa_spread}"
+        );
         assert!(ipsa_spread > 1.0, "IPSA must scale, spread {ipsa_spread}");
         // Crossover: IPSA cheaper at low stage counts, premium at full.
         assert!(s[0].2 < s[0].1, "IPSA wins at 1 stage");

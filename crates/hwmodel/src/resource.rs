@@ -185,9 +185,15 @@ mod tests {
         let lut_premium = ipsa.total.lut_pct / pisa.total.lut_pct;
         let ff_premium = ipsa.total.ff_pct / pisa.total.ff_pct;
         // Paper: +14.84% LUT, +61.40% FF.
-        assert!((1.05..=1.35).contains(&lut_premium), "LUT premium {lut_premium}");
+        assert!(
+            (1.05..=1.35).contains(&lut_premium),
+            "LUT premium {lut_premium}"
+        );
         assert!((1.3..=2.1).contains(&ff_premium), "FF premium {ff_premium}");
-        assert!(ff_premium > lut_premium, "FF premium dominates (template regs)");
+        assert!(
+            ff_premium > lut_premium,
+            "FF premium dominates (template regs)"
+        );
     }
 
     #[test]

@@ -60,7 +60,11 @@ impl CommModule {
     fn record(&mut self, dir: &str, port: u16, pkt: &Packet) {
         let cap = self.trace_cap;
         if let Some(t) = &mut self.trace {
-            t.push_back(format!("{dir} port {port} len {}\n{}", pkt.len(), pkt.hex_dump()));
+            t.push_back(format!(
+                "{dir} port {port} len {}\n{}",
+                pkt.len(),
+                pkt.hex_dump()
+            ));
             while t.len() > cap {
                 t.pop_front();
             }

@@ -357,10 +357,12 @@ mod tests {
             },
         )
         .unwrap();
-        pm.write_template(7, TspTemplate::passthrough("egress_noop")).unwrap();
+        pm.write_template(7, TspTemplate::passthrough("egress_noop"))
+            .unwrap();
         pm.crossbar.connect(0, &[0]).unwrap();
         pm.crossbar.connect(1, &[1]).unwrap();
-        pm.set_selector(SelectorConfig::split(8, 2, 1).unwrap()).unwrap();
+        pm.set_selector(SelectorConfig::split(8, 2, 1).unwrap())
+            .unwrap();
         (linkage, sm, pm)
     }
 
@@ -394,7 +396,8 @@ mod tests {
     fn bypassed_slots_do_no_work() {
         let (linkage, mut sm, mut pm) = two_stage();
         // Slot 2 gets a template but stays bypassed by the selector.
-        pm.write_template(2, TspTemplate::passthrough("idle")).unwrap();
+        pm.write_template(2, TspTemplate::passthrough("idle"))
+            .unwrap();
         let p = ipv4_udp_packet(&Ipv4UdpSpec {
             dst_ip: 0x0a010101,
             ..Default::default()
@@ -434,15 +437,17 @@ mod tests {
     fn selector_validation_enforced() {
         let (_, _, mut pm) = two_stage();
         let bad = SelectorConfig {
-            roles: vec![SlotRole::Egress; 8].into_iter()
+            roles: vec![SlotRole::Egress; 8]
+                .into_iter()
                 .enumerate()
                 .map(|(i, r)| if i == 7 { SlotRole::Ingress } else { r })
                 .collect(),
         };
         assert!(pm.set_selector(bad).is_err());
-        assert!(pm
-            .set_selector(SelectorConfig::all_bypass(4))
-            .is_err(), "wrong width rejected");
+        assert!(
+            pm.set_selector(SelectorConfig::all_bypass(4)).is_err(),
+            "wrong width rejected"
+        );
     }
 
     #[test]

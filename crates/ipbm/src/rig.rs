@@ -158,8 +158,7 @@ mod tests {
         // of.
         let dev = sw.report();
         assert_eq!(
-            dev.pipeline.received,
-            2_000,
+            dev.pipeline.received, 2_000,
             "all offered packets entered the pipeline"
         );
         assert_eq!(

@@ -11,9 +11,7 @@ use std::collections::HashMap;
 
 use ipsa_core::action::ActionDef;
 use ipsa_core::error::CoreError;
-use ipsa_core::memory::{
-    blocks_needed, serialize_entry, BlockKind, MemoryPool, TableBlockMap,
-};
+use ipsa_core::memory::{blocks_needed, serialize_entry, BlockKind, MemoryPool, TableBlockMap};
 use ipsa_core::table::{Hit, KeyMatch, Table, TableDef, TableEntry};
 use ipsa_core::value::EvalCtx;
 use ipsa_netpkt::packet::Packet;
@@ -157,7 +155,11 @@ impl StorageModule {
             .get(&entry.action.action)
             .map(|a| a.params.iter().map(|(_, b)| *b).collect())
             .unwrap_or_default();
-        let tag = store.table.def.action_tag(&entry.action.action).unwrap_or(0);
+        let tag = store
+            .table
+            .def
+            .action_tag(&entry.action.action)
+            .unwrap_or(0);
         let row = store.table.insert(entry)?;
         let e = store.table.row(row).expect("just inserted").clone();
         let bytes = serialize_entry(&store.table.def, &param_bits, tag, &e)?;
@@ -200,12 +202,7 @@ impl StorageModule {
             .tables
             .get(table)
             .ok_or_else(|| CoreError::UnknownTable(table.to_string()))?;
-        let live_rows = store
-            .table
-            .iter()
-            .map(|(r, _)| r + 1)
-            .max()
-            .unwrap_or(0);
+        let live_rows = store.table.iter().map(|(r, _)| r + 1).max().unwrap_or(0);
         if new_blocks.len() < store.map.block_ids.len() {
             return Err(CoreError::Config(format!(
                 "migration of `{table}` needs {} blocks, got {}",
@@ -226,7 +223,7 @@ impl StorageModule {
             }
         };
         self.pool.free_owner(table); // recycle the old blocks
-        // Hand the copied blocks over without touching their contents.
+                                     // Hand the copied blocks over without touching their contents.
         self.pool.reassign(&tmp_owner, table);
         self.tables.get_mut(table).expect("checked").map = new_map;
         Ok(())
@@ -316,7 +313,12 @@ mod tests {
             .unwrap();
 
         // The blocks really hold the entry.
-        let bytes = sm.table("fib").unwrap().map.read_row(&sm.pool, row).unwrap();
+        let bytes = sm
+            .table("fib")
+            .unwrap()
+            .map
+            .read_row(&sm.pool, row)
+            .unwrap();
         assert!(bytes.iter().any(|&b| b != 0));
 
         let linkage = ipsa_netpkt::HeaderLinkage::standard();
@@ -355,7 +357,12 @@ mod tests {
             )
             .unwrap();
         sm.delete_entry("fib", &key).unwrap();
-        let bytes = sm.table("fib").unwrap().map.read_row(&sm.pool, row).unwrap();
+        let bytes = sm
+            .table("fib")
+            .unwrap()
+            .map
+            .read_row(&sm.pool, row)
+            .unwrap();
         assert!(bytes.iter().all(|&b| b == 0));
     }
 
@@ -409,7 +416,10 @@ mod tests {
         }
         sm.migrate_table("fib", vec![5]).unwrap();
         assert_eq!(sm.pool.owned_by("fib"), vec![5], "moved to the new block");
-        assert!(sm.pool.block(0).unwrap().owner.is_none(), "old block recycled");
+        assert!(
+            sm.pool.block(0).unwrap().owner.is_none(),
+            "old block recycled"
+        );
         // Lookups still hit; block-level bytes survived the copy.
         let mut p = ipv4_udp_packet(&Ipv4UdpSpec {
             dst_ip: 0x0a00_0342,

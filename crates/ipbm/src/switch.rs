@@ -160,7 +160,13 @@ impl Device for IpbmSwitch {
     }
 
     fn apply(&mut self, msgs: &[ControlMsg]) -> Result<ApplyReport, CoreError> {
-        ccm::apply_msgs(&mut self.pm, &mut self.sm, &mut self.linkage, &self.cost, msgs)
+        ccm::apply_msgs(
+            &mut self.pm,
+            &mut self.sm,
+            &mut self.linkage,
+            &self.cost,
+            msgs,
+        )
     }
 
     fn inject(&mut self, packet: Packet) {

@@ -278,7 +278,9 @@ mod tests {
             dst_ip: 0x0a010101,
             ..Default::default()
         });
-        let e = slot.process(0, &linkage, &mut sm, &empty, &mut p).unwrap_err();
+        let e = slot
+            .process(0, &linkage, &mut sm, &empty, &mut p)
+            .unwrap_err();
         assert!(matches!(e, CoreError::CrossbarViolation(_)));
     }
 

@@ -198,7 +198,10 @@ mod tests {
     #[test]
     fn zero_and_oversize_width_rejected() {
         let buf = [0u8; 4];
-        assert!(matches!(get_bits(&buf, 0, 0), Err(BitfieldError::BadWidth(0))));
+        assert!(matches!(
+            get_bits(&buf, 0, 0),
+            Err(BitfieldError::BadWidth(0))
+        ));
         assert!(matches!(
             get_bits(&buf, 0, 129),
             Err(BitfieldError::BadWidth(129))

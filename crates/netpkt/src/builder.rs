@@ -191,8 +191,12 @@ pub fn srv6_packet(spec: &Ipv6UdpSpec, segments: &[u128]) -> Packet {
     ipv6.set(&mut p.data[14..54], "next_hdr", protocols::PROTO_SRH)
         .unwrap();
     let old_len = ipv6.get(&p.data[14..54], "payload_len").unwrap();
-    ipv6.set(&mut p.data[14..54], "payload_len", old_len + srh_len as u128)
-        .unwrap();
+    ipv6.set(
+        &mut p.data[14..54],
+        "payload_len",
+        old_len + srh_len as u128,
+    )
+    .unwrap();
     p
 }
 

@@ -306,11 +306,7 @@ impl Packet {
             .cloned()
             .ok_or_else(|| PacketError::HeaderNotPresent(header.to_string()))?;
         let ty = linkage.require(header)?;
-        ty.set(
-            &mut self.data[ph.offset..ph.offset + ph.len],
-            field,
-            value,
-        )?;
+        ty.set(&mut self.data[ph.offset..ph.offset + ph.len], field, value)?;
         Ok(())
     }
 
@@ -505,7 +501,8 @@ mod tests {
         srh_ty.set(&mut srh, "next_header", 17).unwrap();
         srh_ty.set(&mut srh, "hdr_ext_len", 2).unwrap();
         srh_ty.set(&mut srh, "routing_type", 4).unwrap();
-        p.insert_header_after(&linkage, "ipv6", "srh", &srh).unwrap();
+        p.insert_header_after(&linkage, "ipv6", "srh", &srh)
+            .unwrap();
         p.set_field(&linkage, "ipv6", "next_hdr", 43).unwrap();
 
         assert!(p.is_valid("srh"));

@@ -73,7 +73,10 @@ impl TrafficGen {
     pub fn next_mixed(&mut self) -> (Packet, FlowId) {
         let i = self.rng.random_range(0..self.flows);
         let v6 = self.rng.random_range(0..100u8) < self.v6_percent;
-        (self.flow_packet(FlowId { index: i, v6 }), FlowId { index: i, v6 })
+        (
+            self.flow_packet(FlowId { index: i, v6 }),
+            FlowId { index: i, v6 },
+        )
     }
 
     /// Deterministic packet for a specific flow identity.
@@ -158,7 +161,10 @@ impl TrafficGen {
                 } else {
                     self.rng.random_range(1..self.flows.max(2))
                 };
-                let id = FlowId { index: i, v6: false };
+                let id = FlowId {
+                    index: i,
+                    v6: false,
+                };
                 (self.flow_packet(id), id)
             })
             .collect()

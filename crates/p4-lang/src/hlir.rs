@@ -10,7 +10,6 @@
 //!   `implicit parser` blocks and IPSA's linkage graph want;
 //! - both controls flattened to guard-annotated table applications.
 
-
 use rp4_lang::ast::{ActionDecl, TableDecl};
 use serde::{Deserialize, Serialize};
 
@@ -167,10 +166,7 @@ pub fn build_hlir(p: &P4Program) -> Result<Hlir, HlirError> {
         {
             if default.is_some() {
                 return Err(HlirError {
-                    msg: format!(
-                        "state `{}`: non-accept select default unsupported",
-                        s.name
-                    ),
+                    msg: format!("state `{}`: non-accept select default unsupported", s.name),
                 });
             }
             // The selector's instance is the edge source.

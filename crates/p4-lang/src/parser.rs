@@ -24,7 +24,11 @@ pub struct P4ParseError {
 
 impl std::fmt::Display for P4ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "P4 parse error at {}:{}: {}", self.line, self.col, self.msg)
+        write!(
+            f,
+            "P4 parse error at {}:{}: {}",
+            self.line, self.col, self.msg
+        )
     }
 }
 
@@ -883,7 +887,12 @@ mod tests {
     #[test]
     fn mark_to_drop_normalized() {
         let p = parse_p4(SMALL).unwrap();
-        let drop = p.ingress.actions.iter().find(|a| a.name == "drop_it").unwrap();
+        let drop = p
+            .ingress
+            .actions
+            .iter()
+            .find(|a| a.name == "drop_it")
+            .unwrap();
         assert!(matches!(&drop.body[0], Stmt::Call { name, args }
             if name == "drop" && args.is_empty()));
     }

@@ -87,7 +87,8 @@ impl PisaSwitch {
         // tables" cost follows from this.
         self.tables.clear();
         for def in design.tables.values() {
-            self.tables.insert(def.name.clone(), Table::new(def.clone())?);
+            self.tables
+                .insert(def.name.clone(), Table::new(def.clone())?);
         }
         self.linkage = design.linkage.clone();
         self.design = Some(design);
@@ -122,9 +123,9 @@ impl PisaSwitch {
         self.stats.front_parse_extractions += extracted as u64;
 
         let run_side = |slots: Vec<usize>,
-                            pkt: &mut Packet,
-                            stats: &mut PisaStats,
-                            tables: &mut HashMap<String, Table>|
+                        pkt: &mut Packet,
+                        stats: &mut PisaStats,
+                        tables: &mut HashMap<String, Table>|
          -> Result<bool, CoreError> {
             for s in slots {
                 let Some(t) = &design.templates[s] else {
@@ -334,7 +335,8 @@ mod tests {
         let hlir = build_hlir(&parse_p4(SRC).unwrap()).unwrap();
         let design = pisa_compile(&hlir, &PisaTarget::bmv2()).unwrap();
         let mut sw = PisaSwitch::new(CostModel::software());
-        sw.apply(&[ControlMsg::LoadFullDesign(Box::new(design))]).unwrap();
+        sw.apply(&[ControlMsg::LoadFullDesign(Box::new(design))])
+            .unwrap();
         sw
     }
 
@@ -423,7 +425,8 @@ mod tests {
         let hlir = build_hlir(&parse_p4(SRC_INGRESS_FWD).unwrap()).unwrap();
         let design = pisa_compile(&hlir, &PisaTarget::bmv2()).unwrap();
         let mut sw = PisaSwitch::new(CostModel::software());
-        sw.apply(&[ControlMsg::LoadFullDesign(Box::new(design))]).unwrap();
+        sw.apply(&[ControlMsg::LoadFullDesign(Box::new(design))])
+            .unwrap();
         populate(&mut sw);
         sw
     }
@@ -470,7 +473,8 @@ mod tests {
         assert_eq!(sw.table("fib").unwrap().len(), 1);
         // Swap the same design back in: tables come back empty.
         let design = sw.design().unwrap().clone();
-        sw.apply(&[ControlMsg::LoadFullDesign(Box::new(design))]).unwrap();
+        sw.apply(&[ControlMsg::LoadFullDesign(Box::new(design))])
+            .unwrap();
         assert_eq!(sw.table("fib").unwrap().len(), 0);
         assert_eq!(sw.stats.reloads, 2);
         // Traffic now drops until repopulation.

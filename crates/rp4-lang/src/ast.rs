@@ -6,6 +6,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::span::SpanTable;
+
 /// A complete rP4 compilation unit.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Program {
@@ -23,6 +25,8 @@ pub struct Program {
     pub egress: Vec<StageDecl>,
     /// `user_funcs { ... }`
     pub user_funcs: Option<UserFuncs>,
+    /// Item-name spans when parsed from source (equality-neutral).
+    pub spans: SpanTable,
 }
 
 /// `header name { fields... implicit parser(...) {...} }`
@@ -337,6 +341,7 @@ impl Program {
                 mine.funcs.push(f.clone());
             }
         }
+        self.spans.merge(&snippet.spans);
     }
 
     /// Removes a function and everything only it references: its stages,

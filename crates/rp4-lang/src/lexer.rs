@@ -3,6 +3,7 @@
 //! Shared between rP4 and the P4-16 subset front end (`p4-lang` re-uses it),
 //! since the two languages share their lexical grammar.
 
+use crate::span::Span;
 use crate::token::{Token, TokenKind};
 
 /// Lexical error with position.
@@ -105,8 +106,7 @@ impl<'a> Lexer<'a> {
 
     fn lex_number(&mut self) -> Result<TokenKind, LexError> {
         let mut s = String::new();
-        let radix = if self.peek() == Some(b'0')
-            && matches!(self.peek2(), Some(b'x') | Some(b'X'))
+        let radix = if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X'))
         {
             self.bump();
             self.bump();
@@ -136,9 +136,14 @@ impl<'a> Lexer<'a> {
     fn next_token(&mut self) -> Result<Token, LexError> {
         self.skip_trivia()?;
         let (line, col) = (self.line, self.col);
-        let mk = |kind| Token { kind, line, col };
+        let start = self.pos;
         let Some(c) = self.peek() else {
-            return Ok(mk(TokenKind::Eof));
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                line,
+                col,
+                span: Span::new(start, start, line, col),
+            });
         };
         let kind = match c {
             b'{' => {
@@ -268,7 +273,12 @@ impl<'a> Lexer<'a> {
             }
             other => return Err(self.err(format!("unexpected character `{}`", other as char))),
         };
-        Ok(Token { kind, line, col })
+        Ok(Token {
+            kind,
+            line,
+            col,
+            span: Span::new(start, self.pos, line, col),
+        })
     }
 }
 
@@ -338,7 +348,17 @@ mod tests {
     fn multi_char_operators() {
         assert_eq!(
             kinds("== != <= >= && || << >>"),
-            vec![K::EqEq, K::Ne, K::Le, K::Ge, K::AndAnd, K::OrOr, K::Shl, K::Shr, K::Eof]
+            vec![
+                K::EqEq,
+                K::Ne,
+                K::Le,
+                K::Ge,
+                K::AndAnd,
+                K::OrOr,
+                K::Shl,
+                K::Shr,
+                K::Eof
+            ]
         );
     }
 

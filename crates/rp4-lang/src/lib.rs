@@ -17,16 +17,20 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod diag;
 pub mod lexer;
 pub mod parser;
 pub mod printer;
 pub mod semantic;
+pub mod span;
 pub mod token;
 
 pub use ast::Program;
+pub use diag::{render_all, Diagnostic, Severity};
 pub use parser::{parse, ParseError};
 pub use printer::print;
 pub use semantic::{check, Env, SemanticError};
+pub use span::{ItemKind, Span, SpanTable};
 
 #[cfg(test)]
 mod proptests {
@@ -129,8 +133,7 @@ mod proptests {
                 inner.clone().prop_map(|p| PredExpr::Not(Box::new(p))),
                 (inner.clone(), inner.clone())
                     .prop_map(|(a, b)| PredExpr::And(Box::new(a), Box::new(b))),
-                (inner.clone(), inner)
-                    .prop_map(|(a, b)| PredExpr::Or(Box::new(a), Box::new(b))),
+                (inner.clone(), inner).prop_map(|(a, b)| PredExpr::Or(Box::new(a), Box::new(b))),
             ]
         })
     }

@@ -3,6 +3,7 @@
 
 use crate::ast::*;
 use crate::lexer::{lex, LexError};
+use crate::span::{ItemKind, Span, SpanTable};
 use crate::token::{Token, TokenKind as K};
 
 /// Parse error with source position.
@@ -37,6 +38,7 @@ impl From<LexError> for ParseError {
 struct Parser {
     toks: Vec<Token>,
     pos: usize,
+    spans: SpanTable,
 }
 
 impl Parser {
@@ -94,6 +96,14 @@ impl Parser {
             }
             other => Err(self.err(format!("expected identifier, found {other}"))),
         }
+    }
+
+    /// An identifier plus its span, recording it as item `kind`'s name.
+    fn item_name(&mut self, kind: ItemKind) -> Result<String, ParseError> {
+        let sp: Span = self.peek().span;
+        let s = self.ident()?;
+        self.spans.insert(kind, &s, sp);
+        Ok(s)
     }
 
     fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
@@ -181,19 +191,18 @@ impl Parser {
                     "user_funcs" => {
                         p.user_funcs = Some(self.user_funcs()?);
                     }
-                    other => {
-                        return Err(self.err(format!("unexpected top-level item `{other}`")))
-                    }
+                    other => return Err(self.err(format!("unexpected top-level item `{other}`"))),
                 },
                 other => return Err(self.err(format!("unexpected token {other}"))),
             }
         }
+        p.spans = std::mem::take(&mut self.spans);
         Ok(p)
     }
 
     fn header_decl(&mut self) -> Result<HeaderDecl, ParseError> {
         self.keyword("header")?;
-        let name = self.ident()?;
+        let name = self.item_name(ItemKind::Header)?;
         self.expect(&K::LBrace)?;
         let mut fields = Vec::new();
         let mut parser = None;
@@ -247,7 +256,7 @@ impl Parser {
 
     fn struct_decl(&mut self) -> Result<StructDecl, ParseError> {
         self.keyword("struct")?;
-        let name = self.ident()?;
+        let name = self.item_name(ItemKind::Struct)?;
         self.expect(&K::LBrace)?;
         let mut fields = Vec::new();
         while !self.eat(&K::RBrace) {
@@ -273,7 +282,7 @@ impl Parser {
 
     fn action_decl(&mut self) -> Result<ActionDecl, ParseError> {
         self.keyword("action")?;
-        let name = self.ident()?;
+        let name = self.item_name(ItemKind::Action)?;
         self.expect(&K::LParen)?;
         let mut params = Vec::new();
         if !self.eat(&K::RParen) {
@@ -391,7 +400,7 @@ impl Parser {
 
     fn table_decl(&mut self) -> Result<TableDecl, ParseError> {
         self.keyword("table")?;
-        let name = self.ident()?;
+        let name = self.item_name(ItemKind::Table)?;
         self.expect(&K::LBrace)?;
         let mut t = TableDecl {
             name,
@@ -415,9 +424,7 @@ impl Parser {
                             "lpm" => KeyKind::Lpm,
                             "ternary" => KeyKind::Ternary,
                             "hash" => KeyKind::Hash,
-                            other => {
-                                return Err(self.err(format!("unknown match kind `{other}`")))
-                            }
+                            other => return Err(self.err(format!("unknown match kind `{other}`"))),
                         };
                         self.expect(&K::Semi)?;
                         t.key.push((e, kind));
@@ -466,7 +473,7 @@ impl Parser {
 
     fn stage_decl(&mut self) -> Result<StageDecl, ParseError> {
         self.keyword("stage")?;
-        let name = self.ident()?;
+        let name = self.item_name(ItemKind::Stage)?;
         self.expect(&K::LBrace)?;
         let mut st = StageDecl {
             name,
@@ -664,7 +671,7 @@ impl Parser {
         while !self.eat(&K::RBrace) {
             if self.at_keyword("func") {
                 self.bump();
-                let name = self.ident()?;
+                let name = self.item_name(ItemKind::Func)?;
                 self.expect(&K::LBrace)?;
                 let mut stages = Vec::new();
                 while !self.eat(&K::RBrace) {
@@ -693,7 +700,11 @@ impl Parser {
 /// Parses a complete rP4 compilation unit.
 pub fn parse(src: &str) -> Result<Program, ParseError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        spans: SpanTable::default(),
+    };
     p.program()
 }
 
@@ -761,10 +772,7 @@ mod tests {
     // identically.
     #[test]
     fn parses_wrapped_stage() {
-        let src = FIG5A.replace(
-            "stage ecmp {",
-            "control rP4_Ingress { stage ecmp {",
-        );
+        let src = FIG5A.replace("stage ecmp {", "control rP4_Ingress { stage ecmp {");
         // Close the control after the stage's final brace: splice one in.
         let src = src.replace(
             "// set egress bridge and dmac",
@@ -824,7 +832,10 @@ mod tests {
         assert_eq!(eth.fields.len(), 3);
         let pr = eth.parser.as_ref().unwrap();
         assert_eq!(pr.selector, vec!["ethertype"]);
-        assert_eq!(pr.transitions, vec![(0x0800, "ipv4".into()), (0x86DD, "ipv6".into())]);
+        assert_eq!(
+            pr.transitions,
+            vec![(0x0800, "ipv4".into()), (0x86DD, "ipv6".into())]
+        );
         assert_eq!(p.headers[1].var_len, Some(("hdr_ext_len".into(), 8)));
     }
 
@@ -881,7 +892,11 @@ mod tests {
         let idx = &p.actions[2].body[0];
         match idx {
             Stmt::Assign { expr, .. } => match expr {
-                Expr::Bin { op: BinOp::Mod, lhs, rhs } => {
+                Expr::Bin {
+                    op: BinOp::Mod,
+                    lhs,
+                    rhs,
+                } => {
                     assert!(matches!(&**lhs, Expr::Hash(v) if v.len() == 2));
                     assert!(matches!(&**rhs, Expr::Int(16)));
                 }

@@ -85,7 +85,11 @@ fn stage(out: &mut String, st: &StageDecl, indent: &str) {
     for arm in &st.matcher {
         match (&arm.guard, &arm.table) {
             (Some(g), t) => {
-                let kw = if first || !chain_open { "if" } else { "else if" };
+                let kw = if first || !chain_open {
+                    "if"
+                } else {
+                    "else if"
+                };
                 let target = match t {
                     Some(t) => format!("{t}.apply();"),
                     None => ";".to_string(),

@@ -9,17 +9,55 @@
 use std::collections::{HashMap, HashSet};
 
 use crate::ast::*;
+use crate::diag::{Diagnostic, Severity};
+use crate::span::{ItemKind, Span};
+
+/// Stable codes for semantic diagnostics (`RP40xx` block).
+pub mod codes {
+    /// Duplicate definition (header, field, action, table, stage, func,
+    /// parser tag, executor tag).
+    pub const DUPLICATE: &str = "RP4001";
+    /// Unresolved name reference.
+    pub const UNRESOLVED: &str = "RP4002";
+    /// Builtin or action called with the wrong shape.
+    pub const BAD_CALL: &str = "RP4003";
+    /// Malformed declaration (bad width, zero size, empty or non-field key).
+    pub const BAD_DECL: &str = "RP4004";
+    /// Hash (selector) keys mixed with other match kinds.
+    pub const KEY_MIX: &str = "RP4005";
+    /// Executor tag out of range or reserved.
+    pub const EXEC_TAG: &str = "RP4006";
+    /// Stage claimed by multiple funcs.
+    pub const FUNC_CLAIM: &str = "RP4007";
+}
 
 /// A semantic diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SemanticError {
+    /// Stable `RP40xx` code identifying the error class.
+    pub code: &'static str,
     /// Explanation, prefixed with the offending item.
     pub msg: String,
+    /// Name span of the enclosing item, when the program came from source.
+    pub span: Option<Span>,
+}
+
+impl SemanticError {
+    /// Converts to the shared diagnostic form for rendering.
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        Diagnostic {
+            code: self.code.to_string(),
+            severity: Severity::Error,
+            span: self.span,
+            message: self.msg.clone(),
+            notes: vec![],
+        }
+    }
 }
 
 impl std::fmt::Display for SemanticError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.msg)
+        write!(f, "{}", self.to_diagnostic().header())
     }
 }
 
@@ -118,11 +156,17 @@ struct Checker<'a> {
     env: Env,
     errors: Vec<SemanticError>,
     prog: &'a Program,
+    /// Name span of the item currently being checked.
+    cur: Option<Span>,
 }
 
 impl<'a> Checker<'a> {
-    fn err(&mut self, msg: String) {
-        self.errors.push(SemanticError { msg });
+    fn err(&mut self, code: &'static str, msg: String) {
+        self.errors.push(SemanticError {
+            code,
+            msg,
+            span: self.cur,
+        });
     }
 
     fn check_expr(&mut self, ctx: &str, params: &[(String, usize)], e: &Expr) {
@@ -130,12 +174,18 @@ impl<'a> Checker<'a> {
             Expr::Int(_) => {}
             Expr::Ident(name) => {
                 if !params.iter().any(|(p, _)| p == name) {
-                    self.err(format!("{ctx}: unknown identifier `{name}` (not a parameter)"));
+                    self.err(
+                        codes::UNRESOLVED,
+                        format!("{ctx}: unknown identifier `{name}` (not a parameter)"),
+                    );
                 }
             }
             Expr::Qualified(scope, field) => {
                 if self.env.width_of(scope, field).is_none() {
-                    self.err(format!("{ctx}: unresolved reference `{scope}.{field}`"));
+                    self.err(
+                        codes::UNRESOLVED,
+                        format!("{ctx}: unresolved reference `{scope}.{field}`"),
+                    );
                 }
             }
             Expr::Bin { lhs, rhs, .. } => {
@@ -144,7 +194,10 @@ impl<'a> Checker<'a> {
             }
             Expr::Hash(inputs) => {
                 if inputs.is_empty() {
-                    self.err(format!("{ctx}: hash() needs at least one input"));
+                    self.err(
+                        codes::BAD_CALL,
+                        format!("{ctx}: hash() needs at least one input"),
+                    );
                 }
                 for i in inputs {
                     self.check_expr(ctx, params, i);
@@ -157,7 +210,10 @@ impl<'a> Checker<'a> {
         match p {
             PredExpr::IsValid(h) => {
                 if !self.env.headers.contains_key(h) {
-                    self.err(format!("{ctx}: isValid on unknown header `{h}`"));
+                    self.err(
+                        codes::UNRESOLVED,
+                        format!("{ctx}: isValid on unknown header `{h}`"),
+                    );
                 }
             }
             PredExpr::Not(x) => self.check_pred(ctx, x),
@@ -175,31 +231,41 @@ impl<'a> Checker<'a> {
     fn headers_decls(&mut self) {
         let mut seen = HashSet::new();
         for h in &self.prog.headers {
+            self.cur = self.prog.spans.get(ItemKind::Header, &h.name);
             if !seen.insert(&h.name) {
-                self.err(format!("duplicate header `{}`", h.name));
+                self.err(codes::DUPLICATE, format!("duplicate header `{}`", h.name));
             }
             let mut fseen = HashSet::new();
             for (f, bits) in &h.fields {
                 if !fseen.insert(f) {
-                    self.err(format!("header `{}`: duplicate field `{f}`", h.name));
+                    self.err(
+                        codes::DUPLICATE,
+                        format!("header `{}`: duplicate field `{f}`", h.name),
+                    );
                 }
                 if *bits == 0 || *bits > 128 {
-                    self.err(format!("header `{}`: field `{f}` has bad width {bits}", h.name));
+                    self.err(
+                        codes::BAD_DECL,
+                        format!("header `{}`: field `{f}` has bad width {bits}", h.name),
+                    );
                 }
             }
             if let Some(p) = &h.parser {
                 for s in &p.selector {
                     if !h.fields.iter().any(|(n, _)| n == s) {
-                        self.err(format!(
-                            "header `{}`: parser selector `{s}` is not a field",
-                            h.name
-                        ));
+                        self.err(
+                            codes::UNRESOLVED,
+                            format!("header `{}`: parser selector `{s}` is not a field", h.name),
+                        );
                     }
                 }
                 let mut tags = HashSet::new();
                 for (tag, _next) in &p.transitions {
                     if !tags.insert(tag) {
-                        self.err(format!("header `{}`: duplicate parser tag {tag}", h.name));
+                        self.err(
+                            codes::DUPLICATE,
+                            format!("header `{}`: duplicate parser tag {tag}", h.name),
+                        );
                     }
                     // Next-header names may be forward references resolved
                     // at link time; only check local duplicates here.
@@ -207,53 +273,75 @@ impl<'a> Checker<'a> {
             }
             if let Some((f, units)) = &h.var_len {
                 if !h.fields.iter().any(|(n, _)| n == f) {
-                    self.err(format!("header `{}`: varlen field `{f}` is not a field", h.name));
+                    self.err(
+                        codes::UNRESOLVED,
+                        format!("header `{}`: varlen field `{f}` is not a field", h.name),
+                    );
                 }
                 if *units == 0 {
-                    self.err(format!("header `{}`: varlen unit must be nonzero", h.name));
+                    self.err(
+                        codes::BAD_DECL,
+                        format!("header `{}`: varlen unit must be nonzero", h.name),
+                    );
                 }
             }
         }
+        self.cur = None;
     }
 
     fn action_decls(&mut self) {
         let mut seen = HashSet::new();
         for a in &self.prog.actions {
+            self.cur = self.prog.spans.get(ItemKind::Action, &a.name);
             if !seen.insert(&a.name) {
-                self.err(format!("duplicate action `{}`", a.name));
+                self.err(codes::DUPLICATE, format!("duplicate action `{}`", a.name));
             }
             for stmt in &a.body {
                 match stmt {
                     Stmt::Assign { lval, expr } => {
                         let ctx = format!("action `{}`", a.name);
                         if self.env.width_of(&lval.scope, &lval.field).is_none() {
-                            self.err(format!(
-                                "{ctx}: assignment to unresolved `{}.{}`",
-                                lval.scope, lval.field
-                            ));
+                            self.err(
+                                codes::UNRESOLVED,
+                                format!(
+                                    "{ctx}: assignment to unresolved `{}.{}`",
+                                    lval.scope, lval.field
+                                ),
+                            );
                         }
                         self.check_expr(&ctx, &a.params, expr);
                     }
                     Stmt::Call { name, args } => {
                         let ctx = format!("action `{}`", a.name);
                         match BUILTINS.iter().find(|(b, _)| b == name) {
-                            None => self.err(format!("{ctx}: unknown builtin `{name}`")),
+                            None => {
+                                self.err(
+                                    codes::BAD_CALL,
+                                    format!("{ctx}: unknown builtin `{name}`"),
+                                );
+                            }
                             Some((_, arity)) => {
                                 if args.len() != *arity {
-                                    self.err(format!(
-                                        "{ctx}: `{name}` takes {arity} args, got {}",
-                                        args.len()
-                                    ));
+                                    self.err(
+                                        codes::BAD_CALL,
+                                        format!(
+                                            "{ctx}: `{name}` takes {arity} args, got {}",
+                                            args.len()
+                                        ),
+                                    );
                                 }
                             }
                         }
                         if name == "remove_header" {
                             if let Some(Expr::Ident(h)) = args.first() {
                                 if !self.env.headers.contains_key(h) {
-                                    self.err(format!(
-                                        "action `{}`: remove_header of unknown header `{h}`",
-                                        a.name
-                                    ));
+                                    self.err(
+                                        codes::UNRESOLVED,
+                                        format!(
+                                            "action `{}`: remove_header of unknown header `{h}`",
+                                            a.name
+                                        ),
+                                    );
                                 }
                             }
                         } else {
@@ -265,72 +353,97 @@ impl<'a> Checker<'a> {
                 }
             }
         }
+        self.cur = None;
     }
 
     fn table_decls(&mut self) {
         let mut seen = HashSet::new();
         for t in &self.prog.tables {
+            self.cur = self.prog.spans.get(ItemKind::Table, &t.name);
             if !seen.insert(&t.name) {
-                self.err(format!("duplicate table `{}`", t.name));
+                self.err(codes::DUPLICATE, format!("duplicate table `{}`", t.name));
             }
             if t.key.is_empty() {
-                self.err(format!("table `{}` has an empty key", t.name));
+                self.err(
+                    codes::BAD_DECL,
+                    format!("table `{}` has an empty key", t.name),
+                );
             }
             for (e, _) in &t.key {
                 match e {
                     Expr::Qualified(_, _) => {
-                        self.check_expr(&format!("table `{}` key", t.name), &[], e)
+                        self.check_expr(&format!("table `{}` key", t.name), &[], e);
                     }
-                    other => self.err(format!(
-                        "table `{}` key must be field references, got {other:?}",
-                        t.name
-                    )),
+                    other => self.err(
+                        codes::BAD_DECL,
+                        format!(
+                            "table `{}` key must be field references, got {other:?}",
+                            t.name
+                        ),
+                    ),
                 }
             }
             let kinds: HashSet<_> = t.key.iter().map(|(_, k)| *k).collect();
             if kinds.contains(&KeyKind::Hash) && kinds.len() > 1 {
-                self.err(format!(
-                    "table `{}`: hash (selector) keys cannot mix with other kinds",
-                    t.name
-                ));
+                self.err(
+                    codes::KEY_MIX,
+                    format!(
+                        "table `{}`: hash (selector) keys cannot mix with other kinds",
+                        t.name
+                    ),
+                );
             }
             if let Some(s) = t.size {
                 if s == 0 {
-                    self.err(format!("table `{}` has zero size", t.name));
+                    self.err(codes::BAD_DECL, format!("table `{}` has zero size", t.name));
                 }
             }
             for a in &t.actions {
                 if !self.env.actions.contains_key(a) {
-                    self.err(format!("table `{}`: unknown action `{a}`", t.name));
+                    self.err(
+                        codes::UNRESOLVED,
+                        format!("table `{}`: unknown action `{a}`", t.name),
+                    );
                 }
             }
             if let Some((a, args)) = &t.default_action {
                 match self.env.actions.get(a) {
-                    None => self.err(format!("table `{}`: unknown default action `{a}`", t.name)),
+                    None => self.err(
+                        codes::UNRESOLVED,
+                        format!("table `{}`: unknown default action `{a}`", t.name),
+                    ),
                     Some(params) => {
                         if args.len() != params.len() {
-                            self.err(format!(
-                                "table `{}`: default `{a}` takes {} args, got {}",
-                                t.name,
-                                params.len(),
-                                args.len()
-                            ));
+                            self.err(
+                                codes::BAD_CALL,
+                                format!(
+                                    "table `{}`: default `{a}` takes {} args, got {}",
+                                    t.name,
+                                    params.len(),
+                                    args.len()
+                                ),
+                            );
                         }
                     }
                 }
             }
         }
+        self.cur = None;
     }
 
     fn stage_decls(&mut self) {
         let mut seen = HashSet::new();
         for st in self.prog.stages() {
+            self.cur = self.prog.spans.get(ItemKind::Stage, &st.name);
             if !seen.insert(&st.name) {
-                self.err(format!("duplicate stage `{}`", st.name));
+                self.err(codes::DUPLICATE, format!("duplicate stage `{}`", st.name));
             }
             for h in &st.parser {
                 if !self.env.headers.contains_key(h) {
-                    self.err(format!("stage `{}`: parses unknown header `{h}`", st.name));
+                    self.err(
+                        codes::UNRESOLVED,
+                        format!("stage `{}`: parses unknown header `{h}`", st.name),
+                    );
                 }
             }
             let mut max_actions = 0;
@@ -340,9 +453,10 @@ impl<'a> Checker<'a> {
                 }
                 if let Some(t) = &arm.table {
                     match self.env.tables.get(t) {
-                        None => {
-                            self.err(format!("stage `{}`: applies unknown table `{t}`", st.name))
-                        }
+                        None => self.err(
+                            codes::UNRESOLVED,
+                            format!("stage `{}`: applies unknown table `{t}`", st.name),
+                        ),
                         Some(def) => max_actions = max_actions.max(def.actions.len()),
                     }
                 }
@@ -350,30 +464,42 @@ impl<'a> Checker<'a> {
             for (tag, action, args) in &st.executor {
                 if let ExecTag::Tag(n) = tag {
                     if *n == 0 {
-                        self.err(format!(
-                            "stage `{}`: executor tag 0 is reserved for `default`",
-                            st.name
-                        ));
+                        self.err(
+                            codes::EXEC_TAG,
+                            format!(
+                                "stage `{}`: executor tag 0 is reserved for `default`",
+                                st.name
+                            ),
+                        );
                     } else if max_actions > 0 && *n as usize > max_actions {
-                        self.err(format!(
-                            "stage `{}`: executor tag {n} exceeds the {} actions of its tables",
-                            st.name, max_actions
-                        ));
+                        self.err(
+                            codes::EXEC_TAG,
+                            format!(
+                                "stage `{}`: executor tag {n} exceeds the {} actions of its tables",
+                                st.name, max_actions
+                            ),
+                        );
                     }
                 }
                 match self.env.actions.get(action) {
-                    None => self.err(format!(
-                        "stage `{}`: executor references unknown action `{action}`",
-                        st.name
-                    )),
+                    None => self.err(
+                        codes::UNRESOLVED,
+                        format!(
+                            "stage `{}`: executor references unknown action `{action}`",
+                            st.name
+                        ),
+                    ),
                     Some(params) => {
                         if !args.is_empty() && args.len() != params.len() {
-                            self.err(format!(
-                                "stage `{}`: executor `{action}` takes {} immediate args, got {}",
-                                st.name,
-                                params.len(),
-                                args.len()
-                            ));
+                            self.err(
+                                codes::BAD_CALL,
+                                format!(
+                                    "stage `{}`: executor `{action}` takes {} immediate args, got {}",
+                                    st.name,
+                                    params.len(),
+                                    args.len()
+                                ),
+                            );
                         }
                     }
                 }
@@ -382,10 +508,14 @@ impl<'a> Checker<'a> {
             let mut tags = HashSet::new();
             for (tag, _, _) in &st.executor {
                 if !tags.insert(format!("{tag:?}")) {
-                    self.err(format!("stage `{}`: duplicate executor tag {tag:?}", st.name));
+                    self.err(
+                        codes::DUPLICATE,
+                        format!("stage `{}`: duplicate executor tag {tag:?}", st.name),
+                    );
                 }
             }
         }
+        self.cur = None;
     }
 
     fn user_funcs(&mut self) {
@@ -395,25 +525,33 @@ impl<'a> Checker<'a> {
         let mut fseen = HashSet::new();
         let mut claimed = HashSet::new();
         for (f, stages) in &uf.funcs {
+            self.cur = self.prog.spans.get(ItemKind::Func, f);
             if !fseen.insert(f) {
-                self.err(format!("duplicate func `{f}`"));
+                self.err(codes::DUPLICATE, format!("duplicate func `{f}`"));
             }
             for s in stages {
                 if !self.env.stages.contains(s) {
-                    self.err(format!("func `{f}`: unknown stage `{s}`"));
+                    self.err(
+                        codes::UNRESOLVED,
+                        format!("func `{f}`: unknown stage `{s}`"),
+                    );
                 }
                 if !claimed.insert(s) {
-                    self.err(format!("stage `{s}` claimed by multiple funcs"));
+                    self.err(
+                        codes::FUNC_CLAIM,
+                        format!("stage `{s}` claimed by multiple funcs"),
+                    );
                 }
             }
         }
+        self.cur = None;
         for (what, entry) in [
             ("ingress_entry", &uf.ingress_entry),
             ("egress_entry", &uf.egress_entry),
         ] {
             if let Some(e) = entry {
                 if !self.env.stages.contains(e) {
-                    self.err(format!("{what}: unknown stage `{e}`"));
+                    self.err(codes::UNRESOLVED, format!("{what}: unknown stage `{e}`"));
                 }
             }
         }
@@ -428,6 +566,7 @@ pub fn check(prog: &Program, base: Option<&Program>) -> Result<Env, Vec<Semantic
         env,
         errors: vec![],
         prog,
+        cur: None,
     };
     ck.headers_decls();
     ck.action_decls();
@@ -605,5 +744,48 @@ mod tests {
     fn intrinsic_meta_always_available() {
         let p = parse("action a() { meta.egress_port = 3; }").unwrap();
         check(&p, None).unwrap();
+    }
+
+    #[test]
+    fn errors_carry_codes_and_spans() {
+        let src = "action a() { drop(); }\naction a() { drop(); }";
+        let errs = check(&parse(src).unwrap(), None).unwrap_err();
+        let dup = errs
+            .iter()
+            .find(|e| e.msg.contains("duplicate action"))
+            .unwrap();
+        assert_eq!(dup.code, codes::DUPLICATE);
+        let sp = dup.span.expect("span recorded");
+        // Points at the *second* `a` (the parser keeps the last span per name).
+        assert_eq!(sp.line, 2);
+        assert_eq!(sp.col, 8);
+        assert_eq!(&src[sp.start..sp.end], "a");
+    }
+
+    #[test]
+    fn display_shows_code() {
+        let e = SemanticError {
+            code: codes::UNRESOLVED,
+            msg: "table `t`: unknown action `x`".into(),
+            span: None,
+        };
+        assert_eq!(
+            e.to_string(),
+            "error[RP4002]: table `t`: unknown action `x`"
+        );
+    }
+
+    #[test]
+    fn tag_and_claim_codes() {
+        let p = parse(
+            r#"
+            stage s { parser { } matcher { } executor { 0: NoAction; default: NoAction; } }
+            user_funcs { func f { s } func g { s } }
+        "#,
+        )
+        .unwrap();
+        let errs = check(&p, None).unwrap_err();
+        assert!(errs.iter().any(|e| e.code == codes::EXEC_TAG));
+        assert!(errs.iter().any(|e| e.code == codes::FUNC_CLAIM));
     }
 }

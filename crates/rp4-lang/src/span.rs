@@ -1,0 +1,148 @@
+//! Source spans for diagnostics.
+//!
+//! Tokens carry a byte-offset [`Span`]; the parser records one per top-level
+//! item in a [`SpanTable`] side-car on the `Program`. The table compares
+//! equal to any other table so spans never affect AST equality (the
+//! print → parse round-trip produces a fresh table).
+
+use std::collections::BTreeMap;
+
+use serde::{Content, DeError, Deserialize, Serialize};
+
+/// A half-open byte range `[start, end)` in the source text, with the
+/// 1-based line/column of its start for human-readable rendering.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: usize,
+    /// 1-based column of `start`.
+    pub col: usize,
+}
+
+impl Span {
+    /// A span covering `[start, end)` at the given position.
+    pub fn new(start: usize, end: usize, line: usize, col: usize) -> Self {
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
+    }
+
+    /// Length in bytes (at least 1 for rendering purposes).
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start).max(1)
+    }
+
+    /// True when the span is empty (zero-width).
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Kind of top-level item a span is recorded for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ItemKind {
+    /// `header name { ... }`
+    Header,
+    /// `struct name { ... }`
+    Struct,
+    /// `action name(...) { ... }`
+    Action,
+    /// `table name { ... }`
+    Table,
+    /// `stage name { ... }`
+    Stage,
+    /// `func name { ... }` inside `user_funcs`.
+    Func,
+}
+
+/// Side-car map from top-level item to the span of its *name* token.
+///
+/// Equality is intentionally vacuous — two programs with identical
+/// declarations but different (or missing) spans are the same program.
+#[derive(Debug, Clone, Default)]
+pub struct SpanTable {
+    map: BTreeMap<(ItemKind, String), Span>,
+}
+
+impl SpanTable {
+    /// Records the span of an item's name.
+    pub fn insert(&mut self, kind: ItemKind, name: &str, span: Span) {
+        self.map.insert((kind, name.to_string()), span);
+    }
+
+    /// Span of an item's name, if the program came from the parser.
+    pub fn get(&self, kind: ItemKind, name: &str) -> Option<Span> {
+        self.map.get(&(kind, name.to_string())).copied()
+    }
+
+    /// Merges another table's entries (theirs win on conflict).
+    pub fn merge(&mut self, other: &SpanTable) {
+        for (k, v) in &other.map {
+            self.map.insert(k.clone(), *v);
+        }
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no spans are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl PartialEq for SpanTable {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for SpanTable {}
+
+// Spans are a compile-time aid: serialized programs drop them (and
+// deserialize to an empty table) so stored designs stay position-free.
+impl Serialize for SpanTable {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for SpanTable {
+    fn from_content(_: &Content) -> Result<Self, DeError> {
+        Ok(SpanTable::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_equality_is_vacuous() {
+        let mut a = SpanTable::default();
+        a.insert(ItemKind::Table, "t", Span::new(0, 5, 1, 1));
+        let b = SpanTable::default();
+        assert_eq!(a, b);
+        assert_eq!(a.get(ItemKind::Table, "t"), Some(Span::new(0, 5, 1, 1)));
+        assert_eq!(b.get(ItemKind::Table, "t"), None);
+    }
+
+    #[test]
+    fn merge_overwrites() {
+        let mut a = SpanTable::default();
+        a.insert(ItemKind::Stage, "s", Span::new(0, 1, 1, 1));
+        let mut b = SpanTable::default();
+        b.insert(ItemKind::Stage, "s", Span::new(9, 10, 2, 1));
+        a.merge(&b);
+        assert_eq!(a.get(ItemKind::Stage, "s").unwrap().start, 9);
+    }
+}

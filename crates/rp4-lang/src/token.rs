@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::span::Span;
+
 /// A lexical token with its source position.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Token {
@@ -11,6 +13,8 @@ pub struct Token {
     pub line: usize,
     /// 1-based column.
     pub col: usize,
+    /// Byte-offset span in the source.
+    pub span: Span,
 }
 
 /// Token kinds of the rP4 grammar (Fig. 2) plus the P4-shared lexemes.

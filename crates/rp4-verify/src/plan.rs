@@ -1,0 +1,129 @@
+//! RP4105 — update-plan safety.
+//!
+//! An in-situ update mutates live pipeline structure (templates, selector,
+//! crossbar). The runtime contract is: drain the pipeline via back pressure,
+//! apply the structural messages, resume. This lint checks a control-message
+//! sequence for structural messages outside a `Drain … Resume` window.
+
+use ipsa_core::control::ControlMsg;
+use rp4_lang::Diagnostic;
+
+use crate::codes;
+
+/// Short human name of a control message variant.
+fn msg_name(m: &ControlMsg) -> &'static str {
+    match m {
+        ControlMsg::Drain => "Drain",
+        ControlMsg::Resume => "Resume",
+        ControlMsg::WriteTemplate { .. } => "WriteTemplate",
+        ControlMsg::ClearSlot { .. } => "ClearSlot",
+        ControlMsg::SetSelector(_) => "SetSelector",
+        ControlMsg::ConnectCrossbar { .. } => "ConnectCrossbar",
+        _ => "other",
+    }
+}
+
+/// Checks that every structural message in a plan sits inside a
+/// `Drain … Resume` window.
+///
+/// `LoadFullDesign` is exempt: a whole-pipeline swap quiesces the device by
+/// itself (the PISA-style full reload path never emits drain brackets).
+pub fn verify_msgs(msgs: &[ControlMsg]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut draining = false;
+    for (i, m) in msgs.iter().enumerate() {
+        match m {
+            ControlMsg::Drain => draining = true,
+            ControlMsg::Resume => {
+                if !draining {
+                    out.push(Diagnostic::error(
+                        codes::PLAN_UNSAFE,
+                        format!("plan message #{i} is a Resume with no matching Drain"),
+                    ));
+                }
+                draining = false;
+            }
+            ControlMsg::LoadFullDesign(_) => {}
+            other if other.is_structural() && !draining => {
+                out.push(
+                    Diagnostic::error(
+                        codes::PLAN_UNSAFE,
+                        format!(
+                            "structural update `{}` (plan message #{i}) is outside a \
+                             Drain … Resume window",
+                            msg_name(other)
+                        ),
+                    )
+                    .with_note(
+                        "applying structural messages to a flowing pipeline corrupts \
+                         in-flight packets; bracket them with Drain/Resume",
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+    if draining {
+        out.push(
+            Diagnostic::warning(
+                codes::PLAN_UNSAFE,
+                "plan drains the pipeline but never resumes it".to_string(),
+            )
+            .with_note("append a Resume so traffic restarts after the update"),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsa_core::template::TspTemplate;
+
+    fn write_template() -> ControlMsg {
+        ControlMsg::WriteTemplate {
+            slot: 0,
+            template: TspTemplate::passthrough("t"),
+        }
+    }
+
+    #[test]
+    fn bracketed_plan_is_safe() {
+        let msgs = vec![ControlMsg::Drain, write_template(), ControlMsg::Resume];
+        assert_eq!(verify_msgs(&msgs), vec![]);
+    }
+
+    #[test]
+    fn structural_outside_window_is_flagged() {
+        let msgs = vec![ControlMsg::Drain, ControlMsg::Resume, write_template()];
+        let diags = verify_msgs(&msgs);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, codes::PLAN_UNSAFE);
+        assert!(diags[0].message.contains("WriteTemplate"));
+        assert!(diags[0].message.contains("#2"));
+    }
+
+    #[test]
+    fn non_structural_messages_need_no_window() {
+        let msgs = vec![ControlMsg::SetFirstHeader("ethernet".into())];
+        // Not structural — entry/table population happens on live pipelines.
+        assert!(!msgs[0].is_structural());
+        assert_eq!(verify_msgs(&msgs), vec![]);
+    }
+
+    #[test]
+    fn unresumed_drain_warns() {
+        let msgs = vec![ControlMsg::Drain, write_template()];
+        let diags = verify_msgs(&msgs);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].severity, rp4_lang::Severity::Warning);
+    }
+
+    #[test]
+    fn stray_resume_is_flagged() {
+        let msgs = vec![ControlMsg::Resume];
+        let diags = verify_msgs(&msgs);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("no matching Drain"));
+    }
+}

@@ -1,0 +1,147 @@
+//! RP4103 — disaggregated-memory overcommit.
+//!
+//! Works over the *lowered* registries (ipsa-core `TableDef`/`ActionDef`)
+//! so the block arithmetic is exactly the allocator's: entry width from
+//! `TableDef::entry_width_bits`, action data width from
+//! `ActionDef::data_bits`, block count from `memory::blocks_needed`.
+
+use std::collections::BTreeMap;
+
+use ipsa_core::action::ActionDef;
+use ipsa_core::memory::{blocks_needed, BlockKind};
+use ipsa_core::table::TableDef;
+use rp4_lang::span::{ItemKind, SpanTable};
+use rp4_lang::Diagnostic;
+
+use crate::{codes, ResourceLimits};
+
+/// Blocks a single table needs, mirroring the allocator's pack request.
+fn table_blocks(t: &TableDef, actions: &BTreeMap<String, ActionDef>) -> (BlockKind, usize) {
+    let data_bits = t
+        .actions
+        .iter()
+        .chain(std::iter::once(&t.default_action.action))
+        .filter_map(|a| actions.get(a))
+        .map(ActionDef::data_bits)
+        .max()
+        .unwrap_or(0);
+    let kind = BlockKind::for_table(t);
+    let blocks = blocks_needed(kind.geometry(), t.entry_width_bits(data_bits), t.size);
+    (kind, blocks)
+}
+
+/// Checks the design's aggregate block demand against the target pool.
+///
+/// Emits one RP4103 error per exhausted block kind, annotated with each
+/// table's contribution (largest first) and spanned to the largest
+/// contributor when `spans` has its declaration.
+pub fn verify_pool(
+    tables: &BTreeMap<String, TableDef>,
+    actions: &BTreeMap<String, ActionDef>,
+    limits: &ResourceLimits,
+    spans: Option<&SpanTable>,
+) -> Vec<Diagnostic> {
+    let mut sram: Vec<(usize, &str)> = Vec::new();
+    let mut tcam: Vec<(usize, &str)> = Vec::new();
+    for t in tables.values() {
+        let (kind, blocks) = table_blocks(t, actions);
+        match kind {
+            BlockKind::Sram => sram.push((blocks, &t.name)),
+            BlockKind::Tcam => tcam.push((blocks, &t.name)),
+        }
+    }
+    let mut out = Vec::new();
+    for (kind, mut per_table, budget) in [
+        (BlockKind::Sram, sram, limits.sram_blocks),
+        (BlockKind::Tcam, tcam, limits.tcam_blocks),
+    ] {
+        let total: usize = per_table.iter().map(|(b, _)| *b).sum();
+        if total <= budget {
+            continue;
+        }
+        per_table.sort_by(|a, b| b.cmp(a));
+        let mut d = Diagnostic::error(
+            codes::MEM_OVERCOMMIT,
+            format!("design needs {total} {kind:?} blocks but the target pool has {budget}",),
+        )
+        .with_span(spans.and_then(|s| {
+            per_table
+                .first()
+                .and_then(|(_, name)| s.get(ItemKind::Table, name))
+        }));
+        for (blocks, name) in per_table.iter().take(5) {
+            d = d.with_note(format!("table `{name}` needs {blocks} block(s)"));
+        }
+        if per_table.len() > 5 {
+            d = d.with_note(format!("… and {} more table(s)", per_table.len() - 5));
+        }
+        d = d.with_note("shrink table sizes or entry widths, or pick a larger target");
+        out.push(d);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsa_core::table::{ActionCall, KeyField, MatchKind};
+    use ipsa_core::value::ValueRef;
+
+    fn mk_table(name: &str, size: usize, kind: MatchKind) -> TableDef {
+        TableDef {
+            name: name.into(),
+            key: vec![KeyField {
+                source: ValueRef::Meta("x".into()),
+                bits: 16,
+                kind,
+            }],
+            size,
+            actions: vec!["NoAction".into()],
+            default_action: ActionCall::no_action(),
+            with_counters: false,
+        }
+    }
+
+    fn registries(size: usize) -> (BTreeMap<String, TableDef>, BTreeMap<String, ActionDef>) {
+        let mut tables = BTreeMap::new();
+        tables.insert("t".into(), mk_table("t", size, MatchKind::Exact));
+        let mut actions = BTreeMap::new();
+        actions.insert("NoAction".to_string(), ActionDef::no_action());
+        (tables, actions)
+    }
+
+    #[test]
+    fn small_design_fits() {
+        let (tables, actions) = registries(1024);
+        let diags = verify_pool(&tables, &actions, &ResourceLimits::ipbm(), None);
+        assert_eq!(diags, vec![]);
+    }
+
+    #[test]
+    fn oversized_table_overcommits_sram() {
+        let (tables, actions) = registries(1 << 20);
+        let diags = verify_pool(&tables, &actions, &ResourceLimits::ipbm(), None);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, codes::MEM_OVERCOMMIT);
+        assert!(diags[0].message.contains("Sram"));
+        assert!(diags[0].notes.iter().any(|n| n.contains("table `t`")));
+    }
+
+    #[test]
+    fn ternary_tables_draw_from_tcam_budget() {
+        let mut tables = BTreeMap::new();
+        tables.insert("acl".into(), mk_table("acl", 1 << 16, MatchKind::Ternary));
+        let mut actions = BTreeMap::new();
+        actions.insert("NoAction".to_string(), ActionDef::no_action());
+        let diags = verify_pool(&tables, &actions, &ResourceLimits::ipbm(), None);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("Tcam"));
+    }
+
+    #[test]
+    fn unlimited_budget_never_fires() {
+        let (tables, actions) = registries(1 << 20);
+        let diags = verify_pool(&tables, &actions, &ResourceLimits::unlimited(), None);
+        assert_eq!(diags, vec![]);
+    }
+}

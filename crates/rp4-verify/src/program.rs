@@ -1,0 +1,860 @@
+//! AST-level lints over a semantically checked program.
+//!
+//! These mirror the compiler's dependency analysis (`rp4c::depgraph`) at the
+//! AST level: the verifier sits *below* `rp4c` in the crate graph, so it
+//! recomputes read/write sets from declarations rather than from lowered
+//! `LogicalStage`s. The builtin-call effect table matches
+//! `depgraph::action_rw` primitive by primitive.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use rp4_lang::ast::{ActionDecl, Expr, PredExpr, Program, StageDecl, Stmt, UserFuncs};
+use rp4_lang::semantic::Env;
+use rp4_lang::span::ItemKind;
+use rp4_lang::Diagnostic;
+
+use crate::{codes, res_conflicts, Res, ResourceLimits};
+
+/// Runs every AST-level lint over a checked program.
+///
+/// `env` must come from `rp4_lang::check` on the same program (the lints
+/// assume names resolve). Returned diagnostics are ordered by lint code.
+pub fn verify_program(prog: &Program, env: &Env, limits: &ResourceLimits) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    lint_use_before_parse(prog, env, &mut out);
+    lint_stage_hazards(prog, env, &mut out);
+    lint_pipeline_shape(prog, limits, &mut out);
+    lint_dead_code(prog, env, &mut out);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Shared read/write extraction
+// ---------------------------------------------------------------------------
+
+/// Collects explicit `scope.field` references in an expression.
+fn expr_reads(e: &Expr, env: &Env, out: &mut BTreeSet<Res>) {
+    match e {
+        Expr::Qualified(scope, field) => {
+            if *scope == env.meta_alias {
+                out.insert(Res::Meta(field.clone()));
+            } else if env.headers.contains_key(scope) {
+                out.insert(Res::Field(scope.clone(), field.clone()));
+            }
+        }
+        Expr::Bin { lhs, rhs, .. } => {
+            expr_reads(lhs, env, out);
+            expr_reads(rhs, env, out);
+        }
+        Expr::Hash(inputs) => {
+            for i in inputs {
+                expr_reads(i, env, out);
+            }
+        }
+        Expr::Int(_) | Expr::Ident(_) => {}
+    }
+}
+
+/// Resources a guard predicate reads: header validity for `isValid`, plus
+/// any field/metadata operands of comparisons.
+fn pred_reads(p: &PredExpr, env: &Env, out: &mut BTreeSet<Res>) {
+    match p {
+        PredExpr::IsValid(h) => {
+            out.insert(Res::Validity(h.clone()));
+        }
+        PredExpr::Not(x) => pred_reads(x, env, out),
+        PredExpr::And(a, b) | PredExpr::Or(a, b) => {
+            pred_reads(a, env, out);
+            pred_reads(b, env, out);
+        }
+        PredExpr::Cmp { lhs, rhs, .. } => {
+            expr_reads(lhs, env, out);
+            expr_reads(rhs, env, out);
+        }
+    }
+}
+
+/// Resources an action writes, including builtin side effects
+/// (mirrors `depgraph::action_rw`'s write sets).
+fn action_writes(a: &ActionDecl, env: &Env, out: &mut BTreeSet<Res>) {
+    for stmt in &a.body {
+        match stmt {
+            Stmt::Assign { lval, .. } => {
+                if lval.scope == env.meta_alias {
+                    out.insert(Res::Meta(lval.field.clone()));
+                } else {
+                    out.insert(Res::Field(lval.scope.clone(), lval.field.clone()));
+                }
+            }
+            Stmt::Call { name, args } => match name.as_str() {
+                "drop" => {
+                    out.insert(Res::Meta("drop".into()));
+                }
+                "forward" => {
+                    out.insert(Res::Meta("egress_port".into()));
+                }
+                "mark" | "mark_if_count_over" => {
+                    out.insert(Res::Meta("mark".into()));
+                }
+                "dec_ttl_v4" => {
+                    out.insert(Res::Field("ipv4".into(), "ttl".into()));
+                    out.insert(Res::Field("ipv4".into(), "hdr_checksum".into()));
+                    out.insert(Res::Meta("drop".into()));
+                }
+                "dec_hop_limit_v6" => {
+                    out.insert(Res::Field("ipv6".into(), "hop_limit".into()));
+                    out.insert(Res::Meta("drop".into()));
+                }
+                "refresh_ipv4_checksum" => {
+                    out.insert(Res::Field("ipv4".into(), "hdr_checksum".into()));
+                }
+                "srv6_advance" => {
+                    out.insert(Res::Field("srh".into(), "segments_left".into()));
+                    out.insert(Res::Field("ipv6".into(), "dst_addr".into()));
+                }
+                "remove_header" => {
+                    if let Some(Expr::Ident(h)) = args.first() {
+                        out.insert(Res::Validity(h.clone()));
+                    }
+                }
+                _ => {}
+            },
+        }
+    }
+}
+
+/// Every action name a stage can invoke: executor entries, plus the actions
+/// (and default action) of each table its matcher applies. This matches the
+/// *fixed* semantics of `depgraph::stage_action_writes` — table default
+/// actions run too.
+fn stage_action_names<'p>(stage: &'p StageDecl, prog: &'p Program) -> BTreeSet<&'p str> {
+    let mut names: BTreeSet<&str> = stage.executor.iter().map(|(_, a, _)| a.as_str()).collect();
+    for arm in &stage.matcher {
+        if let Some(t) = arm.table.as_deref().and_then(|t| prog.table(t)) {
+            for a in &t.actions {
+                names.insert(a.as_str());
+            }
+            if let Some((d, _)) = &t.default_action {
+                names.insert(d.as_str());
+            }
+        }
+    }
+    names
+}
+
+// ---------------------------------------------------------------------------
+// RP4101 — use before parse
+// ---------------------------------------------------------------------------
+
+/// Explicit header fields a stage touches: table keys, guard comparisons,
+/// and assignments in reachable actions. Builtin side effects (`dec_ttl_v4`
+/// and friends) are excluded — those primitives are predicated on header
+/// validity at runtime, so they are safe on unparsed headers.
+fn stage_header_uses(
+    stage: &StageDecl,
+    prog: &Program,
+    env: &Env,
+) -> BTreeMap<String, BTreeSet<String>> {
+    let mut res = BTreeSet::new();
+    for arm in &stage.matcher {
+        if let Some(g) = &arm.guard {
+            pred_reads(g, env, &mut res);
+        }
+        if let Some(t) = arm.table.as_deref().and_then(|t| prog.table(t)) {
+            for (k, _) in &t.key {
+                expr_reads(k, env, &mut res);
+            }
+        }
+    }
+    for name in stage_action_names(stage, prog) {
+        if let Some(a) = prog.action(name) {
+            for stmt in &a.body {
+                if let Stmt::Assign { lval, expr } = stmt {
+                    if lval.scope != env.meta_alias && env.headers.contains_key(&lval.scope) {
+                        res.insert(Res::Field(lval.scope.clone(), lval.field.clone()));
+                    }
+                    expr_reads(expr, env, &mut res);
+                }
+            }
+        }
+    }
+    let mut by_header: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for r in res {
+        if let Res::Field(h, f) = r {
+            by_header.entry(h).or_default().insert(f);
+        }
+    }
+    by_header
+}
+
+fn lint_use_before_parse(prog: &Program, env: &Env, out: &mut Vec<Diagnostic>) {
+    for (chain, label) in [(&prog.ingress, "ingress"), (&prog.egress, "egress")] {
+        let mut avail: HashSet<&str> = HashSet::new();
+        for stage in chain.iter() {
+            avail.extend(stage.parser.iter().map(String::as_str));
+            for (h, fields) in stage_header_uses(stage, prog, env) {
+                if avail.contains(h.as_str()) || !env.headers.contains_key(&h) {
+                    continue;
+                }
+                let first = fields.iter().next().expect("non-empty field set");
+                out.push(
+                    Diagnostic::error(
+                        codes::USE_BEFORE_PARSE,
+                        format!(
+                            "stage `{}` uses `{h}.{first}` but no stage at or before it \
+                             in the {label} pipeline parses header `{h}`",
+                            stage.name
+                        ),
+                    )
+                    .with_span(prog.spans.get(ItemKind::Stage, &stage.name))
+                    .with_note(format!(
+                        "add `{h};` to the parser block of `{}` or an earlier {label} stage",
+                        stage.name
+                    )),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RP4102 — stage merge hazards
+// ---------------------------------------------------------------------------
+
+/// Flattens a conjunction into its factors.
+fn conj_factors<'a>(p: &'a PredExpr, out: &mut Vec<&'a PredExpr>) {
+    match p {
+        PredExpr::And(a, b) => {
+            conj_factors(a, out);
+            conj_factors(b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Structural mutual exclusion between two factors: `p` vs `!p`, or equality
+/// comparisons of the same operand against different constants. Mirrors
+/// `ipsa_core::Predicate::mutually_exclusive` at the AST level.
+fn factors_exclusive(a: &PredExpr, b: &PredExpr) -> bool {
+    match (a, b) {
+        (PredExpr::Not(x), y) | (y, PredExpr::Not(x)) if x.as_ref() == y => true,
+        (
+            PredExpr::Cmp {
+                lhs: l1,
+                op: rp4_lang::ast::CmpOpAst::Eq,
+                rhs: Expr::Int(c1),
+            },
+            PredExpr::Cmp {
+                lhs: l2,
+                op: rp4_lang::ast::CmpOpAst::Eq,
+                rhs: Expr::Int(c2),
+            },
+        ) => l1 == l2 && c1 != c2,
+        _ => false,
+    }
+}
+
+/// True when two guards can never both hold (conservative, structural).
+fn guards_exclusive(a: &PredExpr, b: &PredExpr) -> bool {
+    let mut fa = Vec::new();
+    let mut fb = Vec::new();
+    conj_factors(a, &mut fa);
+    conj_factors(b, &mut fb);
+    fa.iter()
+        .any(|x| fb.iter().any(|y| factors_exclusive(x, y)))
+}
+
+/// Guards of a stage's table-applying arms; `None` when any such arm is
+/// unguarded (an always-true branch is never exclusive with anything).
+fn table_guards(stage: &StageDecl) -> Option<Vec<&PredExpr>> {
+    let mut gs = Vec::new();
+    for arm in &stage.matcher {
+        if arm.table.is_some() {
+            gs.push(arm.guard.as_ref()?);
+        }
+    }
+    if gs.is_empty() {
+        None
+    } else {
+        Some(gs)
+    }
+}
+
+fn lint_stage_hazards(prog: &Program, env: &Env, out: &mut Vec<Diagnostic>) {
+    for chain in [&prog.ingress, &prog.egress] {
+        for pair in chain.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            let (Some(ga), Some(gb)) = (table_guards(a), table_guards(b)) else {
+                continue;
+            };
+            // Only merge-eligible pairs matter: the merge pass fuses two
+            // adjacent stages when every pair of table branches is mutually
+            // exclusive. Merging moves stage b's guard evaluation before
+            // stage a's action — a read/write conflict there is a hazard.
+            let mergeable = ga.iter().all(|x| gb.iter().all(|y| guards_exclusive(x, y)));
+            if !mergeable {
+                continue;
+            }
+            let mut writes = BTreeSet::new();
+            for name in stage_action_names(a, prog) {
+                if let Some(act) = prog.action(name) {
+                    action_writes(act, env, &mut writes);
+                }
+            }
+            let mut reads = BTreeSet::new();
+            for g in &gb {
+                pred_reads(g, env, &mut reads);
+            }
+            if let Some((r, w)) = reads
+                .iter()
+                .find_map(|r| writes.iter().find(|w| res_conflicts(r, w)).map(|w| (r, w)))
+            {
+                out.push(
+                    Diagnostic::warning(
+                        codes::STAGE_HAZARD,
+                        format!(
+                            "guard of stage `{}` reads {r}, which actions of the \
+                             preceding mergeable stage `{}` write ({w})",
+                            b.name, a.name
+                        ),
+                    )
+                    .with_span(prog.spans.get(ItemKind::Stage, &b.name))
+                    .with_note(
+                        "merging these stages into one TSP would evaluate the guard \
+                         before the write; the compiler will keep them separate",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RP4104 — elastic-pipeline shape
+// ---------------------------------------------------------------------------
+
+fn entry_side_check(
+    prog: &Program,
+    uf: &UserFuncs,
+    out: &mut Vec<Diagnostic>,
+    entry: Option<&str>,
+    side: &str,
+    own: &[StageDecl],
+    other: &[StageDecl],
+) {
+    match entry {
+        Some(e) => {
+            if other.iter().any(|s| s.name == e) && !own.iter().any(|s| s.name == e) {
+                let opposite = if side == "ingress" {
+                    "egress"
+                } else {
+                    "ingress"
+                };
+                out.push(
+                    Diagnostic::error(
+                        codes::PIPELINE_INVALID,
+                        format!("{side}_entry `{e}` names an {opposite} stage"),
+                    )
+                    .with_span(prog.spans.get(ItemKind::Stage, e))
+                    .with_note(format!(
+                        "the elastic pipeline inserts traffic management between \
+                         ingress and egress; `{e}` cannot start the {side} chain"
+                    )),
+                );
+            }
+        }
+        None => {
+            if !own.is_empty() {
+                let span = uf
+                    .funcs
+                    .first()
+                    .and_then(|(f, _)| prog.spans.get(ItemKind::Func, f));
+                out.push(
+                    Diagnostic::error(
+                        codes::PIPELINE_INVALID,
+                        format!(
+                            "program has {} {side} stage(s) but user_funcs declares \
+                             no {side}_entry",
+                            own.len()
+                        ),
+                    )
+                    .with_span(span)
+                    .with_note(format!(
+                        "add `{side}_entry: <stage>;` so the selector knows where \
+                         the {side} chain starts"
+                    )),
+                );
+            }
+        }
+    }
+}
+
+fn lint_pipeline_shape(prog: &Program, limits: &ResourceLimits, out: &mut Vec<Diagnostic>) {
+    let Some(uf) = &prog.user_funcs else {
+        // Snippets carry no user_funcs; entry checks only make sense on a
+        // full design.
+        return;
+    };
+    entry_side_check(
+        prog,
+        uf,
+        out,
+        uf.ingress_entry.as_deref(),
+        "ingress",
+        &prog.ingress,
+        &prog.egress,
+    );
+    entry_side_check(
+        prog,
+        uf,
+        out,
+        uf.egress_entry.as_deref(),
+        "egress",
+        &prog.egress,
+        &prog.ingress,
+    );
+    let total = prog.ingress.len() + prog.egress.len();
+    if limits.slots > 0 && total > limits.slots {
+        out.push(
+            Diagnostic::warning(
+                codes::PIPELINE_INVALID,
+                format!(
+                    "design declares {total} logical stages but the target has \
+                     only {} TSP slots",
+                    limits.slots
+                ),
+            )
+            .with_note("stage merging may still fit the design; treat this as a capacity risk"),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RP4106 — dead code
+// ---------------------------------------------------------------------------
+
+/// Every header mentioned in any expression, guard, action body, or
+/// `remove_header` call.
+fn referenced_headers(prog: &Program, env: &Env) -> HashSet<String> {
+    let mut res = BTreeSet::new();
+    for t in &prog.tables {
+        for (k, _) in &t.key {
+            expr_reads(k, env, &mut res);
+        }
+    }
+    for s in prog.ingress.iter().chain(&prog.egress) {
+        for arm in &s.matcher {
+            if let Some(g) = &arm.guard {
+                pred_reads(g, env, &mut res);
+            }
+        }
+    }
+    let mut out = HashSet::new();
+    for a in &prog.actions {
+        let mut w = BTreeSet::new();
+        action_writes(a, env, &mut w);
+        for stmt in &a.body {
+            if let Stmt::Assign { expr, .. } = stmt {
+                expr_reads(expr, env, &mut w);
+            }
+        }
+        res.extend(w);
+    }
+    for r in res {
+        match r {
+            Res::Field(h, _) | Res::Validity(h) => {
+                out.insert(h);
+            }
+            Res::Meta(_) => {}
+        }
+    }
+    out
+}
+
+fn lint_dead_code(prog: &Program, env: &Env, out: &mut Vec<Diagnostic>) {
+    // Headers: live when on the parse graph around any stage's parser list
+    // — downstream (a parsed header's transition targets) or upstream (the
+    // chain walks ancestors to reach a parsed header) — or referenced
+    // anywhere in an expression.
+    let seeds: Vec<String> = prog
+        .ingress
+        .iter()
+        .chain(&prog.egress)
+        .flat_map(|s| s.parser.iter().cloned())
+        .collect();
+    let mut reachable: HashSet<String> = seeds.into_iter().collect();
+    let mut frontier: Vec<String> = reachable.iter().cloned().collect();
+    while let Some(h) = frontier.pop() {
+        let Some(decl) = prog.headers.iter().find(|d| d.name == h) else {
+            continue;
+        };
+        if let Some(p) = &decl.parser {
+            for (_, next) in &p.transitions {
+                if reachable.insert(next.clone()) {
+                    frontier.push(next.clone());
+                }
+            }
+        }
+    }
+    loop {
+        let mut changed = false;
+        for h in &prog.headers {
+            if reachable.contains(&h.name) {
+                continue;
+            }
+            let leads_to_live = h.parser.as_ref().is_some_and(|p| {
+                p.transitions
+                    .iter()
+                    .any(|(_, next)| reachable.contains(next))
+            });
+            if leads_to_live {
+                reachable.insert(h.name.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let referenced = referenced_headers(prog, env);
+    for h in &prog.headers {
+        if !reachable.contains(&h.name) && !referenced.contains(&h.name) {
+            out.push(
+                Diagnostic::warning(
+                    codes::DEAD_CODE,
+                    format!("header `{}` is never parsed or referenced", h.name),
+                )
+                .with_span(prog.spans.get(ItemKind::Header, &h.name)),
+            );
+        }
+    }
+
+    // Tables: applied by some matcher arm.
+    let applied: HashSet<&str> = prog
+        .ingress
+        .iter()
+        .chain(&prog.egress)
+        .flat_map(|s| s.matcher.iter().filter_map(|a| a.table.as_deref()))
+        .collect();
+    for t in &prog.tables {
+        if !applied.contains(t.name.as_str()) {
+            out.push(
+                Diagnostic::warning(
+                    codes::DEAD_CODE,
+                    format!("table `{}` is never applied by any stage", t.name),
+                )
+                .with_span(prog.spans.get(ItemKind::Table, &t.name)),
+            );
+        }
+    }
+
+    // Actions: referenced from a table's action list/default or an executor.
+    let mut used_actions: HashSet<&str> = HashSet::new();
+    for t in &prog.tables {
+        used_actions.extend(t.actions.iter().map(String::as_str));
+        if let Some((d, _)) = &t.default_action {
+            used_actions.insert(d.as_str());
+        }
+    }
+    for s in prog.ingress.iter().chain(&prog.egress) {
+        used_actions.extend(s.executor.iter().map(|(_, a, _)| a.as_str()));
+    }
+    for a in &prog.actions {
+        if a.name != "NoAction" && !used_actions.contains(a.name.as_str()) {
+            out.push(
+                Diagnostic::warning(
+                    codes::DEAD_CODE,
+                    format!("action `{}` is never referenced", a.name),
+                )
+                .with_span(prog.spans.get(ItemKind::Action, &a.name)),
+            );
+        }
+    }
+
+    // Stages: claimed by some user_func (only checkable on full designs).
+    if let Some(uf) = &prog.user_funcs {
+        let claimed: HashSet<&str> = uf
+            .funcs
+            .iter()
+            .flat_map(|(_, stages)| stages.iter().map(String::as_str))
+            .collect();
+        for s in prog.ingress.iter().chain(&prog.egress) {
+            if !claimed.contains(s.name.as_str()) {
+                out.push(
+                    Diagnostic::warning(
+                        codes::DEAD_CODE,
+                        format!("stage `{}` is not claimed by any user_func", s.name),
+                    )
+                    .with_span(prog.spans.get(ItemKind::Stage, &s.name))
+                    .with_note("unclaimed stages are never linked into the pipeline"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp4_lang::{check, parse};
+
+    fn verify_src(src: &str) -> Vec<Diagnostic> {
+        let prog = parse(src).expect("parse");
+        let env = check(&prog, None).expect("semantic");
+        verify_program(&prog, &env, &ResourceLimits::ipbm())
+    }
+
+    const CLEAN: &str = r#"
+        headers {
+            header ethernet {
+                bit<48> dst_addr;
+                bit<16> ethertype;
+                implicit parser(ethertype) { 0x0800: ipv4; }
+            }
+            header ipv4 {
+                bit<8> ttl;
+                bit<32> dst_addr;
+            }
+        }
+        structs { struct metadata_t { bit<16> nexthop; bit<8> l3; } meta; }
+        action set_nh(bit<16> nh) { meta.nexthop = nh; }
+        table fib {
+            key = { ipv4.dst_addr: lpm; }
+            actions = { set_nh; }
+            size = 128;
+        }
+        control rP4_Ingress {
+            stage fib {
+                parser { ethernet; ipv4; }
+                matcher { if (ipv4.isValid()) fib.apply(); else; }
+                executor { 1: set_nh; default: NoAction; }
+            }
+        }
+        user_funcs {
+            func f { fib }
+            ingress_entry: fib;
+        }
+    "#;
+
+    #[test]
+    fn clean_program_has_no_findings() {
+        assert_eq!(verify_src(CLEAN), vec![]);
+    }
+
+    #[test]
+    fn use_before_parse_flagged_with_span() {
+        // Same program, but the stage never parses ipv4.
+        let src = CLEAN.replace("parser { ethernet; ipv4; }", "parser { ethernet; }");
+        let diags = verify_src(&src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, codes::USE_BEFORE_PARSE);
+        assert!(diags[0].span.is_some(), "lint must carry a span");
+        assert!(diags[0].message.contains("ipv4.dst_addr"));
+    }
+
+    #[test]
+    fn upstream_parse_satisfies_later_stage() {
+        let src = r#"
+            headers { header ipv4 { bit<32> dst_addr; } }
+            structs { struct metadata_t { bit<16> nh; } meta; }
+            action set_nh(bit<16> nh) { meta.nh = nh; }
+            table fib {
+                key = { ipv4.dst_addr: exact; }
+                actions = { set_nh; }
+            }
+            control rP4_Ingress {
+                stage parse_only {
+                    parser { ipv4; }
+                    matcher { }
+                    executor { default: NoAction; }
+                }
+                stage fib {
+                    parser { }
+                    matcher { fib.apply(); }
+                    executor { 1: set_nh; default: NoAction; }
+                }
+            }
+            user_funcs { func f { parse_only fib } ingress_entry: parse_only; }
+        "#;
+        let diags = verify_src(src);
+        assert!(
+            diags.iter().all(|d| d.code != codes::USE_BEFORE_PARSE),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn merge_hazard_guard_reads_validity_written_upstream() {
+        let src = r#"
+            headers { header tun { bit<16> id; } header ipv4 { bit<32> dst; } }
+            structs { struct metadata_t { bit<16> x; } meta; }
+            action pop_tun() { remove_header(tun); }
+            action set_x(bit<16> v) { meta.x = v; }
+            table decap { key = { tun.id: exact; } actions = { pop_tun; } }
+            table plain { key = { ipv4.dst: exact; } actions = { set_x; } }
+            control rP4_Ingress {
+                stage decap {
+                    parser { tun; ipv4; }
+                    matcher { if (tun.isValid()) decap.apply(); else; }
+                    executor { 1: pop_tun; default: NoAction; }
+                }
+                stage plain {
+                    parser { }
+                    matcher { if (!tun.isValid()) plain.apply(); else; }
+                    executor { 1: set_x; default: NoAction; }
+                }
+            }
+            user_funcs { func f { decap plain } ingress_entry: decap; }
+        "#;
+        let diags = verify_src(src);
+        let hz: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == codes::STAGE_HAZARD)
+            .collect();
+        assert_eq!(hz.len(), 1, "{diags:?}");
+        assert_eq!(hz[0].severity, rp4_lang::Severity::Warning);
+        assert!(hz[0].span.is_some());
+        assert!(hz[0].message.contains("tun"));
+    }
+
+    #[test]
+    fn non_exclusive_guards_are_not_hazards() {
+        // fwd_mode-style pattern: stage A writes meta.l3, stage B's guard
+        // reads it — but their guards are not exclusive, so they never
+        // merge and execution order protects the read.
+        let src = r#"
+            headers { header ipv4 { bit<32> dst; } }
+            structs { struct metadata_t { bit<8> l3; bit<16> nh; } meta; }
+            action set_l3() { meta.l3 = 1; }
+            action set_nh(bit<16> v) { meta.nh = v; }
+            table mode { key = { ipv4.dst: exact; } actions = { set_l3; } }
+            table fib { key = { ipv4.dst: exact; } actions = { set_nh; } }
+            control rP4_Ingress {
+                stage mode {
+                    parser { ipv4; }
+                    matcher { mode.apply(); }
+                    executor { 1: set_l3; default: NoAction; }
+                }
+                stage fib {
+                    parser { }
+                    matcher { if (meta.l3 == 1) fib.apply(); else; }
+                    executor { 1: set_nh; default: NoAction; }
+                }
+            }
+            user_funcs { func f { mode fib } ingress_entry: mode; }
+        "#;
+        let diags = verify_src(src);
+        assert!(
+            diags.iter().all(|d| d.code != codes::STAGE_HAZARD),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn wrong_side_entry_is_an_error() {
+        let src = r#"
+            headers { header ipv4 { bit<32> dst; } }
+            structs { struct metadata_t { bit<16> nh; } meta; }
+            action set_nh(bit<16> v) { meta.nh = v; }
+            table fib { key = { ipv4.dst: exact; } actions = { set_nh; } }
+            control rP4_Ingress {
+                stage fib {
+                    parser { ipv4; }
+                    matcher { fib.apply(); }
+                    executor { 1: set_nh; default: NoAction; }
+                }
+            }
+            control rP4_Egress {
+                stage rewrite {
+                    parser { ipv4; }
+                    matcher { }
+                    executor { default: NoAction; }
+                }
+            }
+            user_funcs {
+                func f { fib rewrite }
+                ingress_entry: rewrite;
+                egress_entry: rewrite;
+            }
+        "#;
+        let diags = verify_src(src);
+        let pipe: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == codes::PIPELINE_INVALID)
+            .collect();
+        assert_eq!(pipe.len(), 1, "{diags:?}");
+        assert!(pipe[0].message.contains("ingress_entry"));
+    }
+
+    #[test]
+    fn missing_entry_is_an_error() {
+        let src = CLEAN.replace("ingress_entry: fib;", "");
+        let diags = verify_src(&src);
+        assert!(
+            diags.iter().any(
+                |d| d.code == codes::PIPELINE_INVALID && d.message.contains("no ingress_entry")
+            ),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn dead_code_unused_table_action_header_and_stage() {
+        let src = r#"
+            headers {
+                header ipv4 { bit<32> dst; }
+                header orphan { bit<8> x; }
+            }
+            structs { struct metadata_t { bit<16> nh; } meta; }
+            action set_nh(bit<16> v) { meta.nh = v; }
+            action never() { meta.nh = 0; }
+            table fib { key = { ipv4.dst: exact; } actions = { set_nh; } }
+            table ghost { key = { ipv4.dst: exact; } actions = { set_nh; } }
+            control rP4_Ingress {
+                stage fib {
+                    parser { ipv4; }
+                    matcher { fib.apply(); }
+                    executor { 1: set_nh; default: NoAction; }
+                }
+                stage floating {
+                    parser { ipv4; }
+                    matcher { }
+                    executor { default: NoAction; }
+                }
+            }
+            user_funcs { func f { fib } ingress_entry: fib; }
+        "#;
+        let diags = verify_src(src);
+        let dead: Vec<&str> = diags
+            .iter()
+            .filter(|d| d.code == codes::DEAD_CODE)
+            .map(|d| d.message.as_str())
+            .collect();
+        assert_eq!(dead.len(), 4, "{diags:?}");
+        assert!(dead.iter().any(|m| m.contains("header `orphan`")));
+        assert!(dead.iter().any(|m| m.contains("table `ghost`")));
+        assert!(dead.iter().any(|m| m.contains("action `never`")));
+        assert!(dead.iter().any(|m| m.contains("stage `floating`")));
+        assert!(diags
+            .iter()
+            .filter(|d| d.code == codes::DEAD_CODE)
+            .all(|d| d.severity == rp4_lang::Severity::Warning));
+    }
+
+    #[test]
+    fn slot_pressure_warns() {
+        let prog = parse(CLEAN).expect("parse");
+        let env = check(&prog, None).expect("semantic");
+        let tight = ResourceLimits {
+            slots: 0,
+            ..ResourceLimits::ipbm()
+        };
+        assert_eq!(verify_program(&prog, &env, &tight), vec![]);
+        let tiny = ResourceLimits {
+            slots: 1,
+            ..ResourceLimits::ipbm()
+        };
+        // CLEAN has exactly one stage — still fits.
+        assert_eq!(verify_program(&prog, &env, &tiny), vec![]);
+    }
+}

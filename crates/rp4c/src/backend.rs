@@ -18,6 +18,8 @@ use ipsa_netpkt::header::{HeaderType, ImplicitParser, ParserTransition};
 use ipsa_netpkt::linkage::HeaderLinkage;
 use rp4_lang::ast::Program;
 use rp4_lang::semantic::{check, Env};
+use rp4_lang::{Diagnostic, Severity};
+use rp4_verify::ResourceLimits;
 
 use crate::api_gen::{generate_apis, TableApi};
 use crate::layout::{initial_layout, LayoutError};
@@ -103,6 +105,8 @@ impl CompilerTarget {
 pub enum CompileError {
     /// Semantic diagnostics.
     Semantic(Vec<rp4_lang::semantic::SemanticError>),
+    /// Static-analysis findings at error severity (RP41xx).
+    Verify(Vec<Diagnostic>),
     /// Lowering failure.
     Lower(LowerError),
     /// Layout failure.
@@ -120,6 +124,13 @@ impl std::fmt::Display for CompileError {
                 writeln!(f, "{} semantic error(s):", errs.len())?;
                 for e in errs {
                     writeln!(f, "  {e}")?;
+                }
+                Ok(())
+            }
+            CompileError::Verify(diags) => {
+                writeln!(f, "{} verifier error(s):", diags.len())?;
+                for d in diags {
+                    writeln!(f, "  {}", d.header())?;
                 }
                 Ok(())
             }
@@ -173,6 +184,17 @@ pub struct Compilation {
     pub apis: Vec<TableApi>,
     /// Compiler statistics.
     pub report: CompileReport,
+    /// Warning-severity verifier findings (errors abort the compile).
+    pub warnings: Vec<Diagnostic>,
+}
+
+/// The verifier budget corresponding to a compiler target.
+pub fn verify_limits(target: &CompilerTarget) -> ResourceLimits {
+    ResourceLimits {
+        slots: target.slots,
+        sram_blocks: target.sram_blocks,
+        tcam_blocks: target.tcam_blocks,
+    }
 }
 
 /// Builds the header registry/linkage from a program's header declarations.
@@ -212,10 +234,7 @@ pub fn build_linkage(prog: &Program) -> HeaderLinkage {
 }
 
 /// Lowers a program's stages (ingress then egress) to logical stages.
-pub fn lower_all_stages(
-    env: &Env,
-    prog: &Program,
-) -> Result<Vec<LogicalStage>, LowerError> {
+pub fn lower_all_stages(env: &Env, prog: &Program) -> Result<Vec<LogicalStage>, LowerError> {
     let mut out = Vec::new();
     for st in &prog.ingress {
         out.push(lower_stage(env, st, prog.func_of_stage(&st.name), false)?);
@@ -289,7 +308,24 @@ pub fn fresh_free_blocks(target: &CompilerTarget) -> FreeBlocks {
 /// Full rp4bc compilation: program → device configuration.
 pub fn full_compile(prog: &Program, target: &CompilerTarget) -> Result<Compilation, CompileError> {
     let env = check(prog, None).map_err(CompileError::Semantic)?;
+
+    // Static analysis gates the rest of the pipeline: error-severity
+    // findings abort, warnings ride along on the compilation result.
+    let limits = verify_limits(target);
+    let mut findings = rp4_verify::verify_program(prog, &env, &limits);
     let (tables, actions) = lower_registries(&env, prog)?;
+    findings.extend(rp4_verify::verify_pool(
+        &tables,
+        &actions,
+        &limits,
+        Some(&prog.spans),
+    ));
+    if findings.iter().any(|d| d.severity == Severity::Error) {
+        findings.retain(|d| d.severity == Severity::Error);
+        return Err(CompileError::Verify(findings));
+    }
+    let warnings = findings;
+
     let stages = lower_all_stages(&env, prog)?;
     let (groups, merge_report) = if target.merge {
         merge_stages(stages, &tables, &actions, target.merge_limits)
@@ -392,6 +428,7 @@ pub fn full_compile(prog: &Program, target: &CompilerTarget) -> Result<Compilati
             tsps_used,
             blocks_used,
         },
+        warnings,
     })
 }
 
@@ -481,7 +518,37 @@ mod tests {
         t.sram_blocks = 1; // fib alone needs blocks for 1024 x ~60 bits
         let r = full_compile(&tiny_design(), &t);
         // fib (1024 entries, <=112b) fits one block; out_port needs another.
-        assert!(matches!(r, Err(CompileError::Pack(_))), "{r:?}");
+        // The verifier's pool lint (RP4103) catches the overcommit before
+        // the packing solver even runs.
+        match r {
+            Err(CompileError::Verify(diags)) => {
+                assert!(diags
+                    .iter()
+                    .any(|d| d.code == rp4_verify::codes::MEM_OVERCOMMIT));
+            }
+            other => panic!("expected RP4103 verify error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_compile_carries_no_warnings() {
+        let c = full_compile(&tiny_design(), &CompilerTarget::ipbm()).unwrap();
+        assert_eq!(c.warnings, vec![]);
+    }
+
+    #[test]
+    fn verifier_rejects_use_before_parse() {
+        let mut p = tiny_design();
+        p.ingress[0].parser.clear(); // fib keys on ipv4.dst_addr, now unparsed
+        let e = full_compile(&p, &CompilerTarget::ipbm()).unwrap_err();
+        match e {
+            CompileError::Verify(diags) => {
+                assert!(diags
+                    .iter()
+                    .any(|d| d.code == rp4_verify::codes::USE_BEFORE_PARSE));
+            }
+            other => panic!("expected RP4101, got {other:?}"),
+        }
     }
 
     #[test]

@@ -89,7 +89,12 @@ fn action_rw(a: &ActionDef, rw: &mut RwSet) {
                 rw.writes.insert(Res::Meta("mark".into()));
                 read_value(threshold, &mut rw.reads);
             }
-            Primitive::InsertHeaderAfter { after, header, fields, extra_words } => {
+            Primitive::InsertHeaderAfter {
+                after,
+                header,
+                fields,
+                extra_words,
+            } => {
                 rw.writes.insert(Res::Validity(header.clone()));
                 rw.reads.insert(Res::Validity(after.clone()));
                 for (_, v) in fields {
@@ -104,8 +109,10 @@ fn action_rw(a: &ActionDef, rw: &mut RwSet) {
             }
             Primitive::Srv6Advance => {
                 rw.reads.insert(Res::Validity("srh".into()));
-                rw.writes.insert(Res::Field("srh".into(), "segments_left".into()));
-                rw.writes.insert(Res::Field("ipv6".into(), "dst_addr".into()));
+                rw.writes
+                    .insert(Res::Field("srh".into(), "segments_left".into()));
+                rw.writes
+                    .insert(Res::Field("ipv6".into(), "dst_addr".into()));
             }
             Primitive::DecTtlV4 => {
                 rw.writes.insert(Res::Field("ipv4".into(), "ttl".into()));
@@ -221,6 +228,9 @@ pub fn stage_action_writes(
             for a in &t.actions {
                 action_names.insert(a.as_str());
             }
+            // The miss path runs the table's default action — its writes are
+            // as observable to a later guard as any hit action's.
+            action_names.insert(t.default_action.action.as_str());
         }
     }
     let mut rw = RwSet::default();
@@ -258,7 +268,10 @@ pub fn dependency_matrix(
     tables: &BTreeMap<String, TableDef>,
     actions: &BTreeMap<String, ActionDef>,
 ) -> Vec<Vec<bool>> {
-    let rw: Vec<RwSet> = stages.iter().map(|s| stage_rw(s, tables, actions)).collect();
+    let rw: Vec<RwSet> = stages
+        .iter()
+        .map(|s| stage_rw(s, tables, actions))
+        .collect();
     let n = stages.len();
     let mut m = vec![vec![false; n]; n];
     for i in 0..n {

@@ -214,7 +214,9 @@ mod tests {
         assert!(back
             .iter()
             .any(|m| matches!(m, ControlMsg::DestroyTable(t) if t == "fp")));
-        assert!(back.iter().any(|m| matches!(m, ControlMsg::ClearSlot { .. })));
+        assert!(back
+            .iter()
+            .any(|m| matches!(m, ControlMsg::ClearSlot { .. })));
         assert!(diff_size(&back) <= 8, "rollback too invasive: {back:?}");
     }
 

@@ -132,7 +132,11 @@ pub fn rp4fc(hlir: &Hlir, func_name: &str) -> Program {
 
     // Headers with their implicit parsers reconstructed from parse edges.
     for h in &hlir.headers {
-        let edges: Vec<_> = hlir.parse_edges.iter().filter(|e| e.pre == h.name).collect();
+        let edges: Vec<_> = hlir
+            .parse_edges
+            .iter()
+            .filter(|e| e.pre == h.name)
+            .collect();
         let parser = if edges.is_empty() {
             None
         } else {
@@ -244,7 +248,13 @@ mod tests {
         let pr = eth.parser.as_ref().unwrap();
         assert_eq!(pr.selector, vec!["etherType"]);
         assert_eq!(pr.transitions, vec![(0x800, "ipv4".to_string())]);
-        assert!(p.headers.iter().find(|h| h.name == "ipv4").unwrap().parser.is_none());
+        assert!(p
+            .headers
+            .iter()
+            .find(|h| h.name == "ipv4")
+            .unwrap()
+            .parser
+            .is_none());
     }
 
     #[test]

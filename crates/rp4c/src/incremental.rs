@@ -185,9 +185,9 @@ impl StageGraph {
 
     /// Adds an edge, resolving member names.
     pub fn add_link(&mut self, from: &str, to: &str) -> Result<(), CompileError> {
-        let f = self.resolve(from).ok_or_else(|| {
-            CompileError::Design(format!("add_link: unknown stage `{from}`"))
-        })?;
+        let f = self
+            .resolve(from)
+            .ok_or_else(|| CompileError::Design(format!("add_link: unknown stage `{from}`")))?;
         let t = self
             .resolve(to)
             .ok_or_else(|| CompileError::Design(format!("add_link: unknown stage `{to}`")))?;
@@ -197,9 +197,9 @@ impl StageGraph {
 
     /// Removes an edge, resolving member names.
     pub fn del_link(&mut self, from: &str, to: &str) -> Result<(), CompileError> {
-        let f = self.resolve(from).ok_or_else(|| {
-            CompileError::Design(format!("del_link: unknown stage `{from}`"))
-        })?;
+        let f = self
+            .resolve(from)
+            .ok_or_else(|| CompileError::Design(format!("del_link: unknown stage `{from}`")))?;
         let t = self
             .resolve(to)
             .ok_or_else(|| CompileError::Design(format!("del_link: unknown stage `{to}`")))?;
@@ -400,10 +400,8 @@ pub fn incremental_compile(
                     .ok_or_else(|| {
                         CompileError::Design(format!("update: function `{func}` not loaded"))
                     })?;
-                let old_nodes: BTreeSet<String> = old_stages
-                    .iter()
-                    .filter_map(|s| graph.resolve(s))
-                    .collect();
+                let old_nodes: BTreeSet<String> =
+                    old_stages.iter().filter_map(|s| graph.resolve(s)).collect();
                 let preds: Vec<String> = graph
                     .edges
                     .iter()
@@ -558,7 +556,12 @@ pub fn incremental_compile(
 
     // ---- Phase 3: placement (the measured algorithm). ----
     let t0 = Instant::now();
-    let placement = replace_layout(&design.templates, &ingress_templates, &egress_templates, algo)?;
+    let placement = replace_layout(
+        &design.templates,
+        &ingress_templates,
+        &egress_templates,
+        algo,
+    )?;
     let placement_us = t0.elapsed().as_secs_f64() * 1e6;
 
     // ---- Phase 4: table lifecycle. ----
@@ -647,10 +650,7 @@ pub fn incremental_compile(
                 continue;
             };
             let blocks = design.table_alloc[&tname].clone();
-            if blocks
-                .iter()
-                .all(|b| xbar.mem_cluster(*b) == Some(tc))
-            {
+            if blocks.iter().all(|b| xbar.mem_cluster(*b) == Some(tc)) {
                 continue;
             }
             // Pack a same-size allocation inside the stage's new cluster.
@@ -778,6 +778,16 @@ pub fn incremental_compile(
         .validate()
         .map_err(|e| CompileError::Design(e.to_string()))?;
     let apis = generate_apis(&design);
+    // Self-check: the assembled message diff must keep every structural
+    // update inside its drain window (RP4105). A failure here is a compiler
+    // bug, but surfacing it as a diagnostic beats corrupting a live device.
+    let unsafe_msgs: Vec<_> = rp4_verify::verify_msgs(&msgs)
+        .into_iter()
+        .filter(|d| d.severity == rp4_lang::Severity::Error)
+        .collect();
+    if !unsafe_msgs.is_empty() {
+        return Err(CompileError::Verify(unsafe_msgs));
+    }
     Ok(UpdatePlan {
         msgs,
         design,
@@ -886,8 +896,7 @@ mod tests {
     fn ecmp_insertion_is_minimal() {
         let (design, program, target) = compiled();
         let plan =
-            incremental_compile(&design, &program, &ecmp_cmds(), &target, LayoutAlgo::Dp)
-                .unwrap();
+            incremental_compile(&design, &program, &ecmp_cmds(), &target, LayoutAlgo::Dp).unwrap();
         // nexthop_s became unreachable: its slot cleared, table destroyed.
         assert!(plan.stats.removed_tables.contains(&"nexthop".to_string()));
         assert_eq!(plan.stats.new_tables, vec!["ecmp".to_string()]);
@@ -913,8 +922,7 @@ mod tests {
     fn unload_restores_pipeline() {
         let (design, program, target) = compiled();
         let plan =
-            incremental_compile(&design, &program, &ecmp_cmds(), &target, LayoutAlgo::Dp)
-                .unwrap();
+            incremental_compile(&design, &program, &ecmp_cmds(), &target, LayoutAlgo::Dp).unwrap();
         // Now unload ecmp and relink fib -> ... nexthop is gone for good
         // (its stage left the program), so just drop ecmp.
         let plan2 = incremental_compile(
@@ -978,8 +986,7 @@ mod tests {
                 tag: 43,
             },
         ];
-        let plan =
-            incremental_compile(&design, &program, &cmds, &target, LayoutAlgo::Dp).unwrap();
+        let plan = incremental_compile(&design, &program, &cmds, &target, LayoutAlgo::Dp).unwrap();
         // Header registered and linked in the new design.
         assert!(plan.design.linkage.get("srh").is_some());
         assert!(plan
@@ -1075,11 +1082,10 @@ mod tests {
     #[test]
     fn greedy_never_beats_dp() {
         let (design, program, target) = compiled();
-        let dp = incremental_compile(&design, &program, &ecmp_cmds(), &target, LayoutAlgo::Dp)
+        let dp =
+            incremental_compile(&design, &program, &ecmp_cmds(), &target, LayoutAlgo::Dp).unwrap();
+        let gr = incremental_compile(&design, &program, &ecmp_cmds(), &target, LayoutAlgo::Greedy)
             .unwrap();
-        let gr =
-            incremental_compile(&design, &program, &ecmp_cmds(), &target, LayoutAlgo::Greedy)
-                .unwrap();
         assert!(gr.stats.template_writes >= dp.stats.template_writes);
     }
 
@@ -1120,7 +1126,9 @@ mod tests {
     #[test]
     fn snippet_semantic_errors_rejected() {
         let (design, program, target) = compiled();
-        let bad = parse("stage s { parser { mystery; } matcher { } executor { default: NoAction; } }").unwrap();
+        let bad =
+            parse("stage s { parser { mystery; } matcher { } executor { default: NoAction; } }")
+                .unwrap();
         let e = incremental_compile(
             &design,
             &program,

@@ -59,10 +59,7 @@ pub struct Placement {
 
 /// Initial layout of merged stages: ingress left-packed, egress
 /// right-packed.
-pub fn initial_layout(
-    groups: &[LogicalStage],
-    slots: usize,
-) -> Result<Placement, LayoutError> {
+pub fn initial_layout(groups: &[LogicalStage], slots: usize) -> Result<Placement, LayoutError> {
     let ingress: Vec<&LogicalStage> = groups.iter().filter(|g| !g.egress).collect();
     let egress: Vec<&LogicalStage> = groups.iter().filter(|g| g.egress).collect();
     if ingress.len() + egress.len() > slots {
@@ -402,12 +399,7 @@ mod tests {
     #[test]
     fn replace_layout_infeasible() {
         let old = vec![None, None];
-        let r = replace_layout(
-            &old,
-            &[tpl("a"), tpl("b")],
-            &[tpl("c")],
-            LayoutAlgo::Dp,
-        );
+        let r = replace_layout(&old, &[tpl("a"), tpl("b")], &[tpl("c")], LayoutAlgo::Dp);
         assert!(r.is_err());
     }
 

@@ -30,7 +30,9 @@ pub mod merge;
 pub mod packing;
 
 pub use api_gen::{generate_apis, TableApi};
-pub use backend::{full_compile, Compilation, CompileError, CompilerTarget};
+pub use backend::{
+    full_compile, lower_registries, verify_limits, Compilation, CompileError, CompilerTarget,
+};
 pub use diff::{design_diff, diff_size};
 pub use frontend::rp4fc;
 pub use incremental::{incremental_compile, UpdateCmd, UpdatePlan, UpdateStats};
@@ -38,7 +40,9 @@ pub use layout::LayoutAlgo;
 
 #[cfg(test)]
 mod proptests {
-    use crate::packing::{fragmentation_of, pack_branch_bound, pack_greedy, FreeBlocks, PackRequest};
+    use crate::packing::{
+        fragmentation_of, pack_branch_bound, pack_greedy, FreeBlocks, PackRequest,
+    };
     use ipsa_core::memory::BlockKind;
     use proptest::prelude::*;
 

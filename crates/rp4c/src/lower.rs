@@ -51,7 +51,9 @@ fn lower_operand(env: &Env, params: &[(String, usize)], e: &Expr) -> Result<Valu
             Some(i) => Ok(ValueRef::Param(i)),
             None => err(format!("`{name}` is not a parameter")),
         },
-        other => err(format!("expression too complex for operand position: {other:?}")),
+        other => err(format!(
+            "expression too complex for operand position: {other:?}"
+        )),
     }
 }
 
@@ -171,7 +173,9 @@ pub fn lower_action(env: &Env, a: &ActionDecl) -> Result<ActionDef, LowerError> 
                     "count" => Primitive::NoAction,
                     "remove_header" => match &args[0] {
                         Expr::Ident(h) => Primitive::RemoveHeader { header: h.clone() },
-                        other => return err(format!("remove_header needs a header name, got {other:?}")),
+                        other => {
+                            return err(format!("remove_header needs a header name, got {other:?}"))
+                        }
                     },
                     other => return err(format!("unknown builtin `{other}`")),
                 };
@@ -191,14 +195,12 @@ pub fn lower_pred(env: &Env, p: &PredExpr) -> Result<Predicate, LowerError> {
     Ok(match p {
         PredExpr::IsValid(h) => Predicate::IsValid(h.clone()),
         PredExpr::Not(x) => Predicate::Not(Box::new(lower_pred(env, x)?)),
-        PredExpr::And(a, b) => Predicate::And(
-            Box::new(lower_pred(env, a)?),
-            Box::new(lower_pred(env, b)?),
-        ),
-        PredExpr::Or(a, b) => Predicate::Or(
-            Box::new(lower_pred(env, a)?),
-            Box::new(lower_pred(env, b)?),
-        ),
+        PredExpr::And(a, b) => {
+            Predicate::And(Box::new(lower_pred(env, a)?), Box::new(lower_pred(env, b)?))
+        }
+        PredExpr::Or(a, b) => {
+            Predicate::Or(Box::new(lower_pred(env, a)?), Box::new(lower_pred(env, b)?))
+        }
         PredExpr::Cmp { lhs, op, rhs } => Predicate::Cmp {
             lhs: lower_operand(env, &[], lhs)?,
             op: match op {
@@ -220,12 +222,16 @@ pub fn lower_table(env: &Env, t: &TableDecl) -> Result<TableDef, LowerError> {
     for (e, kind) in &t.key {
         let source = lower_operand(env, &[], e)?;
         let bits = match e {
-            Expr::Qualified(scope, field) => env
-                .width_of(scope, field)
-                .ok_or_else(|| LowerError {
+            Expr::Qualified(scope, field) => {
+                env.width_of(scope, field).ok_or_else(|| LowerError {
                     msg: format!("unknown width of `{scope}.{field}`"),
-                })?,
-            other => return err(format!("table key must be a field reference, got {other:?}")),
+                })?
+            }
+            other => {
+                return err(format!(
+                    "table key must be a field reference, got {other:?}"
+                ))
+            }
         };
         key.push(KeyField {
             source,
@@ -368,8 +374,10 @@ mod tests {
         );
         let a = lower_action(&env, &prog.actions[0]).unwrap();
         assert_eq!(a.body.len(), 1);
-        assert!(matches!(&a.body[0], Primitive::Hash { modulo: 8, inputs, .. }
-            if inputs.len() == 2));
+        assert!(
+            matches!(&a.body[0], Primitive::Hash { modulo: 8, inputs, .. }
+            if inputs.len() == 2)
+        );
     }
 
     #[test]

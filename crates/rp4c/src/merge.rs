@@ -72,9 +72,13 @@ fn merge_into(a: &mut LogicalStage, b: &LogicalStage) {
     // No-table fallthrough arms are no-ops; strip them so first-match
     // semantics across the concatenated branch lists stays correct.
     a.template.branches.retain(|x| x.table.is_some());
-    a.template
-        .branches
-        .extend(b.template.branches.iter().filter(|x| x.table.is_some()).cloned());
+    a.template.branches.extend(
+        b.template
+            .branches
+            .iter()
+            .filter(|x| x.table.is_some())
+            .cloned(),
+    );
     for h in &b.template.parse {
         if !a.template.parse.contains(h) {
             a.template.parse.push(h.clone());
@@ -119,7 +123,11 @@ pub fn merge_stages(
                     .iter()
                     .filter(|b| b.table.is_some())
                     .count()
-                    + s.template.branches.iter().filter(|b| b.table.is_some()).count()
+                    + s.template
+                        .branches
+                        .iter()
+                        .filter(|b| b.table.is_some())
+                        .count()
                     <= limits.max_branches
                 && executors_compatible(last, &s)
                 && branches_exclusive(last, &s)
@@ -264,6 +272,27 @@ mod tests {
     }
 
     #[test]
+    fn table_default_action_write_blocks_merge() {
+        let (mut tables, actions) = registries();
+        // s1's table carries the write on its *miss path only*: the default
+        // action is set_nh, while the hit-action list and the executor have
+        // nothing but NoAction. s2's guard reads meta.nexthop, so merging
+        // would still reorder the guard before a write.
+        let mut t = table("defw", ValueRef::field("ipv4", "dst_addr"), "NoAction");
+        t.default_action = ActionCall::new("set_nh", vec![0]);
+        tables.insert("defw".to_string(), t);
+        let mut a = guarded_stage("s1", "ipv4", "defw");
+        a.template.executor.clear();
+        let mut b = guarded_stage("s2", "ipv6", "fib6");
+        b.template.branches[0].pred = Predicate::and(
+            Predicate::Not(Box::new(Predicate::IsValid("ipv4".into()))),
+            Predicate::eq(ValueRef::Meta("nexthop".into()), ValueRef::Const(0)),
+        );
+        let (_, report) = merge_stages(vec![a, b], &tables, &actions, MergeLimits::default());
+        assert_eq!(report.after, 2, "default-action write must veto the merge");
+    }
+
+    #[test]
     fn non_exclusive_guards_do_not_merge() {
         let (mut tables, actions) = registries();
         tables.insert(
@@ -281,8 +310,7 @@ mod tests {
         let (tables, actions) = registries();
         let a = guarded_stage("s1", "ipv4", "fib4");
         let mut b = guarded_stage("s2", "ipv6", "fib6");
-        b.template.branches[0].pred =
-            Predicate::Not(Box::new(Predicate::IsValid("ipv4".into())));
+        b.template.branches[0].pred = Predicate::Not(Box::new(Predicate::IsValid("ipv4".into())));
         b.egress = true;
         let (_, report) = merge_stages(vec![a, b], &tables, &actions, MergeLimits::default());
         assert_eq!(report.after, 2);
@@ -293,8 +321,7 @@ mod tests {
         let (tables, actions) = registries();
         let a = guarded_stage("s1", "ipv4", "fib4");
         let mut b = guarded_stage("s2", "ipv6", "fib6");
-        b.template.branches[0].pred =
-            Predicate::Not(Box::new(Predicate::IsValid("ipv4".into())));
+        b.template.branches[0].pred = Predicate::Not(Box::new(Predicate::IsValid("ipv4".into())));
         let limits = MergeLimits {
             max_tables: 1,
             max_branches: 8,
@@ -308,8 +335,7 @@ mod tests {
         let (tables, actions) = registries();
         let a = guarded_stage("s1", "ipv4", "fib4");
         let mut b = guarded_stage("s2", "ipv6", "fib6");
-        b.template.branches[0].pred =
-            Predicate::Not(Box::new(Predicate::IsValid("ipv4".into())));
+        b.template.branches[0].pred = Predicate::Not(Box::new(Predicate::IsValid("ipv4".into())));
         b.template.executor = vec![(1, ActionCall::new("NoAction", vec![]))];
         let (_, report) = merge_stages(vec![a, b], &tables, &actions, MergeLimits::default());
         assert_eq!(report.after, 2);

@@ -114,10 +114,7 @@ fn eligible(free: &FreeBlocks, req: &PackRequest) -> Vec<usize> {
 ///
 /// Requests are served largest-first; each takes the smallest contiguous
 /// run that fits whole, else accumulates runs largest-first.
-pub fn pack_greedy(
-    requests: &[PackRequest],
-    free: &FreeBlocks,
-) -> Result<PackSolution, PackError> {
+pub fn pack_greedy(requests: &[PackRequest], free: &FreeBlocks) -> Result<PackSolution, PackError> {
     let mut order: Vec<&PackRequest> = requests.iter().collect();
     order.sort_by_key(|r| std::cmp::Reverse(r.blocks));
     let mut taken: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
@@ -204,7 +201,11 @@ pub fn pack_branch_bound(
     }
 
     impl Search<'_> {
-        fn candidates(&self, req: &PackRequest, taken: &std::collections::BTreeSet<usize>) -> Vec<Vec<usize>> {
+        fn candidates(
+            &self,
+            req: &PackRequest,
+            taken: &std::collections::BTreeSet<usize>,
+        ) -> Vec<Vec<usize>> {
             let avail: Vec<usize> = eligible(self.free, req)
                 .into_iter()
                 .filter(|b| !taken.contains(b))

@@ -1,0 +1,84 @@
+//! Golden diagnostics over the shipped programs.
+//!
+//! The bundled base design must compile with zero verifier findings, and
+//! every fixture under `programs/bad/` must report its expected RP4xxx
+//! code anchored to a source span. RP4105 (update-plan safety) has no
+//! `.rp4` fixture — plans are message sequences, not programs — and is
+//! covered by `rp4_verify::plan` unit tests plus the controller's
+//! tampered-plan test.
+
+use rp4_lang::Severity;
+use rp4_verify::codes;
+use rp4c::{full_compile, Compilation, CompileError, CompilerTarget};
+
+const BASE: &str = include_str!("../../../programs/base.rp4");
+const BAD_RP4101: &str = include_str!("../../../programs/bad/rp4101_use_before_parse.rp4");
+const BAD_RP4102: &str = include_str!("../../../programs/bad/rp4102_stage_hazard.rp4");
+const BAD_RP4103: &str = include_str!("../../../programs/bad/rp4103_overcommit.rp4");
+const BAD_RP4104: &str = include_str!("../../../programs/bad/rp4104_wrong_side_entry.rp4");
+const BAD_RP4106: &str = include_str!("../../../programs/bad/rp4106_dead_code.rp4");
+
+fn compile(src: &str) -> Result<Compilation, CompileError> {
+    let prog = rp4_lang::parse(src).expect("fixture must parse");
+    full_compile(&prog, &CompilerTarget::ipbm())
+}
+
+/// The fixture must be rejected with an error-severity finding carrying
+/// `code`, and the finding must point somewhere in the source.
+fn expect_error(src: &str, code: &str) {
+    match compile(src) {
+        Err(CompileError::Verify(diags)) => {
+            let hit = diags
+                .iter()
+                .find(|d| d.code == code)
+                .unwrap_or_else(|| panic!("no {code} among {diags:#?}"));
+            assert_eq!(hit.severity, Severity::Error);
+            assert!(hit.span.is_some(), "{code} finding lost its span");
+        }
+        Err(other) => panic!("expected a {code} verifier error, got: {other}"),
+        Ok(_) => panic!("expected a {code} verifier error, but the fixture compiled"),
+    }
+}
+
+/// The fixture must compile, but with a spanned warning carrying `code`.
+fn expect_warning(src: &str, code: &str) {
+    let c = compile(src).unwrap_or_else(|e| panic!("fixture must compile: {e}"));
+    let hit = c
+        .warnings
+        .iter()
+        .find(|d| d.code == code)
+        .unwrap_or_else(|| panic!("no {code} among {:#?}", c.warnings));
+    assert_eq!(hit.severity, Severity::Warning);
+    assert!(hit.span.is_some(), "{code} finding lost its span");
+}
+
+#[test]
+fn base_design_is_verifier_clean() {
+    let c = compile(BASE).expect("base.rp4 must compile");
+    assert!(c.warnings.is_empty(), "{:#?}", c.warnings);
+}
+
+#[test]
+fn use_before_parse_fixture_reports_rp4101() {
+    expect_error(BAD_RP4101, codes::USE_BEFORE_PARSE);
+}
+
+#[test]
+fn stage_hazard_fixture_reports_rp4102() {
+    expect_warning(BAD_RP4102, codes::STAGE_HAZARD);
+}
+
+#[test]
+fn overcommit_fixture_reports_rp4103() {
+    expect_error(BAD_RP4103, codes::MEM_OVERCOMMIT);
+}
+
+#[test]
+fn wrong_side_entry_fixture_reports_rp4104() {
+    expect_error(BAD_RP4104, codes::PIPELINE_INVALID);
+}
+
+#[test]
+fn dead_code_fixture_reports_rp4106() {
+    expect_warning(BAD_RP4106, codes::DEAD_CODE);
+}

@@ -56,7 +56,9 @@ fn main() {
             _ => {}
         }
     }
-    println!("\nheavy flow: {heavy_sent} sent, {heavy_unmarked} below threshold, {heavy_marked} marked");
+    println!(
+        "\nheavy flow: {heavy_sent} sent, {heavy_unmarked} below threshold, {heavy_marked} marked"
+    );
     println!("other flows marked: {others_marked}");
     assert_eq!(heavy_unmarked, 100, "exactly the first 100 pass unmarked");
     assert_eq!(heavy_marked, heavy_sent - 100, "everything after is marked");
@@ -80,8 +82,11 @@ fn main() {
     // Offload the probe when the investigation is done; its table's blocks
     // recycle.
     let free_before = flow.device.sm.pool.free_count(rp4::core::BlockKind::Sram);
-    flow.run_script("unload --func_name probe", &controller::programs::bundled_sources)
-        .expect("probe unloads");
+    flow.run_script(
+        "unload --func_name probe",
+        &controller::programs::bundled_sources,
+    )
+    .expect("probe unloads");
     let free_after = flow.device.sm.pool.free_count(rp4::core::BlockKind::Sram);
     println!(
         "\nprobe offloaded: {} SRAM blocks recycled",

@@ -17,14 +17,20 @@ fn main() {
         PisaTarget::bmv2(),
     )
     .expect("base P4 compiles");
-    println!("PISA flow: initial compile+load t_C = {:.1} ms", t_c0 / 1000.0);
+    println!(
+        "PISA flow: initial compile+load t_C = {:.1} ms",
+        t_c0 / 1000.0
+    );
 
     // The operator has populated a realistic number of entries…
     for i in 0..200u32 {
         p4.table_add(
             "dmac",
             "set_port",
-            &[KeyToken::Exact(1), KeyToken::Exact(0x0200_0000_0000 + i as u128)],
+            &[
+                KeyToken::Exact(1),
+                KeyToken::Exact(0x0200_0000_0000 + i as u128),
+            ],
             &[(i % 8) as u128],
             0,
         )

@@ -33,7 +33,10 @@ fn main() {
         flow.device.inject(pkt);
     }
     let before = flow.device.run();
-    println!("before ECMP: egress histogram {:?}", egress_histogram(&before));
+    println!(
+        "before ECMP: egress histogram {:?}",
+        egress_histogram(&before)
+    );
     assert!(egress_histogram(&before).len() == 1);
 
     // Phase 2: in-situ update. Traffic injected during the drain window is
@@ -67,7 +70,10 @@ fn main() {
     )
     .expect("members installed");
     let held = flow.device.run();
-    println!("  {} packets held across the update were forwarded", held.len());
+    println!(
+        "  {} packets held across the update were forwarded",
+        held.len()
+    );
     assert_eq!(held.len(), 50, "zero loss across the drain window");
 
     // Phase 3: flows now spread over the four members (ports 2..=5).

@@ -30,30 +30,37 @@ pub fn base_population_script() -> String {
     let mut s = String::new();
     // (A) ports 0..8 -> ifindex 10+port
     for p in 0..8 {
-        s.push_str(&format!("table_add port_map set_ifindex {p} => {}\n", 10 + p));
+        s.push_str(&format!(
+            "table_add port_map set_ifindex {p} => {}\n",
+            10 + p
+        ));
     }
     // (B) every interface lands in bridge 1 / VRF 1
     for p in 0..8 {
         s.push_str(&format!("table_add bd_vrf set_bd_vrf {} => 1 1\n", 10 + p));
     }
     // (C) frames to the router MAC are routed
-    s.push_str(&format!(
-        "table_add fwd_mode set_l3 1 {ROUTER_MAC:#x} =>\n"
-    ));
+    s.push_str(&format!("table_add fwd_mode set_l3 1 {ROUTER_MAC:#x} =>\n"));
     // (D/E) FIB routes
     s.push_str("table_add ipv4_lpm set_nexthop 1 0x0a010000/16 => 7\n");
-    s.push_str(
-        "table_add ipv6_lpm set_nexthop 1 0xfc010000000000000000000000000000/16 => 9\n",
-    );
+    s.push_str("table_add ipv6_lpm set_nexthop 1 0xfc010000000000000000000000000000/16 => 9\n");
     // (H) nexthops -> egress bridge + dmac
-    s.push_str(&format!("table_add nexthop set_bd_dmac 7 => 2 {NH_MAC_V4:#x}\n"));
-    s.push_str(&format!("table_add nexthop set_bd_dmac 9 => 3 {NH_MAC_V6:#x}\n"));
+    s.push_str(&format!(
+        "table_add nexthop set_bd_dmac 7 => 2 {NH_MAC_V4:#x}\n"
+    ));
+    s.push_str(&format!(
+        "table_add nexthop set_bd_dmac 9 => 3 {NH_MAC_V6:#x}\n"
+    ));
     // (J) egress interface per (bridge, dmac)
     s.push_str(&format!("table_add dmac set_port 2 {NH_MAC_V4:#x} => 2\n"));
     s.push_str(&format!("table_add dmac set_port 3 {NH_MAC_V6:#x} => 3\n"));
     // (I) egress rewrite per bridge
-    s.push_str(&format!("table_add l2_l3_rewrite rewrite_l3 2 => {SRC_MAC:#x}\n"));
-    s.push_str(&format!("table_add l2_l3_rewrite rewrite_l3 3 => {SRC_MAC:#x}\n"));
+    s.push_str(&format!(
+        "table_add l2_l3_rewrite rewrite_l3 2 => {SRC_MAC:#x}\n"
+    ));
+    s.push_str(&format!(
+        "table_add l2_l3_rewrite rewrite_l3 3 => {SRC_MAC:#x}\n"
+    ));
     s
 }
 
@@ -67,7 +74,10 @@ pub fn ecmp_population_script() -> String {
         s.push_str(&format!(
             "table_add ecmp_ipv4 set_bd_dmac {m} 0 0 0 => 2 {mac:#x}\n"
         ));
-        s.push_str(&format!("table_add dmac set_port 2 {mac:#x} => {}\n", 2 + m));
+        s.push_str(&format!(
+            "table_add dmac set_port 2 {mac:#x} => {}\n",
+            2 + m
+        ));
     }
     // One v6 member keeps the v6 path alive.
     s.push_str(&format!(

@@ -36,7 +36,11 @@ fn live_trial_with_failback() {
     for p in gen.batch(100) {
         flow.device.inject(p);
     }
-    assert_eq!(flow.device.run().len(), 100, "traffic flows during the trial");
+    assert_eq!(
+        flow.device.run().len(),
+        100,
+        "traffic flows during the trial"
+    );
     assert!(flow.device.sm.table("flow_probe").is_some());
 
     // Failback: a structural diff back to the checkpoint — smaller than a
@@ -51,7 +55,10 @@ fn live_trial_with_failback() {
         report.msgs
     );
     assert_eq!(flow.design.programmed().count(), slots_before);
-    assert!(flow.device.sm.table("flow_probe").is_none(), "trial state recycled");
+    assert!(
+        flow.device.sm.table("flow_probe").is_none(),
+        "trial state recycled"
+    );
     assert_eq!(
         flow.device.sm.table("ipv4_lpm").unwrap().table.len(),
         fib_entries,
@@ -80,7 +87,10 @@ fn precompiled_plan_pays_only_load_time() {
             &controller::programs::bundled_sources,
         )
         .unwrap();
-    assert!(flow.device.sm.table("flow_probe").is_none(), "planning is pure");
+    assert!(
+        flow.device.sm.table("flow_probe").is_none(),
+        "planning is pure"
+    );
     assert!(plan.stats.template_writes >= 1);
 
     // Apply in the window.

@@ -35,7 +35,12 @@ fn malformed_packets_do_not_wedge_the_pipeline() {
     let out = flow.device.run();
     // Every well-formed packet made it; garbage either forwarded (if the
     // corruption missed load-bearing fields) or dropped — never panicked.
-    assert!(out.len() >= good_in - 120, "out {} good {}", out.len(), good_in);
+    assert!(
+        out.len() >= good_in - 120,
+        "out {} good {}",
+        out.len(),
+        good_in
+    );
     assert_eq!(flow.device.pending(), 0);
 }
 
@@ -79,12 +84,14 @@ fn invalid_scripts_leave_device_untouched() {
         // Semantically broken snippet (resolved via sources below).
         "load broken.rp4 --func_name f\nadd_link bd_vrf broken_s",
     ];
-    let sources = |name: &str| match name {
+    let sources = |name: &str| {
+        match name {
         "broken.rp4" => Some(
             "stage broken_s { parser { mystery_header; } matcher { } executor { default: NoAction; } }"
                 .to_string(),
         ),
         other => controller::programs::bundled_sources(other),
+    }
     };
     for script in cases {
         let e = flow.run_script(script, &sources);
@@ -114,7 +121,10 @@ fn pool_exhaustion_rejected_at_compile_time() {
         )
         .unwrap_err();
     assert!(
-        matches!(e, controller::ControllerError::Compile(rp4c::CompileError::Pack(_))),
+        matches!(
+            e,
+            controller::ControllerError::Compile(rp4c::CompileError::Pack(_))
+        ),
         "{e}"
     );
     assert_eq!(flow.design, before);
@@ -140,7 +150,10 @@ fn slot_exhaustion_rejected() {
         )
         .unwrap_err();
     assert!(
-        matches!(e, controller::ControllerError::Compile(rp4c::CompileError::Layout(_))),
+        matches!(
+            e,
+            controller::ControllerError::Compile(rp4c::CompileError::Layout(_))
+        ),
         "{e}"
     );
     // ECMP *replaces* a stage: still fits.
@@ -157,7 +170,10 @@ fn slot_exhaustion_rejected() {
 fn table_command_validation_messages() {
     let mut flow = demo::populated_base_flow().unwrap();
     for (script, needle) in [
-        ("table_add port_map set_ifindex 0x1ffff => 1", "exceeds 16 bits"),
+        (
+            "table_add port_map set_ifindex 0x1ffff => 1",
+            "exceeds 16 bits",
+        ),
         ("table_add ipv4_lpm set_nexthop 1 0x0a000000/40 => 1", "/40"),
         ("table_add port_map ghost 1 => 1", "does not offer"),
         ("table_add port_map set_ifindex 1 => 1 2", "takes 1 args"),

@@ -30,8 +30,11 @@ fn pisa_and_ipsa_forward_identically() {
     let compilation = rp4c::full_compile(&prog, &target).unwrap();
     let device = IpbmSwitch::new(IpbmConfig::default());
     let (mut ipsa, _) = Rp4Flow::install(device, compilation, target).unwrap();
-    ipsa.run_script(&rp4::demo::base_population_script(), &controller::programs::bundled_sources)
-        .unwrap();
+    ipsa.run_script(
+        &rp4::demo::base_population_script(),
+        &controller::programs::bundled_sources,
+    )
+    .unwrap();
 
     // --- PISA path: P4 source -> pisa-bm, with the same entries ---
     // The P4 base applies dmac in ingress? No — it matches our rP4 layout:
@@ -43,10 +46,22 @@ fn pisa_and_ipsa_forward_identically() {
     )
     .unwrap();
     for p in 0..8u128 {
-        pisa.table_add("port_map", "set_ifindex", &[KeyToken::Exact(p)], &[10 + p], 0)
-            .unwrap();
-        pisa.table_add("bd_vrf", "set_bd_vrf", &[KeyToken::Exact(10 + p)], &[1, 1], 0)
-            .unwrap();
+        pisa.table_add(
+            "port_map",
+            "set_ifindex",
+            &[KeyToken::Exact(p)],
+            &[10 + p],
+            0,
+        )
+        .unwrap();
+        pisa.table_add(
+            "bd_vrf",
+            "set_bd_vrf",
+            &[KeyToken::Exact(10 + p)],
+            &[1, 1],
+            0,
+        )
+        .unwrap();
     }
     pisa.table_add(
         "fwd_mode",
@@ -203,7 +218,6 @@ fn fpga_targets_fit_all_use_cases() {
     for (case, _, _, p4) in controller::programs::use_cases() {
         let ast = p4_lang::parse_p4(p4).unwrap_or_else(|e| panic!("{case}: {e}"));
         let hlir = p4_lang::build_hlir(&ast).unwrap();
-        pisa_bm::pisa_compile(&hlir, &PisaTarget::fpga())
-            .unwrap_or_else(|e| panic!("{case}: {e}"));
+        pisa_bm::pisa_compile(&hlir, &PisaTarget::fpga()).unwrap_or_else(|e| panic!("{case}: {e}"));
     }
 }

@@ -92,8 +92,11 @@ fn c2_srv6_end_to_end() {
     // Unloading SRv6 removes its tables but keeps the spliced parse edges
     // (headers are device state; removing the function does not undo
     // link_header — the controller would issue unlink_header explicitly).
-    flow.run_script("unload --func_name srv6", &controller::programs::bundled_sources)
-        .unwrap();
+    flow.run_script(
+        "unload --func_name srv6",
+        &controller::programs::bundled_sources,
+    )
+    .unwrap();
     assert!(flow.device.sm.table("local_sid").is_none());
     flow.run_script(
         "unlink_header --pre ipv6 --next srh",
@@ -129,10 +132,11 @@ fn c3_probe_thresholds_per_flow() {
     // 40 packets each for flows 0 and 1.
     for i in [0u32, 1] {
         for _ in 0..40 {
-            flow.device.inject(gen.flow_packet(rp4::netpkt::traffic::FlowId {
-                index: i,
-                v6: false,
-            }));
+            flow.device
+                .inject(gen.flow_packet(rp4::netpkt::traffic::FlowId {
+                    index: i,
+                    v6: false,
+                }));
         }
     }
     let out = flow.device.run();
@@ -189,7 +193,10 @@ fn update_command_replaces_in_one_window() {
     // The template content is identical, so no TSP is rewritten; the table
     // is recreated at its new size — on the controller AND the device.
     assert_eq!(stats.template_writes, 0, "{stats:?}");
-    assert!(stats.new_tables.contains(&"flow_probe".to_string()), "{stats:?}");
+    assert!(
+        stats.new_tables.contains(&"flow_probe".to_string()),
+        "{stats:?}"
+    );
     assert_eq!(flow.design.tables["flow_probe"].size, 4096);
     assert_eq!(
         flow.device.sm.table("flow_probe").unwrap().table.def.size,
@@ -205,10 +212,11 @@ fn update_command_replaces_in_one_window() {
     .unwrap();
     let gen = TrafficGen::new(8).with_flows(4);
     for _ in 0..10 {
-        flow.device.inject(gen.flow_packet(rp4::netpkt::traffic::FlowId {
-            index: 0,
-            v6: false,
-        }));
+        flow.device
+            .inject(gen.flow_packet(rp4::netpkt::traffic::FlowId {
+                index: 0,
+                v6: false,
+            }));
     }
     let out = flow.device.run();
     assert_eq!(out.len(), 10);
@@ -235,7 +243,8 @@ fn function_update_replaces_in_place() {
             controller::programs::bundled_sources(name)
         }
     };
-    flow.run_script("unload --func_name probe", &sources).unwrap();
+    flow.run_script("unload --func_name probe", &sources)
+        .unwrap();
     flow.run_script(
         "load flowprobe2.rp4 --func_name probe\n\
          add_link bd_vrf flow_probe_s\n\
@@ -247,7 +256,16 @@ fn function_update_replaces_in_place() {
     assert_eq!(flow.design.programmed().count(), slots_before);
     assert_eq!(flow.design.tables["flow_probe"].size, 2048);
     // The bigger table takes more blocks.
-    assert!(flow.device.sm.table("flow_probe").unwrap().map.block_ids.len() >= 2);
+    assert!(
+        flow.device
+            .sm
+            .table("flow_probe")
+            .unwrap()
+            .map
+            .block_ids
+            .len()
+            >= 2
+    );
 }
 
 /// The drain window loses nothing: packets injected mid-update are held

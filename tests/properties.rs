@@ -27,9 +27,9 @@ fn reference_forward(
             None
         })?;
     match nh {
-        7 => Some(2),  // demo: nh 7 -> bd 2 -> NH_MAC_V4 -> port 2
-        9 => Some(3),  // demo: nh 9 -> bd 3 -> NH_MAC_V6 -> port 3
-        _ => None,     // unknown nexthop: dmac misses, TM drops
+        7 => Some(2), // demo: nh 7 -> bd 2 -> NH_MAC_V4 -> port 2
+        9 => Some(3), // demo: nh 9 -> bd 3 -> NH_MAC_V6 -> port 3
+        _ => None,    // unknown nexthop: dmac misses, TM drops
     }
 }
 

@@ -1,0 +1,123 @@
+//! Offline subset of `criterion`: enough of the API for `cargo bench` to
+//! run the workspace's benchmarks and print mean wall-clock per iteration.
+//! No statistics, no HTML reports, no baselines.
+
+use std::time::Instant;
+
+/// How batched inputs are sized (accepted for API compatibility).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Opaque-to-the-optimizer pass-through.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples to take per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark and print its mean time per iteration.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            total_ns: 0,
+            iters: 0,
+        };
+        f(&mut b);
+        let mean = if b.iters > 0 {
+            b.total_ns / b.iters as u128
+        } else {
+            0
+        };
+        println!("bench {name}: {mean} ns/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Times closures on behalf of [`Criterion::bench_function`].
+pub struct Bencher {
+    samples: usize,
+    total_ns: u128,
+    iters: usize,
+}
+
+impl Bencher {
+    /// Time `f` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            black_box(f());
+            self.total_ns += t.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup is untimed.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.total_ns += t.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Define a benchmark group: either the struct form
+/// (`name = ...; config = ...; targets = ...`) or the list form
+/// (`group_name, target, ...`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,168 @@
+//! Offline subset of `proptest`.
+//!
+//! Provides the strategy combinators and macros this workspace uses, with a
+//! deterministic fixed-seed runner. Semantics differences from upstream:
+//! no shrinking (a failing case reports its generated values as-is), a
+//! regex-*subset* string strategy (character classes, `*`, `{m,n}`, `\PC`,
+//! `\s`, `\n` — enough for the patterns in this repo), and a case count
+//! from `PROPTEST_CASES` (default 32).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import test modules use.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest,
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `PROPTEST_CASES` deterministic cases. An
+/// optional leading `#![proptest_config(...)]` overrides the case count.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cases ($cfg).cases; $($rest)*);
+    };
+    (@cases $cases:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases: u32 = $cases;
+                let __seed = $crate::test_runner::seed_for(stringify!($name));
+                let mut __rejected: u32 = 0;
+                for __case in 0..__cases {
+                    let mut __rng = $crate::test_runner::TestRng::new(
+                        __seed ^ (u64::from(__case)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    let __res: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match __res {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                            __rejected += 1;
+                        }
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("proptest `{}` case {}/{} failed: {}",
+                                   stringify!($name), __case + 1, __cases, msg);
+                        }
+                    }
+                }
+                let _ = __rejected;
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cases $crate::test_runner::cases(); $($rest)*);
+    };
+}
+
+/// Compose named sub-strategies into a derived strategy-returning function.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident $outer:tt
+     ($($arg:ident in $strat:expr),+ $(,)?) -> $ret:ty $body:block) => {
+        $(#[$meta])* $vis fn $name $outer -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Strategy::prop_map(
+                ($($strat,)+),
+                move |($($arg,)+)| $body,
+            )
+        }
+    };
+}
+
+/// Uniform choice between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}
+
+/// Skip this case (counts as rejected, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Assert inside a proptest body; failure reports the generated case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {} — {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {
+        match (&$lhs, &$rhs) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!("assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                                stringify!($lhs), stringify!($rhs), __l, __r),
+                    ));
+                }
+            }
+        }
+    };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {
+        match (&$lhs, &$rhs) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!("assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+                                stringify!($lhs), stringify!($rhs), __l, __r, format!($($fmt)+)),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Inequality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {
+        match (&$lhs, &$rhs) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!(
+                            "assertion failed: `{} != {}`\n  both: {:?}",
+                            stringify!($lhs),
+                            stringify!($rhs),
+                            __l
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}

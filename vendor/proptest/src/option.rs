@@ -1,0 +1,25 @@
+//! Option strategies: `of(inner)`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// `Some` of the inner strategy's values ~75% of the time, else `None`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}

@@ -1,0 +1,435 @@
+//! The [`Strategy`] trait and combinators: map, filter, recursion, boxed
+//! erasure, one-of choice, ranges, tuples, and regex-subset strings.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeFrom, RangeInclusive};
+use std::rc::Rc;
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `f` (rejection sampling; panics if the
+    /// filter rejects a long run of candidates).
+    fn prop_filter<R, F>(self, reason: R, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        R: Into<String>,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            f,
+        }
+    }
+
+    /// Build recursive values: apply `grow` to the accumulated strategy
+    /// `depth` times, starting from `self` as the leaf. (`_size` and
+    /// `_branch` are accepted for API compatibility.)
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _size: u32,
+        _branch: u32,
+        grow: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let mut s = self.boxed();
+        for _ in 0..depth {
+            s = grow(s).boxed();
+        }
+        s
+    }
+
+    /// Type-erase this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter gave up after 1000 rejections: {}", self.reason);
+    }
+}
+
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Uniform choice among erased strategies — built by `prop_oneof!`.
+pub struct OneOf<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Choose uniformly among `options` (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// Always the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! unsigned_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.range_u128(self.start as u128, self.end as u128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.range_u128(*self.start() as u128, *self.end() as u128 + 1) as $t
+            }
+        }
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.range_u128(self.start as u128, <$t>::MAX as u128 + 1) as $t
+            }
+        }
+    )*};
+}
+unsigned_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<u128> {
+    type Value = u128;
+    fn generate(&self, rng: &mut TestRng) -> u128 {
+        assert!(self.start < self.end, "empty range strategy");
+        rng.range_u128(self.start, self.end)
+    }
+}
+
+impl Strategy for RangeInclusive<u128> {
+    type Value = u128;
+    fn generate(&self, rng: &mut TestRng) -> u128 {
+        if *self.end() == u128::MAX {
+            rng.next_u128().max(*self.start())
+        } else {
+            rng.range_u128(*self.start(), *self.end() + 1)
+        }
+    }
+}
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.range_i128(self.start as i128, self.end as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.range_i128(*self.start() as i128, *self.end() as i128 + 1) as $t
+            }
+        }
+    )*};
+}
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($S:ident $v:ident),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($v,)+) = self;
+                ($($v.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A a)
+    (A a, B b)
+    (A a, B b, C c)
+    (A a, B b, C c, D d)
+    (A a, B b, C c, D d, E e)
+    (A a, B b, C c, D d, E e, F f)
+    (A a, B b, C c, D d, E e, F f, G g)
+    (A a, B b, C c, D d, E e, F f, G g, H h)
+}
+
+/// String-literal strategies: a regex *subset* — literal characters,
+/// character classes with ranges and `\s`/`\n`/`\t` escapes, `\PC`
+/// (printable), and the quantifiers `*` (capped at 16) and `{m,n}`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+enum Piece {
+    Class(Vec<char>),
+    Literal(char),
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    // chars[i] is the first char after '['.
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        if chars[i] == '\\' && i + 1 < chars.len() {
+            match chars[i + 1] {
+                's' => set.extend([' ', '\t', '\n']),
+                'n' => set.push('\n'),
+                't' => set.push('\t'),
+                'r' => set.push('\r'),
+                c => set.push(c),
+            }
+            i += 2;
+            continue;
+        }
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+            for c in lo..=hi {
+                set.push(c);
+            }
+            i += 3;
+            continue;
+        }
+        set.push(chars[i]);
+        i += 1;
+    }
+    (set, i + 1) // skip ']'
+}
+
+fn printable() -> Vec<char> {
+    (0x20u8..0x7f).map(char::from).collect()
+}
+
+fn generate_from_pattern(pat: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let piece = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1);
+                i = next;
+                Piece::Class(set)
+            }
+            '\\' if i + 1 < chars.len() => {
+                let c = chars[i + 1];
+                if c == 'P' && i + 2 < chars.len() && chars[i + 2] == 'C' {
+                    i += 3;
+                    Piece::Class(printable())
+                } else {
+                    i += 2;
+                    Piece::Class(match c {
+                        's' => vec![' ', '\t', '\n'],
+                        'n' => vec!['\n'],
+                        't' => vec!['\t'],
+                        'd' => ('0'..='9').collect(),
+                        'w' => ('a'..='z')
+                            .chain('A'..='Z')
+                            .chain('0'..='9')
+                            .chain(['_'])
+                            .collect(),
+                        other => vec![other],
+                    })
+                }
+            }
+            '.' => {
+                i += 1;
+                Piece::Class(printable())
+            }
+            c => {
+                i += 1;
+                Piece::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (lo, hi) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0usize, 16usize)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 16)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                let close = chars[i..].iter().position(|&c| c == '}').map(|p| p + i);
+                match close {
+                    Some(close) => {
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        let mut parts = body.splitn(2, ',');
+                        let lo: usize = parts.next().unwrap_or("0").trim().parse().unwrap_or(0);
+                        let hi: usize = match parts.next() {
+                            Some(h) => h.trim().parse().unwrap_or(lo),
+                            None => lo,
+                        };
+                        (lo, hi.max(lo))
+                    }
+                    None => (1, 1),
+                }
+            }
+            _ => (1, 1),
+        };
+        let n = if hi > lo {
+            lo + rng.below((hi - lo + 1) as u64) as usize
+        } else {
+            lo
+        };
+        for _ in 0..n {
+            match &piece {
+                Piece::Literal(c) => out.push(*c),
+                Piece::Class(set) => {
+                    if !set.is_empty() {
+                        out.push(set[rng.below(set.len() as u64) as usize]);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ident_pattern_shape() {
+        let mut rng = TestRng::new(42);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,8}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn printable_star() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..50 {
+            let s = "\\PC*".generate(&mut rng);
+            assert!(s.len() <= 16);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn ranges_and_combinators() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..100 {
+            let v = (3usize..7).generate(&mut rng);
+            assert!((3..7).contains(&v));
+            let w = (1u128..=4).generate(&mut rng);
+            assert!((1..=4).contains(&w));
+            let x = (2u8..).generate(&mut rng);
+            assert!(x >= 2);
+        }
+        let evens = (0u32..100).prop_map(|v| v * 2);
+        let filtered = (0u32..100).prop_filter("nonzero", |v| *v != 0);
+        for _ in 0..50 {
+            assert_eq!(evens.generate(&mut rng) % 2, 0);
+            assert_ne!(filtered.generate(&mut rng), 0);
+        }
+    }
+}

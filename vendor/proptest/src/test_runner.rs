@@ -1,0 +1,87 @@
+//! Deterministic case runner: a splitmix64 RNG, per-test seeds derived
+//! from the test name, and the reject/fail distinction `prop_assume!` and
+//! `prop_assert!` rely on.
+
+/// Per-block configuration, set via `#![proptest_config(...)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Outcome of one generated case's body.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — skip the case.
+    Reject,
+    /// `prop_assert!` failed — the property does not hold.
+    Fail(String),
+}
+
+/// How many cases each property runs (`PROPTEST_CASES`, default 32).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32)
+}
+
+/// A stable seed from the test's name (FNV-1a), so failures reproduce.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The splitmix64 generator strategies draw from.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator at the given seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The next 128 random bits.
+    pub fn next_u128(&mut self) -> u128 {
+        (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+    }
+
+    /// A uniform draw below `n` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// A uniform draw in `[lo, hi)` over u128 (hi > lo).
+    pub fn range_u128(&mut self, lo: u128, hi: u128) -> u128 {
+        lo + self.next_u128() % (hi - lo)
+    }
+
+    /// A uniform draw in `[lo, hi)` over i128 (hi > lo).
+    pub fn range_i128(&mut self, lo: i128, hi: i128) -> i128 {
+        let span = (hi - lo) as u128;
+        lo + (self.next_u128() % span) as i128
+    }
+}

@@ -1,0 +1,92 @@
+//! Offline subset of `rand`: a deterministic [`rngs::StdRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], with [`RngExt::random_range`] over
+//! half-open integer ranges. The generator is splitmix64 — statistically
+//! fine for traffic generation and tests, not cryptographic.
+
+use std::ops::Range;
+
+/// Core generator interface: a stream of `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Deterministically build a generator from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators.
+pub mod rngs {
+    /// The standard generator (here: splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl super::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+/// Integer types uniformly sampleable from a `u64` stream.
+pub trait UniformInt: Copy {
+    /// Widen to `u64` (values used as range bounds fit).
+    fn to_u64(self) -> u64;
+    /// Narrow from `u64` (the sampled value is in range by construction).
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_u64(self) -> u64 { self as u64 }
+            fn from_u64(v: u64) -> Self { v as $t }
+        }
+    )*};
+}
+uniform_int!(u8, u16, u32, u64, usize);
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait RngExt: RngCore {
+    /// A uniform sample from `range` (half-open; panics if empty).
+    fn random_range<T: UniformInt>(&mut self, range: Range<T>) -> T {
+        let lo = range.start.to_u64();
+        let hi = range.end.to_u64();
+        assert!(lo < hi, "random_range called with empty range");
+        let span = hi - lo;
+        T::from_u64(lo + self.next_u64() % span)
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x = a.random_range(10u32..20);
+            assert!((10..20).contains(&x));
+            assert_eq!(x, b.random_range(10u32..20));
+        }
+    }
+}

@@ -1,0 +1,496 @@
+//! Offline subset of `serde`.
+//!
+//! Serialization goes through a concrete [`Content`] tree instead of the
+//! upstream visitor machinery: `Serialize` renders a value into `Content`,
+//! `Deserialize` rebuilds a value from it. `serde_json` (the sibling vendor
+//! crate) renders/parses `Content` as JSON text. The derive macro in
+//! `serde_derive` implements both traits for plain structs and enums with
+//! the same externally-tagged encoding upstream serde uses.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value tree — the meeting point of ser and de.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U(u128),
+    /// A negative integer.
+    I(i128),
+    /// A floating-point number.
+    F(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered key/value map.
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(Content, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Unsigned integer view; lenient about `I`, `F` and numeric strings
+    /// (map keys round-trip through strings in JSON).
+    pub fn as_u128(&self) -> Option<u128> {
+        match self {
+            Content::U(v) => Some(*v),
+            Content::I(v) => u128::try_from(*v).ok(),
+            Content::F(f) if f.fract() == 0.0 && *f >= 0.0 => Some(*f as u128),
+            Content::Str(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Signed integer view, with the same leniency as [`Content::as_u128`].
+    pub fn as_i128(&self) -> Option<i128> {
+        match self {
+            Content::U(v) => i128::try_from(*v).ok(),
+            Content::I(v) => Some(*v),
+            Content::F(f) if f.fract() == 0.0 => Some(*f as i128),
+            Content::Str(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Floating-point view; integers widen.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::U(v) => Some(*v as f64),
+            Content::I(v) => Some(*v as f64),
+            Content::F(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Content::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+    /// Map lookup; a missing key or non-map indexes to `Null`.
+    fn index(&self, key: &str) -> &Content {
+        static NULL: Content = Content::Null;
+        match self {
+            Content::Map(m) => m
+                .iter()
+                .find(|(k, _)| k.as_str() == Some(key))
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+    /// Sequence lookup; out of bounds or non-sequence indexes to `Null`.
+    fn index(&self, i: usize) -> &Content {
+        static NULL: Content = Content::Null;
+        match self {
+            Content::Seq(s) => s.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+macro_rules! content_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Content {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_i128() == Some(*other as i128)
+            }
+        }
+        impl PartialEq<Content> for $t {
+            fn eq(&self, other: &Content) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+content_eq_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl PartialEq<&str> for Content {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Content {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+/// Deserialization error: a message naming what was expected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    /// Human-readable description of the mismatch.
+    pub msg: String,
+}
+
+impl DeError {
+    /// A new error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Render `self` into a [`Content`] tree.
+pub trait Serialize {
+    /// The `Content` encoding of `self`.
+    fn to_content(&self) -> Content;
+}
+
+/// Rebuild `Self` from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Parse `Self` out of `c`, or explain why it does not fit.
+    fn from_content(c: &Content) -> Result<Self, DeError>;
+}
+
+/// Look up `key` in a map's entries and deserialize it — the helper the
+/// derive macro calls for every named struct field.
+pub fn field<T: Deserialize>(m: &[(Content, Content)], key: &str, ctx: &str) -> Result<T, DeError> {
+    for (k, v) in m {
+        if k.as_str() == Some(key) {
+            return T::from_content(v).map_err(|e| DeError::new(format!("{ctx}.{key}: {}", e.msg)));
+        }
+    }
+    Err(DeError::new(format!("{ctx}: missing field `{key}`")))
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(c.clone())
+    }
+}
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U(*self as u128) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v = c
+                    .as_u128()
+                    .ok_or_else(|| DeError::new(concat!("expected unsigned integer (", stringify!($t), ")")))?;
+                <$t>::try_from(v).map_err(|_| {
+                    DeError::new(concat!("integer out of range for ", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i128;
+                if v >= 0 { Content::U(v as u128) } else { Content::I(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v = c
+                    .as_i128()
+                    .ok_or_else(|| DeError::new(concat!("expected integer (", stringify!($t), ")")))?;
+                <$t>::try_from(v).map_err(|_| {
+                    DeError::new(concat!("integer out of range for ", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_f64()
+            .ok_or_else(|| DeError::new("expected number (f64)"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| DeError::new("expected number (f32)"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_bool().ok_or_else(|| DeError::new("expected bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::new("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let s = c.as_str().ok_or_else(|| DeError::new("expected char"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(ch), None) => Ok(ch),
+            _ => Err(DeError::new("expected single-char string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| DeError::new("expected array"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($T:ident . $idx:tt),+))*) => {$(
+        impl<$($T: Serialize),+> Serialize for ($($T,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($T: Deserialize),+> Deserialize for ($($T,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let s = c.as_seq().ok_or_else(|| DeError::new("expected tuple array"))?;
+                let want = [$($idx),+].len();
+                if s.len() != want {
+                    return Err(DeError::new(format!(
+                        "expected tuple of {want}, got {}",
+                        s.len()
+                    )));
+                }
+                Ok(($($T::from_content(&s[$idx])?,)+))
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_content(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_map()
+            .ok_or_else(|| DeError::new("expected map"))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_content(&self) -> Content {
+        // Sort entries by rendered key so output is deterministic.
+        let mut entries: Vec<(Content, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.to_content(), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)));
+        Content::Map(entries)
+    }
+}
+
+impl<K: Deserialize + std::hash::Hash + Eq, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_map()
+            .ok_or_else(|| DeError::new("expected map"))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| DeError::new("expected array"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn to_content(&self) -> Content {
+        let mut items: Vec<Content> = self.iter().map(Serialize::to_content).collect();
+        items.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        Content::Seq(items)
+    }
+}
+
+impl<T: Deserialize + std::hash::Hash + Eq> Deserialize for HashSet<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| DeError::new("expected array"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}

@@ -1,0 +1,409 @@
+//! Offline subset of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses: non-generic structs (named, tuple,
+//! unit) and enums whose variants are unit, tuple, or struct-like. There is
+//! no `#[serde(...)]` attribute support. The encoding matches upstream
+//! serde's defaults: structs as maps, newtypes as their inner value, enums
+//! externally tagged.
+//!
+//! The input item is parsed directly from the `proc_macro::TokenStream`
+//! (no `syn`/`quote` — they are unavailable offline), and the generated
+//! impl is rendered as a string and re-parsed.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skip attributes (`#[...]`, incl. doc comments) and visibility (`pub`,
+/// `pub(...)`) at the cursor.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // attribute: `#` then `[...]`
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Split a field-list token stream on top-level commas, tracking `<...>`
+/// nesting (parens/brackets/braces are atomic groups already).
+fn split_top_commas(toks: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in toks {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// The names of named fields: each comma piece is `attrs vis name : type`.
+fn named_field_names(body: &[TokenTree]) -> Vec<String> {
+    split_top_commas(body)
+        .into_iter()
+        .filter_map(|piece| {
+            let i = skip_attrs_and_vis(&piece, 0);
+            match piece.get(i) {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected type name, got {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive (offline subset): generic types are not supported");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Named(named_field_names(&body))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Tuple(split_top_commas(&body).len())
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde derive: expected enum body, got {other:?}"),
+            };
+            let body: Vec<TokenTree> = body.into_iter().collect();
+            let mut variants = Vec::new();
+            let mut j = 0;
+            while j < body.len() {
+                j = skip_attrs_and_vis(&body, j);
+                let vname = match body.get(j) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    None => break,
+                    other => panic!("serde derive: expected variant name, got {other:?}"),
+                };
+                j += 1;
+                let fields = match body.get(j) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        j += 1;
+                        Fields::Tuple(split_top_commas(&inner).len())
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        j += 1;
+                        Fields::Named(named_field_names(&inner))
+                    }
+                    _ => Fields::Unit,
+                };
+                // Skip a possible explicit discriminant, then the comma.
+                while j < body.len() {
+                    if let TokenTree::Punct(p) = &body[j] {
+                        if p.as_char() == ',' {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                variants.push(Variant {
+                    name: vname,
+                    fields,
+                });
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::serde::Content::Str(::std::string::String::from(\"{f}\")), \
+                                 ::serde::Serialize::to_content(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                        .collect();
+                    format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Content::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{ {body} }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => ::serde::Content::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Content::Map(vec![\
+                             (::serde::Content::Str(::std::string::String::from(\"{vn}\")), \
+                             ::serde::Serialize::to_content(f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Content::Map(vec![\
+                                 (::serde::Content::Str(::std::string::String::from(\"{vn}\")), \
+                                 ::serde::Content::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let binds = fs.join(", ");
+                            let entries: Vec<String> = fs
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::serde::Content::Str(::std::string::String::from(\"{f}\")), \
+                                         ::serde::Serialize::to_content({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Content::Map(vec![\
+                                 (::serde::Content::Str(::std::string::String::from(\"{vn}\")), \
+                                 ::serde::Content::Map(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                 match self {{\n{}\n}}\n}}\n}}",
+                arms.join("\n")
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::field(m, \"{f}\", \"{name}\")?,"))
+                        .collect();
+                    format!(
+                        "let m = c.as_map().ok_or_else(|| \
+                         ::serde::DeError::new(\"expected map for {name}\"))?;\n\
+                         let _ = m;\n\
+                         ::std::result::Result::Ok({name} {{ {} }})",
+                        inits.join(" ")
+                    )
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(c)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_content(&s[{i}])?"))
+                        .collect();
+                    format!(
+                        "let s = c.as_seq().ok_or_else(|| \
+                         ::serde::DeError::new(\"expected array for {name}\"))?;\n\
+                         if s.len() != {n} {{ return ::std::result::Result::Err(\
+                         ::serde::DeError::new(\"wrong arity for {name}\")); }}\n\
+                         ::std::result::Result::Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(c: &::serde::Content) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_content(v).map_err(|e| \
+                             ::serde::DeError::new(format!(\"{name}::{vn}: {{}}\", e.msg)))?)),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_content(&s[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let s = v.as_seq().ok_or_else(|| \
+                                 ::serde::DeError::new(\"expected array for {name}::{vn}\"))?;\n\
+                                 if s.len() != {n} {{ return ::std::result::Result::Err(\
+                                 ::serde::DeError::new(\"wrong arity for {name}::{vn}\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({}))\n}}",
+                                items.join(", ")
+                            ))
+                        }
+                        Fields::Named(fs) => {
+                            let inits: Vec<String> = fs
+                                .iter()
+                                .map(|f| {
+                                    format!("{f}: ::serde::field(m2, \"{f}\", \"{name}::{vn}\")?,")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let m2 = v.as_map().ok_or_else(|| \
+                                 ::serde::DeError::new(\"expected map for {name}::{vn}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{ {} }})\n}}",
+                                inits.join(" ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(c: &::serde::Content) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match c {{\n\
+                 ::serde::Content::Str(s) => match s.as_str() {{\n\
+                 {units}\n\
+                 other => ::std::result::Result::Err(::serde::DeError::new(\
+                 format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                 }},\n\
+                 ::serde::Content::Map(m) if m.len() == 1 => {{\n\
+                 let (k, v) = &m[0];\n\
+                 let _ = v;\n\
+                 let k = k.as_str().ok_or_else(|| \
+                 ::serde::DeError::new(\"expected string variant tag for {name}\"))?;\n\
+                 match k {{\n\
+                 {tagged}\n\
+                 other => ::std::result::Result::Err(::serde::DeError::new(\
+                 format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::new(\
+                 \"expected string or single-entry map for {name}\")),\n\
+                 }}\n}}\n}}",
+                units = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n"),
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated Deserialize impl parses")
+}
