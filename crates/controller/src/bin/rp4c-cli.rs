@@ -23,14 +23,14 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  rp4c compile <file.rp4> [--target ipbm|fpga] [-o design.json] [--apis apis.json]\n  \
          rp4c translate <file.p4> [-o out.rp4]\n  \
-         rp4c check <file.rp4> [--base <base.rp4>] [--target ipbm|fpga] [--deny-warnings]\n  \
+         rp4c check <file.rp4> [--base <base.rp4>] [--target ipbm|fpga] [--deny-warnings] [--equiv]\n  \
          rp4c plan --base <base.rp4> --script <file.script> [--snippets <dir>] [--algo dp|greedy] [-o design.json]"
     );
     ExitCode::from(2)
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["deny-warnings"];
+const BOOL_FLAGS: &[&str] = &["deny-warnings", "equiv"];
 
 /// Minimal flag parser: positional args plus `--flag value` pairs
 /// (boolean flags in [`BOOL_FLAGS`] consume no value).
@@ -150,6 +150,14 @@ fn cmd_check(pos: &[String], flags: &HashMap<String, String>) -> Result<(), Stri
     let (checked, verify_src) = match base {
         Some(mut b) => {
             b.absorb(&prog);
+            // The snippet's stages become a function named after its file,
+            // as a runtime `load` would make them.
+            let func = std::path::Path::new(file)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("snippet")
+                .to_string();
+            b.claim_unowned_stages(&func);
             (b, None)
         }
         None => (prog.clone(), Some(src.as_str())),
@@ -167,6 +175,24 @@ fn cmd_check(pos: &[String], flags: &HashMap<String, String>) -> Result<(), Stri
         Some(&checked.spans),
     ));
 
+    // Phase 3 (--equiv): compile and prove the design behaves identically
+    // to the checked program in every symbolic world (rp4-equiv).
+    let equiv = flags.contains_key("equiv");
+    if equiv
+        && !diags
+            .iter()
+            .any(|d| d.severity == rp4_lang::Severity::Error)
+    {
+        let c = rp4c::full_compile(&checked, &target)
+            .map_err(|e| format!("--equiv: compilation failed: {e:?}"))?;
+        diags.extend(rp4_equiv::check_program_design(
+            &checked,
+            &env,
+            &c.design,
+            &rp4_equiv::EquivOptions::default(),
+        ));
+    }
+
     let errors = diags
         .iter()
         .filter(|d| d.severity == rp4_lang::Severity::Error)
@@ -182,11 +208,12 @@ fn cmd_check(pos: &[String], flags: &HashMap<String, String>) -> Result<(), Stri
         return Err(format!("{warnings} warning(s) denied by --deny-warnings"));
     }
     println!(
-        "{file}: OK ({} headers, {} tables, {} actions, {} stages{})",
+        "{file}: OK ({} headers, {} tables, {} actions, {} stages{}{})",
         prog.headers.len(),
         prog.tables.len(),
         prog.actions.len(),
         prog.stages().count(),
+        if equiv { ", equivalence proven" } else { "" },
         if warnings > 0 {
             format!(", {warnings} warning(s)")
         } else {

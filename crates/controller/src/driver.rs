@@ -255,8 +255,11 @@ impl<D: Device> Rp4Flow<D> {
     ///
     /// Plans from [`Rp4Flow::plan_script`] are safe by construction, but
     /// this method also accepts deserialized or hand-assembled plans — so
-    /// it re-verifies that every structural message sits inside a
-    /// `Drain … Resume` window (RP4105) unless [`Rp4Flow::force`] is set.
+    /// unless [`Rp4Flow::force`] is set it re-verifies that every
+    /// structural message sits inside a `Drain … Resume` window (RP4105)
+    /// and that the plan is a *translation-validated* update: stages of
+    /// functions the plan does not touch must behave identically before
+    /// and after (`rp4-equiv`, RP42xx).
     pub fn apply_plan(&mut self, plan: rp4c::UpdatePlan) -> Result<ApplyReport, ControllerError> {
         if !self.force {
             let unsafe_msgs: Vec<_> = rp4_verify::verify_msgs(&plan.msgs)
@@ -265,6 +268,17 @@ impl<D: Device> Rp4Flow<D> {
                 .collect();
             if !unsafe_msgs.is_empty() {
                 return Err(ControllerError::Verify(unsafe_msgs));
+            }
+            let divergent: Vec<_> = rp4_equiv::check_design_design(
+                &self.design,
+                &plan.design,
+                &rp4_equiv::EquivOptions::default(),
+            )
+            .into_iter()
+            .filter(|d| d.severity == rp4_lang::Severity::Error)
+            .collect();
+            if !divergent.is_empty() {
+                return Err(ControllerError::Verify(divergent));
             }
         }
         let report = self.device.apply(&plan.msgs)?;

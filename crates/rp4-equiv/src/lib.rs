@@ -1,0 +1,47 @@
+//! rp4-equiv — symbolic translation validation for the rP4 compiler and
+//! in-situ update plans.
+//!
+//! The rP4 toolchain compiles checked programs to TSP templates
+//! (`rp4c::full_compile`), patches live designs incrementally
+//! (`incremental_compile`), and rolls trials back via structural diffs
+//! (`design_diff`). Each transformation is a place for a miscompile to
+//! hide. This crate proves, per compile and per update plan, that the two
+//! sides of a seam *behave identically*:
+//!
+//! * a **symbolic packet** leaves header presence, field values, and table
+//!   outcomes open as decisions of a shared [`oracle::Oracle`];
+//! * two evaluators execute over it — [`eval_ast`] interprets the checked
+//!   rP4 AST directly, [`eval_design`] mirrors the `ipbm` device
+//!   slot-by-slot over a [`CompiledDesign`](ipsa_core::template::CompiledDesign);
+//! * the [`check`] module enumerates every world within a budget,
+//!   compares final header/metadata/egress state, and reports divergences
+//!   as spanned `RP42xx` diagnostics through the shared rustc-style
+//!   renderer;
+//! * each divergence is additionally [concretized](witness) into a real
+//!   packet and cross-checked against an `ipbm` device, so the validator's
+//!   own model is differentially tested on exactly the paths it complains
+//!   about;
+//! * the [`apply`] module models control-message application so failback
+//!   plans (`diff(A→B)` then `diff(B→A)`) can be proven round-trip
+//!   identities before anything touches a device.
+//!
+//! Diagnostic codes: `RP4201` (state/write divergence), `RP4202` (outcome
+//! divergence), `RP4203` (header-validity divergence), `RP4204`
+//! (structural table mismatch), `RP4205` (path budget exhausted,
+//! warning), `RP4206` (failback non-identity).
+
+pub mod apply;
+pub mod check;
+pub mod eval_ast;
+pub mod eval_design;
+pub mod oracle;
+pub mod state;
+pub mod term;
+pub mod witness;
+
+pub use check::{check_design_design, check_program_design, check_roundtrip, codes, EquivOptions};
+pub use eval_ast::{eval_ast, AstRun, AstWidths};
+pub use eval_design::{eval_design, DesignRun, DesignWidths, TableHitTrace};
+pub use oracle::{CmpKind, Key, Oracle};
+pub use state::{Outcome, SymState, Widths};
+pub use term::{SymAluOp, Term};

@@ -1,0 +1,555 @@
+//! Witness concretization: turn a divergent symbolic world into a real
+//! packet + table entries, run it through an `ipbm` device, and check that
+//! the device behaves as the design-side model predicted.
+//!
+//! This is a differential cross-check of the *model*, not of the compiler:
+//! a divergence diagnosis is only trustworthy if the design evaluator
+//! actually mirrors the device. Concretization is best-effort — worlds
+//! that need exotic traffic shapes or unresolvable constraints are
+//! skipped with an explanatory note rather than guessed at.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ipsa_core::control::{ControlMsg, Device};
+use ipsa_core::hash::hash_values;
+use ipsa_core::table::{ActionCall, KeyMatch, MatchKind, TableEntry};
+use ipsa_core::template::CompiledDesign;
+use ipsa_netpkt::bitfield::width_mask;
+use ipsa_netpkt::builder::{
+    ipv4_udp_packet, ipv6_udp_packet, srv6_packet, Ipv4UdpSpec, Ipv6UdpSpec,
+};
+use ipsa_netpkt::packet::Packet;
+
+use crate::eval_design::TableHitTrace;
+use crate::oracle::{CmpKind, Key};
+use crate::state::{Outcome, SymState};
+use crate::term::Term;
+
+/// Maximum SRH segments we are willing to synthesize.
+const MAX_SEGMENTS: usize = 8;
+/// Maximum injections (for counter-threshold worlds).
+const MAX_INJECTIONS: usize = 64;
+
+/// Per-term value constraints gathered from the world's decisions.
+#[derive(Default)]
+struct Constraint {
+    must_eq: Option<u128>,
+    avoid: BTreeSet<u128>,
+    /// `(op, constant, decided)` with the term on the left.
+    ranges: Vec<(CmpKind, u128, bool)>,
+    contradictory: bool,
+}
+
+impl Constraint {
+    fn admits(&self, v: u128) -> bool {
+        if let Some(c) = self.must_eq {
+            if v != c {
+                return false;
+            }
+        }
+        if self.avoid.contains(&v) {
+            return false;
+        }
+        self.ranges.iter().all(|&(op, c, decided)| {
+            let holds = match op {
+                CmpKind::Lt => v < c,
+                CmpKind::Le => v <= c,
+                CmpKind::Gt => v > c,
+                CmpKind::Ge => v >= c,
+            };
+            holds == decided
+        })
+    }
+
+    fn pick(&self, bits: usize) -> Option<u128> {
+        let mask = width_mask(bits);
+        let mut cands: Vec<u128> = vec![0, 1];
+        if let Some(c) = self.must_eq {
+            cands = vec![c];
+        } else {
+            for &(_, c, _) in &self.ranges {
+                cands.extend([c.saturating_sub(1), c, c.saturating_add(1)]);
+            }
+            for &a in &self.avoid {
+                cands.push(a.saturating_add(1));
+            }
+        }
+        cands
+            .into_iter()
+            .map(|v| v & mask)
+            .find(|&v| self.admits(v) && v & !mask == 0)
+    }
+}
+
+/// Everything the run needs, concretized from the decisions; `Err` carries
+/// a human-readable skip reason.
+struct Concrete {
+    packet: Packet,
+    /// Parsed view of the same packet for reading wire fields back.
+    parsed: Packet,
+    entry_args: BTreeMap<(String, u32, usize), u128>,
+    segments: Vec<u128>,
+    injections: usize,
+}
+
+/// Runs the divergent world on an `ipbm` device and reports whether the
+/// device agrees with the design-side model. Returns note lines for the
+/// diagnostic.
+pub fn cross_check(
+    design: &CompiledDesign,
+    decisions: &[(Key, usize)],
+    hits: &[TableHitTrace],
+    predicted: &Outcome,
+    predicted_state: &SymState,
+) -> Vec<String> {
+    match try_cross_check(design, decisions, hits, predicted, predicted_state) {
+        Ok(lines) => lines,
+        Err(reason) => vec![format!("witness skipped: {reason}")],
+    }
+}
+
+fn try_cross_check(
+    design: &CompiledDesign,
+    decisions: &[(Key, usize)],
+    hits: &[TableHitTrace],
+    predicted: &Outcome,
+    predicted_state: &SymState,
+) -> Result<Vec<String>, String> {
+    let conc = concretize(design, decisions, hits)?;
+
+    let mut sw = ipbm::IpbmSwitch::new(ipbm::IpbmConfig::default());
+    sw.install(design)
+        .map_err(|e| format!("design rejected by device: {e}"))?;
+    let entries = synth_entries(design, hits, &conc)?;
+    if !entries.is_empty() {
+        sw.apply(&entries)
+            .map_err(|e| format!("device rejected synthesized entries: {e}"))?;
+    }
+
+    let mut last: Result<Option<Packet>, String> = Ok(None);
+    for _ in 0..conc.injections {
+        sw.inject(conc.packet.clone());
+        last = sw.step().map_err(|e| e.to_string());
+    }
+    let resolve = |t: &Term| resolve_term(t, &conc, design);
+
+    let mut lines = Vec::new();
+    let agree = match (predicted, &last) {
+        (Outcome::Forwarded(port), Ok(Some(out))) => {
+            let Some(p) = resolve(port) else {
+                return Err("egress port term not concretizable".into());
+            };
+            if out.meta.egress_port == Some(p as u16) {
+                lines.push(format!(
+                    "witness packet confirmed on device: forwarded to port {p} as the design model predicts"
+                ));
+                check_state(&mut lines, out, predicted_state, design, &conc);
+                true
+            } else {
+                lines.push(format!(
+                    "witness packet DISAGREES with the design model: predicted port {p}, device chose {:?}",
+                    out.meta.egress_port
+                ));
+                false
+            }
+        }
+        (Outcome::DroppedByAction | Outcome::DroppedNoRoute, Ok(None)) => {
+            lines.push(
+                "witness packet confirmed on device: dropped as the design model predicts".into(),
+            );
+            true
+        }
+        (Outcome::RuntimeError(_), Err(e)) => {
+            lines.push(format!(
+                "witness packet confirmed on device: aborted with `{e}` as the design model predicts"
+            ));
+            true
+        }
+        (want, got) => {
+            lines.push(format!(
+                "witness packet DISAGREES with the design model: predicted {want:?}, device produced {got:?}"
+            ));
+            false
+        }
+    };
+    if !agree {
+        lines.push(
+            "the equivalence model itself mispredicted this path; treat the divergence with care"
+                .into(),
+        );
+    }
+    Ok(lines)
+}
+
+/// Compares resolvable pieces of the predicted final state against the
+/// emitted packet.
+fn check_state(
+    lines: &mut Vec<String>,
+    out: &Packet,
+    state: &SymState,
+    design: &CompiledDesign,
+    conc: &Concrete,
+) {
+    let want_mark = match &state.mark {
+        None => Some(0),
+        Some(t) => resolve_term(t, conc, design),
+    };
+    if let Some(want) = want_mark {
+        if out.meta.mark != want {
+            lines.push(format!(
+                "witness mark mismatch: model predicts {want}, device left {}",
+                out.meta.mark
+            ));
+        }
+    }
+    let mut parsed = out.clone();
+    for ((h, f), t) in &state.fields {
+        if f.starts_with("__extra") {
+            continue;
+        }
+        let Some(want) = resolve_term(t, conc, design) else {
+            continue;
+        };
+        if parsed.ensure_parsed(&design.linkage, h) != Ok(true) {
+            continue;
+        }
+        if let Ok(got) = parsed.get_field(&design.linkage, h, f) {
+            if got != want {
+                lines.push(format!(
+                    "witness field mismatch on `{h}.{f}`: model predicts {want:#x}, device left {got:#x}"
+                ));
+            }
+        }
+    }
+}
+
+/// Per-term constraints, decided header validity, and the injection count
+/// a world demands (counter thresholds need threshold+1 packets).
+type WorldConstraints = (BTreeMap<Term, Constraint>, BTreeMap<String, bool>, usize);
+
+fn constraints_of(decisions: &[(Key, usize)]) -> Result<WorldConstraints, String> {
+    let mut by_term: BTreeMap<Term, Constraint> = BTreeMap::new();
+    let mut validity: BTreeMap<String, bool> = BTreeMap::new();
+    let mut injections = 1usize;
+    for (key, idx) in decisions {
+        let decided = *idx == 0;
+        match key {
+            Key::Validity(h) => {
+                validity.insert(h.clone(), decided);
+            }
+            Key::Table(_) => {}
+            Key::EqConst { lhs, val } => {
+                let c = by_term.entry(lhs.clone()).or_default();
+                if decided {
+                    if c.must_eq.is_some_and(|m| m != *val) {
+                        c.contradictory = true;
+                    }
+                    c.must_eq = Some(*val);
+                } else {
+                    c.avoid.insert(*val);
+                }
+            }
+            Key::Cmp { op, lhs, rhs } => match (lhs, rhs.as_const()) {
+                (Term::EntryCounter { .. }, Some(thr)) => {
+                    // The counter equals the injection count at the last
+                    // packet (one hit per injection).
+                    let need = match (op, decided) {
+                        (CmpKind::Gt, true) => thr as usize + 1,
+                        (CmpKind::Ge, true) => (thr as usize).max(1),
+                        (CmpKind::Gt | CmpKind::Ge, false) if thr == 0 => {
+                            return Err(
+                                "world requires an un-hit counter on a hit entry".to_string()
+                            )
+                        }
+                        _ => 1,
+                    };
+                    if need > MAX_INJECTIONS {
+                        return Err(format!("world needs {need} injections to trip a counter"));
+                    }
+                    injections = injections.max(need);
+                }
+                (_, Some(c)) => {
+                    by_term
+                        .entry(lhs.clone())
+                        .or_default()
+                        .ranges
+                        .push((*op, c, decided));
+                }
+                _ => {
+                    return Err(format!(
+                        "comparison between two non-constant terms ({lhs} vs {rhs}) is not concretizable"
+                    ))
+                }
+            },
+        }
+    }
+    Ok((by_term, validity, injections))
+}
+
+fn concretize(
+    design: &CompiledDesign,
+    decisions: &[(Key, usize)],
+    hits: &[TableHitTrace],
+) -> Result<Concrete, String> {
+    let (by_term, validity, injections) = constraints_of(decisions)?;
+    for (t, c) in &by_term {
+        if c.contradictory {
+            return Err(format!("contradictory equality constraints on {t}"));
+        }
+    }
+
+    // --- traffic shape from the validity decisions ---
+    let valid: BTreeSet<&str> = validity
+        .iter()
+        .filter(|(_, &v)| v)
+        .map(|(h, _)| h.as_str())
+        .collect();
+    let absent: BTreeSet<&str> = validity
+        .iter()
+        .filter(|(_, &v)| !v)
+        .map(|(h, _)| h.as_str())
+        .collect();
+    for h in &valid {
+        if !matches!(*h, "ethernet" | "ipv4" | "ipv6" | "udp" | "srh") {
+            return Err(format!("no packet builder covers header `{h}`"));
+        }
+    }
+
+    // SRH segment count from segments_left constraints.
+    let sl_term = Term::Field("srh".into(), "segments_left".into());
+    let mut segments_needed = 2usize;
+    if let Some(c) = by_term.get(&sl_term) {
+        let sl = c
+            .pick(8)
+            .ok_or_else(|| "unsatisfiable segments_left constraints".to_string())?;
+        if sl as usize + 1 > MAX_SEGMENTS {
+            return Err(format!("world needs {} SRH segments", sl + 1));
+        }
+        segments_needed = sl as usize + 1;
+    }
+    let segments: Vec<u128> = (0..segments_needed)
+        .map(|i| 0xfc00_0000_0000_0000_0000_0000_0000_0100 + i as u128)
+        .collect();
+
+    let shapes: [(&str, &[&str]); 3] = [
+        ("ipv4", &["ethernet", "ipv4", "udp"]),
+        ("ipv6", &["ethernet", "ipv6", "udp"]),
+        ("srv6", &["ethernet", "ipv6", "srh", "udp"]),
+    ];
+    let shape = shapes
+        .iter()
+        .find(|(_, hs)| {
+            valid.iter().all(|h| hs.contains(h)) && absent.iter().all(|h| !hs.contains(h))
+        })
+        .map(|(n, _)| *n)
+        .ok_or_else(|| {
+            format!("no supported traffic shape has {valid:?} present and {absent:?} absent")
+        })?;
+
+    // --- ingress port ---
+    let port = by_term
+        .get(&Term::IngressPort)
+        .map(|c| {
+            c.pick(16)
+                .ok_or_else(|| "unsatisfiable ingress-port constraints".to_string())
+        })
+        .transpose()?
+        .unwrap_or(0) as u16;
+
+    let mut pkt = match shape {
+        "ipv4" => ipv4_udp_packet(&Ipv4UdpSpec::default()),
+        "ipv6" => ipv6_udp_packet(&Ipv6UdpSpec::default()),
+        _ => srv6_packet(&Ipv6UdpSpec::default(), &segments),
+    };
+    pkt.meta.ingress_port = port;
+
+    // --- field assignments ---
+    // Parse the construction copy far enough to write every constrained
+    // field, then re-wrap the mutated bytes as a fresh unparsed packet so
+    // the device parses exactly what a wire packet would present.
+    let selector_fields: BTreeSet<(String, String)> = design
+        .linkage
+        .iter()
+        .flat_map(|ty| {
+            ty.parser.iter().flat_map(|p| {
+                p.selector_fields
+                    .iter()
+                    .map(|f| (ty.name.clone(), f.clone()))
+            })
+        })
+        .collect();
+    for (term, c) in &by_term {
+        let Term::Field(h, f) = term else {
+            continue;
+        };
+        if h == "srh" && f == "segments_left" {
+            continue; // encoded via the segment count above
+        }
+        if !pkt
+            .ensure_parsed(&design.linkage, h)
+            .map_err(|e| format!("parse failed while assigning fields: {e}"))?
+        {
+            return Err(format!(
+                "constrained header `{h}` is unreachable in the chosen traffic shape"
+            ));
+        }
+        let bits = design
+            .linkage
+            .get(h)
+            .and_then(|ty| ty.fields.iter().find(|fd| fd.name == *f))
+            .map(|fd| fd.bits)
+            .ok_or_else(|| format!("unknown field `{h}.{f}`"))?;
+        let current = pkt
+            .get_field(&design.linkage, h, f)
+            .map_err(|e| e.to_string())?;
+        if c.admits(current) {
+            continue;
+        }
+        let v = c
+            .pick(bits)
+            .ok_or_else(|| format!("unsatisfiable constraints on `{h}.{f}`"))?;
+        if selector_fields.contains(&(h.clone(), f.clone())) {
+            return Err(format!(
+                "world constrains parser-selector field `{h}.{f}`; changing it would alter the traffic shape"
+            ));
+        }
+        pkt.set_field(&design.linkage, h, f, v)
+            .map_err(|e| e.to_string())?;
+    }
+
+    let fresh = Packet::new(pkt.data.clone(), port);
+    let mut parsed = fresh.clone();
+    // Parse the reference copy fully so wire fields resolve.
+    let _ = parsed.parse_all(&design.linkage);
+
+    // --- entry-data argument choices ---
+    let mut entry_args = BTreeMap::new();
+    for hit in hits {
+        let action = design
+            .tables
+            .get(&hit.table)
+            .and_then(|d| d.actions.get(hit.tag as usize - 1))
+            .ok_or_else(|| format!("hit tag {} out of range for `{}`", hit.tag, hit.table))?;
+        let params = design
+            .actions
+            .get(action)
+            .map(|a| a.params.clone())
+            .unwrap_or_default();
+        for (i, (_, bits)) in params.iter().enumerate() {
+            let term = Term::EntryData {
+                table: hit.table.clone(),
+                tag: hit.tag,
+                index: i,
+            };
+            let v = match by_term.get(&term) {
+                Some(c) => c
+                    .pick(*bits)
+                    .ok_or_else(|| format!("unsatisfiable constraints on {term}"))?,
+                None => (i as u128 + 1) & width_mask(*bits),
+            };
+            entry_args.insert((hit.table.clone(), hit.tag, i), v);
+        }
+    }
+
+    Ok(Concrete {
+        packet: fresh,
+        parsed,
+        entry_args,
+        segments,
+        injections,
+    })
+}
+
+/// Builds `AddEntry` messages that make each traced hit actually hit.
+fn synth_entries(
+    design: &CompiledDesign,
+    hits: &[TableHitTrace],
+    conc: &Concrete,
+) -> Result<Vec<ControlMsg>, String> {
+    let mut msgs = Vec::new();
+    for hit in hits {
+        let def = design
+            .tables
+            .get(&hit.table)
+            .ok_or_else(|| format!("unknown table `{}`", hit.table))?;
+        let action_name = def
+            .actions
+            .get(hit.tag as usize - 1)
+            .ok_or_else(|| format!("hit tag {} out of range for `{}`", hit.tag, hit.table))?;
+        let n_params = design
+            .actions
+            .get(action_name)
+            .map(|a| a.params.len())
+            .unwrap_or(0);
+        let args: Vec<u128> = (0..n_params)
+            .map(|i| conc.entry_args[&(hit.table.clone(), hit.tag, i)])
+            .collect();
+        let action = ActionCall::new(action_name.clone(), args);
+        let key: Vec<KeyMatch> = if def.is_selector() {
+            // One member: any packet key hashes onto it.
+            def.key.iter().map(|_| KeyMatch::Exact(0)).collect()
+        } else {
+            let mut kms = Vec::new();
+            for (kind, bits, term) in &hit.keys {
+                let v = resolve_term(term, conc, design)
+                    .ok_or_else(|| format!("key of `{}` not concretizable ({term})", hit.table))?
+                    & width_mask(*bits);
+                kms.push(match kind {
+                    MatchKind::Exact | MatchKind::Hash => KeyMatch::Exact(v),
+                    MatchKind::Lpm => KeyMatch::Lpm {
+                        value: v,
+                        prefix_len: *bits,
+                    },
+                    MatchKind::Ternary => KeyMatch::Ternary {
+                        value: v,
+                        mask: width_mask(*bits),
+                    },
+                });
+            }
+            kms
+        };
+        msgs.push(ControlMsg::AddEntry {
+            table: hit.table.clone(),
+            entry: TableEntry {
+                key,
+                priority: 0,
+                action,
+                counter: 0,
+            },
+        });
+    }
+    Ok(msgs)
+}
+
+/// Resolves a term to a concrete value under the chosen packet/entry
+/// assignment; `None` when the term involves something we do not model
+/// concretely (checksums).
+fn resolve_term(term: &Term, conc: &Concrete, design: &CompiledDesign) -> Option<u128> {
+    match term {
+        Term::Const(c) => Some(*c),
+        Term::Field(h, f) => conc.parsed.get_field(&design.linkage, h, f).ok(),
+        Term::IngressPort => Some(conc.packet.meta.ingress_port as u128),
+        Term::EntryData { table, tag, index } => {
+            conc.entry_args.get(&(table.clone(), *tag, *index)).copied()
+        }
+        Term::EntryCounter { .. } => Some(conc.injections as u128),
+        Term::Alu { op, a, b } => Some(op.apply(
+            resolve_term(a, conc, design)?,
+            resolve_term(b, conc, design)?,
+        )),
+        Term::Hash { inputs, modulo } => {
+            let vals: Option<Vec<u128>> = inputs
+                .iter()
+                .map(|t| resolve_term(t, conc, design))
+                .collect();
+            let h = hash_values(&vals?) as u128;
+            Some(if *modulo > 0 { h % *modulo as u128 } else { h })
+        }
+        Term::Trunc { bits, of } => Some(resolve_term(of, conc, design)? & width_mask(*bits)),
+        Term::Cksum4(_) | Term::IncrCksum { .. } => None,
+        Term::SrhSegment(idx) => {
+            let i = resolve_term(idx, conc, design)? as usize;
+            conc.segments.get(i).copied()
+        }
+    }
+}

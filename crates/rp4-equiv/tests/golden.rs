@@ -1,0 +1,113 @@
+//! Negative validation: every seeded miscompile in `programs/bad/` must be
+//! rejected with the expected spanned `RP42xx` diagnostic, and the same
+//! program without the fault must validate cleanly. This is what certifies
+//! that the green runs in `programs.rs` mean something.
+
+use rp4_equiv::{check_program_design, codes, EquivOptions};
+use rp4_lang::Severity;
+use rp4c::FaultInjection;
+
+const WRONG_ALU: &str = include_str!("../../../programs/bad/rp4201_wrong_alu.rp4");
+const DROPPED_FORWARD: &str = include_str!("../../../programs/bad/rp4202_dropped_forward.rp4");
+const DROPPED_REMOVE: &str = include_str!("../../../programs/bad/rp4203_dropped_remove.rp4");
+const RETAGGED_TABLE: &str = include_str!("../../../programs/bad/rp4204_retagged_table.rp4");
+
+/// Compiles `src` twice — faulted and clean — and asserts the faulted
+/// design is rejected with `code` (spanned, subject matching
+/// `subject_frag`) while the clean design validates with zero diagnostics.
+fn seed(src: &str, faults: FaultInjection, code: &str, subject_frag: &str) {
+    let prog = rp4_lang::parse(src).expect("fixture parses");
+    let env = rp4_lang::check(&prog, None).expect("fixture checks");
+    let target = rp4c::CompilerTarget::ipbm();
+
+    let clean = rp4c::full_compile(&prog, &target).expect("fixture compiles");
+    let clean_diags = check_program_design(&prog, &env, &clean.design, &EquivOptions::default());
+    assert!(
+        clean_diags.is_empty(),
+        "unfaulted fixture must validate cleanly, got:\n{}",
+        rp4_lang::render_all(&clean_diags, Some(src), "fixture")
+    );
+
+    let bad = rp4c::full_compile_with_faults(&prog, &target, &faults).expect("faulted compiles");
+    let diags = check_program_design(&prog, &env, &bad.design, &EquivOptions::default());
+    let hits: Vec<_> = diags
+        .iter()
+        .filter(|d| d.code == code && d.severity == Severity::Error)
+        .collect();
+    assert!(
+        !hits.is_empty(),
+        "expected {code} for the seeded fault, got:\n{}",
+        rp4_lang::render_all(&diags, Some(src), "fixture")
+    );
+    assert!(
+        hits.iter().any(|d| d.message.contains(subject_frag)),
+        "no {code} diagnostic names `{subject_frag}`:\n{}",
+        rp4_lang::render_all(&diags, Some(src), "fixture")
+    );
+    assert!(
+        hits.iter().any(|d| d.span.is_some()),
+        "expected at least one spanned {code} diagnostic"
+    );
+    // The witness cross-check must never conclude the validator itself
+    // mispredicted — every concretized packet agrees with the ipbm run.
+    for d in &diags {
+        for note in &d.notes {
+            assert!(
+                !note.contains("mispredicted"),
+                "witness disagreed with the equivalence model: {note}"
+            );
+        }
+    }
+}
+
+#[test]
+fn wrong_alu_is_rejected_as_rp4201() {
+    seed(
+        WRONG_ALU,
+        FaultInjection {
+            swap_alu_in: Some("bump_ttl".into()),
+            ..Default::default()
+        },
+        codes::WRITE_DIVERGENCE,
+        "ipv4.ttl",
+    );
+}
+
+#[test]
+fn dropped_forward_is_rejected_as_rp4202() {
+    seed(
+        DROPPED_FORWARD,
+        FaultInjection {
+            drop_last_primitive_in: Some("to_port".into()),
+            ..Default::default()
+        },
+        codes::OUTCOME_DIVERGENCE,
+        "outcome",
+    );
+}
+
+#[test]
+fn dropped_remove_is_rejected_as_rp4203() {
+    seed(
+        DROPPED_REMOVE,
+        FaultInjection {
+            drop_last_primitive_in: Some("decap".into()),
+            ..Default::default()
+        },
+        codes::VALIDITY_DIVERGENCE,
+        "udp",
+    );
+}
+
+#[test]
+fn retagged_table_is_rejected_as_rp4204() {
+    seed(
+        RETAGGED_TABLE,
+        FaultInjection {
+            retag_table: Some("acl".into()),
+            ..Default::default()
+        },
+        codes::STRUCT_MISMATCH,
+        "acl",
+    );
+}

@@ -344,6 +344,28 @@ impl Program {
         self.spans.merge(&snippet.spans);
     }
 
+    /// Assigns every stage not owned by a `user_funcs` entry to `func`,
+    /// appending a new function if needed. Incremental snippets carry no
+    /// `user_funcs` block of their own — after [`Program::absorb`] their
+    /// stages are orphans, which function-coverage lints flag. Claiming
+    /// them restores coverage without touching existing ownership.
+    pub fn claim_unowned_stages(&mut self, func: &str) {
+        let orphans: Vec<String> = self
+            .stages()
+            .map(|s| s.name.clone())
+            .filter(|n| self.func_of_stage(n).is_empty())
+            .collect();
+        if orphans.is_empty() {
+            return;
+        }
+        let uf = self.user_funcs.get_or_insert_with(UserFuncs::default);
+        if let Some((_, stages)) = uf.funcs.iter_mut().find(|(n, _)| n == func) {
+            stages.extend(orphans);
+        } else {
+            uf.funcs.push((func.to_string(), orphans));
+        }
+    }
+
     /// Removes a function and everything only it references: its stages,
     /// their tables, and actions no longer used anywhere. Returns the names
     /// of removed stages.

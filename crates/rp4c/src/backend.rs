@@ -305,15 +305,90 @@ pub fn fresh_free_blocks(target: &CompilerTarget) -> FreeBlocks {
     }
 }
 
+/// Test-only fault injection for the lowering passes, used to seed
+/// deliberate miscompiles that the translation validator (`rp4-equiv`)
+/// must catch. Each field simulates a realistic backend-bug class; a
+/// default value injects nothing. Hidden from docs — never use outside
+/// tests.
+#[doc(hidden)]
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjection {
+    /// Swap the operation of every ALU primitive lowered into the named
+    /// action (Add↔Sub, And↔Or, Xor→And, Shl↔Shr) — a wrong-opcode bug.
+    pub swap_alu_in: Option<String>,
+    /// Drop the last primitive of the named action's lowered body — a
+    /// lost-write / lost-side-effect bug.
+    pub drop_last_primitive_in: Option<String>,
+    /// Reverse the action list of the named table, silently changing the
+    /// entry-tag ABI — a retagging bug.
+    pub retag_table: Option<String>,
+}
+
+impl FaultInjection {
+    fn apply(
+        &self,
+        tables: &mut BTreeMap<String, ipsa_core::table::TableDef>,
+        actions: &mut BTreeMap<String, ActionDef>,
+    ) {
+        use ipsa_core::action::{AluOp, Primitive};
+        if let Some(name) = &self.swap_alu_in {
+            if let Some(a) = actions.get_mut(name) {
+                for p in &mut a.body {
+                    if let Primitive::Alu { op, .. } = p {
+                        *op = match op {
+                            AluOp::Add => AluOp::Sub,
+                            AluOp::Sub => AluOp::Add,
+                            AluOp::And => AluOp::Or,
+                            AluOp::Or => AluOp::And,
+                            AluOp::Xor => AluOp::And,
+                            AluOp::Shl => AluOp::Shr,
+                            AluOp::Shr => AluOp::Shl,
+                        };
+                    }
+                }
+            }
+        }
+        if let Some(name) = &self.drop_last_primitive_in {
+            if let Some(a) = actions.get_mut(name) {
+                a.body.pop();
+            }
+        }
+        if let Some(name) = &self.retag_table {
+            if let Some(t) = tables.get_mut(name) {
+                t.actions.reverse();
+            }
+        }
+    }
+}
+
 /// Full rp4bc compilation: program → device configuration.
 pub fn full_compile(prog: &Program, target: &CompilerTarget) -> Result<Compilation, CompileError> {
+    compile_with(prog, target, None)
+}
+
+/// [`full_compile`] with deliberate lowering faults injected after the
+/// verifier gate — test-only, for exercising the translation validator.
+#[doc(hidden)]
+pub fn full_compile_with_faults(
+    prog: &Program,
+    target: &CompilerTarget,
+    faults: &FaultInjection,
+) -> Result<Compilation, CompileError> {
+    compile_with(prog, target, Some(faults))
+}
+
+fn compile_with(
+    prog: &Program,
+    target: &CompilerTarget,
+    faults: Option<&FaultInjection>,
+) -> Result<Compilation, CompileError> {
     let env = check(prog, None).map_err(CompileError::Semantic)?;
 
     // Static analysis gates the rest of the pipeline: error-severity
     // findings abort, warnings ride along on the compilation result.
     let limits = verify_limits(target);
     let mut findings = rp4_verify::verify_program(prog, &env, &limits);
-    let (tables, actions) = lower_registries(&env, prog)?;
+    let (mut tables, mut actions) = lower_registries(&env, prog)?;
     findings.extend(rp4_verify::verify_pool(
         &tables,
         &actions,
@@ -325,6 +400,12 @@ pub fn full_compile(prog: &Program, target: &CompilerTarget) -> Result<Compilati
         return Err(CompileError::Verify(findings));
     }
     let warnings = findings;
+
+    // Seed deliberate lowering bugs *after* the verifier gate, so injected
+    // miscompiles reach the design exactly as a real backend bug would.
+    if let Some(f) = faults {
+        f.apply(&mut tables, &mut actions);
+    }
 
     let stages = lower_all_stages(&env, prog)?;
     let (groups, merge_report) = if target.merge {

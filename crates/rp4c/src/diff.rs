@@ -19,8 +19,10 @@ use ipsa_core::template::CompiledDesign;
 /// Covers templates, selector, crossbar, header registry/linkage, actions,
 /// metadata, and table lifecycle. Entries of tables present (identically)
 /// in both designs are preserved; tables created by the diff start empty.
+/// Identical designs diff to an *empty* plan — no `Drain`/`Resume` bracket
+/// is emitted, so a no-op rollback never pauses traffic.
 pub fn design_diff(from: &CompiledDesign, to: &CompiledDesign) -> Vec<ControlMsg> {
-    let mut msgs = vec![ControlMsg::Drain];
+    let mut msgs = Vec::new();
 
     // --- headers: register new/changed, unregister removed ---
     let from_headers: BTreeSet<&str> = from.linkage.iter().map(|h| h.name.as_str()).collect();
@@ -108,6 +110,10 @@ pub fn design_diff(from: &CompiledDesign, to: &CompiledDesign) -> Vec<ControlMsg
     if from.selector != to.selector {
         msgs.push(ControlMsg::SetSelector(to.selector.clone()));
     }
+    if msgs.is_empty() {
+        return msgs;
+    }
+    msgs.insert(0, ControlMsg::Drain);
     msgs.push(ControlMsg::Resume);
     msgs
 }
@@ -180,7 +186,10 @@ mod tests {
         let (design, _, _) = base();
         let msgs = design_diff(&design, &design);
         assert_eq!(diff_size(&msgs), 0);
-        assert_eq!(msgs.len(), 2); // just Drain + Resume
+        assert!(
+            msgs.is_empty(),
+            "no Drain/Resume for a no-op diff: {msgs:?}"
+        );
     }
 
     #[test]

@@ -33,6 +33,8 @@ pub use api_gen::{generate_apis, TableApi};
 pub use backend::{
     full_compile, lower_registries, verify_limits, Compilation, CompileError, CompilerTarget,
 };
+#[doc(hidden)]
+pub use backend::{full_compile_with_faults, FaultInjection};
 pub use diff::{design_diff, diff_size};
 pub use frontend::rp4fc;
 pub use incremental::{incremental_compile, UpdateCmd, UpdatePlan, UpdateStats};

@@ -42,6 +42,7 @@ pub use ipsa_hwmodel as hwmodel;
 pub use ipsa_netpkt as netpkt;
 pub use p4_lang;
 pub use pisa_bm;
+pub use rp4_equiv;
 pub use rp4_lang;
 pub use rp4c;
 

@@ -106,6 +106,43 @@ fn precompiled_plan_pays_only_load_time() {
     assert!(matches!(e, controller::ControllerError::Script(_)), "{e}");
 }
 
+/// A tampered plan that silently changes an untouched function's behavior
+/// is refused by the translation-validation gate — unless the operator
+/// forces it through.
+#[test]
+fn tampered_plan_is_refused_by_equivalence_gate() {
+    fn tampered(flow: &rp4::controller::Rp4Flow<rp4::ipbm::IpbmSwitch>) -> rp4::rp4c::UpdatePlan {
+        let mut plan = flow
+            .plan_script(
+                controller::programs::FLOWPROBE_SCRIPT,
+                &controller::programs::bundled_sources,
+            )
+            .unwrap();
+        // Miscompile simulation on a function the plan does not touch:
+        // the egress port choice silently becomes a drop.
+        if let Some(a) = plan.design.actions.get_mut("set_port") {
+            a.body = vec![rp4::core::action::Primitive::Drop];
+        }
+        plan
+    }
+    let mut flow = demo::populated_base_flow().unwrap();
+    let plan = tampered(&flow);
+    let err = flow.apply_plan(plan).unwrap_err();
+    assert!(
+        matches!(err, controller::ControllerError::Verify(_)),
+        "{err}"
+    );
+    assert!(
+        flow.device.sm.table("flow_probe").is_none(),
+        "refused plan never reaches the device"
+    );
+
+    flow.force = true;
+    let plan = tampered(&flow);
+    flow.apply_plan(plan).unwrap();
+    assert!(flow.device.sm.table("flow_probe").is_some());
+}
+
 /// Nested trials: checkpoint, stack two functions, roll back both in one
 /// step.
 #[test]

@@ -133,6 +133,89 @@ proptest! {
         prop_assert_eq!(out.len(), pre + post, "which={}", which);
     }
 
+    /// Failback soundness under arbitrary update sequences: between any two
+    /// designs reached by the shipped scripts, applying `design_diff(from,
+    /// to)` to `from` yields a design the equivalence checker accepts as
+    /// identical to `to`, and the forward/backward diff pair is a proven
+    /// round-trip identity.
+    #[test]
+    fn design_diff_round_trips(
+        picks in proptest::collection::vec(0usize..3, 0..4),
+    ) {
+        // Each function loads at most once: keep first occurrences only.
+        let mut order = Vec::new();
+        for w in picks {
+            if !order.contains(&w) {
+                order.push(w);
+            }
+        }
+        use rp4::controller::{parse_script, ScriptCmd};
+        use rp4::rp4c::{self, UpdateCmd};
+
+        let structural_cmds = |script: &str| -> Vec<UpdateCmd> {
+            parse_script(script)
+                .unwrap()
+                .into_iter()
+                .filter_map(|cmd| match cmd {
+                    ScriptCmd::Load { file, func } => {
+                        let src = rp4::controller::programs::bundled_sources(&file).unwrap();
+                        let snippet = rp4::rp4_lang::parse(&src).unwrap();
+                        Some(UpdateCmd::Load { snippet, func })
+                    }
+                    ScriptCmd::AddLink { from, to } => Some(UpdateCmd::AddLink { from, to }),
+                    ScriptCmd::DelLink { from, to } => Some(UpdateCmd::DelLink { from, to }),
+                    ScriptCmd::LinkHeader { pre, next, tag } => {
+                        Some(UpdateCmd::LinkHeader { pre, next, tag })
+                    }
+                    ScriptCmd::UnlinkHeader { pre, next } => {
+                        Some(UpdateCmd::UnlinkHeader { pre, next })
+                    }
+                    _ => None, // table operations are runtime-only
+                })
+                .collect()
+        };
+
+        let target = rp4c::CompilerTarget::ipbm();
+        let base = rp4c::full_compile(
+            &rp4::rp4_lang::parse(rp4::controller::programs::BASE_RP4).unwrap(),
+            &target,
+        )
+        .unwrap();
+        let mut designs = vec![base.design.clone()];
+        let mut design = base.design;
+        let mut program = base.program;
+        for which in order {
+            let (name, _, script, _) = rp4::controller::programs::use_cases()[which];
+            let cmds = structural_cmds(script);
+            let plan =
+                rp4c::incremental_compile(&design, &program, &cmds, &target, rp4c::LayoutAlgo::Dp)
+                    .unwrap_or_else(|e| panic!("{name}: {e}"));
+            design = plan.design;
+            program = plan.program;
+            designs.push(design.clone());
+        }
+
+        for from in &designs {
+            for to in &designs {
+                let fwd = rp4c::design_diff(from, to);
+                let moved = rp4::rp4_equiv::apply::apply_msgs(from, &fwd);
+                let diags = rp4::rp4_equiv::apply::roundtrip_diags(to, &moved);
+                prop_assert!(
+                    diags.is_empty(),
+                    "diff does not land on the target design: {:?}",
+                    diags.iter().map(|d| d.header()).collect::<Vec<_>>()
+                );
+                let back = rp4c::design_diff(to, from);
+                let diags = rp4::rp4_equiv::check_roundtrip(from, &fwd, &back);
+                prop_assert!(
+                    diags.is_empty(),
+                    "failback pair is not an identity: {:?}",
+                    diags.iter().map(|d| d.header()).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
     /// TTL handling: any forwarded v4 packet leaves with TTL decremented by
     /// exactly one and a valid checksum, regardless of input TTL ≥ 2.
     #[test]
