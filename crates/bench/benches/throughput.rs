@@ -8,30 +8,114 @@
 //! beats on wide entries plus the per-packet template fetch — and the
 //! paper's two fixes (wider bus, pipelined TSP) must recover most of it.
 
+use ipbm::IpbmSwitch;
 use ipsa_bench::*;
-use ipsa_controller::programs;
+use ipsa_controller::{programs, Rp4Flow};
 use ipsa_core::control::Device;
 use ipsa_core::timing::CostModel;
 use ipsa_hwmodel::{throughput, Arch, ThroughputOptions};
 use ipsa_netpkt::traffic::TrafficGen;
 use pisa_bm::{PisaSwitch, PisaTarget};
+use serde::Serialize;
 use std::time::Instant;
 
-/// Measured software forwarding rate (packets per second) of a device.
-fn sw_rate<D: Device>(device: &mut D, packets: usize) -> f64 {
+/// Measured software forwarding rate (packets per second) of a device,
+/// drained through `run` (interpreter) or `run_batch` (compiled path).
+fn sw_rate<D: Device>(device: &mut D, packets: usize, batch_path: bool) -> f64 {
     let mut gen = TrafficGen::new(17).with_v6_percent(20).with_flows(64);
     let batch = gen.batch(packets);
     for p in batch {
         device.inject(p);
     }
     let t = Instant::now();
-    let out = device.run();
+    let out = if batch_path {
+        device.run_batch()
+    } else {
+        device.run()
+    };
     let dt = t.elapsed().as_secs_f64();
     assert!(!out.is_empty());
     out.len() as f64 / dt
 }
 
+/// One ipbm software-rate measurement: interpreter vs compiled fast path.
+#[derive(Debug, Serialize)]
+struct SwSeries {
+    case: String,
+    interpreter_pps: f64,
+    fast_path_pps: f64,
+    speedup: f64,
+}
+
+/// Machine-readable artifact for CI and EXPERIMENTS.md.
+#[derive(Debug, Serialize)]
+struct ThroughputJson {
+    packets_per_series: usize,
+    smoke: bool,
+    series: Vec<SwSeries>,
+}
+
+/// A base-design ipbm flow with the standard population, plus one of the
+/// in-situ use-case updates on top (None = plain base L3).
+fn case_flow(case: Option<usize>) -> Rp4Flow<IpbmSwitch> {
+    let mut flow = ipsa_sw_flow();
+    populate_rp4_flow(&mut flow, 50);
+    if let Some(i) = case {
+        let (_, _, script, _) = programs::use_cases()[i];
+        flow.run_script(script, &programs::bundled_sources)
+            .expect("use-case script applies");
+        if i == 0 {
+            flow.run_script(
+                include_str!("../../../programs/ecmp_members.script"),
+                &programs::bundled_sources,
+            )
+            .expect("ecmp members populate");
+        }
+    }
+    flow
+}
+
+/// Measures interpreter vs fast-path rates for each use case and writes
+/// `BENCH_throughput.json` at the workspace root.
+fn sw_series(packets: usize, smoke: bool) -> (Vec<SwSeries>, f64) {
+    let cases: [(&str, Option<usize>); 4] = [
+        ("base-l3", None),
+        ("ecmp", Some(0)),
+        ("srv6", Some(1)),
+        ("flowprobe", Some(2)),
+    ];
+    let mut series = Vec::new();
+    for (name, case) in cases {
+        let interp = sw_rate(&mut case_flow(case).device, packets, false);
+        let fast = sw_rate(&mut case_flow(case).device, packets, true);
+        series.push(SwSeries {
+            case: name.to_string(),
+            interpreter_pps: interp,
+            fast_path_pps: fast,
+            speedup: fast / interp,
+        });
+    }
+    let base_speedup = series[0].speedup;
+    let json = ThroughputJson {
+        packets_per_series: packets,
+        smoke,
+        series,
+    };
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_throughput.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&json).expect("json serializes"),
+    )
+    .expect("BENCH_throughput.json written");
+    println!("[written to {}]", path.display());
+    (json.series, base_speedup)
+}
+
 fn main() {
+    // Smoke mode (CI): fewer packets, same artifacts.
+    let smoke = std::env::var("IPSA_BENCH_SMOKE").is_ok();
+    let packets = if smoke { 4_000 } else { 30_000 };
+
     let paper_pisa = [187.33, 153.71, 191.93];
     let paper_ipsa = [65.81, 51.36, 86.62];
 
@@ -90,9 +174,7 @@ fn main() {
     // Bonus: measured software behavioral-model rates (not in the paper;
     // architecture costs show up as real work: distributed parse state,
     // crossbar checks, pooled-memory access accounting).
-    let mut ipsa_flow = ipsa_sw_flow();
-    populate_rp4_flow(&mut ipsa_flow, 50);
-    let ipsa_rate = sw_rate(&mut ipsa_flow.device, 30_000);
+    let ipsa_rate = sw_rate(&mut case_flow(None).device, packets, false);
 
     let (mut pisa_flow, _, _) = ipsa_controller::P4Flow::new(
         PisaSwitch::new(CostModel::software()),
@@ -101,7 +183,7 @@ fn main() {
     )
     .expect("pisa loads");
     populate_p4_flow(&mut pisa_flow, 50);
-    let pisa_rate = sw_rate(&mut pisa_flow.device, 30_000);
+    let pisa_rate = sw_rate(&mut pisa_flow.device, packets, false);
 
     out.push_str(&format!(
         "\nsoftware behavioral models, base design (measured): \
@@ -110,5 +192,24 @@ fn main() {
         ipsa_rate / 1e3,
         pisa_rate / ipsa_rate
     ));
+
+    // ipbm interpreter vs compiled fast path, per use case (the
+    // resolve-once/run-many epoch model; see DESIGN.md). Also written as
+    // machine-readable BENCH_throughput.json for CI.
+    let (series, base_speedup) = sw_series(packets, smoke);
+    out.push_str("\nipbm software rates: interpreter vs compiled fast path\n");
+    for s in &series {
+        out.push_str(&format!(
+            "  {:<10} interpreter {:>8.0} kpps   fast path {:>8.0} kpps   ({:.2}x)\n",
+            s.case,
+            s.interpreter_pps / 1e3,
+            s.fast_path_pps / 1e3,
+            s.speedup
+        ));
+    }
+    assert!(
+        base_speedup >= 3.0,
+        "compiled fast path must be >= 3x the interpreter on base L3 (got {base_speedup:.2}x)"
+    );
     emit("throughput", &out);
 }

@@ -34,7 +34,9 @@ pub enum AluOp {
 }
 
 impl AluOp {
-    fn apply(self, a: u128, b: u128) -> u128 {
+    /// Applies the operation (wrapping arithmetic, shift amounts saturated
+    /// at 127).
+    pub fn apply(self, a: u128, b: u128) -> u128 {
         match self {
             AluOp::Add => a.wrapping_add(b),
             AluOp::Sub => a.wrapping_sub(b),
@@ -166,7 +168,15 @@ pub struct ActionOutcome {
     pub primitives: usize,
 }
 
-fn read(v: &ValueRef, pkt: &Packet, ctx: &EvalCtx<'_>, action: &str) -> Result<u128, CoreError> {
+/// Reads an operand value, wrapping absence and bad action data into the
+/// error shapes the interpreter reports (used by both [`execute`] and the
+/// compiled fast path's fallback evaluation, so error behaviour matches).
+pub fn read_operand(
+    v: &ValueRef,
+    pkt: &Packet,
+    ctx: &EvalCtx<'_>,
+    action: &str,
+) -> Result<u128, CoreError> {
     match v.read(pkt, ctx) {
         Ok(Some(x)) => Ok(x),
         Ok(None) => Err(CoreError::Packet(
@@ -197,172 +207,171 @@ pub fn execute(
     let mut outcome = ActionOutcome::default();
     for prim in &action.body {
         outcome.primitives += 1;
-        match prim {
-            Primitive::NoAction => {}
-            Primitive::Set { dst, src } => {
-                let v = read(src, pkt, ctx, &action.name)?;
-                let w = dst.width(ctx, meta_width);
-                dst.write(pkt, ctx, truncate_to_width(v, w))?;
-            }
-            Primitive::Alu { op, dst, a, b } => {
-                let va = read(a, pkt, ctx, &action.name)?;
-                let vb = read(b, pkt, ctx, &action.name)?;
-                let w = dst.width(ctx, meta_width);
-                dst.write(pkt, ctx, truncate_to_width(op.apply(va, vb), w))?;
-            }
-            Primitive::Hash {
-                dst,
-                inputs,
-                modulo,
-            } => {
-                let mut vals = Vec::with_capacity(inputs.len());
-                for i in inputs {
-                    vals.push(read(i, pkt, ctx, &action.name)?);
-                }
-                let mut h = hash_values(&vals) as u128;
-                if *modulo > 0 {
-                    h %= *modulo as u128;
-                }
-                let w = dst.width(ctx, meta_width);
-                dst.write(pkt, ctx, truncate_to_width(h, w))?;
-            }
-            Primitive::Forward { port } => {
-                let v = read(port, pkt, ctx, &action.name)?;
-                pkt.meta.egress_port = Some(v as u16);
-            }
-            Primitive::Drop => {
-                pkt.meta.drop = true;
-                outcome.dropped = true;
-            }
-            Primitive::Mark { value } => {
-                let v = read(value, pkt, ctx, &action.name)?;
-                pkt.meta.mark = v;
-            }
-            Primitive::MarkIfCounterOver { threshold } => {
-                let t = read(threshold, pkt, ctx, &action.name)?;
-                if ctx.entry_counter.unwrap_or(0) as u128 > t {
-                    pkt.meta.mark = 1;
-                }
-            }
-            Primitive::InsertHeaderAfter {
-                after,
-                header,
-                fields,
-                extra_words,
-            } => {
-                let ty = ctx
-                    .linkage
-                    .get(header)
-                    .ok_or_else(|| CoreError::Config(format!("unknown header `{header}`")))?
-                    .clone();
-                let fixed = ty.fixed_len()?;
-                let mut bytes = vec![0u8; fixed + 16 * extra_words.len()];
-                for (f, v) in fields {
-                    let val = read(v, pkt, ctx, &action.name)?;
-                    ty.set(&mut bytes, f, val)?;
-                }
-                for (i, w) in extra_words.iter().enumerate() {
-                    let val = read(w, pkt, ctx, &action.name)?;
-                    let off = fixed + 16 * i;
-                    bytes[off..off + 16].copy_from_slice(&val.to_be_bytes());
-                }
-                pkt.insert_header_after(ctx.linkage, after, header, &bytes)?;
-            }
-            Primitive::RemoveHeader { header } => {
-                pkt.remove_header(header)?;
-            }
-            Primitive::Srv6Advance => {
-                let srh = pkt.parsed().iter().find(|h| h.ty == "srh").cloned();
-                if let Some(srh) = srh {
-                    let sl = read(
-                        &ValueRef::field("srh", "segments_left"),
-                        pkt,
-                        ctx,
-                        &action.name,
-                    )?;
-                    if sl > 0 && pkt.is_valid("ipv6") {
-                        let sl = sl - 1;
-                        pkt.set_field(ctx.linkage, "srh", "segments_left", sl)?;
-                        let seg_off = srh.offset + 8 + 16 * sl as usize;
-                        if seg_off + 16 <= pkt.data.len() {
-                            let seg = u128::from_be_bytes(
-                                pkt.data[seg_off..seg_off + 16]
-                                    .try_into()
-                                    .expect("16-byte segment"),
-                            );
-                            pkt.set_field(ctx.linkage, "ipv6", "dst_addr", seg)?;
-                        }
-                    }
-                }
-            }
-            Primitive::DecTtlV4 => {
-                if !pkt.is_valid("ipv4") {
-                    continue; // predicated no-op on non-v4 packets
-                }
-                let ttl = read(&ValueRef::field("ipv4", "ttl"), pkt, ctx, &action.name)?;
-                if ttl == 0 {
-                    pkt.meta.drop = true;
-                    outcome.dropped = true;
-                } else {
-                    // Incremental checksum per RFC 1624: the TTL shares a
-                    // 16-bit word with the protocol field.
-                    let proto = read(&ValueRef::field("ipv4", "protocol"), pkt, ctx, &action.name)?;
-                    let old_ck = read(
-                        &ValueRef::field("ipv4", "hdr_checksum"),
-                        pkt,
-                        ctx,
-                        &action.name,
-                    )?;
-                    let old_word = ((ttl as u16) << 8) | proto as u16;
-                    let new_word = (((ttl - 1) as u16) << 8) | proto as u16;
-                    let new_ck = ipsa_netpkt::checksum::incremental_update(
-                        old_ck as u16,
-                        old_word,
-                        new_word,
-                    );
-                    pkt.set_field(ctx.linkage, "ipv4", "ttl", ttl - 1)?;
-                    pkt.set_field(ctx.linkage, "ipv4", "hdr_checksum", new_ck as u128)?;
-                }
-            }
-            Primitive::DecHopLimitV6 => {
-                if !pkt.is_valid("ipv6") {
-                    continue; // predicated no-op on non-v6 packets
-                }
-                let hl = read(
-                    &ValueRef::field("ipv6", "hop_limit"),
-                    pkt,
-                    ctx,
-                    &action.name,
-                )?;
-                if hl == 0 {
-                    pkt.meta.drop = true;
-                    outcome.dropped = true;
-                } else {
-                    pkt.set_field(ctx.linkage, "ipv6", "hop_limit", hl - 1)?;
-                }
-            }
-            Primitive::RefreshIpv4Checksum => {
-                let ph = pkt
-                    .parsed()
-                    .iter()
-                    .find(|h| h.ty == "ipv4")
-                    .cloned()
-                    .ok_or_else(|| {
-                        CoreError::Packet(ipsa_netpkt::packet::PacketError::HeaderNotPresent(
-                            "ipv4".into(),
-                        ))
-                    })?;
-                let ck = ipsa_netpkt::checksum::ipv4_header_checksum(
-                    &pkt.data[ph.offset..ph.offset + ph.len],
-                );
-                pkt.set_field(ctx.linkage, "ipv4", "hdr_checksum", ck as u128)?;
-            }
-        }
+        execute_prim(prim, &action.name, pkt, ctx, meta_width, &mut outcome)?;
         if pkt.meta.drop {
             break;
         }
     }
     Ok(outcome)
+}
+
+/// Executes a single primitive (the interpreter's match body, shared with
+/// the compiled fast path's slow-primitive fallback so the two paths cannot
+/// diverge). Does not count the primitive into `outcome.primitives` — the
+/// caller owns that bookkeeping.
+pub fn execute_prim(
+    prim: &Primitive,
+    action: &str,
+    pkt: &mut Packet,
+    ctx: &EvalCtx<'_>,
+    meta_width: &dyn Fn(&str) -> usize,
+    outcome: &mut ActionOutcome,
+) -> Result<(), CoreError> {
+    match prim {
+        Primitive::NoAction => {}
+        Primitive::Set { dst, src } => {
+            let v = read_operand(src, pkt, ctx, action)?;
+            let w = dst.width(ctx, meta_width);
+            dst.write(pkt, ctx, truncate_to_width(v, w))?;
+        }
+        Primitive::Alu { op, dst, a, b } => {
+            let va = read_operand(a, pkt, ctx, action)?;
+            let vb = read_operand(b, pkt, ctx, action)?;
+            let w = dst.width(ctx, meta_width);
+            dst.write(pkt, ctx, truncate_to_width(op.apply(va, vb), w))?;
+        }
+        Primitive::Hash {
+            dst,
+            inputs,
+            modulo,
+        } => {
+            let mut vals = Vec::with_capacity(inputs.len());
+            for i in inputs {
+                vals.push(read_operand(i, pkt, ctx, action)?);
+            }
+            let mut h = hash_values(&vals) as u128;
+            if *modulo > 0 {
+                h %= *modulo as u128;
+            }
+            let w = dst.width(ctx, meta_width);
+            dst.write(pkt, ctx, truncate_to_width(h, w))?;
+        }
+        Primitive::Forward { port } => {
+            let v = read_operand(port, pkt, ctx, action)?;
+            pkt.meta.egress_port = Some(v as u16);
+        }
+        Primitive::Drop => {
+            pkt.meta.drop = true;
+            outcome.dropped = true;
+        }
+        Primitive::Mark { value } => {
+            let v = read_operand(value, pkt, ctx, action)?;
+            pkt.meta.mark = v;
+        }
+        Primitive::MarkIfCounterOver { threshold } => {
+            let t = read_operand(threshold, pkt, ctx, action)?;
+            if ctx.entry_counter.unwrap_or(0) as u128 > t {
+                pkt.meta.mark = 1;
+            }
+        }
+        Primitive::InsertHeaderAfter {
+            after,
+            header,
+            fields,
+            extra_words,
+        } => {
+            let ty = ctx
+                .linkage
+                .get(header)
+                .ok_or_else(|| CoreError::Config(format!("unknown header `{header}`")))?
+                .clone();
+            let fixed = ty.fixed_len()?;
+            let mut bytes = vec![0u8; fixed + 16 * extra_words.len()];
+            for (f, v) in fields {
+                let val = read_operand(v, pkt, ctx, action)?;
+                ty.set(&mut bytes, f, val)?;
+            }
+            for (i, w) in extra_words.iter().enumerate() {
+                let val = read_operand(w, pkt, ctx, action)?;
+                let off = fixed + 16 * i;
+                bytes[off..off + 16].copy_from_slice(&val.to_be_bytes());
+            }
+            pkt.insert_header_after(ctx.linkage, after, header, &bytes)?;
+        }
+        Primitive::RemoveHeader { header } => {
+            pkt.remove_header(header)?;
+        }
+        Primitive::Srv6Advance => {
+            let srh = pkt.parsed().iter().find(|h| h.ty == "srh").copied();
+            if let Some(srh) = srh {
+                let sl = read_operand(&ValueRef::field("srh", "segments_left"), pkt, ctx, action)?;
+                if sl > 0 && pkt.is_valid("ipv6") {
+                    let sl = sl - 1;
+                    pkt.set_field(ctx.linkage, "srh", "segments_left", sl)?;
+                    let seg_off = srh.offset + 8 + 16 * sl as usize;
+                    if seg_off + 16 <= pkt.data.len() {
+                        let seg = u128::from_be_bytes(
+                            pkt.data[seg_off..seg_off + 16]
+                                .try_into()
+                                .expect("16-byte segment"),
+                        );
+                        pkt.set_field(ctx.linkage, "ipv6", "dst_addr", seg)?;
+                    }
+                }
+            }
+        }
+        Primitive::DecTtlV4 => {
+            if !pkt.is_valid("ipv4") {
+                return Ok(()); // predicated no-op on non-v4 packets
+            }
+            let ttl = read_operand(&ValueRef::field("ipv4", "ttl"), pkt, ctx, action)?;
+            if ttl == 0 {
+                pkt.meta.drop = true;
+                outcome.dropped = true;
+            } else {
+                // Incremental checksum per RFC 1624: the TTL shares a
+                // 16-bit word with the protocol field.
+                let proto = read_operand(&ValueRef::field("ipv4", "protocol"), pkt, ctx, action)?;
+                let old_ck =
+                    read_operand(&ValueRef::field("ipv4", "hdr_checksum"), pkt, ctx, action)?;
+                let old_word = ((ttl as u16) << 8) | proto as u16;
+                let new_word = (((ttl - 1) as u16) << 8) | proto as u16;
+                let new_ck =
+                    ipsa_netpkt::checksum::incremental_update(old_ck as u16, old_word, new_word);
+                pkt.set_field(ctx.linkage, "ipv4", "ttl", ttl - 1)?;
+                pkt.set_field(ctx.linkage, "ipv4", "hdr_checksum", new_ck as u128)?;
+            }
+        }
+        Primitive::DecHopLimitV6 => {
+            if !pkt.is_valid("ipv6") {
+                return Ok(()); // predicated no-op on non-v6 packets
+            }
+            let hl = read_operand(&ValueRef::field("ipv6", "hop_limit"), pkt, ctx, action)?;
+            if hl == 0 {
+                pkt.meta.drop = true;
+                outcome.dropped = true;
+            } else {
+                pkt.set_field(ctx.linkage, "ipv6", "hop_limit", hl - 1)?;
+            }
+        }
+        Primitive::RefreshIpv4Checksum => {
+            let ph = pkt
+                .parsed()
+                .iter()
+                .find(|h| h.ty == "ipv4")
+                .copied()
+                .ok_or_else(|| {
+                    CoreError::Packet(ipsa_netpkt::packet::PacketError::HeaderNotPresent(
+                        "ipv4".into(),
+                    ))
+                })?;
+            let ck = ipsa_netpkt::checksum::ipv4_header_checksum(
+                &pkt.data[ph.offset..ph.offset + ph.len],
+            );
+            pkt.set_field(ctx.linkage, "ipv4", "hdr_checksum", ck as u128)?;
+        }
+    }
+    Ok(())
 }
 
 /// Headers an action writes or reads (parse requirements + dependency

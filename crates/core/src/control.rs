@@ -228,6 +228,14 @@ pub trait Device {
     /// Processes everything queued and returns emitted packets in order.
     fn run(&mut self) -> Vec<Packet>;
 
+    /// Processes everything queued through the device's batch-optimized
+    /// path, when it has one (e.g. a compiled fast path rebuilt per
+    /// control-plane epoch). Semantically identical to [`Device::run`];
+    /// the default implementation simply delegates to it.
+    fn run_batch(&mut self) -> Vec<Packet> {
+        self.run()
+    }
+
     /// Number of packets currently queued and unprocessed.
     fn pending(&self) -> usize;
 }

@@ -1,0 +1,75 @@
+//! Compile-time name interning for control-plane objects.
+//!
+//! While header and metadata names use the process-global tables in
+//! [`ipsa_netpkt::intern`] (their ids ride inside packets), table and
+//! action names are scoped to one device's storage module, so a compiled
+//! pipeline keeps a local [`Interner`] per build: names resolve to dense
+//! indices exactly once — when the fast path is compiled at a control-plane
+//! epoch boundary — and every per-packet reference is an array index from
+//! then on.
+
+use std::collections::HashMap;
+
+/// A local string interner: name → dense `u32`, ids assigned in first-seen
+/// order.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its dense id (stable for the life of this
+    /// interner).
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("interner overflow");
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks `name` up without interning it.
+    pub fn lookup(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// The name behind an id.
+    pub fn name(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut i = Interner::new();
+        assert_eq!(i.intern("fib"), 0);
+        assert_eq!(i.intern("nexthop"), 1);
+        assert_eq!(i.intern("fib"), 0);
+        assert_eq!(i.lookup("nexthop"), Some(1));
+        assert_eq!(i.lookup("absent"), None);
+        assert_eq!(i.name(1), "nexthop");
+        assert_eq!(i.len(), 2);
+    }
+}

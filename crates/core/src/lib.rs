@@ -23,6 +23,7 @@ pub mod control;
 pub mod crossbar;
 pub mod error;
 pub mod hash;
+pub mod intern;
 pub mod memory;
 pub mod pipeline_cfg;
 pub mod predicate;
@@ -35,10 +36,13 @@ pub use action::{ActionDef, ActionOutcome, AluOp, Primitive};
 pub use control::{ApplyReport, ControlMsg, Device};
 pub use crossbar::{Crossbar, CrossbarKind};
 pub use error::CoreError;
+pub use intern::Interner;
 pub use memory::{BlockKind, MemoryPool, TableBlockMap};
 pub use pipeline_cfg::{SelectorConfig, SlotRole};
 pub use predicate::{CmpOp, Predicate};
-pub use table::{ActionCall, Hit, KeyField, KeyMatch, MatchKind, Table, TableDef, TableEntry};
+pub use table::{
+    ActionCall, Hit, HitLite, KeyField, KeyMatch, MatchKind, Table, TableDef, TableEntry,
+};
 pub use template::{CompiledDesign, FuncDef, MatcherBranch, TspTemplate};
 pub use timing::CostModel;
 pub use value::{EvalCtx, LValueRef, ValueRef};

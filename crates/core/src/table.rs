@@ -188,6 +188,17 @@ pub struct Hit {
     pub counter: Option<u64>,
 }
 
+/// Compact hit for the compiled fast path: the matched row plus the
+/// post-increment counter. No [`ActionCall`] clone — the caller resolves
+/// tag and action data through ids precomputed at compile time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HitLite {
+    /// Row (stable entry slot) that matched.
+    pub row: usize,
+    /// Counter value *after* increment, when the table keeps counters.
+    pub counter: Option<u64>,
+}
+
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum IndexMode {
     Exact,
@@ -283,6 +294,12 @@ impl Table {
     /// Read access to a row.
     pub fn row(&self, row: usize) -> Option<&TableEntry> {
         self.rows.get(row).and_then(|r| r.as_ref())
+    }
+
+    /// Number of row slots (live or freed) — the bound a per-row cache such
+    /// as the compiled fast path's tag table must cover.
+    pub fn rows_len(&self) -> usize {
+        self.rows.len()
     }
 
     /// Iterates live `(row, entry)` pairs.
@@ -513,17 +530,34 @@ impl Table {
         Ok(Some(vals))
     }
 
-    /// Performs a lookup, incrementing the matched entry's counter when the
-    /// table keeps counters. `Ok(None)` is a miss (run the default action).
-    pub fn lookup(&mut self, pkt: &Packet, ctx: &EvalCtx<'_>) -> Result<Option<Hit>, CoreError> {
+    /// Counts the start of a lookup. Split out so callers that read the key
+    /// themselves (the compiled fast path) account work in exactly the same
+    /// order as [`Table::lookup`]: the attempt counts even if reading a key
+    /// source later fails.
+    #[inline]
+    pub fn begin_lookup(&mut self) {
         self.lookups += 1;
-        let Some(vals) = self.read_key(pkt, ctx)? else {
-            return Ok(None);
-        };
-        let row = match self.mode.clone() {
-            IndexMode::Exact => self.exact_idx.get(&vals).copied(),
+    }
+
+    /// Matches already-read key values, incrementing the hit counters the
+    /// same way [`Table::lookup`] does. `vals` is `None` when a key source
+    /// header was absent (guaranteed miss). `probe` is caller-owned scratch
+    /// reused across packets so LPM probing does not allocate.
+    ///
+    /// The caller must have called [`Table::begin_lookup`] first.
+    pub fn match_prepared(
+        &mut self,
+        vals: Option<&[u128]>,
+        probe: &mut Vec<u128>,
+    ) -> Option<HitLite> {
+        let vals = vals?;
+        let row = match &self.mode {
+            IndexMode::Exact => self.exact_idx.get(vals).copied(),
             IndexMode::Lpm { lpm_pos } => {
+                let lpm_pos = *lpm_pos;
                 let bits = self.def.key[lpm_pos].bits;
+                probe.clear();
+                probe.extend_from_slice(vals);
                 let mut found = None;
                 for &plen in &self.lpm_lens {
                     let mask = if plen == 0 {
@@ -531,9 +565,12 @@ impl Table {
                     } else {
                         width_mask(bits) & !(width_mask(bits - plen))
                     };
-                    let mut probe = vals.clone();
-                    probe[lpm_pos] &= mask;
-                    if let Some(&r) = self.lpm_idx.get(&plen).and_then(|m| m.get(&probe)) {
+                    probe[lpm_pos] = vals[lpm_pos] & mask;
+                    if let Some(&r) = self
+                        .lpm_idx
+                        .get(&plen)
+                        .and_then(|m| m.get(probe.as_slice()))
+                    {
                         found = Some(r);
                         break;
                     }
@@ -542,7 +579,7 @@ impl Table {
             }
             IndexMode::Ternary => self.tern_order.iter().copied().find(|&r| {
                 let e = self.rows[r].as_ref().expect("indexed row live");
-                e.key.iter().zip(&vals).all(|(km, &v)| match km {
+                e.key.iter().zip(vals).all(|(km, &v)| match km {
                     KeyMatch::Exact(x) => *x == v,
                     KeyMatch::Ternary { value, mask } => v & *mask == *value,
                     KeyMatch::Lpm { .. } => false,
@@ -552,14 +589,11 @@ impl Table {
                 if self.members.is_empty() {
                     None
                 } else {
-                    let h = hash_values(&vals);
+                    let h = hash_values(vals);
                     Some(self.members[(h % self.members.len() as u64) as usize])
                 }
             }
-        };
-        let Some(row) = row else {
-            return Ok(None);
-        };
+        }?;
         self.hits += 1;
         let with_counters = self.def.with_counters;
         let entry = self.rows[row].as_mut().expect("row live");
@@ -569,12 +603,25 @@ impl Table {
         } else {
             None
         };
+        Some(HitLite { row, counter })
+    }
+
+    /// Performs a lookup, incrementing the matched entry's counter when the
+    /// table keeps counters. `Ok(None)` is a miss (run the default action).
+    pub fn lookup(&mut self, pkt: &Packet, ctx: &EvalCtx<'_>) -> Result<Option<Hit>, CoreError> {
+        self.begin_lookup();
+        let vals = self.read_key(pkt, ctx)?;
+        let mut probe = Vec::new();
+        let Some(lite) = self.match_prepared(vals.as_deref(), &mut probe) else {
+            return Ok(None);
+        };
+        let entry = self.rows[lite.row].as_ref().expect("row live");
         let tag = self.def.action_tag(&entry.action.action).unwrap_or(0);
         Ok(Some(Hit {
-            row,
+            row: lite.row,
             tag,
             action: entry.action.clone(),
-            counter,
+            counter: lite.counter,
         }))
     }
 }

@@ -123,6 +123,9 @@ pub fn apply_msgs(
     msgs: &[ControlMsg],
 ) -> Result<ApplyReport, CoreError> {
     let mut report = ApplyReport::default();
+    // Any control write opens a new epoch: the compiled fast path has
+    // names, table rows, and wiring pre-resolved, so it must be rebuilt.
+    pm.invalidate_compiled();
     let mut in_drain = false;
     for msg in msgs {
         let us = cost.msg_cost_us(msg);
@@ -157,7 +160,7 @@ mod tests {
 
     fn parts() -> (PipelineModule, StorageModule, HeaderLinkage) {
         (
-            PipelineModule::new(8, Crossbar::full()),
+            PipelineModule::new(8, 8, Crossbar::full()),
             StorageModule::new(8, 2, 128),
             HeaderLinkage::standard(),
         )

@@ -16,6 +16,7 @@ use ipsa_netpkt::linkage::HeaderLinkage;
 use ipsa_netpkt::packet::Packet;
 use serde::Serialize;
 
+use crate::fast::{self, CompiledPath, EvalScratch};
 use crate::sm::StorageModule;
 use crate::tsp::TspSlot;
 
@@ -142,19 +143,86 @@ pub struct PipelineModule {
     pub draining: bool,
     /// Statistics.
     pub stats: PipelineStats,
+    /// Current control-plane epoch; bumped on every invalidation.
+    epoch: u64,
+    /// Compiled fast path for the current epoch, if one was built.
+    compiled: Option<CompiledPath>,
+    /// Reusable per-packet scratch buffers for the fast path.
+    scratch: EvalScratch,
 }
 
 impl PipelineModule {
-    /// New pipeline with `slots` unprogrammed TSPs and a crossbar.
-    pub fn new(slots: usize, crossbar: Crossbar) -> Self {
+    /// New pipeline with `slots` unprogrammed TSPs, `ports` TM output
+    /// queues, and a crossbar.
+    pub fn new(slots: usize, ports: usize, crossbar: Crossbar) -> Self {
         PipelineModule {
             slots: (0..slots).map(|_| TspSlot::default()).collect(),
             selector: SelectorConfig::all_bypass(slots),
             crossbar,
-            tm: TrafficManager::default(),
+            tm: TrafficManager::new(ports, TM_QUEUE_CAPACITY),
             draining: false,
             stats: PipelineStats::default(),
+            epoch: 0,
+            compiled: None,
+            scratch: EvalScratch::default(),
         }
+    }
+
+    /// Discards the compiled fast path and opens a new control-plane
+    /// epoch. Called whenever a control message batch is applied — any
+    /// message may change names, templates, table contents, or wiring the
+    /// compiled path has pre-resolved.
+    pub fn invalidate_compiled(&mut self) {
+        self.compiled = None;
+        self.epoch += 1;
+    }
+
+    /// The current control-plane epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// True when a compiled fast path is installed for the current epoch.
+    pub fn has_compiled(&self) -> bool {
+        self.compiled.is_some()
+    }
+
+    /// Ensures a compiled fast path exists for the current epoch. Returns
+    /// whether one is installed afterwards — compilation failures (unknown
+    /// table, crossbar violation, undefined action) leave the pipeline on
+    /// the interpreter, which reports those conditions per packet.
+    pub fn ensure_compiled(&mut self, linkage: &HeaderLinkage, sm: &StorageModule) -> bool {
+        if self.compiled.is_none() {
+            self.compiled = fast::compile(
+                &self.slots,
+                &self.selector,
+                &self.crossbar,
+                sm,
+                linkage,
+                self.epoch,
+            )
+            .ok();
+        }
+        self.compiled.is_some()
+    }
+
+    /// Runs one packet through the compiled fast path when one is
+    /// installed, falling back to [`PipelineModule::run_packet`] otherwise.
+    /// Call [`PipelineModule::ensure_compiled`] once per batch first.
+    pub fn run_batch_packet(
+        &mut self,
+        linkage: &HeaderLinkage,
+        sm: &mut StorageModule,
+        pkt: Packet,
+    ) -> Result<Option<Packet>, CoreError> {
+        let Some(cp) = self.compiled.take() else {
+            return self.run_packet(linkage, sm, pkt);
+        };
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let r = cp.run_packet(self, linkage, sm, &mut scratch, pkt);
+        self.scratch = scratch;
+        self.compiled = Some(cp);
+        r
     }
 
     /// Number of physical slots.
@@ -323,7 +391,7 @@ mod tests {
         )
         .unwrap();
 
-        let mut pm = PipelineModule::new(8, Crossbar::full());
+        let mut pm = PipelineModule::new(8, 8, Crossbar::full());
         pm.write_template(
             0,
             TspTemplate {
@@ -431,6 +499,23 @@ mod tests {
         tm.enqueue(Packet::new(vec![0u8; 4], 0));
         assert_eq!(tm.stats.no_route_drops, 1);
         assert_eq!(tm.depth(), 0);
+    }
+
+    #[test]
+    fn tm_honors_configured_port_count() {
+        // Regression: the pipeline used to build its TM with the default 8
+        // queues regardless of the configured port count, so ports 12 and 4
+        // aliased onto the same queue (12 % 8 == 4).
+        let mut pm = PipelineModule::new(8, 16, Crossbar::full());
+        let pkt_to = |port: u16| {
+            let mut p = Packet::new(vec![0u8; 4], 0);
+            p.meta.egress_port = Some(port);
+            p
+        };
+        pm.tm.enqueue(pkt_to(12));
+        pm.tm.enqueue(pkt_to(4));
+        assert_eq!(pm.tm.port_depth(12), 1);
+        assert_eq!(pm.tm.port_depth(4), 1);
     }
 
     #[test]

@@ -26,6 +26,11 @@ pub struct TableStore {
 }
 
 /// The storage module.
+///
+/// Tables live in a slab (`stores`) addressed by dense index, with a
+/// name→index map on the side: the control plane keeps talking names, while
+/// the compiled fast path resolves a name to its slab index once per
+/// control-plane epoch and does pure array indexing per packet.
 #[derive(Debug)]
 pub struct StorageModule {
     /// The disaggregated block pool.
@@ -34,7 +39,8 @@ pub struct StorageModule {
     pub metadata: Vec<(String, usize)>,
     /// Action registry.
     pub actions: HashMap<String, ActionDef>,
-    tables: HashMap<String, TableStore>,
+    stores: Vec<Option<TableStore>>,
+    index: HashMap<String, usize>,
     /// Data-bus width between TSPs and blocks (throughput accounting).
     pub bus_bits: usize,
     /// Cumulative memory accesses performed by lookups.
@@ -50,7 +56,8 @@ impl StorageModule {
             pool: MemoryPool::new(sram, tcam),
             metadata: Vec::new(),
             actions,
-            tables: HashMap::new(),
+            stores: Vec::new(),
+            index: HashMap::new(),
             bus_bits,
             mem_accesses: 0,
         }
@@ -65,9 +72,12 @@ impl StorageModule {
             .unwrap_or(128)
     }
 
-    /// Adds metadata declarations (idempotent per field).
+    /// Adds metadata declarations (idempotent per field). Declaring a field
+    /// also claims its process-wide dense metadata id, so packets built
+    /// after the declaration pre-size their user vectors to cover it.
     pub fn define_metadata(&mut self, fields: &[(String, usize)]) {
         for (n, b) in fields {
+            ipsa_netpkt::intern::meta_id(n);
             if !self.metadata.iter().any(|(m, _)| m == n) {
                 self.metadata.push((n.clone(), *b));
             }
@@ -96,21 +106,45 @@ impl StorageModule {
 
     /// Installed table names (sorted).
     pub fn table_names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.tables.keys().cloned().collect();
+        let mut v: Vec<String> = self.index.keys().cloned().collect();
         v.sort();
         v
     }
 
     /// Read access to a table store.
     pub fn table(&self, name: &str) -> Option<&TableStore> {
-        self.tables.get(name)
+        self.index.get(name).and_then(|&i| self.stores[i].as_ref())
+    }
+
+    /// Resolves a table name to its slab index (compile-time resolution for
+    /// the fast path). The index stays valid until the table is destroyed.
+    pub fn table_idx(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Read access to a table store by slab index.
+    pub fn store_at(&self, idx: usize) -> Option<&TableStore> {
+        self.stores.get(idx).and_then(|s| s.as_ref())
+    }
+
+    /// Mutable access to a table store by slab index.
+    pub fn store_at_mut(&mut self, idx: usize) -> Option<&mut TableStore> {
+        self.stores.get_mut(idx).and_then(|s| s.as_mut())
+    }
+
+    fn get_store_mut(&mut self, name: &str) -> Result<&mut TableStore, CoreError> {
+        let idx = *self
+            .index
+            .get(name)
+            .ok_or_else(|| CoreError::UnknownTable(name.to_string()))?;
+        Ok(self.stores[idx].as_mut().expect("indexed store live"))
     }
 
     /// Creates a table bound to specific pool blocks (chosen by rp4bc's
     /// packing solver). Verifies the allocation suffices for the table's
     /// geometry.
     pub fn create_table(&mut self, def: TableDef, blocks: Vec<usize>) -> Result<(), CoreError> {
-        if self.tables.contains_key(&def.name) {
+        if self.index.contains_key(&def.name) {
             // Replace semantics: recreate (e.g. a re-loaded function).
             self.destroy_table(&def.name)?;
         }
@@ -129,32 +163,47 @@ impl StorageModule {
         let map = TableBlockMap::new(&def.name, entry_bits, def.size, kind, blocks)?;
         let name = def.name.clone();
         let table = Table::new(def)?;
-        self.tables.insert(name, TableStore { table, map });
+        let store = TableStore { table, map };
+        // Reuse a hole left by a destroyed table, else grow the slab.
+        let idx = match self.stores.iter().position(|s| s.is_none()) {
+            Some(i) => {
+                self.stores[i] = Some(store);
+                i
+            }
+            None => {
+                self.stores.push(Some(store));
+                self.stores.len() - 1
+            }
+        };
+        self.index.insert(name, idx);
         Ok(())
     }
 
     /// Destroys a table, recycling its blocks ("if a logical stage is
     /// deleted, the associated memory blocks are also recycled").
     pub fn destroy_table(&mut self, name: &str) -> Result<Vec<usize>, CoreError> {
-        self.tables
+        let idx = self
+            .index
             .remove(name)
             .ok_or_else(|| CoreError::UnknownTable(name.to_string()))?;
+        self.stores[idx] = None;
         Ok(self.pool.free_owner(name))
     }
 
     /// Inserts an entry: updates the index and serializes the row into the
     /// backing blocks.
     pub fn insert_entry(&mut self, table: &str, entry: TableEntry) -> Result<usize, CoreError> {
-        let store = self
-            .tables
-            .get_mut(table)
-            .ok_or_else(|| CoreError::UnknownTable(table.to_string()))?;
         // Param widths of the entry's action, for serialization.
         let param_bits: Vec<usize> = self
             .actions
             .get(&entry.action.action)
             .map(|a| a.params.iter().map(|(_, b)| *b).collect())
             .unwrap_or_default();
+        let idx = *self
+            .index
+            .get(table)
+            .ok_or_else(|| CoreError::UnknownTable(table.to_string()))?;
+        let store = self.stores[idx].as_mut().expect("indexed store live");
         let tag = store
             .table
             .def
@@ -169,10 +218,11 @@ impl StorageModule {
 
     /// Deletes an entry by key, zeroing its backing row.
     pub fn delete_entry(&mut self, table: &str, key: &[KeyMatch]) -> Result<usize, CoreError> {
-        let store = self
-            .tables
-            .get_mut(table)
+        let idx = *self
+            .index
+            .get(table)
             .ok_or_else(|| CoreError::UnknownTable(table.to_string()))?;
+        let store = self.stores[idx].as_mut().expect("indexed store live");
         let row = store.table.delete(key)?;
         let zero = vec![0u8; store.map.entry_bits.div_ceil(8)];
         store.map.write_row(&mut self.pool, row, &zero)?;
@@ -185,10 +235,7 @@ impl StorageModule {
         table: &str,
         action: ipsa_core::table::ActionCall,
     ) -> Result<(), CoreError> {
-        let store = self
-            .tables
-            .get_mut(table)
-            .ok_or_else(|| CoreError::UnknownTable(table.to_string()))?;
+        let store = self.get_store_mut(table)?;
         store.table.def.default_action = action;
         Ok(())
     }
@@ -198,10 +245,11 @@ impl StorageModule {
     /// bytes survive), recycles the old blocks. This is what a clustered
     /// crossbar forces when a logical stage moves clusters (Sec. 2.4).
     pub fn migrate_table(&mut self, table: &str, new_blocks: Vec<usize>) -> Result<(), CoreError> {
-        let store = self
-            .tables
+        let idx = *self
+            .index
             .get(table)
             .ok_or_else(|| CoreError::UnknownTable(table.to_string()))?;
+        let store = self.stores[idx].as_ref().expect("indexed store live");
         let live_rows = store.table.iter().map(|(r, _)| r + 1).max().unwrap_or(0);
         if new_blocks.len() < store.map.block_ids.len() {
             return Err(CoreError::Config(format!(
@@ -214,7 +262,7 @@ impl StorageModule {
         // both allocations, then hand ownership over.
         let tmp_owner = format!("{table}:migrating");
         self.pool.allocate_specific(&tmp_owner, &new_blocks)?;
-        let old_map = self.tables.get(table).expect("checked").map.clone();
+        let old_map = self.stores[idx].as_ref().expect("checked").map.clone();
         let new_map = match old_map.migrate(&mut self.pool, new_blocks, live_rows) {
             Ok(m) => m,
             Err(e) => {
@@ -225,7 +273,7 @@ impl StorageModule {
         self.pool.free_owner(table); // recycle the old blocks
                                      // Hand the copied blocks over without touching their contents.
         self.pool.reassign(&tmp_owner, table);
-        self.tables.get_mut(table).expect("checked").map = new_map;
+        self.stores[idx].as_mut().expect("checked").map = new_map;
         Ok(())
     }
 
@@ -238,18 +286,18 @@ impl StorageModule {
         ctx: &EvalCtx<'_>,
     ) -> Result<Option<Hit>, CoreError> {
         let bus = self.bus_bits;
-        let store = self
-            .tables
-            .get_mut(table)
+        let idx = *self
+            .index
+            .get(table)
             .ok_or_else(|| CoreError::UnknownTable(table.to_string()))?;
+        let store = self.stores[idx].as_mut().expect("indexed store live");
         self.mem_accesses += store.map.accesses_per_lookup(bus) as u64;
         store.table.lookup(pkt, ctx)
     }
 
     /// Blocks currently backing a table.
     pub fn blocks_of(&self, table: &str) -> Vec<usize> {
-        self.tables
-            .get(table)
+        self.table(table)
             .map(|s| s.map.block_ids.clone())
             .unwrap_or_default()
     }

@@ -94,7 +94,7 @@ impl IpbmSwitch {
         };
         IpbmSwitch {
             cm: CommModule::new(cfg.ports),
-            pm: PipelineModule::new(cfg.slots, crossbar),
+            pm: PipelineModule::new(cfg.slots, cfg.ports, crossbar),
             sm: StorageModule::new(cfg.sram_blocks, cfg.tcam_blocks, cfg.bus_bits),
             linkage: HeaderLinkage::new(),
             cost: cfg.cost,
@@ -129,25 +129,46 @@ impl IpbmSwitch {
         }
     }
 
-    /// Processes exactly one pending packet (None when idle or draining).
-    pub fn step(&mut self) -> Result<Option<Packet>, CoreError> {
+    /// Processes exactly one pending packet through the interpreter.
+    /// Returns whether a packet was emitted (it lands on the CM's tx side;
+    /// fetch it with [`CommModule::collect_tx`]); `Ok(false)` when idle,
+    /// draining, or the packet was dropped.
+    pub fn step(&mut self) -> Result<bool, CoreError> {
         if self.pm.draining {
-            return Ok(None);
+            return Ok(false);
         }
         let Some(pkt) = self.cm.next_rx() else {
-            return Ok(None);
+            return Ok(false);
         };
-        match self.pm.run_packet(&self.linkage, &mut self.sm, pkt) {
+        let r = self.pm.run_packet(&self.linkage, &mut self.sm, pkt);
+        self.finish_step(r)
+    }
+
+    /// [`IpbmSwitch::step`] via the compiled fast path when one is
+    /// installed (the caller ensures compilation once per batch).
+    fn step_batch(&mut self) -> Result<bool, CoreError> {
+        if self.pm.draining {
+            return Ok(false);
+        }
+        let Some(pkt) = self.cm.next_rx() else {
+            return Ok(false);
+        };
+        let r = self.pm.run_batch_packet(&self.linkage, &mut self.sm, pkt);
+        self.finish_step(r)
+    }
+
+    fn finish_step(&mut self, r: Result<Option<Packet>, CoreError>) -> Result<bool, CoreError> {
+        match r {
             Ok(Some(out)) => {
-                self.cm.transmit(out.clone());
-                Ok(Some(out))
+                self.cm.transmit(out);
+                Ok(true)
             }
-            Ok(None) => Ok(None),
+            Ok(None) => Ok(false),
             // Malformed traffic (e.g. truncated mid-header) is a drop, not
             // a device fault — real hardware discards runts.
             Err(CoreError::Packet(ipsa_netpkt::packet::PacketError::Truncated { .. })) => {
                 self.pm.stats.parse_drops += 1;
-                Ok(None)
+                Ok(false)
             }
             Err(e) => Err(e),
         }
@@ -179,6 +200,23 @@ impl Device for IpbmSwitch {
             // stderr in debug builds; the data plane must not wedge on one
             // bad packet.
             if let Err(e) = self.step() {
+                debug_assert!(false, "pipeline error: {e}");
+                let _ = e;
+            }
+        }
+        self.cm.collect_tx()
+    }
+
+    fn run_batch(&mut self) -> Vec<Packet> {
+        // Resolve-once / run-many: build (or reuse) the compiled fast path
+        // for this control-plane epoch, then drain the rx queue through it.
+        // If compilation fails, the interpreter handles the batch and
+        // reports the offending condition per packet, as it always has.
+        if !self.pm.ensure_compiled(&self.linkage, &self.sm) {
+            return self.run();
+        }
+        while !self.pm.draining && self.cm.rx_pending() > 0 {
+            if let Err(e) = self.step_batch() {
                 debug_assert!(false, "pipeline error: {e}");
                 let _ = e;
             }
@@ -303,6 +341,81 @@ mod tests {
         assert_eq!(sw.pending(), 1);
         sw.apply(&[ControlMsg::Resume]).unwrap();
         assert_eq!(sw.run().len(), 1);
+    }
+
+    #[test]
+    fn configured_port_count_reaches_the_tm() {
+        // Regression: `IpbmConfig { ports: 16 }` used to get a TM with the
+        // default 8 queues, aliasing egress ports modulo 8.
+        let mut sw = IpbmSwitch::new(IpbmConfig {
+            ports: 16,
+            ..Default::default()
+        });
+        let mut a = ipv4_udp_packet(&Ipv4UdpSpec::default());
+        a.meta.egress_port = Some(12);
+        let mut b = ipv4_udp_packet(&Ipv4UdpSpec::default());
+        b.meta.egress_port = Some(4);
+        sw.pm.tm.enqueue(a);
+        sw.pm.tm.enqueue(b);
+        assert_eq!(sw.pm.tm.port_depth(12), 1);
+        assert_eq!(sw.pm.tm.port_depth(4), 1);
+    }
+
+    #[test]
+    fn batch_path_matches_interpreter_on_minimal_switch() {
+        let mut interp = minimal_switch();
+        let mut fast = minimal_switch();
+        let specs = [0x0a010101u32, 0x0b010101, 0x0a020304];
+        for sw in [&mut interp, &mut fast] {
+            for dst in specs {
+                sw.inject(ipv4_udp_packet(&Ipv4UdpSpec {
+                    dst_ip: dst,
+                    ..Default::default()
+                }));
+            }
+        }
+        let out_i = interp.run();
+        let out_f = fast.run_batch();
+        assert!(fast.pm.has_compiled());
+        assert_eq!(out_i, out_f);
+        assert_eq!(interp.report().pipeline, fast.report().pipeline);
+        assert_eq!(interp.report().tm, fast.report().tm);
+        assert_eq!(interp.sm.mem_accesses, fast.sm.mem_accesses);
+    }
+
+    #[test]
+    fn control_write_invalidates_compiled_path() {
+        let mut sw = minimal_switch();
+        sw.inject(ipv4_udp_packet(&Ipv4UdpSpec {
+            dst_ip: 0x0a010101,
+            ..Default::default()
+        }));
+        sw.run_batch();
+        assert!(sw.pm.has_compiled());
+        let epoch = sw.pm.epoch();
+        sw.apply(&[ControlMsg::AddEntry {
+            table: "route".into(),
+            entry: TableEntry {
+                key: vec![ipsa_core::table::KeyMatch::Lpm {
+                    value: 0x0b000000,
+                    prefix_len: 8,
+                }],
+                priority: 0,
+                action: ActionCall::new("fwd", vec![7]),
+                counter: 0,
+            },
+        }])
+        .unwrap();
+        assert!(!sw.pm.has_compiled());
+        assert!(sw.pm.epoch() > epoch);
+        // The rebuilt path sees the new route.
+        sw.inject(ipv4_udp_packet(&Ipv4UdpSpec {
+            dst_ip: 0x0b010101,
+            ..Default::default()
+        }));
+        let out = sw.run_batch();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].meta.egress_port, Some(7));
     }
 
     #[test]

@@ -15,12 +15,14 @@ pub mod bitfield;
 pub mod builder;
 pub mod checksum;
 pub mod header;
+pub mod intern;
 pub mod linkage;
 pub mod packet;
 pub mod protocols;
 pub mod traffic;
 
 pub use header::{FieldDef, HeaderType, ImplicitParser, ParserTransition};
+pub use intern::Sym;
 pub use linkage::HeaderLinkage;
 pub use packet::{Metadata, Packet, PacketError, ParsedHeader};
 

@@ -4,20 +4,28 @@
 //! the headers it needs, and parse results travel with the packet so later
 //! stages never re-parse ([`Packet::ensure_parsed`] is memoized through
 //! [`Packet::parsed`]). This module is the substrate for that behaviour.
+//!
+//! Per-packet state is designed for the compiled fast path: header names in
+//! the parse record are interned [`Sym`]s (integer compares, `Copy`
+//! frontier), and user metadata is a dense `Vec<u128>` indexed by the
+//! process-wide metadata id space (see [`crate::intern`]) rather than a
+//! `HashMap<String, u128>`. The name-based accessors remain as a thin
+//! resolve layer for control-plane code and tests.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
 use crate::bitfield::BitfieldError;
 use crate::header::HeaderError;
+use crate::intern::{meta_count, meta_id, meta_id_lookup, meta_name, Sym};
 use crate::linkage::{HeaderLinkage, LinkageError};
 
 /// Record of one parsed header instance inside a packet.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ParsedHeader {
-    /// Header type name.
-    pub ty: String,
+    /// Header type name (interned; serializes as the string).
+    pub ty: Sym,
     /// Byte offset of the header within the packet data.
     pub offset: usize,
     /// Byte length of this instance (variable-length headers resolved).
@@ -97,7 +105,12 @@ impl From<BitfieldError> for PacketError {
 /// Per-packet metadata: intrinsic forwarding state plus the user-defined
 /// metadata struct of the loaded rP4 program (dynamic, since programs load
 /// at runtime).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// User fields live in a dense vector indexed by the process-wide metadata
+/// id space ([`crate::intern::meta_id`]); zero and "unset" are the same
+/// value, matching uninitialized P4 metadata. Equality and serialization
+/// therefore ignore trailing/zero entries.
+#[derive(Debug, Clone, Default)]
 pub struct Metadata {
     /// Port the packet arrived on.
     pub ingress_port: u16,
@@ -108,7 +121,70 @@ pub struct Metadata {
     /// Mark value (used by the C3 flow probe to flag packets for the
     /// controller).
     pub mark: u128,
-    user: HashMap<String, u128>,
+    user: Vec<u128>,
+}
+
+impl PartialEq for Metadata {
+    fn eq(&self, other: &Self) -> bool {
+        if self.ingress_port != other.ingress_port
+            || self.egress_port != other.egress_port
+            || self.drop != other.drop
+            || self.mark != other.mark
+        {
+            return false;
+        }
+        let n = self.user.len().max(other.user.len());
+        (0..n).all(|i| {
+            self.user.get(i).copied().unwrap_or(0) == other.user.get(i).copied().unwrap_or(0)
+        })
+    }
+}
+impl Eq for Metadata {}
+
+/// Wire shape of [`Metadata`]: user fields as a (sorted) name → value map,
+/// the same JSON the previous `HashMap` representation produced. Zero
+/// fields are omitted (zero ≡ unset).
+#[derive(Serialize, Deserialize)]
+struct MetadataWire {
+    ingress_port: u16,
+    egress_port: Option<u16>,
+    drop: bool,
+    mark: u128,
+    user: BTreeMap<String, u128>,
+}
+
+impl Serialize for Metadata {
+    fn to_content(&self) -> serde::Content {
+        MetadataWire {
+            ingress_port: self.ingress_port,
+            egress_port: self.egress_port,
+            drop: self.drop,
+            mark: self.mark,
+            user: self
+                .user_fields()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        }
+        .to_content()
+    }
+}
+
+impl Deserialize for Metadata {
+    fn from_content(c: &serde::Content) -> Result<Self, serde::DeError> {
+        let wire = MetadataWire::from_content(c)?;
+        let mut m = Metadata {
+            ingress_port: wire.ingress_port,
+            egress_port: wire.egress_port,
+            drop: wire.drop,
+            mark: wire.mark,
+            user: Vec::new(),
+        };
+        for (k, v) in wire.user {
+            m.set(&k, v);
+        }
+        Ok(m)
+    }
 }
 
 impl Metadata {
@@ -121,7 +197,10 @@ impl Metadata {
             "egress_port" => self.egress_port.map(|p| p as u128).unwrap_or(0),
             "drop" => self.drop as u128,
             "mark" => self.mark,
-            _ => self.user.get(name).copied().unwrap_or(0),
+            _ => match meta_id_lookup(name) {
+                Some(id) => self.get_user(id),
+                None => 0,
+            },
         }
     }
 
@@ -132,15 +211,49 @@ impl Metadata {
             "egress_port" => self.egress_port = Some(value as u16),
             "drop" => self.drop = value != 0,
             "mark" => self.mark = value,
-            _ => {
-                self.user.insert(name.to_string(), value);
-            }
+            _ => self.set_user(meta_id(name), value),
         }
     }
 
-    /// Iterates user-defined fields (sorted, for deterministic debugging).
-    pub fn user_fields(&self) -> Vec<(&str, u128)> {
-        let mut v: Vec<_> = self.user.iter().map(|(k, &x)| (k.as_str(), x)).collect();
+    /// Reads a user field by its dense metadata id (the fast path — no
+    /// name resolution, no allocation).
+    #[inline]
+    pub fn get_user(&self, id: u32) -> u128 {
+        self.user.get(id as usize).copied().unwrap_or(0)
+    }
+
+    /// Writes a user field by its dense metadata id. Grows the vector only
+    /// when a packet predates the field's definition; [`Metadata::presize`]
+    /// at packet-construction time avoids that on the steady-state path.
+    #[inline]
+    pub fn set_user(&mut self, id: u32, value: u128) {
+        let idx = id as usize;
+        if idx >= self.user.len() {
+            self.user.resize(idx + 1, 0);
+        }
+        self.user[idx] = value;
+    }
+
+    /// Grows the user vector to cover every metadata field defined so far,
+    /// so subsequent [`Metadata::set_user`] calls never reallocate.
+    pub fn presize(&mut self) {
+        let n = meta_count();
+        if self.user.len() < n {
+            self.user.resize(n, 0);
+        }
+    }
+
+    /// Iterates user-defined fields with nonzero values (sorted by name,
+    /// for deterministic debugging). Zero ≡ unset, so zero-valued fields
+    /// are not reported.
+    pub fn user_fields(&self) -> Vec<(&'static str, u128)> {
+        let mut v: Vec<_> = self
+            .user
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x != 0)
+            .map(|(i, &x)| (meta_name(i as u32), x))
+            .collect();
         v.sort();
         v
     }
@@ -154,22 +267,30 @@ pub struct Packet {
     /// Forwarding metadata.
     pub meta: Metadata,
     parsed: Vec<ParsedHeader>,
-    /// Next unparsed header (type name, byte offset); `None` either before
+    /// Next unparsed header (type, byte offset); `None` either before
     /// parsing starts (when `parsed` is empty) or after the chain ended.
-    frontier: Option<(String, usize)>,
+    frontier: Option<(Sym, usize)>,
     /// Total header extractions performed on this packet — the measure of
     /// parsing work for the distributed-parsing evaluation.
     pub parse_extractions: u64,
 }
 
+/// Parse-record capacity reserved at packet construction; deep enough for
+/// any realistic header chain, so extraction never grows the vector.
+const PARSED_CAPACITY: usize = 8;
+
 impl Packet {
-    /// Wraps raw bytes arriving on `port`.
+    /// Wraps raw bytes arriving on `port`. Pre-sizes the parse record and
+    /// the metadata vector so steady-state pipeline processing does not
+    /// allocate.
     pub fn new(data: Vec<u8>, port: u16) -> Self {
         let mut p = Packet {
             data,
+            parsed: Vec::with_capacity(PARSED_CAPACITY),
             ..Default::default()
         };
         p.meta.ingress_port = port;
+        p.meta.presize();
         p
     }
 
@@ -190,11 +311,28 @@ impl Packet {
 
     /// Whether `header` has been parsed and is present.
     pub fn is_valid(&self, header: &str) -> bool {
+        match Sym::lookup(header) {
+            Some(s) => self.is_valid_sym(s),
+            // Never interned ⇒ never parsed anywhere in this process.
+            None => false,
+        }
+    }
+
+    /// [`Packet::is_valid`] with a pre-interned name (one integer compare
+    /// per parsed header).
+    #[inline]
+    pub fn is_valid_sym(&self, header: Sym) -> bool {
         self.parsed.iter().any(|h| h.ty == header)
     }
 
-    fn find(&self, header: &str) -> Option<&ParsedHeader> {
+    /// Finds the parse record of `header`, if present.
+    #[inline]
+    pub fn find_sym(&self, header: Sym) -> Option<&ParsedHeader> {
         self.parsed.iter().find(|h| h.ty == header)
+    }
+
+    fn find(&self, header: &str) -> Option<&ParsedHeader> {
+        Sym::lookup(header).and_then(|s| self.find_sym(s))
     }
 
     /// Parses forward through the linkage graph until `target` has been
@@ -210,20 +348,30 @@ impl Packet {
         linkage: &HeaderLinkage,
         target: &str,
     ) -> Result<bool, PacketError> {
-        if self.is_valid(target) {
+        self.ensure_parsed_sym(linkage, Sym::intern(target))
+    }
+
+    /// [`Packet::ensure_parsed`] with a pre-interned target — the compiled
+    /// fast path's entry point. Allocates only on error.
+    pub fn ensure_parsed_sym(
+        &mut self,
+        linkage: &HeaderLinkage,
+        target: Sym,
+    ) -> Result<bool, PacketError> {
+        if self.is_valid_sym(target) {
             return Ok(true);
         }
         // Establish the frontier lazily.
         if self.parsed.is_empty() && self.frontier.is_none() {
             let first = linkage.first().ok_or(PacketError::NoFirstHeader)?;
-            self.frontier = Some((first.to_string(), 0));
+            self.frontier = Some((Sym::intern(first), 0));
         }
-        while let Some((name, offset)) = self.frontier.clone() {
-            let ty = linkage.require(&name)?;
+        while let Some((name, offset)) = self.frontier {
+            let ty = linkage.require(name.as_str())?;
             let fixed = ty.fixed_len()?;
             if offset + fixed > self.data.len() {
                 return Err(PacketError::Truncated {
-                    header: name,
+                    header: name.as_str().to_string(),
                     offset,
                     needed: fixed,
                     available: self.data.len().saturating_sub(offset),
@@ -232,21 +380,21 @@ impl Packet {
             let len = ty.instance_len(&self.data[offset..])?;
             if offset + len > self.data.len() {
                 return Err(PacketError::Truncated {
-                    header: name.clone(),
+                    header: name.as_str().to_string(),
                     offset,
                     needed: len,
                     available: self.data.len() - offset,
                 });
             }
             self.parsed.push(ParsedHeader {
-                ty: name.clone(),
+                ty: name,
                 offset,
                 len,
             });
             self.parse_extractions += 1;
             // Advance the frontier.
             let next = match ty.selector_value(&self.data[offset..offset + len])? {
-                Some(sel) => ty.next_header(sel).map(|n| (n.to_string(), offset + len)),
+                Some(sel) => ty.next_header(sel).map(|n| (Sym::intern(n), offset + len)),
                 None => None,
             };
             self.frontier = next;
@@ -262,15 +410,13 @@ impl Packet {
     /// of headers extracted.
     pub fn parse_all(&mut self, linkage: &HeaderLinkage) -> Result<usize, PacketError> {
         let before = self.parsed.len();
-        // Probe for a name that cannot exist; the walk still extracts the
-        // whole chain. Using a dedicated loop keeps intent clear instead:
         if self.parsed.is_empty() && self.frontier.is_none() {
             let first = linkage.first().ok_or(PacketError::NoFirstHeader)?;
-            self.frontier = Some((first.to_string(), 0));
+            self.frontier = Some((Sym::intern(first), 0));
         }
-        while let Some((name, _)) = self.frontier.clone() {
+        while let Some((name, _)) = self.frontier {
             // ensure_parsed advances exactly to `name` (parsing it).
-            if !self.ensure_parsed(linkage, &name)? {
+            if !self.ensure_parsed_sym(linkage, name)? {
                 break;
             }
         }
@@ -303,7 +449,7 @@ impl Packet {
     ) -> Result<(), PacketError> {
         let ph = self
             .find(header)
-            .cloned()
+            .copied()
             .ok_or_else(|| PacketError::HeaderNotPresent(header.to_string()))?;
         let ty = linkage.require(header)?;
         ty.set(&mut self.data[ph.offset..ph.offset + ph.len], field, value)?;
@@ -330,10 +476,11 @@ impl Packet {
                 available: contents.len(),
             });
         }
+        let after_sym = Sym::intern(after);
         let idx = self
             .parsed
             .iter()
-            .position(|h| h.ty == after)
+            .position(|h| h.ty == after_sym)
             .ok_or_else(|| PacketError::HeaderNotPresent(after.to_string()))?;
         let insert_at = self.parsed[idx].offset + self.parsed[idx].len;
         self.data
@@ -351,7 +498,7 @@ impl Packet {
         self.parsed.insert(
             idx + 1,
             ParsedHeader {
-                ty: new_header.to_string(),
+                ty: Sym::intern(new_header),
                 offset: insert_at,
                 len: contents.len(),
             },
@@ -361,10 +508,11 @@ impl Packet {
 
     /// Removes a parsed header's bytes from the packet (decapsulation).
     pub fn remove_header(&mut self, header: &str) -> Result<(), PacketError> {
+        let header_sym = Sym::intern(header);
         let idx = self
             .parsed
             .iter()
-            .position(|h| h.ty == header)
+            .position(|h| h.ty == header_sym)
             .ok_or_else(|| PacketError::HeaderNotPresent(header.to_string()))?;
         let ph = self.parsed.remove(idx);
         self.data.drain(ph.offset..ph.offset + ph.len);
@@ -527,6 +675,35 @@ mod tests {
         assert!(m.drop);
         assert_eq!(m.get("unset_field"), 0);
         assert_eq!(m.user_fields(), vec![("nexthop", 42)]);
+    }
+
+    #[test]
+    fn metadata_zero_is_unset() {
+        // A field explicitly set to 0 is indistinguishable from one never
+        // set — the P4 uninitialized-metadata semantics the dense vector
+        // representation leans on.
+        let mut a = Metadata::default();
+        let b = Metadata::default();
+        a.set("zeroed_field", 7);
+        assert_ne!(a, b);
+        a.set("zeroed_field", 0);
+        assert_eq!(a, b);
+        assert!(a.user_fields().is_empty());
+        // Serde roundtrip preserves equality and drops zero entries.
+        let json = serde_json::to_string(&a).unwrap();
+        assert!(json.contains("\"user\":{}"), "{json}");
+        let back: Metadata = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn metadata_id_accessors_match_names() {
+        let mut m = Metadata::default();
+        m.set("id_accessor_field", 17);
+        let id = meta_id("id_accessor_field");
+        assert_eq!(m.get_user(id), 17);
+        m.set_user(id, 18);
+        assert_eq!(m.get("id_accessor_field"), 18);
     }
 
     #[test]

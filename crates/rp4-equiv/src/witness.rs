@@ -129,7 +129,11 @@ fn try_cross_check(
     let mut last: Result<Option<Packet>, String> = Ok(None);
     for _ in 0..conc.injections {
         sw.inject(conc.packet.clone());
-        last = sw.step().map_err(|e| e.to_string());
+        last = match sw.step() {
+            Ok(true) => Ok(sw.cm.collect_tx().pop()),
+            Ok(false) => Ok(None),
+            Err(e) => Err(e.to_string()),
+        };
     }
     let resolve = |t: &Term| resolve_term(t, &conc, design);
 
