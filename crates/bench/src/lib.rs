@@ -108,6 +108,17 @@ pub fn ipsa_sw_flow() -> Rp4Flow<IpbmSwitch> {
     flow
 }
 
+/// An installed IPSA flow on the sharded multi-core runtime with `shards`
+/// workers (same program and software target as [`ipsa_sw_flow`]).
+pub fn ipsa_sharded_flow(shards: usize) -> Rp4Flow<ipbm::ShardedSwitch> {
+    let prog = rp4_lang::parse(programs::BASE_RP4).expect("base parses");
+    let target = CompilerTarget::ipbm();
+    let compilation = full_compile(&prog, &target).expect("base compiles");
+    let device = ipbm::ShardedSwitch::new(IpbmConfig::default(), shards);
+    let (flow, _) = Rp4Flow::install(device, compilation, target).expect("install");
+    flow
+}
+
 /// Installs a realistic pre-update entry population (the state a PISA
 /// reload has to *replay*) into a [`P4Flow`]: ports, bridges, `routes`
 /// FIB routes + dmac pairs, nexthops.
@@ -208,8 +219,9 @@ pub fn populate_p4_flow(flow: &mut P4Flow<PisaSwitch>, routes: usize) {
     );
 }
 
-/// The same realistic population through an [`Rp4Flow`] script.
-pub fn populate_rp4_flow(flow: &mut Rp4Flow<IpbmSwitch>, routes: usize) {
+/// The same realistic population through an [`Rp4Flow`] script (works
+/// against any device — the single-core switch or the sharded runtime).
+pub fn populate_rp4_flow<D: ipsa_core::control::Device>(flow: &mut Rp4Flow<D>, routes: usize) {
     let mut s = String::new();
     for p in 0..8 {
         s.push_str(&format!(

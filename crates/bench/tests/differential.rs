@@ -9,10 +9,11 @@
 //! counters — across all four bundled rP4 programs and across a mid-stream
 //! incremental update (which forces an invalidate + recompile).
 
-use ipbm::IpbmSwitch;
-use ipsa_bench::{ipsa_sw_flow, populate_rp4_flow};
+use ipbm::{IpbmSwitch, ShardedSwitch};
+use ipsa_bench::{ipsa_sharded_flow, ipsa_sw_flow, populate_rp4_flow};
 use ipsa_controller::{programs, Rp4Flow};
 use ipsa_core::control::{ControlMsg, Device};
+use ipsa_core::hash::flow_hash;
 use ipsa_core::table::{ActionCall, KeyMatch, TableEntry};
 use ipsa_netpkt::packet::Packet;
 use ipsa_netpkt::traffic::TrafficGen;
@@ -23,7 +24,19 @@ use proptest::prelude::*;
 /// the ecmp/srv6/flowprobe rP4 stage on top).
 fn programmed_switch(case: Option<usize>) -> Rp4Flow<IpbmSwitch> {
     let mut flow = ipsa_sw_flow();
-    populate_rp4_flow(&mut flow, 20);
+    program_flow(&mut flow, case);
+    flow
+}
+
+/// The same programming against the sharded multi-core runtime.
+fn programmed_sharded(case: Option<usize>, shards: usize) -> Rp4Flow<ShardedSwitch> {
+    let mut flow = ipsa_sharded_flow(shards);
+    program_flow(&mut flow, case);
+    flow
+}
+
+fn program_flow<D: Device>(flow: &mut Rp4Flow<D>, case: Option<usize>) {
+    populate_rp4_flow(flow, 20);
     if let Some(i) = case {
         let (_, _, script, _) = programs::use_cases()[i];
         flow.run_script(script, &programs::bundled_sources)
@@ -38,7 +51,15 @@ fn programmed_switch(case: Option<usize>) -> Rp4Flow<IpbmSwitch> {
             .expect("ecmp members populate");
         }
     }
-    flow
+}
+
+/// Shard count for the invariance tests — CI sweeps this via `SHARDS`.
+fn shard_count() -> usize {
+    std::env::var("SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(4)
 }
 
 /// Everything observable about a switch after a run.
@@ -182,6 +203,149 @@ proptest! {
         assert_equivalent(
             programmed_switch(case),
             programmed_switch(case),
+            &batches,
+            if update { Some(&msgs) } else { None },
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard-count invariance: the merged output and statistics of N shard
+// workers must equal the interpreter (and therefore the 1-shard and the
+// single-core fast path, which the tests above pin to it) modulo inter-flow
+// ordering. Per-flow ordering is asserted exactly.
+// ---------------------------------------------------------------------------
+
+/// Canonical full-packet identity (bytes + every metadata field).
+fn pkt_key(p: &Packet) -> String {
+    serde_json::to_string(p).expect("packet serializes")
+}
+
+/// Runs the interpreter and the sharded runtime over the same traffic and
+/// asserts: per-flow packet sequences identical, and every observable equal
+/// once outputs are sorted into a canonical (inter-flow-order-free) form.
+fn assert_shard_invariant(
+    mut interp: Rp4Flow<IpbmSwitch>,
+    mut sharded: Rp4Flow<ShardedSwitch>,
+    batches: &[Vec<Packet>],
+    mid_update: Option<&[ControlMsg]>,
+) -> usize {
+    let shards = sharded.device.shards();
+    let mut out_i = Vec::new();
+    let mut out_s = Vec::new();
+    for (k, batch) in batches.iter().enumerate() {
+        if k > 0 {
+            if let Some(msgs) = mid_update {
+                interp.device.apply(msgs).expect("update applies");
+                sharded.device.apply(msgs).expect("update applies");
+            }
+        }
+        for p in batch {
+            interp.device.inject(p.clone());
+            sharded.device.inject(p.clone());
+        }
+        out_i.extend(interp.device.run());
+        out_s.extend(sharded.device.run_batch());
+        assert!(
+            sharded.device.on_compiled_path(),
+            "shards must run the compiled path (not interpreter fallback)"
+        );
+    }
+    let emitted = out_i.len();
+    // Per-flow (strictly: per shard bucket, a partition into flow groups)
+    // the sharded output must be the interpreter's exact subsequence.
+    let bucketize = |out: &[Packet]| -> Vec<Vec<String>> {
+        let mut v: Vec<Vec<String>> = vec![Vec::new(); shards];
+        for p in out {
+            v[(flow_hash(&p.data) % shards as u64) as usize].push(pkt_key(p));
+        }
+        v
+    };
+    assert_eq!(
+        bucketize(&out_i),
+        bucketize(&out_s),
+        "per-flow packet order must be preserved under sharding"
+    );
+    // Modulo inter-flow order, everything observable must agree: canonical-
+    // sort both outputs, then compare the full stat surface.
+    let canonical = |mut out: Vec<Packet>| -> Vec<Packet> {
+        out.sort_by_key(pkt_key);
+        out
+    };
+    let oi = observe(&interp.device, canonical(out_i));
+    let os = observe(&sharded.device.master, canonical(out_s));
+    assert_eq!(oi, os);
+    emitted
+}
+
+#[test]
+fn one_shard_is_bit_exact_with_interpreter() {
+    // A single shard sees the exact arrival order, so no sorting: the full
+    // observable (output order included) must match the interpreter.
+    for case in [None, Some(0), Some(1), Some(2)] {
+        let mut interp = programmed_switch(case);
+        let mut sharded = programmed_sharded(case, 1);
+        for p in traffic(19, 20, 64, 300) {
+            interp.device.inject(p.clone());
+            sharded.device.inject(p);
+        }
+        let out_i = interp.device.run();
+        let out_s = sharded.device.run_batch();
+        let oi = observe(&interp.device, out_i);
+        let os = observe(&sharded.device.master, out_s);
+        assert_eq!(oi, os, "case {case:?}");
+        assert!(oi.pipeline.emitted > 0, "case {case:?} forwarded nothing");
+    }
+}
+
+#[test]
+fn sharded_matches_interpreter_on_all_programs() {
+    let shards = shard_count();
+    for case in [None, Some(0), Some(1), Some(2)] {
+        let emitted = assert_shard_invariant(
+            programmed_switch(case),
+            programmed_sharded(case, shards),
+            &[traffic(7, 20, 64, 400)],
+            None,
+        );
+        assert!(emitted > 0, "case {case:?} forwarded nothing");
+    }
+}
+
+#[test]
+fn sharded_matches_interpreter_across_midstream_update() {
+    let emitted = assert_shard_invariant(
+        programmed_switch(None),
+        programmed_sharded(None, shard_count()),
+        &[traffic(11, 10, 32, 300), traffic(13, 10, 32, 300)],
+        Some(&midstream_msgs()),
+    );
+    assert!(emitted > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Property: shard-count invariance. For arbitrary traffic, shard
+    /// counts, programs, and an optional mid-stream update (an epoch
+    /// barrier), N shard workers produce the interpreter's result modulo
+    /// inter-flow ordering.
+    #[test]
+    fn shard_count_invariance(
+        seed in 0u64..1000,
+        v6 in 0u8..=50,
+        flows in 1u16..64,
+        n1 in 1usize..150,
+        n2 in 1usize..150,
+        shards in 2usize..=5,
+        case in proptest::option::of(0usize..3),
+        update in any::<bool>(),
+    ) {
+        let batches = vec![traffic(seed, v6, flows, n1), traffic(seed ^ 0xbeef, v6, flows, n2)];
+        let msgs = midstream_msgs();
+        assert_shard_invariant(
+            programmed_switch(case),
+            programmed_sharded(case, shards),
             &batches,
             if update { Some(&msgs) } else { None },
         );

@@ -125,6 +125,45 @@ mod flow_tests {
     }
 
     #[test]
+    fn rp4_flow_drives_sharded_runtime() {
+        use ipsa_core::control::Device;
+        // The whole controller flow — install, in-situ update scripts,
+        // table population — runs unchanged against the multi-core sharded
+        // runtime, which takes each plan through its epoch barrier.
+        let prog = rp4_lang::parse(programs::BASE_RP4).unwrap();
+        let target = CompilerTarget::ipbm();
+        let compilation = full_compile(&prog, &target).unwrap();
+        let device = ipbm::ShardedSwitch::new(IpbmConfig::default(), 4);
+        let (mut flow, report) = Rp4Flow::install(device, compilation, target).unwrap();
+        assert!(report.msgs > 10);
+        let outcome = flow
+            .run_script(programs::FLOWPROBE_SCRIPT, &programs::bundled_sources)
+            .unwrap();
+        assert!(outcome.report.load_us > 0.0);
+        assert!(flow.design.tables.contains_key("flow_probe"));
+        // Traffic still flows after the mid-stream in-situ update, on the
+        // compiled per-shard paths.
+        flow.run_script(
+            "table_add port_map set_ifindex 0 => 10\n\
+             table_add bd_vrf set_bd_vrf 10 => 1 1",
+            &programs::bundled_sources,
+        )
+        .unwrap();
+        for p in ipsa_netpkt::traffic::TrafficGen::new(3)
+            .with_v6_percent(0)
+            .with_flows(16)
+            .batch(64)
+        {
+            flow.device.inject(p);
+        }
+        let out = flow.device.run_batch();
+        assert!(flow.device.on_compiled_path());
+        let rep = flow.device.report();
+        assert_eq!(rep.pipeline.received, 64);
+        assert_eq!(rep.pipeline.emitted as usize, out.len());
+    }
+
+    #[test]
     fn tampered_plan_rejected_unless_forced() {
         use ipsa_core::control::ControlMsg;
         // Strip the Drain…Resume window so every structural write lands on

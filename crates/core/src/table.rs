@@ -310,6 +310,16 @@ impl Table {
             .filter_map(|(i, r)| r.as_ref().map(|e| (i, e)))
     }
 
+    /// Adds `delta` to a live row's packet counter. This is the fold half
+    /// of shard-local counter accumulation: each shard counts hits against
+    /// its own table clone and the deltas are merged back here at epoch
+    /// barriers. A freed row absorbs nothing (its counter died with it).
+    pub fn add_row_counter(&mut self, row: usize, delta: u64) {
+        if let Some(Some(e)) = self.rows.get_mut(row) {
+            e.counter += delta;
+        }
+    }
+
     fn validate_key(&self, entry: &TableEntry) -> Result<(), CoreError> {
         if entry.key.len() != self.def.key.len() {
             return Err(CoreError::KeyMismatch {

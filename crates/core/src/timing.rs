@@ -61,7 +61,24 @@ impl CostModel {
         }
     }
 
+    /// Extra cost of migrating a table to new blocks: rebinding each
+    /// destination block, plus copying every live row (each copied row
+    /// costs one entry write). A migration used to be charged a flat
+    /// `table_setup_us` regardless of how much it copied, which made the
+    /// reported load time of block-moving update plans independent of
+    /// table occupancy — plainly dishonest for a populated FIB.
+    pub fn migrate_cost_us(&self, live_rows: usize, blocks: usize) -> f64 {
+        self.table_setup_us
+            + blocks as f64 * self.reconfig_us
+            + live_rows as f64 * self.table_entry_us
+    }
+
     /// Cost of one message, µs.
+    ///
+    /// `MigrateTable` is priced here from the message alone (destination
+    /// block count, zero rows); callers that know the live table state —
+    /// the CCM does — should price it with [`CostModel::migrate_cost_us`]
+    /// so the per-row copy cost is included.
     pub fn msg_cost_us(&self, msg: &ControlMsg) -> f64 {
         let base = self.per_msg_us + self.per_byte_us * msg.payload_bytes() as f64;
         let extra = match msg {
@@ -69,9 +86,8 @@ impl CostModel {
                 self.template_write_us
             }
             ControlMsg::AddEntry { .. } | ControlMsg::DelEntry { .. } => self.table_entry_us,
-            ControlMsg::CreateTable { .. }
-            | ControlMsg::DestroyTable(_)
-            | ControlMsg::MigrateTable { .. } => self.table_setup_us,
+            ControlMsg::CreateTable { .. } | ControlMsg::DestroyTable(_) => self.table_setup_us,
+            ControlMsg::MigrateTable { blocks, .. } => self.migrate_cost_us(0, blocks.len()),
             ControlMsg::SetSelector(_) | ControlMsg::ConnectCrossbar { .. } => self.reconfig_us,
             ControlMsg::LoadFullDesign(design) => {
                 // A full swap carries every template and rebinds every table.
@@ -129,5 +145,34 @@ mod tests {
         let total = m.batch_cost_us(&msgs);
         let sum: f64 = msgs.iter().map(|x| m.msg_cost_us(x)).sum();
         assert!((total - sum).abs() < 1e-9);
+    }
+
+    /// Regression: a migration copies every live row and rebinds every
+    /// destination block, so its cost must scale with both — the pre-fix
+    /// model charged the same flat `table_setup_us` whether the table held
+    /// zero rows or thousands.
+    #[test]
+    fn migrate_cost_scales_with_rows_and_blocks() {
+        let m = CostModel::fpga();
+        let empty = m.migrate_cost_us(0, 1);
+        let populated = m.migrate_cost_us(500, 1);
+        assert!(
+            populated > empty + 499.0 * m.table_entry_us,
+            "row copies must be charged: empty {empty}, populated {populated}"
+        );
+        assert!(
+            m.migrate_cost_us(0, 4) > m.migrate_cost_us(0, 1),
+            "block rebinds must be charged"
+        );
+        // The stateless message-level price still scales with block count.
+        let one = m.msg_cost_us(&ControlMsg::MigrateTable {
+            table: "t".into(),
+            blocks: vec![0],
+        });
+        let four = m.msg_cost_us(&ControlMsg::MigrateTable {
+            table: "t".into(),
+            blocks: vec![0, 1, 2, 3],
+        });
+        assert!(four > one);
     }
 }

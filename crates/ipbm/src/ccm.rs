@@ -128,7 +128,18 @@ pub fn apply_msgs(
     pm.invalidate_compiled();
     let mut in_drain = false;
     for msg in msgs {
-        let us = cost.msg_cost_us(msg);
+        // MigrateTable is the one message whose cost depends on device
+        // state (every live row is copied); price it against the table as
+        // it stands *before* this message applies.
+        let us = match msg {
+            ControlMsg::MigrateTable { table, blocks } => {
+                let live_rows = sm.table(table).map(|s| s.table.len()).unwrap_or_default();
+                cost.per_msg_us
+                    + cost.per_byte_us * msg.payload_bytes() as f64
+                    + cost.migrate_cost_us(live_rows, blocks.len())
+            }
+            _ => cost.msg_cost_us(msg),
+        };
         report.msgs += 1;
         report.bytes += msg.payload_bytes();
         report.load_us += us;
@@ -211,6 +222,46 @@ mod tests {
         assert!(pm.slots[0].template.is_some());
         assert!(!pm.draining);
         assert_eq!(sm.table_names(), vec!["t".to_string()]);
+    }
+
+    /// Regression: a migration's reported load time must grow with the
+    /// rows it copies — the flat `table_setup_us` charge made update-plan
+    /// latency independent of table occupancy.
+    #[test]
+    fn migration_cost_scales_with_live_rows() {
+        let cost = CostModel::software();
+        let migrate = |populate: usize| -> f64 {
+            let (mut pm, mut sm, mut linkage) = parts();
+            let mut msgs = vec![ControlMsg::CreateTable {
+                def: table_def(),
+                blocks: vec![0],
+            }];
+            for i in 0..populate {
+                msgs.push(ControlMsg::AddEntry {
+                    table: "t".into(),
+                    entry: TableEntry::exact(vec![i as u128], ActionCall::no_action()),
+                });
+            }
+            apply_msgs(&mut pm, &mut sm, &mut linkage, &cost, &msgs).unwrap();
+            let r = apply_msgs(
+                &mut pm,
+                &mut sm,
+                &mut linkage,
+                &cost,
+                &[ControlMsg::MigrateTable {
+                    table: "t".into(),
+                    blocks: vec![1],
+                }],
+            )
+            .unwrap();
+            r.load_us
+        };
+        let empty = migrate(0);
+        let populated = migrate(10);
+        assert!(
+            populated >= empty + 10.0 * cost.table_entry_us - 1e-9,
+            "10 copied rows must be charged: empty {empty} µs, populated {populated} µs"
+        );
     }
 
     #[test]

@@ -817,43 +817,77 @@ impl CompiledPath {
         linkage: &HeaderLinkage,
         sm: &mut StorageModule,
         scratch: &mut EvalScratch,
+        pkt: Packet,
+    ) -> Result<Option<Packet>, CoreError> {
+        self.run_packet_parts(
+            &mut pm.stats,
+            SlotStatsMut::Slots(&mut pm.slots),
+            &mut pm.tm,
+            linkage,
+            sm,
+            scratch,
+            pkt,
+        )
+    }
+
+    /// [`CompiledPath::run_packet`] against explicit pipeline parts instead
+    /// of a whole [`crate::pm::PipelineModule`]. A shard worker owns no
+    /// TSP-slot chain of its own — only a stats array, a Traffic Manager,
+    /// and an SM clone — and this is the entry point it drives.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_packet_parts(
+        &self,
+        stats: &mut crate::pm::PipelineStats,
+        mut slots: SlotStatsMut<'_>,
+        tm: &mut crate::pm::TrafficManager,
+        linkage: &HeaderLinkage,
+        sm: &mut StorageModule,
+        scratch: &mut EvalScratch,
         mut pkt: Packet,
     ) -> Result<Option<Packet>, CoreError> {
-        pm.stats.received += 1;
+        stats.received += 1;
         for cs in &self.ingress {
-            self.process_slot(
-                cs,
-                &mut pm.slots[cs.slot].stats,
-                linkage,
-                sm,
-                scratch,
-                &mut pkt,
-            )?;
+            self.process_slot(cs, slots.at(cs.slot), linkage, sm, scratch, &mut pkt)?;
             if pkt.meta.drop {
-                pm.stats.action_drops += 1;
+                stats.action_drops += 1;
                 return Ok(None);
             }
         }
-        pm.tm.enqueue(pkt);
-        let Some(mut pkt) = pm.tm.dequeue() else {
+        tm.enqueue(pkt);
+        let Some(mut pkt) = tm.dequeue() else {
             return Ok(None);
         };
         for cs in &self.egress {
-            self.process_slot(
-                cs,
-                &mut pm.slots[cs.slot].stats,
-                linkage,
-                sm,
-                scratch,
-                &mut pkt,
-            )?;
+            self.process_slot(cs, slots.at(cs.slot), linkage, sm, scratch, &mut pkt)?;
             if pkt.meta.drop {
-                pm.stats.action_drops += 1;
+                stats.action_drops += 1;
                 return Ok(None);
             }
         }
-        pm.stats.emitted += 1;
+        stats.emitted += 1;
         Ok(Some(pkt))
+    }
+}
+
+/// Where per-slot statistics land while the compiled path runs: either the
+/// pipeline's physical [`TspSlot`] chain (the single-core switch) or a bare
+/// per-slot stats array (a shard worker, which has no slots of its own).
+/// Both are indexed by physical slot position.
+#[derive(Debug)]
+pub enum SlotStatsMut<'a> {
+    /// The pipeline module's slot chain.
+    Slots(&'a mut [TspSlot]),
+    /// A detached per-slot stats array (same length as the slot chain).
+    Stats(&'a mut [SlotStats]),
+}
+
+impl SlotStatsMut<'_> {
+    #[inline]
+    fn at(&mut self, slot: usize) -> &mut SlotStats {
+        match self {
+            SlotStatsMut::Slots(s) => &mut s[slot].stats,
+            SlotStatsMut::Stats(s) => &mut s[slot],
+        }
     }
 }
 

@@ -1,0 +1,809 @@
+//! Multi-core sharded runtime: N independent shard workers behind an
+//! RSS-style flow-hash dispatcher.
+//!
+//! One core is the ceiling of the epoch-compiled fast path; RMT/PISA-lineage
+//! hardware scales by replicating pipelines, and software dataplanes (the
+//! DPDK/VPP lineage) scale by hashing flows across per-core shards with
+//! RCU-published configuration. [`ShardedSwitch`] reproduces that shape on
+//! top of the existing modules:
+//!
+//! * **Dispatch** — [`ipsa_core::hash::flow_hash`] over the raw frame maps
+//!   every packet of a flow to the same shard, so per-flow packet order is
+//!   preserved end to end (each worker is FIFO, and a flow never crosses
+//!   workers). Inter-flow order across shards is explicitly unspecified,
+//!   exactly as in a multi-queue NIC.
+//! * **Shard worker** — an OS thread owning an `Arc<CompiledPath>`, its own
+//!   [`EvalScratch`], [`TrafficManager`], per-slot stats, and a clone of the
+//!   [`StorageModule`] (tables are read-mostly on the data plane; the only
+//!   per-packet writes are entry hit counters, which accumulate shard-
+//!   locally and fold back at barriers as deltas).
+//! * **Epoch barrier** — control batches go through
+//!   [`Device::apply`]: quiesce every shard (bounded drain with a timeout),
+//!   apply the `ControlMsg` batch once against the master SM/CCM state,
+//!   recompile, and publish the new `Arc<CompiledPath>` + SM snapshot to
+//!   all shards (RCU-style: workers swap atomically between packets, they
+//!   never observe a half-applied batch). Mid-stream rP4 updates therefore
+//!   stay hitless: packets arriving during the barrier wait in the CM's RX
+//!   rings and are processed under the *new* epoch, none are lost or run
+//!   against stale state.
+//!
+//! The master [`IpbmSwitch`] stays the single authority for control-plane
+//! state and the aggregation target for every statistic, so `report()` and
+//! the differential observability checks read one coherent view: the merged
+//! stats of N shards equal the 1-shard (and interpreter) result.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use ipsa_core::control::{ApplyReport, ControlMsg, Device};
+use ipsa_core::error::CoreError;
+use ipsa_core::hash::flow_hash;
+use ipsa_netpkt::linkage::HeaderLinkage;
+use ipsa_netpkt::packet::Packet;
+
+use crate::fast::{self, CompiledPath, EvalScratch, SlotStatsMut};
+use crate::pm::{PipelineStats, TmStats, TrafficManager, TM_QUEUE_CAPACITY};
+use crate::sm::StorageModule;
+use crate::switch::{IpbmConfig, IpbmSwitch, SwitchReport};
+use crate::tsp::SlotStats;
+
+/// How long a barrier waits for each shard before declaring it wedged.
+const DEFAULT_DRAIN_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Everything a shard needs for one control-plane epoch, published
+/// atomically (a worker swaps to it between packets, never mid-packet).
+struct ShardEpoch {
+    compiled: Arc<CompiledPath>,
+    linkage: Arc<HeaderLinkage>,
+    /// Clean-slate SM clone: observability zeroed, entry counters at the
+    /// master's current (fold-merged) values.
+    sm: StorageModule,
+}
+
+/// Master → worker protocol. Per-worker channels are FIFO, which is what
+/// makes publication race-free: a `Publish` always precedes every `Batch`
+/// dispatched under its epoch.
+enum ToShard {
+    Publish(Box<ShardEpoch>),
+    Batch(Vec<Packet>),
+    Collect,
+    Shutdown,
+}
+
+/// Per-table stat delta a shard reports at a barrier.
+struct TableDelta {
+    /// Slab index in the master SM (stable across an epoch).
+    store: usize,
+    lookups: u64,
+    hits: u64,
+    /// Sparse `(row, delta)` entry-counter increments.
+    counters: Vec<(usize, u64)>,
+}
+
+/// Worker → master barrier reply: emitted packets in processing order plus
+/// every statistic accumulated since the previous collect, as deltas.
+struct ShardReply {
+    shard: usize,
+    out: Vec<Packet>,
+    stats: PipelineStats,
+    tm: TmStats,
+    slot_stats: Vec<SlotStats>,
+    mem_accesses: u64,
+    tables: Vec<TableDelta>,
+    /// Nanoseconds this shard spent processing packets (for the scaling
+    /// bench's critical-path aggregate throughput).
+    busy_ns: u64,
+}
+
+struct Worker {
+    tx: Sender<ToShard>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// The sharded IPSA runtime: an [`IpbmSwitch`] master plus N shard workers.
+pub struct ShardedSwitch {
+    /// The authoritative single-core switch: CM port rings, control-plane
+    /// state (PM templates/selector/crossbar, SM, linkage), and the target
+    /// every shard statistic folds into.
+    pub master: IpbmSwitch,
+    workers: Vec<Worker>,
+    reply_rx: Receiver<ShardReply>,
+    shards: usize,
+    drain_timeout: Duration,
+    /// Master state changed since the last publication.
+    dirty: bool,
+    /// Compilation failed for the current epoch: the master's interpreter
+    /// carries the traffic until a later epoch compiles again.
+    fallback: bool,
+    /// Cumulative per-shard busy time, ns.
+    busy_ns: Vec<u64>,
+    name: String,
+}
+
+impl std::fmt::Debug for ShardedSwitch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSwitch")
+            .field("shards", &self.shards)
+            .field("dirty", &self.dirty)
+            .field("fallback", &self.fallback)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedSwitch {
+    /// Builds a sharded switch with `shards` workers over `cfg`.
+    pub fn new(cfg: IpbmConfig, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let ports = cfg.ports;
+        let slots = cfg.slots;
+        let master = IpbmSwitch::new(cfg);
+        let (reply_tx, reply_rx) = unbounded::<ShardReply>();
+        let workers = (0..shards)
+            .map(|shard| {
+                let (tx, rx) = unbounded::<ToShard>();
+                let reply = reply_tx.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("ipbm-shard-{shard}"))
+                    .spawn(move || worker_loop(shard, ports, slots, &rx, &reply))
+                    .expect("shard worker spawns");
+                Worker {
+                    tx,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        ShardedSwitch {
+            master,
+            workers,
+            reply_rx,
+            shards,
+            drain_timeout: DEFAULT_DRAIN_TIMEOUT,
+            dirty: true,
+            fallback: false,
+            busy_ns: vec![0; shards],
+            name: format!("ipbm-sharded-{shards}"),
+        }
+    }
+
+    /// Number of shard workers.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Overrides the barrier timeout (bounded drain).
+    pub fn set_drain_timeout(&mut self, timeout: Duration) {
+        self.drain_timeout = timeout;
+    }
+
+    /// True when traffic currently runs on the shards' compiled paths (as
+    /// opposed to the master interpreter fallback after a failed compile).
+    pub fn on_compiled_path(&self) -> bool {
+        !self.fallback
+    }
+
+    /// Cumulative busy time per shard, nanoseconds — the scaling bench's
+    /// critical-path input (aggregate rate = packets / max shard busy).
+    pub fn shard_busy_ns(&self) -> &[u64] {
+        &self.busy_ns
+    }
+
+    /// Installs a complete compiled design (initial load).
+    pub fn install(
+        &mut self,
+        design: &ipsa_core::template::CompiledDesign,
+    ) -> Result<ApplyReport, CoreError> {
+        self.apply(&ipsa_core::control::full_install_msgs(design))
+    }
+
+    /// Observability snapshot (the master's fold-merged view).
+    pub fn report(&self) -> SwitchReport {
+        self.master.report()
+    }
+
+    /// Recompiles the master's current epoch and publishes it to every
+    /// shard. On compile failure the master interpreter takes over until a
+    /// later epoch compiles (the single-core switch falls back the same
+    /// way), so a broken program degrades throughput, not correctness.
+    fn republish(&mut self) {
+        let pm = &self.master.pm;
+        match fast::compile(
+            &pm.slots,
+            &pm.selector,
+            &pm.crossbar,
+            &self.master.sm,
+            &self.master.linkage,
+            pm.epoch(),
+        ) {
+            Ok(cp) => {
+                let compiled = Arc::new(cp);
+                let linkage = Arc::new(self.master.linkage.clone());
+                for w in &self.workers {
+                    let mut sm = self.master.sm.clone();
+                    sm.reset_observability();
+                    w.tx.send(ToShard::Publish(Box::new(ShardEpoch {
+                        compiled: Arc::clone(&compiled),
+                        linkage: Arc::clone(&linkage),
+                        sm,
+                    })))
+                    .unwrap_or_else(|_| panic!("shard worker hung up"));
+                }
+                self.dirty = false;
+                self.fallback = false;
+            }
+            Err(_) => {
+                self.fallback = true;
+            }
+        }
+    }
+
+    /// The epoch barrier's drain half: ask every shard for its pending
+    /// output and stat deltas, wait (bounded) for all replies, fold them
+    /// into the master in shard order. Because each worker processes its
+    /// channel FIFO and batches synchronously, a returned `Collect` proves
+    /// the shard has finished every packet dispatched before it.
+    fn quiesce(&mut self) {
+        for w in &self.workers {
+            w.tx.send(ToShard::Collect)
+                .unwrap_or_else(|_| panic!("shard worker hung up"));
+        }
+        let mut replies: Vec<Option<ShardReply>> = (0..self.shards).map(|_| None).collect();
+        for _ in 0..self.shards {
+            match self.reply_rx.recv_timeout(self.drain_timeout) {
+                Ok(r) => {
+                    let shard = r.shard;
+                    replies[shard] = Some(r);
+                }
+                Err(e) => panic!(
+                    "shard quiesce: no reply within {:?} ({e}); a worker is wedged",
+                    self.drain_timeout
+                ),
+            }
+        }
+        for r in replies.into_iter().flatten() {
+            self.fold(r);
+        }
+    }
+
+    /// The common front half of a sharded batch: handles the draining and
+    /// interpreter-fallback cases (`Err` carries their finished output) or
+    /// returns the per-shard RSS buckets to dispatch. Per-flow order is
+    /// preserved because buckets are FIFO and a flow maps to one shard.
+    #[allow(clippy::result_large_err)]
+    fn pre_batch(&mut self) -> Result<Vec<Vec<Packet>>, Vec<Packet>> {
+        if self.master.pm.draining {
+            return Err(self.master.cm.collect_tx());
+        }
+        if self.dirty || self.fallback {
+            self.republish();
+        }
+        if self.fallback {
+            self.dirty = true; // master counters advance under the interpreter
+            return Err(self.master.run());
+        }
+        let mut buckets: Vec<Vec<Packet>> = (0..self.shards).map(|_| Vec::new()).collect();
+        while let Some(pkt) = self.master.cm.next_rx() {
+            let shard = (flow_hash(&pkt.data) % self.shards as u64) as usize;
+            buckets[shard].push(pkt);
+        }
+        Ok(buckets)
+    }
+
+    /// [`Device::run_batch`], but shards process one at a time instead of
+    /// concurrently. Output, statistics, and counters are identical (the
+    /// fold already happens in shard order); what changes is that each
+    /// worker's self-timed `busy_ns` is uncontended by its siblings. This
+    /// is the measurement mode for the scaling bench on hosts with fewer
+    /// cores than shards, where concurrent workers timeslice one core and
+    /// wall-clock readings would charge each shard for its neighbors.
+    pub fn run_batch_sequential(&mut self) -> Vec<Packet> {
+        match self.pre_batch() {
+            Ok(buckets) => {
+                for (shard, bucket) in buckets.into_iter().enumerate() {
+                    let w = &self.workers[shard];
+                    if !bucket.is_empty() {
+                        w.tx.send(ToShard::Batch(bucket))
+                            .unwrap_or_else(|_| panic!("shard worker hung up"));
+                    }
+                    w.tx.send(ToShard::Collect)
+                        .unwrap_or_else(|_| panic!("shard worker hung up"));
+                    match self.reply_rx.recv_timeout(self.drain_timeout) {
+                        Ok(r) => {
+                            debug_assert_eq!(r.shard, shard, "serial barrier");
+                            self.fold(r);
+                        }
+                        Err(e) => panic!(
+                            "shard {shard}: no reply within {:?} ({e}); worker is wedged",
+                            self.drain_timeout
+                        ),
+                    }
+                }
+                self.master.cm.collect_tx()
+            }
+            Err(handled) => handled,
+        }
+    }
+
+    /// Folds one shard's barrier reply into the master's statistics and
+    /// transmits its output through the master CM.
+    fn fold(&mut self, r: ShardReply) {
+        let pm = &mut self.master.pm;
+        pm.stats.received += r.stats.received;
+        pm.stats.emitted += r.stats.emitted;
+        pm.stats.action_drops += r.stats.action_drops;
+        pm.stats.parse_drops += r.stats.parse_drops;
+        pm.stats.held_during_drain += r.stats.held_during_drain;
+        pm.tm.stats.enqueued += r.tm.enqueued;
+        pm.tm.stats.no_route_drops += r.tm.no_route_drops;
+        pm.tm.stats.tail_drops += r.tm.tail_drops;
+        pm.tm.stats.max_depth = pm.tm.stats.max_depth.max(r.tm.max_depth);
+        for (slot, ss) in r.slot_stats.iter().enumerate() {
+            if let Some(s) = pm.slots.get_mut(slot) {
+                s.stats.absorb(ss);
+            }
+        }
+        self.master.sm.mem_accesses += r.mem_accesses;
+        for td in r.tables {
+            if let Some(store) = self.master.sm.store_at_mut(td.store) {
+                store.table.lookups += td.lookups;
+                store.table.hits += td.hits;
+                for (row, delta) in td.counters {
+                    store.table.add_row_counter(row, delta);
+                }
+            }
+        }
+        self.busy_ns[r.shard] += r.busy_ns;
+        for pkt in r.out {
+            self.master.cm.transmit(pkt);
+        }
+    }
+}
+
+impl Device for ShardedSwitch {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn apply(&mut self, msgs: &[ControlMsg]) -> Result<ApplyReport, CoreError> {
+        // Epoch barrier: drain the shards, apply the batch exactly once
+        // against the master, and leave republication to the next batch of
+        // traffic (several control batches coalesce into one compile).
+        self.quiesce();
+        let report = self.master.apply(msgs)?;
+        self.dirty = true;
+        Ok(report)
+    }
+
+    fn inject(&mut self, packet: Packet) {
+        self.master.cm.inject(packet);
+    }
+
+    fn run(&mut self) -> Vec<Packet> {
+        // Reference semantics: the master interpreter processes in arrival
+        // order. Shard SM clones go stale (counters advance on the master),
+        // so the next sharded batch republishes first.
+        self.quiesce();
+        self.dirty = true;
+        self.master.run()
+    }
+
+    fn run_batch(&mut self) -> Vec<Packet> {
+        match self.pre_batch() {
+            Ok(buckets) => {
+                for (w, bucket) in self.workers.iter().zip(buckets) {
+                    if !bucket.is_empty() {
+                        w.tx.send(ToShard::Batch(bucket))
+                            .unwrap_or_else(|_| panic!("shard worker hung up"));
+                    }
+                }
+                // Barrier: every batch ends fully folded, so stats and
+                // counters are coherent before any control message can
+                // observe them.
+                self.quiesce();
+                self.master.cm.collect_tx()
+            }
+            Err(handled) => handled,
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.master.cm.rx_pending()
+    }
+}
+
+impl Drop for ShardedSwitch {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            let _ = w.tx.send(ToShard::Shutdown);
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Worker-side epoch state: the published artifacts plus the entry-counter
+/// baseline for delta reporting.
+struct EpochState {
+    compiled: Arc<CompiledPath>,
+    linkage: Arc<HeaderLinkage>,
+    sm: StorageModule,
+    /// Per-store, per-row counter values at the last collect (or publish).
+    counter_base: Vec<Vec<u64>>,
+}
+
+impl EpochState {
+    fn new(e: ShardEpoch) -> Self {
+        let counter_base = snapshot_counters(&e.sm);
+        EpochState {
+            compiled: e.compiled,
+            linkage: e.linkage,
+            sm: e.sm,
+            counter_base,
+        }
+    }
+}
+
+fn snapshot_counters(sm: &StorageModule) -> Vec<Vec<u64>> {
+    (0..sm.store_count())
+        .map(|idx| match sm.store_at(idx) {
+            Some(store) => {
+                let mut v = vec![0u64; store.table.rows_len()];
+                for (row, e) in store.table.iter() {
+                    v[row] = e.counter;
+                }
+                v
+            }
+            None => Vec::new(),
+        })
+        .collect()
+}
+
+fn worker_loop(
+    shard: usize,
+    ports: usize,
+    slots: usize,
+    rx: &Receiver<ToShard>,
+    reply: &Sender<ShardReply>,
+) {
+    let mut epoch: Option<EpochState> = None;
+    let mut scratch = EvalScratch::default();
+    let mut tm = TrafficManager::new(ports, TM_QUEUE_CAPACITY);
+    let mut stats = PipelineStats::default();
+    let mut slot_stats = vec![SlotStats::default(); slots];
+    let mut out: Vec<Packet> = Vec::new();
+    let mut busy_ns = 0u64;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToShard::Publish(e) => {
+                // RCU swap: the previous epoch's artifacts drop here, after
+                // the last packet that used them.
+                epoch = Some(EpochState::new(*e));
+            }
+            ToShard::Batch(pkts) => {
+                let ep = epoch
+                    .as_mut()
+                    .expect("protocol: Batch before first Publish");
+                let t0 = Instant::now();
+                for pkt in pkts {
+                    let r = ep.compiled.run_packet_parts(
+                        &mut stats,
+                        SlotStatsMut::Stats(&mut slot_stats),
+                        &mut tm,
+                        &ep.linkage,
+                        &mut ep.sm,
+                        &mut scratch,
+                        pkt,
+                    );
+                    // Same drop taxonomy as the single-core switch; other
+                    // errors surface loudly in debug builds only (the data
+                    // plane must not wedge on one bad packet).
+                    match crate::switch::classify_packet_result(r, &mut stats) {
+                        Ok(Some(p)) => out.push(p),
+                        Ok(None) => {}
+                        Err(e) => {
+                            debug_assert!(false, "shard pipeline error: {e}");
+                            let _ = e;
+                        }
+                    }
+                }
+                busy_ns += t0.elapsed().as_nanos() as u64;
+            }
+            ToShard::Collect => {
+                let tables = match &mut epoch {
+                    Some(ep) => {
+                        let mut tables = Vec::new();
+                        for idx in 0..ep.sm.store_count() {
+                            let Some(store) = ep.sm.store_at(idx) else {
+                                continue;
+                            };
+                            let base = &mut ep.counter_base[idx];
+                            let mut counters = Vec::new();
+                            for (row, e) in store.table.iter() {
+                                let prev = base.get(row).copied().unwrap_or(0);
+                                if e.counter > prev {
+                                    counters.push((row, e.counter - prev));
+                                }
+                            }
+                            for (row, delta) in &counters {
+                                base[*row] += delta;
+                            }
+                            if store.table.lookups > 0
+                                || store.table.hits > 0
+                                || !counters.is_empty()
+                            {
+                                tables.push(TableDelta {
+                                    store: idx,
+                                    lookups: store.table.lookups,
+                                    hits: store.table.hits,
+                                    counters,
+                                });
+                            }
+                        }
+                        let mem = ep.sm.mem_accesses;
+                        ep.sm.reset_observability();
+                        (tables, mem)
+                    }
+                    None => (Vec::new(), 0),
+                };
+                let (tables, mem_accesses) = tables;
+                let r = ShardReply {
+                    shard,
+                    out: std::mem::take(&mut out),
+                    stats: std::mem::take(&mut stats),
+                    tm: std::mem::take(&mut tm.stats),
+                    slot_stats: std::mem::replace(
+                        &mut slot_stats,
+                        vec![SlotStats::default(); slots],
+                    ),
+                    mem_accesses,
+                    tables,
+                    busy_ns: std::mem::take(&mut busy_ns),
+                };
+                if reply.send(r).is_err() {
+                    break; // master gone
+                }
+            }
+            ToShard::Shutdown => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsa_core::pipeline_cfg::SelectorConfig;
+    use ipsa_core::table::{ActionCall, KeyField, MatchKind, TableDef, TableEntry};
+    use ipsa_core::template::{MatcherBranch, TspTemplate};
+    use ipsa_core::value::ValueRef;
+    use ipsa_netpkt::builder::{ipv4_udp_packet, Ipv4UdpSpec};
+
+    /// The same one-stage L3 program as `switch.rs`'s `minimal_switch`,
+    /// as a message batch against any device.
+    fn l3_msgs(port: u16) -> Vec<ControlMsg> {
+        vec![
+            ControlMsg::Drain,
+            ControlMsg::RegisterHeader(ipsa_netpkt::protocols::ethernet()),
+            ControlMsg::RegisterHeader(ipsa_netpkt::protocols::ipv4()),
+            ControlMsg::RegisterHeader(ipsa_netpkt::protocols::udp()),
+            ControlMsg::SetFirstHeader("ethernet".into()),
+            ControlMsg::DefineAction(ipsa_core::action::ActionDef {
+                name: "fwd".into(),
+                params: vec![("port".into(), 16)],
+                body: vec![ipsa_core::action::Primitive::Forward {
+                    port: ValueRef::Param(0),
+                }],
+            }),
+            ControlMsg::CreateTable {
+                def: TableDef {
+                    name: "route".into(),
+                    key: vec![KeyField {
+                        source: ValueRef::field("ipv4", "dst_addr"),
+                        bits: 32,
+                        kind: MatchKind::Lpm,
+                    }],
+                    size: 64,
+                    actions: vec!["fwd".into()],
+                    default_action: ActionCall::no_action(),
+                    with_counters: false,
+                },
+                blocks: vec![0],
+            },
+            ControlMsg::WriteTemplate {
+                slot: 0,
+                template: TspTemplate {
+                    stage_name: "route_s".into(),
+                    func: "base".into(),
+                    parse: vec!["ipv4".into()],
+                    branches: vec![MatcherBranch {
+                        pred: ipsa_core::predicate::Predicate::IsValid("ipv4".into()),
+                        table: Some("route".into()),
+                    }],
+                    executor: vec![(1, ActionCall::new("fwd", vec![]))],
+                    default_action: ActionCall::no_action(),
+                },
+            },
+            ControlMsg::ConnectCrossbar {
+                slot: 0,
+                blocks: vec![0],
+            },
+            ControlMsg::SetSelector(SelectorConfig::split(32, 1, 0).unwrap()),
+            ControlMsg::Resume,
+            ControlMsg::AddEntry {
+                table: "route".into(),
+                entry: TableEntry {
+                    key: vec![ipsa_core::table::KeyMatch::Lpm {
+                        value: 0x0a000000,
+                        prefix_len: 8,
+                    }],
+                    priority: 0,
+                    action: ActionCall::new("fwd", vec![port as u128]),
+                    counter: 0,
+                },
+            },
+        ]
+    }
+
+    fn traffic(n: usize) -> Vec<Packet> {
+        (0..n)
+            .map(|i| {
+                ipv4_udp_packet(&Ipv4UdpSpec {
+                    src_ip: 0x0a00_0100 + (i as u32 % 7),
+                    dst_ip: 0x0a01_0000 + i as u32,
+                    ..Default::default()
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_matches_single_core_on_l3() {
+        let mut single = IpbmSwitch::new(IpbmConfig::default());
+        single.apply(&l3_msgs(4)).unwrap();
+        let mut sharded = ShardedSwitch::new(IpbmConfig::default(), 4);
+        sharded.apply(&l3_msgs(4)).unwrap();
+
+        for p in traffic(64) {
+            single.inject(p.clone());
+            sharded.inject(p);
+        }
+        let mut a = single.run_batch();
+        let mut b = sharded.run_batch();
+        assert!(sharded.on_compiled_path());
+        assert_eq!(a.len(), b.len());
+        let key = |p: &Packet| (p.data.clone(), p.meta.egress_port);
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b, "merged shard output must equal single-core output");
+        assert_eq!(single.report().pipeline, sharded.report().pipeline);
+        assert_eq!(single.report().tm, sharded.report().tm);
+        assert_eq!(single.sm.mem_accesses, sharded.master.sm.mem_accesses);
+        let busy: u64 = sharded.shard_busy_ns().iter().sum();
+        assert!(busy > 0, "workers must self-time their batches");
+    }
+
+    #[test]
+    fn one_shard_is_bit_exact_with_single_core() {
+        let mut single = IpbmSwitch::new(IpbmConfig::default());
+        single.apply(&l3_msgs(4)).unwrap();
+        let mut sharded = ShardedSwitch::new(IpbmConfig::default(), 1);
+        sharded.apply(&l3_msgs(4)).unwrap();
+        for p in traffic(32) {
+            single.inject(p.clone());
+            sharded.inject(p);
+        }
+        // One shard sees the exact arrival order, so even inter-flow order
+        // and per-port TX rings match the single-core switch bit-for-bit.
+        assert_eq!(single.run_batch(), sharded.run_batch());
+        assert_eq!(
+            single.cm.port_stats(),
+            sharded.master.cm.port_stats(),
+            "per-port counters must match"
+        );
+    }
+
+    #[test]
+    fn update_between_batches_is_hitless_and_fresh() {
+        let mut sw = ShardedSwitch::new(IpbmConfig::default(), 2);
+        sw.apply(&l3_msgs(4)).unwrap();
+        for p in traffic(8) {
+            sw.inject(p);
+        }
+        let first = sw.run_batch();
+        assert!(first.iter().all(|p| p.meta.egress_port == Some(4)));
+        // Re-point the route mid-stream; packets already injected must be
+        // processed under the *new* epoch (never a stale one).
+        for p in traffic(8) {
+            sw.inject(p);
+        }
+        sw.apply(&[ControlMsg::AddEntry {
+            table: "route".into(),
+            entry: TableEntry {
+                key: vec![ipsa_core::table::KeyMatch::Lpm {
+                    value: 0x0a010000,
+                    prefix_len: 16,
+                }],
+                priority: 0,
+                action: ActionCall::new("fwd", vec![6]),
+                counter: 0,
+            },
+        }])
+        .unwrap();
+        let second = sw.run_batch();
+        assert_eq!(second.len(), 8, "no packet lost across the barrier");
+        assert!(
+            second.iter().all(|p| p.meta.egress_port == Some(6)),
+            "all packets ran under the new epoch"
+        );
+    }
+
+    #[test]
+    fn sequential_batch_matches_concurrent() {
+        let mut a = ShardedSwitch::new(IpbmConfig::default(), 3);
+        a.apply(&l3_msgs(4)).unwrap();
+        let mut b = ShardedSwitch::new(IpbmConfig::default(), 3);
+        b.apply(&l3_msgs(4)).unwrap();
+        for p in traffic(48) {
+            a.inject(p.clone());
+            b.inject(p);
+        }
+        let out_a = a.run_batch();
+        let out_b = b.run_batch_sequential();
+        // Both modes fold in shard order, so even the output order matches.
+        assert_eq!(out_a, out_b);
+        assert_eq!(a.report().pipeline, b.report().pipeline);
+        assert!(b.shard_busy_ns().iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn draining_holds_traffic_until_resume() {
+        let mut sw = ShardedSwitch::new(IpbmConfig::default(), 2);
+        sw.apply(&l3_msgs(4)).unwrap();
+        sw.apply(&[ControlMsg::Drain]).unwrap();
+        for p in traffic(5) {
+            sw.inject(p);
+        }
+        assert!(sw.run_batch().is_empty());
+        assert_eq!(sw.pending(), 5);
+        sw.apply(&[ControlMsg::Resume]).unwrap();
+        assert_eq!(sw.run_batch().len(), 5);
+    }
+
+    #[test]
+    fn per_flow_order_is_preserved() {
+        let mut sw = ShardedSwitch::new(IpbmConfig::default(), 4);
+        sw.apply(&l3_msgs(4)).unwrap();
+        // 8 flows × 32 packets, payload carrying a per-flow sequence
+        // number; interleave the flows on inject.
+        let flows = 8u32;
+        let per_flow = 32u32;
+        for seq in 0..per_flow {
+            for f in 0..flows {
+                sw.inject(ipv4_udp_packet(&Ipv4UdpSpec {
+                    src_ip: 0x0a00_0200 + f,
+                    dst_ip: 0x0a01_0000 + f,
+                    payload: seq.to_be_bytes().to_vec(),
+                    ..Default::default()
+                }));
+            }
+        }
+        let out = sw.run_batch();
+        assert_eq!(out.len(), (flows * per_flow) as usize);
+        // Within each flow the sequence numbers must appear in order.
+        let mut last: std::collections::HashMap<u32, Option<u32>> = Default::default();
+        for p in &out {
+            let n = p.data.len();
+            let dst = u32::from_be_bytes(p.data[30..34].try_into().unwrap());
+            let seq = u32::from_be_bytes(p.data[n - 4..].try_into().unwrap());
+            let prev = last.entry(dst).or_insert(None);
+            if let Some(prev) = *prev {
+                assert!(seq > prev, "flow {dst:#x}: {seq} after {prev}");
+            }
+            *prev = Some(seq);
+        }
+        assert_eq!(last.len(), flows as usize);
+    }
+}

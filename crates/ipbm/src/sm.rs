@@ -31,7 +31,7 @@ pub struct TableStore {
 /// name→index map on the side: the control plane keeps talking names, while
 /// the compiled fast path resolves a name to its slab index once per
 /// control-plane epoch and does pure array indexing per packet.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct StorageModule {
     /// The disaggregated block pool.
     pub pool: MemoryPool,
@@ -132,6 +132,23 @@ impl StorageModule {
         self.stores.get_mut(idx).and_then(|s| s.as_mut())
     }
 
+    /// Slab length (live and freed slots) — the bound for per-store scans.
+    pub fn store_count(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// Zeroes the observability counters (lookups, hits, memory accesses)
+    /// without touching entry packet counters, which are data-plane state.
+    /// Shard workers start each epoch from a clean-slate SM clone so the
+    /// values they report at a barrier are pure deltas.
+    pub fn reset_observability(&mut self) {
+        self.mem_accesses = 0;
+        for s in self.stores.iter_mut().flatten() {
+            s.table.lookups = 0;
+            s.table.hits = 0;
+        }
+    }
+
     fn get_store_mut(&mut self, name: &str) -> Result<&mut TableStore, CoreError> {
         let idx = *self
             .index
@@ -192,23 +209,38 @@ impl StorageModule {
 
     /// Inserts an entry: updates the index and serializes the row into the
     /// backing blocks.
+    ///
+    /// The entry's action must be defined in the action registry and
+    /// offered by the table (or be its default action, which serializes as
+    /// tag 0). Unknown actions used to fall through `unwrap_or(0)` /
+    /// `unwrap_or_default()` and silently serialize as the table's first
+    /// action with no argument data — a corrupted row that only surfaced
+    /// when the entry later matched.
     pub fn insert_entry(&mut self, table: &str, entry: TableEntry) -> Result<usize, CoreError> {
-        // Param widths of the entry's action, for serialization.
-        let param_bits: Vec<usize> = self
-            .actions
-            .get(&entry.action.action)
-            .map(|a| a.params.iter().map(|(_, b)| *b).collect())
-            .unwrap_or_default();
         let idx = *self
             .index
             .get(table)
             .ok_or_else(|| CoreError::UnknownTable(table.to_string()))?;
+        let action_name = entry.action.action.clone();
+        let Some(adef) = self.actions.get(&action_name) else {
+            return Err(CoreError::UnknownAction(format!(
+                "{action_name}: not defined, required by entry for table {table}"
+            )));
+        };
+        // Param widths of the entry's action, for serialization.
+        let param_bits: Vec<usize> = adef.params.iter().map(|(_, b)| *b).collect();
         let store = self.stores[idx].as_mut().expect("indexed store live");
-        let tag = store
-            .table
-            .def
-            .action_tag(&entry.action.action)
-            .unwrap_or(0);
+        let tag = match store.table.def.action_tag(&action_name) {
+            Some(t) => t,
+            // Tag 0 is reserved for the default (miss) action; an entry may
+            // name it explicitly even when it is not in the action list.
+            None if action_name == store.table.def.default_action.action => 0,
+            None => {
+                return Err(CoreError::UnknownAction(format!(
+                    "{action_name}: not offered by table {table}"
+                )))
+            }
+        };
         let row = store.table.insert(entry)?;
         let e = store.table.row(row).expect("just inserted").clone();
         let bytes = serialize_entry(&store.table.def, &param_bits, tag, &e)?;
@@ -229,12 +261,20 @@ impl StorageModule {
         Ok(row)
     }
 
-    /// Changes a table's default (miss) action.
+    /// Changes a table's default (miss) action. The action must exist in
+    /// the registry — the same validation as [`StorageModule::insert_entry`];
+    /// a dangling default would make every miss fail at execution time.
     pub fn set_default_action(
         &mut self,
         table: &str,
         action: ipsa_core::table::ActionCall,
     ) -> Result<(), CoreError> {
+        if !self.actions.contains_key(&action.action) {
+            return Err(CoreError::UnknownAction(format!(
+                "{}: not defined, cannot be default of table {table}",
+                action.action
+            )));
+        }
         let store = self.get_store_mut(table)?;
         store.table.def.default_action = action;
         Ok(())
@@ -251,10 +291,31 @@ impl StorageModule {
             .ok_or_else(|| CoreError::UnknownTable(table.to_string()))?;
         let store = self.stores[idx].as_ref().expect("indexed store live");
         let live_rows = store.table.iter().map(|(r, _)| r + 1).max().unwrap_or(0);
-        if new_blocks.len() < store.map.block_ids.len() {
+        // Validate the destination by bit capacity, not block count: the
+        // table needs ⌈W/w⌉×⌈D/d⌉ blocks of its own kind's w×d geometry
+        // (Sec. 2.4). A count-only check used to let a table slide onto
+        // blocks of a different geometry — e.g. an SRAM-resident table onto
+        // TCAM blocks whose rows are both narrower and fewer, silently
+        // under-allocating its declared capacity.
+        let kind = BlockKind::for_table(&store.table.def);
+        for &b in &new_blocks {
+            let blk = self.pool.block(b).ok_or_else(|| {
+                CoreError::Config(format!("migration of `{table}`: no such block {b}"))
+            })?;
+            if blk.kind != kind {
+                return Err(CoreError::Config(format!(
+                    "migration of `{table}` needs {kind:?} blocks, block {b} is {:?}",
+                    blk.kind
+                )));
+            }
+        }
+        let need = blocks_needed(kind.geometry(), store.map.entry_bits, store.table.def.size);
+        if new_blocks.len() < need.max(store.map.block_ids.len()) {
             return Err(CoreError::Config(format!(
-                "migration of `{table}` needs {} blocks, got {}",
-                store.map.block_ids.len(),
+                "migration of `{table}` needs {} blocks ({} entry bits x {} entries), got {}",
+                need.max(store.map.block_ids.len()),
+                store.map.entry_bits,
+                store.table.def.size,
                 new_blocks.len()
             )));
         }
@@ -504,5 +565,150 @@ mod tests {
         let sm = sm();
         assert_eq!(sm.meta_width("nexthop"), 16);
         assert_eq!(sm.meta_width("__t0"), 128);
+    }
+
+    /// Regression: an entry naming an undefined action used to serialize
+    /// with empty param widths and tag 0 — i.e. silently as the table's
+    /// default action with no argument data. It must be rejected.
+    #[test]
+    fn entry_with_undefined_action_rejected() {
+        let mut sm = sm();
+        sm.create_table(fib_def(), vec![0]).unwrap();
+        let e = sm
+            .insert_entry(
+                "fib",
+                TableEntry {
+                    key: vec![KeyMatch::Lpm {
+                        value: 0x0a000000,
+                        prefix_len: 8,
+                    }],
+                    priority: 0,
+                    action: ActionCall::new("no_such_action", vec![1]),
+                    counter: 0,
+                },
+            )
+            .unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "unknown action `no_such_action: not defined, required by entry for table fib`"
+        );
+        // Nothing was inserted: the index holds no row and the block pool
+        // holds no bytes.
+        assert_eq!(sm.table("fib").unwrap().table.len(), 0);
+    }
+
+    /// Regression: an action that is defined but not offered by the table
+    /// used to get tag 0 (the *first* action's tag at deserialization
+    /// time). Only the table's declared default may serialize as tag 0.
+    #[test]
+    fn entry_with_unoffered_action_rejected() {
+        let mut sm = sm();
+        sm.define_action(ActionDef {
+            name: "other".into(),
+            params: vec![],
+            body: vec![],
+        });
+        sm.create_table(fib_def(), vec![0]).unwrap();
+        let e = sm
+            .insert_entry(
+                "fib",
+                TableEntry {
+                    key: vec![KeyMatch::Lpm {
+                        value: 0x0a000000,
+                        prefix_len: 8,
+                    }],
+                    priority: 0,
+                    action: ActionCall::new("other", vec![]),
+                    counter: 0,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(e, CoreError::UnknownAction(_)), "{e}");
+        // The default action stays legal as an explicit entry action.
+        sm.insert_entry(
+            "fib",
+            TableEntry {
+                key: vec![KeyMatch::Lpm {
+                    value: 0x0a000000,
+                    prefix_len: 8,
+                }],
+                priority: 0,
+                action: ActionCall::no_action(),
+                counter: 0,
+            },
+        )
+        .unwrap();
+    }
+
+    /// Regression: `set_default_action` accepted any name; a dangling
+    /// default fails only later, at miss-execution time.
+    #[test]
+    fn default_action_must_be_defined() {
+        let mut sm = sm();
+        sm.create_table(fib_def(), vec![0]).unwrap();
+        let e = sm
+            .set_default_action("fib", ActionCall::new("ghost", vec![]))
+            .unwrap_err();
+        assert!(matches!(e, CoreError::UnknownAction(_)), "{e}");
+        sm.set_default_action("fib", ActionCall::new("set_nh", vec![0]))
+            .unwrap();
+        assert_eq!(
+            sm.table("fib").unwrap().table.def.default_action.action,
+            "set_nh"
+        );
+    }
+
+    /// Regression: migration validated the destination by block *count*
+    /// only, so a table could slide onto blocks of a different w×d
+    /// geometry. An SRAM-resident table moved onto one TCAM block passes
+    /// the count check (1 ≥ 1) while the destination holds 44×512 bits per
+    /// block against the table's 112×1024 layout — silent under-allocation.
+    #[test]
+    fn migration_to_heterogeneous_geometry_rejected() {
+        let mut sm = sm();
+        // A small-entry exact table so the bytes *would* fit a TCAM row —
+        // pre-fix the migration "succeeded" and corrupted capacity.
+        sm.create_table(
+            TableDef {
+                name: "hosts".into(),
+                key: vec![KeyField {
+                    source: ValueRef::Meta("nexthop".into()),
+                    bits: 16,
+                    kind: MatchKind::Exact,
+                }],
+                size: 1024,
+                actions: vec![],
+                default_action: ActionCall::no_action(),
+                with_counters: false,
+            },
+            vec![2],
+        )
+        .unwrap();
+        sm.insert_entry("hosts", TableEntry::exact(vec![5], ActionCall::no_action()))
+            .unwrap();
+        // Blocks 16.. are the TCAM half of the pool (16 SRAM + 4 TCAM).
+        let e = sm.migrate_table("hosts", vec![16]).unwrap_err();
+        assert!(
+            e.to_string().contains("Sram blocks"),
+            "must name the kind mismatch: {e}"
+        );
+        // Original mapping untouched, lookups unaffected.
+        assert_eq!(sm.pool.owned_by("hosts"), vec![2]);
+        assert_eq!(sm.table("hosts").unwrap().table.len(), 1);
+    }
+
+    /// The capacity rule itself: a destination with the right kind but too
+    /// few blocks for ⌈W/w⌉×⌈D/d⌉ is rejected before anything is staged.
+    #[test]
+    fn migration_below_block_capacity_rejected() {
+        let mut sm = sm();
+        let mut def = fib_def();
+        def.size = 2048; // 2 SRAM row groups
+        sm.create_table(def, vec![0, 1]).unwrap();
+        let e = sm.migrate_table("fib", vec![5]).unwrap_err();
+        assert!(matches!(e, CoreError::Config(_)), "{e}");
+        assert_eq!(sm.pool.owned_by("fib"), vec![0, 1]);
+        sm.migrate_table("fib", vec![5, 6]).unwrap();
+        assert_eq!(sm.pool.owned_by("fib"), vec![5, 6]);
     }
 }

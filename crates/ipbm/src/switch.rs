@@ -158,20 +158,31 @@ impl IpbmSwitch {
     }
 
     fn finish_step(&mut self, r: Result<Option<Packet>, CoreError>) -> Result<bool, CoreError> {
-        match r {
-            Ok(Some(out)) => {
+        match classify_packet_result(r, &mut self.pm.stats)? {
+            Some(out) => {
                 self.cm.transmit(out);
                 Ok(true)
             }
-            Ok(None) => Ok(false),
-            // Malformed traffic (e.g. truncated mid-header) is a drop, not
-            // a device fault — real hardware discards runts.
-            Err(CoreError::Packet(ipsa_netpkt::packet::PacketError::Truncated { .. })) => {
-                self.pm.stats.parse_drops += 1;
-                Ok(false)
-            }
-            Err(e) => Err(e),
+            None => Ok(false),
         }
+    }
+}
+
+/// Classifies one per-packet pipeline result the way real hardware does:
+/// malformed traffic (e.g. truncated mid-header) is a parse drop, not a
+/// device fault — switches discard runts. Any other error propagates.
+/// Shared by the interpreter step loop and the sharded workers so both
+/// planes count drops identically.
+pub(crate) fn classify_packet_result(
+    r: Result<Option<Packet>, CoreError>,
+    stats: &mut PipelineStats,
+) -> Result<Option<Packet>, CoreError> {
+    match r {
+        Err(CoreError::Packet(ipsa_netpkt::packet::PacketError::Truncated { .. })) => {
+            stats.parse_drops += 1;
+            Ok(None)
+        }
+        other => other,
     }
 }
 

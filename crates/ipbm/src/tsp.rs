@@ -38,6 +38,20 @@ pub struct SlotStats {
     pub primitives: u64,
 }
 
+impl SlotStats {
+    /// Adds another stats block into this one (shard fold: every field is
+    /// a plain additive counter).
+    pub fn absorb(&mut self, other: &SlotStats) {
+        self.packets += other.packets;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.pass_through += other.pass_through;
+        self.parse_extractions += other.parse_extractions;
+        self.template_fetches += other.template_fetches;
+        self.primitives += other.primitives;
+    }
+}
+
 /// One physical TSP slot.
 #[derive(Debug, Clone, Default)]
 pub struct TspSlot {

@@ -178,3 +178,83 @@ fn steady_state_fast_path_does_not_allocate() {
     // The work actually happened: TTL decremented, metadata written.
     assert_eq!(sw.pm.stats.emitted as u32, 32 + 256);
 }
+
+/// The sharded runtime's per-packet worker loop — `run_packet_parts`
+/// against a detached stats array, a worker-local Traffic Manager, and a
+/// cloned Storage Module, exactly the state `ipbm::sharded`'s workers own —
+/// must be as allocation-free as the single-core path. (Dispatch and
+/// barrier replies allocate per *batch*; this pins the per-*packet* cost.)
+#[test]
+fn shard_worker_inner_loop_does_not_allocate() {
+    use ipbm::fast::{compile, EvalScratch, SlotStatsMut};
+    use ipbm::pm::{PipelineStats, TrafficManager, TM_QUEUE_CAPACITY};
+    use ipbm::tsp::SlotStats;
+
+    let sw = l3_switch();
+    let compiled = compile(
+        &sw.pm.slots,
+        &sw.pm.selector,
+        &sw.pm.crossbar,
+        &sw.sm,
+        &sw.linkage,
+        0,
+    )
+    .expect("l3 design compiles");
+
+    // Worker-owned state, as published at an epoch barrier.
+    let mut sm = sw.sm.clone();
+    sm.reset_observability();
+    let mut stats = PipelineStats::default();
+    let mut slot_stats = vec![SlotStats::default(); sw.pm.slot_count()];
+    let mut tm = TrafficManager::new(8, TM_QUEUE_CAPACITY);
+    let mut scratch = EvalScratch::default();
+
+    let spec = Ipv4UdpSpec {
+        dst_ip: 0x0a010101,
+        ..Default::default()
+    };
+    for _ in 0..32 {
+        let out = compiled
+            .run_packet_parts(
+                &mut stats,
+                SlotStatsMut::Stats(&mut slot_stats),
+                &mut tm,
+                &sw.linkage,
+                &mut sm,
+                &mut scratch,
+                ipv4_udp_packet(&spec),
+            )
+            .unwrap();
+        assert!(out.is_some(), "warm-up packet must forward");
+    }
+
+    let batch: Vec<_> = (0..256).map(|_| ipv4_udp_packet(&spec)).collect();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let mut emitted = 0u32;
+    for pkt in batch {
+        if compiled
+            .run_packet_parts(
+                &mut stats,
+                SlotStatsMut::Stats(&mut slot_stats),
+                &mut tm,
+                &sw.linkage,
+                &mut sm,
+                &mut scratch,
+                pkt,
+            )
+            .unwrap()
+            .is_some()
+        {
+            emitted += 1;
+        }
+    }
+    let delta = ALLOCS.load(Ordering::Relaxed) - before;
+
+    assert_eq!(emitted, 256);
+    assert_eq!(
+        delta, 0,
+        "shard worker inner loop performed {delta} heap allocations over 256 packets"
+    );
+    assert_eq!(stats.emitted as u32, 32 + 256);
+    assert_eq!(slot_stats[0].packets as u32, 32 + 256);
+}
