@@ -44,6 +44,15 @@ pub enum ControllerError {
     Api(ApiError),
     /// Device rejected a message.
     Device(ipsa_core::error::CoreError),
+    /// Device rejected a batch mid-way and rolled it back transactionally:
+    /// the device's state is unchanged, so the controller's own view (table
+    /// shadow, installed program) is still in sync and needs no failback.
+    Rollback {
+        /// Index of the failing message within the batch.
+        index: usize,
+        /// The device error that aborted the batch.
+        cause: ipsa_core::error::CoreError,
+    },
     /// Referenced snippet file not available.
     MissingSource(String),
     /// Static analysis rejected an update plan (RP4105 etc.).
@@ -60,6 +69,11 @@ impl std::fmt::Display for ControllerError {
             ControllerError::Compile(e) => write!(f, "{e}"),
             ControllerError::Api(e) => write!(f, "{e}"),
             ControllerError::Device(e) => write!(f, "device error: {e}"),
+            ControllerError::Rollback { index, cause } => write!(
+                f,
+                "device rolled back the control batch: message {index} failed: {cause} \
+                 (device state unchanged)"
+            ),
             ControllerError::MissingSource(s) => write!(f, "snippet file `{s}` not provided"),
             ControllerError::Verify(diags) => {
                 writeln!(f, "{} unsafe plan message(s):", diags.len())?;
@@ -91,7 +105,13 @@ impl From<ApiError> for ControllerError {
 }
 impl From<ipsa_core::error::CoreError> for ControllerError {
     fn from(e: ipsa_core::error::CoreError) -> Self {
-        ControllerError::Device(e)
+        match e {
+            ipsa_core::error::CoreError::RolledBack { index, cause } => ControllerError::Rollback {
+                index,
+                cause: *cause,
+            },
+            other => ControllerError::Device(other),
+        }
     }
 }
 
@@ -466,5 +486,40 @@ impl<D: Device> P4Flow<D> {
     /// Number of entries the controller would replay on a reload.
     pub fn tracked_entries(&self) -> usize {
         self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipbm::{IpbmConfig, IpbmSwitch};
+    use ipsa_core::error::CoreError;
+
+    /// A mid-batch device failure is transactional on the device side, and
+    /// the controller surfaces it as the typed `Rollback` variant (state
+    /// unchanged — no failback needed) rather than a generic device error.
+    #[test]
+    fn device_rollback_surfaces_as_typed_controller_error() {
+        let mut dev = IpbmSwitch::new(IpbmConfig::default());
+        let err = dev
+            .apply(&[ControlMsg::Drain, ControlMsg::ClearSlot { slot: 999 }])
+            .unwrap_err();
+        let ce = ControllerError::from(err);
+        match &ce {
+            ControllerError::Rollback { index, .. } => assert_eq!(*index, 1),
+            other => panic!("expected Rollback, got {other}"),
+        }
+        assert!(
+            ce.to_string().contains("device state unchanged"),
+            "operators must see the no-failback-needed guarantee: {ce}"
+        );
+        assert!(
+            !dev.pm.draining,
+            "the Drain that preceded the failure rolled back"
+        );
+
+        // Errors with no rollback semantics still map to `Device`.
+        let plain = ControllerError::from(CoreError::Config("x".into()));
+        assert!(matches!(plain, ControllerError::Device(_)));
     }
 }

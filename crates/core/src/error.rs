@@ -68,6 +68,23 @@ pub enum CoreError {
     Unsupported(String),
     /// Generic configuration error with context.
     Config(String),
+    /// A control batch failed mid-application and the device rolled every
+    /// already-applied message back, leaving its state exactly as it was
+    /// before the batch (transactional apply).
+    RolledBack {
+        /// Index of the failing message within the batch.
+        index: usize,
+        /// The error that aborted the batch.
+        cause: Box<CoreError>,
+    },
+    /// A shard worker fault detected at an epoch barrier: the worker was
+    /// quarantined rather than crashing the process.
+    Shard {
+        /// Index of the faulted shard.
+        shard: usize,
+        /// What was detected (timeout, disconnect, protocol violation).
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -109,6 +126,14 @@ impl std::fmt::Display for CoreError {
             ),
             CoreError::Unsupported(d) => write!(f, "unsupported operation: {d}"),
             CoreError::Config(d) => write!(f, "configuration error: {d}"),
+            CoreError::RolledBack { index, cause } => write!(
+                f,
+                "control batch rolled back: message {index} failed: {cause} \
+                 (device state unchanged)"
+            ),
+            CoreError::Shard { shard, detail } => {
+                write!(f, "shard {shard} quarantined: {detail}")
+            }
         }
     }
 }

@@ -137,6 +137,31 @@ impl MemoryPool {
         self.blocks.get(id)
     }
 
+    /// Raw bytes of a block — the pre-image a transactional apply journals
+    /// before the first mutation touches the block.
+    pub fn block_data(&self, id: usize) -> Option<&[u8]> {
+        self.blocks.get(id).map(|b| b.data.as_slice())
+    }
+
+    /// Overwrites a block's raw bytes from a journaled pre-image. The byte
+    /// length must match the block's geometry (block shapes are fixed at
+    /// construction, so a mismatch means the snapshot is not this block's).
+    pub fn restore_block_data(&mut self, id: usize, bytes: &[u8]) -> Result<(), CoreError> {
+        let b = self
+            .blocks
+            .get_mut(id)
+            .ok_or_else(|| CoreError::Config(format!("restore of unknown block {id}")))?;
+        if b.data.len() != bytes.len() {
+            return Err(CoreError::Config(format!(
+                "block {id} restore: snapshot is {} bytes, block holds {}",
+                bytes.len(),
+                b.data.len()
+            )));
+        }
+        b.data.copy_from_slice(bytes);
+        Ok(())
+    }
+
     /// Ids of blocks owned by `owner`, ascending.
     pub fn owned_by(&self, owner: &str) -> Vec<usize> {
         self.blocks

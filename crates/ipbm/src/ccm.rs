@@ -12,6 +12,7 @@ use ipsa_core::timing::CostModel;
 use ipsa_netpkt::linkage::HeaderLinkage;
 
 use crate::pm::PipelineModule;
+use crate::resilience::{ApplyJournal, FaultPlan};
 use crate::sm::StorageModule;
 
 /// Applies one message functionally (no cost accounting).
@@ -111,10 +112,13 @@ fn apply_one(
     Ok(())
 }
 
-/// Applies a message batch, returning the cost report. Application is
-/// sequential; the first failing message aborts the batch with the device
-/// partially configured (the controller validates plans before shipping
-/// them, so this indicates a controller bug and is surfaced loudly).
+/// Applies a message batch transactionally, returning the cost report.
+///
+/// Application is sequential; before each message applies, its pre-image is
+/// journaled ([`ApplyJournal`]), so the first failing message rolls the
+/// PM/SM/linkage back to the batch's starting state and the batch reports
+/// [`CoreError::RolledBack`] — `Device::apply` is all-or-nothing, and a
+/// failed in-situ update can never strand the pipeline half-programmed.
 pub fn apply_msgs(
     pm: &mut PipelineModule,
     sm: &mut StorageModule,
@@ -122,12 +126,26 @@ pub fn apply_msgs(
     cost: &CostModel,
     msgs: &[ControlMsg],
 ) -> Result<ApplyReport, CoreError> {
+    apply_msgs_with_faults(pm, sm, linkage, cost, msgs, None)
+}
+
+/// [`apply_msgs`] with an optional fault plan: `fail_msg_at` fails the
+/// batch deterministically at that message index, exercising the rollback
+/// path at any batch position. Test-only surface — production callers pass
+/// no plan and take the plain `apply_msgs` wrapper.
+#[doc(hidden)]
+pub fn apply_msgs_with_faults(
+    pm: &mut PipelineModule,
+    sm: &mut StorageModule,
+    linkage: &mut HeaderLinkage,
+    cost: &CostModel,
+    msgs: &[ControlMsg],
+    faults: Option<&FaultPlan>,
+) -> Result<ApplyReport, CoreError> {
     let mut report = ApplyReport::default();
-    // Any control write opens a new epoch: the compiled fast path has
-    // names, table rows, and wiring pre-resolved, so it must be rebuilt.
-    pm.invalidate_compiled();
+    let mut journal = ApplyJournal::default();
     let mut in_drain = false;
-    for msg in msgs {
+    for (index, msg) in msgs.iter().enumerate() {
         // MigrateTable is the one message whose cost depends on device
         // state (every live row is copied); price it against the table as
         // it stands *before* this message applies.
@@ -155,8 +173,27 @@ pub fn apply_msgs(
         if matches!(msg, ControlMsg::AddEntry { .. }) {
             report.entries_written += 1;
         }
-        apply_one(pm, sm, linkage, msg)?;
+        let injected = faults.is_some_and(|f| f.fail_msg_at == Some(index));
+        let applied = if injected {
+            Err(CoreError::Config(format!(
+                "injected fault: control message {index} fails"
+            )))
+        } else {
+            journal.record(pm, sm, linkage, msg);
+            apply_one(pm, sm, linkage, msg)
+        };
+        if let Err(cause) = applied {
+            journal.rollback(pm, sm, linkage);
+            return Err(CoreError::RolledBack {
+                index,
+                cause: Box::new(cause),
+            });
+        }
     }
+    // Only a fully-applied batch opens a new control-plane epoch. A rolled-
+    // back batch leaves the device byte-identical to its checkpoint, so the
+    // compiled fast path stays valid and recompiling would be pure waste.
+    pm.invalidate_compiled();
     Ok(report)
 }
 
@@ -269,7 +306,126 @@ mod tests {
         let (mut pm, mut sm, mut linkage) = parts();
         let msgs = vec![ControlMsg::ClearSlot { slot: 99 }];
         let cost = CostModel::software();
-        assert!(apply_msgs(&mut pm, &mut sm, &mut linkage, &cost, &msgs).is_err());
+        let e = apply_msgs(&mut pm, &mut sm, &mut linkage, &cost, &msgs).unwrap_err();
+        assert!(
+            matches!(e, CoreError::RolledBack { index: 0, .. }),
+            "batch failures surface as rollbacks: {e}"
+        );
+    }
+
+    /// The transactional guarantee: a batch that mutates several components
+    /// and then fails leaves every one of them — and the control-plane
+    /// epoch — exactly as the batch found them.
+    #[test]
+    fn failed_batch_rolls_back_every_mutation() {
+        let (mut pm, mut sm, mut linkage) = parts();
+        let cost = CostModel::software();
+        apply_msgs(
+            &mut pm,
+            &mut sm,
+            &mut linkage,
+            &cost,
+            &[
+                ControlMsg::CreateTable {
+                    def: table_def(),
+                    blocks: vec![0],
+                },
+                ControlMsg::AddEntry {
+                    table: "t".into(),
+                    entry: TableEntry::exact(vec![1], ActionCall::no_action()),
+                },
+                ControlMsg::WriteTemplate {
+                    slot: 1,
+                    template: TspTemplate::passthrough("keep"),
+                },
+            ],
+        )
+        .unwrap();
+        let epoch = pm.epoch();
+        let template = pm.slots[1].template.clone();
+        let draining = pm.draining;
+        let rows = sm.table("t").unwrap().table.len();
+        let pool = serde_json::to_string(&sm.pool).unwrap();
+        let edges = linkage.edges();
+
+        let e = apply_msgs(
+            &mut pm,
+            &mut sm,
+            &mut linkage,
+            &cost,
+            &[
+                ControlMsg::Drain,
+                ControlMsg::WriteTemplate {
+                    slot: 1,
+                    template: TspTemplate::passthrough("clobber"),
+                },
+                ControlMsg::AddEntry {
+                    table: "t".into(),
+                    entry: TableEntry::exact(vec![2], ActionCall::no_action()),
+                },
+                ControlMsg::MigrateTable {
+                    table: "t".into(),
+                    blocks: vec![1],
+                },
+                ControlMsg::RegisterHeader(ipsa_netpkt::header::HeaderType::new(
+                    "probe",
+                    vec![ipsa_netpkt::header::FieldDef {
+                        name: "tag".into(),
+                        bits: 16,
+                    }],
+                )),
+                ControlMsg::UnregisterHeader("vlan".into()),
+                ControlMsg::ClearSlot { slot: 99 }, // fails here
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(e, CoreError::RolledBack { index: 6, .. }), "{e}");
+        assert_eq!(
+            pm.epoch(),
+            epoch,
+            "rolled-back batch must not open an epoch"
+        );
+        assert_eq!(pm.slots[1].template, template);
+        assert_eq!(pm.draining, draining);
+        assert_eq!(sm.table("t").unwrap().table.len(), rows);
+        assert_eq!(sm.pool.owned_by("t"), vec![0], "migration undone");
+        assert_eq!(
+            serde_json::to_string(&sm.pool).unwrap(),
+            pool,
+            "pool bytes and ownership byte-identical to the checkpoint"
+        );
+        assert_eq!(linkage.edges(), edges);
+        assert!(!linkage.iter().any(|h| h.name == "probe"));
+        assert!(linkage.iter().any(|h| h.name == "vlan"));
+    }
+
+    /// `fail_msg_at` makes the rollback path reachable at *any* index, and
+    /// the same batch succeeds once the plan is cleared — proving the
+    /// failure was purely injected.
+    #[test]
+    fn injected_fault_fails_exact_index_then_clean_batch_applies() {
+        let (mut pm, mut sm, mut linkage) = parts();
+        let cost = CostModel::software();
+        let msgs = vec![
+            ControlMsg::CreateTable {
+                def: table_def(),
+                blocks: vec![0],
+            },
+            ControlMsg::AddEntry {
+                table: "t".into(),
+                entry: TableEntry::exact(vec![1], ActionCall::no_action()),
+            },
+        ];
+        let plan = crate::resilience::FaultPlan {
+            fail_msg_at: Some(1),
+            ..Default::default()
+        };
+        let e = apply_msgs_with_faults(&mut pm, &mut sm, &mut linkage, &cost, &msgs, Some(&plan))
+            .unwrap_err();
+        assert!(matches!(e, CoreError::RolledBack { index: 1, .. }), "{e}");
+        assert!(sm.table_names().is_empty(), "CreateTable rolled back");
+        apply_msgs(&mut pm, &mut sm, &mut linkage, &cost, &msgs).unwrap();
+        assert_eq!(sm.table("t").unwrap().table.len(), 1);
     }
 
     #[test]

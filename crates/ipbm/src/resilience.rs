@@ -1,0 +1,370 @@
+//! Fault containment for the runtime: the transactional-apply journal, the
+//! shard supervisor's fault taxonomy, and a deterministic fault-injection
+//! plan for exercising every recovery path from tests.
+//!
+//! The paper's promise is *hitless* in-situ reprogramming — "the gap can be
+//! filled seamlessly without stopping the pipeline" (Sec. 4.3). That
+//! promise dies the moment a fault strands the device half-programmed or a
+//! wedged shard worker panics the whole process, so this module gives the
+//! runtime the two disciplines production switch OSes use at the
+//! control/data-plane boundary:
+//!
+//! * **Atomicity** — [`ApplyJournal`] records the pre-image of every
+//!   component a control message is about to mutate (lazily, at most once
+//!   per component per batch) and restores them in reverse order on a
+//!   mid-batch failure, making `Device::apply` all-or-nothing.
+//! * **Isolation** — [`ShardFault`]/[`SupervisorStats`] type the shard
+//!   supervisor's quarantine decisions, replacing the former process-wide
+//!   `panic!` on any worker hang or death.
+//!
+//! [`FaultPlan`] is the seeded-test surface that drives both: kill shard N
+//! at barrier K, delay a barrier reply, poison an epoch's compile, or fail
+//! the M-th control message of a batch.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use ipsa_core::action::ActionDef;
+use ipsa_core::control::ControlMsg;
+use ipsa_core::crossbar::Crossbar;
+use ipsa_core::error::CoreError;
+use ipsa_core::pipeline_cfg::SelectorConfig;
+use ipsa_core::template::TspTemplate;
+use ipsa_netpkt::linkage::HeaderLinkage;
+use serde::Serialize;
+
+use crate::pm::PipelineModule;
+use crate::sm::{StorageModule, TableStore};
+
+/// One journaled pre-image. Restores run in reverse capture order, so a
+/// whole-SM snapshot taken late in a batch (by a structural message) is
+/// rewound first, then earlier per-table snapshots rewind the entry edits
+/// that preceded it.
+enum UndoOp {
+    /// Template previously occupying a TSP slot.
+    Slot {
+        slot: usize,
+        prev: Option<TspTemplate>,
+    },
+    /// Selector configuration.
+    Selector(SelectorConfig),
+    /// Crossbar wiring.
+    Crossbar(Box<Crossbar>),
+    /// Drain flag.
+    Draining(bool),
+    /// Header registry and parse graph.
+    Linkage(Box<HeaderLinkage>),
+    /// Declared metadata fields.
+    Metadata(Vec<(String, usize)>),
+    /// One action-registry binding.
+    Action {
+        name: String,
+        prev: Option<ActionDef>,
+    },
+    /// One table: its software index plus the raw bytes of its backing
+    /// blocks (entry ops never change block *ownership*, only content).
+    Table {
+        idx: usize,
+        store: Box<TableStore>,
+        blocks: Vec<(usize, Vec<u8>)>,
+    },
+    /// The whole storage module, pool included — captured by structural
+    /// messages (create/destroy/migrate) whose block-ownership churn is not
+    /// worth journaling piecemeal.
+    SmWhole(Box<StorageModule>),
+}
+
+/// Pre-image journal for one control batch (transactional apply).
+///
+/// `record` is called once per message *before* it applies; each component
+/// is captured at most once per batch — the first capture already holds the
+/// batch-relative starting state, and later mutations of the same component
+/// must roll back to that same point.
+#[derive(Default)]
+pub(crate) struct ApplyJournal {
+    ops: Vec<UndoOp>,
+    slots: HashSet<usize>,
+    selector: bool,
+    crossbar: bool,
+    draining: bool,
+    linkage: bool,
+    metadata: bool,
+    actions: HashSet<String>,
+    tables: HashSet<String>,
+    sm_whole: bool,
+}
+
+impl ApplyJournal {
+    fn capture_slot(&mut self, pm: &PipelineModule, slot: usize) {
+        if !self.slots.insert(slot) {
+            return;
+        }
+        if let Some(s) = pm.slots.get(slot) {
+            self.ops.push(UndoOp::Slot {
+                slot,
+                prev: s.template.clone(),
+            });
+        }
+    }
+
+    fn capture_selector(&mut self, pm: &PipelineModule) {
+        if !self.selector {
+            self.selector = true;
+            self.ops.push(UndoOp::Selector(pm.selector.clone()));
+        }
+    }
+
+    fn capture_crossbar(&mut self, pm: &PipelineModule) {
+        if !self.crossbar {
+            self.crossbar = true;
+            self.ops
+                .push(UndoOp::Crossbar(Box::new(pm.crossbar.clone())));
+        }
+    }
+
+    fn capture_draining(&mut self, pm: &PipelineModule) {
+        if !self.draining {
+            self.draining = true;
+            self.ops.push(UndoOp::Draining(pm.draining));
+        }
+    }
+
+    fn capture_linkage(&mut self, linkage: &HeaderLinkage) {
+        if !self.linkage {
+            self.linkage = true;
+            self.ops.push(UndoOp::Linkage(Box::new(linkage.clone())));
+        }
+    }
+
+    fn capture_metadata(&mut self, sm: &StorageModule) {
+        if self.sm_whole || self.metadata {
+            return;
+        }
+        self.metadata = true;
+        self.ops.push(UndoOp::Metadata(sm.metadata.clone()));
+    }
+
+    fn capture_action(&mut self, sm: &StorageModule, name: &str) {
+        if self.sm_whole || !self.actions.insert(name.to_string()) {
+            return;
+        }
+        self.ops.push(UndoOp::Action {
+            name: name.to_string(),
+            prev: sm.actions.get(name).cloned(),
+        });
+    }
+
+    fn capture_table(&mut self, sm: &StorageModule, name: &str) {
+        if self.sm_whole || !self.tables.insert(name.to_string()) {
+            return;
+        }
+        let (Some(idx), Some(store)) = (sm.table_idx(name), sm.table(name)) else {
+            // Unknown table: the message will fail without mutating.
+            return;
+        };
+        let blocks = store
+            .map
+            .block_ids
+            .iter()
+            .map(|&b| (b, sm.pool.block_data(b).unwrap_or_default().to_vec()))
+            .collect();
+        self.ops.push(UndoOp::Table {
+            idx,
+            store: Box::new(store.clone()),
+            blocks,
+        });
+    }
+
+    fn capture_sm_whole(&mut self, sm: &StorageModule) {
+        if !self.sm_whole {
+            self.sm_whole = true;
+            self.ops.push(UndoOp::SmWhole(Box::new(sm.clone())));
+        }
+    }
+
+    /// Journals the pre-image of everything `msg` may mutate. Must run
+    /// immediately before the message applies.
+    pub(crate) fn record(
+        &mut self,
+        pm: &PipelineModule,
+        sm: &StorageModule,
+        linkage: &HeaderLinkage,
+        msg: &ControlMsg,
+    ) {
+        match msg {
+            ControlMsg::Drain | ControlMsg::Resume => self.capture_draining(pm),
+            ControlMsg::WriteTemplate { slot, .. } | ControlMsg::ClearSlot { slot } => {
+                self.capture_slot(pm, *slot);
+            }
+            ControlMsg::SetSelector(_) => self.capture_selector(pm),
+            ControlMsg::ConnectCrossbar { .. } => self.capture_crossbar(pm),
+            ControlMsg::RegisterHeader(_)
+            | ControlMsg::SetFirstHeader(_)
+            | ControlMsg::UnregisterHeader(_)
+            | ControlMsg::LinkHeader { .. }
+            | ControlMsg::UnlinkHeader { .. } => self.capture_linkage(linkage),
+            ControlMsg::DefineAction(def) => self.capture_action(sm, &def.name),
+            ControlMsg::RemoveAction(name) => self.capture_action(sm, name),
+            ControlMsg::DefineMetadata(_) => self.capture_metadata(sm),
+            ControlMsg::CreateTable { .. }
+            | ControlMsg::DestroyTable(_)
+            | ControlMsg::MigrateTable { .. } => self.capture_sm_whole(sm),
+            ControlMsg::AddEntry { table, .. }
+            | ControlMsg::DelEntry { table, .. }
+            | ControlMsg::SetDefaultAction { table, .. } => self.capture_table(sm, table),
+            ControlMsg::LoadFullDesign(_) => {
+                // A whole-design swap touches everything.
+                for slot in 0..pm.slot_count() {
+                    self.capture_slot(pm, slot);
+                }
+                self.capture_selector(pm);
+                self.capture_crossbar(pm);
+                self.capture_draining(pm);
+                self.capture_linkage(linkage);
+                self.capture_sm_whole(sm);
+            }
+        }
+    }
+
+    /// Restores every captured pre-image, newest first, returning the
+    /// PM/SM/linkage to the batch's starting state.
+    pub(crate) fn rollback(
+        self,
+        pm: &mut PipelineModule,
+        sm: &mut StorageModule,
+        linkage: &mut HeaderLinkage,
+    ) {
+        for op in self.ops.into_iter().rev() {
+            match op {
+                UndoOp::Slot { slot, prev } => {
+                    if let Some(s) = pm.slots.get_mut(slot) {
+                        s.template = prev;
+                    }
+                }
+                UndoOp::Selector(prev) => pm.selector = prev,
+                UndoOp::Crossbar(prev) => pm.crossbar = *prev,
+                UndoOp::Draining(prev) => pm.draining = prev,
+                UndoOp::Linkage(prev) => *linkage = *prev,
+                UndoOp::Metadata(prev) => sm.metadata = prev,
+                UndoOp::Action { name, prev } => match prev {
+                    Some(def) => {
+                        sm.actions.insert(name, def);
+                    }
+                    None => {
+                        sm.actions.remove(&name);
+                    }
+                },
+                UndoOp::Table { idx, store, blocks } => {
+                    sm.restore_table_checkpoint(idx, *store, &blocks);
+                }
+                UndoOp::SmWhole(prev) => *sm = *prev,
+            }
+        }
+    }
+}
+
+/// What the supervisor detected about a shard worker at a barrier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardFaultKind {
+    /// The worker's channel disconnected: its thread died.
+    Disconnected,
+    /// No barrier reply arrived within the drain timeout: the worker is
+    /// wedged (or dead without closing its channel yet).
+    DrainTimeout(Duration),
+    /// The worker reported a protocol violation it survived locally.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ShardFaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardFaultKind::Disconnected => write!(f, "worker channel disconnected"),
+            ShardFaultKind::DrainTimeout(t) => {
+                write!(f, "no barrier reply within {t:?} (worker wedged)")
+            }
+            ShardFaultKind::Protocol(d) => write!(f, "protocol violation: {d}"),
+        }
+    }
+}
+
+/// A quarantined shard worker: which shard and what the supervisor saw.
+///
+/// These replace the former process-wide panics — the supervisor records
+/// the fault, rehashes the shard's RSS bucket across survivors, and
+/// respawns a replacement at the next epoch publish.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFault {
+    /// Index of the faulted shard.
+    pub shard: usize,
+    /// What was detected.
+    pub kind: ShardFaultKind,
+}
+
+impl ShardFault {
+    /// The typed error form, for surfaces that propagate `CoreError`.
+    pub fn to_error(&self) -> CoreError {
+        CoreError::Shard {
+            shard: self.shard,
+            detail: self.kind.to_string(),
+        }
+    }
+}
+
+/// Cumulative supervisor counters (observability for the recovery paths).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct SupervisorStats {
+    /// Workers quarantined (timeout, disconnect, or protocol fault).
+    pub quarantined: u64,
+    /// Replacement workers spawned at epoch publishes.
+    pub respawned: u64,
+    /// Packets charged to dead workers (dispatched but never returned, or
+    /// declared lost by the worker itself).
+    pub lost_packets: u64,
+    /// Batches the master interpreter carried because no shard was live.
+    pub degraded_batches: u64,
+    /// Barrier replies discarded because their worker generation was stale
+    /// (a quarantined worker answering late must not double-count).
+    pub stale_replies: u64,
+}
+
+/// Deterministic fault-injection plan, threaded through [`crate::ShardedSwitch`]
+/// and `ccm::apply_msgs` behind this test-only surface (the shipped binary
+/// never constructs one — same pattern as `rp4c`'s lowering fault hooks).
+/// Kept out of rustdoc: not a public API, but always compiled so
+/// integration tests in other crates can drive every recovery path with
+/// seeded, reproducible schedules.
+#[doc(hidden)]
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Kill shard N when it serves barrier K: the worker exits without
+    /// replying, exactly like a crash mid-collect.
+    pub kill_at_barrier: Vec<(usize, u64)>,
+    /// Delay shard N's barrier-K reply by the given duration (drives the
+    /// drain-timeout + stale-reply discard paths).
+    pub delay_reply: Vec<(usize, u64, Duration)>,
+    /// Skip respawning quarantined workers for the next N epoch publishes,
+    /// holding the switch degraded long enough for tests to observe
+    /// rehashed dispatch (and, with no survivors, interpreter fallback).
+    pub defer_respawns: u64,
+    /// Fail compilation of exactly this control-plane epoch, forcing the
+    /// same interpreter fallback a genuinely uncompilable program takes.
+    pub poison_compile_at_epoch: Option<u64>,
+    /// Fail the M-th message (0-based) of every control batch, exercising
+    /// the transactional rollback at an arbitrary batch position.
+    pub fail_msg_at: Option<usize>,
+}
+
+impl FaultPlan {
+    /// Should `shard` be killed when serving `barrier`?
+    pub fn kill_directive(&self, shard: usize, barrier: u64) -> bool {
+        self.kill_at_barrier.contains(&(shard, barrier))
+    }
+
+    /// Reply delay for `shard` at `barrier`, if any.
+    pub fn delay_directive(&self, shard: usize, barrier: u64) -> Option<Duration> {
+        self.delay_reply
+            .iter()
+            .find(|(s, b, _)| *s == shard && *b == barrier)
+            .map(|(_, _, d)| *d)
+    }
+}

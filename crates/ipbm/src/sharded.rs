@@ -31,6 +31,16 @@
 //! state and the aggregation target for every statistic, so `report()` and
 //! the differential observability checks read one coherent view: the merged
 //! stats of N shards equal the 1-shard (and interpreter) result.
+//!
+//! * **Supervision** — a worker that misses the drain timeout, whose
+//!   channel disconnects, or that reports a protocol fault is *quarantined*
+//!   (typed [`ShardFault`], never a process panic): its sender is dropped,
+//!   its reply generation is retired so late answers are discarded, and its
+//!   RSS bucket rehashes deterministically across the survivors (per-flow
+//!   order holds — a flow still maps to exactly one shard). A replacement
+//!   worker respawns at the next epoch publish; if every shard is lost the
+//!   master interpreter carries the traffic, the same degradation the fast
+//!   path already uses for a failed compile.
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -45,6 +55,7 @@ use ipsa_netpkt::packet::Packet;
 
 use crate::fast::{self, CompiledPath, EvalScratch, SlotStatsMut};
 use crate::pm::{PipelineStats, TmStats, TrafficManager, TM_QUEUE_CAPACITY};
+use crate::resilience::{FaultPlan, ShardFault, ShardFaultKind, SupervisorStats};
 use crate::sm::StorageModule;
 use crate::switch::{IpbmConfig, IpbmSwitch, SwitchReport};
 use crate::tsp::SlotStats;
@@ -68,7 +79,14 @@ struct ShardEpoch {
 enum ToShard {
     Publish(Box<ShardEpoch>),
     Batch(Vec<Packet>),
-    Collect,
+    /// Barrier collect, carrying this barrier's fault directives for the
+    /// worker (an injected crash or a delayed reply). The master never
+    /// *uses* its knowledge of an injected kill — it must detect the death
+    /// through the same timeout path a real crash would take.
+    Collect {
+        kill: bool,
+        delay: Option<Duration>,
+    },
     Shutdown,
 }
 
@@ -86,6 +104,9 @@ struct TableDelta {
 /// every statistic accumulated since the previous collect, as deltas.
 struct ShardReply {
     shard: usize,
+    /// Worker incarnation: replies from a retired (quarantined) generation
+    /// are discarded, so a delayed answer can never double-count.
+    gen: u64,
     out: Vec<Packet>,
     stats: PipelineStats,
     tm: TmStats,
@@ -95,11 +116,26 @@ struct ShardReply {
     /// Nanoseconds this shard spent processing packets (for the scaling
     /// bench's critical-path aggregate throughput).
     busy_ns: u64,
+    /// Packets the worker itself declared lost (protocol violations).
+    lost: u64,
+    /// A protocol fault the worker survived locally; the supervisor
+    /// quarantines it after folding this reply.
+    fault: Option<String>,
 }
 
 struct Worker {
-    tx: Sender<ToShard>,
+    /// None once quarantined: dropping the sender closes the channel, which
+    /// is what tells a surviving-but-wedged worker to exit.
+    tx: Option<Sender<ToShard>>,
+    /// None once quarantined (detached — joining a wedged thread would
+    /// hang the supervisor on exactly the fault it just contained).
     handle: Option<JoinHandle<()>>,
+    /// Incarnation number, bumped at quarantine.
+    gen: u64,
+    alive: bool,
+    /// Packets dispatched since the last folded barrier reply — charged to
+    /// `lost_packets` if the worker dies before replying.
+    inflight: u64,
 }
 
 /// The sharded IPSA runtime: an [`IpbmSwitch`] master plus N shard workers.
@@ -110,7 +146,11 @@ pub struct ShardedSwitch {
     pub master: IpbmSwitch,
     workers: Vec<Worker>,
     reply_rx: Receiver<ShardReply>,
+    /// Kept for respawning replacement workers.
+    reply_tx: Sender<ShardReply>,
     shards: usize,
+    ports: usize,
+    slots: usize,
     drain_timeout: Duration,
     /// Master state changed since the last publication.
     dirty: bool,
@@ -119,6 +159,16 @@ pub struct ShardedSwitch {
     fallback: bool,
     /// Cumulative per-shard busy time, ns.
     busy_ns: Vec<u64>,
+    /// Barriers served so far (the `K` coordinate of fault directives).
+    barrier: u64,
+    /// Test-only fault-injection plan (default: inert).
+    faults: FaultPlan,
+    /// Epoch publishes left to skip respawning (fault injection).
+    defer_respawns: u64,
+    /// Cumulative supervision counters.
+    supervisor: SupervisorStats,
+    /// Typed quarantine log, drained by [`ShardedSwitch::take_shard_faults`].
+    faults_log: Vec<ShardFault>,
     name: String,
 }
 
@@ -126,10 +176,57 @@ impl std::fmt::Debug for ShardedSwitch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedSwitch")
             .field("shards", &self.shards)
+            .field("live", &self.live_shards())
             .field("dirty", &self.dirty)
             .field("fallback", &self.fallback)
             .finish_non_exhaustive()
     }
+}
+
+/// Spawns one shard worker. A spawn failure (resource exhaustion) yields a
+/// dead-at-birth worker the supervisor retries at the next publish instead
+/// of panicking.
+fn spawn_worker(
+    shard: usize,
+    gen: u64,
+    ports: usize,
+    slots: usize,
+    reply: Sender<ShardReply>,
+) -> Worker {
+    let (tx, rx) = unbounded::<ToShard>();
+    match std::thread::Builder::new()
+        .name(format!("ipbm-shard-{shard}"))
+        .spawn(move || worker_loop(shard, gen, ports, slots, &rx, &reply))
+    {
+        Ok(handle) => Worker {
+            tx: Some(tx),
+            handle: Some(handle),
+            gen,
+            alive: true,
+            inflight: 0,
+        },
+        Err(_) => Worker {
+            tx: None,
+            handle: None,
+            gen,
+            alive: false,
+            inflight: 0,
+        },
+    }
+}
+
+/// RSS dispatch over the live shard list: `flow_hash % live.len()` indexes
+/// into the survivors, so with every shard healthy this is the classic
+/// `flow_hash % shards`, and after a quarantine flows rehash
+/// deterministically across the remainder. Per-flow order is preserved in
+/// both regimes — a flow maps to exactly one shard, whose channel is FIFO.
+fn bucket_packets(pkts: Vec<Packet>, live: &[usize]) -> Vec<(usize, Vec<Packet>)> {
+    let mut buckets: Vec<Vec<Packet>> = (0..live.len()).map(|_| Vec::new()).collect();
+    for pkt in pkts {
+        let b = (flow_hash(&pkt.data) % live.len() as u64) as usize;
+        buckets[b].push(pkt);
+    }
+    live.iter().copied().zip(buckets).collect()
 }
 
 impl ShardedSwitch {
@@ -141,35 +238,71 @@ impl ShardedSwitch {
         let master = IpbmSwitch::new(cfg);
         let (reply_tx, reply_rx) = unbounded::<ShardReply>();
         let workers = (0..shards)
-            .map(|shard| {
-                let (tx, rx) = unbounded::<ToShard>();
-                let reply = reply_tx.clone();
-                let handle = std::thread::Builder::new()
-                    .name(format!("ipbm-shard-{shard}"))
-                    .spawn(move || worker_loop(shard, ports, slots, &rx, &reply))
-                    .expect("shard worker spawns");
-                Worker {
-                    tx,
-                    handle: Some(handle),
-                }
-            })
+            .map(|shard| spawn_worker(shard, 0, ports, slots, reply_tx.clone()))
             .collect();
         ShardedSwitch {
             master,
             workers,
             reply_rx,
+            reply_tx,
             shards,
+            ports,
+            slots,
             drain_timeout: DEFAULT_DRAIN_TIMEOUT,
             dirty: true,
             fallback: false,
             busy_ns: vec![0; shards],
+            barrier: 0,
+            faults: FaultPlan::default(),
+            defer_respawns: 0,
+            supervisor: SupervisorStats::default(),
+            faults_log: Vec::new(),
             name: format!("ipbm-sharded-{shards}"),
         }
     }
 
-    /// Number of shard workers.
+    /// Number of shard workers (the configured count, quarantined or not).
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// Number of live (non-quarantined) shard workers.
+    pub fn live_shards(&self) -> usize {
+        self.workers.iter().filter(|w| w.alive).count()
+    }
+
+    /// Shard ids currently live, ascending.
+    fn live_ids(&self) -> Vec<usize> {
+        (0..self.shards)
+            .filter(|&s| self.workers[s].alive)
+            .collect()
+    }
+
+    /// Cumulative supervision counters.
+    pub fn supervisor_stats(&self) -> SupervisorStats {
+        self.supervisor
+    }
+
+    /// Epoch barriers served so far. The next quiesce is barrier
+    /// `barriers() + 1` — the `K` a fault directive targets.
+    pub fn barriers(&self) -> u64 {
+        self.barrier
+    }
+
+    /// Drains the typed quarantine log (each entry one [`ShardFault`]).
+    pub fn take_shard_faults(&mut self) -> Vec<ShardFault> {
+        std::mem::take(&mut self.faults_log)
+    }
+
+    /// Installs a deterministic fault-injection plan (test-only surface):
+    /// shard-kill/delay directives act at barriers, compile poisoning at
+    /// epoch publishes, and `fail_msg_at` is forwarded to the master's
+    /// transactional apply.
+    #[doc(hidden)]
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.defer_respawns = plan.defer_respawns;
+        self.master.set_fault_plan(plan.clone());
+        self.faults = plan;
     }
 
     /// Overrides the barrier timeout (bounded drain).
@@ -202,76 +335,215 @@ impl ShardedSwitch {
         self.master.report()
     }
 
+    /// Quarantines a shard worker: retire its reply generation (late
+    /// answers become stale), drop its sender (a surviving-but-wedged
+    /// worker exits once the channel closes), detach its thread handle
+    /// (joining a wedged thread would hang the supervisor on the very fault
+    /// it just contained), and charge its in-flight packets as lost. The
+    /// next epoch publish respawns a replacement.
+    fn quarantine(&mut self, shard: usize, kind: ShardFaultKind) {
+        let Some(w) = self.workers.get_mut(shard) else {
+            return;
+        };
+        if !w.alive {
+            return;
+        }
+        w.alive = false;
+        w.gen += 1;
+        w.tx = None;
+        drop(w.handle.take());
+        let lost = std::mem::take(&mut w.inflight);
+        self.supervisor.lost_packets += lost;
+        self.supervisor.quarantined += 1;
+        self.dirty = true; // next batch republishes (and respawns)
+        self.faults_log.push(ShardFault { shard, kind });
+    }
+
+    /// Respawns replacement workers for every quarantined shard, unless an
+    /// injected deferral is holding the switch degraded.
+    fn respawn_dead(&mut self) {
+        if self.workers.iter().all(|w| w.alive) {
+            return;
+        }
+        if self.defer_respawns > 0 {
+            self.defer_respawns -= 1;
+            return;
+        }
+        for shard in 0..self.shards {
+            if self.workers[shard].alive {
+                continue;
+            }
+            let gen = self.workers[shard].gen;
+            self.workers[shard] =
+                spawn_worker(shard, gen, self.ports, self.slots, self.reply_tx.clone());
+            if self.workers[shard].alive {
+                self.supervisor.respawned += 1;
+            }
+        }
+    }
+
     /// Recompiles the master's current epoch and publishes it to every
-    /// shard. On compile failure the master interpreter takes over until a
-    /// later epoch compiles (the single-core switch falls back the same
-    /// way), so a broken program degrades throughput, not correctness.
+    /// live shard, respawning quarantined workers first (recovery happens
+    /// at the epoch publish, so a killed shard is back within two epochs).
+    /// On compile failure the master interpreter takes over until a later
+    /// epoch compiles (the single-core switch falls back the same way), so
+    /// a broken program degrades throughput, not correctness.
     fn republish(&mut self) {
+        self.respawn_dead();
         let pm = &self.master.pm;
-        match fast::compile(
-            &pm.slots,
-            &pm.selector,
-            &pm.crossbar,
-            &self.master.sm,
-            &self.master.linkage,
-            pm.epoch(),
-        ) {
-            Ok(cp) => {
+        let poisoned = self.faults.poison_compile_at_epoch == Some(pm.epoch());
+        let compiled = if poisoned {
+            None
+        } else {
+            fast::compile(
+                &pm.slots,
+                &pm.selector,
+                &pm.crossbar,
+                &self.master.sm,
+                &self.master.linkage,
+                pm.epoch(),
+            )
+            .ok()
+        };
+        match compiled {
+            Some(cp) => {
                 let compiled = Arc::new(cp);
                 let linkage = Arc::new(self.master.linkage.clone());
-                for w in &self.workers {
+                let mut dead: Vec<usize> = Vec::new();
+                for shard in 0..self.shards {
+                    let Some(tx) = self.workers[shard].tx.as_ref() else {
+                        continue;
+                    };
                     let mut sm = self.master.sm.clone();
                     sm.reset_observability();
-                    w.tx.send(ToShard::Publish(Box::new(ShardEpoch {
+                    let ep = ShardEpoch {
                         compiled: Arc::clone(&compiled),
                         linkage: Arc::clone(&linkage),
                         sm,
-                    })))
-                    .unwrap_or_else(|_| panic!("shard worker hung up"));
+                    };
+                    if tx.send(ToShard::Publish(Box::new(ep))).is_err() {
+                        dead.push(shard);
+                    }
                 }
-                self.dirty = false;
+                for shard in dead {
+                    self.quarantine(shard, ShardFaultKind::Disconnected);
+                }
                 self.fallback = false;
+                // Stay dirty while any shard is missing so the next batch
+                // retries the respawn; clean once at full strength.
+                self.dirty = self.workers.iter().any(|w| !w.alive);
             }
-            Err(_) => {
+            None => {
                 self.fallback = true;
             }
         }
     }
 
-    /// The epoch barrier's drain half: ask every shard for its pending
-    /// output and stat deltas, wait (bounded) for all replies, fold them
-    /// into the master in shard order. Because each worker processes its
-    /// channel FIFO and batches synchronously, a returned `Collect` proves
-    /// the shard has finished every packet dispatched before it.
+    /// The epoch barrier's drain half over every live shard.
     fn quiesce(&mut self) {
-        for w in &self.workers {
-            w.tx.send(ToShard::Collect)
-                .unwrap_or_else(|_| panic!("shard worker hung up"));
+        let targets = self.live_ids();
+        self.collect_from(&targets);
+    }
+
+    /// One barrier round over `targets`: ask each for its pending output
+    /// and stat deltas, wait (bounded) for the replies, fold them in shard
+    /// order. Because each worker processes its channel FIFO and batches
+    /// synchronously, a returned `Collect` proves the shard has finished
+    /// every packet dispatched before it. A shard that disconnects, misses
+    /// the deadline, or reports a protocol fault is quarantined — never a
+    /// process panic.
+    fn collect_from(&mut self, targets: &[usize]) {
+        if targets.is_empty() {
+            return;
         }
-        let mut replies: Vec<Option<ShardReply>> = (0..self.shards).map(|_| None).collect();
-        for _ in 0..self.shards {
-            match self.reply_rx.recv_timeout(self.drain_timeout) {
-                Ok(r) => {
-                    let shard = r.shard;
-                    replies[shard] = Some(r);
-                }
-                Err(e) => panic!(
-                    "shard quiesce: no reply within {:?} ({e}); a worker is wedged",
-                    self.drain_timeout
-                ),
+        self.barrier += 1;
+        let barrier = self.barrier;
+        let mut expected: Vec<usize> = Vec::new();
+        for &shard in targets {
+            let kill = self.faults.kill_directive(shard, barrier);
+            let delay = self.faults.delay_directive(shard, barrier);
+            let sent = self.workers[shard]
+                .tx
+                .as_ref()
+                .is_some_and(|tx| tx.send(ToShard::Collect { kill, delay }).is_ok());
+            if sent {
+                expected.push(shard);
+            } else {
+                self.quarantine(shard, ShardFaultKind::Disconnected);
             }
         }
-        for r in replies.into_iter().flatten() {
-            self.fold(r);
+        let deadline = Instant::now() + self.drain_timeout;
+        let mut replies: Vec<Option<ShardReply>> = (0..self.shards).map(|_| None).collect();
+        let mut awaiting = expected.len();
+        while awaiting > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match self.reply_rx.recv_timeout(deadline - now) {
+                Ok(r) => {
+                    let fresh = expected.contains(&r.shard)
+                        && self
+                            .workers
+                            .get(r.shard)
+                            .is_some_and(|w| w.alive && w.gen == r.gen)
+                        && replies[r.shard].is_none();
+                    if fresh {
+                        let shard = r.shard;
+                        replies[shard] = Some(r);
+                        awaiting -= 1;
+                    } else {
+                        // A retired generation answering late (or twice):
+                        // discard, or its packets would double-count.
+                        self.supervisor.stale_replies += 1;
+                    }
+                }
+                Err(_) => break, // deadline passed mid-wait
+            }
+        }
+        for &shard in &expected {
+            match replies[shard].take() {
+                Some(r) => {
+                    let fault = r.fault.clone();
+                    self.fold(r);
+                    if let Some(detail) = fault {
+                        self.quarantine(shard, ShardFaultKind::Protocol(detail));
+                    }
+                }
+                None => self.quarantine(shard, ShardFaultKind::DrainTimeout(self.drain_timeout)),
+            }
+        }
+    }
+
+    /// Sends one RSS bucket to a shard, tracking it as in-flight. If the
+    /// worker's channel is gone the shard is quarantined and the bucket is
+    /// handed back intact for rehashing.
+    fn dispatch(&mut self, shard: usize, bucket: Vec<Packet>) -> Result<(), Vec<Packet>> {
+        let n = bucket.len() as u64;
+        let Some(tx) = self.workers.get(shard).and_then(|w| w.tx.clone()) else {
+            self.quarantine(shard, ShardFaultKind::Disconnected);
+            return Err(bucket);
+        };
+        match tx.send(ToShard::Batch(bucket)) {
+            Ok(()) => {
+                self.workers[shard].inflight += n;
+                Ok(())
+            }
+            Err(e) => {
+                self.quarantine(shard, ShardFaultKind::Disconnected);
+                match e.0 {
+                    ToShard::Batch(b) => Err(b),
+                    _ => unreachable!("dispatch sends Batch"),
+                }
+            }
         }
     }
 
     /// The common front half of a sharded batch: handles the draining and
     /// interpreter-fallback cases (`Err` carries their finished output) or
-    /// returns the per-shard RSS buckets to dispatch. Per-flow order is
-    /// preserved because buckets are FIFO and a flow maps to one shard.
+    /// returns `(shard, bucket)` RSS assignments over the live shards.
     #[allow(clippy::result_large_err)]
-    fn pre_batch(&mut self) -> Result<Vec<Vec<Packet>>, Vec<Packet>> {
+    fn pre_batch(&mut self) -> Result<Vec<(usize, Vec<Packet>)>, Vec<Packet>> {
         if self.master.pm.draining {
             return Err(self.master.cm.collect_tx());
         }
@@ -282,12 +554,56 @@ impl ShardedSwitch {
             self.dirty = true; // master counters advance under the interpreter
             return Err(self.master.run());
         }
-        let mut buckets: Vec<Vec<Packet>> = (0..self.shards).map(|_| Vec::new()).collect();
-        while let Some(pkt) = self.master.cm.next_rx() {
-            let shard = (flow_hash(&pkt.data) % self.shards as u64) as usize;
-            buckets[shard].push(pkt);
+        let live = self.live_ids();
+        if live.is_empty() {
+            // Every worker is lost and respawn deferred (or failing): the
+            // master interpreter degrades gracefully, exactly as it does
+            // for an epoch that will not compile.
+            self.supervisor.degraded_batches += 1;
+            self.dirty = true;
+            return Err(self.master.run());
         }
-        Ok(buckets)
+        let mut pkts = Vec::new();
+        while let Some(pkt) = self.master.cm.next_rx() {
+            pkts.push(pkt);
+        }
+        Ok(bucket_packets(pkts, &live))
+    }
+
+    /// Completes a batch after its initial dispatch: buckets bounced by a
+    /// dead worker rehash across the survivors (the whole bucket moves
+    /// before any of its packets run, so per-flow order holds), the barrier
+    /// folds every live shard, and — only if no shard survived — the master
+    /// interpreter carries the remainder.
+    fn finish_batch(&mut self, mut leftover: Vec<Packet>) -> Vec<Packet> {
+        while !leftover.is_empty() {
+            let live = self.live_ids();
+            if live.is_empty() {
+                break;
+            }
+            let work = bucket_packets(std::mem::take(&mut leftover), &live);
+            for (shard, bucket) in work {
+                if bucket.is_empty() {
+                    continue;
+                }
+                if let Err(mut b) = self.dispatch(shard, bucket) {
+                    leftover.append(&mut b);
+                }
+            }
+        }
+        self.quiesce();
+        if leftover.is_empty() {
+            self.master.cm.collect_tx()
+        } else {
+            self.supervisor.degraded_batches += 1;
+            self.dirty = true;
+            let mut out = self.master.cm.collect_tx();
+            for p in leftover {
+                self.master.cm.inject(p);
+            }
+            out.extend(self.master.run());
+            out
+        }
     }
 
     /// [`Device::run_batch`], but shards process one at a time instead of
@@ -299,27 +615,18 @@ impl ShardedSwitch {
     /// wall-clock readings would charge each shard for its neighbors.
     pub fn run_batch_sequential(&mut self) -> Vec<Packet> {
         match self.pre_batch() {
-            Ok(buckets) => {
-                for (shard, bucket) in buckets.into_iter().enumerate() {
-                    let w = &self.workers[shard];
-                    if !bucket.is_empty() {
-                        w.tx.send(ToShard::Batch(bucket))
-                            .unwrap_or_else(|_| panic!("shard worker hung up"));
+            Ok(work) => {
+                let mut leftover: Vec<Packet> = Vec::new();
+                for (shard, bucket) in work {
+                    if bucket.is_empty() {
+                        continue;
                     }
-                    w.tx.send(ToShard::Collect)
-                        .unwrap_or_else(|_| panic!("shard worker hung up"));
-                    match self.reply_rx.recv_timeout(self.drain_timeout) {
-                        Ok(r) => {
-                            debug_assert_eq!(r.shard, shard, "serial barrier");
-                            self.fold(r);
-                        }
-                        Err(e) => panic!(
-                            "shard {shard}: no reply within {:?} ({e}); worker is wedged",
-                            self.drain_timeout
-                        ),
+                    match self.dispatch(shard, bucket) {
+                        Ok(()) => self.collect_from(&[shard]),
+                        Err(mut b) => leftover.append(&mut b),
                     }
                 }
-                self.master.cm.collect_tx()
+                self.finish_batch(leftover)
             }
             Err(handled) => handled,
         }
@@ -354,6 +661,11 @@ impl ShardedSwitch {
             }
         }
         self.busy_ns[r.shard] += r.busy_ns;
+        if let Some(w) = self.workers.get_mut(r.shard) {
+            // Everything dispatched before this reply is accounted for.
+            w.inflight = 0;
+        }
+        self.supervisor.lost_packets += r.lost;
         for pkt in r.out {
             self.master.cm.transmit(pkt);
         }
@@ -369,6 +681,11 @@ impl Device for ShardedSwitch {
         // Epoch barrier: drain the shards, apply the batch exactly once
         // against the master, and leave republication to the next batch of
         // traffic (several control batches coalesce into one compile).
+        //
+        // A failed apply is transactional (`CoreError::RolledBack`): the
+        // master's state is byte-identical to before the batch and its
+        // epoch did not advance, so the `?` below must not mark the switch
+        // dirty — the shards' published epoch is still exactly right.
         self.quiesce();
         let report = self.master.apply(msgs)?;
         self.dirty = true;
@@ -390,18 +707,20 @@ impl Device for ShardedSwitch {
 
     fn run_batch(&mut self) -> Vec<Packet> {
         match self.pre_batch() {
-            Ok(buckets) => {
-                for (w, bucket) in self.workers.iter().zip(buckets) {
-                    if !bucket.is_empty() {
-                        w.tx.send(ToShard::Batch(bucket))
-                            .unwrap_or_else(|_| panic!("shard worker hung up"));
+            Ok(work) => {
+                let mut leftover: Vec<Packet> = Vec::new();
+                for (shard, bucket) in work {
+                    if bucket.is_empty() {
+                        continue;
+                    }
+                    if let Err(mut b) = self.dispatch(shard, bucket) {
+                        leftover.append(&mut b);
                     }
                 }
-                // Barrier: every batch ends fully folded, so stats and
-                // counters are coherent before any control message can
-                // observe them.
-                self.quiesce();
-                self.master.cm.collect_tx()
+                // Barrier (inside `finish_batch`): every batch ends fully
+                // folded, so stats and counters are coherent before any
+                // control message can observe them.
+                self.finish_batch(leftover)
             }
             Err(handled) => handled,
         }
@@ -415,7 +734,9 @@ impl Device for ShardedSwitch {
 impl Drop for ShardedSwitch {
     fn drop(&mut self) {
         for w in &self.workers {
-            let _ = w.tx.send(ToShard::Shutdown);
+            if let Some(tx) = &w.tx {
+                let _ = tx.send(ToShard::Shutdown);
+            }
         }
         for w in &mut self.workers {
             if let Some(h) = w.handle.take() {
@@ -464,6 +785,7 @@ fn snapshot_counters(sm: &StorageModule) -> Vec<Vec<u64>> {
 
 fn worker_loop(
     shard: usize,
+    gen: u64,
     ports: usize,
     slots: usize,
     rx: &Receiver<ToShard>,
@@ -476,6 +798,8 @@ fn worker_loop(
     let mut slot_stats = vec![SlotStats::default(); slots];
     let mut out: Vec<Packet> = Vec::new();
     let mut busy_ns = 0u64;
+    let mut lost = 0u64;
+    let mut fault: Option<String> = None;
     while let Ok(msg) = rx.recv() {
         match msg {
             ToShard::Publish(e) => {
@@ -484,9 +808,15 @@ fn worker_loop(
                 epoch = Some(EpochState::new(*e));
             }
             ToShard::Batch(pkts) => {
-                let ep = epoch
-                    .as_mut()
-                    .expect("protocol: Batch before first Publish");
+                let Some(ep) = epoch.as_mut() else {
+                    // Protocol violation (a Batch can never legally precede
+                    // the first Publish). Survive it: declare the packets
+                    // lost, report the fault at the next collect, and let
+                    // the supervisor quarantine us.
+                    lost += pkts.len() as u64;
+                    fault.get_or_insert_with(|| "Batch before first Publish".to_string());
+                    continue;
+                };
                 let t0 = Instant::now();
                 for pkt in pkts {
                     let r = ep.compiled.run_packet_parts(
@@ -512,7 +842,16 @@ fn worker_loop(
                 }
                 busy_ns += t0.elapsed().as_nanos() as u64;
             }
-            ToShard::Collect => {
+            ToShard::Collect { kill, delay } => {
+                if kill {
+                    // Injected crash: vanish without replying — the master
+                    // must detect this through its drain timeout, exactly
+                    // as it would a real wedged or dead worker.
+                    break;
+                }
+                if let Some(d) = delay {
+                    std::thread::sleep(d);
+                }
                 let tables = match &mut epoch {
                     Some(ep) => {
                         let mut tables = Vec::new();
@@ -552,6 +891,7 @@ fn worker_loop(
                 let (tables, mem_accesses) = tables;
                 let r = ShardReply {
                     shard,
+                    gen,
                     out: std::mem::take(&mut out),
                     stats: std::mem::take(&mut stats),
                     tm: std::mem::take(&mut tm.stats),
@@ -562,6 +902,8 @@ fn worker_loop(
                     mem_accesses,
                     tables,
                     busy_ns: std::mem::take(&mut busy_ns),
+                    lost: std::mem::take(&mut lost),
+                    fault: fault.take(),
                 };
                 if reply.send(r).is_err() {
                     break; // master gone
@@ -770,6 +1112,31 @@ mod tests {
         assert_eq!(sw.pending(), 5);
         sw.apply(&[ControlMsg::Resume]).unwrap();
         assert_eq!(sw.run_batch().len(), 5);
+    }
+
+    /// A rejected control batch is rolled back by the master, so it must
+    /// not mark the sharded switch dirty: the published epoch is still
+    /// exactly the device's state, and forcing a recompile would be waste.
+    #[test]
+    fn failed_apply_does_not_dirty_or_recompile() {
+        let mut sw = ShardedSwitch::new(IpbmConfig::default(), 2);
+        sw.apply(&l3_msgs(4)).unwrap();
+        for p in traffic(4) {
+            sw.inject(p);
+        }
+        sw.run_batch();
+        assert!(!sw.dirty, "first batch publishes the epoch");
+        let epoch = sw.master.pm.epoch();
+        let e = sw.apply(&[ControlMsg::ClearSlot { slot: 99 }]).unwrap_err();
+        assert!(matches!(e, CoreError::RolledBack { .. }), "{e}");
+        assert!(!sw.dirty, "rolled-back batch must not dirty the epoch");
+        assert_eq!(sw.master.pm.epoch(), epoch, "no new epoch opened");
+        for p in traffic(4) {
+            sw.inject(p);
+        }
+        let out = sw.run_batch();
+        assert_eq!(out.len(), 4, "traffic keeps flowing after the rejection");
+        assert!(sw.on_compiled_path());
     }
 
     #[test]

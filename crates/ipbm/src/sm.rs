@@ -356,6 +356,30 @@ impl StorageModule {
         store.table.lookup(pkt, ctx)
     }
 
+    /// Restores one table from a transactional-apply pre-image: the store
+    /// goes back into its slab slot and the backing blocks get their
+    /// journaled bytes back. Entry operations never change block
+    /// *ownership*, so content restoration is sufficient; structural
+    /// operations journal the whole SM instead.
+    pub(crate) fn restore_table_checkpoint(
+        &mut self,
+        idx: usize,
+        store: TableStore,
+        blocks: &[(usize, Vec<u8>)],
+    ) {
+        let name = store.table.def.name.clone();
+        let Some(slot) = self.stores.get_mut(idx) else {
+            debug_assert!(false, "rollback of `{name}`: slab index {idx} vanished");
+            return;
+        };
+        *slot = Some(store);
+        self.index.insert(name, idx);
+        for (b, bytes) in blocks {
+            let r = self.pool.restore_block_data(*b, bytes);
+            debug_assert!(r.is_ok(), "rollback block restore failed: {r:?}");
+        }
+    }
+
     /// Blocks currently backing a table.
     pub fn blocks_of(&self, table: &str) -> Vec<usize> {
         self.table(table)

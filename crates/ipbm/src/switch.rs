@@ -15,6 +15,7 @@ use serde::Serialize;
 use crate::ccm;
 use crate::cm::{CommModule, PortStats};
 use crate::pm::{PipelineModule, PipelineStats, TmStats};
+use crate::resilience::FaultPlan;
 use crate::sm::StorageModule;
 use crate::tsp::SlotStats;
 
@@ -81,6 +82,8 @@ pub struct IpbmSwitch {
     pub linkage: HeaderLinkage,
     /// Control-channel cost model.
     pub cost: CostModel,
+    /// Test-only fault-injection plan (None in production).
+    faults: Option<FaultPlan>,
     name: String,
 }
 
@@ -98,8 +101,23 @@ impl IpbmSwitch {
             sm: StorageModule::new(cfg.sram_blocks, cfg.tcam_blocks, cfg.bus_bits),
             linkage: HeaderLinkage::new(),
             cost: cfg.cost,
+            faults: None,
             name: "ipbm".to_string(),
         }
+    }
+
+    /// Installs a deterministic fault-injection plan (test-only surface);
+    /// `fail_msg_at` makes control batches fail — and roll back — at an
+    /// exact message index.
+    #[doc(hidden)]
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// Removes any installed fault plan.
+    #[doc(hidden)]
+    pub fn clear_fault_plan(&mut self) {
+        self.faults = None;
     }
 
     /// Installs a complete compiled design (initial load).
@@ -192,12 +210,13 @@ impl Device for IpbmSwitch {
     }
 
     fn apply(&mut self, msgs: &[ControlMsg]) -> Result<ApplyReport, CoreError> {
-        ccm::apply_msgs(
+        ccm::apply_msgs_with_faults(
             &mut self.pm,
             &mut self.sm,
             &mut self.linkage,
             &self.cost,
             msgs,
+            self.faults.as_ref(),
         )
     }
 

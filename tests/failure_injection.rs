@@ -186,3 +186,348 @@ fn table_command_validation_messages() {
         assert!(msg.contains(needle), "`{script}` -> `{msg}`");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Transactional apply: a batch that fails at ANY message index must leave
+// the device byte-identical to its pre-batch checkpoint.
+// ---------------------------------------------------------------------------
+
+/// A deterministic, byte-level digest of every control-plane component a
+/// `ControlMsg` can mutate: slot templates, selector, crossbar, drain flag,
+/// header linkage, metadata, actions, table schemas + rows + block
+/// placement, and the raw memory-pool bytes (ownership included).
+fn fingerprint(sw: &IpbmSwitch) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    writeln!(s, "epoch:{}", sw.pm.epoch()).unwrap();
+    writeln!(s, "draining:{}", sw.pm.draining).unwrap();
+    for (i, slot) in sw.pm.slots.iter().enumerate() {
+        writeln!(
+            s,
+            "slot{i}:{}",
+            serde_json::to_string(&slot.template).unwrap()
+        )
+        .unwrap();
+    }
+    writeln!(
+        s,
+        "selector:{}",
+        serde_json::to_string(&sw.pm.selector).unwrap()
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "crossbar:{}",
+        serde_json::to_string(&sw.pm.crossbar).unwrap()
+    )
+    .unwrap();
+    let mut headers: Vec<String> = sw
+        .linkage
+        .iter()
+        .map(|h| serde_json::to_string(h).unwrap())
+        .collect();
+    headers.sort();
+    writeln!(s, "headers:{headers:?}").unwrap();
+    writeln!(s, "first:{:?}", sw.linkage.first()).unwrap();
+    let mut edges = sw.linkage.edges();
+    edges.sort();
+    writeln!(s, "edges:{edges:?}").unwrap();
+    writeln!(s, "metadata:{:?}", sw.sm.metadata).unwrap();
+    let mut actions: Vec<(String, String)> = sw
+        .sm
+        .actions
+        .iter()
+        .map(|(k, v)| (k.clone(), serde_json::to_string(v).unwrap()))
+        .collect();
+    actions.sort();
+    writeln!(s, "actions:{actions:?}").unwrap();
+    let mut names = sw.sm.table_names();
+    names.sort();
+    for name in names {
+        let store = sw.sm.table(&name).unwrap();
+        writeln!(
+            s,
+            "table:{name}:{}",
+            serde_json::to_string(&store.table.def).unwrap()
+        )
+        .unwrap();
+        for (row, e) in store.table.iter() {
+            writeln!(s, "  row{row}:{}", serde_json::to_string(e).unwrap()).unwrap();
+        }
+        writeln!(s, "  blocks:{:?}", sw.sm.blocks_of(&name)).unwrap();
+    }
+    writeln!(s, "pool:{}", serde_json::to_string(&sw.sm.pool).unwrap()).unwrap();
+    s
+}
+
+/// A batch in which every message is valid and collectively touches every
+/// journaled component, so an injected failure at index M proves rollback
+/// undoes messages 0..M exactly.
+fn rich_batch() -> Vec<ControlMsg> {
+    use rp4::core::action::ActionDef;
+    use rp4::core::template::TspTemplate;
+    use rp4::netpkt::header::{FieldDef, HeaderType};
+    vec![
+        ControlMsg::Drain,
+        ControlMsg::DefineMetadata(vec![("mx".into(), 8)]),
+        ControlMsg::DefineAction(ActionDef {
+            name: "noop2".into(),
+            params: vec![],
+            body: vec![],
+        }),
+        ControlMsg::RegisterHeader(HeaderType::new(
+            "probe",
+            vec![FieldDef {
+                name: "tag".into(),
+                bits: 16,
+            }],
+        )),
+        ControlMsg::SetFirstHeader("ethernet".into()),
+        ControlMsg::WriteTemplate {
+            slot: 2,
+            template: TspTemplate::passthrough("p2"),
+        },
+        ControlMsg::ConnectCrossbar {
+            slot: 2,
+            blocks: vec![],
+        },
+        ControlMsg::AddEntry {
+            table: "t".into(),
+            entry: TableEntry::exact(vec![2], ActionCall::no_action()),
+        },
+        ControlMsg::SetDefaultAction {
+            table: "t".into(),
+            action: ActionCall::new("noop2", vec![]),
+        },
+        ControlMsg::DelEntry {
+            table: "t".into(),
+            key: vec![KeyMatch::Exact(1)],
+        },
+        ControlMsg::MigrateTable {
+            table: "t".into(),
+            blocks: vec![1],
+        },
+        ControlMsg::UnregisterHeader("vlan".into()),
+        ControlMsg::ClearSlot { slot: 2 },
+        ControlMsg::Resume,
+    ]
+}
+
+/// The tentpole guarantee, exercised at every batch position: fail message
+/// M (for all M), and the whole device state — templates, selector,
+/// crossbar, linkage, actions, metadata, tables, pool bytes and block
+/// ownership — is byte-identical to the checkpoint.
+#[test]
+fn rollback_at_every_index_is_byte_identical() {
+    use rp4::core::error::CoreError;
+    use rp4::core::table::{KeyField, MatchKind, TableDef};
+    use rp4::core::value::ValueRef;
+    use rp4::ipbm::FaultPlan;
+
+    let mut sw = IpbmSwitch::new(IpbmConfig::default());
+    sw.apply(&[
+        ControlMsg::RegisterHeader(rp4::netpkt::protocols::ethernet()),
+        ControlMsg::RegisterHeader(rp4::netpkt::protocols::vlan()),
+        ControlMsg::SetFirstHeader("ethernet".into()),
+        ControlMsg::CreateTable {
+            def: TableDef {
+                name: "t".into(),
+                key: vec![KeyField {
+                    source: ValueRef::Meta("x".into()),
+                    bits: 16,
+                    kind: MatchKind::Exact,
+                }],
+                size: 16,
+                actions: vec![],
+                default_action: ActionCall::no_action(),
+                with_counters: false,
+            },
+            blocks: vec![0],
+        },
+        ControlMsg::AddEntry {
+            table: "t".into(),
+            entry: TableEntry::exact(vec![1], ActionCall::no_action()),
+        },
+    ])
+    .unwrap();
+    let checkpoint = fingerprint(&sw);
+
+    let batch = rich_batch();
+    for m in 0..batch.len() {
+        sw.set_fault_plan(FaultPlan {
+            fail_msg_at: Some(m),
+            ..Default::default()
+        });
+        let e = sw.apply(&batch).unwrap_err();
+        assert!(
+            matches!(e, CoreError::RolledBack { index, .. } if index == m),
+            "index {m}: {e}"
+        );
+        assert_eq!(
+            fingerprint(&sw),
+            checkpoint,
+            "failure at message {m} must leave the device byte-identical"
+        );
+    }
+
+    // Clearing the plan, the same batch applies cleanly end-to-end — the
+    // failures above were purely injected, and rollback left no residue
+    // that could break the real application.
+    sw.clear_fault_plan();
+    sw.apply(&batch).unwrap();
+    assert_ne!(
+        fingerprint(&sw),
+        checkpoint,
+        "the clean batch really applies"
+    );
+}
+
+/// A minimal one-stage L3 program as a raw message batch (the same shape
+/// the sharded tests use), so the fast path has something to compile.
+fn l3_program(port: u16) -> Vec<ControlMsg> {
+    use rp4::core::action::{ActionDef, Primitive};
+    use rp4::core::pipeline_cfg::SelectorConfig;
+    use rp4::core::table::{KeyField, MatchKind, TableDef};
+    use rp4::core::template::{MatcherBranch, TspTemplate};
+    use rp4::core::value::ValueRef;
+    vec![
+        ControlMsg::Drain,
+        ControlMsg::RegisterHeader(rp4::netpkt::protocols::ethernet()),
+        ControlMsg::RegisterHeader(rp4::netpkt::protocols::ipv4()),
+        ControlMsg::RegisterHeader(rp4::netpkt::protocols::udp()),
+        ControlMsg::SetFirstHeader("ethernet".into()),
+        ControlMsg::DefineAction(ActionDef {
+            name: "fwd".into(),
+            params: vec![("port".into(), 16)],
+            body: vec![Primitive::Forward {
+                port: ValueRef::Param(0),
+            }],
+        }),
+        ControlMsg::CreateTable {
+            def: TableDef {
+                name: "route".into(),
+                key: vec![KeyField {
+                    source: ValueRef::field("ipv4", "dst_addr"),
+                    bits: 32,
+                    kind: MatchKind::Lpm,
+                }],
+                size: 64,
+                actions: vec!["fwd".into()],
+                default_action: ActionCall::no_action(),
+                with_counters: false,
+            },
+            blocks: vec![0],
+        },
+        ControlMsg::WriteTemplate {
+            slot: 0,
+            template: TspTemplate {
+                stage_name: "route_s".into(),
+                func: "base".into(),
+                parse: vec!["ipv4".into()],
+                branches: vec![MatcherBranch {
+                    pred: rp4::core::predicate::Predicate::IsValid("ipv4".into()),
+                    table: Some("route".into()),
+                }],
+                executor: vec![(1, ActionCall::new("fwd", vec![]))],
+                default_action: ActionCall::no_action(),
+            },
+        },
+        ControlMsg::ConnectCrossbar {
+            slot: 0,
+            blocks: vec![0],
+        },
+        ControlMsg::SetSelector(SelectorConfig::split(32, 1, 0).unwrap()),
+        ControlMsg::Resume,
+        ControlMsg::AddEntry {
+            table: "route".into(),
+            entry: TableEntry {
+                key: vec![KeyMatch::Lpm {
+                    value: 0x0a00_0000,
+                    prefix_len: 8,
+                }],
+                priority: 0,
+                action: ActionCall::new("fwd", vec![port as u128]),
+                counter: 0,
+            },
+        },
+    ]
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+
+    /// Interleave failing and succeeding control batches on two devices —
+    /// one running the interpreter, one the compiled fast path — and the
+    /// two must stay packet-for-packet equivalent after every round: a
+    /// rolled-back batch leaves both in lockstep, and a clean batch
+    /// advances both identically.
+    #[test]
+    fn interleaved_failing_batches_keep_paths_equivalent(
+        rounds in proptest::collection::vec(
+            (
+                proptest::collection::vec((proptest::prelude::any::<u8>(), 1u16..9), 1..4),
+                proptest::option::of(0usize..16),
+            ),
+            1..5,
+        ),
+    ) {
+        use proptest::prelude::prop_assert_eq;
+        use rp4::ipbm::FaultPlan;
+        use rp4::netpkt::builder::{ipv4_udp_packet, Ipv4UdpSpec};
+
+        let mut interp = IpbmSwitch::new(IpbmConfig::default());
+        interp.apply(&l3_program(4)).unwrap();
+        let mut fast = IpbmSwitch::new(IpbmConfig::default());
+        fast.apply(&l3_program(4)).unwrap();
+
+        for (round, (entries, fail_at)) in rounds.into_iter().enumerate() {
+            let batch: Vec<ControlMsg> = entries
+                .iter()
+                .map(|(b, port)| ControlMsg::AddEntry {
+                    table: "route".into(),
+                    entry: TableEntry {
+                        key: vec![KeyMatch::Lpm {
+                            value: 0x0a01_0000 + ((*b as u128) << 8),
+                            prefix_len: 24,
+                        }],
+                        priority: 0,
+                        action: ActionCall::new("fwd", vec![*port as u128]),
+                        counter: 0,
+                    },
+                })
+                .collect();
+            match fail_at {
+                Some(m) => {
+                    let plan = FaultPlan {
+                        fail_msg_at: Some(m % batch.len()),
+                        ..Default::default()
+                    };
+                    interp.set_fault_plan(plan.clone());
+                    fast.set_fault_plan(plan);
+                    prop_assert_eq!(
+                        interp.apply(&batch).is_err(),
+                        fast.apply(&batch).is_err()
+                    );
+                    interp.clear_fault_plan();
+                    fast.clear_fault_plan();
+                }
+                None => {
+                    interp.apply(&batch).unwrap();
+                    fast.apply(&batch).unwrap();
+                }
+            }
+            for i in 0..24u32 {
+                let p = ipv4_udp_packet(&Ipv4UdpSpec {
+                    src_ip: 0x0a00_0a00 + i % 5,
+                    dst_ip: 0x0a01_0000 + (i << 6),
+                    ..Default::default()
+                });
+                interp.inject(p.clone());
+                fast.inject(p);
+            }
+            let a = interp.run();
+            let b = fast.run_batch();
+            prop_assert_eq!(a, b, "round {}: paths diverged", round);
+        }
+    }
+}
