@@ -38,13 +38,60 @@ fn sw_rate<D: Device>(device: &mut D, packets: usize, batch_path: bool) -> f64 {
     out.len() as f64 / dt
 }
 
-/// One ipbm software-rate measurement: interpreter vs compiled fast path.
+/// One ipbm software-rate measurement: interpreter vs the plain compiled
+/// fast path (no facts installed) vs the fact-guided fast path (the
+/// controller-installed `ProgramFacts` let the epoch compiler elide
+/// proven-redundant parses, prune dead arms/stores, and memoize header
+/// locations).
 #[derive(Debug, Serialize)]
 struct SwSeries {
     case: String,
     interpreter_pps: f64,
     fast_path_pps: f64,
+    fact_guided_pps: f64,
+    /// fact-guided fast path over the interpreter.
     speedup: f64,
+    /// fact-guided fast path over the plain (fact-free) fast path.
+    fact_gain: f64,
+}
+
+/// Best-of-N rate: repeated measurement squeezes scheduler noise out of
+/// the per-series comparison (the device is reused, so tables stay
+/// populated and the compiled epoch stays warm after the first rep).
+fn best_rate(reps: usize, mut measure: impl FnMut() -> f64) -> f64 {
+    (0..reps).map(|_| measure()).fold(0.0, f64::max)
+}
+
+/// Paired measurement of two compiled-path devices over identical
+/// traffic, alternating small chunks so host-load drift (CPU throttling,
+/// noisy CI neighbors) lands on both sides of the comparison equally
+/// instead of masquerading as a speedup or regression of whichever
+/// happened to run during the slow episode.
+fn paired_rates<D: Device>(a: &mut D, b: &mut D, packets: usize) -> (f64, f64) {
+    let chunk = (packets / 20).max(1);
+    let mut gen_a = TrafficGen::new(17).with_v6_percent(20).with_flows(64);
+    let mut gen_b = TrafficGen::new(17).with_v6_percent(20).with_flows(64);
+    let (mut ta, mut tb) = (0.0f64, 0.0f64);
+    let (mut na, mut nb) = (0usize, 0usize);
+    let mut sent = 0;
+    while sent < packets {
+        let n = chunk.min(packets - sent);
+        for p in gen_a.batch(n) {
+            a.inject(p);
+        }
+        let t = Instant::now();
+        na += a.run_batch().len();
+        ta += t.elapsed().as_secs_f64();
+        for p in gen_b.batch(n) {
+            b.inject(p);
+        }
+        let t = Instant::now();
+        nb += b.run_batch().len();
+        tb += t.elapsed().as_secs_f64();
+        sent += n;
+    }
+    assert!(na > 0 && nb > 0);
+    (na as f64 / ta, nb as f64 / tb)
 }
 
 /// Machine-readable artifact for CI and EXPERIMENTS.md.
@@ -84,15 +131,37 @@ fn sw_series(packets: usize, smoke: bool) -> (Vec<SwSeries>, f64) {
         ("srv6", Some(1)),
         ("flowprobe", Some(2)),
     ];
+    let reps = 3;
     let mut series = Vec::new();
     for (name, case) in cases {
-        let interp = sw_rate(&mut case_flow(case).device, packets, false);
-        let fast = sw_rate(&mut case_flow(case).device, packets, true);
+        let mut interp_dev = case_flow(case).device;
+        let interp = best_rate(reps, || sw_rate(&mut interp_dev, packets, false));
+
+        // Plain fast path: drop the controller-installed facts so the
+        // epoch compiler runs without proofs (the fact-free baseline).
+        let mut plain_dev = case_flow(case).device;
+        plain_dev.install_facts(None);
+        assert!(!plain_dev.pm.has_facts(), "{name}: facts must be cleared");
+
+        let mut guided_dev = case_flow(case).device;
+        assert!(
+            guided_dev.pm.has_facts(),
+            "{name}: controller must install dataflow facts"
+        );
+        let (mut plain, mut guided) = (0.0f64, 0.0f64);
+        for _ in 0..reps {
+            let (p, g) = paired_rates(&mut plain_dev, &mut guided_dev, packets);
+            plain = plain.max(p);
+            guided = guided.max(g);
+        }
+
         series.push(SwSeries {
             case: name.to_string(),
             interpreter_pps: interp,
-            fast_path_pps: fast,
-            speedup: fast / interp,
+            fast_path_pps: plain,
+            fact_guided_pps: guided,
+            speedup: guided / interp,
+            fact_gain: guided / plain,
         });
     }
     let base_speedup = series[0].speedup;
@@ -197,19 +266,36 @@ fn main() {
     // resolve-once/run-many epoch model; see DESIGN.md). Also written as
     // machine-readable BENCH_throughput.json for CI.
     let (series, base_speedup) = sw_series(packets, smoke);
-    out.push_str("\nipbm software rates: interpreter vs compiled fast path\n");
+    out.push_str("\nipbm software rates: interpreter vs fast path vs fact-guided fast path\n");
     for s in &series {
         out.push_str(&format!(
-            "  {:<10} interpreter {:>8.0} kpps   fast path {:>8.0} kpps   ({:.2}x)\n",
+            "  {:<10} interpreter {:>8.0} kpps   fast {:>8.0} kpps   fact-guided {:>8.0} kpps   \
+             ({:.2}x interp, {:.2}x fast)\n",
             s.case,
             s.interpreter_pps / 1e3,
             s.fast_path_pps / 1e3,
-            s.speedup
+            s.fact_guided_pps / 1e3,
+            s.speedup,
+            s.fact_gain
         ));
     }
     assert!(
         base_speedup >= 3.0,
         "compiled fast path must be >= 3x the interpreter on base L3 (got {base_speedup:.2}x)"
+    );
+    // Fact-guided compilation must never cost throughput (0.9 allows
+    // measurement noise) and must measurably help on at least one case.
+    for s in &series {
+        assert!(
+            s.fact_gain >= 0.9,
+            "{}: fact-guided path regressed vs plain fast path ({:.2}x)",
+            s.case,
+            s.fact_gain
+        );
+    }
+    assert!(
+        series.iter().any(|s| s.fact_gain >= 1.0),
+        "fact-guided compilation must improve at least one use case: {series:#?}"
     );
     emit("throughput", &out);
 }

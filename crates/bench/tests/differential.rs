@@ -129,6 +129,10 @@ fn assert_equivalent(
             fast.device.pm.has_compiled(),
             "fast path must actually be compiled (not interpreter fallback)"
         );
+        assert!(
+            fast.device.pm.has_facts(),
+            "controller-installed dataflow facts must be live (fact-guided compilation)"
+        );
     }
     let emitted = out_i.len();
     let oi = observe(&interp.device, out_i);
@@ -249,6 +253,10 @@ fn assert_shard_invariant(
         assert!(
             sharded.device.on_compiled_path(),
             "shards must run the compiled path (not interpreter fallback)"
+        );
+        assert!(
+            sharded.device.master.pm.has_facts(),
+            "controller-installed dataflow facts must be live (fact-guided compilation)"
         );
     }
     let emitted = out_i.len();

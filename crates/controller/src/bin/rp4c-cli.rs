@@ -174,6 +174,8 @@ fn cmd_check(pos: &[String], flags: &HashMap<String, String>) -> Result<(), Stri
         &limits,
         Some(&checked.spans),
     ));
+    let dfa = rp4_dfa::analyze_program(&checked, &env);
+    diags.extend(rp4_dfa::merge_findings(&diags, dfa));
 
     // Phase 3 (--equiv): compile and prove the design behaves identically
     // to the checked program in every symbolic world (rp4-equiv).

@@ -162,18 +162,28 @@ impl<D: Device> Rp4Flow<D> {
     ) -> Result<(Self, ApplyReport), ControllerError> {
         let msgs = ipsa_core::control::full_install_msgs(&compilation.design);
         let report = device.apply(&msgs)?;
-        Ok((
-            Rp4Flow {
-                device,
-                design: compilation.design,
-                program: compilation.program,
-                apis: compilation.apis,
-                algo: LayoutAlgo::Dp,
-                force: false,
-                target,
-            },
-            report,
-        ))
+        let mut flow = Rp4Flow {
+            device,
+            design: compilation.design,
+            program: compilation.program,
+            apis: compilation.apis,
+            algo: LayoutAlgo::Dp,
+            force: false,
+            target,
+        };
+        flow.refresh_facts();
+        Ok((flow, report))
+    }
+
+    /// Recomputes the dataflow facts for the current design and installs
+    /// them on the device. Called after every structural change so the
+    /// device's fact-guided fast path is never stale: the device itself
+    /// clears facts on any non-entry control message, and this puts fresh
+    /// ones back.
+    fn refresh_facts(&mut self) {
+        let facts = rp4_dfa::design_facts(&self.design);
+        self.device
+            .install_facts(if facts.is_empty() { None } else { Some(facts) });
     }
 
     fn flush_updates(
@@ -194,6 +204,7 @@ impl<D: Device> Rp4Flow<D> {
         self.program = plan.program;
         self.apis = plan.apis;
         cmds.clear();
+        self.refresh_facts();
         Ok(())
     }
 
@@ -217,6 +228,7 @@ impl<D: Device> Rp4Flow<D> {
         self.design = cp.design.clone();
         self.program = cp.program.clone();
         self.apis = cp.apis.clone();
+        self.refresh_facts();
         Ok(report)
     }
 
@@ -300,11 +312,18 @@ impl<D: Device> Rp4Flow<D> {
             if !divergent.is_empty() {
                 return Err(ControllerError::Verify(divergent));
             }
+            // RP4306: the plan must not orphan a metadata field some
+            // surviving stage still reads (dataflow fact regression).
+            let regressions = rp4_dfa::check_plan(&self.program, &plan.program);
+            if !regressions.is_empty() {
+                return Err(ControllerError::Verify(regressions));
+            }
         }
         let report = self.device.apply(&plan.msgs)?;
         self.design = plan.design;
         self.program = plan.program;
         self.apis = plan.apis;
+        self.refresh_facts();
         Ok(report)
     }
 

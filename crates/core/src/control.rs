@@ -136,6 +136,20 @@ impl ControlMsg {
                 | ControlMsg::LoadFullDesign(_)
         )
     }
+
+    /// True for pure table-entry operations. Entry churn can never change
+    /// what the dataflow analyzer proved about the pipeline *program*
+    /// (facts quantify over every registered action and every entry), so
+    /// installed [`crate::facts::ProgramFacts`] survive these messages;
+    /// anything else invalidates them.
+    pub fn is_entry_op(&self) -> bool {
+        matches!(
+            self,
+            ControlMsg::AddEntry { .. }
+                | ControlMsg::DelEntry { .. }
+                | ControlMsg::SetDefaultAction { .. }
+        )
+    }
 }
 
 /// Expands a compiled design into the full message sequence that programs a
@@ -238,6 +252,17 @@ pub trait Device {
 
     /// Number of packets currently queued and unprocessed.
     fn pending(&self) -> usize;
+
+    /// Installs (or clears, with `None`) statically proven dataflow facts
+    /// for the currently installed design. Facts are advisory: devices
+    /// without a fact-guided fast path ignore them, so the default
+    /// implementation does nothing. Devices that honor facts must drop
+    /// them whenever a non-entry control message lands (see
+    /// [`ControlMsg::is_entry_op`]) so a raw structural edit can never run
+    /// against stale facts.
+    fn install_facts(&mut self, facts: Option<crate::facts::ProgramFacts>) {
+        let _ = facts;
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,126 @@
+//! Statically proven dataflow facts about a compiled design.
+//!
+//! The dataflow analyzer (`rp4-dfa`) runs over a [`CompiledDesign`] on the
+//! controller side and distills what it can prove into a [`ProgramFacts`]
+//! artifact. The controller installs the artifact on the device alongside
+//! the design (see `Device::install_facts`); the device's epoch compiler
+//! consults it when building the fast path and uses each fact to skip work
+//! the analysis proved redundant:
+//!
+//! - [`SlotFacts::elide_parse`]: headers whose `ensure_parsed` call at this
+//!   slot is provably a no-op (an earlier slot in the same path already
+//!   settled them, and no action in the design can unsettle them);
+//! - [`SlotFacts::unreachable_arms`]: matcher arms that can never be the
+//!   first true branch (shadowed by an earlier unconditional or identical
+//!   guard, or self-contradictory) — safe to drop from the compiled slot;
+//! - [`ProgramFacts::stable_headers`]: no registered action can add or
+//!   remove any header mid-pipeline, so per-packet header locations and
+//!   validity bits may be memoized between parser extractions;
+//! - [`ProgramFacts::dead_stores`]: metadata stores inside an action body
+//!   that are provably overwritten before any read — replaceable by
+//!   `NoAction` (the primitive still *counts*, preserving statistics, but
+//!   does no work).
+//!
+//! Facts are advisory: a device with no facts installed (or stale facts
+//! cleared by a structural control message) compiles the plain fast path
+//! and stays correct, just slower. Every fact here is *exact* with respect
+//! to observable behavior — outputs and statistics are bit-identical with
+//! and without it (pinned by the differential suite).
+//!
+//! [`CompiledDesign`]: crate::template::CompiledDesign
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Proven facts about one TSP slot, keyed by its template's `stage_name`
+/// (merged stages keep their joined `a+b` name).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotFacts {
+    /// Headers in this slot's parse requirements whose `ensure` is a
+    /// proven no-op: every path to this slot already ran `ensure` for
+    /// them, and no registered action can change their validity.
+    pub elide_parse: Vec<String>,
+    /// Indices into the template's `branches` that can never be chosen.
+    pub unreachable_arms: Vec<usize>,
+}
+
+/// The full facts artifact for one compiled design.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgramFacts {
+    /// Per-slot facts, keyed by template `stage_name`.
+    pub slots: BTreeMap<String, SlotFacts>,
+    /// True when no registered action contains a header-set-mutating
+    /// primitive (`InsertHeaderAfter`, `RemoveHeader`): header presence and
+    /// byte offsets then only ever change through parser extraction,
+    /// enabling per-packet header-location memoization between
+    /// extractions.
+    pub stable_headers: bool,
+    /// `(action name, primitive index)` pairs whose metadata store is
+    /// provably overwritten before any read within the same body.
+    pub dead_stores: Vec<(String, usize)>,
+}
+
+impl ProgramFacts {
+    /// Facts for a slot, if the analysis produced any.
+    pub fn slot(&self, stage_name: &str) -> Option<&SlotFacts> {
+        self.slots.get(stage_name)
+    }
+
+    /// True when `prim_idx` of `action` is a proven dead store.
+    pub fn is_dead_store(&self, action: &str, prim_idx: usize) -> bool {
+        self.dead_stores
+            .iter()
+            .any(|(a, i)| a == action && *i == prim_idx)
+    }
+
+    /// Total number of individual facts carried (for reporting).
+    pub fn len(&self) -> usize {
+        self.slots
+            .values()
+            .map(|s| s.elide_parse.len() + s.unreachable_arms.len())
+            .sum::<usize>()
+            + self.dead_stores.len()
+            + usize::from(self.stable_headers)
+    }
+
+    /// True when the artifact proves nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facts_roundtrip_and_lookup() {
+        let mut f = ProgramFacts {
+            stable_headers: true,
+            ..Default::default()
+        };
+        f.slots.insert(
+            "fwd_mode".into(),
+            SlotFacts {
+                elide_parse: vec!["ethernet".into()],
+                unreachable_arms: vec![2],
+            },
+        );
+        f.dead_stores.push(("set_x".into(), 0));
+        assert_eq!(f.len(), 4);
+        assert!(!f.is_empty());
+        assert!(f.is_dead_store("set_x", 0));
+        assert!(!f.is_dead_store("set_x", 1));
+        assert!(f.slot("fwd_mode").is_some());
+        assert!(f.slot("ghost").is_none());
+        let j = serde_json::to_string(&f).unwrap();
+        let back: ProgramFacts = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn empty_facts_are_empty() {
+        assert!(ProgramFacts::default().is_empty());
+    }
+}

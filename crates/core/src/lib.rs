@@ -22,6 +22,7 @@ pub mod action;
 pub mod control;
 pub mod crossbar;
 pub mod error;
+pub mod facts;
 pub mod hash;
 pub mod intern;
 pub mod memory;
@@ -36,6 +37,7 @@ pub use action::{ActionDef, ActionOutcome, AluOp, Primitive};
 pub use control::{ApplyReport, ControlMsg, Device};
 pub use crossbar::{Crossbar, CrossbarKind};
 pub use error::CoreError;
+pub use facts::{ProgramFacts, SlotFacts};
 pub use intern::Interner;
 pub use memory::{BlockKind, MemoryPool, TableBlockMap};
 pub use pipeline_cfg::{SelectorConfig, SlotRole};

@@ -190,6 +190,13 @@ pub fn apply_msgs_with_faults(
             });
         }
     }
+    // Any message beyond plain entry traffic may change what the installed
+    // dataflow facts were proven against (templates, actions, wiring, even
+    // header linkage) — drop them; the controller reinstalls fresh facts
+    // after it finishes its own bookkeeping.
+    if msgs.iter().any(|m| !m.is_entry_op()) {
+        pm.clear_facts();
+    }
     // Only a fully-applied batch opens a new control-plane epoch. A rolled-
     // back batch leaves the device byte-identical to its checkpoint, so the
     // compiled fast path stays valid and recompiling would be pure waste.

@@ -402,6 +402,7 @@ impl ShardedSwitch {
                 &self.master.sm,
                 &self.master.linkage,
                 pm.epoch(),
+                pm.facts(),
             )
             .ok()
         };
@@ -690,6 +691,13 @@ impl Device for ShardedSwitch {
         let report = self.master.apply(msgs)?;
         self.dirty = true;
         Ok(report)
+    }
+
+    fn install_facts(&mut self, facts: Option<ipsa_core::facts::ProgramFacts>) {
+        // The master's pipeline holds the facts; the next republish bakes
+        // them into the epoch every shard receives.
+        self.master.install_facts(facts);
+        self.dirty = true;
     }
 
     fn inject(&mut self, packet: Packet) {

@@ -220,6 +220,10 @@ impl Device for IpbmSwitch {
         )
     }
 
+    fn install_facts(&mut self, facts: Option<ipsa_core::facts::ProgramFacts>) {
+        self.pm.set_facts(facts);
+    }
+
     fn inject(&mut self, packet: Packet) {
         self.cm.inject(packet);
     }

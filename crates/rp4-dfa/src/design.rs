@@ -1,0 +1,376 @@
+//! Design-level fact extraction: distills what the analysis proves about a
+//! [`CompiledDesign`] into the [`ProgramFacts`] artifact the epoch compiler
+//! consumes.
+//!
+//! Everything here must be *exact* with respect to observable behavior —
+//! the fast path built with these facts produces bit-identical outputs
+//! **and statistics** to the plain one. That drives two conservatisms:
+//!
+//! - Facts quantify over *all* registered actions and tables, not just the
+//!   currently-installed entries: `insert_entry` does not re-validate an
+//!   entry's action against the analysis, so entry churn (which does *not*
+//!   clear facts — see [`ControlMsg::is_entry_op`]) must never invalidate
+//!   a fact.
+//! - Dead-store candidates are restricted to windows where no in-between
+//!   primitive can error or drop, because `execute` aborts mid-body on
+//!   both; eliding a store that precedes an abort would resurrect it.
+//!
+//! [`ControlMsg::is_entry_op`]: ipsa_core::control::ControlMsg::is_entry_op
+
+use std::collections::BTreeSet;
+
+use ipsa_core::action::{ActionDef, Primitive};
+use ipsa_core::facts::ProgramFacts;
+use ipsa_core::predicate::Predicate;
+use ipsa_core::template::CompiledDesign;
+use ipsa_core::value::{LValueRef, ValueRef};
+
+/// Computes the facts artifact for a compiled design. Deterministic and
+/// pure; the controller re-runs it on every design change and reinstalls
+/// the result.
+pub fn design_facts(design: &CompiledDesign) -> ProgramFacts {
+    let mut facts = ProgramFacts {
+        stable_headers: stable_headers(design),
+        ..Default::default()
+    };
+
+    // Header kill set: headers some registered action may add or remove.
+    // A header in this set can lose (or gain) validity mid-pipeline, so
+    // its parse state must be re-checked at every slot that needs it.
+    let killed = killed_headers(design);
+
+    // Parse elision: walk each path (all ingress slots feed every egress
+    // slot — parse state persists across the Traffic Manager), tracking
+    // the union of headers already ensured by strictly-earlier slots.
+    let mut order = design.selector.ingress_slots();
+    order.extend(design.selector.egress_slots());
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for slot in order {
+        let Some(t) = design.templates.get(slot).and_then(|t| t.as_ref()) else {
+            continue;
+        };
+        let reqs = t.parse_requirements();
+        let elide: Vec<String> = reqs
+            .iter()
+            .filter(|h| seen.contains(*h) && !killed.contains(*h))
+            .cloned()
+            .collect();
+        let unreachable = unreachable_arms(t.branches.iter().map(|b| &b.pred));
+        if !elide.is_empty() || !unreachable.is_empty() {
+            let sf = facts.slots.entry(t.stage_name.clone()).or_default();
+            sf.elide_parse = elide;
+            sf.unreachable_arms = unreachable;
+        }
+        seen.extend(reqs.iter().cloned());
+    }
+
+    for (name, a) in &design.actions {
+        for idx in dead_stores(a) {
+            facts.dead_stores.push((name.clone(), idx));
+        }
+    }
+    facts
+}
+
+/// True when no registered action can add or remove a header.
+fn stable_headers(design: &CompiledDesign) -> bool {
+    design.actions.values().all(|a| {
+        a.body.iter().all(|p| {
+            !matches!(
+                p,
+                Primitive::InsertHeaderAfter { .. } | Primitive::RemoveHeader { .. }
+            )
+        })
+    })
+}
+
+/// Headers some registered action may add or remove.
+fn killed_headers(design: &CompiledDesign) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for a in design.actions.values() {
+        for p in &a.body {
+            match p {
+                Primitive::InsertHeaderAfter { header, .. }
+                | Primitive::RemoveHeader { header } => {
+                    out.insert(header.clone());
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Branch indices that can never be the first true predicate: shadowed by
+/// an earlier always-true or structurally identical guard, or themselves
+/// self-contradictory. Uses only decidable structural rules, so a proven
+/// index is unreachable for *every* packet and entry population.
+fn unreachable_arms<'a>(preds: impl Iterator<Item = &'a Predicate>) -> Vec<usize> {
+    let preds: Vec<&Predicate> = preds.collect();
+    let mut out = Vec::new();
+    let mut shadow_from: Option<usize> = None;
+    for (j, p) in preds.iter().enumerate() {
+        if let Some(_m) = shadow_from {
+            out.push(j);
+            continue;
+        }
+        // `p.mutually_exclusive(p)` pairs every conjunction factor of `p`
+        // with every other, so it is exactly "self-contradictory".
+        if p.mutually_exclusive(p) {
+            out.push(j);
+            continue;
+        }
+        if preds[..j].contains(p) {
+            out.push(j);
+            continue;
+        }
+        if matches!(p, Predicate::True) {
+            shadow_from = Some(j);
+        }
+    }
+    out
+}
+
+/// Primitives `execute` can run without erroring or dropping regardless of
+/// packet or entry contents — the only ones allowed between a dead store
+/// and its overwrite. Reading a `Param` may be out of bounds and reading a
+/// header `Field` may hit an absent header; both abort the body.
+fn prim_is_safe(p: &Primitive) -> bool {
+    let v_safe = |v: &ValueRef| matches!(v, ValueRef::Const(_) | ValueRef::Meta(_));
+    match p {
+        Primitive::NoAction => true,
+        Primitive::Set {
+            dst: LValueRef::Meta(_),
+            src,
+        } => v_safe(src),
+        Primitive::Alu {
+            dst: LValueRef::Meta(_),
+            a,
+            b,
+            ..
+        } => v_safe(a) && v_safe(b),
+        Primitive::Hash {
+            dst: LValueRef::Meta(_),
+            inputs,
+            ..
+        } => inputs.iter().all(v_safe),
+        Primitive::Forward { port } => v_safe(port),
+        Primitive::Mark { value } => v_safe(value),
+        _ => false,
+    }
+}
+
+/// Metadata a safe primitive reads.
+fn safe_prim_reads(p: &Primitive, out: &mut BTreeSet<String>) {
+    let v = |v: &ValueRef, out: &mut BTreeSet<String>| {
+        if let ValueRef::Meta(m) = v {
+            out.insert(m.clone());
+        }
+    };
+    match p {
+        Primitive::Set { src, .. } => v(src, out),
+        Primitive::Alu { a, b, .. } => {
+            v(a, out);
+            v(b, out);
+        }
+        Primitive::Hash { inputs, .. } => {
+            for i in inputs {
+                v(i, out);
+            }
+        }
+        Primitive::Forward { port } => v(port, out),
+        Primitive::Mark { value } => v(value, out),
+        _ => {}
+    }
+}
+
+/// Metadata field a safe primitive writes.
+fn safe_prim_write(p: &Primitive) -> Option<String> {
+    match p {
+        Primitive::Set {
+            dst: LValueRef::Meta(m),
+            ..
+        }
+        | Primitive::Alu {
+            dst: LValueRef::Meta(m),
+            ..
+        }
+        | Primitive::Hash {
+            dst: LValueRef::Meta(m),
+            ..
+        } => Some(m.clone()),
+        Primitive::Forward { .. } => Some("egress_port".into()),
+        Primitive::Mark { .. } => Some("mark".into()),
+        _ => None,
+    }
+}
+
+/// Indices of provably dead metadata stores in one action body.
+///
+/// A store at `i` is dead when a later store at `j` targets the same
+/// metadata field, every primitive in `(i, j]` is [safe](prim_is_safe)
+/// (cannot error or drop, so the body provably reaches `j`), and none of
+/// them reads the field. The caller substitutes `NoAction` — never removes
+/// the primitive — so `ActionOutcome::primitives` counts are unchanged.
+fn dead_stores(a: &ActionDef) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (i, p) in a.body.iter().enumerate() {
+        // Only plain meta-to-meta/const copies qualify as the *elided*
+        // store: its own evaluation must also be side-effect free.
+        let Primitive::Set {
+            dst: LValueRef::Meta(field),
+            src: ValueRef::Const(_) | ValueRef::Meta(_),
+        } = p
+        else {
+            continue;
+        };
+        let mut provable = false;
+        for q in &a.body[i + 1..] {
+            if !prim_is_safe(q) {
+                break;
+            }
+            let mut reads = BTreeSet::new();
+            safe_prim_reads(q, &mut reads);
+            if reads.contains(field) {
+                break;
+            }
+            if safe_prim_write(q).as_deref() == Some(field) {
+                provable = true;
+                break;
+            }
+        }
+        if provable {
+            out.push(i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsa_core::predicate::CmpOp;
+    use ipsa_core::template::{MatcherBranch, TspTemplate};
+
+    fn set_meta(field: &str, v: u128) -> Primitive {
+        Primitive::Set {
+            dst: LValueRef::Meta(field.into()),
+            src: ValueRef::Const(v),
+        }
+    }
+
+    #[test]
+    fn dead_store_found_and_windows_respected() {
+        let a = ActionDef {
+            name: "a".into(),
+            params: vec![],
+            body: vec![
+                set_meta("x", 1),
+                Primitive::NoAction,
+                set_meta("x", 2), // kills index 0
+            ],
+        };
+        assert_eq!(dead_stores(&a), vec![0]);
+
+        // An intervening read keeps the first store alive.
+        let b = ActionDef {
+            name: "b".into(),
+            params: vec![],
+            body: vec![
+                set_meta("x", 1),
+                Primitive::Set {
+                    dst: LValueRef::Meta("y".into()),
+                    src: ValueRef::Meta("x".into()),
+                },
+                set_meta("x", 2),
+            ],
+        };
+        assert!(dead_stores(&b).is_empty());
+
+        // An unsafe primitive (may error) in the window blocks the proof.
+        let c = ActionDef {
+            name: "c".into(),
+            params: vec![],
+            body: vec![
+                set_meta("x", 1),
+                Primitive::Set {
+                    dst: LValueRef::Meta("y".into()),
+                    src: ValueRef::Param(0),
+                },
+                set_meta("x", 2),
+            ],
+        };
+        assert!(dead_stores(&c).is_empty());
+    }
+
+    #[test]
+    fn unreachable_after_unconditional_and_duplicates() {
+        let p_true = Predicate::True;
+        let cmp = Predicate::Cmp {
+            lhs: ValueRef::Meta("x".into()),
+            op: CmpOp::Eq,
+            rhs: ValueRef::Const(1),
+        };
+        let contradiction = Predicate::and(
+            Predicate::IsValid("h".into()),
+            Predicate::Not(Box::new(Predicate::IsValid("h".into()))),
+        );
+        // [cmp, cmp(dup), contradiction, True, cmp] → 1, 2, 4 unreachable.
+        let preds = [&cmp, &cmp, &contradiction, &p_true, &cmp];
+        assert_eq!(unreachable_arms(preds.iter().copied()), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn facts_for_two_slot_design() {
+        let mut d = CompiledDesign::empty("t", 2);
+        let mut t0 = TspTemplate::passthrough("s0");
+        t0.parse = vec!["ethernet".into(), "ipv4".into()];
+        let mut t1 = TspTemplate::passthrough("s1");
+        t1.parse = vec!["ipv4".into()];
+        t1.branches = vec![
+            MatcherBranch {
+                pred: Predicate::True,
+                table: None,
+            },
+            MatcherBranch {
+                pred: Predicate::IsValid("ipv4".into()),
+                table: None,
+            },
+        ];
+        d.templates[0] = Some(t0);
+        d.templates[1] = Some(t1);
+        d.selector = ipsa_core::pipeline_cfg::SelectorConfig::split(2, 1, 1).unwrap();
+        let f = design_facts(&d);
+        assert!(f.stable_headers);
+        let s1 = f.slot("s1").expect("slot facts for s1");
+        assert_eq!(s1.elide_parse, vec!["ipv4".to_string()]);
+        assert_eq!(s1.unreachable_arms, vec![1]);
+        assert!(f.slot("s0").is_none());
+    }
+
+    #[test]
+    fn header_mutators_disable_stability_and_elision() {
+        let mut d = CompiledDesign::empty("t", 2);
+        let mut t0 = TspTemplate::passthrough("s0");
+        t0.parse = vec!["ipv4".into()];
+        let mut t1 = TspTemplate::passthrough("s1");
+        t1.parse = vec!["ipv4".into()];
+        d.templates[0] = Some(t0);
+        d.templates[1] = Some(t1);
+        d.selector = ipsa_core::pipeline_cfg::SelectorConfig::split(2, 1, 1).unwrap();
+        d.actions.insert(
+            "decap".into(),
+            ActionDef {
+                name: "decap".into(),
+                params: vec![],
+                body: vec![Primitive::RemoveHeader {
+                    header: "ipv4".into(),
+                }],
+            },
+        );
+        let f = design_facts(&d);
+        assert!(!f.stable_headers);
+        // ipv4 is in the kill set, so its re-ensure cannot be elided.
+        assert!(f.slot("s1").is_none());
+    }
+}

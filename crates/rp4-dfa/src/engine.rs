@@ -1,0 +1,163 @@
+//! A small forward worklist fixpoint engine.
+//!
+//! The control-flow graphs this crate analyzes are the rP4 stage chains
+//! (linear today, but the engine takes arbitrary edges so parser DAGs and
+//! future branching controls reuse it). Nodes hold one abstract state from
+//! a [`Lattice`]; `transfer` maps a node's in-state to its out-state; the
+//! in-state of a node is the join of its predecessors' out-states (or the
+//! entry state for roots). Iteration runs to fixpoint, which exists and is
+//! reached because `transfer` is monotone for every analysis here and the
+//! lattices have finite height.
+
+use std::collections::VecDeque;
+
+use crate::lattice::Lattice;
+
+/// A control-flow graph over `n` nodes, described by its edge list.
+#[derive(Debug, Clone, Default)]
+pub struct Cfg {
+    /// Successors of each node.
+    pub succs: Vec<Vec<usize>>,
+    /// Predecessors of each node.
+    pub preds: Vec<Vec<usize>>,
+}
+
+impl Cfg {
+    /// A graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Cfg {
+            succs: vec![Vec::new(); n],
+            preds: vec![Vec::new(); n],
+        }
+    }
+
+    /// A straight-line chain `0 → 1 → … → n-1`.
+    pub fn chain(n: usize) -> Self {
+        let mut g = Cfg::new(n);
+        for i in 1..n {
+            g.add_edge(i - 1, i);
+        }
+        g
+    }
+
+    /// Adds a directed edge.
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        self.succs[from].push(to);
+        self.preds[to].push(from);
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+}
+
+/// Per-node result of a fixpoint run.
+#[derive(Debug, Clone)]
+pub struct Fixpoint<L> {
+    /// In-state of each node (join of predecessors, or entry for roots).
+    pub input: Vec<L>,
+    /// Out-state of each node (`transfer` applied to the in-state).
+    pub output: Vec<L>,
+}
+
+/// Runs `transfer` to fixpoint over `cfg`, starting every root (node with
+/// no predecessors) from `entry`. Returns the stable in/out states.
+pub fn fixpoint<L: Lattice>(
+    cfg: &Cfg,
+    entry: &L,
+    mut transfer: impl FnMut(usize, &L) -> L,
+) -> Fixpoint<L> {
+    let n = cfg.len();
+    let mut input: Vec<L> = vec![entry.clone(); n];
+    let mut output: Vec<L> = (0..n).map(|i| transfer(i, &input[i])).collect();
+    let mut queued = vec![true; n];
+    let mut work: VecDeque<usize> = (0..n).collect();
+    while let Some(i) = work.pop_front() {
+        queued[i] = false;
+        let mut inp = entry.clone();
+        let mut first = true;
+        for &p in &cfg.preds[i] {
+            if first {
+                inp = output[p].clone();
+                first = false;
+            } else {
+                inp = inp.join(&output[p]);
+            }
+        }
+        let out = transfer(i, &inp);
+        input[i] = inp;
+        if out != output[i] {
+            output[i] = out;
+            for &s in &cfg.succs[i] {
+                if !queued[s] {
+                    queued[s] = true;
+                    work.push_back(s);
+                }
+            }
+        }
+    }
+    Fixpoint { input, output }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::Interval;
+
+    #[test]
+    fn chain_propagates_in_one_pass() {
+        // Each node widens the interval's hi by its index.
+        let cfg = Cfg::chain(4);
+        let fx = fixpoint(&cfg, &Interval::constant(0), |i, s| Interval {
+            lo: s.lo,
+            hi: s.hi.max(i as u128),
+        });
+        assert_eq!(fx.input[3].hi, 2);
+        assert_eq!(fx.output[3].hi, 3);
+    }
+
+    #[test]
+    fn diamond_joins_both_branches() {
+        //   0
+        //  / \
+        // 1   2
+        //  \ /
+        //   3
+        let mut cfg = Cfg::new(4);
+        cfg.add_edge(0, 1);
+        cfg.add_edge(0, 2);
+        cfg.add_edge(1, 3);
+        cfg.add_edge(2, 3);
+        let fx = fixpoint(&cfg, &Interval::constant(0), |i, s| match i {
+            1 => Interval::constant(10),
+            2 => Interval::constant(3),
+            _ => *s,
+        });
+        // Node 3 sees the hull of both branch constants.
+        assert_eq!(fx.input[3], Interval { lo: 3, hi: 10 });
+    }
+
+    #[test]
+    fn cyclic_graph_terminates_at_fixpoint() {
+        // 0 → 1 → 2 → 1 (loop); transfer is monotone (join with a constant).
+        let mut cfg = Cfg::new(3);
+        cfg.add_edge(0, 1);
+        cfg.add_edge(1, 2);
+        cfg.add_edge(2, 1);
+        use crate::lattice::Lattice;
+        let fx = fixpoint(&cfg, &Interval::constant(1), |i, s| {
+            if i == 2 {
+                s.join(&Interval::constant(40))
+            } else {
+                *s
+            }
+        });
+        assert_eq!(fx.input[1], Interval { lo: 1, hi: 40 });
+    }
+}

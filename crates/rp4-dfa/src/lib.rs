@@ -1,0 +1,117 @@
+//! Abstract-interpretation dataflow analysis for rP4.
+//!
+//! This crate adds the third diagnostic block (RP43xx) on top of the
+//! semantic checker (RP40xx), resource verifier (RP41xx), and update
+//! verifier (RP42xx): a worklist fixpoint over the stage-chain CFG with
+//! pluggable abstract domains ([`lattice`]), run in two settings:
+//!
+//! 1. **AST level** ([`analyze_program`]): RP4301–RP4305 over a checked
+//!    [`Program`], gated exactly like the other blocks in `rp4c check`,
+//!    `apply_plan`, and CI. [`check_plan`] adds RP4306, the plan-level
+//!    regression check.
+//! 2. **Design level** ([`design_facts`]): distills proofs about a
+//!    [`CompiledDesign`] into a serialized [`ProgramFacts`] artifact the
+//!    device's epoch compiler uses to skip statically-redundant work —
+//!    recomputed by the controller on every design change, never stale.
+//!
+//! [`Program`]: rp4_lang::Program
+//! [`CompiledDesign`]: ipsa_core::template::CompiledDesign
+//! [`ProgramFacts`]: ipsa_core::facts::ProgramFacts
+
+pub mod design;
+pub mod engine;
+pub mod lattice;
+pub mod plan;
+pub mod program;
+
+pub use design::design_facts;
+pub use plan::check_plan;
+pub use program::analyze_program;
+
+use rp4_lang::Diagnostic;
+
+/// Diagnostic codes of the dataflow block.
+pub mod codes {
+    /// Access to a header an earlier stage may have removed, without an
+    /// `isValid` guard (error).
+    pub const INVALID_HEADER_USE: &str = "RP4301";
+    /// Read of a metadata field no reachable earlier action writes
+    /// (warning).
+    pub const UNINIT_META_READ: &str = "RP4302";
+    /// Store overwritten before any read in the same action body
+    /// (warning).
+    pub const DEAD_STORE: &str = "RP4303";
+    /// Unreachable matcher arm, table, or stage (warning).
+    pub const UNREACHABLE: &str = "RP4304";
+    /// Guard provably always true — a no-op filter (warning).
+    pub const TAUTOLOGICAL_GUARD: &str = "RP4305";
+    /// Update plan invalidates a dataflow fact the surviving program
+    /// relies on (error).
+    pub const PLAN_FACT_REGRESSION: &str = "RP4306";
+}
+
+/// Merges dataflow findings into an existing finding list, dropping RP43xx
+/// findings that re-report a root cause RP4106 (dead code) already covers.
+///
+/// Both lints can fire on one unclaimed stage or unused item; the subject
+/// of every finding is its first backtick-quoted name, so a dataflow
+/// finding whose subject matches an RP4106 finding's subject is the same
+/// root cause reported twice. The RP4106 finding wins (it carries the
+/// removal guidance).
+pub fn merge_findings(existing: &[Diagnostic], dfa: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let dead_subjects: Vec<String> = existing
+        .iter()
+        .filter(|d| d.code == "RP4106")
+        .filter_map(|d| first_backticked(&d.message))
+        .collect();
+    dfa.into_iter()
+        .filter(|d| {
+            !d.code.starts_with("RP43")
+                || first_backticked(&d.message).is_none_or(|s| !dead_subjects.contains(&s))
+        })
+        .collect()
+}
+
+/// First backtick-quoted token of a diagnostic message.
+fn first_backticked(msg: &str) -> Option<String> {
+    let start = msg.find('`')? + 1;
+    let len = msg[start..].find('`')?;
+    Some(msg[start..start + len].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp4_lang::Diagnostic;
+
+    #[test]
+    fn merge_drops_duplicate_root_cause() {
+        let existing = vec![Diagnostic::warning(
+            "RP4106",
+            "stage `floating` is defined but not part of any function",
+        )];
+        let dfa = vec![
+            Diagnostic::warning(
+                "RP4304",
+                "stage `floating` is unreachable: no `user_funcs` entry claims it",
+            ),
+            Diagnostic::warning(
+                "RP4304",
+                "arm 1 of stage `fwd` is unreachable: arm 0 is unconditional",
+            ),
+        ];
+        let merged = merge_findings(&existing, dfa);
+        assert_eq!(merged.len(), 1);
+        assert!(merged[0].message.contains("`fwd`"));
+    }
+
+    #[test]
+    fn merge_keeps_unrelated_findings() {
+        let existing = vec![Diagnostic::warning("RP4106", "action `spare` is unused")];
+        let dfa = vec![Diagnostic::warning(
+            "RP4302",
+            "guard in stage `s` reads `meta.ghost` but no reachable earlier action writes it",
+        )];
+        assert_eq!(merge_findings(&existing, dfa).len(), 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! Update-plan fact checking: the RP4306 diagnostic.
+//!
+//! An in-situ update can silently orphan a metadata field: the snippet
+//! replaces or removes every action that wrote `meta.f`, while some
+//! surviving stage still reads it — after the update the read always sees
+//! the zero-initialized value. Each side of the comparison uses the
+//! order-insensitive *must-uninitialized* read set (fields read by live
+//! stages that **no** action reachable from a live stage writes), so the
+//! verdict is stable under the controller's stage relinking and absorbed-
+//! snippet placement. Only *new* uninitialized reads are errors: a field
+//! that was already writer-less before the update is pre-existing debt,
+//! not a plan regression.
+
+use rp4_lang::ast::Program;
+use rp4_lang::semantic::Env;
+use rp4_lang::{Diagnostic, ItemKind};
+
+use crate::codes;
+use crate::program::must_uninit_reads;
+
+/// Compares the post-update program against the pre-update one and reports
+/// an RP4306 error for every metadata field whose last writer the update
+/// removes while a live stage still reads it.
+pub fn check_plan(pre: &Program, post: &Program) -> Vec<Diagnostic> {
+    let pre_env = Env::build(None, pre);
+    let post_env = Env::build(None, post);
+    let pre_uninit = must_uninit_reads(pre, &pre_env);
+    let post_uninit = must_uninit_reads(post, &post_env);
+    let mut diags = Vec::new();
+    for (field, stage) in &post_uninit {
+        if pre_uninit.contains_key(field) {
+            continue;
+        }
+        diags.push(
+            Diagnostic::error(
+                codes::PLAN_FACT_REGRESSION,
+                format!(
+                    "update removes every writer of `{}.{field}`, which stage `{stage}` still reads",
+                    post_env.meta_alias
+                ),
+            )
+            .with_span(
+                post.spans
+                    .get(ItemKind::Stage, stage)
+                    .or_else(|| pre.spans.get(ItemKind::Stage, stage)),
+            )
+            .with_note(
+                "after this update the read always sees the zero-initialized value; keep a writer or drop the read (or pass --force to apply anyway)",
+            ),
+        );
+    }
+    diags
+}

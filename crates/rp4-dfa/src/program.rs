@@ -1,0 +1,782 @@
+//! AST-level abstract interpretation: the RP4301–RP4305 diagnostics.
+//!
+//! The stage chain (ingress stages in pipeline order, then egress stages —
+//! metadata and parse state persist across the Traffic Manager) is the CFG;
+//! the product state [`AbsState`] carries three lattices: a may-removed
+//! header set (validity), a may-written metadata set (uninitialized-read
+//! taint), and per-field value intervals. Transfer functions interpret
+//! every action a stage can reach as a *weak* update (the action may not
+//! run), interpreting each body sequentially with strong local updates.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rp4_lang::ast::{ActionDecl, CmpOpAst, Expr, MatcherArm, PredExpr, Program, StageDecl, Stmt};
+use rp4_lang::semantic::{Env, INTRINSIC_META};
+use rp4_lang::{Diagnostic, ItemKind};
+
+use crate::codes;
+use crate::engine::{fixpoint, Cfg};
+use crate::lattice::{max_value, AbsState, CmpKind, Interval, Lattice};
+
+/// Runs every AST analysis over the checked program and returns the RP43xx
+/// findings, in stage order. `env` must come from the same `check` that
+/// accepted the program.
+pub fn analyze_program(prog: &Program, env: &Env) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    // Stage-level reachability: with a `user_funcs` section, unclaimed
+    // stages have no inbound pipeline edge. (RP4106 reports the same root
+    // cause; `merge_findings` keeps only one of the two.)
+    if prog.user_funcs.is_some() {
+        for s in prog.stages() {
+            if prog.func_of_stage(&s.name).is_empty() {
+                diags.push(
+                    Diagnostic::warning(
+                        codes::UNREACHABLE,
+                        format!(
+                            "stage `{}` is unreachable: no `user_funcs` entry claims it, so it is never linked into the pipeline",
+                            s.name
+                        ),
+                    )
+                    .with_span(prog.spans.get(ItemKind::Stage, &s.name))
+                    .with_note("an unclaimed stage has no inbound pipeline edge"),
+                );
+            }
+        }
+    }
+
+    let live = live_stages(prog);
+    let cfg = Cfg::chain(live.len());
+    let fx = fixpoint(&cfg, &AbsState::default(), |i, s| {
+        transfer_stage(live[i], prog, env, s)
+    });
+
+    let mut uninit_seen: BTreeSet<(String, String)> = BTreeSet::new();
+    for (i, stage) in live.iter().enumerate() {
+        check_stage(stage, prog, env, &fx.input[i], &mut uninit_seen, &mut diags);
+    }
+    check_dead_stores(prog, &live, &mut diags);
+    diags
+}
+
+/// Stages actually linked into the pipeline, ingress chain first. Without
+/// a `user_funcs` section every stage is considered live.
+fn live_stages(prog: &Program) -> Vec<&StageDecl> {
+    prog.stages()
+        .filter(|s| prog.user_funcs.is_none() || !prog.func_of_stage(&s.name).is_empty())
+        .collect()
+}
+
+fn is_intrinsic(field: &str) -> bool {
+    INTRINSIC_META.iter().any(|(n, _)| *n == field)
+}
+
+/// Metadata fields a builtin call writes.
+fn builtin_meta_writes(name: &str) -> &'static [&'static str] {
+    match name {
+        "forward" => &["egress_port"],
+        "mark" | "mark_if_count_over" => &["mark"],
+        "drop" => &["drop"],
+        _ => &[],
+    }
+}
+
+/// Action names a stage can reach: executor arms plus every applied
+/// table's offered and default actions.
+fn stage_action_names(stage: &StageDecl, prog: &Program) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let push = |n: &str, out: &mut Vec<String>| {
+        if !out.iter().any(|x| x == n) {
+            out.push(n.to_string());
+        }
+    };
+    for (_, a, _) in &stage.executor {
+        push(a, &mut out);
+    }
+    for arm in &stage.matcher {
+        if let Some(t) = arm.table.as_ref().and_then(|t| prog.table(t)) {
+            for a in &t.actions {
+                push(a, &mut out);
+            }
+            if let Some((a, _)) = &t.default_action {
+                push(a, &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// Action names one matcher arm can trigger (its table's actions and
+/// default, dispatched through the stage executor).
+fn arm_action_names(stage: &StageDecl, arm: &MatcherArm, prog: &Program) -> Vec<String> {
+    let Some(t) = arm.table.as_ref().and_then(|t| prog.table(t)) else {
+        return Vec::new();
+    };
+    let mut out: Vec<String> = Vec::new();
+    let push = |n: &str, out: &mut Vec<String>| {
+        if !out.iter().any(|x| x == n) {
+            out.push(n.to_string());
+        }
+    };
+    for a in &t.actions {
+        push(a, &mut out);
+    }
+    if let Some((a, _)) = &t.default_action {
+        push(a, &mut out);
+    }
+    for (_, a, _) in &stage.executor {
+        push(a, &mut out);
+    }
+    out
+}
+
+// ---------------------------------------------------------------- transfer
+
+fn transfer_stage(stage: &StageDecl, prog: &Program, env: &Env, input: &AbsState) -> AbsState {
+    let mut out = input.clone();
+    for name in stage_action_names(stage, prog) {
+        if let Some(a) = prog.action(&name) {
+            out = out.join(&action_effect(a, env, input));
+        }
+    }
+    out
+}
+
+/// Interprets one action body sequentially (strong local updates) starting
+/// from `input`; the caller joins the result back in (weak update, since
+/// the action may not run).
+fn action_effect(a: &ActionDecl, env: &Env, input: &AbsState) -> AbsState {
+    let mut st = input.clone();
+    for stmt in &a.body {
+        match stmt {
+            Stmt::Assign { lval, expr } => {
+                if lval.scope == env.meta_alias {
+                    let w = env.width_of(&lval.scope, &lval.field).unwrap_or(128);
+                    let v = clamp(eval_expr(expr, env, Some(a), &st), w);
+                    st.intervals.insert(lval.field.clone(), v);
+                    st.may_written.insert(lval.field.clone());
+                }
+            }
+            Stmt::Call { name, args } => {
+                if name == "remove_header" {
+                    if let Some(Expr::Ident(h) | Expr::Qualified(h, _)) = args.first() {
+                        st.may_removed.insert(h.clone());
+                    }
+                }
+                for f in builtin_meta_writes(name) {
+                    let w = INTRINSIC_META
+                        .iter()
+                        .find(|(n, _)| n == f)
+                        .map_or(128, |(_, b)| *b);
+                    st.intervals.insert((*f).to_string(), Interval::top(w));
+                    st.may_written.insert((*f).to_string());
+                }
+            }
+        }
+    }
+    st
+}
+
+fn clamp(iv: Interval, bits: usize) -> Interval {
+    if iv.hi <= max_value(bits) {
+        iv
+    } else {
+        Interval::top(bits)
+    }
+}
+
+/// Interval of an expression under `st`. `action` supplies parameter
+/// widths when the expression sits in an action body.
+fn eval_expr(e: &Expr, env: &Env, action: Option<&ActionDecl>, st: &AbsState) -> Interval {
+    match e {
+        Expr::Int(c) => Interval::constant(*c),
+        Expr::Qualified(scope, field) => {
+            if scope == &env.meta_alias {
+                if is_intrinsic(field) && !st.intervals.contains_key(field) {
+                    // Intrinsics (e.g. ingress_port) are environment-set,
+                    // not zero-initialized.
+                    let w = env.width_of(scope, field).unwrap_or(128);
+                    Interval::top(w)
+                } else {
+                    st.interval_of(field)
+                }
+            } else {
+                Interval::top(env.width_of(scope, field).unwrap_or(128))
+            }
+        }
+        Expr::Ident(p) => {
+            let w = action
+                .and_then(|a| a.params.iter().find(|(n, _)| n == p))
+                .map_or(128, |(_, b)| *b);
+            Interval::top(w)
+        }
+        Expr::Bin { op, lhs, rhs } => {
+            let l = eval_expr(lhs, env, action, st);
+            let r = eval_expr(rhs, env, action, st);
+            if l.is_constant() && r.is_constant() {
+                use rp4_lang::ast::BinOp;
+                let v = match op {
+                    BinOp::Add => l.lo.wrapping_add(r.lo),
+                    BinOp::Sub => l.lo.wrapping_sub(r.lo),
+                    BinOp::And => l.lo & r.lo,
+                    BinOp::Or => l.lo | r.lo,
+                    BinOp::Xor => l.lo ^ r.lo,
+                    BinOp::Shl => l.lo.wrapping_shl((r.lo as u32).min(127)),
+                    BinOp::Shr => l.lo.wrapping_shr((r.lo as u32).min(127)),
+                    BinOp::Mod if r.lo != 0 => l.lo % r.lo,
+                    BinOp::Mod => return Interval::top(128),
+                };
+                Interval::constant(v)
+            } else {
+                Interval::top(128)
+            }
+        }
+        Expr::Hash(_) => Interval::top(128),
+    }
+}
+
+/// Three-valued predicate evaluation under the interval state.
+fn eval_pred(p: &PredExpr, env: &Env, st: &AbsState) -> Option<bool> {
+    match p {
+        PredExpr::IsValid(_) => None,
+        PredExpr::Not(q) => eval_pred(q, env, st).map(|b| !b),
+        PredExpr::And(a, b) => match (eval_pred(a, env, st), eval_pred(b, env, st)) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        },
+        PredExpr::Or(a, b) => match (eval_pred(a, env, st), eval_pred(b, env, st)) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        },
+        PredExpr::Cmp { lhs, op, rhs } => {
+            let l = eval_expr(lhs, env, None, st);
+            let r = eval_expr(rhs, env, None, st);
+            l.compare(cmp_kind(*op), &r)
+        }
+    }
+}
+
+fn cmp_kind(op: CmpOpAst) -> CmpKind {
+    match op {
+        CmpOpAst::Eq => CmpKind::Eq,
+        CmpOpAst::Ne => CmpKind::Ne,
+        CmpOpAst::Lt => CmpKind::Lt,
+        CmpOpAst::Le => CmpKind::Le,
+        CmpOpAst::Gt => CmpKind::Gt,
+        CmpOpAst::Ge => CmpKind::Ge,
+    }
+}
+
+/// Top-level conjunction factors of a guard.
+fn conjuncts(p: &PredExpr) -> Vec<&PredExpr> {
+    match p {
+        PredExpr::And(a, b) => {
+            let mut v = conjuncts(a);
+            v.extend(conjuncts(b));
+            v
+        }
+        other => vec![other],
+    }
+}
+
+/// True when two conjunction factors can provably never both hold.
+fn factors_contradict(a: &PredExpr, b: &PredExpr) -> bool {
+    match (a, b) {
+        (PredExpr::IsValid(h), PredExpr::Not(q)) | (PredExpr::Not(q), PredExpr::IsValid(h)) => {
+            matches!(&**q, PredExpr::IsValid(h2) if h2 == h)
+        }
+        (
+            PredExpr::Cmp {
+                lhs: l1,
+                op: CmpOpAst::Eq,
+                rhs: Expr::Int(c1),
+            },
+            PredExpr::Cmp {
+                lhs: l2,
+                op: CmpOpAst::Eq,
+                rhs: Expr::Int(c2),
+            },
+        ) => l1 == l2 && c1 != c2,
+        _ => false,
+    }
+}
+
+fn self_contradictory(p: &PredExpr) -> bool {
+    let fs = conjuncts(p);
+    for (i, a) in fs.iter().enumerate() {
+        for b in &fs[i + 1..] {
+            if factors_contradict(a, b) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+// ------------------------------------------------------------- read sets
+
+fn expr_meta_reads(e: &Expr, env: &Env, out: &mut BTreeSet<String>) {
+    match e {
+        Expr::Qualified(scope, field) if scope == &env.meta_alias => {
+            out.insert(field.clone());
+        }
+        Expr::Bin { lhs, rhs, .. } => {
+            expr_meta_reads(lhs, env, out);
+            expr_meta_reads(rhs, env, out);
+        }
+        Expr::Hash(es) => {
+            for e in es {
+                expr_meta_reads(e, env, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn pred_meta_reads(p: &PredExpr, env: &Env, out: &mut BTreeSet<String>) {
+    match p {
+        PredExpr::Not(q) => pred_meta_reads(q, env, out),
+        PredExpr::And(a, b) | PredExpr::Or(a, b) => {
+            pred_meta_reads(a, env, out);
+            pred_meta_reads(b, env, out);
+        }
+        PredExpr::Cmp { lhs, rhs, .. } => {
+            expr_meta_reads(lhs, env, out);
+            expr_meta_reads(rhs, env, out);
+        }
+        PredExpr::IsValid(_) => {}
+    }
+}
+
+/// Header *field* accesses (header name only) — `isValid()` checks are
+/// excluded: inspecting validity of a removed header is well-defined.
+fn expr_header_reads(e: &Expr, env: &Env, out: &mut BTreeSet<String>) {
+    match e {
+        Expr::Qualified(scope, _) if env.headers.contains_key(scope) => {
+            out.insert(scope.clone());
+        }
+        Expr::Bin { lhs, rhs, .. } => {
+            expr_header_reads(lhs, env, out);
+            expr_header_reads(rhs, env, out);
+        }
+        Expr::Hash(es) => {
+            for e in es {
+                expr_header_reads(e, env, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn pred_header_reads(p: &PredExpr, env: &Env, out: &mut BTreeSet<String>) {
+    match p {
+        PredExpr::Not(q) => pred_header_reads(q, env, out),
+        PredExpr::And(a, b) | PredExpr::Or(a, b) => {
+            pred_header_reads(a, env, out);
+            pred_header_reads(b, env, out);
+        }
+        PredExpr::Cmp { lhs, rhs, .. } => {
+            expr_header_reads(lhs, env, out);
+            expr_header_reads(rhs, env, out);
+        }
+        PredExpr::IsValid(_) => {}
+    }
+}
+
+/// Headers whose validity a guard's top-level conjunction proves.
+fn proven_valid(guard: Option<&PredExpr>) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    if let Some(g) = guard {
+        for f in conjuncts(g) {
+            if let PredExpr::IsValid(h) = f {
+                out.insert(h.clone());
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- checks
+
+fn check_stage(
+    stage: &StageDecl,
+    prog: &Program,
+    env: &Env,
+    input: &AbsState,
+    uninit_seen: &mut BTreeSet<(String, String)>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let stage_span = prog.spans.get(ItemKind::Stage, &stage.name);
+
+    // --- RP4302: reads of metadata nothing earlier may write -------------
+    let mut report_uninit = |field: &str, site: String, span, diags: &mut Vec<Diagnostic>| {
+        if input.may_written.contains(field) || is_intrinsic(field) {
+            return;
+        }
+        if uninit_seen.insert((stage.name.clone(), field.to_string())) {
+            diags.push(
+                Diagnostic::warning(
+                    codes::UNINIT_META_READ,
+                    format!(
+                        "{site} reads `{}.{field}` but no reachable earlier action writes it",
+                        env.meta_alias
+                    ),
+                )
+                .with_span(span)
+                .with_note("metadata is zero-initialized; if the zero is intended, write it explicitly in an earlier stage"),
+            );
+        }
+    };
+
+    for arm in &stage.matcher {
+        let mut reads = BTreeSet::new();
+        if let Some(g) = &arm.guard {
+            pred_meta_reads(g, env, &mut reads);
+        }
+        for f in &reads {
+            report_uninit(
+                f,
+                format!("guard in stage `{}`", stage.name),
+                stage_span,
+                diags,
+            );
+        }
+        if let Some(t) = arm.table.as_ref().and_then(|t| prog.table(t)) {
+            let mut reads = BTreeSet::new();
+            for (e, _) in &t.key {
+                expr_meta_reads(e, env, &mut reads);
+            }
+            for f in &reads {
+                report_uninit(
+                    f,
+                    format!("table `{}` key (stage `{}`)", t.name, stage.name),
+                    prog.spans.get(ItemKind::Table, &t.name).or(stage_span),
+                    diags,
+                );
+            }
+        }
+    }
+    for name in stage_action_names(stage, prog) {
+        let Some(a) = prog.action(&name) else {
+            continue;
+        };
+        let mut local: BTreeSet<String> = input.may_written.clone();
+        for stmt in &a.body {
+            let mut reads = BTreeSet::new();
+            match stmt {
+                Stmt::Assign { lval, expr } => {
+                    expr_meta_reads(expr, env, &mut reads);
+                    for f in &reads {
+                        if !local.contains(f) {
+                            report_uninit(
+                                f,
+                                format!("action `{}` (stage `{}`)", a.name, stage.name),
+                                prog.spans.get(ItemKind::Action, &a.name).or(stage_span),
+                                diags,
+                            );
+                        }
+                    }
+                    if lval.scope == env.meta_alias {
+                        local.insert(lval.field.clone());
+                    }
+                }
+                Stmt::Call { name, args } => {
+                    for e in args {
+                        expr_meta_reads(e, env, &mut reads);
+                    }
+                    for f in &reads {
+                        if !local.contains(f) {
+                            report_uninit(
+                                f,
+                                format!("action `{}` (stage `{}`)", a.name, stage.name),
+                                prog.spans.get(ItemKind::Action, &a.name).or(stage_span),
+                                diags,
+                            );
+                        }
+                    }
+                    for f in builtin_meta_writes(name) {
+                        local.insert((*f).to_string());
+                    }
+                }
+            }
+        }
+    }
+
+    // --- RP4301: access to a possibly-removed header without a guard -----
+    if !input.may_removed.is_empty() {
+        let mut reported: BTreeSet<String> = BTreeSet::new();
+        for arm in &stage.matcher {
+            let proven = proven_valid(arm.guard.as_ref());
+            let mut touched = BTreeSet::new();
+            if let Some(g) = &arm.guard {
+                pred_header_reads(g, env, &mut touched);
+            }
+            if let Some(t) = arm.table.as_ref().and_then(|t| prog.table(t)) {
+                for (e, _) in &t.key {
+                    expr_header_reads(e, env, &mut touched);
+                }
+            }
+            for name in arm_action_names(stage, arm, prog) {
+                if let Some(a) = prog.action(&name) {
+                    for stmt in &a.body {
+                        match stmt {
+                            Stmt::Assign { lval, expr } => {
+                                if env.headers.contains_key(&lval.scope) {
+                                    touched.insert(lval.scope.clone());
+                                }
+                                expr_header_reads(expr, env, &mut touched);
+                            }
+                            // Builtins re-check validity at runtime.
+                            Stmt::Call { .. } => {}
+                        }
+                    }
+                }
+            }
+            for h in &touched {
+                if input.may_removed.contains(h)
+                    && !proven.contains(h)
+                    && reported.insert(h.clone())
+                {
+                    diags.push(
+                        Diagnostic::error(
+                            codes::INVALID_HEADER_USE,
+                            format!(
+                                "stage `{}` accesses `{h}` fields, but an earlier stage's action may have removed `{h}`",
+                                stage.name
+                            ),
+                        )
+                        .with_span(stage_span)
+                        .with_note(format!(
+                            "guard the arm with `{h}.isValid()` so removed packets skip the access"
+                        )),
+                    );
+                }
+            }
+        }
+    }
+
+    // --- RP4304 / RP4305: arm reachability and no-op guards --------------
+    let mut saw_uncond: Option<usize> = None;
+    let mut saw_taut = false;
+    for (j, arm) in stage.matcher.iter().enumerate() {
+        if let Some(m) = saw_uncond {
+            if arm.table.is_some() {
+                let t = arm.table.as_deref().unwrap_or_default();
+                diags.push(
+                    Diagnostic::warning(
+                        codes::UNREACHABLE,
+                        format!(
+                            "arm {} of stage `{}` is unreachable: arm {m} is unconditional, so table `{t}` is never applied from it",
+                            j, stage.name
+                        ),
+                    )
+                    .with_span(stage_span)
+                    .with_note("matcher arms are tried in order; the first true guard wins"),
+                );
+            }
+            continue;
+        }
+        if saw_taut {
+            // The tautological arm was already reported (RP4305); don't
+            // re-report every shadowed arm for the same root cause.
+            continue;
+        }
+        let Some(g) = &arm.guard else {
+            saw_uncond = Some(j);
+            continue;
+        };
+        let dup = stage.matcher[..j]
+            .iter()
+            .position(|p| p.guard.as_ref() == Some(g));
+        if let Some(m) = dup {
+            if arm.table.is_some() {
+                diags.push(
+                    Diagnostic::warning(
+                        codes::UNREACHABLE,
+                        format!(
+                            "arm {} of stage `{}` repeats the guard of arm {m}, so it can never be the first match",
+                            j, stage.name
+                        ),
+                    )
+                    .with_span(stage_span),
+                );
+                continue;
+            }
+        }
+        if self_contradictory(g) {
+            diags.push(
+                Diagnostic::warning(
+                    codes::UNREACHABLE,
+                    format!(
+                        "guard of arm {} in stage `{}` is self-contradictory and can never hold",
+                        j, stage.name
+                    ),
+                )
+                .with_span(stage_span),
+            );
+            continue;
+        }
+        match eval_pred(g, env, input) {
+            Some(false) => {
+                diags.push(
+                    Diagnostic::warning(
+                        codes::UNREACHABLE,
+                        format!(
+                            "guard of arm {} in stage `{}` is provably false under the inferred value intervals",
+                            j, stage.name
+                        ),
+                    )
+                    .with_span(stage_span),
+                );
+            }
+            Some(true) => {
+                diags.push(
+                    Diagnostic::warning(
+                        codes::TAUTOLOGICAL_GUARD,
+                        format!(
+                            "guard of arm {} in stage `{}` is provably always true",
+                            j, stage.name
+                        ),
+                    )
+                    .with_span(stage_span)
+                    .with_note("the comparison can never fail for the field's possible values; drop the guard or tighten it"),
+                );
+                saw_taut = true;
+            }
+            None => {}
+        }
+    }
+}
+
+/// RP4303: stores overwritten before any read within one action body.
+fn check_dead_stores(prog: &Program, live: &[&StageDecl], diags: &mut Vec<Diagnostic>) {
+    let mut referenced: BTreeSet<String> = BTreeSet::new();
+    for s in live {
+        referenced.extend(stage_action_names(s, prog));
+    }
+    for a in &prog.actions {
+        if !referenced.contains(&a.name) {
+            continue; // an unused action is RP4106's finding, not ours
+        }
+        let mut pending: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for (idx, stmt) in a.body.iter().enumerate() {
+            match stmt {
+                Stmt::Assign { lval, expr } => {
+                    let mut reads = BTreeSet::new();
+                    field_reads(expr, &mut reads);
+                    for r in &reads {
+                        pending.remove(r);
+                    }
+                    let key = (lval.scope.clone(), lval.field.clone());
+                    if pending.insert(key, idx).is_some() {
+                        diags.push(
+                            Diagnostic::warning(
+                                codes::DEAD_STORE,
+                                format!(
+                                    "action `{}` stores to `{}.{}` twice with no intervening read; the first store is dead",
+                                    a.name, lval.scope, lval.field
+                                ),
+                            )
+                            .with_span(prog.spans.get(ItemKind::Action, &a.name)),
+                        );
+                    }
+                }
+                Stmt::Call { args, .. } => {
+                    let mut reads = BTreeSet::new();
+                    for e in args {
+                        field_reads(e, &mut reads);
+                    }
+                    for r in &reads {
+                        pending.remove(r);
+                    }
+                    // Builtins may read any field — conservative barrier.
+                    pending.clear();
+                }
+            }
+        }
+    }
+}
+
+/// All `scope.field` reads in an expression, meta and header alike.
+fn field_reads(e: &Expr, out: &mut BTreeSet<(String, String)>) {
+    match e {
+        Expr::Qualified(scope, field) => {
+            out.insert((scope.clone(), field.clone()));
+        }
+        Expr::Bin { lhs, rhs, .. } => {
+            field_reads(lhs, out);
+            field_reads(rhs, out);
+        }
+        Expr::Hash(es) => {
+            for e in es {
+                field_reads(e, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Must-uninitialized metadata reads of a program: fields some live stage
+/// reads that **no** action reachable from any live stage writes. Order-
+/// insensitive (quantifies over the whole pipeline), so it is stable under
+/// the controller's stage relinking. Returns `field → reading stage`.
+pub(crate) fn must_uninit_reads(prog: &Program, env: &Env) -> BTreeMap<String, String> {
+    let live = live_stages(prog);
+    let mut written: BTreeSet<String> = INTRINSIC_META.iter().map(|(n, _)| n.to_string()).collect();
+    let mut referenced: BTreeSet<String> = BTreeSet::new();
+    for s in &live {
+        referenced.extend(stage_action_names(s, prog));
+    }
+    for a in &prog.actions {
+        if !referenced.contains(&a.name) {
+            continue;
+        }
+        for stmt in &a.body {
+            match stmt {
+                Stmt::Assign { lval, .. } if lval.scope == env.meta_alias => {
+                    written.insert(lval.field.clone());
+                }
+                Stmt::Call { name, .. } => {
+                    written.extend(builtin_meta_writes(name).iter().map(|f| f.to_string()));
+                }
+                Stmt::Assign { .. } => {}
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    for s in &live {
+        let mut reads = BTreeSet::new();
+        for arm in &s.matcher {
+            if let Some(g) = &arm.guard {
+                pred_meta_reads(g, env, &mut reads);
+            }
+            if let Some(t) = arm.table.as_ref().and_then(|t| prog.table(t)) {
+                for (e, _) in &t.key {
+                    expr_meta_reads(e, env, &mut reads);
+                }
+            }
+        }
+        for name in stage_action_names(s, prog) {
+            if let Some(a) = prog.action(&name) {
+                for stmt in &a.body {
+                    match stmt {
+                        Stmt::Assign { expr, .. } => expr_meta_reads(expr, env, &mut reads),
+                        Stmt::Call { args, .. } => {
+                            for e in args {
+                                expr_meta_reads(e, env, &mut reads);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for f in reads {
+            if !written.contains(&f) {
+                out.entry(f).or_insert_with(|| s.name.clone());
+            }
+        }
+    }
+    out
+}

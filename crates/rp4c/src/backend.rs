@@ -395,6 +395,8 @@ fn compile_with(
         &limits,
         Some(&prog.spans),
     ));
+    let dfa = rp4_dfa::analyze_program(prog, &env);
+    findings.extend(rp4_dfa::merge_findings(&findings, dfa));
     if findings.iter().any(|d| d.severity == Severity::Error) {
         findings.retain(|d| d.severity == Severity::Error);
         return Err(CompileError::Verify(findings));

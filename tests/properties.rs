@@ -216,6 +216,71 @@ proptest! {
         }
     }
 
+    /// Fact-guided compilation is exact: with the controller-installed
+    /// `ProgramFacts` driving the epoch compiler (parse elision, arm
+    /// pruning, dead-store no-ops, header-locator memoization), the fast
+    /// path's outputs AND statistics stay bit-identical to the
+    /// interpreter — across every bundled program and across a mid-stream
+    /// in-situ update, which clears the facts and reinstalls a freshly
+    /// recomputed artifact.
+    #[test]
+    fn fact_guided_fast_path_matches_interpreter(
+        seed in 0u64..500,
+        v6 in 0u8..=40,
+        flows in 1u16..64,
+        n1 in 1usize..120,
+        n2 in 1usize..120,
+        which in proptest::option::of(0usize..3),
+    ) {
+        let sources = rp4::controller::programs::bundled_sources;
+        let mut interp = demo::populated_base_flow().unwrap();
+        let mut fast = demo::populated_base_flow().unwrap();
+        prop_assert!(
+            fast.device.pm.has_facts(),
+            "controller must install dataflow facts alongside the design"
+        );
+
+        let mut gen_i = TrafficGen::new(seed).with_flows(flows as u32).with_v6_percent(v6);
+        let mut gen_f = TrafficGen::new(seed).with_flows(flows as u32).with_v6_percent(v6);
+        let mut out_i = Vec::new();
+        let mut out_f = Vec::new();
+        for p in gen_i.batch(n1) { interp.device.inject(p); }
+        for p in gen_f.batch(n1) { fast.device.inject(p); }
+        out_i.extend(interp.device.run());
+        out_f.extend(fast.device.run_batch());
+        prop_assert!(fast.device.pm.has_compiled(), "fast path must compile, not fall back");
+
+        if let Some(which) = which {
+            // In-situ update through the controller: structural messages
+            // drop the old facts on-device, and the controller reinstalls
+            // an artifact recomputed against the updated design.
+            let (_, _, script, _) = rp4::controller::programs::use_cases()[which];
+            interp.run_script(script, &sources).unwrap();
+            fast.run_script(script, &sources).unwrap();
+            if which == 0 {
+                interp.run_script(&demo::ecmp_population_script(), &sources).unwrap();
+                fast.run_script(&demo::ecmp_population_script(), &sources).unwrap();
+            }
+            prop_assert!(
+                fast.device.pm.has_facts(),
+                "facts must be reinstalled after the in-situ update"
+            );
+        }
+
+        for p in gen_i.batch(n2) { interp.device.inject(p); }
+        for p in gen_f.batch(n2) { fast.device.inject(p); }
+        out_i.extend(interp.device.run());
+        out_f.extend(fast.device.run_batch());
+
+        prop_assert_eq!(&out_i, &out_f, "emitted packets must be byte-identical");
+        prop_assert_eq!(interp.device.pm.stats, fast.device.pm.stats);
+        prop_assert_eq!(interp.device.pm.tm.stats, fast.device.pm.tm.stats);
+        let slots_i: Vec<_> = interp.device.pm.slots.iter().map(|s| s.stats).collect();
+        let slots_f: Vec<_> = fast.device.pm.slots.iter().map(|s| s.stats).collect();
+        prop_assert_eq!(slots_i, slots_f);
+        prop_assert_eq!(interp.device.sm.mem_accesses, fast.device.sm.mem_accesses);
+    }
+
     /// TTL handling: any forwarded v4 packet leaves with TTL decremented by
     /// exactly one and a valid checksum, regardless of input TTL ≥ 2.
     #[test]
