@@ -4,6 +4,7 @@
 //! rp4c compile <file.rp4> [--target ipbm|fpga] [-o design.json] [--apis apis.json]
 //! rp4c translate <file.p4> [-o out.rp4]                # rp4fc: P4 -> rP4
 //! rp4c check <file.rp4> [--base <base.rp4>]            # parse + semantics
+//! rp4c cover <file.rp4> [-o corpus.json]               # path coverage corpus
 //! rp4c plan --base <base.rp4> --script <file.script>   # incremental compile
 //!          [--snippets <dir>] [--algo dp|greedy] [-o design.json]
 //! ```
@@ -12,6 +13,9 @@
 //! parameters in JSON (the paper's specified output format). `plan` runs
 //! the in-situ path: it prints the Drain…Resume message summary, the
 //! updated base design (rp4bc's "first output"), and placement statistics.
+//! `cover` enumerates every feasible execution path of the compiled design
+//! and dumps the witness corpus (`check --cover` runs the same enumeration
+//! for its RP44xx diagnostics and coverage summary).
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -23,14 +27,15 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  rp4c compile <file.rp4> [--target ipbm|fpga] [-o design.json] [--apis apis.json]\n  \
          rp4c translate <file.p4> [-o out.rp4]\n  \
-         rp4c check <file.rp4> [--base <base.rp4>] [--target ipbm|fpga] [--deny-warnings] [--equiv]\n  \
+         rp4c check <file.rp4> [--base <base.rp4>] [--target ipbm|fpga] [--deny-warnings] [--equiv] [--cover]\n  \
+         rp4c cover <file.rp4> [--target ipbm|fpga] [--max-paths N] [-o corpus.json]\n  \
          rp4c plan --base <base.rp4> --script <file.script> [--snippets <dir>] [--algo dp|greedy] [-o design.json]"
     );
     ExitCode::from(2)
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["deny-warnings", "equiv"];
+const BOOL_FLAGS: &[&str] = &["deny-warnings", "equiv", "cover"];
 
 /// Minimal flag parser: positional args plus `--flag value` pairs
 /// (boolean flags in [`BOOL_FLAGS`] consume no value).
@@ -177,22 +182,48 @@ fn cmd_check(pos: &[String], flags: &HashMap<String, String>) -> Result<(), Stri
     let dfa = rp4_dfa::analyze_program(&checked, &env);
     diags.extend(rp4_dfa::merge_findings(&diags, dfa));
 
-    // Phase 3 (--equiv): compile and prove the design behaves identically
-    // to the checked program in every symbolic world (rp4-equiv).
+    // Phases 3/4 (--equiv, --cover) both run over the compiled design;
+    // compile once, only when requested and the program is error-free.
     let equiv = flags.contains_key("equiv");
-    if equiv
+    let do_cover = flags.contains_key("cover");
+    let mut coverage_line = None;
+    if (equiv || do_cover)
         && !diags
             .iter()
             .any(|d| d.severity == rp4_lang::Severity::Error)
     {
         let c = rp4c::full_compile(&checked, &target)
-            .map_err(|e| format!("--equiv: compilation failed: {e:?}"))?;
-        diags.extend(rp4_equiv::check_program_design(
-            &checked,
-            &env,
-            &c.design,
-            &rp4_equiv::EquivOptions::default(),
-        ));
+            .map_err(|e| format!("--equiv/--cover: compilation failed: {e:?}"))?;
+        // Phase 3 (--equiv): prove the design behaves identically to the
+        // checked program in every symbolic world (rp4-equiv).
+        if equiv {
+            diags.extend(rp4_equiv::check_program_design(
+                &checked,
+                &env,
+                &c.design,
+                &rp4_equiv::EquivOptions::default(),
+            ));
+        }
+        // Phase 4 (--cover): enumerate every feasible execution path,
+        // concretize a witness per path, and report the RP44xx findings
+        // (deduplicated against the dataflow block above).
+        if do_cover {
+            let facts = rp4_dfa::design_facts(&c.design);
+            let cov = rp4_cover::cover_design(
+                &c.design,
+                Some(&facts),
+                Some(&checked),
+                &rp4_cover::CoverOptions::default(),
+            );
+            diags.extend(rp4_dfa::merge_findings(&diags, cov.diags.clone()));
+            coverage_line = Some(format!(
+                "coverage: {}/{} feasible paths witnessed ({} pruned infeasible), WCET {:.0} ns",
+                cov.covered(),
+                cov.feasible(),
+                cov.pruned_infeasible,
+                cov.wcet_ns,
+            ));
+        }
     }
 
     let errors = diags
@@ -222,6 +253,50 @@ fn cmd_check(pos: &[String], flags: &HashMap<String, String>) -> Result<(), Stri
             String::new()
         }
     );
+    if let Some(line) = coverage_line {
+        println!("{line}");
+    }
+    Ok(())
+}
+
+fn cmd_cover(pos: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    let file = pos.first().ok_or("cover needs a file")?;
+    let src = read(file)?;
+    let prog = rp4_lang::parse(&src).map_err(|e| e.to_string())?;
+    rp4_lang::check(&prog, None).map_err(|errs| format!("{} semantic error(s)", errs.len()))?;
+    let target = target_of(flags)?;
+    let c = rp4c::full_compile(&prog, &target).map_err(|e| e.to_string())?;
+    let facts = rp4_dfa::design_facts(&c.design);
+    let mut opts = rp4_cover::CoverOptions::default();
+    if let Some(n) = flags.get("max-paths") {
+        opts.max_paths = n
+            .parse()
+            .map_err(|_| format!("--max-paths: `{n}` is not a number"))?;
+    }
+    let cov = rp4_cover::cover_design(&c.design, Some(&facts), Some(&prog), &opts);
+    if !cov.diags.is_empty() {
+        eprint!("{}", rp4_lang::render_all(&cov.diags, Some(&src), file));
+    }
+    eprintln!(
+        "{file}: {}/{} feasible paths witnessed ({} pruned infeasible), WCET {:.0} ns",
+        cov.covered(),
+        cov.feasible(),
+        cov.pruned_infeasible,
+        cov.wcet_ns,
+    );
+    write_or_print(flags, "out", &rp4_cover::corpus_json(&cov))?;
+    if !cov.fully_covered() {
+        return Err(format!(
+            "coverage incomplete: {}/{} paths witnessed{}",
+            cov.covered(),
+            cov.feasible(),
+            if cov.overflowed {
+                " (enumeration over budget)"
+            } else {
+                ""
+            }
+        ));
+    }
     Ok(())
 }
 
@@ -314,6 +389,7 @@ fn main() -> ExitCode {
         "compile" => cmd_compile(&pos, &flags),
         "translate" => cmd_translate(&pos, &flags),
         "check" => cmd_check(&pos, &flags),
+        "cover" => cmd_cover(&pos, &flags),
         "plan" => cmd_plan(&flags),
         _ => return usage(),
     };

@@ -291,7 +291,10 @@ impl<D: Device> Rp4Flow<D> {
     /// structural message sits inside a `Drain … Resume` window (RP4105)
     /// and that the plan is a *translation-validated* update: stages of
     /// functions the plan does not touch must behave identically before
-    /// and after (`rp4-equiv`, RP42xx).
+    /// and after (`rp4-equiv`, RP42xx). It also enumerates the feasible
+    /// paths of both designs and rejects plans that regress the static
+    /// worst-case per-packet cost bound disproportionately (`rp4-cover`,
+    /// RP4404).
     pub fn apply_plan(&mut self, plan: rp4c::UpdatePlan) -> Result<ApplyReport, ControllerError> {
         if !self.force {
             let unsafe_msgs: Vec<_> = rp4_verify::verify_msgs(&plan.msgs)
@@ -317,6 +320,18 @@ impl<D: Device> Rp4Flow<D> {
             let regressions = rp4_dfa::check_plan(&self.program, &plan.program);
             if !regressions.is_empty() {
                 return Err(ControllerError::Verify(regressions));
+            }
+            // RP4404: the plan must not regress the static worst-case
+            // per-packet cost bound beyond the allowed slack (path
+            // enumeration over both designs, `rp4-cover`).
+            let wcet = rp4_cover::check_plan_wcet(
+                &self.design,
+                &plan.design,
+                Some(&plan.program),
+                &rp4_cover::CoverOptions::default(),
+            );
+            if !wcet.is_empty() {
+                return Err(ControllerError::Verify(wcet));
             }
         }
         let report = self.device.apply(&plan.msgs)?;

@@ -107,6 +107,84 @@ impl CostModel {
     }
 }
 
+/// Work performed along one execution path of the data plane, in units the
+/// per-packet cost model can price: traversed (programmed) slots, table
+/// lookups issued, action primitives executed, and headers parsed off the
+/// wire. Produced by the symbolic design evaluator (`rp4-equiv`) and priced
+/// by [`PacketCostModel`] into the static per-path cost bounds `rp4-cover`
+/// reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathWork {
+    /// Programmed TSP slots the packet traversed.
+    pub slots: usize,
+    /// Table lookups issued (key read + match).
+    pub lookups: usize,
+    /// Action primitives executed (including `NoAction`).
+    pub prims: usize,
+    /// Headers parsed off the wire along the path.
+    pub parsed_headers: usize,
+}
+
+impl PathWork {
+    /// Component-wise sum (for aggregating multi-packet scenarios).
+    pub fn add(&mut self, other: &PathWork) {
+        self.slots += other.slots;
+        self.lookups += other.lookups;
+        self.prims += other.prims;
+        self.parsed_headers += other.parsed_headers;
+    }
+}
+
+/// Deterministic per-packet cost model: the data-plane complement of the
+/// control-plane [`CostModel`]. Each preset pairs with the matching
+/// [`CostModel`] preset; the constants are calibrated to the same
+/// magnitudes (a TSP stage is "a few clock cycles", a table lookup is one
+/// or more memory accesses). The absolute numbers matter less than the
+/// *ordering* they induce: a path that parses more headers, issues more
+/// lookups, or runs longer actions must cost more, so the worst-case bound
+/// `rp4-cover` computes is monotone in real work.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PacketCostModel {
+    /// Fixed per-slot traversal cost (template fetch + matcher), ns.
+    pub per_slot_ns: f64,
+    /// Per-table-lookup cost (key assembly + memory access), ns.
+    pub per_lookup_ns: f64,
+    /// Per-primitive execution cost, ns.
+    pub per_prim_ns: f64,
+    /// Per-header parse/extraction cost, ns.
+    pub per_parse_ns: f64,
+}
+
+impl PacketCostModel {
+    /// Hardware-prototype preset (pairs with [`CostModel::fpga`]).
+    pub fn fpga() -> Self {
+        PacketCostModel {
+            per_slot_ns: 4.0,
+            per_lookup_ns: 12.0,
+            per_prim_ns: 2.0,
+            per_parse_ns: 6.0,
+        }
+    }
+
+    /// Software-switch preset (pairs with [`CostModel::software`]).
+    pub fn software() -> Self {
+        PacketCostModel {
+            per_slot_ns: 30.0,
+            per_lookup_ns: 90.0,
+            per_prim_ns: 15.0,
+            per_parse_ns: 45.0,
+        }
+    }
+
+    /// Static cost bound of one path, ns.
+    pub fn path_cost_ns(&self, w: &PathWork) -> f64 {
+        w.slots as f64 * self.per_slot_ns
+            + w.lookups as f64 * self.per_lookup_ns
+            + w.prims as f64 * self.per_prim_ns
+            + w.parsed_headers as f64 * self.per_parse_ns
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +223,42 @@ mod tests {
         let total = m.batch_cost_us(&msgs);
         let sum: f64 = msgs.iter().map(|x| m.msg_cost_us(x)).sum();
         assert!((total - sum).abs() < 1e-9);
+    }
+
+    /// The per-packet bound must be strictly monotone in every work
+    /// component, or the WCET comparison `rp4-cover` gates plans on could
+    /// miss a regression.
+    #[test]
+    fn packet_cost_monotone_in_work() {
+        for m in [PacketCostModel::fpga(), PacketCostModel::software()] {
+            let base = PathWork {
+                slots: 2,
+                lookups: 1,
+                prims: 3,
+                parsed_headers: 2,
+            };
+            let c0 = m.path_cost_ns(&base);
+            for grow in [
+                PathWork { slots: 3, ..base },
+                PathWork { lookups: 2, ..base },
+                PathWork { prims: 4, ..base },
+                PathWork {
+                    parsed_headers: 3,
+                    ..base
+                },
+            ] {
+                assert!(m.path_cost_ns(&grow) > c0, "{grow:?} must cost more");
+            }
+        }
+        let mut sum = PathWork::default();
+        sum.add(&PathWork {
+            slots: 1,
+            lookups: 2,
+            prims: 3,
+            parsed_headers: 4,
+        });
+        assert_eq!(sum.lookups, 2);
+        assert_eq!(sum.parsed_headers, 4);
     }
 
     /// Regression: a migration copies every live row and rebinds every

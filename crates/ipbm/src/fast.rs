@@ -685,6 +685,10 @@ pub struct CompiledCall {
 pub struct CompiledTable {
     /// Slab index into the storage module.
     pub store: usize,
+    /// Table name, for re-resolving `store` if the slab index goes stale
+    /// between compilation and a packet (e.g. a table was dropped and the
+    /// compiled program not yet invalidated).
+    pub name: String,
     /// Key field readers with their width masks.
     pub key: Vec<(FastVal, u128)>,
     /// Pre-computed memory accesses per lookup on the configured bus.
@@ -825,7 +829,13 @@ pub fn compile(
                                 )));
                                 }
                             }
-                            let ts = sm.store_at(store).expect("index resolved");
+                            // `table_idx` just resolved the name, but go
+                            // through the fallible accessor anyway: a
+                            // compile must never panic, only fall back to
+                            // the interpreter.
+                            let ts = sm
+                                .store_at(store)
+                                .ok_or_else(|| CoreError::UnknownTable(name.clone()))?;
                             let rows = ts.table.rows_len();
                             let mut row_tags = Vec::with_capacity(rows);
                             let mut row_args = Vec::with_capacity(rows);
@@ -845,6 +855,7 @@ pub fn compile(
                             }
                             tables.push(CompiledTable {
                                 store,
+                                name: name.clone(),
                                 key: ts
                                     .table
                                     .def
@@ -948,7 +959,20 @@ impl CompiledPath {
         // to the lookup, accounting exactly like StorageModule::lookup.
         let ct = &cs.tables[tidx];
         sm.mem_accesses += ct.accesses;
-        let store = sm.store_at_mut(ct.store).expect("compiled store live");
+        // The slab index was resolved at compile time, but the storage
+        // module may have shifted underneath a stale compiled program
+        // (dropped or re-created table): re-resolve by name rather than
+        // panicking, and report the packet-level error the interpreter
+        // would report if the table is truly gone.
+        let store_idx = match sm.store_at(ct.store) {
+            Some(ts) if ts.table.def.name == ct.name => ct.store,
+            _ => sm
+                .table_idx(&ct.name)
+                .ok_or_else(|| CoreError::UnknownTable(ct.name.clone()))?,
+        };
+        let store = sm
+            .store_at_mut(store_idx)
+            .ok_or_else(|| CoreError::UnknownTable(ct.name.clone()))?;
         store.table.begin_lookup();
         scratch.key.clear();
         let mut have = true;
@@ -971,7 +995,10 @@ impl CompiledPath {
         let (call, args, counter) = match hit {
             Some(h) => {
                 stats.hits += 1;
-                let tag = ct.row_tags[h.row];
+                // Rows beyond the compiled snapshot (the store grew under
+                // a stale program) act like dead rows: tag 0 dispatches
+                // the default call.
+                let tag = ct.row_tags.get(h.row).copied().unwrap_or(0);
                 let call = cs
                     .executor
                     .iter()
@@ -980,7 +1007,7 @@ impl CompiledPath {
                     .unwrap_or(&cs.default_call);
                 // The matched entry's args win; immediate args from the
                 // executor arm are the fallback.
-                let entry_args = &ct.row_args[h.row];
+                let entry_args: &[u128] = ct.row_args.get(h.row).map_or(&[], Vec::as_slice);
                 let args: &[u128] = if entry_args.is_empty() {
                     &call.args
                 } else {
@@ -1333,6 +1360,101 @@ mod tests {
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.template_fetches, 1);
         assert!(sm.mem_accesses >= 1);
+    }
+
+    #[test]
+    fn stale_compiled_store_reports_error_not_panic() {
+        // A compiled program holds slab indices into the storage module;
+        // destroying the table underneath it must surface as the same
+        // per-packet error the interpreter reports, never a panic.
+        let (linkage, mut sm) = sm_with_fib();
+        let slots = vec![TspSlot {
+            template: Some(fib_template()),
+            stats: SlotStats::default(),
+        }];
+        let selector = SelectorConfig::split(1, 1, 0).unwrap();
+        let mut xbar = Crossbar::full();
+        xbar.connect(0, &[0]).unwrap();
+        let cp = compile(&slots, &selector, &xbar, &sm, &linkage, 1, None).unwrap();
+        sm.destroy_table("fib").unwrap();
+        let mut scratch = EvalScratch::default();
+        let mut stats = SlotStats::default();
+        let mut p = ipv4_udp_packet(&Ipv4UdpSpec {
+            dst_ip: 0x0a010101,
+            ..Default::default()
+        });
+        let e = cp
+            .process_slot(
+                &cp.ingress[0],
+                &mut stats,
+                &linkage,
+                &mut sm,
+                &mut scratch,
+                &mut p,
+            )
+            .unwrap_err();
+        assert!(matches!(e, CoreError::UnknownTable(name) if name == "fib"));
+    }
+
+    #[test]
+    fn recreated_store_re_resolves_by_name() {
+        // Destroy and re-create the table (the slab index moves): the
+        // compiled slot must re-resolve by name and keep forwarding.
+        let (linkage, mut sm) = sm_with_fib();
+        let slots = vec![TspSlot {
+            template: Some(fib_template()),
+            stats: SlotStats::default(),
+        }];
+        let selector = SelectorConfig::split(1, 1, 0).unwrap();
+        let mut xbar = Crossbar::full();
+        xbar.connect(0, &[0]).unwrap();
+        let cp = compile(&slots, &selector, &xbar, &sm, &linkage, 1, None).unwrap();
+        let def = sm.store_at(0).unwrap().table.def.clone();
+        sm.destroy_table("fib").unwrap();
+        // A decoy table takes the freed slab slot, then fib comes back at
+        // a different index with the same shape but a fresh entry.
+        sm.create_table(
+            TableDef {
+                name: "decoy".into(),
+                ..def.clone()
+            },
+            vec![1],
+        )
+        .unwrap();
+        sm.create_table(def, vec![0]).unwrap();
+        sm.insert_entry(
+            "fib",
+            TableEntry {
+                key: vec![ipsa_core::table::KeyMatch::Lpm {
+                    value: 0x0a000000,
+                    prefix_len: 8,
+                }],
+                priority: 0,
+                action: ActionCall::new("set_nh", vec![7]),
+                counter: 0,
+            },
+        )
+        .unwrap();
+        let mut scratch = EvalScratch::default();
+        let mut stats = SlotStats::default();
+        let mut p = ipv4_udp_packet(&Ipv4UdpSpec {
+            dst_ip: 0x0a010101,
+            ..Default::default()
+        });
+        cp.process_slot(
+            &cp.ingress[0],
+            &mut stats,
+            &linkage,
+            &mut sm,
+            &mut scratch,
+            &mut p,
+        )
+        .unwrap();
+        assert_eq!(stats.hits, 1);
+        // Entry args were snapshotted at compile time (the epoch barrier
+        // re-compiles on table mutation); the fallback's job is matching
+        // through the re-resolved store without panicking.
+        assert_eq!(p.meta.get("nexthop"), 42);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use ipbm::{IpbmConfig, IpbmSwitch};
 use ipsa_core::action::{ActionDef, Primitive};
@@ -43,6 +44,11 @@ unsafe impl GlobalAlloc for CountingAlloc {
 
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// The counter is process-global, so the two measuring tests must not run
+/// concurrently: one test's setup allocations would bleed into the other's
+/// measured window.
+static SERIAL: Mutex<()> = Mutex::new(());
 
 /// A realistic L3 stage: parse ipv4, LPM-match the destination, then set a
 /// nexthop metadata field, decrement the TTL (incremental checksum — the
@@ -124,6 +130,7 @@ fn l3_switch() -> IpbmSwitch {
 
 #[test]
 fn steady_state_fast_path_does_not_allocate() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let mut sw = l3_switch();
 
     // Compile the fast path and warm every buffer: scratch vectors, the
@@ -186,6 +193,7 @@ fn steady_state_fast_path_does_not_allocate() {
 /// barrier replies allocate per *batch*; this pins the per-*packet* cost.)
 #[test]
 fn shard_worker_inner_loop_does_not_allocate() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     use ipbm::fast::{compile, EvalScratch, SlotStatsMut};
     use ipbm::pm::{PipelineStats, TrafficManager, TM_QUEUE_CAPACITY};
     use ipbm::tsp::SlotStats;

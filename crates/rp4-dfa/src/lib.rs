@@ -50,33 +50,65 @@ pub mod codes {
     pub const PLAN_FACT_REGRESSION: &str = "RP4306";
 }
 
-/// Merges dataflow findings into an existing finding list, dropping RP43xx
-/// findings that re-report a root cause RP4106 (dead code) already covers.
+/// Merges dataflow findings into an existing finding list, dropping
+/// findings that re-report a root cause an earlier analysis block already
+/// covers:
 ///
-/// Both lints can fire on one unclaimed stage or unused item; the subject
-/// of every finding is its first backtick-quoted name, so a dataflow
-/// finding whose subject matches an RP4106 finding's subject is the same
-/// root cause reported twice. The RP4106 finding wins (it carries the
-/// removal guidance).
+/// * RP43xx findings whose subject matches an RP4106 (dead code) finding —
+///   both fire on one unclaimed stage or unused item, and RP4106 carries
+///   the removal guidance;
+/// * RP4403 (statically-dead action, from path coverage) findings naming
+///   an item an RP4106/RP4303/RP4304 finding already names — an action is
+///   often dead exactly because its store is dead (RP4303) or because the
+///   only arm applying its table is unreachable (RP4304), and the narrower
+///   dataflow finding explains *why*.
+///
+/// The subject of a finding is its first backtick-quoted name; RP4403
+/// dedup compares every backtick-quoted token on both sides (RP4403 names
+/// the action then the table; RP4304 leads with the stage but also names
+/// the table).
 pub fn merge_findings(existing: &[Diagnostic], dfa: Vec<Diagnostic>) -> Vec<Diagnostic> {
     let dead_subjects: Vec<String> = existing
         .iter()
         .filter(|d| d.code == "RP4106")
         .filter_map(|d| first_backticked(&d.message))
         .collect();
-    dfa.into_iter()
+    let dfa: Vec<Diagnostic> = dfa
+        .into_iter()
         .filter(|d| {
             !d.code.starts_with("RP43")
                 || first_backticked(&d.message).is_none_or(|s| !dead_subjects.contains(&s))
+        })
+        .collect();
+    let mut known: Vec<String> = dead_subjects;
+    for d in existing.iter().chain(dfa.iter()) {
+        if d.code == "RP4303" || d.code == "RP4304" {
+            known.extend(backticked_all(&d.message));
+        }
+    }
+    dfa.into_iter()
+        .filter(|d| {
+            d.code != "RP4403" || !backticked_all(&d.message).iter().any(|s| known.contains(s))
         })
         .collect()
 }
 
 /// First backtick-quoted token of a diagnostic message.
 fn first_backticked(msg: &str) -> Option<String> {
-    let start = msg.find('`')? + 1;
-    let len = msg[start..].find('`')?;
-    Some(msg[start..start + len].to_string())
+    backticked_all(msg).into_iter().next()
+}
+
+/// Every backtick-quoted token of a diagnostic message, in order.
+fn backticked_all(msg: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = msg;
+    while let Some(start) = rest.find('`') {
+        let tail = &rest[start + 1..];
+        let Some(len) = tail.find('`') else { break };
+        out.push(tail[..len].to_string());
+        rest = &tail[len + 1..];
+    }
+    out
 }
 
 #[cfg(test)]
@@ -103,6 +135,45 @@ mod tests {
         let merged = merge_findings(&existing, dfa);
         assert_eq!(merged.len(), 1);
         assert!(merged[0].message.contains("`fwd`"));
+    }
+
+    #[test]
+    fn merge_dedups_dead_action_against_dead_store() {
+        // One dead action can fire both RP4303 (its store is dead, from
+        // dataflow) and RP4403 (no feasible path selects it, from path
+        // coverage); only the narrower dataflow finding survives.
+        let existing = vec![Diagnostic::warning(
+            "RP4303",
+            "action `set_ttl` stores to `ipv4.ttl` twice with no intervening read; the first store is dead",
+        )];
+        let dfa = vec![
+            Diagnostic::warning(
+                "RP4403",
+                "action `set_ttl` of table `fwd` is selected on no feasible path",
+            ),
+            Diagnostic::warning(
+                "RP4403",
+                "action `mark_ecn` of table `qos` is selected on no feasible path",
+            ),
+        ];
+        let merged = merge_findings(&existing, dfa);
+        assert_eq!(merged.len(), 1);
+        assert!(merged[0].message.contains("`mark_ecn`"));
+    }
+
+    #[test]
+    fn merge_dedups_dead_action_against_unreachable_arm() {
+        // RP4304 names the stage first but also the table; an RP4403 on
+        // any action of that table is the same root cause.
+        let existing = vec![Diagnostic::warning(
+            "RP4304",
+            "arm 1 of stage `fwd` is unreachable: arm 0 is unconditional, so table `acl` is never applied from it",
+        )];
+        let dfa = vec![Diagnostic::warning(
+            "RP4403",
+            "action `punt` of table `acl` is selected on no feasible path",
+        )];
+        assert!(merge_findings(&existing, dfa).is_empty());
     }
 
     #[test]

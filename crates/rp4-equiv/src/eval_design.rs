@@ -16,6 +16,7 @@ use ipsa_core::pipeline_cfg::SlotRole;
 use ipsa_core::predicate::Predicate;
 use ipsa_core::table::MatchKind;
 use ipsa_core::template::{CompiledDesign, TspTemplate};
+use ipsa_core::timing::PathWork;
 use ipsa_core::value::{LValueRef, ValueRef};
 
 use crate::oracle::Oracle;
@@ -105,6 +106,14 @@ pub struct DesignRun {
     pub outcome: Outcome,
     /// Table hits along the taken path (for witness concretization).
     pub hits: Vec<TableHitTrace>,
+    /// Work performed along the path (slots, lookups, primitives), priced
+    /// by `rp4-cover`'s static cost bounds. `parsed_headers` is left 0 —
+    /// the caller derives it from the world's validity decisions.
+    pub work: PathWork,
+    /// Matcher arms taken, as `(stage_name, arm index)` — the hook
+    /// `rp4-cover` uses to prune paths through arms `rp4-dfa` proved
+    /// unreachable.
+    pub arms: Vec<(String, usize)>,
 }
 
 /// Runs one symbolic packet through `design` under the decisions of
@@ -118,7 +127,7 @@ pub fn eval_design(
 ) -> DesignRun {
     let widths = DesignWidths(design);
     let mut st = SymState::default();
-    let mut hits = Vec::new();
+    let mut tr = Trace::default();
     let included = |t: &TspTemplate| -> bool {
         match allowed_stages {
             Some(set) => t.stage_name.split('+').all(|s| set.contains(s)),
@@ -130,11 +139,7 @@ pub fn eval_design(
         if side == SlotRole::Egress {
             // Traffic Manager: packets without an egress decision drop here.
             if st.egress.is_none() {
-                return DesignRun {
-                    state: st,
-                    outcome: Outcome::DroppedNoRoute,
-                    hits,
-                };
+                return tr.finish(st, Outcome::DroppedNoRoute);
             }
         }
         for slot in design.selector.slots_with(side) {
@@ -144,29 +149,37 @@ pub fn eval_design(
             if !included(template) {
                 continue;
             }
-            if let Err(e) =
-                eval_template(design, &widths, slot, template, &mut st, oracle, &mut hits)
+            tr.work.slots += 1;
+            if let Err(e) = eval_template(design, &widths, slot, template, &mut st, oracle, &mut tr)
             {
-                return DesignRun {
-                    state: st,
-                    outcome: Outcome::RuntimeError(e),
-                    hits,
-                };
+                return tr.finish(st, Outcome::RuntimeError(e));
             }
             if st.drop {
-                return DesignRun {
-                    state: st,
-                    outcome: Outcome::DroppedByAction,
-                    hits,
-                };
+                return tr.finish(st, Outcome::DroppedByAction);
             }
         }
     }
     let port = st.egress.clone().expect("checked before egress");
-    DesignRun {
-        state: st,
-        outcome: Outcome::Forwarded(port),
-        hits,
+    tr.finish(st, Outcome::Forwarded(port))
+}
+
+/// Accumulated per-path trace: table hits, work counters, and taken arms.
+#[derive(Default)]
+struct Trace {
+    hits: Vec<TableHitTrace>,
+    work: PathWork,
+    arms: Vec<(String, usize)>,
+}
+
+impl Trace {
+    fn finish(self, state: SymState, outcome: Outcome) -> DesignRun {
+        DesignRun {
+            state,
+            outcome,
+            hits: self.hits,
+            work: self.work,
+            arms: self.arms,
+        }
     }
 }
 
@@ -177,12 +190,13 @@ fn eval_template(
     template: &TspTemplate,
     st: &mut SymState,
     oracle: &mut Oracle,
-    hits: &mut Vec<TableHitTrace>,
+    tr: &mut Trace,
 ) -> Result<(), String> {
     // Matcher: first branch whose predicate holds.
     let mut chosen: Option<&str> = None;
-    for b in &template.branches {
+    for (arm_idx, b) in template.branches.iter().enumerate() {
         if eval_pred(&b.pred, st, oracle)? {
+            tr.arms.push((template.stage_name.clone(), arm_idx));
             chosen = b.table.as_deref();
             break;
         }
@@ -224,6 +238,7 @@ fn eval_template(
         }
     }
 
+    tr.work.lookups += 1;
     let hit = match keys {
         None => None,
         Some(ks) => oracle.table(table).map(|tag| (tag, ks)),
@@ -231,7 +246,7 @@ fn eval_template(
 
     let (call, args, counter) = match hit {
         Some((tag, ks)) => {
-            hits.push(TableHitTrace {
+            tr.hits.push(TableHitTrace {
                 table: table.to_string(),
                 tag,
                 keys: ks,
@@ -274,7 +289,7 @@ fn eval_template(
         .actions
         .get(&call.action)
         .ok_or_else(|| format!("unknown action `{}`", call.action))?;
-    run_action(widths, action, &args, &counter, st, oracle)
+    run_action(widths, action, &args, &counter, st, oracle, &mut tr.work)
 }
 
 fn eval_pred(p: &Predicate, st: &mut SymState, oracle: &mut Oracle) -> Result<bool, String> {
@@ -335,8 +350,10 @@ fn run_action(
     counter: &Option<Term>,
     st: &mut SymState,
     oracle: &mut Oracle,
+    work: &mut PathWork,
 ) -> Result<(), String> {
     for prim in &action.body {
+        work.prims += 1;
         exec_primitive(widths, prim, args, counter, st, oracle)?;
         if st.drop {
             break;

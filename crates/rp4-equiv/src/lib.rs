@@ -45,3 +45,4 @@ pub use eval_design::{eval_design, DesignRun, DesignWidths, TableHitTrace};
 pub use oracle::{CmpKind, Key, Oracle};
 pub use state::{Outcome, SymState, Widths};
 pub use term::{SymAluOp, Term};
+pub use witness::{concretize_world, PathWitness, Skip, SkipKind};

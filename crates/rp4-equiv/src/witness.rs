@@ -30,6 +30,75 @@ const MAX_SEGMENTS: usize = 8;
 /// Maximum injections (for counter-threshold worlds).
 const MAX_INJECTIONS: usize = 64;
 
+/// Why a symbolic world could not be concretized into a witness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipKind {
+    /// The world's constraints are mutually contradictory: no wire packet
+    /// can take this path on any device. Path enumerators prune these.
+    Infeasible,
+    /// The path may well be feasible, but the witness generator cannot
+    /// build a packet for it (builder gaps, synthesis budgets, constraints
+    /// it does not solve). Path enumerators report these (RP4402).
+    Uncoverable,
+}
+
+/// A skipped world: classification plus a human-readable reason.
+#[derive(Debug, Clone)]
+pub struct Skip {
+    /// Whether the path is provably infeasible or merely uncoverable.
+    pub kind: SkipKind,
+    /// Human-readable reason, suitable for a diagnostic note.
+    pub reason: String,
+}
+
+fn infeasible(reason: impl Into<String>) -> Skip {
+    Skip {
+        kind: SkipKind::Infeasible,
+        reason: reason.into(),
+    }
+}
+
+fn uncoverable(reason: impl Into<String>) -> Skip {
+    Skip {
+        kind: SkipKind::Uncoverable,
+        reason: reason.into(),
+    }
+}
+
+/// A concretized execution-path witness: a wire packet plus the minimal
+/// table-entry setup that drives a real device down the same path the
+/// symbolic world took. This is the unit of `rp4-cover`'s coverage corpus
+/// and the golden-compare oracle planned for the native codegen backend.
+#[derive(Debug, Clone)]
+pub struct PathWitness {
+    /// The witness packet, unparsed, exactly as it would arrive on the
+    /// wire (ingress port set in its metadata).
+    pub packet: Packet,
+    /// `AddEntry` messages making each traced table hit actually hit.
+    pub entries: Vec<ControlMsg>,
+    /// How many copies of the packet must be injected — counter-threshold
+    /// worlds need threshold+1 hits before the guarded path opens.
+    pub injections: usize,
+}
+
+/// Concretizes one symbolic world (its oracle decisions plus the design
+/// side's table-hit trace) into a [`PathWitness`]. `Err` classifies the
+/// world as provably [`SkipKind::Infeasible`] or merely
+/// [`SkipKind::Uncoverable`].
+pub fn concretize_world(
+    design: &CompiledDesign,
+    decisions: &[(Key, usize)],
+    hits: &[TableHitTrace],
+) -> Result<PathWitness, Skip> {
+    let conc = concretize(design, decisions, hits)?;
+    let entries = synth_entries(design, hits, &conc).map_err(uncoverable)?;
+    Ok(PathWitness {
+        packet: conc.packet,
+        entries,
+        injections: conc.injections,
+    })
+}
+
 /// Per-term value constraints gathered from the world's decisions.
 #[derive(Default)]
 struct Constraint {
@@ -115,7 +184,7 @@ fn try_cross_check(
     predicted: &Outcome,
     predicted_state: &SymState,
 ) -> Result<Vec<String>, String> {
-    let conc = concretize(design, decisions, hits)?;
+    let conc = concretize(design, decisions, hits).map_err(|s| s.reason)?;
 
     let mut sw = ipbm::IpbmSwitch::new(ipbm::IpbmConfig::default());
     sw.install(design)
@@ -231,10 +300,14 @@ fn check_state(
 /// a world demands (counter thresholds need threshold+1 packets).
 type WorldConstraints = (BTreeMap<Term, Constraint>, BTreeMap<String, bool>, usize);
 
-fn constraints_of(decisions: &[(Key, usize)]) -> Result<WorldConstraints, String> {
+fn constraints_of(decisions: &[(Key, usize)]) -> Result<WorldConstraints, Skip> {
     let mut by_term: BTreeMap<Term, Constraint> = BTreeMap::new();
     let mut validity: BTreeMap<String, bool> = BTreeMap::new();
     let mut injections = 1usize;
+    // Counter-vs-entry-arg comparisons constrain the (freely pickable)
+    // entry argument against the *final* injection count, so they resolve
+    // after the loop fixes `injections`.
+    let mut deferred: Vec<(CmpKind, Term, bool)> = Vec::new();
     for (key, idx) in decisions {
         let decided = *idx == 0;
         match key {
@@ -261,14 +334,16 @@ fn constraints_of(decisions: &[(Key, usize)]) -> Result<WorldConstraints, String
                         (CmpKind::Gt, true) => thr as usize + 1,
                         (CmpKind::Ge, true) => (thr as usize).max(1),
                         (CmpKind::Gt | CmpKind::Ge, false) if thr == 0 => {
-                            return Err(
-                                "world requires an un-hit counter on a hit entry".to_string()
-                            )
+                            return Err(infeasible(
+                                "world requires an un-hit counter on a hit entry",
+                            ))
                         }
                         _ => 1,
                     };
                     if need > MAX_INJECTIONS {
-                        return Err(format!("world needs {need} injections to trip a counter"));
+                        return Err(uncoverable(format!(
+                            "world needs {need} injections to trip a counter"
+                        )));
                     }
                     injections = injections.max(need);
                 }
@@ -279,13 +354,40 @@ fn constraints_of(decisions: &[(Key, usize)]) -> Result<WorldConstraints, String
                         .ranges
                         .push((*op, c, decided));
                 }
+                (Term::EntryCounter { .. }, None) if matches!(rhs, Term::EntryData { .. }) => {
+                    // `counter <op> arg` at the last injection, where the
+                    // counter equals the injection count and the entry
+                    // argument is ours to pick: flip the comparison onto
+                    // the argument (`counter > arg` ⇔ `arg < counter`).
+                    let flipped = match op {
+                        CmpKind::Lt => CmpKind::Gt,
+                        CmpKind::Le => CmpKind::Ge,
+                        CmpKind::Gt => CmpKind::Lt,
+                        CmpKind::Ge => CmpKind::Le,
+                    };
+                    deferred.push((flipped, rhs.clone(), decided));
+                }
                 _ => {
-                    return Err(format!(
+                    if let Term::EntryData { .. } = lhs {
+                        if matches!(rhs, Term::EntryCounter { .. }) {
+                            // `arg <op> counter`: same deferral, no flip.
+                            deferred.push((*op, lhs.clone(), decided));
+                            continue;
+                        }
+                    }
+                    return Err(uncoverable(format!(
                         "comparison between two non-constant terms ({lhs} vs {rhs}) is not concretizable"
-                    ))
+                    )));
                 }
             },
         }
+    }
+    for (op, term, decided) in deferred {
+        by_term
+            .entry(term)
+            .or_default()
+            .ranges
+            .push((op, injections as u128, decided));
     }
     Ok((by_term, validity, injections))
 }
@@ -294,11 +396,13 @@ fn concretize(
     design: &CompiledDesign,
     decisions: &[(Key, usize)],
     hits: &[TableHitTrace],
-) -> Result<Concrete, String> {
+) -> Result<Concrete, Skip> {
     let (by_term, validity, injections) = constraints_of(decisions)?;
     for (t, c) in &by_term {
         if c.contradictory {
-            return Err(format!("contradictory equality constraints on {t}"));
+            return Err(infeasible(format!(
+                "contradictory equality constraints on {t}"
+            )));
         }
     }
 
@@ -315,7 +419,9 @@ fn concretize(
         .collect();
     for h in &valid {
         if !matches!(*h, "ethernet" | "ipv4" | "ipv6" | "udp" | "srh") {
-            return Err(format!("no packet builder covers header `{h}`"));
+            return Err(uncoverable(format!(
+                "no packet builder covers header `{h}`"
+            )));
         }
     }
 
@@ -325,9 +431,9 @@ fn concretize(
     if let Some(c) = by_term.get(&sl_term) {
         let sl = c
             .pick(8)
-            .ok_or_else(|| "unsatisfiable segments_left constraints".to_string())?;
+            .ok_or_else(|| uncoverable("unsatisfiable segments_left constraints"))?;
         if sl as usize + 1 > MAX_SEGMENTS {
-            return Err(format!("world needs {} SRH segments", sl + 1));
+            return Err(uncoverable(format!("world needs {} SRH segments", sl + 1)));
         }
         segments_needed = sl as usize + 1;
     }
@@ -335,19 +441,52 @@ fn concretize(
         .map(|i| 0xfc00_0000_0000_0000_0000_0000_0000_0100 + i as u128)
         .collect();
 
-    let shapes: [(&str, &[&str]); 3] = [
-        ("ipv4", &["ethernet", "ipv4", "udp"]),
-        ("ipv6", &["ethernet", "ipv6", "udp"]),
-        ("srv6", &["ethernet", "ipv6", "srh", "udp"]),
+    // Shapes are tried in order, fullest first so worlds that never query
+    // a deeper header get the richest packet. The `-raw` variants rewrite
+    // one parser-selector field to a value no parse rule claims, which
+    // truncates the parse chain there — that is what makes "header absent"
+    // worlds (e.g. an IPv4 packet that does not carry UDP) concretizable.
+    type Fixup = Option<(&'static str, &'static str, u128)>;
+    let shapes: [(&str, &[&str], Fixup); 7] = [
+        ("ipv4", &["ethernet", "ipv4", "udp"], None),
+        ("ipv6", &["ethernet", "ipv6", "udp"], None),
+        ("srv6", &["ethernet", "ipv6", "srh", "udp"], None),
+        (
+            "ipv4",
+            &["ethernet", "ipv4"],
+            Some(("ipv4", "protocol", 253)),
+        ),
+        (
+            "ipv6",
+            &["ethernet", "ipv6"],
+            Some(("ipv6", "next_hdr", 59)),
+        ),
+        (
+            "srv6",
+            &["ethernet", "ipv6", "srh"],
+            Some(("srh", "next_header", 59)),
+        ),
+        (
+            "ipv4",
+            &["ethernet"],
+            Some(("ethernet", "ethertype", 0x88b5)),
+        ),
     ];
-    let shape = shapes
+    let (shape, fixup) = shapes
         .iter()
-        .find(|(_, hs)| {
+        .find(|(_, hs, _)| {
             valid.iter().all(|h| hs.contains(h)) && absent.iter().all(|h| !hs.contains(h))
         })
-        .map(|(n, _)| *n)
+        .map(|(n, _, f)| (*n, *f))
         .ok_or_else(|| {
-            format!("no supported traffic shape has {valid:?} present and {absent:?} absent")
+            // The shape list enumerates every truncation of the standard
+            // parse chains, so a validity assignment over the standard
+            // headers that fits none of them contradicts the parser
+            // structure itself (e.g. IPv4 and IPv6 both present, or SRH
+            // without IPv6).
+            infeasible(format!(
+                "no traffic shape has {valid:?} present and {absent:?} absent"
+            ))
         })?;
 
     // --- ingress port ---
@@ -355,7 +494,7 @@ fn concretize(
         .get(&Term::IngressPort)
         .map(|c| {
             c.pick(16)
-                .ok_or_else(|| "unsatisfiable ingress-port constraints".to_string())
+                .ok_or_else(|| uncoverable("unsatisfiable ingress-port constraints"))
         })
         .transpose()?
         .unwrap_or(0) as u16;
@@ -366,6 +505,21 @@ fn concretize(
         _ => srv6_packet(&Ipv6UdpSpec::default(), &segments),
     };
     pkt.meta.ingress_port = port;
+    if let Some((h, f, v)) = fixup {
+        pkt.ensure_parsed(&design.linkage, h)
+            .map_err(|e| uncoverable(format!("parse failed while truncating the shape: {e}")))
+            .and_then(|ok| {
+                if ok {
+                    Ok(())
+                } else {
+                    Err(uncoverable(format!(
+                        "header `{h}` is not parseable in the chosen traffic shape"
+                    )))
+                }
+            })?;
+        pkt.set_field(&design.linkage, h, f, v)
+            .map_err(|e| uncoverable(e.to_string()))?;
+    }
 
     // --- field assignments ---
     // Parse the construction copy far enough to write every constrained
@@ -391,34 +545,34 @@ fn concretize(
         }
         if !pkt
             .ensure_parsed(&design.linkage, h)
-            .map_err(|e| format!("parse failed while assigning fields: {e}"))?
+            .map_err(|e| uncoverable(format!("parse failed while assigning fields: {e}")))?
         {
-            return Err(format!(
+            return Err(uncoverable(format!(
                 "constrained header `{h}` is unreachable in the chosen traffic shape"
-            ));
+            )));
         }
         let bits = design
             .linkage
             .get(h)
             .and_then(|ty| ty.fields.iter().find(|fd| fd.name == *f))
             .map(|fd| fd.bits)
-            .ok_or_else(|| format!("unknown field `{h}.{f}`"))?;
+            .ok_or_else(|| uncoverable(format!("unknown field `{h}.{f}`")))?;
         let current = pkt
             .get_field(&design.linkage, h, f)
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| uncoverable(e.to_string()))?;
         if c.admits(current) {
             continue;
         }
         let v = c
             .pick(bits)
-            .ok_or_else(|| format!("unsatisfiable constraints on `{h}.{f}`"))?;
+            .ok_or_else(|| uncoverable(format!("unsatisfiable constraints on `{h}.{f}`")))?;
         if selector_fields.contains(&(h.clone(), f.clone())) {
-            return Err(format!(
+            return Err(uncoverable(format!(
                 "world constrains parser-selector field `{h}.{f}`; changing it would alter the traffic shape"
-            ));
+            )));
         }
         pkt.set_field(&design.linkage, h, f, v)
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| uncoverable(e.to_string()))?;
     }
 
     let fresh = Packet::new(pkt.data.clone(), port);
@@ -433,7 +587,12 @@ fn concretize(
             .tables
             .get(&hit.table)
             .and_then(|d| d.actions.get(hit.tag as usize - 1))
-            .ok_or_else(|| format!("hit tag {} out of range for `{}`", hit.tag, hit.table))?;
+            .ok_or_else(|| {
+                uncoverable(format!(
+                    "hit tag {} out of range for `{}`",
+                    hit.tag, hit.table
+                ))
+            })?;
         let params = design
             .actions
             .get(action)
@@ -448,7 +607,7 @@ fn concretize(
             let v = match by_term.get(&term) {
                 Some(c) => c
                     .pick(*bits)
-                    .ok_or_else(|| format!("unsatisfiable constraints on {term}"))?,
+                    .ok_or_else(|| uncoverable(format!("unsatisfiable constraints on {term}")))?,
                 None => (i as u128 + 1) & width_mask(*bits),
             };
             entry_args.insert((hit.table.clone(), hit.tag, i), v);
