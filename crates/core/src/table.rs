@@ -9,7 +9,8 @@
 //! storage lives in the disaggregated memory pool (see [`crate::memory`]),
 //! which the storage module keeps in sync.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use ipsa_netpkt::bitfield::width_mask;
 use ipsa_netpkt::packet::Packet;
@@ -227,6 +228,17 @@ pub struct Table {
     tern_order: Vec<usize>,
     /// Selector tables: live rows in insertion order.
     members: Vec<usize>,
+    /// Live-entry count, maintained incrementally so `len()` is O(1) —
+    /// re-scanning `rows` per insert made bulk loads O(n²).
+    live: usize,
+    /// Freed row slots, min-first so the lowest free row is always reused
+    /// (the same slot `position(|r| r.is_none())` used to find by scanning).
+    free_rows: BinaryHeap<Reverse<usize>>,
+    /// Count of live LPM rows whose index slot is held by a non-canonical
+    /// twin (same masked prefix, different don't-care bits). Zero for
+    /// canonical route sets, which keeps exact-key searches index-only;
+    /// nonzero forces the slab-scan fallback so twins stay reachable.
+    lpm_shadowed: usize,
     /// Lookup counters (observability; also feeds the throughput model).
     pub lookups: u64,
     /// Hits among `lookups`.
@@ -276,19 +288,23 @@ impl Table {
             lpm_lens: Vec::new(),
             tern_order: Vec::new(),
             members: Vec::new(),
+            live: 0,
+            free_rows: BinaryHeap::new(),
+            lpm_shadowed: 0,
             lookups: 0,
             hits: 0,
         })
     }
 
-    /// Number of live entries.
+    /// Number of live entries. O(1) — maintained incrementally, never by
+    /// re-scanning the row slab.
     pub fn len(&self) -> usize {
-        self.rows.iter().filter(|r| r.is_some()).count()
+        self.live
     }
 
-    /// True when the table has no entries.
+    /// True when the table has no entries (O(1), via the live count).
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live == 0
     }
 
     /// Read access to a row.
@@ -383,10 +399,10 @@ impl Table {
         Ok(())
     }
 
-    fn exact_key_of(&self, entry: &TableEntry) -> Vec<u128> {
-        entry
-            .key
-            .iter()
+    /// Per-field values of an entry key (LPM/ternary fields contribute
+    /// their raw value; masking is applied by the index-key builders).
+    fn key_values(key: &[KeyMatch]) -> Vec<u128> {
+        key.iter()
             .map(|k| match k {
                 KeyMatch::Exact(v) => *v,
                 KeyMatch::Lpm { value, .. } => *value,
@@ -395,11 +411,18 @@ impl Table {
             .collect()
     }
 
-    fn lpm_index_key(&self, entry: &TableEntry, lpm_pos: usize) -> (usize, Vec<u128>) {
-        let mut key = self.exact_key_of(entry);
-        let (plen, masked) = match &entry.key[lpm_pos] {
-            KeyMatch::Lpm { value, prefix_len } => {
-                let bits = self.def.key[lpm_pos].bits;
+    fn exact_key_of(&self, entry: &TableEntry) -> Vec<u128> {
+        Self::key_values(&entry.key)
+    }
+
+    /// Canonical `(prefix_len, masked key vector)` an LPM key indexes
+    /// under. `None` when the key cannot be in the index at all (wrong
+    /// variant at the LPM position, or an out-of-width prefix length) —
+    /// which also means no validated row can equal it.
+    fn lpm_index_key_of(&self, key: &[KeyMatch], lpm_pos: usize) -> Option<(usize, Vec<u128>)> {
+        let bits = self.def.key[lpm_pos].bits;
+        let (plen, masked) = match &key[lpm_pos] {
+            KeyMatch::Lpm { value, prefix_len } if *prefix_len <= bits => {
                 let mask = if *prefix_len == 0 {
                     0
                 } else {
@@ -407,17 +430,94 @@ impl Table {
                 };
                 (*prefix_len, *value & mask)
             }
-            _ => unreachable!("validated"),
+            _ => return None,
         };
-        key[lpm_pos] = masked;
-        (plen, key)
+        let mut vals = Self::key_values(key);
+        vals[lpm_pos] = masked;
+        Some((plen, vals))
+    }
+
+    fn lpm_index_key(&self, entry: &TableEntry, lpm_pos: usize) -> (usize, Vec<u128>) {
+        self.lpm_index_key_of(&entry.key, lpm_pos)
+            .expect("validated LPM entry")
+    }
+
+    /// Row whose installed key equals `key` exactly, routed through the
+    /// acceleration index (exact/LPM) instead of a full-slab scan — the
+    /// scan made bulk loads and `delete` at FIB scale O(n) per operation.
+    /// Ternary and selector tables keep the scan (priority TCAMs are
+    /// small by construction).
+    fn find_row_by_key(&self, key: &[KeyMatch]) -> Option<usize> {
+        if key.len() != self.def.key.len() {
+            return None;
+        }
+        let key_eq = |row: usize| self.rows[row].as_ref().is_some_and(|e| e.key == key);
+        match &self.mode {
+            IndexMode::Exact => {
+                // In exact mode every installed key is a vector of `Exact`
+                // values, so an index hit still needs the variant check:
+                // a query holding the same values under an `Lpm`/`Ternary`
+                // variant must miss, as it always has.
+                let row = self.exact_idx.get(&Self::key_values(key)).copied()?;
+                key_eq(row).then_some(row)
+            }
+            IndexMode::Lpm { lpm_pos } => {
+                let (plen, vals) = self.lpm_index_key_of(key, *lpm_pos)?;
+                match self.lpm_idx.get(&plen).and_then(|m| m.get(&vals)).copied() {
+                    Some(r) if key_eq(r) => Some(r),
+                    // Index miss, or the slot is held by a non-canonical
+                    // twin of the query. Shadowed rows are only reachable
+                    // by scanning; when none exist (canonical route sets —
+                    // the hot case) the index answer is authoritative.
+                    _ if self.lpm_shadowed > 0 => {
+                        self.iter().find(|(_, e)| e.key == key).map(|(r, _)| r)
+                    }
+                    _ => None,
+                }
+            }
+            IndexMode::Ternary | IndexMode::Selector => {
+                self.iter().find(|(_, e)| e.key == key).map(|(r, _)| r)
+            }
+        }
     }
 
     /// Row an identical key currently occupies (for replace semantics).
     fn existing_row(&self, entry: &TableEntry) -> Option<usize> {
-        self.iter()
-            .find(|(_, e)| e.key == entry.key)
-            .map(|(r, _)| r)
+        self.find_row_by_key(&entry.key)
+    }
+
+    /// Longest-prefix match by full scan: the fallback when non-canonical
+    /// twins exist (`lpm_shadowed > 0`), since shadowed rows have no index
+    /// slot and the per-length probe cannot see them. Ties at the best
+    /// length resolve to the lowest row, deterministically for every
+    /// caller. Canonical route sets never take this path.
+    fn lpm_scan(&self, vals: &[u128], lpm_pos: usize, bits: usize) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None; // (prefix_len, row)
+        for (row, e) in self.iter() {
+            let mut plen = 0usize;
+            let covers = e.key.iter().enumerate().all(|(i, km)| {
+                if i == lpm_pos {
+                    match km {
+                        KeyMatch::Lpm { value, prefix_len } => {
+                            plen = *prefix_len;
+                            let mask = if *prefix_len == 0 {
+                                0
+                            } else {
+                                width_mask(bits) & !(width_mask(bits - prefix_len))
+                            };
+                            vals[i] & mask == *value & mask
+                        }
+                        _ => false,
+                    }
+                } else {
+                    matches!(km, KeyMatch::Exact(x) if *x == vals[i])
+                }
+            });
+            if covers && best.is_none_or(|(bp, _)| plen > bp) {
+                best = Some((plen, row));
+            }
+        }
+        best.map(|(_, row)| row)
     }
 
     /// Inserts (or replaces) an entry. Returns its row.
@@ -430,14 +530,14 @@ impl Table {
             self.add_row_to_index(row);
             return Ok(row);
         }
-        if self.len() >= self.def.size {
+        if self.live >= self.def.size {
             return Err(CoreError::TableFull {
                 table: self.def.name.clone(),
                 capacity: self.def.size,
             });
         }
-        let row = match self.rows.iter().position(|r| r.is_none()) {
-            Some(r) => {
+        let row = match self.free_rows.pop() {
+            Some(Reverse(r)) => {
                 self.rows[r] = Some(entry);
                 r
             }
@@ -446,19 +546,22 @@ impl Table {
                 self.rows.len() - 1
             }
         };
+        self.live += 1;
         self.add_row_to_index(row);
         Ok(row)
     }
 
     /// Deletes the entry with exactly this key. Returns its former row.
+    /// Routed through the acceleration index, so FIB-scale `table_del`
+    /// stays O(1) instead of scanning every row.
     pub fn delete(&mut self, key: &[KeyMatch]) -> Result<usize, CoreError> {
         let row = self
-            .iter()
-            .find(|(_, e)| e.key == key)
-            .map(|(r, _)| r)
+            .find_row_by_key(key)
             .ok_or_else(|| CoreError::NoSuchEntry(self.def.name.clone()))?;
         self.remove_row_from_index(row);
         self.rows[row] = None;
+        self.live -= 1;
+        self.free_rows.push(Reverse(row));
         Ok(row)
     }
 
@@ -470,6 +573,9 @@ impl Table {
         self.lpm_lens.clear();
         self.tern_order.clear();
         self.members.clear();
+        self.live = 0;
+        self.free_rows.clear();
+        self.lpm_shadowed = 0;
     }
 
     fn add_row_to_index(&mut self, row: usize) {
@@ -480,7 +586,15 @@ impl Table {
             }
             IndexMode::Lpm { lpm_pos } => {
                 let (plen, key) = self.lpm_index_key(&entry, lpm_pos);
-                self.lpm_idx.entry(plen).or_default().insert(key, row);
+                if let Some(old) = self.lpm_idx.entry(plen).or_default().insert(key, row) {
+                    if old != row {
+                        // A non-canonical twin (same masked prefix,
+                        // different don't-care bits) just lost its index
+                        // slot; it stays live but can only be found by
+                        // scanning.
+                        self.lpm_shadowed += 1;
+                    }
+                }
                 if !self.lpm_lens.contains(&plen) {
                     self.lpm_lens.push(plen);
                     self.lpm_lens.sort_unstable_by(|a, b| b.cmp(a));
@@ -510,12 +624,22 @@ impl Table {
             }
             IndexMode::Lpm { lpm_pos } => {
                 let (plen, key) = self.lpm_index_key(&entry, lpm_pos);
-                if let Some(m) = self.lpm_idx.get_mut(&plen) {
+                if self
+                    .lpm_idx
+                    .get(&plen)
+                    .and_then(|m| m.get(&key))
+                    .is_some_and(|&r| r == row)
+                {
+                    let m = self.lpm_idx.get_mut(&plen).expect("slot just probed");
                     m.remove(&key);
                     if m.is_empty() {
                         self.lpm_idx.remove(&plen);
                         self.lpm_lens.retain(|&l| l != plen);
                     }
+                } else {
+                    // The slot belongs to a twin (or is gone): this row was
+                    // one of the shadowed ones.
+                    self.lpm_shadowed -= 1;
                 }
             }
             IndexMode::Ternary => self.tern_order.retain(|&r| r != row),
@@ -566,26 +690,32 @@ impl Table {
             IndexMode::Lpm { lpm_pos } => {
                 let lpm_pos = *lpm_pos;
                 let bits = self.def.key[lpm_pos].bits;
-                probe.clear();
-                probe.extend_from_slice(vals);
-                let mut found = None;
-                for &plen in &self.lpm_lens {
-                    let mask = if plen == 0 {
-                        0
-                    } else {
-                        width_mask(bits) & !(width_mask(bits - plen))
-                    };
-                    probe[lpm_pos] = vals[lpm_pos] & mask;
-                    if let Some(&r) = self
-                        .lpm_idx
-                        .get(&plen)
-                        .and_then(|m| m.get(probe.as_slice()))
-                    {
-                        found = Some(r);
-                        break;
+                if self.lpm_shadowed > 0 {
+                    // Twin regime: shadowed rows are invisible to the
+                    // index, so longest-prefix must be resolved by scan.
+                    self.lpm_scan(vals, lpm_pos, bits)
+                } else {
+                    probe.clear();
+                    probe.extend_from_slice(vals);
+                    let mut found = None;
+                    for &plen in &self.lpm_lens {
+                        let mask = if plen == 0 {
+                            0
+                        } else {
+                            width_mask(bits) & !(width_mask(bits - plen))
+                        };
+                        probe[lpm_pos] = vals[lpm_pos] & mask;
+                        if let Some(&r) = self
+                            .lpm_idx
+                            .get(&plen)
+                            .and_then(|m| m.get(probe.as_slice()))
+                        {
+                            found = Some(r);
+                            break;
+                        }
                     }
+                    found
                 }
-                found
             }
             IndexMode::Ternary => self.tern_order.iter().copied().find(|&r| {
                 let e = self.rows[r].as_ref().expect("indexed row live");
@@ -604,6 +734,12 @@ impl Table {
                 }
             }
         }?;
+        Some(self.finish_hit(row))
+    }
+
+    /// Hit bookkeeping shared by every match path: the hit counter, and the
+    /// per-entry packet counter when the table keeps them.
+    fn finish_hit(&mut self, row: usize) -> HitLite {
         self.hits += 1;
         let with_counters = self.def.with_counters;
         let entry = self.rows[row].as_mut().expect("row live");
@@ -613,16 +749,90 @@ impl Table {
         } else {
             None
         };
-        Some(HitLite { row, counter })
+        HitLite { row, counter }
+    }
+
+    /// Single-field variant of [`Table::match_prepared`]: probes the index
+    /// with borrowed stack arrays instead of heap `Vec<u128>` keys (the
+    /// `HashMap<Vec<u128>, _>` indices answer `&[u128]` probes via
+    /// `Borrow`), so the common one-field FIB shape matches with zero heap
+    /// allocation. `val` is `None` when the key source header was absent
+    /// (guaranteed miss). Semantics are pinned to `match_prepared` by the
+    /// table-oracle differential suite.
+    ///
+    /// The caller must have called [`Table::begin_lookup`] first, and the
+    /// table's key must have exactly one field.
+    pub fn match_single(&mut self, val: Option<u128>) -> Option<HitLite> {
+        debug_assert_eq!(
+            self.def.key.len(),
+            1,
+            "match_single requires a single-field key"
+        );
+        let v = val?;
+        let vals = [v];
+        let row = match &self.mode {
+            IndexMode::Exact => self.exact_idx.get(&vals[..]).copied(),
+            IndexMode::Lpm { .. } => {
+                let bits = self.def.key[0].bits;
+                if self.lpm_shadowed > 0 {
+                    self.lpm_scan(&vals, 0, bits)
+                } else {
+                    let mut found = None;
+                    for &plen in &self.lpm_lens {
+                        let mask = if plen == 0 {
+                            0
+                        } else {
+                            width_mask(bits) & !(width_mask(bits - plen))
+                        };
+                        let probe = [v & mask];
+                        if let Some(&r) = self.lpm_idx.get(&plen).and_then(|m| m.get(&probe[..])) {
+                            found = Some(r);
+                            break;
+                        }
+                    }
+                    found
+                }
+            }
+            IndexMode::Ternary => self.tern_order.iter().copied().find(|&r| {
+                let e = self.rows[r].as_ref().expect("indexed row live");
+                e.key.iter().zip(&vals).all(|(km, &v)| match km {
+                    KeyMatch::Exact(x) => *x == v,
+                    KeyMatch::Ternary { value, mask } => v & *mask == *value,
+                    KeyMatch::Lpm { .. } => false,
+                })
+            }),
+            IndexMode::Selector => {
+                if self.members.is_empty() {
+                    None
+                } else {
+                    let h = hash_values(&vals);
+                    Some(self.members[(h % self.members.len() as u64) as usize])
+                }
+            }
+        }?;
+        Some(self.finish_hit(row))
     }
 
     /// Performs a lookup, incrementing the matched entry's counter when the
     /// table keeps counters. `Ok(None)` is a miss (run the default action).
     pub fn lookup(&mut self, pkt: &Packet, ctx: &EvalCtx<'_>) -> Result<Option<Hit>, CoreError> {
         self.begin_lookup();
-        let vals = self.read_key(pkt, ctx)?;
-        let mut probe = Vec::new();
-        let Some(lite) = self.match_prepared(vals.as_deref(), &mut probe) else {
+        // Single-field keys (the common FIB shape) take the borrowed-key
+        // probe: one direct source read and stack-array index probes, no
+        // per-lookup key/probe vectors.
+        let single = match &self.def.key[..] {
+            [k] => Some(k.source.read(pkt, ctx)?.map(|v| v & width_mask(k.bits))),
+            _ => None,
+        };
+        let lite = match single {
+            Some(val) => self.match_single(val),
+            None => {
+                let vals = self.read_key(pkt, ctx)?;
+                let mut probe = Vec::new();
+                self.match_prepared(vals.as_deref(), &mut probe)
+            }
+        };
+        let Some(lite) = lite else {
             return Ok(None);
         };
         let entry = self.rows[lite.row].as_ref().expect("row live");
@@ -997,6 +1207,111 @@ mod tests {
         assert_eq!(l.entry_width_bits(16), 32 + 8 + 8 + 16);
         let t3 = ternary_def();
         assert_eq!(t3.entry_width_bits(0), (32 + 16) * 2 + 8);
+    }
+
+    #[test]
+    fn len_and_is_empty_track_churn() {
+        let mut t = Table::new(lpm_def()).unwrap();
+        assert!(t.is_empty());
+        for i in 0..10u128 {
+            t.insert(lpm_entry(i << 8, 24, i)).unwrap();
+        }
+        assert_eq!(t.len(), 10);
+        // Replacement does not change the count.
+        t.insert(lpm_entry(3 << 8, 24, 99)).unwrap();
+        assert_eq!(t.len(), 10);
+        for i in 0..5u128 {
+            t.delete(&[KeyMatch::Lpm {
+                value: i << 8,
+                prefix_len: 24,
+            }])
+            .unwrap();
+        }
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn delete_query_guards() {
+        let mut t = Table::new(exact_def()).unwrap();
+        t.insert(TableEntry::exact(vec![7], ActionCall::no_action()))
+            .unwrap();
+        // Same value under the wrong variant must miss, as it always has.
+        assert!(t
+            .delete(&[KeyMatch::Lpm {
+                value: 7,
+                prefix_len: 16
+            }])
+            .is_err());
+        // Wrong arity.
+        assert!(t.delete(&[KeyMatch::Exact(7), KeyMatch::Exact(8)]).is_err());
+        assert!(t.delete(&[KeyMatch::Exact(7)]).is_ok());
+
+        let mut l = Table::new(lpm_def()).unwrap();
+        l.insert(lpm_entry(0x0a00_0000, 8, 1)).unwrap();
+        // Delete queries are not insert-validated: an out-of-width prefix
+        // length must be a clean miss, not a mask underflow.
+        assert!(l
+            .delete(&[KeyMatch::Lpm {
+                value: 0x0a00_0000,
+                prefix_len: 129
+            }])
+            .is_err());
+        assert!(l.delete(&[KeyMatch::Exact(0x0a00_0000)]).is_err());
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn lpm_noncanonical_twins_stay_deletable() {
+        let mut t = Table::new(lpm_def()).unwrap();
+        // Same /24 prefix with different don't-care bits: distinct keys,
+        // so both rows are live even though they share an index slot.
+        t.insert(lpm_entry(0x0a01_0200, 24, 1)).unwrap();
+        t.insert(lpm_entry(0x0a01_02ff, 24, 2)).unwrap();
+        assert_eq!(t.len(), 2);
+        t.delete(&[KeyMatch::Lpm {
+            value: 0x0a01_0200,
+            prefix_len: 24,
+        }])
+        .unwrap();
+        t.delete(&[KeyMatch::Lpm {
+            value: 0x0a01_02ff,
+            prefix_len: 24,
+        }])
+        .unwrap();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn match_single_agrees_with_match_prepared() {
+        let mut t = Table::new(lpm_def()).unwrap();
+        t.insert(lpm_entry(0x0a00_0000, 8, 1)).unwrap();
+        t.insert(lpm_entry(0x0a01_0000, 16, 2)).unwrap();
+        t.insert(lpm_entry(0, 0, 9)).unwrap();
+        let mut probe = Vec::new();
+        for dst in [0x0a01_0203u128, 0x0a05_0503, 0x0b00_0001, 0x0a01_0000] {
+            t.begin_lookup();
+            let a = t.match_prepared(Some(&[dst]), &mut probe).map(|h| h.row);
+            t.begin_lookup();
+            let b = t.match_single(Some(dst)).map(|h| h.row);
+            assert_eq!(a, b, "dst {dst:#x}");
+        }
+        t.begin_lookup();
+        assert!(t.match_single(None).is_none());
+
+        let mut e = Table::new(exact_def()).unwrap();
+        e.insert(TableEntry::exact(vec![7], ActionCall::no_action()))
+            .unwrap();
+        for v in [7u128, 8] {
+            e.begin_lookup();
+            let a = e.match_prepared(Some(&[v]), &mut probe).map(|h| h.row);
+            e.begin_lookup();
+            let b = e.match_single(Some(v)).map(|h| h.row);
+            assert_eq!(a, b, "val {v}");
+        }
     }
 
     #[test]

@@ -1,0 +1,309 @@
+//! Differential suite pinning the table layer's indexed lookup/delete
+//! paths (exact, LPM — including the borrowed-key `match_single` probe —
+//! and ternary) against a naive full-scan oracle, under interleaved
+//! insert/delete churn.
+//!
+//! The acceleration indices (`exact_idx`, the per-length `lpm_idx`, the
+//! live-count, the freed-row heap, the twin-shadow counter) are pure
+//! performance structure: this suite is the proof that none of them change
+//! observable semantics. Key sets are drawn from small domains so churn
+//! constantly collides — replacements, re-inserted deleted keys, and
+//! non-canonical LPM twins (same masked prefix, different don't-care bits)
+//! all occur.
+
+use ipsa_core::error::CoreError;
+use ipsa_core::table::{ActionCall, KeyField, KeyMatch, MatchKind, Table, TableDef, TableEntry};
+use ipsa_core::value::ValueRef;
+use proptest::prelude::*;
+
+/// One churn-stream operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { v: u32, p: usize },
+    Delete { v: u32, p: usize },
+    Lookup { v: u32 },
+}
+
+// Small domains force collisions: 4 base prefixes × 4 low-bit variants
+// (the low bits are don't-care under short prefixes → LPM twins).
+fn val() -> impl Strategy<Value = u32> {
+    (0u32..4, 0u32..4).prop_map(|(hi, lo)| (hi << 24) | lo)
+}
+
+fn plen() -> impl Strategy<Value = usize> {
+    (0usize..5).prop_map(|i| [0usize, 8, 16, 24, 32][i])
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Inserts listed three times, deletes twice: a 3:2:2 mix keeps the
+    // table populated so lookups mostly exercise non-empty state.
+    let ins = || (val(), plen()).prop_map(|(v, p)| Op::Insert { v, p });
+    let del = || (val(), plen()).prop_map(|(v, p)| Op::Delete { v, p });
+    let get = || val().prop_map(|v| Op::Lookup { v });
+    prop_oneof![ins(), ins(), ins(), del(), del(), get(), get()]
+}
+
+/// Naive reference model: a flat entry list, scanned per operation.
+struct Oracle {
+    entries: Vec<TableEntry>,
+    size: usize,
+}
+
+impl Oracle {
+    fn insert(&mut self, e: TableEntry) -> Result<(), ()> {
+        if let Some(i) = self.entries.iter().position(|x| x.key == e.key) {
+            self.entries[i] = e;
+            Ok(())
+        } else if self.entries.len() >= self.size {
+            Err(())
+        } else {
+            self.entries.push(e);
+            Ok(())
+        }
+    }
+
+    fn delete(&mut self, key: &[KeyMatch]) -> Result<(), ()> {
+        match self.entries.iter().position(|x| x.key == key) {
+            Some(i) => {
+                self.entries.remove(i);
+                Ok(())
+            }
+            None => Err(()),
+        }
+    }
+
+    /// Longest prefix length any entry matches `v` at, if any.
+    fn lpm_best(&self, v: u32) -> Option<usize> {
+        self.entries
+            .iter()
+            .filter_map(|e| match e.key[0] {
+                KeyMatch::Lpm { value, prefix_len } => {
+                    let matched =
+                        prefix_len == 0 || (u64::from(value as u32 ^ v) >> (32 - prefix_len)) == 0;
+                    matched.then_some(prefix_len)
+                }
+                _ => None,
+            })
+            .max()
+    }
+}
+
+fn lpm_def(size: usize) -> TableDef {
+    TableDef {
+        name: "fib".into(),
+        key: vec![KeyField {
+            source: ValueRef::field("ipv4", "dst_addr"),
+            bits: 32,
+            kind: MatchKind::Lpm,
+        }],
+        size,
+        actions: vec!["act".into()],
+        default_action: ActionCall::no_action(),
+        with_counters: false,
+    }
+}
+
+fn lpm_entry(v: u32, p: usize, seq: u128) -> TableEntry {
+    TableEntry {
+        key: vec![KeyMatch::Lpm {
+            value: v as u128,
+            prefix_len: p,
+        }],
+        priority: 0,
+        action: ActionCall::new("act", vec![seq]),
+        counter: 0,
+    }
+}
+
+proptest! {
+    /// LPM under churn: insert/delete success codes, the live count, and
+    /// every lookup agree with the full-scan oracle; the borrowed-key
+    /// `match_single` probe agrees with `match_prepared` exactly. A hit is
+    /// compared by matched prefix length (twins shadow each other in the
+    /// index, so *which* same-prefix twin answers is not pinned — that
+    /// ambiguity predates the indexed path).
+    #[test]
+    fn lpm_matches_oracle_under_churn(ops in proptest::collection::vec(op_strategy(), 1..150)) {
+        let mut t = Table::new(lpm_def(12)).unwrap();
+        let mut o = Oracle { entries: Vec::new(), size: 12 };
+        let mut probe = Vec::new();
+        for (seq, op) in ops.into_iter().enumerate() {
+            match op {
+                Op::Insert { v, p } => {
+                    let r = t.insert(lpm_entry(v, p, seq as u128));
+                    let e = o.insert(lpm_entry(v, p, seq as u128));
+                    match r {
+                        Ok(_) => prop_assert!(e.is_ok()),
+                        Err(CoreError::TableFull { .. }) => prop_assert!(e.is_err()),
+                        Err(other) => prop_assert!(false, "unexpected insert error {other}"),
+                    }
+                }
+                Op::Delete { v, p } => {
+                    let key = [KeyMatch::Lpm { value: v as u128, prefix_len: p }];
+                    let r = t.delete(&key);
+                    let e = o.delete(&key);
+                    prop_assert_eq!(r.is_ok(), e.is_ok());
+                }
+                Op::Lookup { v } => {
+                    t.begin_lookup();
+                    let a = t.match_prepared(Some(&[v as u128]), &mut probe).map(|h| h.row);
+                    t.begin_lookup();
+                    let b = t.match_single(Some(v as u128)).map(|h| h.row);
+                    prop_assert_eq!(a, b, "match_single diverged from match_prepared");
+                    match (a, o.lpm_best(v)) {
+                        (None, None) => {}
+                        (Some(row), Some(best)) => {
+                            let hit = t.row(row).unwrap();
+                            let KeyMatch::Lpm { value, prefix_len } = hit.key[0] else {
+                                prop_assert!(false, "non-LPM key in LPM table");
+                                unreachable!()
+                            };
+                            prop_assert_eq!(prefix_len, best, "hit at wrong prefix length");
+                            prop_assert!(
+                                prefix_len == 0
+                                    || (u64::from(value as u32 ^ v) >> (32 - prefix_len)) == 0,
+                                "hit entry does not cover the lookup value"
+                            );
+                        }
+                        (got, want) => prop_assert!(
+                            false,
+                            "hit/miss divergence: table {got:?}, oracle best {want:?}"
+                        ),
+                    }
+                }
+            }
+            prop_assert_eq!(t.len(), o.entries.len(), "live count diverged");
+            prop_assert_eq!(t.is_empty(), o.entries.is_empty());
+        }
+    }
+
+    /// Exact-match under churn: everything is deterministic, so hits are
+    /// compared by the stored action arguments, and both the indexed probe
+    /// and `match_single` must agree with the oracle exactly.
+    #[test]
+    fn exact_matches_oracle_under_churn(ops in proptest::collection::vec(op_strategy(), 1..150)) {
+        let def = TableDef {
+            name: "nexthop".into(),
+            key: vec![KeyField {
+                source: ValueRef::Meta("nh".into()),
+                bits: 32,
+                kind: MatchKind::Exact,
+            }],
+            size: 8,
+            actions: vec!["act".into()],
+            default_action: ActionCall::no_action(),
+            with_counters: false,
+        };
+        let mut t = Table::new(def).unwrap();
+        let mut o = Oracle { entries: Vec::new(), size: 8 };
+        let mut probe = Vec::new();
+        let exact = |v: u32, seq: u128| TableEntry {
+            key: vec![KeyMatch::Exact(v as u128)],
+            priority: 0,
+            action: ActionCall::new("act", vec![seq]),
+            counter: 0,
+        };
+        for (seq, op) in ops.into_iter().enumerate() {
+            match op {
+                Op::Insert { v, .. } => {
+                    let r = t.insert(exact(v, seq as u128));
+                    let e = o.insert(exact(v, seq as u128));
+                    prop_assert_eq!(r.is_ok(), e.is_ok());
+                }
+                Op::Delete { v, .. } => {
+                    let key = [KeyMatch::Exact(v as u128)];
+                    prop_assert_eq!(t.delete(&key).is_ok(), o.delete(&key).is_ok());
+                }
+                Op::Lookup { v } => {
+                    t.begin_lookup();
+                    let a = t.match_prepared(Some(&[v as u128]), &mut probe).map(|h| h.row);
+                    t.begin_lookup();
+                    let b = t.match_single(Some(v as u128)).map(|h| h.row);
+                    prop_assert_eq!(a, b);
+                    let got = a.map(|row| t.row(row).unwrap().action.args.clone());
+                    let want = o
+                        .entries
+                        .iter()
+                        .find(|e| e.key[0] == KeyMatch::Exact(v as u128))
+                        .map(|e| e.action.args.clone());
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(t.len(), o.entries.len());
+        }
+    }
+
+    /// Ternary under churn: priorities are made unique (the op sequence
+    /// number), so the winning entry is fully determined and hits compare
+    /// by action arguments.
+    #[test]
+    fn ternary_matches_oracle_under_churn(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let def = TableDef {
+            name: "acl".into(),
+            key: vec![KeyField {
+                source: ValueRef::field("ipv4", "dst_addr"),
+                bits: 32,
+                kind: MatchKind::Ternary,
+            }],
+            size: 10,
+            actions: vec!["act".into()],
+            default_action: ActionCall::no_action(),
+            with_counters: false,
+        };
+        let mut t = Table::new(def).unwrap();
+        let mut o = Oracle { entries: Vec::new(), size: 10 };
+        let mut probe = Vec::new();
+        // Reuse the LPM op stream: a prefix length becomes a mask.
+        let mask_of = |p: usize| -> u32 {
+            if p == 0 { 0 } else { (!0u32) << (32 - p) }
+        };
+        let tern = |v: u32, p: usize, seq: usize| TableEntry {
+            key: vec![KeyMatch::Ternary {
+                value: (v & mask_of(p)) as u128,
+                mask: mask_of(p) as u128,
+            }],
+            priority: seq as i32,
+            action: ActionCall::new("act", vec![seq as u128]),
+            counter: 0,
+        };
+        for (seq, op) in ops.into_iter().enumerate() {
+            match op {
+                Op::Insert { v, p } => {
+                    let r = t.insert(tern(v, p, seq));
+                    let e = o.insert(tern(v, p, seq));
+                    prop_assert_eq!(r.is_ok(), e.is_ok());
+                }
+                Op::Delete { v, p } => {
+                    // Delete by the key shape only (priority is not part of
+                    // the key), so target whatever entry holds this key.
+                    let key = [KeyMatch::Ternary {
+                        value: (v & mask_of(p)) as u128,
+                        mask: mask_of(p) as u128,
+                    }];
+                    prop_assert_eq!(t.delete(&key).is_ok(), o.delete(&key).is_ok());
+                }
+                Op::Lookup { v } => {
+                    t.begin_lookup();
+                    let a = t.match_prepared(Some(&[v as u128]), &mut probe).map(|h| h.row);
+                    t.begin_lookup();
+                    let b = t.match_single(Some(v as u128)).map(|h| h.row);
+                    prop_assert_eq!(a, b);
+                    let got = a.map(|row| t.row(row).unwrap().action.args.clone());
+                    let want = o
+                        .entries
+                        .iter()
+                        .filter(|e| match e.key[0] {
+                            KeyMatch::Ternary { value, mask } => {
+                                (v as u128) & mask == value
+                            }
+                            _ => false,
+                        })
+                        .max_by_key(|e| e.priority)
+                        .map(|e| e.action.args.clone());
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(t.len(), o.entries.len());
+        }
+    }
+}

@@ -19,6 +19,9 @@ pub struct PortStats {
     pub rx: u64,
     /// Packets transmitted on the port.
     pub tx: u64,
+    /// Injects whose ingress port was out of range and got clamped to this
+    /// port (always the last port; see [`CommModule::inject`]).
+    pub rx_clamped: u64,
 }
 
 /// One switch port.
@@ -77,12 +80,16 @@ impl CommModule {
     }
 
     /// Injects a packet into its ingress port's RX ring. Out-of-range ports
-    /// wrap to port 0 (a test convenience, counted normally).
+    /// clamp to the last port (a test convenience, counted normally plus a
+    /// bump of that port's [`PortStats::rx_clamped`]).
     pub fn inject(&mut self, pkt: Packet) {
         let port = (pkt.meta.ingress_port as usize).min(self.ports.len().saturating_sub(1)) as u16;
         self.record("rx", port, &pkt);
         let p = &mut self.ports[port as usize];
         p.stats.rx += 1;
+        if port != pkt.meta.ingress_port {
+            p.stats.rx_clamped += 1;
+        }
         p.rx_ring.push_back(pkt);
     }
 
@@ -97,6 +104,30 @@ impl CommModule {
             }
         }
         None
+    }
+
+    /// Drains up to `max` packets from the RX rings into a caller-owned
+    /// buffer and returns how many were taken. Packets come out in exactly
+    /// the order repeated [`CommModule::next_rx`] calls would produce them
+    /// (port order, FIFO within a port); the caller reuses `out` across
+    /// bursts so steady-state ingress performs no allocation.
+    pub fn rx_burst(&mut self, max: usize, out: &mut Vec<Packet>) -> usize {
+        let mut taken = 0;
+        for p in &mut self.ports {
+            while taken < max {
+                match p.rx_ring.pop_front() {
+                    Some(pkt) => {
+                        out.push(pkt);
+                        taken += 1;
+                    }
+                    None => break,
+                }
+            }
+            if taken >= max {
+                break;
+            }
+        }
+        taken
     }
 
     /// Packets waiting in RX rings.
@@ -117,12 +148,22 @@ impl CommModule {
         p.tx_ring.push(pkt);
     }
 
-    /// Drains every TX ring, in port order.
-    pub fn collect_tx(&mut self) -> Vec<Packet> {
-        let mut out = Vec::new();
+    /// Drains every TX ring into a caller-owned buffer, in port order, and
+    /// returns how many packets were handed back. The caller reuses `out`
+    /// (and recycles the packets it receives) across bursts.
+    pub fn tx_burst(&mut self, out: &mut Vec<Packet>) -> usize {
+        let before = out.len();
         for p in &mut self.ports {
             out.append(&mut p.tx_ring);
         }
+        out.len() - before
+    }
+
+    /// Drains every TX ring, in port order. Allocating wrapper over
+    /// [`CommModule::tx_burst`].
+    pub fn collect_tx(&mut self) -> Vec<Packet> {
+        let mut out = Vec::new();
+        self.tx_burst(&mut out);
         out
     }
 
@@ -173,6 +214,54 @@ mod tests {
     fn out_of_range_ports_clamped() {
         let mut cm = CommModule::new(2);
         cm.inject(pkt(9));
-        assert_eq!(cm.port_stats()[1].rx, 1);
+        cm.inject(pkt(1));
+        let stats = cm.port_stats();
+        assert_eq!(stats[1].rx, 2);
+        assert_eq!(stats[1].rx_clamped, 1, "only the out-of-range inject");
+        assert_eq!(stats[0].rx_clamped, 0);
+    }
+
+    #[test]
+    fn rx_burst_matches_next_rx_order() {
+        let mut a = CommModule::new(3);
+        let mut b = CommModule::new(3);
+        for port in [2u16, 0, 1, 0, 2] {
+            a.inject(pkt(port));
+            b.inject(pkt(port));
+        }
+        let mut burst = Vec::new();
+        assert_eq!(a.rx_burst(usize::MAX, &mut burst), 5);
+        let serial: Vec<_> = std::iter::from_fn(|| b.next_rx()).collect();
+        let ports = |v: &[Packet]| v.iter().map(|p| p.meta.ingress_port).collect::<Vec<_>>();
+        assert_eq!(ports(&burst), ports(&serial));
+        assert_eq!(a.rx_pending(), 0);
+    }
+
+    #[test]
+    fn rx_burst_honours_max() {
+        let mut cm = CommModule::new(2);
+        for _ in 0..5 {
+            cm.inject(pkt(0));
+        }
+        let mut burst = Vec::new();
+        assert_eq!(cm.rx_burst(3, &mut burst), 3);
+        assert_eq!(cm.rx_pending(), 2);
+        assert_eq!(cm.rx_burst(3, &mut burst), 2);
+        assert_eq!(burst.len(), 5);
+    }
+
+    #[test]
+    fn tx_burst_appends_in_port_order() {
+        let mut cm = CommModule::new(3);
+        for port in [2u16, 0, 1] {
+            let mut p = pkt(0);
+            p.meta.egress_port = Some(port);
+            cm.transmit(p);
+        }
+        let mut out = Vec::new();
+        assert_eq!(cm.tx_burst(&mut out), 3);
+        let ports: Vec<_> = out.iter().map(|p| p.meta.egress_port.unwrap()).collect();
+        assert_eq!(ports, vec![0, 1, 2]);
+        assert_eq!(cm.tx_burst(&mut out), 0, "rings drained");
     }
 }

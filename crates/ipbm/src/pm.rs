@@ -256,6 +256,53 @@ impl PipelineModule {
         r
     }
 
+    /// Checks out the compiled fast path and scratch buffers for a whole
+    /// run-to-completion drain: the take/restore round-trip
+    /// [`PipelineModule::run_batch_packet`] pays per packet happens once,
+    /// and the [`BurstRunner`] restores them when dropped.
+    ///
+    /// Call [`PipelineModule::ensure_compiled`] once per epoch first; the
+    /// caller guarantees no control-plane write lands while the runner is
+    /// live (this is the hoisted epoch-validity model). Without a compiled
+    /// path the runner falls back to the interpreter per packet.
+    pub fn burst_runner(&mut self) -> BurstRunner<'_> {
+        let cp = self.compiled.take();
+        let scratch = std::mem::take(&mut self.scratch);
+        BurstRunner {
+            cp,
+            scratch,
+            pm: self,
+        }
+    }
+
+    /// Runs a whole burst run-to-completion through the compiled fast path
+    /// via one [`PipelineModule::burst_runner`] checkout. Drains `pkts`,
+    /// pushes emitted packets to `out`, and classifies truncated-parse
+    /// failures as counted drops the same way the per-packet switch loop
+    /// does. On a (fatal) device error the rest of the burst is discarded
+    /// with the error propagated.
+    pub fn run_burst(
+        &mut self,
+        linkage: &HeaderLinkage,
+        sm: &mut StorageModule,
+        pkts: &mut Vec<Packet>,
+        out: &mut Vec<Packet>,
+    ) -> Result<(), CoreError> {
+        let mut runner = self.burst_runner();
+        let mut result = Ok(());
+        for pkt in pkts.drain(..) {
+            match runner.run(linkage, sm, pkt) {
+                Ok(Some(p)) => out.push(p),
+                Ok(None) => {}
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        result
+    }
+
     /// Number of physical slots.
     pub fn slot_count(&self) -> usize {
         self.slots.len()
@@ -337,6 +384,49 @@ impl PipelineModule {
             .ok_or(CoreError::SlotOutOfRange { slot, slots: n })?
             .template = None;
         Ok(())
+    }
+}
+
+/// A checked-out fast path (see [`PipelineModule::burst_runner`]): holds
+/// the compiled path and scratch buffers for the duration of a
+/// run-to-completion drain, so the hot loop pays no per-packet checkout.
+/// Restores both into the pipeline on drop.
+#[derive(Debug)]
+pub struct BurstRunner<'a> {
+    cp: Option<CompiledPath>,
+    scratch: EvalScratch,
+    pm: &'a mut PipelineModule,
+}
+
+impl BurstRunner<'_> {
+    /// True while a structural update holds traffic back.
+    #[inline]
+    pub fn draining(&self) -> bool {
+        self.pm.draining
+    }
+
+    /// Runs one packet — compiled fast path when installed, interpreter
+    /// otherwise — classifying truncated-parse failures as counted drops
+    /// the same way the per-packet switch loop does.
+    #[inline]
+    pub fn run(
+        &mut self,
+        linkage: &HeaderLinkage,
+        sm: &mut StorageModule,
+        pkt: Packet,
+    ) -> Result<Option<Packet>, CoreError> {
+        let r = match &self.cp {
+            Some(cp) => cp.run_packet(self.pm, linkage, sm, &mut self.scratch, pkt),
+            None => self.pm.run_packet(linkage, sm, pkt),
+        };
+        crate::switch::classify_packet_result(r, &mut self.pm.stats)
+    }
+}
+
+impl Drop for BurstRunner<'_> {
+    fn drop(&mut self) {
+        self.pm.scratch = std::mem::take(&mut self.scratch);
+        self.pm.compiled = self.cp.take();
     }
 }
 

@@ -118,6 +118,9 @@ struct ShardReply {
     busy_ns: u64,
     /// Packets the worker itself declared lost (protocol violations).
     lost: u64,
+    /// Emptied batch-bucket buffers round-tripped back to the master for
+    /// reuse, so steady-state RSS dispatch allocates no bucket storage.
+    spent: Vec<Vec<Packet>>,
     /// A protocol fault the worker survived locally; the supervisor
     /// quarantines it after folding this reply.
     fault: Option<String>,
@@ -169,8 +172,18 @@ pub struct ShardedSwitch {
     supervisor: SupervisorStats,
     /// Typed quarantine log, drained by [`ShardedSwitch::take_shard_faults`].
     faults_log: Vec<ShardFault>,
+    /// Reusable RX drain buffer (capacity persists across batches).
+    rx_buf: Vec<Packet>,
+    /// Retired bucket buffers (from worker round-trips and empty-bucket
+    /// skips) awaiting reuse by the next RSS pass.
+    spare_buckets: Vec<Vec<Packet>>,
     name: String,
 }
+
+/// Bound on pooled bucket buffers. Steady state needs roughly one bucket
+/// per shard per in-flight batch plus the round-tripped output buffers;
+/// beyond that, retiring extras keeps a traffic spike from pinning memory.
+const SPARE_BUCKET_CAP: usize = 64;
 
 impl std::fmt::Debug for ShardedSwitch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -215,18 +228,41 @@ fn spawn_worker(
     }
 }
 
-/// RSS dispatch over the live shard list: `flow_hash % live.len()` indexes
-/// into the survivors, so with every shard healthy this is the classic
-/// `flow_hash % shards`, and after a quarantine flows rehash
-/// deterministically across the remainder. Per-flow order is preserved in
-/// both regimes — a flow maps to exactly one shard, whose channel is FIFO.
-fn bucket_packets(pkts: Vec<Packet>, live: &[usize]) -> Vec<(usize, Vec<Packet>)> {
-    let mut buckets: Vec<Vec<Packet>> = (0..live.len()).map(|_| Vec::new()).collect();
-    for pkt in pkts {
-        let b = (flow_hash(&pkt.data) % live.len() as u64) as usize;
-        buckets[b].push(pkt);
+impl ShardedSwitch {
+    /// Pops a pooled bucket buffer, or allocates the pool's first ones.
+    fn take_bucket(&mut self) -> Vec<Packet> {
+        self.spare_buckets.pop().unwrap_or_default()
     }
-    live.iter().copied().zip(buckets).collect()
+
+    /// Returns an emptied bucket buffer to the pool (dropped beyond the
+    /// [`SPARE_BUCKET_CAP`] bound).
+    fn recycle_bucket(&mut self, mut bucket: Vec<Packet>) {
+        bucket.clear();
+        if self.spare_buckets.len() < SPARE_BUCKET_CAP {
+            self.spare_buckets.push(bucket);
+        }
+    }
+
+    /// RSS dispatch over the live shard list: `flow_hash % live.len()`
+    /// indexes into the survivors, so with every shard healthy this is the
+    /// classic `flow_hash % shards`, and after a quarantine flows rehash
+    /// deterministically across the remainder. Per-flow order is preserved
+    /// in both regimes — a flow maps to exactly one shard, whose channel is
+    /// FIFO. Drains `pkts` in one pass into pooled bucket buffers (workers
+    /// hand them back emptied with their barrier reply), so steady-state
+    /// dispatch allocates no bucket storage.
+    fn bucket_packets(
+        &mut self,
+        pkts: &mut Vec<Packet>,
+        live: &[usize],
+    ) -> Vec<(usize, Vec<Packet>)> {
+        let mut buckets: Vec<Vec<Packet>> = (0..live.len()).map(|_| self.take_bucket()).collect();
+        for pkt in pkts.drain(..) {
+            let b = (flow_hash(&pkt.data) % live.len() as u64) as usize;
+            buckets[b].push(pkt);
+        }
+        live.iter().copied().zip(buckets).collect()
+    }
 }
 
 impl ShardedSwitch {
@@ -257,6 +293,8 @@ impl ShardedSwitch {
             defer_respawns: 0,
             supervisor: SupervisorStats::default(),
             faults_log: Vec::new(),
+            rx_buf: Vec::new(),
+            spare_buckets: Vec::new(),
             name: format!("ipbm-sharded-{shards}"),
         }
     }
@@ -564,11 +602,11 @@ impl ShardedSwitch {
             self.dirty = true;
             return Err(self.master.run());
         }
-        let mut pkts = Vec::new();
-        while let Some(pkt) = self.master.cm.next_rx() {
-            pkts.push(pkt);
-        }
-        Ok(bucket_packets(pkts, &live))
+        let mut pkts = std::mem::take(&mut self.rx_buf);
+        self.master.cm.rx_burst(usize::MAX, &mut pkts);
+        let work = self.bucket_packets(&mut pkts, &live);
+        self.rx_buf = pkts;
+        Ok(work)
     }
 
     /// Completes a batch after its initial dispatch: buckets bounced by a
@@ -582,13 +620,15 @@ impl ShardedSwitch {
             if live.is_empty() {
                 break;
             }
-            let work = bucket_packets(std::mem::take(&mut leftover), &live);
+            let work = self.bucket_packets(&mut leftover, &live);
             for (shard, bucket) in work {
                 if bucket.is_empty() {
+                    self.recycle_bucket(bucket);
                     continue;
                 }
                 if let Err(mut b) = self.dispatch(shard, bucket) {
                     leftover.append(&mut b);
+                    self.recycle_bucket(b);
                 }
             }
         }
@@ -620,11 +660,15 @@ impl ShardedSwitch {
                 let mut leftover: Vec<Packet> = Vec::new();
                 for (shard, bucket) in work {
                     if bucket.is_empty() {
+                        self.recycle_bucket(bucket);
                         continue;
                     }
                     match self.dispatch(shard, bucket) {
                         Ok(()) => self.collect_from(&[shard]),
-                        Err(mut b) => leftover.append(&mut b),
+                        Err(mut b) => {
+                            leftover.append(&mut b);
+                            self.recycle_bucket(b);
+                        }
                     }
                 }
                 self.finish_batch(leftover)
@@ -667,8 +711,15 @@ impl ShardedSwitch {
             w.inflight = 0;
         }
         self.supervisor.lost_packets += r.lost;
-        for pkt in r.out {
+        let mut out = r.out;
+        for pkt in out.drain(..) {
             self.master.cm.transmit(pkt);
+        }
+        // Round-trip economy: the worker's emptied output buffer and the
+        // bucket buffers it drained become the next batch's RSS buckets.
+        self.recycle_bucket(out);
+        for bucket in r.spent {
+            self.recycle_bucket(bucket);
         }
     }
 }
@@ -719,10 +770,12 @@ impl Device for ShardedSwitch {
                 let mut leftover: Vec<Packet> = Vec::new();
                 for (shard, bucket) in work {
                     if bucket.is_empty() {
+                        self.recycle_bucket(bucket);
                         continue;
                     }
                     if let Err(mut b) = self.dispatch(shard, bucket) {
                         leftover.append(&mut b);
+                        self.recycle_bucket(b);
                     }
                 }
                 // Barrier (inside `finish_batch`): every batch ends fully
@@ -808,6 +861,7 @@ fn worker_loop(
     let mut busy_ns = 0u64;
     let mut lost = 0u64;
     let mut fault: Option<String> = None;
+    let mut spent: Vec<Vec<Packet>> = Vec::new();
     while let Ok(msg) = rx.recv() {
         match msg {
             ToShard::Publish(e) => {
@@ -815,7 +869,7 @@ fn worker_loop(
                 // the last packet that used them.
                 epoch = Some(EpochState::new(*e));
             }
-            ToShard::Batch(pkts) => {
+            ToShard::Batch(mut pkts) => {
                 let Some(ep) = epoch.as_mut() else {
                     // Protocol violation (a Batch can never legally precede
                     // the first Publish). Survive it: declare the packets
@@ -823,10 +877,12 @@ fn worker_loop(
                     // the supervisor quarantine us.
                     lost += pkts.len() as u64;
                     fault.get_or_insert_with(|| "Batch before first Publish".to_string());
+                    pkts.clear();
+                    spent.push(pkts);
                     continue;
                 };
                 let t0 = Instant::now();
-                for pkt in pkts {
+                for pkt in pkts.drain(..) {
                     let r = ep.compiled.run_packet_parts(
                         &mut stats,
                         SlotStatsMut::Stats(&mut slot_stats),
@@ -849,6 +905,8 @@ fn worker_loop(
                     }
                 }
                 busy_ns += t0.elapsed().as_nanos() as u64;
+                // Hand the emptied bucket back at the next barrier.
+                spent.push(pkts);
             }
             ToShard::Collect { kill, delay } => {
                 if kill {
@@ -912,6 +970,7 @@ fn worker_loop(
                     busy_ns: std::mem::take(&mut busy_ns),
                     lost: std::mem::take(&mut lost),
                     fault: fault.take(),
+                    spent: std::mem::take(&mut spent),
                 };
                 if reply.send(r).is_err() {
                     break; // master gone

@@ -186,6 +186,61 @@ fn steady_state_fast_path_does_not_allocate() {
     assert_eq!(sw.pm.stats.emitted as u32, 32 + 256);
 }
 
+/// The acceptance criterion for the recycling packet arena: with output
+/// packets recycled back into the arena, the ENTIRE
+/// inject→process→collect loop — CM rings, burst buffers, compiled fast
+/// path, TM, TX drain — performs zero heap allocations in steady state,
+/// not just the eval inner loop the other tests pin.
+#[test]
+fn steady_state_full_loop_does_not_allocate() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    use ipsa_netpkt::arena::PacketArena;
+
+    let mut sw = l3_switch();
+    assert!(sw.pm.ensure_compiled(&sw.linkage, &sw.sm));
+    let template = ipv4_udp_packet(&Ipv4UdpSpec {
+        dst_ip: 0x0a010101,
+        ..Default::default()
+    })
+    .data;
+
+    let mut arena = PacketArena::with_capacity(64);
+    let mut out = Vec::new();
+    const ROUND: usize = 32;
+    // Warm every buffer: the CM rings, the switch's burst/emit scratch,
+    // the TM queues, the arena freelist, and the collect buffer.
+    for _ in 0..8 {
+        for _ in 0..ROUND {
+            let pkt = arena.build(&template, 0);
+            sw.inject(pkt);
+        }
+        assert_eq!(sw.run_batch_into(&mut out), ROUND);
+        arena.recycle_all(&mut out);
+    }
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let mut emitted = 0usize;
+    for _ in 0..8 {
+        for _ in 0..ROUND {
+            let pkt = arena.build(&template, 0);
+            sw.inject(pkt);
+        }
+        emitted += sw.run_batch_into(&mut out);
+        arena.recycle_all(&mut out);
+    }
+    let delta = ALLOCS.load(Ordering::Relaxed) - before;
+
+    assert_eq!(emitted, 8 * ROUND);
+    assert_eq!(
+        arena.fresh, ROUND as u64,
+        "only the first warm round builds fresh packets"
+    );
+    assert_eq!(
+        delta, 0,
+        "full inject→process→collect loop performed {delta} heap allocations over {emitted} packets"
+    );
+}
+
 /// The sharded runtime's per-packet worker loop — `run_packet_parts`
 /// against a detached stats array, a worker-local Traffic Manager, and a
 /// cloned Storage Module, exactly the state `ipbm::sharded`'s workers own —

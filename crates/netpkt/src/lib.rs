@@ -11,6 +11,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod bitfield;
 pub mod builder;
 pub mod checksum;

@@ -243,6 +243,18 @@ impl Metadata {
         }
     }
 
+    /// Resets every field to the freshly-constructed state while keeping
+    /// the user vector's backing storage, so a recycled packet's metadata
+    /// writes never reallocate (see [`crate::arena::PacketArena`]).
+    pub fn reset(&mut self) {
+        self.ingress_port = 0;
+        self.egress_port = None;
+        self.drop = false;
+        self.mark = 0;
+        self.user.fill(0);
+        self.presize();
+    }
+
     /// Iterates user-defined fields with nonzero values (sorted by name,
     /// for deterministic debugging). Zero ≡ unset, so zero-valued fields
     /// are not reported.
@@ -292,6 +304,19 @@ impl Packet {
         p.meta.ingress_port = port;
         p.meta.presize();
         p
+    }
+
+    /// Clears every per-packet state field while keeping all backing
+    /// storage (data bytes, parse record, metadata vector), returning the
+    /// packet to the state [`Packet::new`] would produce — minus the
+    /// allocations. The recycling path of
+    /// [`crate::arena::PacketArena`].
+    pub fn reset_for_reuse(&mut self) {
+        self.data.clear();
+        self.meta.reset();
+        self.parsed.clear();
+        self.frontier = None;
+        self.parse_extractions = 0;
     }
 
     /// Packet length in bytes.

@@ -22,7 +22,52 @@ pub struct TrafficGen {
     pub flows: u32,
     /// Payload size per packet.
     pub payload_len: usize,
+    /// Zipf flow-popularity distribution (production-shaped heavy tails);
+    /// `None` keeps the uniform flow choice.
+    zipf: Option<ZipfFlows>,
+    /// Sample payload sizes from the IMIX frame mix instead of the fixed
+    /// `payload_len`.
+    imix: bool,
 }
+
+/// Precomputed Zipf CDF over flow ranks. Sampling is integer-only (the
+/// vendored `rand` deliberately has no float sampling): the CDF is scaled
+/// to `2^53` and a uniform integer draw is placed in it by binary search.
+#[derive(Debug)]
+struct ZipfFlows {
+    cdf: Vec<u64>,
+}
+
+/// Scale of the integer-sampled CDF; 2^53 keeps every f64 cumulative
+/// probability exactly representable.
+const ZIPF_SCALE: u64 = 1 << 53;
+
+impl ZipfFlows {
+    /// CDF of `P(rank = i) ∝ (i+1)^-skew` over `flows` ranks.
+    fn new(flows: u32, skew: f64) -> Self {
+        let mut cdf = Vec::with_capacity(flows as usize);
+        let mut acc = 0.0f64;
+        for i in 0..flows {
+            acc += ((i + 1) as f64).powf(-skew);
+            cdf.push(acc);
+        }
+        let total = acc;
+        let cdf = cdf
+            .into_iter()
+            .map(|c| ((c / total) * ZIPF_SCALE as f64) as u64)
+            .collect();
+        ZipfFlows { cdf }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> u32 {
+        let r = rng.random_range(0..ZIPF_SCALE);
+        self.cdf.partition_point(|&c| c <= r) as u32
+    }
+}
+
+/// IMIX payload lengths: the classic 64/594/1518-byte frame mix in 7:4:1
+/// proportion, minus the 42 bytes of eth+ipv4+udp headers the builder adds.
+const IMIX_PAYLOADS: [usize; 3] = [22, 552, 1476];
 
 /// A flow's invariant 5-tuple-ish identity, used to pin expected results.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -41,6 +86,8 @@ impl TrafficGen {
             v6_percent: 30,
             flows: 64,
             payload_len: 16,
+            zipf: None,
+            imix: false,
         }
     }
 
@@ -50,9 +97,26 @@ impl TrafficGen {
         self
     }
 
-    /// Sets the flow count (builder style).
+    /// Sets the flow count (builder style). Call before
+    /// [`TrafficGen::with_zipf`]: the Zipf CDF is built over the flow count
+    /// in effect when it is enabled.
     pub fn with_flows(mut self, flows: u32) -> Self {
         self.flows = flows.max(1);
+        self
+    }
+
+    /// Draws flow indices from a Zipf distribution with the given skew
+    /// (`s` in `P(rank) ∝ rank^-s`; internet flow mixes are typically
+    /// `0.9..1.2`) instead of uniformly. Rank 0 is the heaviest flow.
+    pub fn with_zipf(mut self, skew: f64) -> Self {
+        self.zipf = Some(ZipfFlows::new(self.flows, skew));
+        self
+    }
+
+    /// Samples per-packet payload sizes from the IMIX 7:4:1 frame mix
+    /// (64/594/1518-byte frames) instead of the fixed `payload_len`.
+    pub fn with_imix(mut self) -> Self {
+        self.imix = true;
         self
     }
 
@@ -79,8 +143,45 @@ impl TrafficGen {
         )
     }
 
+    /// Next packet of a production-shaped stream: Zipf flow popularity
+    /// (when enabled via [`TrafficGen::with_zipf`]) and IMIX packet sizes
+    /// (when enabled via [`TrafficGen::with_imix`]), with the flow
+    /// identity. Falls back to the uniform/fixed-size choices otherwise.
+    pub fn next_scaled(&mut self) -> (Packet, FlowId) {
+        let i = match &self.zipf {
+            Some(z) => z.sample(&mut self.rng),
+            None => self.rng.random_range(0..self.flows),
+        };
+        let v6 = self.rng.random_range(0..100u8) < self.v6_percent;
+        let len = if self.imix {
+            // 7:4:1 over the three IMIX sizes.
+            let r = self.rng.random_range(0..12u8);
+            if r < 7 {
+                IMIX_PAYLOADS[0]
+            } else if r < 11 {
+                IMIX_PAYLOADS[1]
+            } else {
+                IMIX_PAYLOADS[2]
+            }
+        } else {
+            self.payload_len
+        };
+        let id = FlowId { index: i, v6 };
+        (self.flow_packet_sized(id, len), id)
+    }
+
+    /// A batch of `n` production-shaped packets (see
+    /// [`TrafficGen::next_scaled`]).
+    pub fn scaled_batch(&mut self, n: usize) -> Vec<(Packet, FlowId)> {
+        (0..n).map(|_| self.next_scaled()).collect()
+    }
+
     /// Deterministic packet for a specific flow identity.
     pub fn flow_packet(&self, id: FlowId) -> Packet {
+        self.flow_packet_sized(id, self.payload_len)
+    }
+
+    fn flow_packet_sized(&self, id: FlowId, payload_len: usize) -> Packet {
         if id.v6 {
             let (s, d) = Self::v6_addrs(id.index);
             builder::ipv6_udp_packet(&Ipv6UdpSpec {
@@ -88,7 +189,7 @@ impl TrafficGen {
                 dst_ip: d,
                 src_port: 1000 + (id.index % 5000) as u16,
                 dst_port: 53,
-                payload: vec![0x66; self.payload_len],
+                payload: vec![0x66; payload_len],
                 ..Ipv6UdpSpec::default()
             })
         } else {
@@ -98,7 +199,7 @@ impl TrafficGen {
                 dst_ip: d,
                 src_port: 1000 + (id.index % 5000) as u16,
                 dst_port: 53,
-                payload: vec![0x44; self.payload_len],
+                payload: vec![0x44; payload_len],
                 ..Ipv4UdpSpec::default()
             })
         }
@@ -219,6 +320,67 @@ mod tests {
         let batch = g.probe_batch(300, 70);
         let heavy = batch.iter().filter(|(_, id)| id.index == 0).count();
         assert!(heavy > 150, "heavy flow got only {heavy}/300");
+    }
+
+    #[test]
+    fn zipf_concentrates_on_low_ranks() {
+        let mut g = TrafficGen::new(11).with_flows(1000).with_zipf(1.1);
+        let mut rank0 = 0usize;
+        let mut top10 = 0usize;
+        const N: usize = 2000;
+        for _ in 0..N {
+            let (_, id) = g.next_scaled();
+            assert!(id.index < 1000);
+            if id.index == 0 {
+                rank0 += 1;
+            }
+            if id.index < 10 {
+                top10 += 1;
+            }
+        }
+        // With s=1.1 over 1000 flows, rank 0 carries ~14% and the top 10
+        // ~45% of traffic; uniform would put 0.1% and 1% there.
+        assert!(rank0 > N / 20, "rank 0 got only {rank0}/{N}");
+        assert!(top10 > N / 4, "top-10 ranks got only {top10}/{N}");
+    }
+
+    #[test]
+    fn imix_sizes_follow_the_mix() {
+        let mut g = TrafficGen::new(13).with_v6_percent(0).with_imix();
+        let mut counts = [0usize; 3];
+        for _ in 0..1200 {
+            let (p, _) = g.next_scaled();
+            // Frame = 42 bytes of headers + one of the IMIX payloads.
+            match p.len() - 42 {
+                22 => counts[0] += 1,
+                552 => counts[1] += 1,
+                1476 => counts[2] += 1,
+                other => panic!("unexpected IMIX payload {other}"),
+            }
+        }
+        // 7:4:1 within generous tolerance.
+        assert!(counts[0] > counts[1], "{counts:?}");
+        assert!(counts[1] > counts[2], "{counts:?}");
+        assert!(counts[2] > 30, "{counts:?}");
+    }
+
+    #[test]
+    fn scaled_stream_is_deterministic_and_parsable() {
+        let linkage = HeaderLinkage::standard();
+        let mut a = TrafficGen::new(17)
+            .with_flows(128)
+            .with_zipf(1.0)
+            .with_imix();
+        let mut b = TrafficGen::new(17)
+            .with_flows(128)
+            .with_zipf(1.0)
+            .with_imix();
+        for (pa, pb) in a.scaled_batch(64).into_iter().zip(b.scaled_batch(64)) {
+            assert_eq!(pa.0.data, pb.0.data);
+            assert_eq!(pa.1, pb.1);
+            let mut p = pa.0;
+            assert!(p.ensure_parsed(&linkage, "udp").unwrap());
+        }
     }
 
     #[test]
