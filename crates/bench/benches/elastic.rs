@@ -1,0 +1,392 @@
+//! E11 — elastic shard runtime under bursty overload, plus weighted QoS
+//! queueing.
+//!
+//! Part 1 drives the base L3 design through [`ipbm::ShardedSwitch`] with
+//! the autoscaler enabled: a light phase (the live set idles at
+//! `min_shards`), a bursty Zipf/IMIX overload phase (the live set must
+//! climb to `max_shards`), and a light tail (it must shrink back). The
+//! grow/shrink thresholds are calibrated from a measured per-packet busy
+//! time, so the bench is self-scaling across debug/release builds and
+//! host speeds. Per-batch busy-time-per-packet is the latency proxy:
+//! p50/p99 are reported for the light and overload phases.
+//!
+//! Part 2 overloads a standalone [`TrafficManager`] with a 10/30/60
+//! EF/AF/BE DSCP mix arriving faster than it is served, and checks the
+//! QoS contract: strict-priority traffic is never tail-dropped while
+//! best-effort absorbs the overflow, and the WDRR weights shape the
+//! residual service toward assured forwarding.
+//!
+//! Writes `BENCH_elastic.json` at the workspace root.
+
+use ipbm::pm::{TmStats, TrafficManager, TM_QUEUE_CAPACITY};
+use ipbm::AutoscaleConfig;
+use ipsa_bench::{emit, ipsa_sharded_flow, populate_rp4_flow, render_table};
+use ipsa_core::control::Device;
+use ipsa_netpkt::builder::{ipv4_udp_packet, Ipv4UdpSpec};
+use ipsa_netpkt::traffic::TrafficGen;
+use serde::Serialize;
+
+/// One batch of the elastic-scaling trace.
+#[derive(Debug, Serialize)]
+struct TraceRow {
+    batch: usize,
+    phase: &'static str,
+    injected: usize,
+    emitted: usize,
+    live_shards: usize,
+    target_shards: usize,
+    busy_ns: u64,
+    ns_per_pkt: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Percentiles {
+    p50_ns_per_pkt: f64,
+    p99_ns_per_pkt: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct QosJson {
+    rounds: usize,
+    enqueue_per_round: usize,
+    dequeue_per_round: usize,
+    stats: TmStats,
+}
+
+#[derive(Debug, Serialize)]
+struct ElasticJson {
+    smoke: bool,
+    ns_per_pkt_calibration: u64,
+    grow_busy_ns: u64,
+    shrink_busy_ns: u64,
+    min_shards: usize,
+    max_shards: usize,
+    light_batch: usize,
+    overload_batch: usize,
+    trace: Vec<TraceRow>,
+    light_latency: Percentiles,
+    overload_latency: Percentiles,
+    scale: ipbm::ScaleStats,
+    reached_max: bool,
+    returned_to_min: bool,
+    qos: QosJson,
+}
+
+fn percentile(vals: &[f64], p: f64) -> f64 {
+    if vals.is_empty() {
+        return 0.0;
+    }
+    let mut v = vals.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    v[((v.len() - 1) as f64 * p).round() as usize]
+}
+
+fn main() {
+    let smoke = std::env::var("IPSA_BENCH_SMOKE").is_ok();
+    const MIN_SHARDS: usize = 1;
+    const MAX_SHARDS: usize = 4;
+    const LIGHT_BATCH: usize = 64;
+    let overload_batch = if smoke { 2_048 } else { 8_192 };
+
+    // --- Part 1: elastic scaling under bursty Zipf/IMIX overload -------
+    let mut flow = ipsa_sharded_flow(MIN_SHARDS);
+    populate_rp4_flow(&mut flow, 50);
+    let sw = &mut flow.device;
+    // All-v4 traffic so the populated 10.1/16 route forwards everything;
+    // Zipf flow popularity + IMIX sizes make the overload bursts
+    // production-shaped rather than uniform.
+    let mut gen = TrafficGen::new(31)
+        .with_v6_percent(0)
+        .with_flows(512)
+        .with_zipf(1.1)
+        .with_imix();
+
+    // Warm batch compiles + publishes the epoch, then a calibration batch
+    // measures the per-packet busy cost this host/build actually has.
+    for (p, _) in gen.scaled_batch(64) {
+        sw.inject(p);
+    }
+    sw.run_batch();
+    assert!(sw.on_compiled_path(), "bench must run the compiled path");
+    let mut prev_busy: u64 = sw.shard_busy_ns().iter().sum();
+    const CAL_N: usize = 256;
+    for (p, _) in gen.scaled_batch(CAL_N) {
+        sw.inject(p);
+    }
+    sw.run_batch();
+    let cal_busy: u64 = sw.shard_busy_ns().iter().sum::<u64>() - prev_busy;
+    let ns_per_pkt = (cal_busy / CAL_N as u64).max(1);
+    prev_busy += cal_busy;
+
+    // Thresholds sit between the light (64-packet) and overload
+    // (thousands-of-packets) per-shard busy regimes: light batches read
+    // idle even at one shard, overload batches read overloaded even at
+    // four.
+    let grow_busy_ns = ns_per_pkt * 512;
+    let shrink_busy_ns = ns_per_pkt * 128;
+    sw.set_autoscale(Some(AutoscaleConfig {
+        min_shards: MIN_SHARDS,
+        max_shards: MAX_SHARDS,
+        grow_busy_ns,
+        shrink_busy_ns,
+        grow_after: 1,
+        shrink_after: 2,
+    }))
+    .expect("valid autoscale config");
+
+    let mut trace: Vec<TraceRow> = Vec::new();
+    let run_phase = |sw: &mut ipbm::ShardedSwitch,
+                     gen: &mut TrafficGen,
+                     prev_busy: &mut u64,
+                     trace: &mut Vec<TraceRow>,
+                     phase: &'static str,
+                     batch: usize,
+                     batches: usize,
+                     stop: &dyn Fn(&ipbm::ShardedSwitch) -> bool| {
+        for _ in 0..batches {
+            for (p, _) in gen.scaled_batch(batch) {
+                sw.inject(p);
+            }
+            let emitted = sw.run_batch().len();
+            let total: u64 = sw.shard_busy_ns().iter().sum();
+            let busy = total - *prev_busy;
+            *prev_busy = total;
+            trace.push(TraceRow {
+                batch: trace.len(),
+                phase,
+                injected: batch,
+                emitted,
+                live_shards: sw.live_shards(),
+                target_shards: sw.target_shards(),
+                busy_ns: busy,
+                ns_per_pkt: busy as f64 / batch as f64,
+            });
+            if stop(sw) {
+                break;
+            }
+        }
+    };
+
+    // Light phase: the live set must idle at min_shards.
+    run_phase(
+        sw,
+        &mut gen,
+        &mut prev_busy,
+        &mut trace,
+        "light",
+        LIGHT_BATCH,
+        6,
+        &|_| false,
+    );
+    // Bursty overload: run until the live set reaches max_shards, then
+    // hold it there a few batches to show the plateau.
+    run_phase(
+        sw,
+        &mut gen,
+        &mut prev_busy,
+        &mut trace,
+        "overload",
+        overload_batch,
+        16,
+        &|sw| sw.live_shards() == MAX_SHARDS,
+    );
+    let reached_max = sw.live_shards() == MAX_SHARDS;
+    run_phase(
+        sw,
+        &mut gen,
+        &mut prev_busy,
+        &mut trace,
+        "overload",
+        overload_batch,
+        3,
+        &|_| false,
+    );
+    // Light tail: the live set must shrink back to min_shards.
+    run_phase(
+        sw,
+        &mut gen,
+        &mut prev_busy,
+        &mut trace,
+        "light",
+        LIGHT_BATCH,
+        30,
+        &|sw| sw.live_shards() == MIN_SHARDS,
+    );
+    let returned_to_min = sw.live_shards() == MIN_SHARDS;
+    let scale = sw.scale_stats();
+
+    let lat_of = |phase: &str| -> Vec<f64> {
+        trace
+            .iter()
+            .filter(|r| r.phase == phase)
+            .map(|r| r.ns_per_pkt)
+            .collect()
+    };
+    let light_lat = lat_of("light");
+    let over_lat = lat_of("overload");
+    let light_latency = Percentiles {
+        p50_ns_per_pkt: percentile(&light_lat, 0.5),
+        p99_ns_per_pkt: percentile(&light_lat, 0.99),
+    };
+    let overload_latency = Percentiles {
+        p50_ns_per_pkt: percentile(&over_lat, 0.5),
+        p99_ns_per_pkt: percentile(&over_lat, 0.99),
+    };
+
+    // --- Part 2: QoS contract under sustained TM overload ---------------
+    // 10% EF / 30% AF11 / 60% BE arrivals at 4x the service rate: the
+    // per-class queues must protect priority absolutely and shape the
+    // rest 3:1 toward assured forwarding.
+    let mut tm = TrafficManager::new(4, TM_QUEUE_CAPACITY).expect("valid TM config");
+    let rounds = if smoke { 120 } else { 400 };
+    const ENQ_PER_ROUND: usize = 32;
+    const DEQ_PER_ROUND: usize = 8;
+    let mut arrival = 0u32;
+    for _ in 0..rounds {
+        for i in 0..ENQ_PER_ROUND {
+            let dscp = match i % 10 {
+                0 => 46,     // EF -> strict priority
+                1..=3 => 10, // AF11 -> assured
+                _ => 0,      // BE
+            };
+            let mut p = ipv4_udp_packet(&Ipv4UdpSpec {
+                src_ip: 0x0a00_0000 + arrival,
+                dst_ip: 0x0a01_0000 + (arrival % 512),
+                dscp,
+                payload: vec![0x5A; 64],
+                ..Default::default()
+            });
+            p.meta.egress_port = Some((i % 4) as u16);
+            tm.enqueue(p);
+            arrival += 1;
+        }
+        for _ in 0..DEQ_PER_ROUND {
+            tm.dequeue();
+        }
+    }
+    let qos = QosJson {
+        rounds,
+        enqueue_per_round: ENQ_PER_ROUND,
+        dequeue_per_round: DEQ_PER_ROUND,
+        stats: tm.stats,
+    };
+
+    // --- Report ----------------------------------------------------------
+    let mut phases: Vec<&'static str> = Vec::new();
+    for r in &trace {
+        if phases.last() != Some(&r.phase) {
+            phases.push(r.phase);
+        }
+    }
+    let rows: Vec<Vec<String>> = phases
+        .iter()
+        .enumerate()
+        .map(|(k, ph)| {
+            // Rows summarize each contiguous phase segment.
+            let seg: Vec<&TraceRow> = {
+                let mut start = 0;
+                let mut segs: Vec<(usize, usize)> = Vec::new();
+                let mut cur = trace[0].phase;
+                for (i, r) in trace.iter().enumerate() {
+                    if r.phase != cur {
+                        segs.push((start, i));
+                        start = i;
+                        cur = r.phase;
+                    }
+                }
+                segs.push((start, trace.len()));
+                trace[segs[k].0..segs[k].1].iter().collect()
+            };
+            let lats: Vec<f64> = seg.iter().map(|r| r.ns_per_pkt).collect();
+            vec![
+                ph.to_string(),
+                seg.len().to_string(),
+                seg.first().map(|r| r.live_shards).unwrap_or(0).to_string(),
+                seg.last().map(|r| r.live_shards).unwrap_or(0).to_string(),
+                format!("{:.0}", percentile(&lats, 0.5)),
+                format!("{:.0}", percentile(&lats, 0.99)),
+            ]
+        })
+        .collect();
+    let mut out = render_table(
+        "Elastic shard runtime — bursty Zipf/IMIX overload",
+        &[
+            "phase",
+            "batches",
+            "live@start",
+            "live@end",
+            "p50 ns/pkt",
+            "p99 ns/pkt",
+        ],
+        &rows,
+    );
+    out.push_str(&format!(
+        "\ncalibrated {ns_per_pkt} ns/pkt; thresholds grow={grow_busy_ns} shrink={shrink_busy_ns} ns; \
+         scaling: {} grows, {} shrinks, {} retired.\n\
+         QoS overload ({rounds} rounds, {ENQ_PER_ROUND} in / {DEQ_PER_ROUND} out): \
+         priority {}+{} enq/drop, assured {}+{}, best-effort {}+{}.\n",
+        scale.grows,
+        scale.shrinks,
+        scale.retired,
+        qos.stats.priority.enqueued,
+        qos.stats.priority.tail_drops,
+        qos.stats.assured.enqueued,
+        qos.stats.assured.tail_drops,
+        qos.stats.best_effort.enqueued,
+        qos.stats.best_effort.tail_drops,
+    ));
+
+    let json = ElasticJson {
+        smoke,
+        ns_per_pkt_calibration: ns_per_pkt,
+        grow_busy_ns,
+        shrink_busy_ns,
+        min_shards: MIN_SHARDS,
+        max_shards: MAX_SHARDS,
+        light_batch: LIGHT_BATCH,
+        overload_batch,
+        trace,
+        light_latency,
+        overload_latency,
+        scale,
+        reached_max,
+        returned_to_min,
+        qos,
+    };
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_elastic.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&json).expect("json serializes"),
+    )
+    .expect("BENCH_elastic.json written");
+    println!("[written to {}]", path.display());
+
+    emit("elastic", &out);
+
+    // CI gates.
+    assert!(
+        json.reached_max,
+        "sustained overload must grow the live set to max_shards"
+    );
+    assert!(
+        json.returned_to_min,
+        "an idle tail must shrink the live set back to min_shards"
+    );
+    assert!(json.scale.grows >= 3 && json.scale.shrinks >= 3 && json.scale.retired >= 3);
+    let q = &json.qos.stats;
+    assert_eq!(
+        q.priority.tail_drops, 0,
+        "strict-priority traffic must never tail-drop under overload"
+    );
+    assert!(
+        q.best_effort.tail_drops > 0,
+        "best-effort must be the class absorbing the overflow"
+    );
+    assert!(
+        q.assured.dequeued > q.best_effort.dequeued,
+        "WDRR must shape residual service toward assured forwarding \
+         (af={} be={})",
+        q.assured.dequeued,
+        q.best_effort.dequeued
+    );
+}

@@ -331,6 +331,92 @@ fn sharded_matches_interpreter_across_midstream_update() {
     assert!(emitted > 0);
 }
 
+/// Dynamic-scaling differential: with the autoscaler enabled and synthetic
+/// busy spikes driving the live set to `max_shards` and back down, the
+/// elastic runtime stays observably equal to the interpreter. Busy-time
+/// spikes inflate only the load signal the autoscaler reads, never the
+/// folded packet statistics, so full stat equality still holds. Per-flow
+/// order is checked by the complete flow-hash key rather than the
+/// `hash % shards` bucket of the static tests: resizes change the
+/// dispatch partition mid-stream, so only the per-flow subsequences are
+/// stable across the run.
+#[test]
+fn dynamic_scaling_matches_interpreter() {
+    use ipbm::{AutoscaleConfig, FaultPlan};
+
+    let mut interp = programmed_switch(None);
+    let mut sharded = programmed_sharded(None, 2);
+    sharded
+        .device
+        .set_autoscale(Some(AutoscaleConfig {
+            min_shards: 1,
+            max_shards: 4,
+            // Far above real debug-build busy times: only the injected
+            // spikes read as overload, every unspiked batch as idle.
+            grow_busy_ns: 50_000_000,
+            shrink_busy_ns: 10_000_000,
+            grow_after: 1,
+            shrink_after: 2,
+        }))
+        .expect("valid autoscale config");
+
+    let mut out_i = Vec::new();
+    let mut out_s = Vec::new();
+    let mut seen_max = false;
+    // First 4 batches arrive under synthetic overload (growing 2 -> 4),
+    // the remaining 8 idle (shrinking 4 -> 1). The barrier base is
+    // re-read per batch because a dirty republish adds its own barrier.
+    for k in 0u64..12 {
+        let mut plan = FaultPlan::default();
+        if k < 4 {
+            let b = sharded.device.barriers();
+            for barrier in b + 1..=b + 4 {
+                for shard in 0..4 {
+                    plan.spike_busy.push((shard, barrier, 200_000_000));
+                }
+            }
+        }
+        sharded.device.set_fault_plan(plan);
+        for p in traffic(29 + k, 20, 64, 120) {
+            interp.device.inject(p.clone());
+            sharded.device.inject(p);
+        }
+        out_i.extend(interp.device.run());
+        out_s.extend(sharded.device.run_batch());
+        assert!(
+            sharded.device.on_compiled_path(),
+            "resize publishes must stay on the compiled path"
+        );
+        seen_max |= sharded.device.live_shards() == 4;
+    }
+    assert!(seen_max, "overload never drove the live set to max_shards");
+    assert_eq!(sharded.device.live_shards(), 1, "idle tail shrinks to min");
+    let s = sharded.device.scale_stats();
+    assert!(s.grows >= 2 && s.shrinks >= 3 && s.retired >= 3, "{s:?}");
+
+    // Per-flow subsequences, keyed by the full flow hash.
+    let flows_of = |out: &[Packet]| -> std::collections::BTreeMap<u64, Vec<String>> {
+        let mut m: std::collections::BTreeMap<u64, Vec<String>> = Default::default();
+        for p in out {
+            m.entry(flow_hash(&p.data)).or_default().push(pkt_key(p));
+        }
+        m
+    };
+    assert_eq!(
+        flows_of(&out_i),
+        flows_of(&out_s),
+        "per-flow packet order must survive dynamic scaling"
+    );
+    let canonical = |mut out: Vec<Packet>| -> Vec<Packet> {
+        out.sort_by_key(pkt_key);
+        out
+    };
+    let oi = observe(&interp.device, canonical(out_i));
+    let os = observe(&sharded.device.master, canonical(out_s));
+    assert_eq!(oi, os);
+    assert!(oi.pipeline.emitted > 0, "scenario forwarded nothing");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 

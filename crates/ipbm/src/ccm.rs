@@ -215,7 +215,7 @@ mod tests {
 
     fn parts() -> (PipelineModule, StorageModule, HeaderLinkage) {
         (
-            PipelineModule::new(8, 8, Crossbar::full()),
+            PipelineModule::new(8, 8, Crossbar::full()).unwrap(),
             StorageModule::new(8, 2, 128),
             HeaderLinkage::standard(),
         )

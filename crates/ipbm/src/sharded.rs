@@ -41,6 +41,15 @@
 //!   worker respawns at the next epoch publish; if every shard is lost the
 //!   master interpreter carries the traffic, the same degradation the fast
 //!   path already uses for a failed compile.
+//! * **Elastic scaling** — with an [`AutoscaleConfig`] installed, the
+//!   supervisor turns the per-shard busy time it already folds back at
+//!   every barrier into grow/shrink decisions: sustained overload raises
+//!   the target worker count (the respawn path spawns the newcomers at the
+//!   next epoch publish), sustained idleness retires the highest-index
+//!   workers hitlessly (post-barrier, nothing in flight, no packets lost).
+//!   Both transitions move whole RSS buckets between fully-drained
+//!   batches, so per-flow order holds across every resize exactly as it
+//!   does across a quarantine rehash.
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -80,12 +89,14 @@ enum ToShard {
     Publish(Box<ShardEpoch>),
     Batch(Vec<Packet>),
     /// Barrier collect, carrying this barrier's fault directives for the
-    /// worker (an injected crash or a delayed reply). The master never
-    /// *uses* its knowledge of an injected kill — it must detect the death
-    /// through the same timeout path a real crash would take.
+    /// worker (an injected crash, a delayed reply, or a busy-time spike).
+    /// The master never *uses* its knowledge of an injected kill — it must
+    /// detect the death through the same timeout path a real crash would
+    /// take.
     Collect {
         kill: bool,
         delay: Option<Duration>,
+        spike: Option<u64>,
     },
     Shutdown,
 }
@@ -141,6 +152,71 @@ struct Worker {
     inflight: u64,
 }
 
+/// Hysteresis policy for elastic shard scaling.
+///
+/// The decision signal is the mean per-live-shard busy time folded back at
+/// each data barrier. A barrier whose signal is at or above `grow_busy_ns`
+/// extends the *over* streak; at or below `shrink_busy_ns` extends the
+/// *under* streak; in between resets both. Once a streak reaches its
+/// `*_after` length the target worker count steps by one (bounded by
+/// `min_shards..=max_shards`) and the streak restarts, so scaling is
+/// gradual and a noisy signal between the two thresholds changes nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct AutoscaleConfig {
+    /// Lower bound on the target worker count (≥ 1).
+    pub min_shards: usize,
+    /// Upper bound on the target worker count (≥ `min_shards`).
+    pub max_shards: usize,
+    /// Mean per-shard busy ns at/above which a barrier counts as overload.
+    pub grow_busy_ns: u64,
+    /// Mean per-shard busy ns at/below which a barrier counts as idle.
+    /// Must be strictly below `grow_busy_ns` (the hysteresis band).
+    pub shrink_busy_ns: u64,
+    /// Consecutive overloaded barriers before growing by one worker.
+    pub grow_after: u32,
+    /// Consecutive idle barriers before shrinking by one worker.
+    pub shrink_after: u32,
+}
+
+impl AutoscaleConfig {
+    fn validate(&self) -> Result<(), CoreError> {
+        if self.min_shards == 0 {
+            return Err(CoreError::Config(
+                "autoscale min_shards must be at least 1".into(),
+            ));
+        }
+        if self.max_shards < self.min_shards {
+            return Err(CoreError::Config(format!(
+                "autoscale max_shards ({}) below min_shards ({})",
+                self.max_shards, self.min_shards
+            )));
+        }
+        if self.shrink_busy_ns >= self.grow_busy_ns {
+            return Err(CoreError::Config(format!(
+                "autoscale shrink threshold ({} ns) must be below grow threshold ({} ns)",
+                self.shrink_busy_ns, self.grow_busy_ns
+            )));
+        }
+        if self.grow_after == 0 || self.shrink_after == 0 {
+            return Err(CoreError::Config(
+                "autoscale streak lengths must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Cumulative elastic-scaling counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct ScaleStats {
+    /// Target increments decided by the autoscaler.
+    pub grows: u64,
+    /// Target decrements decided by the autoscaler.
+    pub shrinks: u64,
+    /// Workers retired hitlessly during shrinks.
+    pub retired: u64,
+}
+
 /// The sharded IPSA runtime: an [`IpbmSwitch`] master plus N shard workers.
 pub struct ShardedSwitch {
     /// The authoritative single-core switch: CM port rings, control-plane
@@ -151,10 +227,24 @@ pub struct ShardedSwitch {
     reply_rx: Receiver<ShardReply>,
     /// Kept for respawning replacement workers.
     reply_tx: Sender<ShardReply>,
-    shards: usize,
+    /// Desired live worker count. Fixed at the construction count until an
+    /// autoscaler moves it; worker slots beyond the target stay retired.
+    target: usize,
     ports: usize,
     slots: usize,
     drain_timeout: Duration,
+    /// Elastic-scaling policy (None = fixed shard count).
+    autoscale: Option<AutoscaleConfig>,
+    /// Busy ns folded since the last autoscale decision.
+    interval_busy: u64,
+    /// Packets folded since the last autoscale decision.
+    interval_pkts: u64,
+    /// Consecutive barriers at/above the grow threshold.
+    over_streak: u32,
+    /// Consecutive barriers at/below the shrink threshold.
+    under_streak: u32,
+    /// Cumulative scaling counters.
+    scaling: ScaleStats,
     /// Master state changed since the last publication.
     dirty: bool,
     /// Compilation failed for the current epoch: the master's interpreter
@@ -188,7 +278,8 @@ const SPARE_BUCKET_CAP: usize = 64;
 impl std::fmt::Debug for ShardedSwitch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedSwitch")
-            .field("shards", &self.shards)
+            .field("shards", &self.workers.len())
+            .field("target", &self.target)
             .field("live", &self.live_shards())
             .field("dirty", &self.dirty)
             .field("fallback", &self.fallback)
@@ -267,24 +358,45 @@ impl ShardedSwitch {
 
 impl ShardedSwitch {
     /// Builds a sharded switch with `shards` workers over `cfg`.
+    ///
+    /// # Panics
+    /// On an invalid configuration (zero shards, ports, or slots); use
+    /// [`ShardedSwitch::try_new`] to handle that as an error.
     pub fn new(cfg: IpbmConfig, shards: usize) -> Self {
-        let shards = shards.max(1);
+        Self::try_new(cfg, shards).expect("invalid sharded-switch config")
+    }
+
+    /// Builds a sharded switch with `shards` workers over `cfg`, rejecting
+    /// unusable parameters with [`CoreError::Config`]. (Part of the
+    /// silent-clamp sweep: `shards=0` used to be quietly rewritten to 1.)
+    pub fn try_new(cfg: IpbmConfig, shards: usize) -> Result<Self, CoreError> {
+        if shards == 0 {
+            return Err(CoreError::Config(
+                "sharded switch needs at least one shard (shards=0)".into(),
+            ));
+        }
         let ports = cfg.ports;
         let slots = cfg.slots;
-        let master = IpbmSwitch::new(cfg);
+        let master = IpbmSwitch::try_new(cfg)?;
         let (reply_tx, reply_rx) = unbounded::<ShardReply>();
         let workers = (0..shards)
             .map(|shard| spawn_worker(shard, 0, ports, slots, reply_tx.clone()))
             .collect();
-        ShardedSwitch {
+        Ok(ShardedSwitch {
             master,
             workers,
             reply_rx,
             reply_tx,
-            shards,
+            target: shards,
             ports,
             slots,
             drain_timeout: DEFAULT_DRAIN_TIMEOUT,
+            autoscale: None,
+            interval_busy: 0,
+            interval_pkts: 0,
+            over_streak: 0,
+            under_streak: 0,
+            scaling: ScaleStats::default(),
             dirty: true,
             fallback: false,
             busy_ns: vec![0; shards],
@@ -296,24 +408,52 @@ impl ShardedSwitch {
             rx_buf: Vec::new(),
             spare_buckets: Vec::new(),
             name: format!("ipbm-sharded-{shards}"),
-        }
+        })
     }
 
-    /// Number of shard workers (the configured count, quarantined or not).
+    /// Number of shard worker slots ever created (live, quarantined, or
+    /// retired by a shrink).
     pub fn shards(&self) -> usize {
-        self.shards
+        self.workers.len()
     }
 
-    /// Number of live (non-quarantined) shard workers.
+    /// Number of live (non-quarantined, non-retired) shard workers.
     pub fn live_shards(&self) -> usize {
         self.workers.iter().filter(|w| w.alive).count()
     }
 
+    /// The worker count the supervisor is currently steering toward.
+    pub fn target_shards(&self) -> usize {
+        self.target
+    }
+
     /// Shard ids currently live, ascending.
     fn live_ids(&self) -> Vec<usize> {
-        (0..self.shards)
+        (0..self.workers.len())
             .filter(|&s| self.workers[s].alive)
             .collect()
+    }
+
+    /// Installs (or removes, with `None`) the elastic-scaling policy. The
+    /// current target is clamped into the policy's bounds, so enabling
+    /// autoscale on an out-of-range fleet resizes it at the next batch.
+    pub fn set_autoscale(&mut self, cfg: Option<AutoscaleConfig>) -> Result<(), CoreError> {
+        if let Some(c) = &cfg {
+            c.validate()?;
+            self.target = self.target.clamp(c.min_shards, c.max_shards);
+            self.dirty = true;
+        }
+        self.autoscale = cfg;
+        self.over_streak = 0;
+        self.under_streak = 0;
+        self.interval_busy = 0;
+        self.interval_pkts = 0;
+        Ok(())
+    }
+
+    /// Cumulative elastic-scaling counters.
+    pub fn scale_stats(&self) -> ScaleStats {
+        self.scaling
     }
 
     /// Cumulative supervision counters.
@@ -397,17 +537,55 @@ impl ShardedSwitch {
         self.faults_log.push(ShardFault { shard, kind });
     }
 
-    /// Respawns replacement workers for every quarantined shard, unless an
-    /// injected deferral is holding the switch degraded.
-    fn respawn_dead(&mut self) {
-        if self.workers.iter().all(|w| w.alive) {
+    /// Gracefully retires one worker during an elastic shrink. Unlike
+    /// [`ShardedSwitch::quarantine`] this is not a fault: it runs
+    /// post-barrier with nothing in flight, so no packets are lost, no
+    /// fault is logged, and the slot is simply parked (a later grow
+    /// respawns into it). The generation still retires so a straggling
+    /// reply can never double-count.
+    fn retire(&mut self, shard: usize) {
+        let Some(w) = self.workers.get_mut(shard) else {
+            return;
+        };
+        if !w.alive {
+            return;
+        }
+        debug_assert_eq!(w.inflight, 0, "retire runs post-quiesce");
+        w.alive = false;
+        w.gen += 1;
+        if let Some(tx) = w.tx.take() {
+            let _ = tx.send(ToShard::Shutdown);
+        }
+        drop(w.handle.take());
+        // Anything still uncollected (impossible post-quiesce, but a
+        // quarantine race could leave residue) is charged as lost rather
+        // than silently forgotten.
+        self.supervisor.lost_packets += std::mem::take(&mut w.inflight);
+        self.scaling.retired += 1;
+    }
+
+    /// Brings the worker fleet to the current target: retires live workers
+    /// beyond it (hitless shrink), respawns quarantined slots below it, and
+    /// spawns brand-new slots for growth — unless an injected deferral is
+    /// holding the switch degraded.
+    fn reconcile_workers(&mut self) {
+        let target = self.target;
+        let shrink_needed = self.workers.iter().skip(target).any(|w| w.alive);
+        let grow_needed =
+            self.workers.len() < target || self.workers.iter().take(target).any(|w| !w.alive);
+        if !shrink_needed && !grow_needed {
             return;
         }
         if self.defer_respawns > 0 {
             self.defer_respawns -= 1;
             return;
         }
-        for shard in 0..self.shards {
+        for shard in target..self.workers.len() {
+            if self.workers[shard].alive {
+                self.retire(shard);
+            }
+        }
+        for shard in 0..target.min(self.workers.len()) {
             if self.workers[shard].alive {
                 continue;
             }
@@ -416,6 +594,19 @@ impl ShardedSwitch {
                 spawn_worker(shard, gen, self.ports, self.slots, self.reply_tx.clone());
             if self.workers[shard].alive {
                 self.supervisor.respawned += 1;
+            }
+        }
+        while self.workers.len() < target {
+            let shard = self.workers.len();
+            self.workers.push(spawn_worker(
+                shard,
+                0,
+                self.ports,
+                self.slots,
+                self.reply_tx.clone(),
+            ));
+            if self.busy_ns.len() < self.workers.len() {
+                self.busy_ns.push(0);
             }
         }
     }
@@ -427,7 +618,7 @@ impl ShardedSwitch {
     /// epoch compiles (the single-core switch falls back the same way), so
     /// a broken program degrades throughput, not correctness.
     fn republish(&mut self) {
-        self.respawn_dead();
+        self.reconcile_workers();
         let pm = &self.master.pm;
         let poisoned = self.faults.poison_compile_at_epoch == Some(pm.epoch());
         let compiled = if poisoned {
@@ -449,7 +640,7 @@ impl ShardedSwitch {
                 let compiled = Arc::new(cp);
                 let linkage = Arc::new(self.master.linkage.clone());
                 let mut dead: Vec<usize> = Vec::new();
-                for shard in 0..self.shards {
+                for shard in 0..self.workers.len() {
                     let Some(tx) = self.workers[shard].tx.as_ref() else {
                         continue;
                     };
@@ -468,9 +659,11 @@ impl ShardedSwitch {
                     self.quarantine(shard, ShardFaultKind::Disconnected);
                 }
                 self.fallback = false;
-                // Stay dirty while any shard is missing so the next batch
-                // retries the respawn; clean once at full strength.
-                self.dirty = self.workers.iter().any(|w| !w.alive);
+                // Stay dirty while any shard below the target is missing
+                // so the next batch retries the respawn; clean once at
+                // target strength (retired slots beyond it don't count).
+                self.dirty = self.workers.len() < self.target
+                    || self.workers.iter().take(self.target).any(|w| !w.alive);
             }
             None => {
                 self.fallback = true;
@@ -501,10 +694,11 @@ impl ShardedSwitch {
         for &shard in targets {
             let kill = self.faults.kill_directive(shard, barrier);
             let delay = self.faults.delay_directive(shard, barrier);
+            let spike = self.faults.spike_directive(shard, barrier);
             let sent = self.workers[shard]
                 .tx
                 .as_ref()
-                .is_some_and(|tx| tx.send(ToShard::Collect { kill, delay }).is_ok());
+                .is_some_and(|tx| tx.send(ToShard::Collect { kill, delay, spike }).is_ok());
             if sent {
                 expected.push(shard);
             } else {
@@ -512,7 +706,10 @@ impl ShardedSwitch {
             }
         }
         let deadline = Instant::now() + self.drain_timeout;
-        let mut replies: Vec<Option<ShardReply>> = (0..self.shards).map(|_| None).collect();
+        // Sized by the full worker-slot count, not a construction-time
+        // shard count: elastic growth means reply indices can exceed any
+        // count captured before this barrier.
+        let mut replies: Vec<Option<ShardReply>> = (0..self.workers.len()).map(|_| None).collect();
         let mut awaiting = expected.len();
         while awaiting > 0 {
             let now = Instant::now();
@@ -521,7 +718,8 @@ impl ShardedSwitch {
             }
             match self.reply_rx.recv_timeout(deadline - now) {
                 Ok(r) => {
-                    let fresh = expected.contains(&r.shard)
+                    let fresh = r.shard < replies.len()
+                        && expected.contains(&r.shard)
                         && self
                             .workers
                             .get(r.shard)
@@ -633,6 +831,7 @@ impl ShardedSwitch {
             }
         }
         self.quiesce();
+        self.autoscale_tick();
         if leftover.is_empty() {
             self.master.cm.collect_tx()
         } else {
@@ -677,6 +876,48 @@ impl ShardedSwitch {
         }
     }
 
+    /// One autoscale decision per data batch, taken right after the
+    /// batch's barrier has folded every live shard. Compares the mean
+    /// per-live-shard busy time against the hysteresis thresholds and
+    /// steps the target by one once a streak completes; the actual resize
+    /// happens at the next epoch publish (grow through the respawn path,
+    /// shrink by retiring the highest-index workers), between fully
+    /// drained batches, so per-flow order is never at risk.
+    fn autoscale_tick(&mut self) {
+        let busy = std::mem::take(&mut self.interval_busy);
+        let pkts = std::mem::take(&mut self.interval_pkts);
+        let Some(cfg) = self.autoscale else {
+            return;
+        };
+        if pkts == 0 {
+            // A trafficless barrier carries no load signal either way.
+            return;
+        }
+        let live = (self.live_shards().max(1)) as u64;
+        let per_shard = busy / live;
+        if per_shard >= cfg.grow_busy_ns {
+            self.over_streak += 1;
+            self.under_streak = 0;
+        } else if per_shard <= cfg.shrink_busy_ns {
+            self.under_streak += 1;
+            self.over_streak = 0;
+        } else {
+            self.over_streak = 0;
+            self.under_streak = 0;
+        }
+        if self.over_streak >= cfg.grow_after && self.target < cfg.max_shards {
+            self.target += 1;
+            self.over_streak = 0;
+            self.scaling.grows += 1;
+            self.dirty = true;
+        } else if self.under_streak >= cfg.shrink_after && self.target > cfg.min_shards {
+            self.target -= 1;
+            self.under_streak = 0;
+            self.scaling.shrinks += 1;
+            self.dirty = true;
+        }
+    }
+
     /// Folds one shard's barrier reply into the master's statistics and
     /// transmits its output through the master CM.
     fn fold(&mut self, r: ShardReply) {
@@ -686,10 +927,7 @@ impl ShardedSwitch {
         pm.stats.action_drops += r.stats.action_drops;
         pm.stats.parse_drops += r.stats.parse_drops;
         pm.stats.held_during_drain += r.stats.held_during_drain;
-        pm.tm.stats.enqueued += r.tm.enqueued;
-        pm.tm.stats.no_route_drops += r.tm.no_route_drops;
-        pm.tm.stats.tail_drops += r.tm.tail_drops;
-        pm.tm.stats.max_depth = pm.tm.stats.max_depth.max(r.tm.max_depth);
+        pm.tm.stats.fold(&r.tm);
         for (slot, ss) in r.slot_stats.iter().enumerate() {
             if let Some(s) = pm.slots.get_mut(slot) {
                 s.stats.absorb(ss);
@@ -705,7 +943,15 @@ impl ShardedSwitch {
                 }
             }
         }
+        // Guarded accounting: a reply can arrive from a worker slot created
+        // after this vector was sized (elastic growth), so index growth is
+        // part of the fold, never a panic or a silently dropped delta.
+        if self.busy_ns.len() <= r.shard {
+            self.busy_ns.resize(r.shard + 1, 0);
+        }
         self.busy_ns[r.shard] += r.busy_ns;
+        self.interval_busy += r.busy_ns;
+        self.interval_pkts += r.stats.received;
         if let Some(w) = self.workers.get_mut(r.shard) {
             // Everything dispatched before this reply is accounted for.
             w.inflight = 0;
@@ -854,7 +1100,10 @@ fn worker_loop(
 ) {
     let mut epoch: Option<EpochState> = None;
     let mut scratch = EvalScratch::default();
-    let mut tm = TrafficManager::new(ports, TM_QUEUE_CAPACITY);
+    // Ports are validated nonzero by every ShardedSwitch constructor.
+    let Ok(mut tm) = TrafficManager::new(ports, TM_QUEUE_CAPACITY) else {
+        return;
+    };
     let mut stats = PipelineStats::default();
     let mut slot_stats = vec![SlotStats::default(); slots];
     let mut out: Vec<Packet> = Vec::new();
@@ -908,7 +1157,7 @@ fn worker_loop(
                 // Hand the emptied bucket back at the next barrier.
                 spent.push(pkts);
             }
-            ToShard::Collect { kill, delay } => {
+            ToShard::Collect { kill, delay, spike } => {
                 if kill {
                     // Injected crash: vanish without replying — the master
                     // must detect this through its drain timeout, exactly
@@ -917,6 +1166,11 @@ fn worker_loop(
                 }
                 if let Some(d) = delay {
                     std::thread::sleep(d);
+                }
+                // Injected load spike: inflate this barrier's reported
+                // busy time so autoscaler decisions are test-deterministic.
+                if let Some(ns) = spike {
+                    busy_ns += ns;
                 }
                 let tables = match &mut epoch {
                     Some(ep) => {
@@ -1203,6 +1457,106 @@ mod tests {
         }
         let out = sw.run_batch();
         assert_eq!(out.len(), 4, "traffic keeps flowing after the rejection");
+        assert!(sw.on_compiled_path());
+    }
+
+    #[test]
+    fn autoscale_config_is_validated() {
+        let mut sw = ShardedSwitch::new(IpbmConfig::default(), 2);
+        let good = AutoscaleConfig {
+            min_shards: 1,
+            max_shards: 4,
+            grow_busy_ns: 1000,
+            shrink_busy_ns: 100,
+            grow_after: 1,
+            shrink_after: 1,
+        };
+        assert!(sw.set_autoscale(Some(good)).is_ok());
+        for bad in [
+            AutoscaleConfig {
+                min_shards: 0,
+                ..good
+            },
+            AutoscaleConfig {
+                max_shards: 0,
+                ..good
+            },
+            AutoscaleConfig {
+                shrink_busy_ns: 1000,
+                ..good
+            },
+            AutoscaleConfig {
+                grow_after: 0,
+                ..good
+            },
+        ] {
+            assert!(matches!(
+                sw.set_autoscale(Some(bad)),
+                Err(CoreError::Config(_))
+            ));
+        }
+        // Regression (silent-clamp sweep): shards=0 is an error, not a
+        // quiet rewrite to 1.
+        assert!(matches!(
+            ShardedSwitch::try_new(IpbmConfig::default(), 0),
+            Err(CoreError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn autoscaler_grows_under_load_and_shrinks_back() {
+        let mut sw = ShardedSwitch::new(IpbmConfig::default(), 1);
+        sw.apply(&l3_msgs(4)).unwrap();
+        sw.set_autoscale(Some(AutoscaleConfig {
+            min_shards: 1,
+            max_shards: 3,
+            // Both thresholds sit far above any real per-batch busy time,
+            // so only the injected spikes can read as overload and every
+            // unspiked batch reads as idle.
+            grow_busy_ns: 50_000_000,
+            shrink_busy_ns: 10_000_000,
+            grow_after: 1,
+            shrink_after: 2,
+        }))
+        .unwrap();
+        let mut plan = FaultPlan::default();
+        let b = sw.barriers();
+        for barrier in b + 1..=b + 4 {
+            for shard in 0..3 {
+                plan.spike_busy.push((shard, barrier, 200_000_000));
+            }
+        }
+        sw.set_fault_plan(plan);
+        let mut injected = 0u64;
+        let mut emitted = 0u64;
+        for _ in 0..4 {
+            for p in traffic(16) {
+                sw.inject(p);
+                injected += 1;
+            }
+            emitted += sw.run_batch().len() as u64;
+        }
+        assert_eq!(sw.live_shards(), 3, "sustained overload reaches max");
+        assert_eq!(sw.target_shards(), 3);
+
+        sw.set_fault_plan(FaultPlan::default());
+        for _ in 0..8 {
+            for p in traffic(8) {
+                sw.inject(p);
+                injected += 1;
+            }
+            emitted += sw.run_batch().len() as u64;
+        }
+        assert_eq!(sw.live_shards(), 1, "idle traffic shrinks back to min");
+        let s = sw.scale_stats();
+        assert!(s.grows >= 2, "grows: {s:?}");
+        assert!(s.shrinks >= 2 && s.retired >= 2, "shrinks: {s:?}");
+        // Elastic resizes are hitless: every packet injected was emitted,
+        // none were charged to retired workers.
+        assert_eq!(emitted, injected);
+        assert_eq!(sw.supervisor_stats().lost_packets, 0);
+        assert_eq!(sw.report().pipeline.received, injected);
+        assert_eq!(sw.report().pipeline.emitted, emitted);
         assert!(sw.on_compiled_path());
     }
 

@@ -52,6 +52,25 @@ impl Default for IpbmConfig {
     }
 }
 
+impl IpbmConfig {
+    /// Rejects configurations no switch can be built from. Part of the
+    /// silent-clamp sweep: constructors used to quietly rewrite zero
+    /// ports/slots to 1 instead of telling the caller.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.ports == 0 {
+            return Err(CoreError::Config(
+                "switch needs at least one port (ports=0)".into(),
+            ));
+        }
+        if self.slots == 0 {
+            return Err(CoreError::Config(
+                "switch needs at least one TSP slot (slots=0)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Aggregated observability snapshot.
 #[derive(Debug, Clone, Serialize)]
 pub struct SwitchReport {
@@ -89,21 +108,32 @@ pub struct IpbmSwitch {
 
 impl IpbmSwitch {
     /// Builds a switch from a configuration.
+    ///
+    /// # Panics
+    /// On an invalid configuration (zero ports or slots); use
+    /// [`IpbmSwitch::try_new`] to handle that as an error.
     pub fn new(cfg: IpbmConfig) -> Self {
+        Self::try_new(cfg).expect("invalid IpbmConfig")
+    }
+
+    /// Builds a switch from a configuration, rejecting unusable ones
+    /// (zero ports or slots) with [`CoreError::Config`].
+    pub fn try_new(cfg: IpbmConfig) -> Result<Self, CoreError> {
+        cfg.validate()?;
         let crossbar = if cfg.clusters > 1 {
             Crossbar::clustered(cfg.slots, cfg.sram_blocks + cfg.tcam_blocks, cfg.clusters)
         } else {
             Crossbar::full()
         };
-        IpbmSwitch {
+        Ok(IpbmSwitch {
             cm: CommModule::new(cfg.ports),
-            pm: PipelineModule::new(cfg.slots, cfg.ports, crossbar),
+            pm: PipelineModule::new(cfg.slots, cfg.ports, crossbar)?,
             sm: StorageModule::new(cfg.sram_blocks, cfg.tcam_blocks, cfg.bus_bits),
             linkage: HeaderLinkage::new(),
             cost: cfg.cost,
             faults: None,
             name: "ipbm".to_string(),
-        }
+        })
     }
 
     /// Installs a deterministic fault-injection plan (test-only surface);
@@ -382,6 +412,29 @@ mod tests {
         ];
         sw.apply(&msgs).unwrap();
         sw
+    }
+
+    #[test]
+    fn try_new_rejects_zero_ports_and_slots() {
+        // Regression: zero ports/slots used to be silently clamped to 1
+        // deeper in the constructor chain.
+        let cfg = IpbmConfig {
+            ports: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            IpbmSwitch::try_new(cfg),
+            Err(CoreError::Config(_))
+        ));
+        let cfg = IpbmConfig {
+            slots: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            IpbmSwitch::try_new(cfg),
+            Err(CoreError::Config(_))
+        ));
+        assert!(IpbmSwitch::try_new(IpbmConfig::default()).is_ok());
     }
 
     #[test]

@@ -270,7 +270,7 @@ fn shard_worker_inner_loop_does_not_allocate() {
     sm.reset_observability();
     let mut stats = PipelineStats::default();
     let mut slot_stats = vec![SlotStats::default(); sw.pm.slot_count()];
-    let mut tm = TrafficManager::new(8, TM_QUEUE_CAPACITY);
+    let mut tm = TrafficManager::new(8, TM_QUEUE_CAPACITY).unwrap();
     let mut scratch = EvalScratch::default();
 
     let spec = Ipv4UdpSpec {

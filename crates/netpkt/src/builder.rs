@@ -24,6 +24,8 @@ pub struct Ipv4UdpSpec {
     pub dst_port: u16,
     /// Initial TTL.
     pub ttl: u8,
+    /// DSCP codepoint (6 bits).
+    pub dscp: u8,
     /// UDP payload bytes.
     pub payload: Vec<u8>,
 }
@@ -38,6 +40,7 @@ impl Default for Ipv4UdpSpec {
             src_port: 1234,
             dst_port: 4321,
             ttl: 64,
+            dscp: 0,
             payload: vec![0xAB; 16],
         }
     }
@@ -60,6 +63,8 @@ pub struct Ipv6UdpSpec {
     pub dst_port: u16,
     /// Initial hop limit.
     pub hop_limit: u8,
+    /// Traffic class byte (DSCP in the top 6 bits).
+    pub traffic_class: u8,
     /// UDP payload bytes.
     pub payload: Vec<u8>,
 }
@@ -74,6 +79,7 @@ impl Default for Ipv6UdpSpec {
             src_port: 1234,
             dst_port: 4321,
             hop_limit: 64,
+            traffic_class: 0,
             payload: vec![0xCD; 16],
         }
     }
@@ -102,6 +108,8 @@ pub fn ipv4_udp_packet(spec: &Ipv4UdpSpec) -> Packet {
     ipv4.set(&mut ip, "version", 4).unwrap();
     ipv4.set(&mut ip, "ihl", 5).unwrap();
     ipv4.set(&mut ip, "total_len", ip_len as u128).unwrap();
+    ipv4.set(&mut ip, "dscp", (spec.dscp & 0x3F) as u128)
+        .unwrap();
     ipv4.set(&mut ip, "ttl", spec.ttl as u128).unwrap();
     ipv4.set(&mut ip, "protocol", protocols::PROTO_UDP).unwrap();
     ipv4.set(&mut ip, "src_addr", spec.src_ip as u128).unwrap();
@@ -130,6 +138,8 @@ pub fn ipv6_udp_packet(spec: &Ipv6UdpSpec) -> Packet {
 
     let mut ip = vec![0u8; 40];
     ipv6.set(&mut ip, "version", 6).unwrap();
+    ipv6.set(&mut ip, "traffic_class", spec.traffic_class as u128)
+        .unwrap();
     ipv6.set(&mut ip, "payload_len", udp_len as u128).unwrap();
     ipv6.set(&mut ip, "next_hdr", protocols::PROTO_UDP).unwrap();
     ipv6.set(&mut ip, "hop_limit", spec.hop_limit as u128)
@@ -217,6 +227,22 @@ mod tests {
         let p = ipv4_udp_packet(&Ipv4UdpSpec::default());
         assert_eq!(p.len(), 14 + 20 + 8 + 16);
         assert!(checksum::ipv4_checksum_ok(&p.data[14..34]));
+    }
+
+    #[test]
+    fn dscp_lands_in_the_tos_byte_before_checksumming() {
+        let p = ipv4_udp_packet(&Ipv4UdpSpec {
+            dscp: 46,
+            ..Default::default()
+        });
+        assert_eq!(p.data[15] >> 2, 46);
+        assert!(checksum::ipv4_checksum_ok(&p.data[14..34]));
+        let p6 = ipv6_udp_packet(&Ipv6UdpSpec {
+            traffic_class: 46 << 2,
+            ..Default::default()
+        });
+        let tc = ((p6.data[14] & 0x0F) << 4) | (p6.data[15] >> 4);
+        assert_eq!(tc >> 2, 46);
     }
 
     #[test]

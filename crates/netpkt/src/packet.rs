@@ -583,6 +583,7 @@ mod tests {
             src_port: 1000,
             dst_port: 2000,
             ttl: 64,
+            dscp: 0,
             payload: vec![1, 2, 3, 4],
         })
     }
@@ -663,6 +664,7 @@ mod tests {
             src_port: 7,
             dst_port: 8,
             hop_limit: 64,
+            traffic_class: 0,
             payload: vec![9, 9, 9],
         });
         p.ensure_parsed(&linkage, "ipv6").unwrap();
