@@ -14,8 +14,8 @@
 use ipbm::{IpbmSwitch, ShardedSwitch};
 use ipsa_bench::{ipsa_sharded_flow, ipsa_sw_flow};
 use ipsa_controller::{programs, Rp4Flow};
-use ipsa_core::control::{ControlMsg, Device};
-use rp4_cover::{cover_design, CoverOptions};
+use ipsa_core::control::Device;
+use rp4_cover::{cover_design, replay_witness, CoverOptions, ReplayMode};
 
 /// Shard count for the replay — CI sweeps this via `SHARDS`.
 fn shard_count() -> usize {
@@ -52,21 +52,6 @@ fn stat_surface(sw: &IpbmSwitch) -> (ipbm::pm::PipelineStats, u64, Vec<(String, 
     (sw.pm.stats, sw.sm.mem_accesses, tables)
 }
 
-/// Undo messages for a witness's entry setup, restoring the clean table
-/// state for the next witness.
-fn teardown_of(entries: &[ControlMsg]) -> Vec<ControlMsg> {
-    entries
-        .iter()
-        .filter_map(|m| match m {
-            ControlMsg::AddEntry { table, entry } => Some(ControlMsg::DelEntry {
-                table: table.clone(),
-                key: entry.key.clone(),
-            }),
-            _ => None,
-        })
-        .collect()
-}
-
 #[test]
 fn corpus_replays_bit_identically_on_all_programs() {
     let shards = shard_count();
@@ -99,21 +84,25 @@ fn corpus_replays_bit_identically_on_all_programs() {
 
         for path in &cov.paths {
             let w = path.witness.as_ref().expect("fully covered");
-            if !w.entries.is_empty() {
-                interp.device.apply(&w.entries).expect("entries apply");
-                fast.device.apply(&w.entries).expect("entries apply");
-                sharded.device.apply(&w.entries).expect("entries apply");
-            }
-            for _ in 0..w.injections {
-                interp.device.inject(w.packet.clone());
-                fast.device.inject(w.packet.clone());
-                sharded.device.inject(w.packet.clone());
-            }
-            let out_i = interp.device.run();
-            let out_f = fast.device.run_batch();
-            let out_s = sharded.device.run_batch();
+            // One library call per runtime — the same `replay_witness` the
+            // fleet's canary verification uses (apply entries, inject,
+            // drain, tear back down).
+            let out_i =
+                replay_witness(&mut interp.device, w, ReplayMode::Run).expect("replay runs");
+            let out_f =
+                replay_witness(&mut fast.device, w, ReplayMode::RunBatch).expect("replay runs");
+            let out_s =
+                replay_witness(&mut sharded.device, w, ReplayMode::RunBatch).expect("replay runs");
+            // The witness's teardown (inside `replay_witness`) re-opened
+            // the epoch, so probe compilability directly: `run_batch`
+            // begins with this same `ensure_compiled`, so success here
+            // proves the drain above ran compiled rather than falling
+            // back to the interpreter.
             assert!(
-                fast.device.pm.has_compiled(),
+                {
+                    let d = &mut fast.device;
+                    d.pm.ensure_compiled(&d.linkage, &d.sm)
+                },
                 "fast path must run compiled, not fall back"
             );
             // A witness is one flow, so even the sharded runtime preserves
@@ -129,12 +118,6 @@ fn corpus_replays_bit_identically_on_all_programs() {
                 "case {case:?} path {} [{}]: sharded runtime diverged",
                 path.index, path.description
             );
-            let teardown = teardown_of(&w.entries);
-            if !teardown.is_empty() {
-                interp.device.apply(&teardown).expect("teardown applies");
-                fast.device.apply(&teardown).expect("teardown applies");
-                sharded.device.apply(&teardown).expect("teardown applies");
-            }
         }
 
         // After the whole corpus: the accumulated stat surface of all

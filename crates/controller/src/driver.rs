@@ -103,6 +103,21 @@ impl From<ApiError> for ControllerError {
         ControllerError::Api(e)
     }
 }
+impl From<rp4_lang::ParseError> for ControllerError {
+    fn from(e: rp4_lang::ParseError) -> Self {
+        ControllerError::Rp4(e)
+    }
+}
+impl From<p4_lang::P4ParseError> for ControllerError {
+    fn from(e: p4_lang::P4ParseError) -> Self {
+        ControllerError::P4(e)
+    }
+}
+impl From<p4_lang::HlirError> for ControllerError {
+    fn from(e: p4_lang::HlirError) -> Self {
+        ControllerError::Hlir(e)
+    }
+}
 impl From<ipsa_core::error::CoreError> for ControllerError {
     fn from(e: ipsa_core::error::CoreError) -> Self {
         match e {
@@ -537,12 +552,12 @@ mod tests {
         let mut dev = IpbmSwitch::new(IpbmConfig::default());
         let err = dev
             .apply(&[ControlMsg::Drain, ControlMsg::ClearSlot { slot: 999 }])
-            .unwrap_err();
+            .expect_err("clearing slot 999 must fail");
         let ce = ControllerError::from(err);
-        match &ce {
-            ControllerError::Rollback { index, .. } => assert_eq!(*index, 1),
-            other => panic!("expected Rollback, got {other}"),
-        }
+        assert!(
+            matches!(&ce, ControllerError::Rollback { index: 1, .. }),
+            "expected Rollback at index 1, got {ce}"
+        );
         assert!(
             ce.to_string().contains("device state unchanged"),
             "operators must see the no-failback-needed guarantee: {ce}"

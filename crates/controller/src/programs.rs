@@ -62,59 +62,62 @@ mod tests {
     use super::*;
 
     #[test]
-    fn all_rp4_assets_parse() {
+    fn all_rp4_assets_parse() -> Result<(), String> {
         for (name, src) in [
             ("base", BASE_RP4),
             ("ecmp", ECMP_RP4),
             ("srv6", SRV6_RP4),
             ("flowprobe", FLOWPROBE_RP4),
         ] {
-            rp4_lang::parse(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            rp4_lang::parse(src).map_err(|e| format!("{name}: {e}"))?;
         }
+        Ok(())
     }
 
     #[test]
-    fn all_p4_assets_parse_and_build_hlir() {
+    fn all_p4_assets_parse_and_build_hlir() -> Result<(), String> {
         for (name, src) in [
             ("base", BASE_P4),
             ("ecmp", BASE_ECMP_P4),
             ("srv6", BASE_SRV6_P4),
             ("probe", BASE_PROBE_P4),
         ] {
-            let ast = p4_lang::parse_p4(src).unwrap_or_else(|e| panic!("{name}: {e}"));
-            p4_lang::build_hlir(&ast).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let ast = p4_lang::parse_p4(src).map_err(|e| format!("{name}: {e}"))?;
+            p4_lang::build_hlir(&ast).map_err(|e| format!("{name}: {e}"))?;
         }
+        Ok(())
     }
 
     #[test]
-    fn all_scripts_parse() {
+    fn all_scripts_parse() -> Result<(), String> {
         for (name, src) in [
             ("ecmp", ECMP_SCRIPT),
             ("srv6", SRV6_SCRIPT),
             ("flowprobe", FLOWPROBE_SCRIPT),
         ] {
-            crate::script::parse_script(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            crate::script::parse_script(src).map_err(|e| format!("{name}: {e}"))?;
         }
+        Ok(())
     }
 
     #[test]
-    fn base_rp4_passes_semantics() {
-        let prog = rp4_lang::parse(BASE_RP4).unwrap();
-        rp4_lang::check(&prog, None).unwrap();
+    fn base_rp4_passes_semantics() -> Result<(), String> {
+        let prog = rp4_lang::parse(BASE_RP4).map_err(|e| e.to_string())?;
+        rp4_lang::check(&prog, None).map_err(|e| format!("{e:?}"))?;
+        Ok(())
     }
 
     #[test]
-    fn snippets_check_against_base() {
-        let base = rp4_lang::parse(BASE_RP4).unwrap();
+    fn snippets_check_against_base() -> Result<(), String> {
+        let base = rp4_lang::parse(BASE_RP4).map_err(|e| e.to_string())?;
         for (name, src) in [
             ("ecmp", ECMP_RP4),
             ("srv6", SRV6_RP4),
             ("flowprobe", FLOWPROBE_RP4),
         ] {
-            let snippet = rp4_lang::parse(src).unwrap();
-            if let Err(errs) = rp4_lang::check(&snippet, Some(&base)) {
-                panic!("{name}: {errs:?}");
-            }
+            let snippet = rp4_lang::parse(src).map_err(|e| format!("{name}: {e}"))?;
+            rp4_lang::check(&snippet, Some(&base)).map_err(|errs| format!("{name}: {errs:?}"))?;
         }
+        Ok(())
     }
 }

@@ -317,7 +317,7 @@ mod tests {
 
     /// The script of Fig. 5(b), adapted to our base design's stage names.
     #[test]
-    fn parses_fig5b_style_script() {
+    fn parses_fig5b_style_script() -> Result<(), ScriptError> {
         let src = r#"
             load ecmp.rp4 --func_name ecmp
             add_link ipv4_lpm ecmp
@@ -327,7 +327,7 @@ mod tests {
             del_link nexthop l2_l3_rewrite
             // omit ipv6's links
         "#;
-        let cmds = parse_script(src).unwrap();
+        let cmds = parse_script(src)?;
         assert_eq!(cmds.len(), 6);
         assert_eq!(
             cmds[0],
@@ -343,18 +343,19 @@ mod tests {
                 to: "nexthop".into()
             }
         );
+        Ok(())
     }
 
     /// The script of Fig. 5(c).
     #[test]
-    fn parses_fig5c_style_script() {
+    fn parses_fig5c_style_script() -> Result<(), ScriptError> {
         let src = r#"
             load srv6.rp4 --func_name srv6
             link_header --pre ipv6 --next srh --tag 43
             link_header --pre srh --next ipv6 --tag 41 # inner IPv6
             link_header --pre srh --next ipv4 --tag 4  # inner IPv4
         "#;
-        let cmds = parse_script(src).unwrap();
+        let cmds = parse_script(src)?;
         assert_eq!(cmds.len(), 4);
         assert_eq!(
             cmds[1],
@@ -364,10 +365,11 @@ mod tests {
                 tag: 43
             }
         );
+        Ok(())
     }
 
     #[test]
-    fn parses_table_commands() {
+    fn parses_table_commands() -> Result<(), ScriptError> {
         let cmds = parse_script(
             r#"
             table_add fib set_nh 0x0a000000/8 => 42
@@ -375,8 +377,7 @@ mod tests {
             table_del fib 0x0a000000/8
             table_default fib set_nh 7
         "#,
-        )
-        .unwrap();
+        )?;
         assert_eq!(
             cmds[0],
             ScriptCmd::TableAdd {
@@ -390,41 +391,45 @@ mod tests {
                 priority: 0,
             }
         );
-        match &cmds[1] {
-            ScriptCmd::TableAdd {
-                keys,
-                priority,
-                args,
-                ..
-            } => {
-                assert_eq!(keys.len(), 2);
-                assert!(matches!(keys[0], KeyToken::Ternary { .. }));
-                assert_eq!(keys[1], KeyToken::Exact(53));
-                assert_eq!(*priority, 10);
-                assert!(args.is_empty());
-            }
-            other => panic!("{other:?}"),
-        }
+        let ScriptCmd::TableAdd {
+            keys,
+            priority,
+            args,
+            ..
+        } = &cmds[1]
+        else {
+            return Err(ScriptError {
+                line: 0,
+                msg: format!("expected TableAdd, got {:?}", cmds[1]),
+            });
+        };
+        assert_eq!(keys.len(), 2);
+        assert!(matches!(keys[0], KeyToken::Ternary { .. }));
+        assert_eq!(keys[1], KeyToken::Exact(53));
+        assert_eq!(*priority, 10);
+        assert!(args.is_empty());
         assert!(matches!(&cmds[2], ScriptCmd::TableDel { keys, .. } if keys.len() == 1));
         assert!(matches!(&cmds[3], ScriptCmd::TableDefault { args, .. } if args == &[7]));
+        Ok(())
     }
 
     #[test]
     fn errors_carry_line_numbers() {
-        let e = parse_script("add_link a b\nwarp_drive on").unwrap_err();
+        let e = parse_script("add_link a b\nwarp_drive on").expect_err("unknown command");
         assert_eq!(e.line, 2);
         assert!(e.msg.contains("warp_drive"));
     }
 
     #[test]
-    fn comments_and_blank_lines_ignored() {
-        let cmds = parse_script("\n# full comment\n  // another\nunload --func_name f\n").unwrap();
+    fn comments_and_blank_lines_ignored() -> Result<(), ScriptError> {
+        let cmds = parse_script("\n# full comment\n  // another\nunload --func_name f\n")?;
         assert_eq!(cmds.len(), 1);
+        Ok(())
     }
 
     #[test]
-    fn update_command_parses() {
-        let cmds = parse_script("update probe2.rp4 --func_name probe").unwrap();
+    fn update_command_parses() -> Result<(), ScriptError> {
+        let cmds = parse_script("update probe2.rp4 --func_name probe")?;
         assert_eq!(
             cmds[0],
             ScriptCmd::Update {
@@ -433,6 +438,7 @@ mod tests {
             }
         );
         assert!(parse_script("update --func_name probe").is_err());
+        Ok(())
     }
 
     mod proptests {
@@ -470,7 +476,9 @@ mod tests {
                 let line = format!(
                     "table_add {table} {action} {exact:#x} {value:#x}/{plen}{args_s} prio={prio}"
                 );
-                let cmds = parse_script(&line).unwrap();
+                let cmds = parse_script(&line).map_err(|e| {
+                    proptest::test_runner::TestCaseError::Fail(e.to_string())
+                })?;
                 prop_assert_eq!(
                     &cmds[0],
                     &ScriptCmd::TableAdd {

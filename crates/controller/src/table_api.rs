@@ -150,7 +150,7 @@ mod tests {
     }
 
     #[test]
-    fn builds_valid_entry() {
+    fn builds_valid_entry() -> Result<(), ApiError> {
         let e = build_entry(
             &api(),
             "set_nh",
@@ -160,10 +160,10 @@ mod tests {
             }],
             &[42],
             0,
-        )
-        .unwrap();
+        )?;
         assert_eq!(e.action.args, vec![42]);
         assert!(matches!(e.key[0], KeyMatch::Lpm { prefix_len: 8, .. }));
+        Ok(())
     }
 
     #[test]

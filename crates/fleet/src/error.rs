@@ -1,0 +1,113 @@
+//! Typed fleet-level errors — every way a multi-device control plane can
+//! fail that the single-device [`ipsa_core::error::CoreError`] cannot
+//! express: unreachable peers, fencing rejections, and canary divergence.
+
+use ipsa_core::error::CoreError;
+
+use crate::proto::RpcKind;
+
+/// An error surfaced by the fleet controller.
+#[derive(Debug)]
+pub enum FleetError {
+    /// The fleet has no (healthy) devices to operate on.
+    NoDevices,
+    /// The named device is not part of the fleet.
+    UnknownDevice(String),
+    /// An RPC exhausted its deadline-and-retry budget without any reply:
+    /// the device is unreachable at the wire level.
+    Unreachable {
+        /// Target device.
+        device: String,
+        /// RPC type that failed.
+        kind: RpcKind,
+        /// Send attempts made (1 + retries).
+        attempts: u32,
+    },
+    /// The device fenced this controller off: a controller with a higher
+    /// election id has taken mastership, so this one's writes are stale.
+    NotMaster {
+        /// Device that rejected the write.
+        device: String,
+        /// The election id currently holding mastership there.
+        active_election_id: u64,
+    },
+    /// The device executed the RPC and refused it (typed device-side
+    /// error, carried over the wire as its rendered form).
+    Device {
+        /// Device that refused.
+        device: String,
+        /// Rendered device-side error.
+        detail: String,
+    },
+    /// Canary verification failed: the staged design's observable outputs
+    /// diverged from the oracle's on a witness path. The rollout was
+    /// blocked before any fan-out and the canary reverted byte-identically.
+    CanaryDiverged {
+        /// The canary device.
+        device: String,
+        /// Index of the diverging witness path.
+        path: usize,
+        /// Human-readable path description from the coverage corpus.
+        description: String,
+    },
+    /// A device rejected the staged update mid-fan-out; the whole fleet
+    /// was reverted to the pre-rollout design.
+    RolledBack {
+        /// Device whose rejection aborted the rollout.
+        device: String,
+        /// Rendered cause.
+        detail: String,
+    },
+    /// A local (controller-side) operation failed — e.g. building the
+    /// oracle device for canary verification.
+    Core(CoreError),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::NoDevices => write!(f, "fleet has no healthy devices"),
+            FleetError::UnknownDevice(d) => write!(f, "unknown device `{d}`"),
+            FleetError::Unreachable {
+                device,
+                kind,
+                attempts,
+            } => write!(
+                f,
+                "device `{device}` unreachable: {kind:?} got no reply in {attempts} attempts"
+            ),
+            FleetError::NotMaster {
+                device,
+                active_election_id,
+            } => write!(
+                f,
+                "fenced by device `{device}`: election id {active_election_id} holds mastership"
+            ),
+            FleetError::Device { device, detail } => {
+                write!(f, "device `{device}` refused: {detail}")
+            }
+            FleetError::CanaryDiverged {
+                device,
+                path,
+                description,
+            } => write!(
+                f,
+                "canary `{device}` diverged from oracle on path {path} [{description}]; \
+                 rollout blocked and canary reverted"
+            ),
+            FleetError::RolledBack { device, detail } => write!(
+                f,
+                "rollout aborted by `{device}` ({detail}); fleet reverted to previous design"
+            ),
+            FleetError::Core(e) => write!(f, "local error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<CoreError> for FleetError {
+    fn from(e: CoreError) -> Self {
+        FleetError::Core(e)
+    }
+}

@@ -1,0 +1,160 @@
+//! Heartbeat-driven device health: the four-state machine the fleet
+//! controller runs per device.
+//!
+//! ```text
+//!             rpc/heartbeat failure          threshold consecutive
+//!   Healthy ───────────────────────▶ Suspect ────────────────────▶ Quarantined
+//!      ▲                               │                               │
+//!      │ success                       │ success                       │ heartbeat
+//!      │                               ▼                               │ success
+//!      └────────────────────────── Healthy                             ▼
+//!      ▲                                                           Recovered
+//!      │                 reconciled (staged txn reverted,              │
+//!      └───────────────── design diff re-applied) ◀────────────────────┘
+//! ```
+//!
+//! Quarantined devices are excluded from rollouts and traffic until a
+//! heartbeat lands again; `Recovered` is the explicit bridge state in
+//! which the controller reconciles the device (reverting any stranded
+//! staged transaction and re-applying the fleet design diff) before
+//! trusting it as `Healthy` — a rejoining device must never serve the
+//! design it crashed with.
+
+use serde::Serialize;
+
+/// One device's health, as judged by the controller's RPC outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Health {
+    /// Responding normally; full fleet member.
+    Healthy,
+    /// Recent failure(s); still a fleet member, but one more strike
+    /// sequence away from quarantine.
+    Suspect,
+    /// Unreachable (or persistently failing): excluded from rollouts,
+    /// probed only by heartbeats.
+    Quarantined,
+    /// Answering again after quarantine; awaiting reconciliation before
+    /// rejoining as healthy.
+    Recovered,
+}
+
+/// Per-device health tracker: consecutive-failure counting with an
+/// explicit recovery bridge.
+#[derive(Debug, Clone)]
+pub struct HealthTracker {
+    state: Health,
+    /// Consecutive failed RPCs (each exhausted retry budget counts one).
+    strikes: u32,
+    /// Strikes at which Suspect becomes Quarantined.
+    threshold: u32,
+}
+
+impl HealthTracker {
+    /// A healthy tracker quarantining after `threshold` consecutive
+    /// failures (minimum 1).
+    pub fn new(threshold: u32) -> Self {
+        HealthTracker {
+            state: Health::Healthy,
+            strikes: 0,
+            threshold: threshold.max(1),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> Health {
+        self.state
+    }
+
+    /// Consecutive failures so far.
+    pub fn strikes(&self) -> u32 {
+        self.strikes
+    }
+
+    /// Records a successful RPC. Returns `true` when this success lifts
+    /// the device out of quarantine (state becomes [`Health::Recovered`])
+    /// — the caller's signal to reconcile.
+    pub fn on_success(&mut self) -> bool {
+        self.strikes = 0;
+        match self.state {
+            Health::Quarantined => {
+                self.state = Health::Recovered;
+                true
+            }
+            Health::Suspect => {
+                self.state = Health::Healthy;
+                false
+            }
+            _ => false,
+        }
+    }
+
+    /// Records a failed RPC (deadline exhausted or transport dead).
+    /// Returns `true` when this failure tips the device into quarantine.
+    pub fn on_failure(&mut self) -> bool {
+        self.strikes = self.strikes.saturating_add(1);
+        match self.state {
+            Health::Healthy | Health::Suspect | Health::Recovered => {
+                if self.strikes >= self.threshold {
+                    self.state = Health::Quarantined;
+                    true
+                } else {
+                    self.state = Health::Suspect;
+                    false
+                }
+            }
+            Health::Quarantined => false,
+        }
+    }
+
+    /// Marks reconciliation complete: [`Health::Recovered`] → healthy.
+    pub fn mark_reconciled(&mut self) {
+        if self.state == Health::Recovered {
+            self.state = Health::Healthy;
+        }
+    }
+
+    /// Forces quarantine (controller-initiated, e.g. a device whose
+    /// commit could not be confirmed mid-rollout).
+    pub fn quarantine(&mut self) {
+        self.state = Health::Quarantined;
+        self.strikes = self.strikes.max(self.threshold);
+    }
+
+    /// True when the device participates in rollouts and traffic.
+    pub fn is_available(&self) -> bool {
+        self.state == Health::Healthy || self.state == Health::Suspect
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_the_full_state_machine() {
+        let mut t = HealthTracker::new(3);
+        assert_eq!(t.state(), Health::Healthy);
+        assert!(!t.on_failure());
+        assert_eq!(t.state(), Health::Suspect);
+        assert!(!t.on_success());
+        assert_eq!(t.state(), Health::Healthy);
+        assert!(!t.on_failure());
+        assert!(!t.on_failure());
+        assert!(t.on_failure(), "third consecutive failure quarantines");
+        assert_eq!(t.state(), Health::Quarantined);
+        assert!(!t.on_failure(), "already quarantined");
+        assert!(t.on_success(), "heartbeat resume starts recovery");
+        assert_eq!(t.state(), Health::Recovered);
+        assert!(!t.is_available(), "recovered still needs reconciliation");
+        t.mark_reconciled();
+        assert_eq!(t.state(), Health::Healthy);
+        assert!(t.is_available());
+    }
+
+    #[test]
+    fn threshold_clamps_to_one() {
+        let mut t = HealthTracker::new(0);
+        assert!(t.on_failure());
+        assert_eq!(t.state(), Health::Quarantined);
+    }
+}

@@ -1,0 +1,337 @@
+//! The wire: an in-process channel transport for the fleet protocol, plus
+//! [`WireFaultPlan`] — the deterministic fault surface that makes every
+//! controller recovery path testable in CI.
+//!
+//! The transport is deliberately thin and swappable (a socket transport
+//! would implement the same post-an-envelope surface); the protocol in
+//! [`crate::proto`] is the contract. What this module adds beyond moving
+//! frames is *scheduled misbehavior*: the controller-side [`Link`] counts
+//! request occurrences per [`RpcKind`] and consults its fault plan before
+//! every send, so a test can say "drop the 2nd Apply", "deliver the 1st
+//! Heartbeat 80ms late", "duplicate the 3rd Commit", "reorder the 1st
+//! Replay behind its successor", or "partition the link for sends 5..9" —
+//! and replay the exact schedule from a seed. This extends the device-side
+//! [`ipbm::FaultPlan`] pattern to the wire.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::proto::{RequestFrame, ResponseFrame, RpcKind};
+
+/// What the agent receives: the frame, where to answer, and an optional
+/// transport-injected delivery delay (the agent sleeps before processing,
+/// modelling a frame that sat in a queue past the caller's deadline).
+pub struct Envelope {
+    /// The framed request.
+    pub frame: RequestFrame,
+    /// Reply channel for this request.
+    pub reply_to: Sender<ResponseFrame>,
+    /// Injected delivery latency, if any.
+    pub delay: Option<Duration>,
+}
+
+/// A deterministic wire-fault schedule for one controller→device link.
+///
+/// Occurrence indices are 0-based and count *send attempts* of that
+/// [`RpcKind`] on the link (retries advance the counter too, so "drop the
+/// 0th Apply" drops the first attempt and lets the retry through — exactly
+/// the transient loss a retry budget exists to absorb).
+#[doc(hidden)]
+#[derive(Debug, Clone, Default)]
+pub struct WireFaultPlan {
+    /// Drop the Nth request of this kind (never delivered).
+    pub drop: Vec<(RpcKind, u64)>,
+    /// Deliver the Nth request of this kind late by the duration.
+    pub delay: Vec<(RpcKind, u64, Duration)>,
+    /// Deliver the Nth request of this kind twice.
+    pub duplicate: Vec<(RpcKind, u64)>,
+    /// Hold the Nth request of this kind and deliver it *after* the next
+    /// send on the link (pairwise reorder).
+    pub reorder: Vec<(RpcKind, u64)>,
+    /// Drop every send while the link's total send counter is in
+    /// `[from, to)` — a partition window.
+    pub partition: Vec<(u64, u64)>,
+}
+
+impl WireFaultPlan {
+    /// A seeded single-fault plan: one fault of the given `kind` of
+    /// misbehavior against occurrence `nth` of `rpc`, with any duration
+    /// drawn deterministically from the seed. The chaos matrix iterates
+    /// every (rpc, fault) pair through this constructor.
+    pub fn single(rpc: RpcKind, fault: WireFault, nth: u64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = WireFaultPlan::default();
+        match fault {
+            WireFault::Drop => plan.drop.push((rpc, nth)),
+            WireFault::Delay => {
+                // Always past any test deadline ≤ 50ms, never unbounded.
+                let ms = rng.random_range(60u64..120);
+                plan.delay.push((rpc, nth, Duration::from_millis(ms)));
+            }
+            WireFault::Duplicate => plan.duplicate.push((rpc, nth)),
+            WireFault::Reorder => plan.reorder.push((rpc, nth)),
+        }
+        plan
+    }
+}
+
+/// The four single-message wire faults (partitions are windows, built
+/// directly on [`WireFaultPlan::partition`]).
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFault {
+    /// Never deliver.
+    Drop,
+    /// Deliver late (past a short RPC deadline).
+    Delay,
+    /// Deliver twice.
+    Duplicate,
+    /// Deliver after the following message.
+    Reorder,
+}
+
+impl WireFault {
+    /// Every single-message fault, for exhaustive matrices.
+    pub const ALL: [WireFault; 4] = [
+        WireFault::Drop,
+        WireFault::Delay,
+        WireFault::Duplicate,
+        WireFault::Reorder,
+    ];
+}
+
+/// Cumulative wire counters for one link (observability; also how tests
+/// assert a fault actually fired).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Send attempts posted by the controller.
+    pub attempts: u64,
+    /// Frames actually delivered to the agent.
+    pub delivered: u64,
+    /// Frames dropped by fault directives (drop + partition).
+    pub dropped: u64,
+    /// Extra deliveries from duplicate directives.
+    pub duplicated: u64,
+    /// Frames delivered out of order by reorder directives.
+    pub reordered: u64,
+    /// Frames delivered with an injected delay.
+    pub delayed: u64,
+}
+
+/// The controller-side end of one device link: a sender to the agent's
+/// mailbox plus the fault schedule and its counters.
+pub struct Link {
+    tx: Sender<Envelope>,
+    faults: WireFaultPlan,
+    /// Per-kind send-attempt counters (the fault plan's coordinates).
+    kind_counts: HashMap<RpcKind, u64>,
+    /// A frame held back by a reorder directive.
+    held: Option<Envelope>,
+    /// Cumulative counters.
+    pub stats: LinkStats,
+}
+
+impl Link {
+    /// Wraps a sender into a fault-free link.
+    pub fn new(tx: Sender<Envelope>) -> Self {
+        Link {
+            tx,
+            faults: WireFaultPlan::default(),
+            kind_counts: HashMap::new(),
+            held: None,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Installs a fault schedule (test-only surface; production links
+    /// keep the inert default).
+    #[doc(hidden)]
+    pub fn set_faults(&mut self, plan: WireFaultPlan) {
+        self.faults = plan;
+        self.kind_counts.clear();
+    }
+
+    /// Posts one framed request toward the agent, applying any fault
+    /// directive scheduled for this occurrence. Returns `false` if the
+    /// channel to the agent is closed (the agent thread died) — fault
+    /// directives themselves never report failure; a dropped frame
+    /// surfaces exactly like real loss: as the caller's deadline expiring.
+    pub fn post(&mut self, frame: RequestFrame, reply_to: Sender<ResponseFrame>) -> bool {
+        let kind = frame.req.kind();
+        let n = {
+            let c = self.kind_counts.entry(kind).or_insert(0);
+            let n = *c;
+            *c += 1;
+            n
+        };
+        let total = self.stats.attempts;
+        self.stats.attempts += 1;
+
+        let partitioned = self
+            .faults
+            .partition
+            .iter()
+            .any(|&(from, to)| (from..to).contains(&total));
+        if partitioned || self.faults.drop.contains(&(kind, n)) {
+            self.stats.dropped += 1;
+            // A drop still flushes a held frame: the wire keeps moving.
+            return self.flush_held();
+        }
+
+        let delay = self
+            .faults
+            .delay
+            .iter()
+            .find(|&&(k, i, _)| k == kind && i == n)
+            .map(|&(_, _, d)| d);
+        if delay.is_some() {
+            self.stats.delayed += 1;
+        }
+        let env = Envelope {
+            frame,
+            reply_to,
+            delay,
+        };
+
+        if self.faults.reorder.contains(&(kind, n)) && self.held.is_none() {
+            // Hold this frame; it ships after the next send on the link.
+            self.held = Some(env);
+            return true;
+        }
+
+        let duplicate = self.faults.duplicate.contains(&(kind, n));
+        let dup = duplicate.then(|| Envelope {
+            frame: env.frame.clone(),
+            reply_to: env.reply_to.clone(),
+            delay: env.delay,
+        });
+        if !self.deliver(env) {
+            return false;
+        }
+        if let Some(d) = dup {
+            self.stats.duplicated += 1;
+            if !self.deliver(d) {
+                return false;
+            }
+        }
+        self.flush_held()
+    }
+
+    fn deliver(&mut self, env: Envelope) -> bool {
+        if self.tx.send(env).is_err() {
+            return false;
+        }
+        self.stats.delivered += 1;
+        true
+    }
+
+    fn flush_held(&mut self) -> bool {
+        if let Some(held) = self.held.take() {
+            self.stats.reordered += 1;
+            return self.deliver(held);
+        }
+        true
+    }
+}
+
+/// Builds the two ends of one in-process link: the controller-side
+/// [`Link`] and the agent-side mailbox receiver.
+pub fn channel_link() -> (Link, Receiver<Envelope>) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    (Link::new(tx), rx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{Request, RequestFrame};
+
+    fn frame(seq: u64, req: Request) -> RequestFrame {
+        RequestFrame {
+            seq,
+            election_id: 1,
+            req,
+        }
+    }
+
+    fn reply_tx() -> Sender<ResponseFrame> {
+        std::sync::mpsc::channel().0
+    }
+
+    #[test]
+    fn drop_hits_only_the_scheduled_occurrence() {
+        let (mut link, rx) = channel_link();
+        link.set_faults(WireFaultPlan::single(
+            RpcKind::Heartbeat,
+            WireFault::Drop,
+            1,
+            7,
+        ));
+        for seq in 0..3 {
+            assert!(link.post(frame(seq, Request::Heartbeat), reply_tx()));
+        }
+        let delivered: Vec<u64> = rx.try_iter().map(|e| e.frame.seq).collect();
+        assert_eq!(delivered, vec![0, 2], "only the 1st occurrence is dropped");
+        assert_eq!(link.stats.dropped, 1);
+        assert_eq!(link.stats.delivered, 2);
+    }
+
+    #[test]
+    fn duplicate_delivers_twice_reorder_swaps_pairwise() {
+        let (mut link, rx) = channel_link();
+        let mut plan = WireFaultPlan::default();
+        plan.duplicate.push((RpcKind::Stats, 0));
+        plan.reorder.push((RpcKind::Heartbeat, 0));
+        link.set_faults(plan);
+        assert!(link.post(frame(0, Request::Stats), reply_tx()));
+        assert!(link.post(frame(1, Request::Heartbeat), reply_tx())); // held
+        assert!(link.post(frame(2, Request::Heartbeat), reply_tx())); // flushes 1
+        let delivered: Vec<u64> = rx.try_iter().map(|e| e.frame.seq).collect();
+        assert_eq!(delivered, vec![0, 0, 2, 1]);
+        assert_eq!(link.stats.duplicated, 1);
+        assert_eq!(link.stats.reordered, 1);
+    }
+
+    #[test]
+    fn partition_window_drops_by_total_send_count() {
+        let (mut link, rx) = channel_link();
+        let mut plan = WireFaultPlan::default();
+        plan.partition.push((1, 3));
+        link.set_faults(plan);
+        for seq in 0..4 {
+            assert!(link.post(frame(seq, Request::Heartbeat), reply_tx()));
+        }
+        let delivered: Vec<u64> = rx.try_iter().map(|e| e.frame.seq).collect();
+        assert_eq!(delivered, vec![0, 3], "sends 1 and 2 fall in the window");
+        assert_eq!(link.stats.dropped, 2);
+    }
+
+    #[test]
+    fn delay_rides_the_envelope() {
+        let (mut link, rx) = channel_link();
+        link.set_faults(WireFaultPlan::single(
+            RpcKind::Apply,
+            WireFault::Delay,
+            0,
+            3,
+        ));
+        assert!(link.post(
+            frame(
+                0,
+                Request::Apply {
+                    msgs: vec![],
+                    staged: false,
+                },
+            ),
+            reply_tx(),
+        ));
+        let env = rx.try_recv().expect("delivered");
+        let d = env.delay.expect("delay attached");
+        assert!(d >= Duration::from_millis(60) && d < Duration::from_millis(120));
+        assert_eq!(link.stats.delayed, 1);
+    }
+}

@@ -142,8 +142,36 @@ pub fn apply_msgs_with_faults(
     msgs: &[ControlMsg],
     faults: Option<&FaultPlan>,
 ) -> Result<ApplyReport, CoreError> {
-    let mut report = ApplyReport::default();
     let mut journal = ApplyJournal::default();
+    match apply_msgs_journaled(pm, sm, linkage, cost, msgs, faults, &mut journal) {
+        Ok(report) => Ok(report),
+        Err((index, cause)) => {
+            journal.rollback(pm, sm, linkage);
+            Err(CoreError::RolledBack {
+                index,
+                cause: Box::new(cause),
+            })
+        }
+    }
+}
+
+/// The shared apply loop: records every pre-image into the *caller's*
+/// journal and applies messages sequentially. On a failing message it
+/// returns `(index, cause)` **without rolling back** — ownership of the
+/// journal (and therefore of the rollback horizon) stays with the caller.
+/// [`apply_msgs_with_faults`] rolls a per-batch journal back immediately;
+/// a staged transaction ([`crate::IpbmSwitch::begin_staged`]) accumulates
+/// one journal across many batches and rewinds them all at once.
+pub(crate) fn apply_msgs_journaled(
+    pm: &mut PipelineModule,
+    sm: &mut StorageModule,
+    linkage: &mut HeaderLinkage,
+    cost: &CostModel,
+    msgs: &[ControlMsg],
+    faults: Option<&FaultPlan>,
+    journal: &mut ApplyJournal,
+) -> Result<ApplyReport, (usize, CoreError)> {
+    let mut report = ApplyReport::default();
     let mut in_drain = false;
     for (index, msg) in msgs.iter().enumerate() {
         // MigrateTable is the one message whose cost depends on device
@@ -183,11 +211,7 @@ pub fn apply_msgs_with_faults(
             apply_one(pm, sm, linkage, msg)
         };
         if let Err(cause) = applied {
-            journal.rollback(pm, sm, linkage);
-            return Err(CoreError::RolledBack {
-                index,
-                cause: Box::new(cause),
-            });
+            return Err((index, cause));
         }
     }
     // Any message beyond plain entry traffic may change what the installed

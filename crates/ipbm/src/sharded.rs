@@ -63,6 +63,7 @@ use ipsa_netpkt::linkage::HeaderLinkage;
 use ipsa_netpkt::packet::Packet;
 
 use crate::fast::{self, CompiledPath, EvalScratch, SlotStatsMut};
+use crate::hist::BusyHistogram;
 use crate::pm::{PipelineStats, TmStats, TrafficManager, TM_QUEUE_CAPACITY};
 use crate::resilience::{FaultPlan, ShardFault, ShardFaultKind, SupervisorStats};
 use crate::sm::StorageModule;
@@ -252,6 +253,9 @@ pub struct ShardedSwitch {
     fallback: bool,
     /// Cumulative per-shard busy time, ns.
     busy_ns: Vec<u64>,
+    /// Log2 distribution of per-batch busy-time samples, folded at
+    /// barriers (one sample per shard reply) — the fleet health signal.
+    busy_hist: BusyHistogram,
     /// Barriers served so far (the `K` coordinate of fault directives).
     barrier: u64,
     /// Test-only fault-injection plan (default: inert).
@@ -400,6 +404,7 @@ impl ShardedSwitch {
             dirty: true,
             fallback: false,
             busy_ns: vec![0; shards],
+            busy_hist: BusyHistogram::default(),
             barrier: 0,
             faults: FaultPlan::default(),
             defer_respawns: 0,
@@ -500,12 +505,52 @@ impl ShardedSwitch {
         &self.busy_ns
     }
 
+    /// The log2-bucketed distribution of per-batch busy-time samples, one
+    /// sample folded per shard barrier reply. Where [`Self::shard_busy_ns`]
+    /// totals and the autoscaler's p50/p99 proxy summarize, this keeps the
+    /// whole shape — the signal the fleet health checker compares across
+    /// devices (and merges fleet-wide, losslessly).
+    pub fn busy_histogram(&self) -> &BusyHistogram {
+        &self.busy_hist
+    }
+
     /// Installs a complete compiled design (initial load).
     pub fn install(
         &mut self,
         design: &ipsa_core::template::CompiledDesign,
     ) -> Result<ApplyReport, CoreError> {
         self.apply(&ipsa_core::control::full_install_msgs(design))
+    }
+
+    /// Opens a staged control-plane transaction on the master (see
+    /// [`IpbmSwitch::begin_staged`]). Purely a bookkeeping change — shards
+    /// keep forwarding on their published epoch until the next barrier.
+    pub fn begin_staged(&mut self) -> Result<(), CoreError> {
+        self.master.begin_staged()
+    }
+
+    /// True while a staged transaction is open on the master.
+    pub fn staged_open(&self) -> bool {
+        self.master.staged_open()
+    }
+
+    /// Commits the open staged transaction (see
+    /// [`IpbmSwitch::commit_staged`]). The shards already track the staged
+    /// epochs (each staged batch republished like any other), so commit
+    /// publishes nothing new.
+    pub fn commit_staged(&mut self) -> Result<(), CoreError> {
+        self.master.commit_staged()
+    }
+
+    /// Reverts the open staged transaction byte-identically (see
+    /// [`IpbmSwitch::revert_staged`]) behind an epoch barrier: shards
+    /// quiesce first, the master rewinds, and the next batch republishes
+    /// the pre-transaction state to every worker.
+    pub fn revert_staged(&mut self) -> Result<(), CoreError> {
+        self.quiesce();
+        self.master.revert_staged()?;
+        self.dirty = true;
+        Ok(())
     }
 
     /// Observability snapshot (the master's fold-merged view).
@@ -950,6 +995,7 @@ impl ShardedSwitch {
             self.busy_ns.resize(r.shard + 1, 0);
         }
         self.busy_ns[r.shard] += r.busy_ns;
+        self.busy_hist.record(r.busy_ns);
         self.interval_busy += r.busy_ns;
         self.interval_pkts += r.stats.received;
         if let Some(w) = self.workers.get_mut(r.shard) {
@@ -984,10 +1030,25 @@ impl Device for ShardedSwitch {
         // master's state is byte-identical to before the batch and its
         // epoch did not advance, so the `?` below must not mark the switch
         // dirty — the shards' published epoch is still exactly right.
+        //
+        // Under an open staged transaction the failure mode widens: the
+        // abort rewinds *every* batch staged so far, including ones the
+        // shards may already have republished — so a staged failure must
+        // mark the switch dirty to force a republish of the rewound state.
         self.quiesce();
-        let report = self.master.apply(msgs)?;
-        self.dirty = true;
-        Ok(report)
+        let staged = self.master.staged_open();
+        match self.master.apply(msgs) {
+            Ok(report) => {
+                self.dirty = true;
+                Ok(report)
+            }
+            Err(e) => {
+                if staged {
+                    self.dirty = true;
+                }
+                Err(e)
+            }
+        }
     }
 
     fn install_facts(&mut self, facts: Option<ipsa_core::facts::ProgramFacts>) {

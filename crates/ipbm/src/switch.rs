@@ -15,9 +15,34 @@ use serde::Serialize;
 use crate::ccm;
 use crate::cm::{CommModule, PortStats};
 use crate::pm::{PipelineModule, PipelineStats, TmStats};
-use crate::resilience::FaultPlan;
+use crate::resilience::{ApplyJournal, FaultPlan};
 use crate::sm::StorageModule;
 use crate::tsp::SlotStats;
+
+/// An open staged control-plane transaction: one [`ApplyJournal`]
+/// accumulating pre-images across every batch applied since
+/// [`IpbmSwitch::begin_staged`], plus the dataflow facts installed at that
+/// point (structural batches clear facts as they apply; a revert must put
+/// them back so the device is observably unchanged).
+///
+/// This is the device half of a two-phase fleet rollout: the controller
+/// stages the update everywhere, verifies the canary, and only then commits
+/// — any divergence or mid-rollout failure reverts each device to the exact
+/// bytes it held when the transaction opened.
+pub(crate) struct StagedTxn {
+    journal: ApplyJournal,
+    facts: Option<ipsa_core::facts::ProgramFacts>,
+    /// Batches applied under this transaction (observability only).
+    batches: u64,
+}
+
+impl std::fmt::Debug for StagedTxn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StagedTxn")
+            .field("batches", &self.batches)
+            .finish_non_exhaustive()
+    }
+}
 
 /// Construction parameters for an ipbm instance.
 #[derive(Debug, Clone)]
@@ -103,6 +128,8 @@ pub struct IpbmSwitch {
     pub cost: CostModel,
     /// Test-only fault-injection plan (None in production).
     faults: Option<FaultPlan>,
+    /// Open staged transaction, if any (see [`IpbmSwitch::begin_staged`]).
+    staged: Option<StagedTxn>,
     name: String,
 }
 
@@ -132,6 +159,7 @@ impl IpbmSwitch {
             linkage: HeaderLinkage::new(),
             cost: cfg.cost,
             faults: None,
+            staged: None,
             name: "ipbm".to_string(),
         })
     }
@@ -153,6 +181,74 @@ impl IpbmSwitch {
     /// Installs a complete compiled design (initial load).
     pub fn install(&mut self, design: &CompiledDesign) -> Result<ApplyReport, CoreError> {
         self.apply(&full_install_msgs(design))
+    }
+
+    /// Opens a staged control-plane transaction. Every subsequent
+    /// [`Device::apply`] batch journals its pre-images into one shared
+    /// [`ApplyJournal`] (each component captured at most once, at its
+    /// earliest touch), so [`IpbmSwitch::revert_staged`] rewinds *all*
+    /// batches applied since this call byte-identically — the device half
+    /// of a fleet-wide two-phase rollout. A batch that fails mid-apply
+    /// aborts the whole transaction (the journal is replayed immediately
+    /// and the transaction closes), because a half-staged device can be
+    /// neither committed nor trusted to stay staged.
+    ///
+    /// Errors with [`CoreError::Config`] if a transaction is already open:
+    /// nesting would silently merge rollback horizons.
+    pub fn begin_staged(&mut self) -> Result<(), CoreError> {
+        if self.staged.is_some() {
+            return Err(CoreError::Config(
+                "staged transaction already open (commit or revert it first)".into(),
+            ));
+        }
+        self.staged = Some(StagedTxn {
+            journal: ApplyJournal::default(),
+            facts: self.pm.facts().cloned(),
+            batches: 0,
+        });
+        Ok(())
+    }
+
+    /// True while a staged transaction is open.
+    pub fn staged_open(&self) -> bool {
+        self.staged.is_some()
+    }
+
+    /// Batches applied under the open staged transaction (0 when none).
+    pub fn staged_batches(&self) -> u64 {
+        self.staged.as_ref().map_or(0, |t| t.batches)
+    }
+
+    /// Commits the open staged transaction: the journal is discarded and
+    /// every batch applied since [`IpbmSwitch::begin_staged`] becomes
+    /// permanent. Errors with [`CoreError::Config`] if none is open.
+    pub fn commit_staged(&mut self) -> Result<(), CoreError> {
+        match self.staged.take() {
+            Some(_) => Ok(()),
+            None => Err(CoreError::Config(
+                "no staged transaction open to commit".into(),
+            )),
+        }
+    }
+
+    /// Reverts the open staged transaction: every pre-image captured since
+    /// [`IpbmSwitch::begin_staged`] is restored newest-first, the facts
+    /// installed at open time are reinstated, and a new control-plane epoch
+    /// opens (the reverted state must recompile and republish). The device
+    /// is left byte-identical to the moment the transaction opened. Errors
+    /// with [`CoreError::Config`] if none is open.
+    pub fn revert_staged(&mut self) -> Result<(), CoreError> {
+        let Some(txn) = self.staged.take() else {
+            return Err(CoreError::Config(
+                "no staged transaction open to revert".into(),
+            ));
+        };
+        txn.journal
+            .rollback(&mut self.pm, &mut self.sm, &mut self.linkage);
+        // set_facts re-opens the epoch whether or not facts were installed
+        // — the pre-image state needs a fresh compile either way.
+        self.pm.set_facts(txn.facts);
+        Ok(())
     }
 
     /// Observability snapshot.
@@ -295,14 +391,44 @@ impl Device for IpbmSwitch {
     }
 
     fn apply(&mut self, msgs: &[ControlMsg]) -> Result<ApplyReport, CoreError> {
-        ccm::apply_msgs_with_faults(
+        let Some(txn) = self.staged.as_mut() else {
+            return ccm::apply_msgs_with_faults(
+                &mut self.pm,
+                &mut self.sm,
+                &mut self.linkage,
+                &self.cost,
+                msgs,
+                self.faults.as_ref(),
+            );
+        };
+        // Staged mode: pre-images accumulate in the transaction's journal.
+        // A mid-batch failure aborts the *whole* transaction — the journal
+        // rewinds every batch applied since `begin_staged`, not just this
+        // one, and the facts installed at open time come back with it.
+        match ccm::apply_msgs_journaled(
             &mut self.pm,
             &mut self.sm,
             &mut self.linkage,
             &self.cost,
             msgs,
             self.faults.as_ref(),
-        )
+            &mut txn.journal,
+        ) {
+            Ok(report) => {
+                txn.batches += 1;
+                Ok(report)
+            }
+            Err((index, cause)) => {
+                let txn = self.staged.take().expect("staged txn is open");
+                txn.journal
+                    .rollback(&mut self.pm, &mut self.sm, &mut self.linkage);
+                self.pm.set_facts(txn.facts);
+                Err(CoreError::RolledBack {
+                    index,
+                    cause: Box::new(cause),
+                })
+            }
+        }
     }
 
     fn install_facts(&mut self, facts: Option<ipsa_core::facts::ProgramFacts>) {
@@ -592,5 +718,122 @@ mod tests {
         let r = sw.install(&design).unwrap();
         assert!(r.msgs > 0);
         assert_eq!(sw.report().active_tsps, 0);
+    }
+
+    /// Digest of every control-plane component, minus the epoch counter
+    /// (a revert legitimately opens a new epoch over identical bytes).
+    fn state_digest(sw: &IpbmSwitch) -> String {
+        format!(
+            "{};{};{:?};{:?};{:?};{}",
+            serde_json::to_string(&sw.pm.slots.iter().map(|s| &s.template).collect::<Vec<_>>())
+                .unwrap(),
+            serde_json::to_string(&sw.pm.selector).unwrap(),
+            sw.pm.draining,
+            sw.sm.metadata,
+            sw.sm.table_names(),
+            serde_json::to_string(&sw.sm.pool).unwrap(),
+        )
+    }
+
+    #[test]
+    fn staged_revert_rewinds_every_batch() {
+        let mut sw = minimal_switch();
+        let before = state_digest(&sw);
+        sw.begin_staged().unwrap();
+        assert!(sw.staged_open());
+        // Two separate batches under one transaction: an entry add, then a
+        // structural change (new template in a fresh slot).
+        sw.apply(&[ControlMsg::AddEntry {
+            table: "route".into(),
+            entry: TableEntry {
+                key: vec![ipsa_core::table::KeyMatch::Lpm {
+                    value: 0x0b000000,
+                    prefix_len: 8,
+                }],
+                priority: 0,
+                action: ActionCall::new("fwd", vec![5]),
+                counter: 0,
+            },
+        }])
+        .unwrap();
+        sw.apply(&[ControlMsg::WriteTemplate {
+            slot: 1,
+            template: TspTemplate::passthrough("staged_p"),
+        }])
+        .unwrap();
+        assert_eq!(sw.staged_batches(), 2);
+        assert_ne!(state_digest(&sw), before);
+        sw.revert_staged().unwrap();
+        assert!(!sw.staged_open());
+        assert_eq!(state_digest(&sw), before, "revert must be byte-identical");
+        // The reverted design still forwards.
+        sw.inject(ipv4_udp_packet(&Ipv4UdpSpec {
+            dst_ip: 0x0a010101,
+            ..Default::default()
+        }));
+        assert_eq!(sw.run().len(), 1);
+    }
+
+    #[test]
+    fn staged_commit_keeps_every_batch() {
+        let mut sw = minimal_switch();
+        sw.begin_staged().unwrap();
+        sw.apply(&[ControlMsg::AddEntry {
+            table: "route".into(),
+            entry: TableEntry {
+                key: vec![ipsa_core::table::KeyMatch::Lpm {
+                    value: 0x0b000000,
+                    prefix_len: 8,
+                }],
+                priority: 0,
+                action: ActionCall::new("fwd", vec![5]),
+                counter: 0,
+            },
+        }])
+        .unwrap();
+        sw.commit_staged().unwrap();
+        assert!(!sw.staged_open());
+        sw.inject(ipv4_udp_packet(&Ipv4UdpSpec {
+            dst_ip: 0x0b010101,
+            ..Default::default()
+        }));
+        let out = sw.run();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].meta.egress_port, Some(5));
+        // Committed means no longer revertible.
+        assert!(sw.revert_staged().is_err());
+    }
+
+    #[test]
+    fn staged_midbatch_failure_aborts_whole_txn() {
+        let mut sw = minimal_switch();
+        let before = state_digest(&sw);
+        sw.begin_staged().unwrap();
+        sw.apply(&[ControlMsg::WriteTemplate {
+            slot: 1,
+            template: TspTemplate::passthrough("staged_p"),
+        }])
+        .unwrap();
+        // Second batch fails on its second message: the abort must rewind
+        // the first batch too, not just this one.
+        let err = sw
+            .apply(&[
+                ControlMsg::DefineMetadata(vec![("mx".into(), 8)]),
+                ControlMsg::DestroyTable("ghost".into()),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, CoreError::RolledBack { index: 1, .. }));
+        assert!(!sw.staged_open(), "failed batch closes the transaction");
+        assert_eq!(state_digest(&sw), before);
+    }
+
+    #[test]
+    fn staged_nesting_and_empty_ops_are_errors() {
+        let mut sw = minimal_switch();
+        assert!(sw.commit_staged().is_err());
+        assert!(sw.revert_staged().is_err());
+        sw.begin_staged().unwrap();
+        assert!(sw.begin_staged().is_err());
+        sw.commit_staged().unwrap();
     }
 }

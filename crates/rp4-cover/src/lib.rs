@@ -38,6 +38,10 @@ use rp4_lang::ast::Program;
 use rp4_lang::{Diagnostic, ItemKind, Span};
 use serde::Serialize;
 
+pub mod replay;
+
+pub use replay::{replay_corpus, replay_witness, ReplayMode};
+
 /// Diagnostic codes of the coverage block.
 pub mod codes {
     /// Path enumeration exhausted its world/decision budget before full
