@@ -205,7 +205,7 @@ pub fn state_fingerprint(sw: &IpbmSwitch) -> String {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         let mut eat = |byte: u8| {
             h ^= u64::from(byte);
-            h = h.wrapping_mul(0x1_0000_0193);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
         };
         if let Some(b) = sw.sm.pool.block(id) {
             for byte in b.owner.as_deref().unwrap_or("").bytes() {

@@ -287,6 +287,17 @@ impl FleetController {
                     if was_quarantined {
                         self.devices[idx].health.on_success(); // → Recovered
                         self.reconcile(idx, staged_open);
+                    } else if staged_open {
+                        // Rollouts are synchronous, so no transaction of
+                        // *ours* can be open when a heartbeat runs: an open
+                        // staged transaction on an available device is
+                        // stranded — left by a controller that was fenced
+                        // mid-rollout (its own Revert RPCs were fenced
+                        // too). Revert it before a future rollout's staged
+                        // Apply merges into it; if this Revert fails the
+                        // transaction stays open and the next heartbeat
+                        // retries.
+                        let _ = self.call(idx, Request::Revert);
                     }
                 }
                 Ok(_) | Err(FleetError::Unreachable { .. }) => {
@@ -312,39 +323,55 @@ impl FleetController {
     /// designs survived untouched on the device (it was partitioned, not
     /// wiped); tables the new design introduces start empty, as they do
     /// on every other device.
+    ///
+    /// A reconciliation that does not complete re-quarantines the device
+    /// explicitly: a half-reconciled device must not linger in `Recovered`
+    /// (or leak into Suspect/Healthy through later successes) while it
+    /// still serves the design it crashed with — quarantine makes the next
+    /// heartbeat retry recovery from the top.
     fn reconcile(&mut self, idx: usize, staged_open: bool) {
+        if self.try_reconcile(idx, staged_open) {
+            self.devices[idx].health.mark_reconciled();
+        } else {
+            self.devices[idx].health.quarantine();
+        }
+    }
+
+    /// The fallible body of [`Self::reconcile`]; `false` means the device
+    /// is not yet in line with the fleet.
+    fn try_reconcile(&mut self, idx: usize, staged_open: bool) -> bool {
         if staged_open && self.call(idx, Request::Revert).is_err() {
-            return; // still unhealthy; next heartbeat retries recovery
+            return false;
         }
-        let target = self.design.clone();
-        if let Some(target) = target {
-            let from = self.devices[idx].shadow.clone();
-            let msgs = match &from {
-                Some(shadow) => rp4c::design_diff(shadow, &target),
-                None => full_install_msgs(&target),
-            };
-            if !msgs.is_empty()
-                && self
-                    .call(
-                        idx,
-                        Request::Apply {
-                            msgs,
-                            staged: false,
-                        },
-                    )
-                    .is_err()
-            {
-                return;
-            }
-            if self
-                .call(idx, Request::InstallFacts(self.facts.clone()))
+        let Some(target) = self.design.clone() else {
+            return true; // no fleet design yet: nothing to converge to
+        };
+        let from = self.devices[idx].shadow.clone();
+        let msgs = match &from {
+            Some(shadow) => rp4c::design_diff(shadow, &target),
+            None => full_install_msgs(&target),
+        };
+        if !msgs.is_empty()
+            && self
+                .call(
+                    idx,
+                    Request::Apply {
+                        msgs,
+                        staged: false,
+                    },
+                )
                 .is_err()
-            {
-                return;
-            }
-            self.devices[idx].shadow = Some(target);
+        {
+            return false;
         }
-        self.devices[idx].health.mark_reconciled();
+        if self
+            .call(idx, Request::InstallFacts(self.facts.clone()))
+            .is_err()
+        {
+            return false;
+        }
+        self.devices[idx].shadow = Some(target);
+        true
     }
 
     // -- fleet operations --------------------------------------------------
@@ -485,11 +512,17 @@ impl FleetController {
     ///    one by one. A device that stops answering is quarantined and
     ///    skipped (the fleet is not blocked); a device that *rejects* the
     ///    plan triggers fleet-wide failback: every staged device reverts,
-    ///    and the rollout fails with [`FleetError::RolledBack`].
+    ///    and the rollout fails with [`FleetError::RolledBack`]. A device
+    ///    that *fences* us ([`FleetError::NotMaster`]) aborts without
+    ///    failback — our reverts would be fenced too; the new master's
+    ///    heartbeat reverts the stranded staged transactions instead.
     /// 4. **Commit** — every staged device commits; its shadow design
     ///    advances; facts install. A device unreachable at commit time is
     ///    quarantined still holding its staged transaction — recovery
     ///    reverts it and re-applies the committed diff, so it converges.
+    ///    If *no* commit confirms, the rollout fails with
+    ///    [`FleetError::CommitFailed`] and the fleet design does not
+    ///    advance.
     pub fn rolling_update(&mut self, plan: &FleetUpdate) -> Result<RolloutReport, FleetError> {
         if self.available().is_empty() {
             return Err(FleetError::NoDevices);
@@ -551,9 +584,19 @@ impl FleetController {
                     self.devices[idx].health.quarantine();
                     quarantined.push(self.devices[idx].name.clone());
                 }
+                Err(e @ FleetError::NotMaster { .. }) => {
+                    // A newer master took over mid-fan-out. Failback is
+                    // not ours to run — our Revert RPCs are mutations and
+                    // would be fenced on every device just like the Apply
+                    // was, leaving the fleet Healthy but stranded. The
+                    // staged devices keep their transactions open; the new
+                    // master's heartbeat sees `staged_open` on them and
+                    // reverts (see [`Self::heartbeat`]).
+                    return Err(e);
+                }
                 Err(e) => {
-                    // A live device refused the plan (or fenced us):
-                    // fleet-wide failback, byte-identical everywhere.
+                    // A live device refused the plan: fleet-wide failback,
+                    // byte-identical everywhere.
                     self.failback(&staged, &mut quarantined);
                     return Err(match e {
                         FleetError::Device { device, detail } => {
@@ -567,6 +610,7 @@ impl FleetController {
 
         // Phase 4: commit.
         let mut updated = Vec::new();
+        let mut commit_failed = Vec::new();
         for idx in staged {
             match self.call(idx, Request::Commit) {
                 Ok(_) => {
@@ -577,8 +621,20 @@ impl FleetController {
                 Err(_) => {
                     self.devices[idx].health.quarantine();
                     quarantined.push(self.devices[idx].name.clone());
+                    commit_failed.push(self.devices[idx].name.clone());
                 }
             }
+        }
+        if updated.is_empty() {
+            // No commit confirmed: the rollout landed nowhere. Keep the
+            // fleet design (and epoch) at the previous rollout — every
+            // staged device is quarantined with its transaction open, and
+            // heartbeat recovery reverts them back to that design — and
+            // tell the caller, rather than reporting a rollout that no
+            // device is serving.
+            return Err(FleetError::CommitFailed {
+                devices: commit_failed,
+            });
         }
 
         self.design = Some(plan.design.clone());
@@ -628,8 +684,13 @@ impl FleetController {
             };
             if resp != oracle_out[i] {
                 // Divergence: block fan-out, revert the canary, report.
+                // A canary whose revert does not confirm still holds the
+                // diverged staged transaction: quarantine it so heartbeat
+                // recovery reverts it before the device rejoins.
                 let device = self.devices[idx].name.clone();
-                let _ = self.call(idx, Request::Revert);
+                if self.call(idx, Request::Revert).is_err() {
+                    self.devices[idx].health.quarantine();
+                }
                 return Err(FleetError::CanaryDiverged {
                     device,
                     path: path.index,
@@ -640,14 +701,16 @@ impl FleetController {
         Ok(())
     }
 
-    /// Fleet-wide failback: revert every staged device. One that cannot
-    /// be reached is quarantined still holding its transaction — recovery
-    /// reverts it before the device rejoins.
+    /// Fleet-wide failback: revert every staged device. A device whose
+    /// revert does not confirm — unreachable *or* refusing — is
+    /// quarantined still holding its transaction, even if a single strike
+    /// would otherwise leave it available as Suspect: heartbeat recovery
+    /// reverts the stranded transaction before the device rejoins, so it
+    /// can never swallow a later rollout's staged batches.
     fn failback(&mut self, staged: &[usize], quarantined: &mut Vec<String>) {
         for &idx in staged {
-            if self.call(idx, Request::Revert).is_err()
-                && self.devices[idx].health.state() == Health::Quarantined
-            {
+            if self.call(idx, Request::Revert).is_err() {
+                self.devices[idx].health.quarantine();
                 quarantined.push(self.devices[idx].name.clone());
             }
         }

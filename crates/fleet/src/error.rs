@@ -58,6 +58,14 @@ pub enum FleetError {
         /// Rendered cause.
         detail: String,
     },
+    /// The commit phase confirmed on no device: the rollout landed
+    /// nowhere. The fleet design does not advance; every staged device
+    /// was quarantined with its transaction open, and heartbeat recovery
+    /// reverts them to the pre-rollout design.
+    CommitFailed {
+        /// Devices whose commit could not be confirmed.
+        devices: Vec<String>,
+    },
     /// A local (controller-side) operation failed — e.g. building the
     /// oracle device for canary verification.
     Core(CoreError),
@@ -98,6 +106,11 @@ impl std::fmt::Display for FleetError {
             FleetError::RolledBack { device, detail } => write!(
                 f,
                 "rollout aborted by `{device}` ({detail}); fleet reverted to previous design"
+            ),
+            FleetError::CommitFailed { devices } => write!(
+                f,
+                "rollout committed on no device (unconfirmed on {devices:?}); \
+                 fleet design unchanged"
             ),
             FleetError::Core(e) => write!(f, "local error: {e}"),
         }

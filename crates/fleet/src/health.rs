@@ -4,13 +4,13 @@
 //! ```text
 //!             rpc/heartbeat failure          threshold consecutive
 //!   Healthy ───────────────────────▶ Suspect ────────────────────▶ Quarantined
-//!      ▲                               │                               │
-//!      │ success                       │ success                       │ heartbeat
-//!      │                               ▼                               │ success
-//!      └────────────────────────── Healthy                             ▼
-//!      ▲                                                           Recovered
-//!      │                 reconciled (staged txn reverted,              │
-//!      └───────────────── design diff re-applied) ◀────────────────────┘
+//!      ▲                               │                            ▲      │
+//!      │ success                       │ success        any failure │      │ heartbeat
+//!      │                               ▼                            │      │ success
+//!      └────────────────────────── Healthy                          │      ▼
+//!      ▲                                                            └─ Recovered
+//!      │                 reconciled (staged txn reverted,                  │
+//!      └───────────────── design diff re-applied) ◀────────────────────────┘
 //! ```
 //!
 //! Quarantined devices are excluded from rollouts and traffic until a
@@ -18,7 +18,10 @@
 //! which the controller reconciles the device (reverting any stranded
 //! staged transaction and re-applying the fleet design diff) before
 //! trusting it as `Healthy` — a rejoining device must never serve the
-//! design it crashed with.
+//! design it crashed with. For the same reason `Recovered` has no
+//! Suspect grace: *any* failure there drops straight back to
+//! `Quarantined`, so the heartbeat/reconcile cycle retries until
+//! reconciliation actually completes.
 
 use serde::Serialize;
 
@@ -90,10 +93,16 @@ impl HealthTracker {
 
     /// Records a failed RPC (deadline exhausted or transport dead).
     /// Returns `true` when this failure tips the device into quarantine.
+    ///
+    /// A failure in [`Health::Recovered`] re-quarantines immediately
+    /// rather than granting the usual Suspect grace: the device has not
+    /// been reconciled yet, and Suspect is available — letting it drift
+    /// there would let a later success mark it `Healthy` while it still
+    /// serves the design it crashed with.
     pub fn on_failure(&mut self) -> bool {
         self.strikes = self.strikes.saturating_add(1);
         match self.state {
-            Health::Healthy | Health::Suspect | Health::Recovered => {
+            Health::Healthy | Health::Suspect => {
                 if self.strikes >= self.threshold {
                     self.state = Health::Quarantined;
                     true
@@ -101,6 +110,10 @@ impl HealthTracker {
                     self.state = Health::Suspect;
                     false
                 }
+            }
+            Health::Recovered => {
+                self.state = Health::Quarantined;
+                true
             }
             Health::Quarantined => false,
         }
@@ -149,6 +162,23 @@ mod tests {
         t.mark_reconciled();
         assert_eq!(t.state(), Health::Healthy);
         assert!(t.is_available());
+    }
+
+    #[test]
+    fn failure_during_recovery_requarantines_without_suspect_grace() {
+        let mut t = HealthTracker::new(3);
+        t.quarantine();
+        assert!(t.on_success(), "heartbeat resume starts recovery");
+        assert_eq!(t.state(), Health::Recovered);
+        assert!(
+            t.on_failure(),
+            "one failure while recovering must re-quarantine"
+        );
+        assert_eq!(t.state(), Health::Quarantined);
+        assert!(
+            !t.is_available(),
+            "an unreconciled device must never become available via Suspect"
+        );
     }
 
     #[test]
